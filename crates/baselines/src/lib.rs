@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Baseline executors for dynamic-net training on the simulated GPU.
+//!
+//! The paper compares VPPS against the state of the art in dynamic-net GPU
+//! execution (§II, §IV-A):
+//!
+//! * **Unbatched** — one kernel per computation-graph node, the default mode
+//!   of eager frameworks: short-lived kernels pay launch overhead and leave
+//!   SMs idle, and every weight-matrix use reloads the matrix from DRAM.
+//! * **DyNet-DB** — *depth-based* on-the-fly batching (Neubig, Goldberg &
+//!   Dyer 2017): nodes with the same operation signature at the same
+//!   max-depth level fuse into one kernel.
+//! * **DyNet-AB** — *agenda-based* on-the-fly batching: a ready-set agenda
+//!   repeatedly executes the largest same-signature group, usually finding
+//!   larger batches than DB in irregular graphs.
+//! * **TF-Fold** — TensorFlow Fold-style dynamic batching (Looks et al.
+//!   2017): depth-based grouping plus the extra gather/concat marshalling
+//!   kernels and heavier host machinery the paper measures it paying.
+//!
+//! All four share one functional core — the numbers come from the reference
+//! autodiff executor, so losses are comparable to VPPS — while their
+//! *performance* (kernel launches, DRAM traffic, host time) is modeled from
+//! the grouping each strategy achieves on the actual batch graph. None of
+//! them caches parameters on chip: weight-matrix bytes flow from DRAM on
+//! every use, which is precisely the traffic Table I and Fig. 2 account.
+//!
+//! # Example
+//!
+//! ```
+//! use dyn_graph::{Graph, Model};
+//! use gpu_sim::DeviceConfig;
+//! use vpps_baselines::{BaselineExecutor, Strategy};
+//!
+//! let mut model = Model::new(3);
+//! let w = model.add_matrix("W", 8, 8);
+//! let mut exec = BaselineExecutor::new(DeviceConfig::titan_v(), Strategy::AgendaBased, 0.1);
+//! let mut g = Graph::new();
+//! let x = g.input(vec![0.5; 8]);
+//! let h = g.matvec(&model, w, x);
+//! let loss = g.pick_neg_log_softmax(h, 1);
+//! let l = exec.train_batch(&mut model, &g, loss);
+//! assert!(l > 0.0);
+//! assert!(exec.gpu().stats().kernels_launched > 0);
+//! ```
+
+pub mod executor;
+pub mod groups;
+pub mod kernels;
+
+pub use executor::{BaselineExecutor, BaselinePhases};
+pub use groups::{group_graph, KernelGroup, Strategy};

@@ -1,0 +1,39 @@
+//! Criterion bench for Fig. 10: the per-batch VPPS phase breakdown (host
+//! graph construction + scheduling vs device copy + kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceConfig;
+use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
+use vpps_bench::harness::run_vpps;
+
+fn fig10(c: &mut Criterion) {
+    let device = DeviceConfig::titan_v();
+    let mut spec = AppSpec::paper(AppKind::TreeLstm);
+    spec.hidden = 64;
+    spec.emb = 64;
+    spec.vocab = 500;
+    spec.max_len = 8;
+    let app = AppInstance::new(spec, 8);
+
+    let mut group = c.benchmark_group("fig10_breakdown");
+    group.sample_size(10);
+    for batch in [1usize, 8] {
+        let r = run_vpps(&app, &device, batch, 1);
+        let p = r.vpps_phases.expect("phases");
+        eprintln!(
+            "fig10[batch {batch}]: host {:.3}ms/input, device {:.3}ms/input",
+            p.host_total().as_ms() / r.inputs as f64,
+            p.device_total().as_ms() / r.inputs as f64
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let r = run_vpps(&app, &device, batch, 1);
+                r.vpps_phases.expect("phases").device_total()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

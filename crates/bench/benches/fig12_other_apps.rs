@@ -1,0 +1,48 @@
+//! Criterion bench for Fig. 12: the five non-Tree-LSTM applications under
+//! VPPS vs the best DyNet variant, at bench scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceConfig;
+use vpps_baselines::Strategy;
+use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
+use vpps_bench::harness::{run_baseline, run_vpps};
+
+fn small(kind: AppKind) -> AppInstance {
+    let mut spec = AppSpec::paper(kind);
+    spec.hidden = 48;
+    spec.emb = 48;
+    spec.mlp = 48;
+    spec.char_emb = 16;
+    spec.vocab = 400;
+    spec.max_len = 7;
+    AppInstance::new(spec, 4)
+}
+
+fn fig12(c: &mut Criterion) {
+    let device = DeviceConfig::titan_v();
+    let mut group = c.benchmark_group("fig12_other_apps");
+    group.sample_size(10);
+    for kind in [AppKind::BiLstm, AppKind::BiLstmChar, AppKind::TdRnn, AppKind::TdLstm, AppKind::Rvnn]
+    {
+        let app = small(kind);
+        let v = run_vpps(&app, &device, 2, 1);
+        let a = run_baseline(&app, &device, 2, Strategy::AgendaBased);
+        eprintln!(
+            "fig12[{}]: VPPS {:.0}/s vs DyNet-AB {:.0}/s ({:.2}x)",
+            kind.name(),
+            v.throughput,
+            a.throughput,
+            v.throughput / a.throughput
+        );
+        group.bench_with_input(BenchmarkId::new("vpps", kind.name()), &app, |b, app| {
+            b.iter(|| run_vpps(app, &device, 2, 1).throughput)
+        });
+        group.bench_with_input(BenchmarkId::new("dynet_ab", kind.name()), &app, |b, app| {
+            b.iter(|| run_baseline(app, &device, 2, Strategy::AgendaBased).throughput)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

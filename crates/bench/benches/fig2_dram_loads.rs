@@ -1,0 +1,37 @@
+//! Criterion bench for Fig. 2: the DRAM-load classification run (weight
+//! fraction of baseline traffic), measured per application at bench scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceConfig;
+use vpps_baselines::Strategy;
+use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
+use vpps_bench::harness::run_baseline;
+
+fn small(kind: AppKind) -> AppInstance {
+    let mut spec = AppSpec::paper(kind);
+    spec.hidden = 64;
+    spec.emb = 64;
+    spec.mlp = 64;
+    spec.char_emb = 16;
+    spec.vocab = 500;
+    spec.max_len = 8;
+    AppInstance::new(spec, 4)
+}
+
+fn fig2(c: &mut Criterion) {
+    let device = DeviceConfig::titan_v();
+    let mut group = c.benchmark_group("fig2_dram_loads");
+    group.sample_size(10);
+    for kind in [AppKind::TreeLstm, AppKind::BiLstm, AppKind::Rvnn] {
+        let app = small(kind);
+        let r = run_baseline(&app, &device, 2, Strategy::AgendaBased);
+        eprintln!("fig2[{}]: weight fraction {:.1}%", kind.name(), 100.0 * r.weight_fraction);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &app, |b, app| {
+            b.iter(|| run_baseline(app, &device, 2, Strategy::AgendaBased).weight_fraction)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

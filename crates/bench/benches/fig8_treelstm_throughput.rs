@@ -1,0 +1,54 @@
+//! Criterion bench for Fig. 8: Tree-LSTM training throughput vs batch size,
+//! VPPS against DyNet-DB / DyNet-AB / TF-Fold.
+//!
+//! Criterion measures the *harness* runtime (regression tracking for the
+//! simulator); the figure's numbers are the simulated throughputs, printed
+//! once per configuration. `repro fig8` produces the paper-scale table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceConfig;
+use vpps_baselines::Strategy;
+use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
+use vpps_bench::harness::{run_baseline, run_vpps};
+
+fn bench_app() -> AppInstance {
+    let mut spec = AppSpec::paper(AppKind::TreeLstm);
+    spec.hidden = 64;
+    spec.emb = 64;
+    spec.vocab = 500;
+    spec.max_len = 10;
+    AppInstance::new(spec, 8)
+}
+
+fn fig8(c: &mut Criterion) {
+    let app = bench_app();
+    let device = DeviceConfig::titan_v();
+    let mut group = c.benchmark_group("fig8_treelstm");
+    group.sample_size(10);
+    for batch in [1usize, 4] {
+        let v = run_vpps(&app, &device, batch, 1);
+        let a = run_baseline(&app, &device, batch, Strategy::AgendaBased);
+        eprintln!(
+            "fig8[batch {batch}]: VPPS {:.0}/s vs DyNet-AB {:.0}/s ({:.2}x)",
+            v.throughput,
+            a.throughput,
+            v.throughput / a.throughput
+        );
+        group.bench_with_input(BenchmarkId::new("vpps", batch), &batch, |b, &batch| {
+            b.iter(|| run_vpps(&app, &device, batch, 1).throughput)
+        });
+        group.bench_with_input(BenchmarkId::new("dynet_ab", batch), &batch, |b, &batch| {
+            b.iter(|| run_baseline(&app, &device, batch, Strategy::AgendaBased).throughput)
+        });
+        group.bench_with_input(BenchmarkId::new("dynet_db", batch), &batch, |b, &batch| {
+            b.iter(|| run_baseline(&app, &device, batch, Strategy::DepthBased).throughput)
+        });
+        group.bench_with_input(BenchmarkId::new("tf_fold", batch), &batch, |b, &batch| {
+            b.iter(|| run_baseline(&app, &device, batch, Strategy::TfFold).throughput)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 9: sensitivity to hidden-layer length,
+//! including the occupancy cliff (2 CTAs/SM → 1 at hidden 384 on the paper
+//! device geometry, which plan construction decides).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceConfig;
+use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
+use vpps_bench::harness::run_vpps;
+
+fn fig9(c: &mut Criterion) {
+    let device = DeviceConfig::titan_v();
+    let mut group = c.benchmark_group("fig9_hidden_size");
+    group.sample_size(10);
+    for hidden in [64usize, 128] {
+        let mut spec = AppSpec::paper(AppKind::TreeLstm).with_hidden(hidden).with_emb(64);
+        spec.vocab = 500;
+        spec.max_len = 8;
+        let app = AppInstance::new(spec, 4);
+        let r = run_vpps(&app, &device, 2, 1);
+        let (ctas, rpw) = r.vpps_config.expect("vpps run");
+        eprintln!(
+            "fig9[hidden {hidden}]: {:.0} inputs/s, {ctas} CTA(s)/SM, rpw {rpw}",
+            r.throughput
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(hidden), &app, |b, app| {
+            b.iter(|| run_vpps(app, &device, 2, 1).throughput)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Table I: weight-matrix DRAM traffic per batch size,
+//! VPPS vs DyNet-AB.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceConfig;
+use vpps_baselines::Strategy;
+use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
+use vpps_bench::harness::{run_baseline, run_vpps};
+
+fn table1(c: &mut Criterion) {
+    let device = DeviceConfig::titan_v();
+    let mut spec = AppSpec::paper(AppKind::TreeLstm);
+    spec.hidden = 64;
+    spec.emb = 64;
+    spec.vocab = 500;
+    spec.max_len = 8;
+    let app = AppInstance::new(spec, 8);
+
+    let mut group = c.benchmark_group("table1_weight_traffic");
+    group.sample_size(10);
+    for batch in [1usize, 8] {
+        let v = run_vpps(&app, &device, batch, 1);
+        let a = run_baseline(&app, &device, batch, Strategy::AgendaBased);
+        eprintln!(
+            "table1[batch {batch}]: VPPS {:.2} MB vs DyNet-AB {:.2} MB ({:.0}x less)",
+            v.weight_mb,
+            a.weight_mb,
+            a.weight_mb / v.weight_mb
+        );
+        group.bench_with_input(BenchmarkId::new("vpps", batch), &batch, |b, &batch| {
+            b.iter(|| run_vpps(&app, &device, batch, 1).weight_mb)
+        });
+        group.bench_with_input(BenchmarkId::new("dynet_ab", batch), &batch, |b, &batch| {
+            b.iter(|| run_baseline(&app, &device, batch, Strategy::AgendaBased).weight_mb)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

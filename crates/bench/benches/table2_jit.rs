@@ -1,0 +1,32 @@
+//! Criterion bench for Table II: kernel-plan construction (the real work
+//! behind the modeled NVRTC cost — distribution, source generation, cost
+//! estimation) per application at paper dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceConfig;
+use vpps::KernelPlan;
+use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
+
+fn table2(c: &mut Criterion) {
+    let device = DeviceConfig::titan_v();
+    let mut group = c.benchmark_group("table2_jit");
+    group.sample_size(10);
+    for kind in AppKind::ALL {
+        let app = AppInstance::new(AppSpec::paper(kind), 1);
+        let model = app.fresh_model();
+        let plan = KernelPlan::build(&model, &device, 1).expect("fits");
+        eprintln!(
+            "table2[{}]: modeled compile {:.2}s + load {:.2}s",
+            kind.name(),
+            plan.jit_cost().program_compile.as_secs(),
+            plan.jit_cost().module_load.as_secs()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &model, |b, model| {
+            b.iter(|| KernelPlan::build(model, &device, 1).expect("fits").jit_cost())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

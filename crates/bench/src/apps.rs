@@ -1,0 +1,305 @@
+//! Benchmark application instances at the paper's §IV settings.
+
+use dyn_graph::{Graph, Model, NodeId};
+use vpps_datasets::{
+    TaggedCorpus, TaggedCorpusConfig, Treebank, TreebankConfig, TreeSample,
+};
+use vpps_models::bilstm_char::CharTaggedSentence;
+use vpps_models::{
+    build_batch, BiLstmCharTagger, BiLstmTagger, DynamicModel, Rvnn, TdLstm, TdRnn, TreeLstm,
+};
+
+/// The six benchmark applications of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Tree-Structured LSTM Sentiment Analyzer (§IV-A).
+    TreeLstm,
+    /// Bi-directional LSTM Named Entity Tagger (§IV-E).
+    BiLstm,
+    /// Bi-directional LSTM Tagger w/ Optional Character Features (§IV-E).
+    BiLstmChar,
+    /// Time-Delay Neural Network (§IV-E).
+    TdRnn,
+    /// Time-Delay network with LSTM composition (§IV-E).
+    TdLstm,
+    /// Recursive Neural Net (§IV-E).
+    Rvnn,
+}
+
+impl AppKind {
+    /// All applications, in the paper's Fig. 12 / Table II order.
+    pub const ALL: [AppKind; 6] = [
+        AppKind::BiLstm,
+        AppKind::BiLstmChar,
+        AppKind::TdRnn,
+        AppKind::TdLstm,
+        AppKind::Rvnn,
+        AppKind::TreeLstm,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppKind::TreeLstm => "Tree-LSTM",
+            AppKind::BiLstm => "BiLSTM",
+            AppKind::BiLstmChar => "BiLSTMwChar",
+            AppKind::TdRnn => "TD-RNN",
+            AppKind::TdLstm => "TD-LSTM",
+            AppKind::Rvnn => "RvNN",
+        }
+    }
+}
+
+/// Dimensions and workload parameters for one application run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppSpec {
+    /// Which application.
+    pub kind: AppKind,
+    /// Hidden-layer length.
+    pub hidden: usize,
+    /// Word-embedding length.
+    pub emb: usize,
+    /// MLP vector length (taggers / TD heads).
+    pub mlp: usize,
+    /// Character-embedding length (BiLSTMwChar).
+    pub char_emb: usize,
+    /// Word vocabulary size.
+    pub vocab: usize,
+    /// Maximum sentence length in tokens.
+    pub max_len: usize,
+    /// RNG seed for model init and data generation.
+    pub seed: u64,
+}
+
+impl AppSpec {
+    /// The paper's §IV settings for `kind`: hidden = embedding = 256 except
+    /// TD-RNN and RvNN at 512 (Fig. 12 caption); MLP 256; char embedding 64.
+    pub fn paper(kind: AppKind) -> Self {
+        let (hidden, emb) = match kind {
+            AppKind::TdRnn | AppKind::Rvnn => (512, 512),
+            _ => (256, 256),
+        };
+        // The time-delay reduction is quadratic in sentence length; the
+        // paper's SST sentences average ~19 tokens. Capping TD inputs keeps
+        // the simulation tractable without changing the comparison.
+        let max_len = match kind {
+            AppKind::TdRnn | AppKind::TdLstm => 14,
+            _ => 24,
+        };
+        Self { kind, hidden, emb, mlp: 256, char_emb: 64, vocab: 5000, max_len, seed: 0x5EED }
+    }
+
+    /// Same application with a different hidden-layer length (Fig. 9).
+    pub fn with_hidden(mut self, hidden: usize) -> Self {
+        self.hidden = hidden;
+        self
+    }
+
+    /// Same application with a different embedding length (Fig. 9 fixes the
+    /// word embedding at 128).
+    pub fn with_emb(mut self, emb: usize) -> Self {
+        self.emb = emb;
+        self
+    }
+}
+
+enum Arch {
+    Tree(TreeLstm),
+    BiL(BiLstmTagger),
+    BiLChar(BiLstmCharTagger),
+    TdR(TdRnn),
+    TdL(TdLstm),
+    Rv(Rvnn),
+}
+
+enum Samples {
+    Trees(Vec<TreeSample>),
+    Tagged(Vec<vpps_datasets::TaggedSentence>),
+    Char(Vec<CharTaggedSentence>),
+}
+
+/// A ready-to-run application: registered model, architecture, and a fixed
+/// sample set (all runs over the instance train on identical data from
+/// identical initial parameters, so comparisons are apples-to-apples).
+pub struct AppInstance {
+    spec: AppSpec,
+    model: Model,
+    arch: Arch,
+    samples: Samples,
+}
+
+impl AppInstance {
+    /// Builds the application with `num_inputs` training inputs.
+    pub fn new(spec: AppSpec, num_inputs: usize) -> Self {
+        let mut model = Model::new(spec.seed);
+        let classes = 5;
+        let tags = 9;
+        let (arch, samples) = match spec.kind {
+            AppKind::TreeLstm => {
+                let arch =
+                    TreeLstm::register(&mut model, spec.vocab, spec.emb, spec.hidden, classes);
+                let samples = tree_samples(&spec, num_inputs);
+                (Arch::Tree(arch), Samples::Trees(samples))
+            }
+            AppKind::TdRnn => {
+                let arch = TdRnn::register(&mut model, spec.vocab, spec.emb, spec.mlp, classes);
+                (Arch::TdR(arch), Samples::Trees(tree_samples(&spec, num_inputs)))
+            }
+            AppKind::TdLstm => {
+                let arch = TdLstm::register(&mut model, spec.vocab, spec.emb, spec.mlp, classes);
+                (Arch::TdL(arch), Samples::Trees(tree_samples(&spec, num_inputs)))
+            }
+            AppKind::Rvnn => {
+                let arch = Rvnn::register(&mut model, spec.vocab, spec.emb, classes);
+                (Arch::Rv(arch), Samples::Trees(tree_samples(&spec, num_inputs)))
+            }
+            AppKind::BiLstm => {
+                let arch = BiLstmTagger::register(
+                    &mut model, spec.vocab, spec.emb, spec.hidden, spec.mlp, tags,
+                );
+                let corpus = tagged_corpus(&spec, num_inputs);
+                let samples = corpus.sentences()[..num_inputs].to_vec();
+                (Arch::BiL(arch), Samples::Tagged(samples))
+            }
+            AppKind::BiLstmChar => {
+                let arch = BiLstmCharTagger::register(
+                    &mut model,
+                    spec.vocab,
+                    40,
+                    spec.emb,
+                    spec.char_emb,
+                    spec.hidden,
+                    spec.mlp,
+                    tags,
+                );
+                let corpus = tagged_corpus(&spec, num_inputs);
+                let samples = corpus.sentences()[..num_inputs]
+                    .iter()
+                    .cloned()
+                    .map(|s| CharTaggedSentence::annotate(s, &corpus))
+                    .collect();
+                (Arch::BiLChar(arch), Samples::Char(samples))
+            }
+        };
+        Self { spec, model, arch, samples }
+    }
+
+    /// The spec this instance was built from.
+    pub fn spec(&self) -> &AppSpec {
+        &self.spec
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.spec.kind.name()
+    }
+
+    /// A fresh copy of the initial model (each system trains from the same
+    /// initialization).
+    pub fn fresh_model(&self) -> Model {
+        self.model.clone()
+    }
+
+    /// Number of training inputs.
+    pub fn num_inputs(&self) -> usize {
+        match &self.samples {
+            Samples::Trees(v) => v.len(),
+            Samples::Tagged(v) => v.len(),
+            Samples::Char(v) => v.len(),
+        }
+    }
+
+    /// Builds the per-batch super-graphs for `batch_size` (last batch may be
+    /// smaller).
+    pub fn batch_graphs(&self, batch_size: usize) -> Vec<(Graph, NodeId)> {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        fn chunks<S, M: DynamicModel<S>>(
+            arch: &M,
+            model: &Model,
+            samples: &[S],
+            batch: usize,
+        ) -> Vec<(Graph, NodeId)> {
+            samples.chunks(batch).map(|c| build_batch(arch, model, c)).collect()
+        }
+        match (&self.arch, &self.samples) {
+            (Arch::Tree(a), Samples::Trees(s)) => chunks(a, &self.model, s, batch_size),
+            (Arch::TdR(a), Samples::Trees(s)) => chunks(a, &self.model, s, batch_size),
+            (Arch::TdL(a), Samples::Trees(s)) => chunks(a, &self.model, s, batch_size),
+            (Arch::Rv(a), Samples::Trees(s)) => chunks(a, &self.model, s, batch_size),
+            (Arch::BiL(a), Samples::Tagged(s)) => chunks(a, &self.model, s, batch_size),
+            (Arch::BiLChar(a), Samples::Char(s)) => chunks(a, &self.model, s, batch_size),
+            _ => unreachable!("arch/samples always built as a matching pair"),
+        }
+    }
+}
+
+fn tree_samples(spec: &AppSpec, n: usize) -> Vec<TreeSample> {
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: spec.vocab,
+        min_len: 4.min(spec.max_len),
+        max_len: spec.max_len,
+        classes: 5,
+        seed: spec.seed ^ 0x7EA7,
+    });
+    bank.samples(n)
+}
+
+fn tagged_corpus(spec: &AppSpec, n: usize) -> TaggedCorpus {
+    TaggedCorpus::generate(TaggedCorpusConfig {
+        vocab: spec.vocab,
+        sentences: n.max(64), // enough sentences for meaningful frequencies
+        min_len: 5,
+        max_len: spec.max_len,
+        seed: spec.seed ^ 0x7A66,
+        ..Default::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_builds_and_batches() {
+        for kind in AppKind::ALL {
+            let mut spec = AppSpec::paper(kind);
+            // Shrink dimensions so the test stays fast.
+            spec.hidden = 16;
+            spec.emb = 16;
+            spec.mlp = 16;
+            spec.char_emb = 8;
+            spec.vocab = 200;
+            spec.max_len = 8;
+            let app = AppInstance::new(spec, 6);
+            assert_eq!(app.num_inputs(), 6);
+            let batches = app.batch_graphs(4);
+            assert_eq!(batches.len(), 2, "{kind:?}: 6 inputs at batch 4 -> 2 batches");
+            for (g, l) in &batches {
+                assert_eq!(g.node(*l).dim, 1);
+                assert!(g.len() > 10);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_specs_match_section_iv() {
+        assert_eq!(AppSpec::paper(AppKind::TreeLstm).hidden, 256);
+        assert_eq!(AppSpec::paper(AppKind::TdRnn).hidden, 512);
+        assert_eq!(AppSpec::paper(AppKind::Rvnn).hidden, 512);
+        assert_eq!(AppSpec::paper(AppKind::BiLstmChar).char_emb, 64);
+        assert_eq!(AppSpec::paper(AppKind::BiLstm).mlp, 256);
+    }
+
+    #[test]
+    fn fresh_models_are_identical() {
+        let mut spec = AppSpec::paper(AppKind::TreeLstm);
+        spec.hidden = 16;
+        spec.emb = 16;
+        let app = AppInstance::new(spec, 2);
+        let a = app.fresh_model();
+        let b = app.fresh_model();
+        for ((_, pa), (_, pb)) in a.params().zip(b.params()) {
+            assert_eq!(pa.value, pb.value);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Regenerates every table and figure of the VPPS paper on the simulated
+//! Titan V.
+//!
+//! ```text
+//! cargo run -p vpps-bench --release --bin repro -- all          # quick scale
+//! cargo run -p vpps-bench --release --bin repro -- fig8 --full  # paper scale
+//! ```
+//!
+//! Subcommands: `fig2`, `fig8`, `fig9`, `fig10`, `fig12`, `table1`,
+//! `table2`, `all`, and `trace` (writes a Chrome trace of one Tree-LSTM
+//! persistent kernel to `vpps_kernel_trace.json`). `--full` uses the
+//! paper's 128-input workloads; the default "quick" scale keeps every trend
+//! visible while running in minutes on one CPU core.
+
+use gpu_sim::DeviceConfig;
+use vpps_baselines::Strategy;
+use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
+use vpps_bench::harness::{profiled_rpw, run_baseline, run_vpps, RunResult};
+use vpps_bench::report::{fmt_mb, fmt_ratio, fmt_tput, render_table};
+
+#[derive(Clone, Copy)]
+struct Scale {
+    treelstm_inputs: usize,
+    tagger_inputs: usize,
+    td_inputs: usize,
+    batches: &'static [usize],
+    fig12_batches: &'static [usize],
+}
+
+const QUICK: Scale = Scale {
+    treelstm_inputs: 32,
+    tagger_inputs: 16,
+    td_inputs: 8,
+    batches: &[1, 2, 4, 8, 16, 32],
+    fig12_batches: &[1, 2, 8, 32],
+};
+
+const FULL: Scale = Scale {
+    treelstm_inputs: 128,
+    tagger_inputs: 64,
+    td_inputs: 32,
+    batches: &[1, 2, 4, 8, 16, 32, 64, 128],
+    fig12_batches: &[1, 2, 8, 32, 128],
+};
+
+fn device() -> DeviceConfig {
+    DeviceConfig::titan_v()
+}
+
+fn inputs_for(kind: AppKind, scale: &Scale) -> usize {
+    match kind {
+        AppKind::TreeLstm | AppKind::Rvnn => scale.treelstm_inputs,
+        AppKind::BiLstm | AppKind::BiLstmChar => scale.tagger_inputs,
+        AppKind::TdRnn | AppKind::TdLstm => scale.td_inputs,
+    }
+}
+
+fn best_baseline(results: &[RunResult]) -> &RunResult {
+    results
+        .iter()
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .expect("at least one baseline result")
+}
+
+fn fig2(scale: &Scale) {
+    println!("Fig. 2 — Distribution of off-chip DRAM loads during DyNet training");
+    println!("(weight-matrix bytes as a fraction of all loaded bytes, DyNet-AB, batch 8)\n");
+    let mut rows = Vec::new();
+    for kind in AppKind::ALL {
+        let inputs = inputs_for(kind, scale).min(16);
+        let app = AppInstance::new(AppSpec::paper(kind), inputs);
+        let r = run_baseline(&app, &device(), 8.min(inputs), Strategy::AgendaBased);
+        rows.push(vec![
+            kind.name().to_owned(),
+            format!("{:.1}%", 100.0 * r.weight_fraction),
+            format!("{:.1}%", 100.0 * (1.0 - r.weight_fraction)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table("Fig 2", &["application", "weight-matrix loads", "other loads"], &rows)
+    );
+    println!("Paper: weight matrices dominate DRAM loads for every application.\n");
+}
+
+fn fig8(scale: &Scale) {
+    println!("Fig. 8 — Tree-LSTM training throughput vs batch size");
+    println!("(hidden = embedding = 256; inputs/s in simulated time)\n");
+    let app = AppInstance::new(AppSpec::paper(AppKind::TreeLstm), scale.treelstm_inputs);
+    let mut rows = Vec::new();
+    for &batch in scale.batches {
+        if batch > app.num_inputs() {
+            continue;
+        }
+        let rpw = profiled_rpw(&app, &device(), batch);
+        let vpps = run_vpps(&app, &device(), batch, rpw);
+        let db = run_baseline(&app, &device(), batch, Strategy::DepthBased);
+        let ab = run_baseline(&app, &device(), batch, Strategy::AgendaBased);
+        let tf = run_baseline(&app, &device(), batch, Strategy::TfFold);
+        let baselines = [db, ab, tf];
+        let best = best_baseline(&baselines);
+        rows.push(vec![
+            batch.to_string(),
+            fmt_tput(vpps.throughput),
+            fmt_tput(baselines[0].throughput),
+            fmt_tput(baselines[1].throughput),
+            fmt_tput(baselines[2].throughput),
+            fmt_ratio(vpps.throughput / best.throughput),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Fig 8",
+            &["batch", "VPPS", "DyNet-DB", "DyNet-AB", "TF-Fold", "VPPS/best-DyNet"],
+            &rows
+        )
+    );
+    println!("Paper: VPPS wins 2.92x at batch 2, narrowing to 1.16x at batch 128;");
+    println!("TF-Fold trails both. The advantage concentrates at small batches.\n");
+}
+
+fn table1(scale: &Scale) {
+    println!("Table I — Weight bytes loaded (MB) training {} inputs", scale.treelstm_inputs);
+    println!("(Tree-LSTM, hidden = embedding = 256)\n");
+    let app = AppInstance::new(AppSpec::paper(AppKind::TreeLstm), scale.treelstm_inputs);
+    let mut header = vec!["system".to_owned()];
+    let mut vpps_row = vec!["VPPS".to_owned()];
+    let mut ab_row = vec!["DyNet-AB".to_owned()];
+    for &batch in scale.batches {
+        if batch > app.num_inputs() {
+            continue;
+        }
+        header.push(format!("b={batch}"));
+        let vpps = run_vpps(&app, &device(), batch, 1);
+        let ab = run_baseline(&app, &device(), batch, Strategy::AgendaBased);
+        vpps_row.push(fmt_mb(vpps.weight_mb));
+        ab_row.push(fmt_mb(ab.weight_mb));
+    }
+    let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", render_table("Table I", &headers, &[vpps_row, ab_row]));
+    println!("Paper (128 inputs): VPPS 352.62 MB at batch 1 halving with batch size");
+    println!("(exactly weights x launches); DyNet-AB 2.82k MB shrinking sub-linearly.\n");
+}
+
+fn fig9(scale: &Scale) {
+    println!("Fig. 9 — Tree-LSTM throughput vs hidden-layer length");
+    println!("(word embedding fixed at 128)\n");
+    for hidden in [128usize, 256, 384] {
+        let spec = AppSpec::paper(AppKind::TreeLstm).with_hidden(hidden).with_emb(128);
+        let app = AppInstance::new(spec, scale.treelstm_inputs);
+        let mut rows = Vec::new();
+        let mut occupancy = String::new();
+        for &batch in scale.batches {
+            if batch > app.num_inputs() {
+                continue;
+            }
+            let rpw = profiled_rpw(&app, &device(), batch);
+            let vpps = run_vpps(&app, &device(), batch, rpw);
+            let db = run_baseline(&app, &device(), batch, Strategy::DepthBased);
+            let ab = run_baseline(&app, &device(), batch, Strategy::AgendaBased);
+            if let Some((ctas, _)) = vpps.vpps_config {
+                occupancy = format!("{} CTA(s)/SM ({}% occupancy)", ctas, 12.5 * ctas as f64);
+            }
+            let best = if db.throughput > ab.throughput { &db } else { &ab };
+            rows.push(vec![
+                batch.to_string(),
+                fmt_tput(vpps.throughput),
+                fmt_tput(db.throughput),
+                fmt_tput(ab.throughput),
+                fmt_ratio(vpps.throughput / best.throughput),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &format!("Fig 9 - hidden {hidden} [{occupancy}]"),
+                &["batch", "VPPS", "DyNet-DB", "DyNet-AB", "VPPS/best"],
+                &rows
+            )
+        );
+    }
+    println!("Paper: throughput falls as hidden grows; 384 forces 1 CTA/SM (12.5%");
+    println!("occupancy) and drops disproportionately vs 256; VPPS stays ahead.\n");
+}
+
+fn fig10(scale: &Scale) {
+    println!("Fig. 10 — VPPS execution-time breakdown per input (ms)");
+    println!("(Tree-LSTM, hidden = embedding = 256; CPU and GPU overlap at runtime)\n");
+    let app = AppInstance::new(AppSpec::paper(AppKind::TreeLstm), scale.treelstm_inputs);
+    let mut rows = Vec::new();
+    for &batch in scale.batches {
+        if batch > app.num_inputs() {
+            continue;
+        }
+        let rpw = profiled_rpw(&app, &device(), batch);
+        let r = run_vpps(&app, &device(), batch, rpw);
+        let p = r.vpps_phases.expect("vpps run has phases");
+        let per = |t: gpu_sim::SimTime| format!("{:.3}", t.as_ms() / r.inputs as f64);
+        rows.push(vec![
+            batch.to_string(),
+            per(p.graph_construction),
+            per(p.forward_schedule),
+            per(p.backward_schedule),
+            per(p.script_copy),
+            per(p.kernel_exec),
+            per(p.host_total()),
+            per(p.device_total()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Fig 10",
+            &[
+                "batch",
+                "cpu:graph",
+                "cpu:fwd-sched",
+                "cpu:bwd-sched",
+                "gpu:copy",
+                "gpu:kernel",
+                "cpu total",
+                "gpu total"
+            ],
+            &rows
+        )
+    );
+    println!("Paper: GPU kernel dominates at small batches; per-input kernel time");
+    println!("shrinks with batch while CPU scheduling grows, making the CPU the");
+    println!("bottleneck at large batches (the slight decline in Fig. 8).\n");
+}
+
+fn fig12(scale: &Scale) {
+    println!("Fig. 12 — Training throughput for the other applications");
+    println!("(BiLSTM/BiLSTMwChar/TD-LSTM at 256; TD-RNN/RvNN at 512)\n");
+    for kind in [AppKind::BiLstm, AppKind::BiLstmChar, AppKind::TdRnn, AppKind::TdLstm, AppKind::Rvnn]
+    {
+        let app = AppInstance::new(AppSpec::paper(kind), inputs_for(kind, scale));
+        let mut rows = Vec::new();
+        let mut peak: f64 = 0.0;
+        for &batch in scale.fig12_batches {
+            if batch > app.num_inputs() {
+                continue;
+            }
+            let rpw = profiled_rpw(&app, &device(), batch);
+            let vpps = run_vpps(&app, &device(), batch, rpw);
+            let db = run_baseline(&app, &device(), batch, Strategy::DepthBased);
+            let ab = run_baseline(&app, &device(), batch, Strategy::AgendaBased);
+            let best = if db.throughput > ab.throughput { &db } else { &ab };
+            let ratio = vpps.throughput / best.throughput;
+            peak = peak.max(ratio);
+            rows.push(vec![
+                batch.to_string(),
+                fmt_tput(vpps.throughput),
+                fmt_tput(db.throughput),
+                fmt_tput(ab.throughput),
+                fmt_ratio(ratio),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &format!("Fig 12 - {} (peak VPPS advantage {})", kind.name(), fmt_ratio(peak)),
+                &["batch", "VPPS", "DyNet-DB", "DyNet-AB", "VPPS/best"],
+                &rows
+            )
+        );
+    }
+    println!("Paper: VPPS leads across applications, up to 6.08x (BiLSTM, batch 2);");
+    println!("DyNet closes the gap at smaller batches on TD-RNN/RvNN, whose graphs");
+    println!("have few operation types and batch easily.\n");
+}
+
+fn table2() {
+    println!("Table II — JIT compilation duration (modeled NVRTC seconds)\n");
+    let mut rows = Vec::new();
+    for kind in AppKind::ALL {
+        let app = AppInstance::new(AppSpec::paper(kind), 1);
+        let model = app.fresh_model();
+        let plan = vpps::KernelPlan::build(&model, &device(), 1)
+            .expect("paper-scale models fit the Titan V");
+        let jit = plan.jit_cost();
+        rows.push(vec![
+            kind.name().to_owned(),
+            format!("{:.2}", jit.program_compile.as_secs()),
+            format!("{:.2}", jit.module_load.as_secs()),
+            format!("{}", plan.source().template_instantiations()),
+            format!("{}", plan.source().register_refs_per_thread()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table II",
+            &["application", "prog. compile (s)", "module load (s)", "instantiations", "regs/thread"],
+            &rows
+        )
+    );
+    println!("Paper: 11-75 s compile; hidden-512 apps (TD-RNN, RvNN) cost several");
+    println!("times the hidden-256 apps; module load is ~0.5-0.65 of compile.\n");
+}
+
+fn trace() {
+    use vpps::exec::interp::{run_persistent_kernel_traced, ExecConfig};
+    use vpps::script::{generate, TableLayout};
+
+    println!("Exporting a per-VPP kernel timeline (Tree-LSTM, batch 4)...");
+    let mut spec = AppSpec::paper(AppKind::TreeLstm);
+    spec.hidden = 64;
+    spec.emb = 64;
+    spec.vocab = 500;
+    spec.max_len = 10;
+    let app = AppInstance::new(spec, 4);
+    let mut model = app.fresh_model();
+    let plan = vpps::KernelPlan::build(&model, &device(), 1).expect("fits");
+    let (g, loss) = (app.batch_graphs(4).remove(0).0, app.batch_graphs(4)[0].1);
+    let mut pool = vpps_tensor::Pool::with_capacity(1 << 22);
+    let tables = TableLayout::install(&model, &mut pool).expect("fits");
+    let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
+    for (id, node) in g.iter() {
+        if let dyn_graph::Op::Input { values } = &node.op {
+            pool.slice_mut(gs.layout.value_off[id.index()], node.dim).copy_from_slice(values);
+        }
+    }
+    let mut gpu = gpu_sim::GpuSim::new(device());
+    let (run, trace) = run_persistent_kernel_traced(
+        &plan,
+        &gs,
+        &mut pool,
+        &mut model,
+        &mut gpu,
+        ExecConfig::default(),
+    );
+    let path = "vpps_kernel_trace.json";
+    std::fs::write(path, trace.to_chrome_json()).expect("write trace");
+    println!(
+        "kernel body {}; {} events ({} barrier-wait us) -> {path}",
+        run.body_time,
+        trace.len(),
+        (trace.wait_ns() / 1e3) as u64
+    );
+    println!("open chrome://tracing or https://ui.perfetto.dev and load the file.");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { FULL } else { QUICK };
+    let cmd = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+
+    let t0 = std::time::Instant::now();
+    println!(
+        "VPPS reproduction — simulated {} — scale: {}\n",
+        device().name,
+        if full { "full (paper)" } else { "quick" }
+    );
+    match cmd {
+        "fig2" => fig2(&scale),
+        "fig8" => fig8(&scale),
+        "fig9" => fig9(&scale),
+        "fig10" => fig10(&scale),
+        "fig12" => fig12(&scale),
+        "table1" => table1(&scale),
+        "table2" => table2(),
+        "trace" => trace(),
+        "all" => {
+            table2();
+            fig2(&scale);
+            fig8(&scale);
+            table1(&scale);
+            fig9(&scale);
+            fig10(&scale);
+            fig12(&scale);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|all] [--full]"
+            );
+            std::process::exit(2);
+        }
+    }
+    println!("(completed in {:.1?} host wall time)", t0.elapsed());
+}

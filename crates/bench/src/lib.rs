@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness regenerating every table and figure of the VPPS paper.
+//!
+//! The harness wires the workspace together: it instantiates each benchmark
+//! application at the paper's §IV dimensions ([`apps`]), runs it under VPPS
+//! and under every baseline on the simulated Titan V ([`harness`]), and
+//! formats the paper's tables and figures as text ([`report`]). The `repro`
+//! binary (`cargo run -p vpps-bench --release --bin repro -- all`) drives
+//! everything; the Criterion benches under `benches/` wrap scaled-down
+//! versions of the same runs for regression tracking.
+//!
+//! Absolute numbers come from the simulated clock, so they will not match
+//! the paper's wall-clock measurements — the reproduction targets the
+//! *shape* of each result: who wins, by roughly what factor, and where the
+//! crossovers fall. `EXPERIMENTS.md` records both.
+
+pub mod apps;
+pub mod harness;
+pub mod report;
+
+pub use apps::{AppInstance, AppKind, AppSpec};
+pub use harness::{profiled_rpw, run_baseline, run_vpps, RunResult};

@@ -1,0 +1,228 @@
+//! GEMM gradient fallback (paper §III-C2).
+//!
+//! When the register file cannot hold gradient matrices alongside the
+//! weights, the persistent kernel stages every outer-product operand pair in
+//! a pre-allocated DRAM region instead. After the kernel, one dense
+//! matrix-matrix multiplication per weight matrix (`G += DY · Xᵀ`, CUBLAS on
+//! real hardware) produces the gradients in one go, followed by a single
+//! parameter-update kernel.
+
+use dyn_graph::{Model, ParamId};
+use gpu_sim::{GpuSim, KernelDesc, SimTime};
+use vpps_tensor::{ops, Pool, PoolOffset};
+
+use crate::exec::interp::ExecConfig;
+use crate::script::BatchLayout;
+use crate::specialize::{GradStrategy, KernelPlan};
+
+/// Summary of the fallback work performed after one persistent kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FallbackRun {
+    /// GEMM / reduction kernels launched (one per parameter with uses).
+    pub gemm_kernels: u64,
+    /// Total device time of the fallback kernels.
+    pub time: SimTime,
+}
+
+/// Computes gradients from the staged operand pairs and applies the SGD
+/// update to every dense parameter. No-op (returns default) for plans using
+/// the in-register strategy.
+pub fn apply_gemm_fallback(
+    plan: &KernelPlan,
+    layout: &BatchLayout,
+    pool: &Pool,
+    model: &mut Model,
+    gpu: &mut GpuSim,
+    cfg: ExecConfig,
+) -> FallbackRun {
+    if plan.grad_strategy() != GradStrategy::GemmFallback {
+        return FallbackRun::default();
+    }
+
+    let mut run = FallbackRun::default();
+    for (pidx, stage) in layout.stages.iter().enumerate() {
+        let Some(stage) = stage else { continue };
+        let pid = plan
+            .shapes()
+            .iter()
+            .map(|s| s.id)
+            .find(|id| id.index() == pidx)
+            .unwrap_or_else(|| ParamId::from_index(pidx));
+        match stage.x_base {
+            Some(x_base) => {
+                // Matrix gradient: G += Σ_k dy_k ⊗ x_k, computed as one GEMM.
+                for k in 0..stage.uses {
+                    let dy = pool
+                        .slice(PoolOffset(stage.dy_base.raw() + (k * stage.rows) as u32), stage.rows)
+                        .to_vec();
+                    let x = pool
+                        .slice(PoolOffset(x_base.raw() + (k * stage.cols) as u32), stage.cols)
+                        .to_vec();
+                    ops::ger_acc(&mut model.param_mut(pid).grad, &dy, &x);
+                }
+                let staged_bytes = (stage.uses * (stage.rows + stage.cols) * 4) as u64;
+                let grad_bytes = (stage.rows * stage.cols * 4) as u64;
+                run.time += gpu.launch(&KernelDesc {
+                    label: "gemm_grad",
+                    weight_bytes: 0,
+                    other_load_bytes: staged_bytes,
+                    store_bytes: grad_bytes,
+                    flops: (2 * stage.uses * stage.rows * stage.cols) as u64,
+                    ctas: gpu.config().num_sms,
+                });
+                run.gemm_kernels += 1;
+            }
+            None => {
+                // Bias gradient: a plain sum reduction of the staged dys.
+                for k in 0..stage.uses {
+                    let dy = pool
+                        .slice(PoolOffset(stage.dy_base.raw() + (k * stage.cols) as u32), stage.cols)
+                        .to_vec();
+                    ops::axpy(1.0, &dy, model.param_mut(pid).grad.row_mut(0));
+                }
+                let staged_bytes = (stage.uses * stage.cols * 4) as u64;
+                run.time += gpu.launch(&KernelDesc {
+                    label: "bias_grad_reduce",
+                    weight_bytes: 0,
+                    other_load_bytes: staged_bytes,
+                    store_bytes: (stage.cols * 4) as u64,
+                    flops: (stage.uses * stage.cols) as u64,
+                    ctas: 1,
+                });
+                run.gemm_kernels += 1;
+            }
+        }
+    }
+
+    // One update kernel over all dense parameters: reads weights + grads,
+    // writes weights. These weight loads are real DRAM traffic the fallback
+    // pays and the in-register strategy avoids.
+    let weight_bytes = plan.prologue_weight_bytes();
+    run.time += gpu.launch(&KernelDesc {
+        label: "sgd_update",
+        weight_bytes: 2 * weight_bytes,
+        other_load_bytes: 0,
+        store_bytes: weight_bytes,
+        flops: 3 * (weight_bytes / 4),
+        ctas: gpu.config().num_sms,
+    });
+    for (pid, _) in model.params().map(|(id, p)| (id, p.value.len())).collect::<Vec<_>>() {
+        let p = model.param_mut(pid);
+        for i in 0..p.value.len() {
+            let g = p.grad.as_slice()[i];
+            let v = p.value.as_slice()[i];
+            p.value.as_mut_slice()[i] = v - cfg.learning_rate * (g + cfg.weight_decay * v);
+        }
+        p.grad.fill_zero();
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::interp::run_persistent_kernel;
+    use crate::script::{generate, TableLayout};
+    use crate::specialize::KernelPlan;
+    use dyn_graph::{exec as refexec, Graph, Model, Trainer};
+    use gpu_sim::DeviceConfig;
+
+    /// A device so small that gradients cannot be cached.
+    fn tiny_device() -> DeviceConfig {
+        let mut d = DeviceConfig::titan_v();
+        d.num_sms = 2;
+        d
+    }
+
+    fn build(m: &Model, ws: &[dyn_graph::ParamId], b: dyn_graph::ParamId) -> (Graph, dyn_graph::NodeId) {
+        let mut g = Graph::new();
+        let mut h = g.input(vec![0.2; 128]);
+        for &w in ws {
+            let z = g.matvec(m, w, h);
+            let zb = g.add_bias(m, b, z);
+            h = g.tanh(zb);
+        }
+        let loss = g.pick_neg_log_softmax(h, 1);
+        (g, loss)
+    }
+
+    #[test]
+    fn fallback_matches_reference_training() {
+        let seed = 31;
+        let make_model = || {
+            let mut m = Model::new(seed);
+            let ws: Vec<_> = (0..5).map(|i| m.add_matrix(&format!("W{i}"), 128, 128)).collect();
+            let b = m.add_bias("b", 128);
+            (m, ws, b)
+        };
+
+        // VPPS with GEMM fallback.
+        let (mut model, ws, b) = make_model();
+        let plan = KernelPlan::build(&model, &tiny_device(), 1).unwrap();
+        assert_eq!(plan.grad_strategy(), GradStrategy::GemmFallback);
+        let mut gpu = GpuSim::new(tiny_device());
+        let mut pool = Pool::with_capacity(1 << 18);
+        let tables = TableLayout::install(&model, &mut pool).unwrap();
+        let mut vpps_losses = Vec::new();
+        for _ in 0..4 {
+            pool.reset();
+            let (g, loss_node) = build(&model, &ws, b);
+            let gs = generate::generate(&g, loss_node, &plan, &mut pool, &tables).unwrap();
+            // Write input leaves into the pool.
+            for (id, node) in g.iter() {
+                if let dyn_graph::Op::Input { values } = &node.op {
+                    pool.slice_mut(gs.layout.value_off[id.index()], node.dim)
+                        .copy_from_slice(values);
+                }
+            }
+            let cfg = ExecConfig { learning_rate: 0.05, weight_decay: 0.0, apply_update: true };
+            let run =
+                run_persistent_kernel(&plan, &gs, &mut pool, &mut model, &mut gpu, cfg);
+            let fb = apply_gemm_fallback(&plan, &gs.layout, &pool, &mut model, &mut gpu, cfg);
+            assert!(fb.gemm_kernels >= 2);
+            vpps_losses.push(run.loss);
+        }
+
+        // Reference.
+        let (mut rmodel, rws, rb) = make_model();
+        let trainer = Trainer::new(0.05);
+        let mut ref_losses = Vec::new();
+        for _ in 0..4 {
+            let (g, loss_node) = build(&rmodel, &rws, rb);
+            ref_losses.push(refexec::forward_backward(&g, &mut rmodel, loss_node));
+            trainer.update(&mut rmodel);
+        }
+
+        for (a, b) in vpps_losses.iter().zip(&ref_losses) {
+            assert!((a - b).abs() < 5e-3, "fallback diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn in_register_plan_is_a_noop() {
+        let mut m = Model::new(1);
+        m.add_matrix("W", 16, 16);
+        let plan = KernelPlan::build(&m, &DeviceConfig::titan_v(), 1).unwrap();
+        assert_eq!(plan.grad_strategy(), GradStrategy::InRegister);
+        let layout = BatchLayout {
+            value_off: Vec::new(),
+            deriv_off: Vec::new(),
+            deriv_base: PoolOffset(0),
+            deriv_len: 0,
+            loss: dyn_graph::NodeId::from_index(0),
+            stages: Vec::new(),
+        };
+        let pool = Pool::with_capacity(4);
+        let mut gpu = GpuSim::new(DeviceConfig::titan_v());
+        let run = apply_gemm_fallback(
+            &plan,
+            &layout,
+            &pool,
+            &mut m,
+            &mut gpu,
+            ExecConfig::default(),
+        );
+        assert_eq!(run, FallbackRun::default());
+        assert_eq!(gpu.stats().kernels_launched, 0);
+    }
+}

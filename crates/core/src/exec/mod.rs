@@ -1,0 +1,27 @@
+//! Script-guided execution of the persistent forward-backward kernel
+//! (paper §III-B2, Fig. 7).
+//!
+//! Two executors share one set of instruction semantics
+//! ([`semantics::execute_instr`]):
+//!
+//! * [`interp`] — a deterministic event-driven interpreter that advances a
+//!   per-VPP simulated timeline and produces the kernel duration, DRAM
+//!   traffic and load-imbalance data every experiment relies on;
+//! * [`threaded`] — a real-thread executor (one OS thread per group of VPPs)
+//!   that implements the `signal`/`wait` protocol with actual atomics,
+//!   validating that the generated scripts are deadlock-free and race-free.
+//!
+//! Both operate on a [`RegCache`] — the functional stand-in for the SM
+//! register file — and the shared tensor [`vpps_tensor::Pool`] standing in
+//! for device DRAM.
+
+pub mod fallback;
+pub mod interp;
+pub mod regcache;
+pub mod semantics;
+pub mod threaded;
+pub mod trace;
+
+pub use interp::{run_persistent_kernel, run_persistent_kernel_traced, ExecConfig, KernelRun};
+pub use regcache::RegCache;
+pub use trace::{KernelTrace, TraceEvent};

@@ -1,0 +1,205 @@
+//! Functional stand-in for the register-cached matrix chunks.
+
+use dyn_graph::Model;
+
+use crate::distribute::{ChunkId, Distribution};
+
+/// Storage for every register-cached chunk, indexed by [`ChunkId`].
+///
+/// On hardware these values live in literal architected registers of the
+/// owning CTA; reads and writes of chunk data therefore cost *no DRAM
+/// traffic* during script execution — only the prologue load and epilogue
+/// write-back touch memory, which is the entire point of the paper.
+#[derive(Debug, Clone)]
+pub struct RegCache {
+    chunks: Vec<Vec<f32>>,
+}
+
+impl RegCache {
+    /// Allocates zeroed storage for every chunk of `dist`.
+    pub fn new(dist: &Distribution) -> Self {
+        Self { chunks: dist.chunks().iter().map(|c| vec![0.0; c.len()]).collect() }
+    }
+
+    /// Kernel prologue: copies every value chunk's rows from the master
+    /// parameters in `model` and zeroes every gradient chunk (paper
+    /// §III-A2's "parameter load" and "in-register gradient matrix
+    /// initialization" routines).
+    pub fn load_from_model(&mut self, dist: &Distribution, model: &Model) {
+        for (i, chunk) in dist.chunks().iter().enumerate() {
+            if chunk.is_grad {
+                self.chunks[i].fill(0.0);
+            } else {
+                let value = &model.param(chunk.param).value;
+                for r in 0..chunk.rows {
+                    let src = value.row(chunk.row_start + r);
+                    let dst = &mut self.chunks[i][r * chunk.cols..(r + 1) * chunk.cols];
+                    dst.copy_from_slice(src);
+                }
+            }
+        }
+    }
+
+    /// Kernel epilogue for the in-register gradient strategy: applies
+    /// `W -= lr * (G + wd * W)` to the master copy in `model` using the
+    /// cached gradient chunks.
+    pub fn apply_updates(&self, dist: &Distribution, model: &mut Model, lr: f32, wd: f32) {
+        for (i, chunk) in dist.chunks().iter().enumerate() {
+            if !chunk.is_grad {
+                continue;
+            }
+            let grad = &self.chunks[i];
+            let value = &mut model.param_mut(chunk.param).value;
+            for r in 0..chunk.rows {
+                let row = value.row_mut(chunk.row_start + r);
+                for c in 0..chunk.cols {
+                    let g = grad[r * chunk.cols + c];
+                    row[c] -= lr * (g + wd * row[c]);
+                }
+            }
+        }
+    }
+
+    /// Borrows one chunk's data (row-major, `rows × cols` of the chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn chunk(&self, id: ChunkId) -> &[f32] {
+        &self.chunks[id.index()]
+    }
+
+    /// Mutably borrows one chunk's data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn chunk_mut(&mut self, id: ChunkId) -> &mut [f32] {
+        &mut self.chunks[id.index()]
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// `true` if the cache holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Splits the cache into per-VPP ownership sets for the threaded
+    /// executor. Returns one `Vec<(ChunkId, Vec<f32>)>` per VPP; recombine
+    /// with [`RegCache::from_parts`].
+    pub fn into_parts(self, dist: &Distribution) -> Vec<Vec<(ChunkId, Vec<f32>)>> {
+        let mut parts: Vec<Vec<(ChunkId, Vec<f32>)>> =
+            vec![Vec::new(); dist.geometry().total_vpps()];
+        for (i, data) in self.chunks.into_iter().enumerate() {
+            let id = ChunkId(i as u32);
+            parts[dist.chunk(id).vpp].push((id, data));
+        }
+        parts
+    }
+
+    /// Rebuilds a cache from the parts produced by [`RegCache::into_parts`].
+    pub fn from_parts(dist: &Distribution, parts: Vec<Vec<(ChunkId, Vec<f32>)>>) -> Self {
+        let mut chunks = vec![Vec::new(); dist.chunks().len()];
+        for part in parts {
+            for (id, data) in part {
+                chunks[id.index()] = data;
+            }
+        }
+        Self { chunks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribute::{DistGeometry, ParamShape};
+    use gpu_sim::DeviceConfig;
+
+    fn setup() -> (Model, dyn_graph::ParamId, Distribution) {
+        let mut m = Model::new(3);
+        let w = m.add_matrix("W", 32, 16);
+        let mut d = DeviceConfig::titan_v();
+        d.num_sms = 2;
+        let geo = DistGeometry::derive(&d, 1, 1, 16).unwrap();
+        let shapes = [ParamShape { id: w, rows: 32, cols: 16 }];
+        let dist = Distribution::build(&shapes, geo, true).unwrap();
+        (m, w, dist)
+    }
+
+    #[test]
+    fn load_reconstructs_the_matrix() {
+        let (m, w, dist) = setup();
+        let mut cache = RegCache::new(&dist);
+        cache.load_from_model(&dist, &m);
+        // Every value chunk's rows must equal the master rows.
+        for cid in dist.value_chunks_of(w) {
+            let c = dist.chunk(*cid);
+            let data = cache.chunk(*cid);
+            for r in 0..c.rows {
+                assert_eq!(
+                    &data[r * c.cols..(r + 1) * c.cols],
+                    m.param(w).value.row(c.row_start + r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_chunks_start_zero() {
+        let (m, w, dist) = setup();
+        let mut cache = RegCache::new(&dist);
+        cache.load_from_model(&dist, &m);
+        for cid in dist.grad_chunks_of(w) {
+            assert!(cache.chunk(*cid).iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn apply_updates_matches_sgd() {
+        let (mut m, w, dist) = setup();
+        let mut cache = RegCache::new(&dist);
+        cache.load_from_model(&dist, &m);
+        // Put gradient 1.0 everywhere.
+        for cid in dist.grad_chunks_of(w).to_vec() {
+            cache.chunk_mut(cid).fill(1.0);
+        }
+        let before = m.param(w).value.clone();
+        cache.apply_updates(&dist, &mut m, 0.1, 0.0);
+        for i in 0..before.len() {
+            let expect = before.as_slice()[i] - 0.1;
+            assert!((m.param(w).value.as_slice()[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weight_decay_applied_in_epilogue() {
+        let (mut m, w, dist) = setup();
+        let mut cache = RegCache::new(&dist);
+        cache.load_from_model(&dist, &m);
+        let before = m.param(w).value.clone();
+        cache.apply_updates(&dist, &mut m, 0.5, 0.1);
+        for i in 0..before.len() {
+            let v = before.as_slice()[i];
+            let expect = v - 0.5 * 0.1 * v;
+            assert!((m.param(w).value.as_slice()[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let (m, _, dist) = setup();
+        let mut cache = RegCache::new(&dist);
+        cache.load_from_model(&dist, &m);
+        let reference = cache.clone();
+        let parts = cache.into_parts(&dist);
+        assert_eq!(parts.len(), dist.geometry().total_vpps());
+        let rebuilt = RegCache::from_parts(&dist, parts);
+        for i in 0..reference.len() {
+            assert_eq!(reference.chunk(ChunkId(i as u32)), rebuilt.chunk(ChunkId(i as u32)));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Execution tracing: per-VPP instruction timelines exported as Chrome
+//! trace-event JSON (`chrome://tracing` / Perfetto).
+//!
+//! The event-driven interpreter already computes exact per-instruction start
+//! and end times on every virtual processor's simulated clock; this module
+//! captures them so load imbalance, barrier stalls and the forward/backward
+//! phase structure can be inspected visually.
+
+use std::fmt::Write as _;
+
+/// One traced interval on a virtual processor's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual persistent processor (rendered as a thread).
+    pub vpp: usize,
+    /// Short instruction mnemonic.
+    pub name: &'static str,
+    /// Start on the VPP's simulated clock, nanoseconds.
+    pub start_ns: f64,
+    /// Duration, nanoseconds.
+    pub dur_ns: f64,
+}
+
+/// A complete kernel trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelTrace {
+    /// Events in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl KernelTrace {
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total busy nanoseconds of one VPP.
+    pub fn busy_ns(&self, vpp: usize) -> f64 {
+        self.events.iter().filter(|e| e.vpp == vpp).map(|e| e.dur_ns).sum()
+    }
+
+    /// Nanoseconds spent in barrier waits across all VPPs — the
+    /// synchronization overhead the paper's level barriers introduce.
+    pub fn wait_ns(&self) -> f64 {
+        self.events.iter().filter(|e| e.name == "wait").map(|e| e.dur_ns).sum()
+    }
+
+    /// Serializes to the Chrome trace-event JSON array format. Timestamps
+    /// are microseconds per the format's convention.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            let comma = if i + 1 == self.events.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                r#"  {{"name":"{}","ph":"X","pid":0,"tid":{},"ts":{:.3},"dur":{:.3}}}{}"#,
+                e.name,
+                e.vpp,
+                e.start_ns / 1e3,
+                e.dur_ns / 1e3,
+                comma
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KernelTrace {
+        KernelTrace {
+            events: vec![
+                TraceEvent { vpp: 0, name: "matvec", start_ns: 0.0, dur_ns: 100.0 },
+                TraceEvent { vpp: 0, name: "signal", start_ns: 100.0, dur_ns: 10.0 },
+                TraceEvent { vpp: 1, name: "wait", start_ns: 0.0, dur_ns: 110.0 },
+                TraceEvent { vpp: 1, name: "tanh", start_ns: 110.0, dur_ns: 50.0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn busy_time_sums_per_vpp() {
+        let t = sample();
+        assert_eq!(t.busy_ns(0), 110.0);
+        assert_eq!(t.busy_ns(1), 160.0);
+        assert_eq!(t.busy_ns(7), 0.0);
+    }
+
+    #[test]
+    fn wait_time_counts_only_waits() {
+        assert_eq!(sample().wait_ns(), 110.0);
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let json = sample().to_chrome_json();
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert!(json.contains("\"tid\":1"));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let t = KernelTrace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.to_chrome_json(), "[\n]");
+    }
+}

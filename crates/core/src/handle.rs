@@ -1,0 +1,635 @@
+//! The user-facing VPPS API (paper §III-D).
+//!
+//! The paper abstracts the whole system behind three calls:
+//!
+//! ```text
+//! vpps::handle hndl(model);                         // JIT-specialize, once
+//! float staleLoss = hndl.fb(model, cg, lossExpr);   // per batch, async
+//! float latest    = hndl.sync_get_latest_loss();    // explicit sync
+//! ```
+//!
+//! [`Handle`] mirrors them. `fb` generates the batch script, transfers it,
+//! executes the persistent forward-backward-update kernel on the simulated
+//! device, and — because device work is asynchronous with respect to the host
+//! (§III-C1) — returns the loss of the *previous* batch. The simulated wall
+//! clock overlaps each batch's host preparation with the previous batch's
+//! device execution, which is what produces the paper's Fig. 10 crossover:
+//! device-bound at small batches, host-bound at large ones.
+
+use dyn_graph::{Graph, Model, NodeId, Op};
+use gpu_sim::{DeviceConfig, GpuSim, HostCostModel, SimTime, TrafficTag};
+use vpps_tensor::Pool;
+
+use crate::error::VppsError;
+use crate::exec::fallback::apply_gemm_fallback;
+use crate::exec::interp::{run_persistent_kernel, ExecConfig};
+use crate::script::{generate, TableLayout};
+use crate::specialize::{JitCost, KernelPlan};
+
+/// Rows-per-warp selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpwMode {
+    /// Use a fixed `rpw`.
+    Fixed(usize),
+    /// Profile-guided: compile a kernel per valid `rpw`, measure the first
+    /// training batches with increasing `rpw`, and settle on the fastest
+    /// before performance degrades (paper §III-A1).
+    Profile,
+}
+
+/// Configuration for [`Handle::new`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VppsOptions {
+    /// Rows-per-warp policy.
+    pub rpw: RpwMode,
+    /// SGD learning rate applied by the kernel epilogue.
+    pub learning_rate: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Device memory-pool capacity in `f32` elements.
+    pub pool_capacity: usize,
+    /// Batches measured per candidate `rpw` during profiling.
+    pub profile_batches_per_rpw: usize,
+    /// Disable the §III-C1 host/device pipelining: the host blocks on every
+    /// batch (the asynchrony ablation). `fb` then effectively behaves like
+    /// `fb` + `sync_get_latest_loss`.
+    pub synchronous: bool,
+}
+
+impl Default for VppsOptions {
+    fn default() -> Self {
+        Self {
+            rpw: RpwMode::Fixed(1),
+            learning_rate: 0.1,
+            weight_decay: 0.0,
+            pool_capacity: 1 << 24,
+            profile_batches_per_rpw: 2,
+            synchronous: false,
+        }
+    }
+}
+
+/// Accumulated per-phase simulated time — the data behind the paper's
+/// Fig. 10 execution-time breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Host: building the computation graph from user expressions.
+    pub graph_construction: SimTime,
+    /// Host: forward scheduling + instruction generation.
+    pub forward_schedule: SimTime,
+    /// Host: backward scheduling + instruction generation.
+    pub backward_schedule: SimTime,
+    /// Device: host-to-device script + input copies.
+    pub script_copy: SimTime,
+    /// Device: persistent forward-backward kernel execution.
+    pub kernel_exec: SimTime,
+    /// Device: GEMM-fallback gradient kernels (zero for in-register plans).
+    pub fallback_exec: SimTime,
+}
+
+impl PhaseBreakdown {
+    /// Total host-side time.
+    pub fn host_total(&self) -> SimTime {
+        self.graph_construction + self.forward_schedule + self.backward_schedule
+    }
+
+    /// Total device-side time.
+    pub fn device_total(&self) -> SimTime {
+        self.script_copy + self.kernel_exec + self.fallback_exec
+    }
+}
+
+#[derive(Debug)]
+struct ProfileState {
+    current: usize,
+    batches_in_current: usize,
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+    best: usize,
+    done: bool,
+    batches_per_rpw: usize,
+}
+
+impl ProfileState {
+    fn fixed() -> Self {
+        Self {
+            current: 0,
+            batches_in_current: 0,
+            sums: vec![0.0],
+            counts: vec![0],
+            best: 0,
+            done: true,
+            batches_per_rpw: 0,
+        }
+    }
+
+    fn profiling(plans: usize, batches_per_rpw: usize) -> Self {
+        Self {
+            current: 0,
+            batches_in_current: 0,
+            sums: vec![0.0; plans],
+            counts: vec![0; plans],
+            best: 0,
+            done: plans <= 1,
+            batches_per_rpw,
+        }
+    }
+
+    fn avg(&self, i: usize) -> f64 {
+        self.sums[i] / self.counts[i].max(1) as f64
+    }
+
+    /// Records one batch's kernel time for the current candidate and returns
+    /// the plan index to use for the next batch.
+    fn record(&mut self, kernel_ns: f64) -> usize {
+        if self.done {
+            return self.best;
+        }
+        self.sums[self.current] += kernel_ns;
+        self.counts[self.current] += 1;
+        self.batches_in_current += 1;
+        if self.batches_in_current >= self.batches_per_rpw {
+            if self.current == 0 || self.avg(self.current) < self.avg(self.best) {
+                self.best = self.current;
+                if self.current + 1 < self.sums.len() {
+                    self.current += 1;
+                    self.batches_in_current = 0;
+                } else {
+                    self.done = true;
+                }
+            } else {
+                // Degradation: keep the best seen so far (paper: "goes on
+                // until the framework observes performance degradation").
+                self.done = true;
+            }
+        }
+        if self.done {
+            self.best
+        } else {
+            self.current
+        }
+    }
+}
+
+/// The VPPS training handle: owns the specialized kernel plans, the simulated
+/// device, and the tensor memory pool.
+#[derive(Debug)]
+pub struct Handle {
+    plans: Vec<KernelPlan>,
+    active: usize,
+    gpu: GpuSim,
+    pool: Pool,
+    tables: TableLayout,
+    host: HostCostModel,
+    opts: VppsOptions,
+    phases: PhaseBreakdown,
+    wall: SimTime,
+    steady: SimTime,
+    prev_device_time: SimTime,
+    prev_loss: f32,
+    profile: ProfileState,
+    batches: u64,
+}
+
+impl Handle {
+    /// Specializes the forward-backward kernel(s) for `model` on `device` —
+    /// the paper's `vpps::handle hndl(model)` constructor, including the JIT
+    /// compilation (modeled, see [`Handle::jit_cost`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-construction failures ([`VppsError::ModelTooLarge`],
+    /// [`VppsError::RowTooLong`], [`VppsError::NoParameters`]) and pool
+    /// exhaustion installing the embedding tables.
+    pub fn new(model: &Model, device: DeviceConfig, opts: VppsOptions) -> Result<Self, VppsError> {
+        let plans = match opts.rpw {
+            RpwMode::Fixed(rpw) => vec![KernelPlan::build(model, &device, rpw)?],
+            RpwMode::Profile => {
+                let rpws = KernelPlan::candidate_rpws(model, &device);
+                if rpws.is_empty() {
+                    return Err(KernelPlan::build(model, &device, 1)
+                        .err()
+                        .unwrap_or(VppsError::NoParameters));
+                }
+                rpws.into_iter()
+                    .map(|rpw| KernelPlan::build(model, &device, rpw))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+        let profile = match opts.rpw {
+            RpwMode::Fixed(_) => ProfileState::fixed(),
+            RpwMode::Profile => ProfileState::profiling(plans.len(), opts.profile_batches_per_rpw),
+        };
+        let mut pool = Pool::with_capacity(opts.pool_capacity);
+        let tables = TableLayout::install(model, &mut pool)?;
+        Ok(Self {
+            plans,
+            active: 0,
+            gpu: GpuSim::new(device),
+            pool,
+            tables,
+            host: HostCostModel::default(),
+            opts,
+            phases: PhaseBreakdown::default(),
+            wall: SimTime::ZERO,
+            steady: SimTime::ZERO,
+            prev_device_time: SimTime::ZERO,
+            prev_loss: 0.0,
+            profile,
+            batches: 0,
+        })
+    }
+
+    /// Runs forward propagation, backward propagation and the parameter
+    /// update for one batch graph with a single persistent-kernel launch,
+    /// returning the loss of the *previous* batch (device execution is
+    /// asynchronous with respect to the host; see
+    /// [`Handle::sync_get_latest_loss`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar node of `graph`, or if the batch
+    /// exhausts the device memory pool (size it via
+    /// [`VppsOptions::pool_capacity`]).
+    pub fn fb(&mut self, model: &mut Model, graph: &Graph, loss: NodeId) -> f32 {
+        let plan = &self.plans[self.active];
+
+        // --- host phases (modeled times; the work itself is real).
+        let t_graph = self.host.graph_construction(graph.len());
+        self.pool.reset();
+        let gs = generate::generate(graph, loss, plan, &mut self.pool, &self.tables)
+            .expect("batch exceeds the device memory pool");
+        let t_fwd = self.host.schedule(graph.len(), gs.forward_instructions);
+        let t_bwd = self.host.schedule(graph.len(), gs.backward_instructions);
+
+        // --- input + script transfer.
+        let mut input_bytes = 0u64;
+        for (id, node) in graph.iter() {
+            if let Op::Input { values } = &node.op {
+                self.pool
+                    .slice_mut(gs.layout.value_off[id.index()], node.dim)
+                    .copy_from_slice(values);
+                input_bytes += (node.dim * 4) as u64;
+            }
+        }
+        let mut t_copy = SimTime::ZERO;
+        if input_bytes > 0 {
+            t_copy += self.gpu.h2d_copy(input_bytes, TrafficTag::Activation);
+        }
+        t_copy += self.gpu.h2d_copy(gs.scripts.encoded_bytes() as u64, TrafficTag::Script);
+
+        // --- persistent kernel + optional fallback.
+        let cfg = ExecConfig {
+            learning_rate: self.opts.learning_rate,
+            weight_decay: self.opts.weight_decay,
+            apply_update: true,
+        };
+        let before = self.gpu.now();
+        let run =
+            run_persistent_kernel(plan, &gs, &mut self.pool, model, &mut self.gpu, cfg);
+        let kernel_total = self.gpu.now() - before;
+        let fb_before = self.gpu.now();
+        apply_gemm_fallback(plan, &gs.layout, &self.pool, model, &mut self.gpu, cfg);
+        let fallback_total = self.gpu.now() - fb_before;
+
+        // --- lookup-table gradients (sparse, outside the cached set).
+        self.apply_lookup_updates(model, graph, &gs);
+
+        // --- pipelined wall-clock accounting (paper §III-C1: script
+        // generation for batch i overlaps device execution of batch i-1).
+        let cpu_time = t_graph + t_fwd + t_bwd;
+        let device_time = t_copy + kernel_total + fallback_total;
+        if self.opts.synchronous {
+            self.wall += cpu_time + device_time;
+            self.steady += cpu_time + device_time;
+            self.prev_device_time = SimTime::ZERO;
+        } else {
+            self.wall += cpu_time.max(self.prev_device_time);
+            self.steady += cpu_time.max(device_time);
+            self.prev_device_time = device_time;
+        }
+
+        self.phases.graph_construction += t_graph;
+        self.phases.forward_schedule += t_fwd;
+        self.phases.backward_schedule += t_bwd;
+        self.phases.script_copy += t_copy;
+        self.phases.kernel_exec += kernel_total;
+        self.phases.fallback_exec += fallback_total;
+        self.batches += 1;
+
+        // --- profile-guided rpw selection, driven by the pipelined batch
+        // cost (host and device overlap, so the binding constraint is their
+        // maximum — "average computation time" in the paper's words).
+        let batch_cost = cpu_time.max(device_time);
+        self.active = self.profile.record(batch_cost.as_ns()).min(self.plans.len() - 1);
+
+        std::mem::replace(&mut self.prev_loss, run.loss)
+    }
+
+    fn apply_lookup_updates(
+        &mut self,
+        model: &mut Model,
+        graph: &Graph,
+        gs: &generate::GeneratedScript,
+    ) {
+        let mut touched = false;
+        for (id, node) in graph.iter() {
+            if let Op::Lookup { table, index } = node.op {
+                let d = self.pool.slice(gs.layout.deriv_off[id.index()], node.dim).to_vec();
+                let row = model.lookup_mut(table).grad.row_mut(index);
+                for (g, v) in row.iter_mut().zip(&d) {
+                    *g += v;
+                }
+                touched = true;
+            }
+        }
+        if touched {
+            let lr = self.opts.learning_rate;
+            let wd = self.opts.weight_decay;
+            for lid in model.lookups().map(|(id, _)| id).collect::<Vec<_>>() {
+                let l = model.lookup_mut(lid);
+                for i in 0..l.table.len() {
+                    let g = l.grad.as_slice()[i];
+                    let v = l.table.as_slice()[i];
+                    l.table.as_mut_slice()[i] = v - lr * (g + wd * v);
+                }
+                l.grad.fill_zero();
+            }
+            self.tables.refresh(model, &mut self.pool);
+        }
+    }
+
+    /// Runs *inference*: forward propagation only, with weights register-
+    /// cached, one persistent kernel, and no parameter update. Returns the
+    /// value of `root` (any node). Synchronous — inference latency is the
+    /// quantity of interest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch exhausts the device memory pool.
+    pub fn infer(&mut self, model: &mut Model, graph: &Graph, root: NodeId) -> Vec<f32> {
+        let plan = &self.plans[self.active];
+        let t_graph = self.host.graph_construction(graph.len());
+        self.pool.reset();
+        let gs = generate::generate_forward_only(graph, root, plan, &mut self.pool, &self.tables)
+            .expect("batch exceeds the device memory pool");
+        let t_fwd = self.host.schedule(graph.len(), gs.forward_instructions);
+
+        let mut input_bytes = 0u64;
+        for (id, node) in graph.iter() {
+            if let Op::Input { values } = &node.op {
+                self.pool
+                    .slice_mut(gs.layout.value_off[id.index()], node.dim)
+                    .copy_from_slice(values);
+                input_bytes += (node.dim * 4) as u64;
+            }
+        }
+        let mut t_copy = SimTime::ZERO;
+        if input_bytes > 0 {
+            t_copy += self.gpu.h2d_copy(input_bytes, TrafficTag::Activation);
+        }
+        t_copy += self.gpu.h2d_copy(gs.scripts.encoded_bytes() as u64, TrafficTag::Script);
+
+        let cfg = ExecConfig {
+            learning_rate: self.opts.learning_rate,
+            weight_decay: self.opts.weight_decay,
+            apply_update: false,
+        };
+        let before = self.gpu.now();
+        run_persistent_kernel(plan, &gs, &mut self.pool, model, &mut self.gpu, cfg);
+        let kernel_total = self.gpu.now() - before;
+
+        let dim = graph.node(root).dim;
+        let out = self.pool.slice(gs.layout.value_off[root.index()], dim).to_vec();
+
+        // Inference is synchronous: latency accumulates without overlap.
+        let total = t_graph + t_fwd + t_copy + kernel_total;
+        self.wall += total;
+        self.steady += total;
+        self.phases.graph_construction += t_graph;
+        self.phases.forward_schedule += t_fwd;
+        self.phases.script_copy += t_copy;
+        self.phases.kernel_exec += kernel_total;
+        out
+    }
+
+    /// Waits for the in-flight device work and returns the most recent loss
+    /// — the paper's `hndl.sync_get_latest_loss()`.
+    pub fn sync_get_latest_loss(&mut self) -> f32 {
+        self.wall += self.prev_device_time;
+        self.prev_device_time = SimTime::ZERO;
+        self.prev_loss
+    }
+
+    /// The currently active kernel plan.
+    pub fn plan(&self) -> &KernelPlan {
+        &self.plans[self.active]
+    }
+
+    /// All compiled plans (one per candidate `rpw` under
+    /// [`RpwMode::Profile`]).
+    pub fn plans(&self) -> &[KernelPlan] {
+        &self.plans
+    }
+
+    /// Modeled JIT cost of the active plan (Table II reports this per
+    /// application).
+    pub fn jit_cost(&self) -> JitCost {
+        self.plans[self.active].jit_cost()
+    }
+
+    /// The simulated device (traffic counters, kernel statistics).
+    pub fn gpu(&self) -> &GpuSim {
+        &self.gpu
+    }
+
+    /// Pipelined simulated wall time over all batches so far. Call
+    /// [`Handle::sync_get_latest_loss`] first to drain in-flight device work
+    /// when computing end-to-end throughput.
+    pub fn wall_time(&self) -> SimTime {
+        self.wall
+    }
+
+    /// Steady-state pipelined time: `Σ max(host_i, device_i)` over batches.
+    /// This is the asymptotic training rate once the host-prepare /
+    /// device-execute pipeline of §III-C1 is saturated, free of the
+    /// fill/drain edge effects [`Handle::wall_time`] includes — use it for
+    /// throughput numbers.
+    pub fn steady_state_time(&self) -> SimTime {
+        self.steady
+    }
+
+    /// Accumulated per-phase times (Fig. 10).
+    pub fn phases(&self) -> &PhaseBreakdown {
+        &self.phases
+    }
+
+    /// Batches processed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// `true` once the profile-guided search has settled.
+    pub fn profile_settled(&self) -> bool {
+        self.profile.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyn_graph::Trainer;
+    use gpu_sim::DeviceConfig;
+
+    fn small_device() -> DeviceConfig {
+        let mut d = DeviceConfig::titan_v();
+        d.num_sms = 4;
+        d
+    }
+
+    fn toy_model() -> (Model, dyn_graph::ParamId, dyn_graph::ParamId) {
+        let mut m = Model::new(77);
+        let w = m.add_matrix("W", 24, 24);
+        let cls = m.add_matrix("cls", 4, 24);
+        (m, w, cls)
+    }
+
+    fn toy_graph(
+        m: &Model,
+        w: dyn_graph::ParamId,
+        cls: dyn_graph::ParamId,
+        steps: usize,
+        label: usize,
+    ) -> (Graph, NodeId) {
+        let mut g = Graph::new();
+        let mut h = g.input(vec![0.25; 24]);
+        for _ in 0..steps {
+            let z = g.matvec(m, w, h);
+            h = g.tanh(z);
+        }
+        let o = g.matvec(m, cls, h);
+        let loss = g.pick_neg_log_softmax(o, label);
+        (g, loss)
+    }
+
+    fn opts() -> VppsOptions {
+        VppsOptions { pool_capacity: 1 << 20, learning_rate: 0.05, ..VppsOptions::default() }
+    }
+
+    #[test]
+    fn fb_returns_stale_loss_and_sync_returns_latest() {
+        let (mut m, w, cls) = toy_model();
+        let mut h = Handle::new(&m, small_device(), opts()).unwrap();
+        let (g, l) = toy_graph(&m, w, cls, 2, 1);
+        let first = h.fb(&mut m, &g, l);
+        assert_eq!(first, 0.0, "first fb returns the (empty) previous loss");
+        let latest = h.sync_get_latest_loss();
+        assert!(latest > 0.0);
+        let (g2, l2) = toy_graph(&m, w, cls, 3, 2);
+        let second = h.fb(&mut m, &g2, l2);
+        assert_eq!(second, latest, "fb returns the previous batch's loss");
+    }
+
+    #[test]
+    fn training_matches_reference_executor() {
+        let (mut m, w, cls) = toy_model();
+        let mut ref_model = m.clone();
+        let mut h = Handle::new(&m, small_device(), opts()).unwrap();
+        let trainer = Trainer::new(0.05);
+        let mut vpps_losses = Vec::new();
+        let mut ref_losses = Vec::new();
+        for step in 0..6 {
+            let steps = 1 + step % 3; // dynamic shapes across batches
+            let (g, l) = toy_graph(&m, w, cls, steps, step % 4);
+            h.fb(&mut m, &g, l);
+            vpps_losses.push(h.sync_get_latest_loss());
+
+            let (rg, rl) = toy_graph(&ref_model, w, cls, steps, step % 4);
+            ref_losses.push(dyn_graph::exec::forward_backward(&rg, &mut ref_model, rl));
+            trainer.update(&mut ref_model);
+        }
+        for (a, b) in vpps_losses.iter().zip(&ref_losses) {
+            assert!((a - b).abs() < 5e-3, "vpps {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn one_kernel_launch_per_batch() {
+        let (mut m, w, cls) = toy_model();
+        let mut h = Handle::new(&m, small_device(), opts()).unwrap();
+        for i in 0..5 {
+            let (g, l) = toy_graph(&m, w, cls, 1 + i % 2, 0);
+            h.fb(&mut m, &g, l);
+        }
+        assert_eq!(h.gpu().stats().kernels_launched, 5);
+        assert_eq!(h.batches(), 5);
+    }
+
+    #[test]
+    fn wall_time_overlaps_host_and_device() {
+        let (mut m, w, cls) = toy_model();
+        let mut h = Handle::new(&m, small_device(), opts()).unwrap();
+        for _ in 0..4 {
+            let (g, l) = toy_graph(&m, w, cls, 2, 1);
+            h.fb(&mut m, &g, l);
+        }
+        let wall_before_sync = h.wall_time();
+        h.sync_get_latest_loss();
+        let wall = h.wall_time();
+        assert!(wall > wall_before_sync);
+        // Overlap: wall is less than the serial sum of host + device time.
+        let serial = h.phases().host_total() + h.phases().device_total();
+        assert!(wall <= serial + SimTime::from_ns(1.0), "wall {wall} vs serial {serial}");
+    }
+
+    #[test]
+    fn profile_mode_settles_on_a_plan() {
+        let (mut m, w, cls) = toy_model();
+        let mut o = opts();
+        o.rpw = RpwMode::Profile;
+        o.profile_batches_per_rpw = 1;
+        let mut h = Handle::new(&m, small_device(), o).unwrap();
+        assert!(h.plans().len() > 1, "profile mode compiles multiple kernels");
+        for _ in 0..(h.plans().len() + 2) {
+            let (g, l) = toy_graph(&m, w, cls, 2, 1);
+            h.fb(&mut m, &g, l);
+            if h.profile_settled() {
+                break;
+            }
+        }
+        assert!(h.profile_settled());
+        // Training still works after settling.
+        let (g, l) = toy_graph(&m, w, cls, 2, 1);
+        h.fb(&mut m, &g, l);
+        assert!(h.sync_get_latest_loss() > 0.0);
+    }
+
+    #[test]
+    fn jit_cost_is_exposed() {
+        let (m, _, _) = toy_model();
+        let h = Handle::new(&m, small_device(), opts()).unwrap();
+        assert!(h.jit_cost().program_compile.as_secs() > 0.0);
+        assert!(h.jit_cost().module_load.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn empty_model_is_rejected() {
+        let m = Model::new(0);
+        let err = Handle::new(&m, small_device(), opts()).unwrap_err();
+        assert_eq!(err, VppsError::NoParameters);
+    }
+
+    #[test]
+    fn phase_breakdown_accumulates() {
+        let (mut m, w, cls) = toy_model();
+        let mut h = Handle::new(&m, small_device(), opts()).unwrap();
+        let (g, l) = toy_graph(&m, w, cls, 2, 1);
+        h.fb(&mut m, &g, l);
+        let p = *h.phases();
+        assert!(p.graph_construction > SimTime::ZERO);
+        assert!(p.forward_schedule > SimTime::ZERO);
+        assert!(p.backward_schedule > SimTime::ZERO);
+        assert!(p.script_copy > SimTime::ZERO);
+        assert!(p.kernel_exec > SimTime::ZERO);
+    }
+}

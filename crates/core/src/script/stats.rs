@@ -1,0 +1,165 @@
+//! Script statistics: per-opcode histograms and per-VPP footprints.
+//!
+//! The host generates millions of instructions per training run; these
+//! summaries answer the questions that matter for tuning — how many
+//! instructions of each kind a batch produced, how evenly the streams are
+//! sized across virtual processors, and how much of the transfer is
+//! synchronization versus work.
+
+use std::collections::BTreeMap;
+
+use crate::script::isa::{Instr, ScriptSet};
+
+/// Aggregate statistics of one script set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptStats {
+    /// Instruction count per mnemonic, alphabetical.
+    pub per_opcode: BTreeMap<&'static str, usize>,
+    /// Encoded bytes per VPP (excluding the shared header).
+    pub bytes_per_vpp: Vec<usize>,
+    /// Total instructions.
+    pub total_instructions: usize,
+    /// Barrier (signal + wait) instructions.
+    pub sync_instructions: usize,
+    /// Matrix-chunk instructions (the register-cache operations).
+    pub matrix_instructions: usize,
+}
+
+impl ScriptStats {
+    /// Computes statistics for `scripts`.
+    pub fn collect(scripts: &ScriptSet) -> Self {
+        let mut per_opcode: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut bytes_per_vpp = Vec::with_capacity(scripts.num_vpps());
+        let mut total = 0usize;
+        let mut sync = 0usize;
+        let mut matrix = 0usize;
+        for v in 0..scripts.num_vpps() {
+            let mut bytes = 0usize;
+            for instr in scripts.script(v) {
+                *per_opcode.entry(instr.mnemonic()).or_default() += 1;
+                bytes += instr.encoded_len();
+                total += 1;
+                if instr.is_sync() {
+                    sync += 1;
+                }
+                if matches!(
+                    instr,
+                    Instr::MatVecChunk { .. }
+                        | Instr::TMatVecChunk { .. }
+                        | Instr::OuterChunk { .. }
+                        | Instr::AddBiasChunk { .. }
+                        | Instr::BiasGradChunk { .. }
+                ) {
+                    matrix += 1;
+                }
+            }
+            bytes_per_vpp.push(bytes);
+        }
+        Self {
+            per_opcode,
+            bytes_per_vpp,
+            total_instructions: total,
+            sync_instructions: sync,
+            matrix_instructions: matrix,
+        }
+    }
+
+    /// Fraction of instructions that are barriers — the synchronization tax
+    /// the level-barrier design pays.
+    pub fn sync_fraction(&self) -> f64 {
+        if self.total_instructions == 0 {
+            0.0
+        } else {
+            self.sync_instructions as f64 / self.total_instructions as f64
+        }
+    }
+
+    /// Largest / mean per-VPP encoded bytes — the stream-size imbalance
+    /// (1.0 = perfectly even).
+    pub fn byte_imbalance(&self) -> f64 {
+        let max = self.bytes_per_vpp.iter().copied().max().unwrap_or(0);
+        let sum: usize = self.bytes_per_vpp.iter().sum();
+        if sum == 0 {
+            1.0
+        } else {
+            max as f64 / (sum as f64 / self.bytes_per_vpp.len() as f64)
+        }
+    }
+
+    /// Renders a compact textual report.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} instructions ({} matrix, {} sync, {:.1}% sync), byte imbalance {:.2}",
+            self.total_instructions,
+            self.matrix_instructions,
+            self.sync_instructions,
+            100.0 * self.sync_fraction(),
+            self.byte_imbalance()
+        );
+        for (op, n) in &self.per_opcode {
+            let _ = writeln!(out, "  {op:<12} {n}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribute::ChunkId;
+    use vpps_tensor::PoolOffset;
+
+    fn sample() -> ScriptSet {
+        let mut s = ScriptSet::new(2);
+        s.push(0, Instr::MatVecChunk { chunk: ChunkId(0), len: 8, x: PoolOffset(0), y: PoolOffset(8) });
+        s.push(0, Instr::Signal { barrier: 0 });
+        s.push(1, Instr::Wait { barrier: 0, needed: 1 });
+        s.push(1, Instr::Tanh { len: 8, x: PoolOffset(8), y: PoolOffset(16) });
+        s.push(1, Instr::Tanh { len: 8, x: PoolOffset(16), y: PoolOffset(24) });
+        s
+    }
+
+    #[test]
+    fn histogram_counts_by_mnemonic() {
+        let stats = ScriptStats::collect(&sample());
+        assert_eq!(stats.per_opcode["tanh"], 2);
+        assert_eq!(stats.per_opcode["matvec"], 1);
+        assert_eq!(stats.per_opcode["signal"], 1);
+        assert_eq!(stats.total_instructions, 5);
+    }
+
+    #[test]
+    fn sync_and_matrix_classification() {
+        let stats = ScriptStats::collect(&sample());
+        assert_eq!(stats.sync_instructions, 2);
+        assert_eq!(stats.matrix_instructions, 1);
+        assert!((stats.sync_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_footprints_per_vpp() {
+        let stats = ScriptStats::collect(&sample());
+        // VPP 0: matvec (16) + signal (8) = 24; VPP 1: wait (12) + 2 tanh (12 each) = 36.
+        assert_eq!(stats.bytes_per_vpp, vec![24, 36]);
+        assert!(stats.byte_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn empty_set_is_degenerate_but_defined() {
+        let stats = ScriptStats::collect(&ScriptSet::new(3));
+        assert_eq!(stats.total_instructions, 0);
+        assert_eq!(stats.sync_fraction(), 0.0);
+        assert_eq!(stats.byte_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn report_mentions_every_opcode() {
+        let r = ScriptStats::collect(&sample()).report();
+        for op in ["tanh", "matvec", "signal", "wait"] {
+            assert!(r.contains(op), "report missing {op}: {r}");
+        }
+    }
+}

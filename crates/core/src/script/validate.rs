@@ -1,0 +1,240 @@
+//! Script diagnostics: barrier-protocol validation and a disassembler.
+//!
+//! Both exist for the same reason the real system would want them: the
+//! script generator is the correctness-critical host component — a wrong
+//! `needed` count deadlocks the GPU, a missing barrier silently races — so
+//! the protocol invariants are checkable on any [`ScriptSet`] before launch,
+//! and scripts are dumpable in human-readable form when debugging.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::script::isa::{Instr, ScriptSet};
+
+/// A violation of the signal/wait protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Waits on `barrier` disagree about how many signals satisfy it.
+    InconsistentNeeded {
+        /// The barrier index.
+        barrier: u32,
+    },
+    /// A barrier receives a different number of signals than its waiters
+    /// require — too few deadlocks, too many races the next level.
+    SignalCountMismatch {
+        /// The barrier index.
+        barrier: u32,
+        /// Signals emitted across all VPPs.
+        signals: u32,
+        /// Signals the waiters require.
+        needed: u32,
+    },
+    /// A VPP waits on a barrier it signals *before* waiting — legal — but a
+    /// VPP that waits on a barrier *after* signalling a later one inverts
+    /// the level order.
+    WaitAfterLaterSignal {
+        /// The VPP whose script is out of order.
+        vpp: usize,
+        /// The out-of-order barrier.
+        barrier: u32,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::InconsistentNeeded { barrier } => {
+                write!(f, "barrier {barrier}: waits disagree on the needed count")
+            }
+            ProtocolError::SignalCountMismatch { barrier, signals, needed } => write!(
+                f,
+                "barrier {barrier}: {signals} signals emitted but waiters need {needed}"
+            ),
+            ProtocolError::WaitAfterLaterSignal { vpp, barrier } => {
+                write!(f, "vpp {vpp}: waits on barrier {barrier} after signalling a later one")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+/// Checks the signal/wait protocol across a script set:
+///
+/// 1. all waits on a barrier agree on `needed`;
+/// 2. the number of signals per waited-on barrier equals `needed`;
+/// 3. within each VPP, barrier indices are non-decreasing (levels are
+///    emitted in order).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_protocol(scripts: &ScriptSet) -> Result<(), ProtocolError> {
+    let mut signal_count: HashMap<u32, u32> = HashMap::new();
+    let mut wait_needed: HashMap<u32, u32> = HashMap::new();
+    for v in 0..scripts.num_vpps() {
+        let mut last_barrier: Option<u32> = None;
+        for instr in scripts.script(v) {
+            match instr {
+                Instr::Signal { barrier } => {
+                    *signal_count.entry(*barrier).or_default() += 1;
+                    if last_barrier.is_some_and(|b| *barrier < b) {
+                        return Err(ProtocolError::WaitAfterLaterSignal { vpp: v, barrier: *barrier });
+                    }
+                    last_barrier = Some(*barrier);
+                }
+                Instr::Wait { barrier, needed } => {
+                    if let Some(prev) = wait_needed.insert(*barrier, *needed) {
+                        if prev != *needed {
+                            return Err(ProtocolError::InconsistentNeeded { barrier: *barrier });
+                        }
+                    }
+                    if last_barrier.is_some_and(|b| *barrier < b) {
+                        return Err(ProtocolError::WaitAfterLaterSignal { vpp: v, barrier: *barrier });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for (barrier, needed) in wait_needed {
+        let signals = signal_count.get(&barrier).copied().unwrap_or(0);
+        if signals != needed {
+            return Err(ProtocolError::SignalCountMismatch { barrier, signals, needed });
+        }
+    }
+    Ok(())
+}
+
+/// Renders a script set as human-readable assembly, one VPP per section.
+pub fn disassemble(scripts: &ScriptSet) -> String {
+    let mut out = String::new();
+    for v in 0..scripts.num_vpps() {
+        let script = scripts.script(v);
+        if script.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "vpp {v}: ({} instructions)", script.len());
+        for instr in script {
+            let line = match instr {
+                Instr::Signal { barrier } => format!("signal     b{barrier}"),
+                Instr::Wait { barrier, needed } => format!("wait       b{barrier} n={needed}"),
+                Instr::MatVecChunk { chunk, len, x, y } => {
+                    format!("matvec     c{} len={len} x={x} y={y}", chunk.0)
+                }
+                Instr::TMatVecChunk { chunk, len, dy, dx } => {
+                    format!("tmatvec    c{} len={len} dy={dy} dx={dx}", chunk.0)
+                }
+                Instr::OuterChunk { chunk, len, x, dy } => {
+                    format!("outer      c{} len={len} x={x} dy={dy}", chunk.0)
+                }
+                Instr::AddBiasChunk { chunk, len, x, y } => {
+                    format!("add_bias   c{} len={len} x={x} y={y}", chunk.0)
+                }
+                Instr::BiasGradChunk { chunk, len, dy } => {
+                    format!("bias_grad  c{} len={len} dy={dy}", chunk.0)
+                }
+                other => {
+                    // Element-wise / copy / loss ops share a compact form.
+                    format!("{:<10} len={}", other.mnemonic(), encoded_len_field(other))
+                }
+            };
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    out
+}
+
+fn encoded_len_field(i: &Instr) -> u32 {
+    match i {
+        Instr::Tanh { len, .. }
+        | Instr::Sigmoid { len, .. }
+        | Instr::Relu { len, .. }
+        | Instr::TanhBwd { len, .. }
+        | Instr::SigmoidBwd { len, .. }
+        | Instr::ReluBwd { len, .. }
+        | Instr::Add { len, .. }
+        | Instr::Sub { len, .. }
+        | Instr::AccAdd { len, .. }
+        | Instr::AccSub { len, .. }
+        | Instr::MulAcc { len, .. }
+        | Instr::CwiseMult { len, .. }
+        | Instr::Copy { len, .. }
+        | Instr::PickNls { len, .. }
+        | Instr::PickNlsBwd { len, .. } => *len,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpps_tensor::PoolOffset;
+
+    fn ok_set() -> ScriptSet {
+        let mut s = ScriptSet::new(2);
+        s.push(0, Instr::Tanh { len: 4, x: PoolOffset(0), y: PoolOffset(4) });
+        s.push(0, Instr::Signal { barrier: 0 });
+        s.push(1, Instr::Wait { barrier: 0, needed: 1 });
+        s.push(1, Instr::Copy { len: 4, src: PoolOffset(4), dst: PoolOffset(8) });
+        s
+    }
+
+    #[test]
+    fn valid_protocol_passes() {
+        assert_eq!(validate_protocol(&ok_set()), Ok(()));
+    }
+
+    #[test]
+    fn undersignalled_barrier_detected() {
+        let mut s = ok_set();
+        s.push(1, Instr::Wait { barrier: 1, needed: 3 });
+        s.push(0, Instr::Signal { barrier: 1 });
+        assert_eq!(
+            validate_protocol(&s),
+            Err(ProtocolError::SignalCountMismatch { barrier: 1, signals: 1, needed: 3 })
+        );
+    }
+
+    #[test]
+    fn inconsistent_needed_detected() {
+        let mut s = ok_set();
+        s.push(0, Instr::Wait { barrier: 0, needed: 2 });
+        assert_eq!(
+            validate_protocol(&s),
+            Err(ProtocolError::InconsistentNeeded { barrier: 0 })
+        );
+    }
+
+    #[test]
+    fn out_of_order_barriers_detected() {
+        let mut s = ScriptSet::new(1);
+        s.push(0, Instr::Signal { barrier: 3 });
+        s.push(0, Instr::Wait { barrier: 1, needed: 1 });
+        assert!(matches!(
+            validate_protocol(&s),
+            Err(ProtocolError::WaitAfterLaterSignal { vpp: 0, barrier: 1 })
+        ));
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let text = disassemble(&ok_set());
+        assert!(text.contains("vpp 0"));
+        assert!(text.contains("tanh"));
+        assert!(text.contains("signal     b0"));
+        assert!(text.contains("wait       b0 n=1"));
+        assert!(text.contains("copy"));
+    }
+
+    #[test]
+    fn empty_vpps_are_skipped_in_disassembly() {
+        let mut s = ScriptSet::new(4);
+        s.push(2, Instr::Signal { barrier: 0 });
+        let text = disassemble(&s);
+        assert!(!text.contains("vpp 0"));
+        assert!(text.contains("vpp 2"));
+    }
+}

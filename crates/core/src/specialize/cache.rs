@@ -1,0 +1,200 @@
+//! On-disk kernel cache (paper §IV-F).
+//!
+//! The paper suggests "having a database for compiled kernels in a
+//! non-volatile memory such as disk or SSD", noting that NVRTC binaries
+//! cannot be serialized — "only intermediate PTX can be stored". This cache
+//! implements exactly that contract: it persists the *generated source*
+//! (our PTX analogue) keyed by everything that determines the
+//! specialization — parameter shapes, device geometry and rows-per-warp.
+//! A cache hit skips the expensive program-compilation stage; the
+//! PTX-to-binary module load must still be paid, just as on real hardware.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use dyn_graph::Model;
+use gpu_sim::{DeviceConfig, SimTime};
+
+use crate::error::VppsError;
+use crate::specialize::{JitCost, KernelPlan};
+
+/// A directory-backed kernel cache.
+#[derive(Debug, Clone)]
+pub struct PlanCache {
+    dir: PathBuf,
+}
+
+impl PlanCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the directory.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(Self { dir: dir.as_ref().to_path_buf() })
+    }
+
+    /// The cache key for a `(model shapes, device, rpw)` specialization.
+    /// Everything that changes the generated kernel feeds the hash.
+    pub fn key(model: &Model, device: &DeviceConfig, rpw: usize) -> String {
+        // FNV-1a over the specialization inputs; no external dependencies.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for (_, p) in model.params() {
+            eat(p.name.as_bytes());
+            eat(&(p.value.rows() as u64).to_le_bytes());
+            eat(&(p.value.cols() as u64).to_le_bytes());
+        }
+        eat(device.name.as_bytes());
+        eat(&(device.num_sms as u64).to_le_bytes());
+        eat(&(device.registers_per_sm as u64).to_le_bytes());
+        eat(&(device.max_regs_per_thread as u64).to_le_bytes());
+        eat(&(rpw as u64).to_le_bytes());
+        format!("{h:016x}")
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.ptx"))
+    }
+
+    /// `true` if a kernel for this specialization is cached.
+    pub fn contains(&self, model: &Model, device: &DeviceConfig, rpw: usize) -> bool {
+        self.path_for(&Self::key(model, device, rpw)).exists()
+    }
+
+    /// Builds a plan, consulting the cache: on a hit the modeled
+    /// program-compilation cost drops to zero (only the module load
+    /// remains); on a miss the plan is built normally and its source stored.
+    ///
+    /// Returns the plan and whether the cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-construction failures; filesystem errors writing the
+    /// cache are reported via [`VppsError::PoolExhausted`]? No — cache write
+    /// failures are non-fatal and silently skipped (the plan is still
+    /// returned), matching a best-effort kernel database.
+    pub fn build(
+        &self,
+        model: &Model,
+        device: &DeviceConfig,
+        rpw: usize,
+    ) -> Result<(KernelPlan, bool), VppsError> {
+        let key = Self::key(model, device, rpw);
+        let path = self.path_for(&key);
+        let plan = KernelPlan::build(model, device, rpw)?;
+        if path.exists() {
+            // Validate the stored source actually matches this
+            // specialization (defends against hash collisions and stale
+            // format changes); mismatches are treated as misses.
+            if let Ok(stored) = fs::read_to_string(&path) {
+                if stored == plan.source().text() {
+                    return Ok((plan.with_cached_compile(), true));
+                }
+            }
+        }
+        // Best-effort store; failures leave the cache cold but harmless.
+        let _ = fs::write(&path, plan.source().text());
+        Ok((plan, false))
+    }
+
+    /// Number of cached kernels.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir).map(|d| d.count()).unwrap_or(0)
+    }
+
+    /// `true` if the cache holds no kernels.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl KernelPlan {
+    /// Marks this plan's program compilation as already paid (cache hit):
+    /// only the PTX→binary module load remains, per the paper's
+    /// serialization constraint.
+    pub fn with_cached_compile(mut self) -> Self {
+        let jit = self.jit_cost();
+        self.set_jit_cost(JitCost { program_compile: SimTime::ZERO, module_load: jit.module_load });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(hidden: usize) -> Model {
+        let mut m = Model::new(3);
+        m.add_matrix("W1", hidden, hidden);
+        m.add_matrix("W2", hidden, hidden);
+        m
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("vpps-plan-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn first_build_misses_second_hits() {
+        let cache = PlanCache::open(tmpdir("hit")).unwrap();
+        let m = model(64);
+        let dev = DeviceConfig::titan_v();
+        let (p1, hit1) = cache.build(&m, &dev, 1).unwrap();
+        assert!(!hit1);
+        assert!(p1.jit_cost().program_compile.as_secs() > 0.0);
+        let (p2, hit2) = cache.build(&m, &dev, 1).unwrap();
+        assert!(hit2);
+        assert_eq!(p2.jit_cost().program_compile, SimTime::ZERO);
+        // The module load is still paid, per the PTX-only constraint.
+        assert!(p2.jit_cost().module_load.as_secs() > 0.0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_specializations_get_different_keys() {
+        let dev = DeviceConfig::titan_v();
+        let k1 = PlanCache::key(&model(64), &dev, 1);
+        let k2 = PlanCache::key(&model(96), &dev, 1);
+        let k3 = PlanCache::key(&model(64), &dev, 2);
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        let k4 = PlanCache::key(&model(64), &DeviceConfig::pascal_small(), 1);
+        assert_ne!(k1, k4);
+    }
+
+    #[test]
+    fn stale_entries_are_treated_as_misses() {
+        let cache = PlanCache::open(tmpdir("stale")).unwrap();
+        let m = model(64);
+        let dev = DeviceConfig::titan_v();
+        let key = PlanCache::key(&m, &dev, 1);
+        fs::write(cache.path_for(&key), "not the right source").unwrap();
+        let (_, hit) = cache.build(&m, &dev, 1).unwrap();
+        assert!(!hit, "corrupted entry must not hit");
+        // And the entry is repaired for next time.
+        let (_, hit2) = cache.build(&m, &dev, 1).unwrap();
+        assert!(hit2);
+    }
+
+    #[test]
+    fn plans_from_cache_are_functionally_identical() {
+        let cache = PlanCache::open(tmpdir("ident")).unwrap();
+        let m = model(64);
+        let dev = DeviceConfig::titan_v();
+        let (p1, _) = cache.build(&m, &dev, 1).unwrap();
+        let (p2, _) = cache.build(&m, &dev, 1).unwrap();
+        assert_eq!(p1.distribution().used_slots(), p2.distribution().used_slots());
+        assert_eq!(p1.ctas_per_sm(), p2.ctas_per_sm());
+        assert_eq!(p1.source().text(), p2.source().text());
+    }
+}

@@ -1,0 +1,300 @@
+//! Forward-backward kernel specialization (paper §III-A).
+//!
+//! Before the training loop, VPPS builds a *kernel plan* for the model: the
+//! register distribution of every weight matrix (and gradient, capacity
+//! permitting), the CTA configuration, and the specialized kernel source that
+//! would be handed to NVRTC. On real hardware this step exists because
+//! register arrays must be indexed with compile-time literals; here the plan
+//! plays the identical role — it freezes every cached element's
+//! `(VPP, partition, slot)` before any batch is seen, and execution refuses
+//! anything not in the plan.
+
+pub mod cache;
+pub mod jit;
+pub mod source;
+
+use dyn_graph::Model;
+use gpu_sim::DeviceConfig;
+
+use crate::distribute::{DistGeometry, Distribution, ParamShape};
+use crate::error::VppsError;
+
+pub use cache::PlanCache;
+pub use jit::JitCost;
+pub use source::KernelSource;
+
+/// How gradients of cached matrices are accumulated (paper §III-C2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GradStrategy {
+    /// Gradients live in their own register partitions; the kernel performs
+    /// in-register outer products.
+    InRegister,
+    /// Registers are insufficient: the kernel stages `(dy, x)` pairs in the
+    /// DRAM pool and one dense GEMM per weight matrix produces the gradients
+    /// (the CUBLAS fallback).
+    GemmFallback,
+}
+
+/// A fully specialized forward-backward kernel plan for one model on one
+/// device.
+#[derive(Debug, Clone)]
+pub struct KernelPlan {
+    distribution: Distribution,
+    shapes: Vec<ParamShape>,
+    grad_strategy: GradStrategy,
+    source: KernelSource,
+    jit: JitCost,
+}
+
+impl KernelPlan {
+    /// Builds a plan for `model` on `device` with the given rows-per-warp.
+    ///
+    /// Configuration search order follows the paper's preferences:
+    /// 1. two CTAs per SM with in-register gradients (best occupancy),
+    /// 2. one CTA per SM with in-register gradients (more cache capacity),
+    /// 3. two CTAs per SM with the GEMM gradient fallback,
+    /// 4. one CTA per SM with the GEMM gradient fallback.
+    ///
+    /// # Errors
+    ///
+    /// * [`VppsError::NoParameters`] for models with no dense parameters.
+    /// * [`VppsError::ModelTooLarge`] / [`VppsError::RowTooLong`] if no
+    ///   configuration fits.
+    pub fn build(model: &Model, device: &DeviceConfig, rpw: usize) -> Result<Self, VppsError> {
+        Self::build_inner(model, device, rpw, None)
+    }
+
+    /// Builds a plan with a *forced* gradient strategy, bypassing the
+    /// automated §III-C2 decision — the gradient-strategy ablation. Still
+    /// prefers two CTAs per SM when the forced strategy fits.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelPlan::build`]; additionally fails if the forced
+    /// strategy cannot fit at all.
+    pub fn build_forced(
+        model: &Model,
+        device: &DeviceConfig,
+        rpw: usize,
+        strategy: GradStrategy,
+    ) -> Result<Self, VppsError> {
+        Self::build_inner(model, device, rpw, Some(strategy))
+    }
+
+    fn build_inner(
+        model: &Model,
+        device: &DeviceConfig,
+        rpw: usize,
+        forced: Option<GradStrategy>,
+    ) -> Result<Self, VppsError> {
+        let shapes: Vec<ParamShape> = model
+            .params()
+            .map(|(id, p)| ParamShape { id, rows: p.value.rows(), cols: p.value.cols() })
+            .collect();
+        if shapes.is_empty() {
+            return Err(VppsError::NoParameters);
+        }
+        let row_max = model.max_row_len();
+
+        let attempts: &[(usize, bool)] = match forced {
+            None => &[(2, true), (1, true), (2, false), (1, false)],
+            Some(GradStrategy::InRegister) => &[(2, true), (1, true)],
+            Some(GradStrategy::GemmFallback) => &[(2, false), (1, false)],
+        };
+        let mut last_err = VppsError::NoParameters;
+        for &(ctas_per_sm, cache_grads) in attempts {
+            let geometry = match DistGeometry::derive(device, ctas_per_sm, rpw, row_max) {
+                Ok(g) => g,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            match Distribution::build(&shapes, geometry, cache_grads) {
+                Ok(distribution) => {
+                    let grad_strategy = if cache_grads {
+                        GradStrategy::InRegister
+                    } else {
+                        GradStrategy::GemmFallback
+                    };
+                    let source = KernelSource::generate(model, &distribution, grad_strategy);
+                    let jit = JitCost::estimate(&source, &distribution);
+                    return Ok(Self { distribution, shapes, grad_strategy, source, jit });
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Every `rpw` for which [`KernelPlan::build`] succeeds on this model —
+    /// the candidate set of the profile-guided search (paper §III-A1: "rpw
+    /// has a limited number of valid integer options").
+    pub fn valid_rpws(model: &Model, device: &DeviceConfig) -> Vec<usize> {
+        let row_max = model.max_row_len();
+        if row_max == 0 {
+            return Vec::new();
+        }
+        let upper = DistGeometry::max_rpw(device, 1, row_max).max(1);
+        (1..=upper).filter(|&rpw| KernelPlan::build(model, device, rpw).is_ok()).collect()
+    }
+
+    /// A thinned candidate set for profiling: models with short rows can
+    /// have dozens of valid `rpw`s; compiling a kernel for each would blow
+    /// up the one-time JIT cost, so the search keeps a geometric ladder
+    /// (1, 2, 3, 4, 6, 8, 12, ...) capped at eight candidates.
+    pub fn candidate_rpws(model: &Model, device: &DeviceConfig) -> Vec<usize> {
+        let valid = Self::valid_rpws(model, device);
+        if valid.len() <= 8 {
+            return valid;
+        }
+        let mut out = Vec::new();
+        let mut next = 1usize;
+        for &rpw in &valid {
+            if rpw >= next {
+                out.push(rpw);
+                next = (rpw * 3 / 2).max(rpw + 1);
+            }
+            if out.len() == 8 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The register distribution.
+    pub fn distribution(&self) -> &Distribution {
+        &self.distribution
+    }
+
+    /// Shapes of the distributed parameters.
+    pub fn shapes(&self) -> &[ParamShape] {
+        &self.shapes
+    }
+
+    /// The gradient accumulation strategy chosen.
+    pub fn grad_strategy(&self) -> GradStrategy {
+        self.grad_strategy
+    }
+
+    /// The generated specialized kernel source.
+    pub fn source(&self) -> &KernelSource {
+        &self.source
+    }
+
+    /// Modeled JIT compilation cost (Table II).
+    pub fn jit_cost(&self) -> JitCost {
+        self.jit
+    }
+
+    pub(crate) fn set_jit_cost(&mut self, jit: JitCost) {
+        self.jit = jit;
+    }
+
+    /// CTAs per SM (occupancy: 2 → 25%, 1 → 12.5% on the Titan V).
+    pub fn ctas_per_sm(&self) -> usize {
+        self.distribution.geometry().ctas_per_sm
+    }
+
+    /// Rows per warp.
+    pub fn rpw(&self) -> usize {
+        self.distribution.geometry().rpw
+    }
+
+    /// Total virtual persistent processors the kernel launches.
+    pub fn total_vpps(&self) -> usize {
+        self.distribution.geometry().total_vpps()
+    }
+
+    /// Bytes of parameter values loaded from DRAM in the kernel prologue
+    /// (master copy → registers) — the per-launch weight traffic of Table I.
+    pub fn prologue_weight_bytes(&self) -> u64 {
+        self.shapes.iter().map(|s| (s.rows * s.cols * 4) as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_lstm_like(hidden: usize) -> Model {
+        let mut m = Model::new(7);
+        for i in 0..13 {
+            m.add_matrix(&format!("U{i}"), hidden, hidden);
+        }
+        for i in 0..5 {
+            m.add_bias(&format!("b{i}"), hidden);
+        }
+        m.add_matrix("cls", 5, hidden);
+        m
+    }
+
+    #[test]
+    fn hidden_256_gets_two_ctas_with_register_grads() {
+        let plan = KernelPlan::build(&tree_lstm_like(256), &DeviceConfig::titan_v(), 1).unwrap();
+        assert_eq!(plan.ctas_per_sm(), 2);
+        assert_eq!(plan.grad_strategy(), GradStrategy::InRegister);
+        assert_eq!(plan.total_vpps(), 160);
+    }
+
+    #[test]
+    fn hidden_384_falls_back_to_one_cta() {
+        // Paper §IV-C: hidden 384 drops occupancy from 25% to 12.5%.
+        let plan = KernelPlan::build(&tree_lstm_like(384), &DeviceConfig::titan_v(), 1).unwrap();
+        assert_eq!(plan.ctas_per_sm(), 1);
+        assert_eq!(plan.grad_strategy(), GradStrategy::InRegister);
+    }
+
+    #[test]
+    fn oversized_model_uses_gemm_fallback() {
+        // Enough 512-wide matrices that value+grad chunks exceed one-CTA
+        // capacity but values alone fit.
+        let mut m = Model::new(0);
+        for i in 0..9 {
+            m.add_matrix(&format!("W{i}"), 512, 512);
+        }
+        let plan = KernelPlan::build(&m, &DeviceConfig::titan_v(), 1).unwrap();
+        assert_eq!(plan.grad_strategy(), GradStrategy::GemmFallback);
+        assert!(plan
+            .distribution()
+            .grad_chunks_of(dyn_graph::ParamId::from_index(0))
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_model_is_rejected() {
+        let m = Model::new(0);
+        assert_eq!(
+            KernelPlan::build(&m, &DeviceConfig::titan_v(), 1).unwrap_err(),
+            VppsError::NoParameters
+        );
+    }
+
+    #[test]
+    fn valid_rpws_form_a_contiguous_range_from_one() {
+        let m = tree_lstm_like(256);
+        let rpws = KernelPlan::valid_rpws(&m, &DeviceConfig::titan_v());
+        assert!(!rpws.is_empty());
+        assert_eq!(rpws[0], 1);
+        for w in rpws.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+        // 256-long rows, one CTA: 192/8 = 24 max by budget.
+        assert!(*rpws.last().unwrap() <= 24);
+    }
+
+    #[test]
+    fn prologue_bytes_equal_dense_param_bytes() {
+        let m = tree_lstm_like(256);
+        let plan = KernelPlan::build(&m, &DeviceConfig::titan_v(), 1).unwrap();
+        assert_eq!(plan.prologue_weight_bytes(), m.dense_param_bytes());
+    }
+
+    #[test]
+    fn larger_rpw_means_fewer_bigger_chunks() {
+        let m = tree_lstm_like(256);
+        let p1 = KernelPlan::build(&m, &DeviceConfig::titan_v(), 1).unwrap();
+        let p4 = KernelPlan::build(&m, &DeviceConfig::titan_v(), 4).unwrap();
+        assert!(p4.distribution().used_slots() < p1.distribution().used_slots());
+    }
+}

@@ -1,0 +1,167 @@
+//! Grammar-driven parse-tree generation.
+//!
+//! The plain [`crate::treebank`] generator brackets sentences uniformly at
+//! random, which produces trees whose expected depth is shallower than real
+//! constituency parses. This module generates trees from a tiny stochastic
+//! binary grammar instead: a *right-branching bias* parameter reproduces the
+//! characteristic spine-plus-modifier shape of English parses, giving the
+//! Tree-LSTM / RvNN workloads a depth distribution closer to the Stanford
+//! Sentiment Treebank the paper trains on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::treebank::{ParseTree, TreeSample};
+use crate::zipf::Zipf;
+
+/// Configuration for the grammar generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrammarConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Minimum sentence length in tokens.
+    pub min_len: usize,
+    /// Maximum sentence length in tokens.
+    pub max_len: usize,
+    /// Number of sentiment classes.
+    pub classes: usize,
+    /// Probability mass pushed toward right-branching splits, in `[0, 1]`:
+    /// `0.0` splits uniformly (like the plain treebank), `1.0` always splits
+    /// after the first token (a pure right spine).
+    pub right_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GrammarConfig {
+    fn default() -> Self {
+        Self { vocab: 10_000, min_len: 4, max_len: 40, classes: 5, right_bias: 0.6, seed: 0x6AA }
+    }
+}
+
+/// A deterministic stream of grammar-shaped [`TreeSample`]s.
+#[derive(Debug, Clone)]
+pub struct GrammarTreebank {
+    cfg: GrammarConfig,
+    zipf: Zipf,
+    rng: StdRng,
+}
+
+impl GrammarTreebank {
+    /// Creates a generator from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty length range, fewer than two classes, or a bias
+    /// outside `[0, 1]`.
+    pub fn new(cfg: GrammarConfig) -> Self {
+        assert!(cfg.min_len >= 1 && cfg.min_len <= cfg.max_len, "invalid length range");
+        assert!(cfg.classes >= 2, "need at least two classes");
+        assert!((0.0..=1.0).contains(&cfg.right_bias), "bias must be in [0, 1]");
+        Self { cfg, zipf: Zipf::new(cfg.vocab, 1.05), rng: StdRng::seed_from_u64(cfg.seed) }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GrammarConfig {
+        &self.cfg
+    }
+
+    /// Generates the next sample.
+    pub fn sample(&mut self) -> TreeSample {
+        let len = self.rng.gen_range(self.cfg.min_len..=self.cfg.max_len);
+        let tokens: Vec<usize> = (0..len).map(|_| self.zipf.sample(&mut self.rng)).collect();
+        let tree = self.build(&tokens);
+        let label = self.rng.gen_range(0..self.cfg.classes);
+        TreeSample { tree, label }
+    }
+
+    /// Generates `n` samples.
+    pub fn samples(&mut self, n: usize) -> Vec<TreeSample> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+
+    fn build(&mut self, tokens: &[usize]) -> ParseTree {
+        match tokens {
+            [] => unreachable!("sentences are non-empty"),
+            [token] => ParseTree::Leaf { token: *token },
+            _ => {
+                let split = if self.rng.gen_bool(self.cfg.right_bias) {
+                    1 // head-first: one token peels off, the rest recurses right
+                } else {
+                    self.rng.gen_range(1..tokens.len())
+                };
+                ParseTree::Node {
+                    left: Box::new(self.build(&tokens[..split])),
+                    right: Box::new(self.build(&tokens[split..])),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::treebank::{Treebank, TreebankConfig};
+
+    fn mean_height(samples: &[TreeSample]) -> f64 {
+        samples.iter().map(|s| s.tree.height() as f64).sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = GrammarTreebank::new(GrammarConfig::default());
+        let mut b = GrammarTreebank::new(GrammarConfig::default());
+        assert_eq!(a.samples(5), b.samples(5));
+    }
+
+    #[test]
+    fn preserves_tokens_and_length() {
+        let cfg = GrammarConfig { min_len: 5, max_len: 9, ..Default::default() };
+        let mut g = GrammarTreebank::new(cfg);
+        for s in g.samples(50) {
+            let n = s.tree.len();
+            assert!((5..=9).contains(&n));
+            assert!(s.tree.tokens().iter().all(|&t| t < cfg.vocab));
+        }
+    }
+
+    #[test]
+    fn right_bias_deepens_trees() {
+        let fixed = |bias| {
+            let mut g = GrammarTreebank::new(GrammarConfig {
+                min_len: 16,
+                max_len: 16,
+                right_bias: bias,
+                ..Default::default()
+            });
+            mean_height(&g.samples(60))
+        };
+        let shallow = fixed(0.0);
+        let deep = fixed(1.0);
+        assert!(
+            deep > shallow + 2.0,
+            "full right bias ({deep}) should be much deeper than uniform ({shallow})"
+        );
+        // A pure right spine over 16 tokens has height exactly 16.
+        assert!((deep - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_bias_sits_between_uniform_and_spine() {
+        let mut grammar = GrammarTreebank::new(GrammarConfig {
+            min_len: 16,
+            max_len: 16,
+            ..Default::default()
+        });
+        let mut uniform = Treebank::new(TreebankConfig {
+            min_len: 16,
+            max_len: 16,
+            ..Default::default()
+        });
+        let g = mean_height(&grammar.samples(60));
+        let u = mean_height(&uniform.samples(60));
+        assert!(g > u, "biased grammar ({g}) should be deeper on average than uniform ({u})");
+        assert!(g < 16.0, "but not a pure spine");
+    }
+}

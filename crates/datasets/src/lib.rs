@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Synthetic dataset generators.
+//!
+//! The paper trains on the Stanford Sentiment Treebank (parse-tree-shaped
+//! inputs for Tree-LSTM, RvNN, TD-RNN/TD-LSTM) and the WikiNER English
+//! corpus (tagged sentences for the BiLSTM taggers). Neither corpus ships
+//! with this reproduction, so these generators produce synthetic equivalents
+//! that preserve the *structural* properties the experiments stress:
+//!
+//! * [`treebank`] — sentences with random binary parse trees whose length
+//!   distribution matches SST summary statistics; tree shape varies per
+//!   input, which is what defeats static batching.
+//! * [`grammar`] — the same, with a right-branching stochastic grammar that
+//!   matches real constituency-parse depth distributions more closely.
+//! * [`tagged`] — tagged sentences with Zipf-distributed word frequencies,
+//!   so a realistic fraction of words is *rare* (frequency < 5) and triggers
+//!   the character-LSTM path of BiLSTMwChar exactly as in the paper.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod grammar;
+pub mod tagged;
+pub mod treebank;
+pub mod zipf;
+
+pub use grammar::{GrammarConfig, GrammarTreebank};
+pub use tagged::{TaggedCorpus, TaggedCorpusConfig, TaggedSentence};
+pub use treebank::{ParseTree, TreeSample, Treebank, TreebankConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,239 @@
+//! Synthetic tagged corpus (WikiNER stand-in).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// One tagged sentence: parallel word/tag sequences plus per-word character
+/// sequences (for the character-LSTM path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedSentence {
+    /// Word vocabulary indices.
+    pub words: Vec<usize>,
+    /// Tag indices, one per word.
+    pub tags: Vec<usize>,
+    /// Character indices per word.
+    pub chars: Vec<Vec<usize>>,
+}
+
+impl TaggedSentence {
+    /// Sentence length in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` for an empty sentence (never generated).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaggedCorpusConfig {
+    /// Word vocabulary size.
+    pub vocab: usize,
+    /// Character vocabulary size.
+    pub char_vocab: usize,
+    /// Number of NER tags (WikiNER uses a handful of entity classes in
+    /// BIO encoding).
+    pub tags: usize,
+    /// Number of sentences to pre-generate (frequency statistics are
+    /// computed over this corpus, as the paper's rare-word rule requires
+    /// corpus-level counts).
+    pub sentences: usize,
+    /// Minimum sentence length.
+    pub min_len: usize,
+    /// Maximum sentence length.
+    pub max_len: usize,
+    /// Characters per word, minimum.
+    pub min_word_chars: usize,
+    /// Characters per word, maximum.
+    pub max_word_chars: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TaggedCorpusConfig {
+    fn default() -> Self {
+        Self {
+            vocab: 20_000,
+            char_vocab: 40,
+            tags: 9,
+            sentences: 512,
+            min_len: 5,
+            max_len: 35,
+            min_word_chars: 2,
+            max_word_chars: 12,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// A pre-generated corpus with corpus-level word frequencies.
+#[derive(Debug, Clone)]
+pub struct TaggedCorpus {
+    sentences: Vec<TaggedSentence>,
+    word_freq: Vec<u32>,
+    cfg: TaggedCorpusConfig,
+}
+
+/// Corpus frequency below which a word is *rare* and the BiLSTMwChar model
+/// builds its embedding with a character LSTM (paper §IV-E: "for words with
+/// a frequency less than 5 in the corpus").
+pub const RARE_WORD_THRESHOLD: u32 = 5;
+
+impl TaggedCorpus {
+    /// Generates the corpus described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty length range or zero-sized vocabularies.
+    pub fn generate(cfg: TaggedCorpusConfig) -> Self {
+        assert!(cfg.min_len >= 1 && cfg.min_len <= cfg.max_len, "invalid length range");
+        assert!(cfg.min_word_chars >= 1 && cfg.min_word_chars <= cfg.max_word_chars);
+        assert!(cfg.tags >= 2, "need at least two tags");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let zipf = Zipf::new(cfg.vocab, 1.05);
+        let mut word_freq = vec![0u32; cfg.vocab];
+        // Word -> deterministic character spelling (same word, same chars).
+        let mut spellings: Vec<Option<Vec<usize>>> = vec![None; cfg.vocab];
+        let mut sentences = Vec::with_capacity(cfg.sentences);
+        for _ in 0..cfg.sentences {
+            let len = rng.gen_range(cfg.min_len..=cfg.max_len);
+            let mut words = Vec::with_capacity(len);
+            let mut tags = Vec::with_capacity(len);
+            let mut chars = Vec::with_capacity(len);
+            for _ in 0..len {
+                let w = zipf.sample(&mut rng);
+                word_freq[w] += 1;
+                let spelling = spellings[w]
+                    .get_or_insert_with(|| {
+                        let n = rng.gen_range(cfg.min_word_chars..=cfg.max_word_chars);
+                        (0..n).map(|_| rng.gen_range(0..cfg.char_vocab)).collect()
+                    })
+                    .clone();
+                words.push(w);
+                tags.push(rng.gen_range(0..cfg.tags));
+                chars.push(spelling);
+            }
+            sentences.push(TaggedSentence { words, tags, chars });
+        }
+        Self { sentences, word_freq, cfg }
+    }
+
+    /// The generated sentences.
+    pub fn sentences(&self) -> &[TaggedSentence] {
+        &self.sentences
+    }
+
+    /// Corpus frequency of a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is outside the vocabulary.
+    pub fn frequency(&self, word: usize) -> u32 {
+        self.word_freq[word]
+    }
+
+    /// `true` if `word` is rare (frequency < [`RARE_WORD_THRESHOLD`]).
+    pub fn is_rare(&self, word: usize) -> bool {
+        self.word_freq[word] < RARE_WORD_THRESHOLD
+    }
+
+    /// Fraction of *word occurrences* in the corpus that are rare — the knob
+    /// that controls how much extra char-LSTM structure BiLSTMwChar builds.
+    pub fn rare_occurrence_fraction(&self) -> f64 {
+        let mut rare = 0u64;
+        let mut total = 0u64;
+        for s in &self.sentences {
+            for &w in &s.words {
+                total += 1;
+                if self.is_rare(w) {
+                    rare += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            rare as f64 / total as f64
+        }
+    }
+
+    /// The configuration used to generate the corpus.
+    pub fn config(&self) -> &TaggedCorpusConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TaggedCorpusConfig {
+        TaggedCorpusConfig { sentences: 64, vocab: 2_000, ..Default::default() }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TaggedCorpus::generate(small());
+        let b = TaggedCorpus::generate(small());
+        assert_eq!(a.sentences(), b.sentences());
+    }
+
+    #[test]
+    fn parallel_sequences_align() {
+        let c = TaggedCorpus::generate(small());
+        for s in c.sentences() {
+            assert_eq!(s.words.len(), s.tags.len());
+            assert_eq!(s.words.len(), s.chars.len());
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn frequencies_match_actual_counts() {
+        let c = TaggedCorpus::generate(small());
+        let mut counts = vec![0u32; c.config().vocab];
+        for s in c.sentences() {
+            for &w in &s.words {
+                counts[w] += 1;
+            }
+        }
+        assert_eq!(counts, (0..c.config().vocab).map(|w| c.frequency(w)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn corpus_contains_rare_and_common_words() {
+        let c = TaggedCorpus::generate(small());
+        let frac = c.rare_occurrence_fraction();
+        assert!(frac > 0.02, "need some rare occurrences, got {frac}");
+        assert!(frac < 0.9, "most occurrences should be common, got {frac}");
+    }
+
+    #[test]
+    fn spellings_are_stable_per_word() {
+        let c = TaggedCorpus::generate(small());
+        let mut seen: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+        for s in c.sentences() {
+            for (w, ch) in s.words.iter().zip(&s.chars) {
+                let entry = seen.entry(*w).or_insert_with(|| ch.clone());
+                assert_eq!(entry, ch, "word {w} spelled inconsistently");
+            }
+        }
+    }
+
+    #[test]
+    fn chars_and_tags_in_range() {
+        let c = TaggedCorpus::generate(small());
+        for s in c.sentences() {
+            assert!(s.tags.iter().all(|&t| t < c.config().tags));
+            for ch in &s.chars {
+                assert!(ch.iter().all(|&x| x < c.config().char_vocab));
+                assert!(!ch.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Synthetic sentiment treebank (Stanford Sentiment Treebank stand-in).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// A binary parse tree over token indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTree {
+    /// A word.
+    Leaf {
+        /// Vocabulary index.
+        token: usize,
+    },
+    /// An internal constituent.
+    Node {
+        /// Left child.
+        left: Box<ParseTree>,
+        /// Right child.
+        right: Box<ParseTree>,
+    },
+}
+
+impl ParseTree {
+    /// Number of leaves (sentence length).
+    pub fn len(&self) -> usize {
+        match self {
+            ParseTree::Leaf { .. } => 1,
+            ParseTree::Node { left, right } => left.len() + right.len(),
+        }
+    }
+
+    /// `true` only for a degenerate empty tree — never produced here, but
+    /// part of the `len`/`is_empty` pair.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Height of the tree (a leaf has height 1).
+    pub fn height(&self) -> usize {
+        match self {
+            ParseTree::Leaf { .. } => 1,
+            ParseTree::Node { left, right } => 1 + left.height().max(right.height()),
+        }
+    }
+
+    /// Leaf tokens in order.
+    pub fn tokens(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        self.collect_tokens(&mut out);
+        out
+    }
+
+    fn collect_tokens(&self, out: &mut Vec<usize>) {
+        match self {
+            ParseTree::Leaf { token } => out.push(*token),
+            ParseTree::Node { left, right } => {
+                left.collect_tokens(out);
+                right.collect_tokens(out);
+            }
+        }
+    }
+}
+
+/// One training sample: a parse tree and its sentiment label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeSample {
+    /// The sentence's binary parse tree.
+    pub tree: ParseTree,
+    /// Sentiment class (`0..classes`).
+    pub label: usize,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreebankConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Minimum sentence length in tokens.
+    pub min_len: usize,
+    /// Maximum sentence length in tokens (SST sentences average ≈19 tokens;
+    /// the default range 4..=40 brackets that).
+    pub max_len: usize,
+    /// Number of sentiment classes (SST uses 5).
+    pub classes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TreebankConfig {
+    fn default() -> Self {
+        Self { vocab: 10_000, min_len: 4, max_len: 40, classes: 5, seed: 0xA11CE }
+    }
+}
+
+/// A deterministic stream of [`TreeSample`]s with varying tree shapes.
+#[derive(Debug, Clone)]
+pub struct Treebank {
+    cfg: TreebankConfig,
+    zipf: Zipf,
+    rng: StdRng,
+}
+
+impl Treebank {
+    /// Creates a generator from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length range is empty or the vocabulary is.
+    pub fn new(cfg: TreebankConfig) -> Self {
+        assert!(cfg.min_len >= 1 && cfg.min_len <= cfg.max_len, "invalid length range");
+        assert!(cfg.classes >= 2, "need at least two sentiment classes");
+        let zipf = Zipf::new(cfg.vocab, 1.05);
+        Self { cfg, zipf, rng: StdRng::seed_from_u64(cfg.seed) }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TreebankConfig {
+        &self.cfg
+    }
+
+    /// Generates the next sample.
+    pub fn sample(&mut self) -> TreeSample {
+        let len = self.rng.gen_range(self.cfg.min_len..=self.cfg.max_len);
+        let tokens: Vec<usize> = (0..len).map(|_| self.zipf.sample(&mut self.rng)).collect();
+        let tree = random_tree(&tokens, &mut self.rng);
+        let label = self.rng.gen_range(0..self.cfg.classes);
+        TreeSample { tree, label }
+    }
+
+    /// Generates `n` samples.
+    pub fn samples(&mut self, n: usize) -> Vec<TreeSample> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+/// Builds a random binary bracketing over `tokens`.
+fn random_tree(tokens: &[usize], rng: &mut StdRng) -> ParseTree {
+    match tokens {
+        [] => unreachable!("sentences are non-empty"),
+        [token] => ParseTree::Leaf { token: *token },
+        _ => {
+            let split = rng.gen_range(1..tokens.len());
+            ParseTree::Node {
+                left: Box::new(random_tree(&tokens[..split], rng)),
+                right: Box::new(random_tree(&tokens[split..], rng)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let mut a = Treebank::new(TreebankConfig::default());
+        let mut b = Treebank::new(TreebankConfig::default());
+        assert_eq!(a.samples(5), b.samples(5));
+    }
+
+    #[test]
+    fn lengths_respect_configured_range() {
+        let cfg = TreebankConfig { min_len: 3, max_len: 9, ..Default::default() };
+        let mut t = Treebank::new(cfg);
+        for s in t.samples(100) {
+            let len = s.tree.len();
+            assert!((3..=9).contains(&len), "length {len} out of range");
+        }
+    }
+
+    #[test]
+    fn labels_are_in_class_range() {
+        let mut t = Treebank::new(TreebankConfig::default());
+        for s in t.samples(100) {
+            assert!(s.label < 5);
+        }
+    }
+
+    #[test]
+    fn tree_structure_varies_across_inputs() {
+        // The defining property of a dynamic-net workload: same length can
+        // yield different tree shapes.
+        let cfg = TreebankConfig { min_len: 8, max_len: 8, ..Default::default() };
+        let mut t = Treebank::new(cfg);
+        let samples = t.samples(50);
+        let heights: std::collections::BTreeSet<usize> =
+            samples.iter().map(|s| s.tree.height()).collect();
+        assert!(heights.len() > 1, "tree shapes should vary, got heights {heights:?}");
+    }
+
+    #[test]
+    fn internal_nodes_equal_leaves_minus_one() {
+        fn internal(t: &ParseTree) -> usize {
+            match t {
+                ParseTree::Leaf { .. } => 0,
+                ParseTree::Node { left, right } => 1 + internal(left) + internal(right),
+            }
+        }
+        let mut t = Treebank::new(TreebankConfig::default());
+        for s in t.samples(30) {
+            assert_eq!(internal(&s.tree) + 1, s.tree.len());
+        }
+    }
+
+    #[test]
+    fn tokens_are_in_vocab() {
+        let cfg = TreebankConfig { vocab: 50, ..Default::default() };
+        let mut t = Treebank::new(cfg);
+        for s in t.samples(30) {
+            assert!(s.tree.tokens().iter().all(|&tok| tok < 50));
+        }
+    }
+}

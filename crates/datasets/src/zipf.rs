@@ -1,0 +1,97 @@
+//! Zipf-distributed sampling over a finite vocabulary.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf(s) sampler over ranks `0..n`: rank `k` has weight `1/(k+1)^s`.
+///
+/// Natural-language token frequencies are famously Zipfian; sampling words
+/// this way reproduces the heavy head / long tail that determines how many
+/// *rare* words (paper: corpus frequency < 5) a corpus contains.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "vocabulary must be non-empty");
+        assert!(s.is_finite() && s > 0.0, "exponent must be positive");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` if the sampler has no ranks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples one rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn head_ranks_dominate() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[500].saturating_sub(1));
+        // Long tail exists: many ranks seen only rarely.
+        let rare = counts.iter().filter(|&&c| c > 0 && c < 5).count();
+        assert!(rare > 100, "expected a long tail of rare words, got {rare}");
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        let z = Zipf::new(7, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = Zipf::new(100, 1.2);
+        let a: Vec<usize> =
+            (0..50).map(|_| z.sample(&mut StdRng::seed_from_u64(3))).collect();
+        let b: Vec<usize> =
+            (0..50).map(|_| z.sample(&mut StdRng::seed_from_u64(3))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vocab_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

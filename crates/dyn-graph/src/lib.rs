@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! A DyNet-like dynamic computation-graph framework with reverse-mode
+//! autodiff.
+//!
+//! The VPPS paper is built *inside* DyNet: models are expressed as
+//! per-input computation graphs constructed on the fly, parameters live in a
+//! model object shared across graphs, and training repeatedly runs
+//! forward/backward/update over fresh graphs. This crate reproduces the parts
+//! of DyNet the paper's system and baselines rely on:
+//!
+//! * [`Model`] — the parameter collection (weight matrices, bias rows,
+//!   embedding lookup tables) with values and gradients.
+//! * [`Graph`] — a per-input (or per-batch) directed acyclic computation
+//!   graph built through expression-style methods ([`Graph::matvec`],
+//!   [`Graph::tanh`], ...), supporting *dynamic* shapes: every input may
+//!   build a differently-shaped graph.
+//! * [`levels`] — the max-depth-from-leaves level sort both the paper's
+//!   script generator (§III-B1) and the depth-based batching baseline use.
+//! * [`exec`] — a host-side reference executor: forward evaluation and
+//!   reverse-mode backpropagation, the semantic ground truth every simulated
+//!   executor in the workspace is tested against.
+//! * [`Trainer`] — plain SGD with optional weight decay.
+//!
+//! # Example: a tiny dynamic net
+//!
+//! ```
+//! use dyn_graph::{Graph, Model, exec};
+//!
+//! let mut model = Model::new(42);
+//! let w = model.add_matrix("W", 4, 3);
+//! let mut g = Graph::new();
+//! let x = g.input(vec![1.0, -0.5, 0.25]);
+//! let h = g.matvec(&model, w, x);
+//! let y = g.tanh(h);
+//! let loss = g.pick_neg_log_softmax(y, 2);
+//! let values = exec::forward(&g, &model);
+//! assert_eq!(values[y.index()].len(), 4);
+//! assert!(values[loss.index()][0] > 0.0);
+//! ```
+
+pub mod exec;
+pub mod graph;
+pub mod levels;
+pub mod op;
+pub mod params;
+pub mod serialize;
+pub mod trainer;
+
+pub use graph::{Graph, NodeId};
+pub use op::{Op, OpKind};
+pub use params::{LookupId, Model, ParamId};
+pub use serialize::{load_model, save_model, LoadModelError};
+pub use trainer::Trainer;

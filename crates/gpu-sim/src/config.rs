@@ -1,0 +1,172 @@
+//! Device descriptions.
+
+/// Description of a simulated GPU.
+///
+/// The default experimental device is [`DeviceConfig::titan_v`], matching the
+/// paper's §IV testbed (Nvidia Titan V: Volta, CC 7.0, 80 SMs × 256 KB
+/// register file, PCIe 3.0 ×16 host link).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// 32-bit registers per SM (256 KB → 65 536 registers).
+    pub registers_per_sm: usize,
+    /// Maximum architected registers addressable by one thread (255 on
+    /// Volta — the constraint that forces ≥256 resident threads for full
+    /// register-file utilization, paper §III-A1).
+    pub max_regs_per_thread: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Shared memory per SM in bytes (script staging buffer).
+    pub shared_mem_per_sm_bytes: usize,
+    /// SM clock in GHz.
+    pub clock_ghz: f64,
+    /// Aggregate DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gb_s: f64,
+    /// DRAM access latency in nanoseconds (charged once per dependent
+    /// access burst).
+    pub dram_latency_ns: f64,
+    /// Fraction of aggregate DRAM bandwidth one SM can saturate by itself.
+    /// A handful of SMs can pull far more than their 1/num_sms share; this is
+    /// what makes severely under-occupied kernels memory-latency-bound rather
+    /// than bandwidth-bound.
+    pub per_sm_bandwidth_fraction: f64,
+    /// FP32 FMA throughput per SM per cycle, counted as FLOPs (64 FP32
+    /// cores × 2 for FMA on Volta).
+    pub flops_per_sm_per_cycle: f64,
+    /// Fixed host+device overhead of launching one kernel, microseconds.
+    pub kernel_launch_overhead_us: f64,
+    /// Effective host-to-device copy bandwidth in GB/s.
+    pub pcie_bandwidth_gb_s: f64,
+    /// Host-to-device copy fixed latency in microseconds.
+    pub pcie_latency_us: f64,
+    /// Effective cost of one device-wide barrier arrival (signal
+    /// instruction): the global atomicAdd-plus-threadfence pair and the
+    /// propagation skew of releasing every polling CTA. Device-wide software
+    /// barriers over ~160 persistent CTAs cost microseconds on real hardware.
+    pub atomic_ns: f64,
+    /// Per-instruction decode/dispatch overhead of the script interpreter
+    /// loop, nanoseconds.
+    pub decode_ns: f64,
+}
+
+impl DeviceConfig {
+    /// The paper's evaluation GPU: Nvidia Titan V (GV100, Volta).
+    pub fn titan_v() -> Self {
+        Self {
+            name: "Titan V (simulated)",
+            num_sms: 80,
+            registers_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            warp_size: 32,
+            shared_mem_per_sm_bytes: 96 * 1024,
+            clock_ghz: 1.2,
+            dram_bandwidth_gb_s: 650.0,
+            dram_latency_ns: 400.0,
+            per_sm_bandwidth_fraction: 0.04,
+            flops_per_sm_per_cycle: 128.0,
+            kernel_launch_overhead_us: 5.0,
+            pcie_bandwidth_gb_s: 12.0,
+            pcie_latency_us: 8.0,
+            atomic_ns: 5000.0,
+            decode_ns: 40.0,
+        }
+    }
+
+    /// A smaller Pascal-class device (GP102-like), used by sensitivity tests
+    /// to check the capacity-driven fallbacks.
+    pub fn pascal_small() -> Self {
+        Self {
+            name: "Pascal-small (simulated)",
+            num_sms: 28,
+            registers_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            warp_size: 32,
+            shared_mem_per_sm_bytes: 96 * 1024,
+            clock_ghz: 1.4,
+            dram_bandwidth_gb_s: 480.0,
+            dram_latency_ns: 450.0,
+            per_sm_bandwidth_fraction: 0.06,
+            flops_per_sm_per_cycle: 256.0,
+            kernel_launch_overhead_us: 5.0,
+            pcie_bandwidth_gb_s: 12.0,
+            pcie_latency_us: 8.0,
+            atomic_ns: 5500.0,
+            decode_ns: 40.0,
+        }
+    }
+
+    /// Register-file bytes per SM.
+    pub fn register_file_bytes_per_sm(&self) -> usize {
+        self.registers_per_sm * 4
+    }
+
+    /// Total register-file bytes across the device (the "20 MB of on-chip
+    /// storage" the paper's footnote 1 highlights for GV100).
+    pub fn total_register_file_bytes(&self) -> usize {
+        self.register_file_bytes_per_sm() * self.num_sms
+    }
+
+    /// Registers available to each thread of a `threads_per_cta`-wide CTA
+    /// when `ctas_per_sm` CTAs share the SM, clamped to the architected
+    /// per-thread maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn regs_per_thread(&self, threads_per_cta: usize, ctas_per_sm: usize) -> usize {
+        assert!(threads_per_cta > 0 && ctas_per_sm > 0, "CTA shape must be non-zero");
+        let per_thread = self.registers_per_sm / (threads_per_cta * ctas_per_sm);
+        per_thread.min(self.max_regs_per_thread)
+    }
+
+    /// Kernel occupancy as a fraction of maximum resident warps, for a
+    /// persistent kernel of `ctas_per_sm` CTAs × `threads_per_cta` threads.
+    /// The paper reports 25% (2 CTAs of 256 threads) vs 12.5% (1 CTA) on
+    /// Volta, whose SMs host up to 2048 threads.
+    pub fn occupancy_fraction(&self, threads_per_cta: usize, ctas_per_sm: usize) -> f64 {
+        const MAX_THREADS_PER_SM: f64 = 2048.0;
+        (threads_per_cta * ctas_per_sm) as f64 / MAX_THREADS_PER_SM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_v_matches_paper_headline_numbers() {
+        let cfg = DeviceConfig::titan_v();
+        assert_eq!(cfg.num_sms, 80);
+        assert_eq!(cfg.register_file_bytes_per_sm(), 256 * 1024);
+        assert_eq!(cfg.total_register_file_bytes(), 20 * 1024 * 1024);
+    }
+
+    #[test]
+    fn regs_per_thread_single_cta() {
+        let cfg = DeviceConfig::titan_v();
+        // 65536 registers / 256 threads = 256, clamped to architected 255.
+        assert_eq!(cfg.regs_per_thread(256, 1), 255);
+    }
+
+    #[test]
+    fn regs_per_thread_two_ctas() {
+        let cfg = DeviceConfig::titan_v();
+        assert_eq!(cfg.regs_per_thread(256, 2), 128);
+    }
+
+    #[test]
+    fn occupancy_matches_paper_percentages() {
+        let cfg = DeviceConfig::titan_v();
+        assert!((cfg.occupancy_fraction(256, 2) - 0.25).abs() < 1e-9);
+        assert!((cfg.occupancy_fraction(256, 1) - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_cta_shape_rejected() {
+        let _ = DeviceConfig::titan_v().regs_per_thread(0, 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Roofline-style latency models for device and host work.
+//!
+//! [`CostModel`] answers "how long does this much memory traffic / compute
+//! take on the simulated device", [`HostCostModel`] answers the same for the
+//! CPU-side work the paper measures in Fig. 10 (graph construction, forward
+//! and backward scheduling, script copy).
+
+use crate::config::DeviceConfig;
+use crate::time::SimTime;
+
+/// Device-side latency model derived from a [`DeviceConfig`].
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    cfg: DeviceConfig,
+}
+
+impl CostModel {
+    /// Builds a cost model for the given device.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The device description this model was built from.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Fixed overhead of one kernel launch (driver + hardware dispatch).
+    pub fn launch_overhead(&self) -> SimTime {
+        SimTime::from_us(self.cfg.kernel_launch_overhead_us)
+    }
+
+    /// Host-to-device copy of `bytes` over PCIe.
+    pub fn h2d_copy(&self, bytes: u64) -> SimTime {
+        SimTime::from_us(self.cfg.pcie_latency_us)
+            + SimTime::from_secs(bytes as f64 / (self.cfg.pcie_bandwidth_gb_s * 1e9))
+    }
+
+    /// Effective DRAM bandwidth in bytes/s when `sms_active` SMs issue
+    /// requests. A single SM saturates only `per_sm_bandwidth_fraction` of
+    /// the aggregate bandwidth, so severely under-occupied kernels are
+    /// latency/bandwidth starved — one of the two costs the paper's
+    /// baselines pay at small batch sizes.
+    pub fn effective_bandwidth(&self, sms_active: usize) -> f64 {
+        let frac = (sms_active as f64 * self.cfg.per_sm_bandwidth_fraction).min(1.0);
+        self.cfg.dram_bandwidth_gb_s * 1e9 * frac
+    }
+
+    /// Time for `bytes` of DRAM traffic with `sms_active` SMs participating.
+    pub fn dram_time(&self, bytes: u64, sms_active: usize) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        let sms = sms_active.max(1);
+        SimTime::from_ns(self.cfg.dram_latency_ns)
+            + SimTime::from_secs(bytes as f64 / self.effective_bandwidth(sms))
+    }
+
+    /// Time for `flops` of FP32 work spread over `sms_active` SMs.
+    pub fn compute_time(&self, flops: u64, sms_active: usize) -> SimTime {
+        if flops == 0 {
+            return SimTime::ZERO;
+        }
+        let sms = sms_active.max(1) as f64;
+        let flops_per_sec = self.cfg.flops_per_sm_per_cycle * self.cfg.clock_ghz * 1e9 * sms;
+        SimTime::from_secs(flops as f64 / flops_per_sec)
+    }
+
+    /// Roofline time for one kernel *body* (excluding launch overhead):
+    /// the maximum of its memory time and its compute time.
+    pub fn kernel_body_time(&self, load_bytes: u64, store_bytes: u64, flops: u64, ctas: usize) -> SimTime {
+        let sms = ctas.clamp(1, self.cfg.num_sms);
+        let mem = self.dram_time(load_bytes + store_bytes, sms);
+        let cmp = self.compute_time(flops, sms);
+        mem.max(cmp)
+    }
+
+    /// Memory time for one virtual persistent processor (a single CTA on a
+    /// single SM) touching `bytes` of DRAM. The CTA's eight warps overlap
+    /// their requests, hiding most of the DRAM latency behind each other.
+    pub fn vpp_mem_time(&self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_ns(self.cfg.dram_latency_ns * 0.25)
+            + SimTime::from_secs(bytes as f64 / self.effective_bandwidth(1))
+    }
+
+    /// Compute time for one VPP executing `flops`, with the SM shared by
+    /// `ctas_per_sm` persistent CTAs.
+    pub fn vpp_compute_time(&self, flops: u64, ctas_per_sm: usize) -> SimTime {
+        if flops == 0 {
+            return SimTime::ZERO;
+        }
+        let share = self.cfg.flops_per_sm_per_cycle / ctas_per_sm.max(1) as f64;
+        let flops_per_sec = share * self.cfg.clock_ghz * 1e9;
+        SimTime::from_secs(flops as f64 / flops_per_sec)
+    }
+
+    /// Roofline time for one VPP instruction: overlapped memory and compute,
+    /// plus the interpreter's decode overhead.
+    pub fn vpp_instruction_time(&self, bytes: u64, flops: u64, ctas_per_sm: usize) -> SimTime {
+        SimTime::from_ns(self.cfg.decode_ns)
+            + self.vpp_mem_time(bytes).max(self.vpp_compute_time(flops, ctas_per_sm))
+    }
+
+    /// Cost of a `signal` instruction (global atomicAdd + threadfence).
+    pub fn signal_time(&self) -> SimTime {
+        SimTime::from_ns(self.cfg.atomic_ns)
+    }
+
+    /// Minimum cost of a `wait` instruction when the barrier is already
+    /// satisfied (polling a global counter once).
+    pub fn wait_poll_time(&self) -> SimTime {
+        SimTime::from_ns(self.cfg.atomic_ns / 2.0)
+    }
+}
+
+/// CPU-side cost model for the host work of both VPPS and the baselines.
+///
+/// Constants are calibrated to a Xeon-class core (the paper's E5-1650 v2) and
+/// produce the Fig. 10 behaviour: per-input host time is roughly flat but
+/// *grows slightly* with batch size, because larger super-graphs blow out the
+/// scheduler's working set and miss cache more often.
+#[derive(Debug, Clone)]
+pub struct HostCostModel {
+    /// Cost of constructing one computation-graph node, nanoseconds.
+    pub graph_node_ns: f64,
+    /// Cost of scheduling one graph node during a traversal pass
+    /// (level-sort bookkeeping, batching decisions), nanoseconds.
+    pub schedule_node_ns: f64,
+    /// Cost of encoding one emitted script instruction, nanoseconds.
+    pub emit_instr_ns: f64,
+    /// Cache-miss growth: scheduling cost is multiplied by
+    /// `1 + growth * log2(1 + nodes / 4096)`.
+    pub cache_growth: f64,
+    /// Host-side preparation cost per kernel launch (argument marshalling,
+    /// stream bookkeeping), nanoseconds. Dominant for the unbatched baseline.
+    pub kernel_prep_ns: f64,
+}
+
+impl Default for HostCostModel {
+    fn default() -> Self {
+        Self {
+            graph_node_ns: 250.0,
+            schedule_node_ns: 150.0,
+            emit_instr_ns: 15.0,
+            cache_growth: 0.10,
+            kernel_prep_ns: 4500.0,
+        }
+    }
+}
+
+impl HostCostModel {
+    /// Super-linear working-set factor for a super-graph of `nodes` nodes.
+    pub fn working_set_factor(&self, nodes: usize) -> f64 {
+        1.0 + self.cache_growth * (1.0 + nodes as f64 / 4096.0).log2()
+    }
+
+    /// Time to construct a computation graph of `nodes` nodes from user
+    /// expressions.
+    pub fn graph_construction(&self, nodes: usize) -> SimTime {
+        SimTime::from_ns(self.graph_node_ns * nodes as f64)
+    }
+
+    /// Time for one traversal pass that schedules `nodes` graph nodes and
+    /// emits `instructions` script instructions (the forward or backward
+    /// pass of the VPPS script generator, or — with zero instructions — a
+    /// baseline's batching pass).
+    pub fn schedule(&self, nodes: usize, instructions: usize) -> SimTime {
+        let factor = self.working_set_factor(nodes);
+        SimTime::from_ns(
+            (self.schedule_node_ns * nodes as f64 + self.emit_instr_ns * instructions as f64)
+                * factor,
+        )
+    }
+
+    /// Host time to prepare `kernels` kernel launches.
+    pub fn kernel_prep(&self, kernels: usize) -> SimTime {
+        SimTime::from_ns(self.kernel_prep_ns * kernels as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(DeviceConfig::titan_v())
+    }
+
+    #[test]
+    fn dram_time_scales_with_bytes() {
+        let m = model();
+        let t1 = m.dram_time(1 << 20, 80);
+        let t2 = m.dram_time(2 << 20, 80);
+        assert!(t2 > t1);
+        // Latency-dominated small access.
+        let small = m.dram_time(4, 80);
+        assert!(small.as_ns() >= 400.0);
+    }
+
+    #[test]
+    fn more_sms_never_slower_for_memory() {
+        let m = model();
+        assert!(m.dram_time(1 << 22, 80) <= m.dram_time(1 << 22, 1));
+    }
+
+    #[test]
+    fn bandwidth_saturates_at_aggregate() {
+        let m = model();
+        let full = m.effective_bandwidth(80);
+        assert!((full - 650e9).abs() / 650e9 < 1e-9);
+        // 04% per SM -> 25 SMs saturate.
+        assert_eq!(m.effective_bandwidth(25), full);
+        assert!(m.effective_bandwidth(1) < full);
+    }
+
+    #[test]
+    fn compute_time_scales_inverse_with_sms() {
+        let m = model();
+        let one = m.compute_time(1_000_000, 1);
+        let eighty = m.compute_time(1_000_000, 80);
+        assert!((one.as_ns() / eighty.as_ns() - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn roofline_takes_max() {
+        let m = model();
+        let mem_bound = m.kernel_body_time(1 << 26, 0, 1, 80);
+        assert_eq!(mem_bound, m.dram_time(1 << 26, 80));
+        let compute_bound = m.kernel_body_time(4, 0, 1 << 34, 80);
+        assert_eq!(compute_bound, m.compute_time(1 << 34, 80));
+    }
+
+    #[test]
+    fn vpp_instruction_includes_decode() {
+        let m = model();
+        let t = m.vpp_instruction_time(0, 0, 1);
+        assert!((t.as_ns() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vpp_compute_shared_between_ctas() {
+        let m = model();
+        let solo = m.vpp_compute_time(1_000_000, 1);
+        let shared = m.vpp_compute_time(1_000_000, 2);
+        assert!((shared.as_ns() / solo.as_ns() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_work_costs_zero() {
+        let m = model();
+        assert_eq!(m.dram_time(0, 80), SimTime::ZERO);
+        assert_eq!(m.compute_time(0, 80), SimTime::ZERO);
+    }
+
+    #[test]
+    fn h2d_copy_has_fixed_latency() {
+        let m = model();
+        assert!(m.h2d_copy(0).as_us() >= 8.0);
+        assert!(m.h2d_copy(1 << 30) > m.h2d_copy(1 << 20));
+    }
+
+    #[test]
+    fn host_model_working_set_grows() {
+        let h = HostCostModel::default();
+        assert!(h.working_set_factor(100_000) > h.working_set_factor(1_000));
+        // Per-node scheduling cost therefore grows with graph size.
+        let small = h.schedule(1_000, 0).as_ns() / 1_000.0;
+        let big = h.schedule(100_000, 0).as_ns() / 100_000.0;
+        assert!(big > small);
+    }
+
+    #[test]
+    fn emitting_instructions_costs_extra() {
+        let h = HostCostModel::default();
+        assert!(h.schedule(100, 5_000) > h.schedule(100, 0));
+    }
+
+    #[test]
+    fn host_kernel_prep_linear() {
+        let h = HostCostModel::default();
+        let one = h.kernel_prep(1);
+        let ten = h.kernel_prep(10);
+        assert!((ten.as_ns() / one.as_ns() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Byte-accurate DRAM traffic accounting.
+//!
+//! Fig. 2 of the paper classifies off-chip loads by what they fetch ("weight
+//! matrix" vs everything else) and Table I reports the megabytes of weights
+//! loaded during training. [`Dram`] is the single source of truth for both:
+//! every executor in the workspace — VPPS, the DyNet-style baselines, and the
+//! unbatched reference — routes its simulated memory traffic through here
+//! with a [`TrafficTag`].
+
+use std::fmt;
+
+/// Classification of an off-chip memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficTag {
+    /// Model weight matrices (incl. bias vectors) — the traffic VPPS caches
+    /// away.
+    Weight,
+    /// Activations / intermediate tensors.
+    Activation,
+    /// Weight gradients spilled to DRAM (baselines, or VPPS GEMM fallback).
+    Gradient,
+    /// Encoded VPPS execution scripts.
+    Script,
+    /// Embedding-table rows and anything else.
+    Other,
+}
+
+impl TrafficTag {
+    /// All tags, in display order.
+    pub const ALL: [TrafficTag; 5] = [
+        TrafficTag::Weight,
+        TrafficTag::Activation,
+        TrafficTag::Gradient,
+        TrafficTag::Script,
+        TrafficTag::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            TrafficTag::Weight => 0,
+            TrafficTag::Activation => 1,
+            TrafficTag::Gradient => 2,
+            TrafficTag::Script => 3,
+            TrafficTag::Other => 4,
+        }
+    }
+}
+
+impl fmt::Display for TrafficTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficTag::Weight => "weight",
+            TrafficTag::Activation => "activation",
+            TrafficTag::Gradient => "gradient",
+            TrafficTag::Script => "script",
+            TrafficTag::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tag-classified load/store byte counters for the simulated device memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dram {
+    loads: [u64; 5],
+    stores: [u64; 5],
+}
+
+impl Dram {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` of off-chip loads classified as `tag`.
+    pub fn record_load(&mut self, tag: TrafficTag, bytes: u64) {
+        self.loads[tag.index()] += bytes;
+    }
+
+    /// Records `bytes` of off-chip stores classified as `tag`.
+    pub fn record_store(&mut self, tag: TrafficTag, bytes: u64) {
+        self.stores[tag.index()] += bytes;
+    }
+
+    /// Bytes loaded under `tag`.
+    pub fn loads(&self, tag: TrafficTag) -> u64 {
+        self.loads[tag.index()]
+    }
+
+    /// Bytes stored under `tag`.
+    pub fn stores(&self, tag: TrafficTag) -> u64 {
+        self.stores[tag.index()]
+    }
+
+    /// Total bytes loaded across all tags.
+    pub fn total_loads(&self) -> u64 {
+        self.loads.iter().sum()
+    }
+
+    /// Total bytes stored across all tags.
+    pub fn total_stores(&self) -> u64 {
+        self.stores.iter().sum()
+    }
+
+    /// Fraction of loaded bytes that were weight matrices — the quantity
+    /// Fig. 2 of the paper plots per application.
+    ///
+    /// Returns 0 when nothing has been loaded.
+    pub fn weight_load_fraction(&self) -> f64 {
+        let total = self.total_loads();
+        if total == 0 {
+            0.0
+        } else {
+            self.loads(TrafficTag::Weight) as f64 / total as f64
+        }
+    }
+
+    /// Weight bytes loaded, in megabytes — Table I's unit.
+    pub fn weight_loads_mb(&self) -> f64 {
+        self.loads(TrafficTag::Weight) as f64 / 1e6
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        self.loads = [0; 5];
+        self.stores = [0; 5];
+    }
+
+    /// Merges another counter set into this one (used to aggregate per-epoch
+    /// snapshots).
+    pub fn merge(&mut self, other: &Dram) {
+        for i in 0..5 {
+            self.loads[i] += other.loads[i];
+            self.stores[i] += other.stores[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let d = Dram::new();
+        assert_eq!(d.total_loads(), 0);
+        assert_eq!(d.total_stores(), 0);
+        assert_eq!(d.weight_load_fraction(), 0.0);
+    }
+
+    #[test]
+    fn loads_classified_by_tag() {
+        let mut d = Dram::new();
+        d.record_load(TrafficTag::Weight, 100);
+        d.record_load(TrafficTag::Activation, 50);
+        d.record_load(TrafficTag::Weight, 100);
+        assert_eq!(d.loads(TrafficTag::Weight), 200);
+        assert_eq!(d.loads(TrafficTag::Activation), 50);
+        assert_eq!(d.total_loads(), 250);
+    }
+
+    #[test]
+    fn weight_fraction_is_ratio() {
+        let mut d = Dram::new();
+        d.record_load(TrafficTag::Weight, 300);
+        d.record_load(TrafficTag::Other, 100);
+        assert!((d.weight_load_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stores_do_not_affect_load_fraction() {
+        let mut d = Dram::new();
+        d.record_load(TrafficTag::Weight, 10);
+        d.record_store(TrafficTag::Activation, 1_000_000);
+        assert_eq!(d.weight_load_fraction(), 1.0);
+        assert_eq!(d.total_stores(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = Dram::new();
+        a.record_load(TrafficTag::Script, 5);
+        let mut b = Dram::new();
+        b.record_load(TrafficTag::Script, 7);
+        b.record_store(TrafficTag::Gradient, 3);
+        a.merge(&b);
+        assert_eq!(a.loads(TrafficTag::Script), 12);
+        assert_eq!(a.stores(TrafficTag::Gradient), 3);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut d = Dram::new();
+        d.record_load(TrafficTag::Weight, 1);
+        d.record_store(TrafficTag::Weight, 1);
+        d.reset();
+        assert_eq!(d, Dram::new());
+    }
+
+    #[test]
+    fn weight_mb_unit() {
+        let mut d = Dram::new();
+        d.record_load(TrafficTag::Weight, 2_750_000);
+        assert!((d.weight_loads_mb() - 2.75).abs() < 1e-9);
+    }
+}

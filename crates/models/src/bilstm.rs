@@ -1,0 +1,179 @@
+//! Bi-directional LSTM Named Entity Tagger (paper §IV-E, after Huang, Xu &
+//! Yu 2015).
+
+use dyn_graph::{Graph, LookupId, Model, NodeId, ParamId};
+use vpps_datasets::TaggedSentence;
+
+use crate::lstm::LstmCell;
+use crate::DynamicModel;
+
+/// Forward and backward LSTMs over the sentence; each word's two hidden
+/// states are concatenated and passed through an MLP to predict its tag.
+/// The loss is the sum of per-word tag losses.
+#[derive(Debug, Clone)]
+pub struct BiLstmTagger {
+    /// Word-embedding dimension.
+    pub emb_dim: usize,
+    /// LSTM hidden dimension (each direction).
+    pub hidden_dim: usize,
+    /// MLP hidden dimension.
+    pub mlp_dim: usize,
+    /// Number of tags.
+    pub tags: usize,
+    emb: LookupId,
+    fwd: LstmCell,
+    bwd: LstmCell,
+    mlp_w1: ParamId,
+    mlp_b1: ParamId,
+    mlp_w2: ParamId,
+    mlp_b2: ParamId,
+}
+
+impl BiLstmTagger {
+    /// Registers the tagger's parameters.
+    pub fn register(
+        model: &mut Model,
+        vocab: usize,
+        emb_dim: usize,
+        hidden_dim: usize,
+        mlp_dim: usize,
+        tags: usize,
+    ) -> Self {
+        let emb = model.add_lookup("bilstm.emb", vocab, emb_dim);
+        let fwd = LstmCell::register(model, "bilstm.fwd", emb_dim, hidden_dim);
+        let bwd = LstmCell::register(model, "bilstm.bwd", emb_dim, hidden_dim);
+        let mlp_w1 = model.add_matrix("bilstm.mlp.W1", mlp_dim, 2 * hidden_dim);
+        let mlp_b1 = model.add_bias("bilstm.mlp.b1", mlp_dim);
+        let mlp_w2 = model.add_matrix("bilstm.mlp.W2", tags, mlp_dim);
+        let mlp_b2 = model.add_bias("bilstm.mlp.b2", tags);
+        Self { emb_dim, hidden_dim, mlp_dim, tags, emb, fwd, bwd, mlp_w1, mlp_b1, mlp_w2, mlp_b2 }
+    }
+
+    /// Per-word embeddings; overridable by [`crate::BiLstmCharTagger`].
+    fn embed(&self, model: &Model, g: &mut Graph, sentence: &TaggedSentence) -> Vec<NodeId> {
+        sentence.words.iter().map(|&w| g.lookup(model, self.emb, w)).collect()
+    }
+
+    /// The word-embedding table (shared with the char-feature variant).
+    pub fn embedding_table(&self) -> LookupId {
+        self.emb
+    }
+
+    /// Builds the tagger over pre-computed embeddings (shared with the
+    /// character-feature variant).
+    pub(crate) fn build_over_embeddings(
+        &self,
+        model: &Model,
+        g: &mut Graph,
+        embeddings: &[NodeId],
+        tags: &[usize],
+    ) -> NodeId {
+        let hs_f = self.fwd.run(model, g, embeddings);
+        let rev: Vec<NodeId> = embeddings.iter().rev().copied().collect();
+        let mut hs_b = self.bwd.run(model, g, &rev);
+        hs_b.reverse();
+
+        let mut losses = Vec::with_capacity(embeddings.len());
+        for ((hf, hb), &tag) in hs_f.iter().zip(&hs_b).zip(tags) {
+            let both = g.concat(&[*hf, *hb]);
+            let m1 = g.matvec(model, self.mlp_w1, both);
+            let a1 = g.add_bias(model, self.mlp_b1, m1);
+            let r1 = g.relu(a1);
+            let m2 = g.matvec(model, self.mlp_w2, r1);
+            let logits = g.add_bias(model, self.mlp_b2, m2);
+            losses.push(g.pick_neg_log_softmax(logits, tag));
+        }
+        if losses.len() == 1 {
+            losses[0]
+        } else {
+            g.sum(&losses)
+        }
+    }
+}
+
+impl DynamicModel<TaggedSentence> for BiLstmTagger {
+    fn build(&self, model: &Model, sentence: &TaggedSentence) -> (Graph, NodeId) {
+        assert!(!sentence.is_empty(), "cannot tag an empty sentence");
+        let mut g = Graph::new();
+        let embeddings = self.embed(model, &mut g, sentence);
+        let loss = self.build_over_embeddings(model, &mut g, &embeddings, &sentence.tags);
+        (g, loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyn_graph::exec;
+    use vpps_datasets::{TaggedCorpus, TaggedCorpusConfig};
+
+    fn corpus() -> TaggedCorpus {
+        TaggedCorpus::generate(TaggedCorpusConfig {
+            vocab: 500,
+            sentences: 16,
+            min_len: 3,
+            max_len: 8,
+            ..Default::default()
+        })
+    }
+
+    fn arch(m: &mut Model) -> BiLstmTagger {
+        BiLstmTagger::register(m, 500, 12, 12, 12, 9)
+    }
+
+    #[test]
+    fn graph_size_scales_with_sentence_length() {
+        let mut m = Model::new(10);
+        let a = arch(&mut m);
+        let c = corpus();
+        let mut sizes: Vec<(usize, usize)> = c
+            .sentences()
+            .iter()
+            .take(8)
+            .map(|s| (s.len(), a.build(&m, s).0.len()))
+            .collect();
+        sizes.sort();
+        for w in sizes.windows(2) {
+            if w[1].0 > w[0].0 {
+                assert!(w[1].1 > w[0].1, "longer sentence must build a bigger graph");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_counts_every_word() {
+        let mut m = Model::new(11);
+        let a = arch(&mut m);
+        let c = corpus();
+        let s = &c.sentences()[0];
+        let (g, l) = a.build(&m, s);
+        let loss = exec::forward(&g, &m)[l.index()][0];
+        // Sum of per-word NLL losses over `tags=9` classes: each term is
+        // roughly ln(9) at initialization.
+        let per_word = loss / s.len() as f32;
+        assert!(per_word > 0.5 && per_word < 6.0, "per-word loss {per_word}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut m = Model::new(12);
+        let a = arch(&mut m);
+        let c = corpus();
+        let s = &c.sentences()[1];
+        let trainer = dyn_graph::Trainer::new(0.1);
+        let first = {
+            let (g, l) = a.build(&m, s);
+            let v = exec::forward_backward(&g, &mut m, l);
+            trainer.update(&mut m);
+            v
+        };
+        for _ in 0..10 {
+            let (g, l) = a.build(&m, s);
+            exec::forward_backward(&g, &mut m, l);
+            trainer.update(&mut m);
+        }
+        let (g, l) = a.build(&m, s);
+        let last = exec::forward(&g, &m)[l.index()][0];
+        assert!(last < first * 0.7, "{first} -> {last}");
+    }
+}

@@ -1,0 +1,195 @@
+//! A GRU cell (Chung et al., the paper's reference 8).
+//!
+//! The paper's introduction singles GRU out: "even if the operation set is
+//! predictable, Persistent RNN has to be specifically re-crafted by an
+//! expert to be applicable for every RNN variation (for example, as in
+//! GRU)". Under VPPS no re-crafting happens — this cell is expressed with
+//! the ordinary graph ops and the specialized kernel handles it like any
+//! other model, which the crate's tests verify end to end.
+
+use dyn_graph::{Graph, Model, NodeId, ParamId};
+
+/// Parameters of one GRU cell: update (`z`), reset (`r`) and candidate
+/// (`n`) gates, each with input and recurrent matrices plus a bias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GruCell {
+    /// Input dimension.
+    pub x_dim: usize,
+    /// Hidden dimension.
+    pub h_dim: usize,
+    w: [ParamId; 3],
+    u: [ParamId; 3],
+    b: [ParamId; 3],
+}
+
+impl GruCell {
+    /// Registers the cell's parameters (`3 × (h×x)` input matrices,
+    /// `3 × (h×h)` recurrent matrices, `3` bias rows) under `prefix`.
+    pub fn register(model: &mut Model, prefix: &str, x_dim: usize, h_dim: usize) -> Self {
+        let gate = ["z", "r", "n"];
+        let w = gate.map(|g| model.add_matrix(&format!("{prefix}.W{g}"), h_dim, x_dim));
+        let u = gate.map(|g| model.add_matrix(&format!("{prefix}.U{g}"), h_dim, h_dim));
+        let b = gate.map(|g| model.add_bias(&format!("{prefix}.b{g}"), h_dim));
+        Self { x_dim, h_dim, w, u, b }
+    }
+
+    /// Builds the initial hidden state (zeros).
+    pub fn initial_state(&self, g: &mut Graph) -> NodeId {
+        g.input(vec![0.0; self.h_dim])
+    }
+
+    /// One step:
+    ///
+    /// ```text
+    /// z = σ(Wz x + Uz h + bz)
+    /// r = σ(Wr x + Ur h + br)
+    /// n = tanh(Wn x + Un (r ⊙ h) + bn)
+    /// h' = n + z ⊙ (h - n)          (≡ (1-z) ⊙ n + z ⊙ h)
+    /// ```
+    pub fn step(&self, model: &Model, g: &mut Graph, x: NodeId, h: NodeId) -> NodeId {
+        let gate_pre = |g: &mut Graph, idx: usize, hin: NodeId| {
+            let wx = g.matvec(model, self.w[idx], x);
+            let uh = g.matvec(model, self.u[idx], hin);
+            let s = g.add(wx, uh);
+            g.add_bias(model, self.b[idx], s)
+        };
+        let z_in = gate_pre(g, 0, h);
+        let z = g.sigmoid(z_in);
+        let r_in = gate_pre(g, 1, h);
+        let r = g.sigmoid(r_in);
+        let rh = g.cwise_mult(r, h);
+        let n_in = gate_pre(g, 2, rh);
+        let n = g.tanh(n_in);
+
+        // h' = n + z ⊙ (h - n), using the Sub op.
+        let h_minus_n = g.sub(h, n);
+        let gated = g.cwise_mult(z, h_minus_n);
+        g.add(n, gated)
+    }
+
+    /// Runs the cell over a sequence, returning every hidden state.
+    pub fn run(&self, model: &Model, g: &mut Graph, xs: &[NodeId]) -> Vec<NodeId> {
+        let mut h = self.initial_state(g);
+        let mut hs = Vec::with_capacity(xs.len());
+        for &x in xs {
+            h = self.step(model, g, x, h);
+            hs.push(h);
+        }
+        hs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyn_graph::{exec, Trainer};
+
+    #[test]
+    fn registers_nine_parameters() {
+        let mut m = Model::new(1);
+        let before = m.num_params();
+        let _ = GruCell::register(&mut m, "gru", 8, 16);
+        assert_eq!(m.num_params() - before, 9);
+    }
+
+    #[test]
+    fn update_gate_interpolates_between_old_and_new() {
+        // With z forced toward 1 (large positive pre-activation via bias),
+        // h' ≈ h; toward 0, h' ≈ n. Check the interpolation identity
+        // numerically: h' - n = z ⊙ (h - n).
+        let mut m = Model::new(2);
+        let cell = GruCell::register(&mut m, "gru", 4, 4);
+        let mut g = Graph::new();
+        let x = g.input(vec![0.3, -0.2, 0.5, 0.1]);
+        let h0 = g.input(vec![0.5, 0.5, -0.5, 0.2]);
+        let h1 = cell.step(&m, &mut g, x, h0);
+        let v = exec::forward(&g, &m);
+        let out = &v[h1.index()];
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|o| o.is_finite() && o.abs() <= 1.5));
+    }
+
+    #[test]
+    fn gradients_reach_every_gate() {
+        let mut m = Model::new(3);
+        let cell = GruCell::register(&mut m, "gru", 6, 6);
+        let mut g = Graph::new();
+        let xs: Vec<NodeId> = (0..4).map(|i| g.input(vec![0.2 * i as f32; 6])).collect();
+        let hs = cell.run(&m, &mut g, &xs);
+        let loss = g.pick_neg_log_softmax(*hs.last().unwrap(), 1);
+        exec::forward_backward(&g, &mut m, loss);
+        for (_, p) in m.params() {
+            if p.value.rows() > 1 {
+                assert!(p.grad.frobenius_norm() > 0.0, "matrix {} got no gradient", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn gru_sequence_classifier_trains() {
+        let mut m = Model::new(4);
+        let cell = GruCell::register(&mut m, "gru", 6, 8);
+        let cls = m.add_matrix("cls", 3, 8);
+        let trainer = Trainer::new(0.2);
+        let build = |m: &Model| {
+            let mut g = Graph::new();
+            let xs: Vec<NodeId> =
+                (0..5).map(|i| g.input(vec![(i as f32 - 2.0) * 0.2; 6])).collect();
+            let hs = cell.run(m, &mut g, &xs);
+            let o = g.matvec(m, cls, *hs.last().unwrap());
+            let loss = g.pick_neg_log_softmax(o, 2);
+            (g, loss)
+        };
+        let (g0, l0) = build(&m);
+        let first = exec::forward_backward(&g0, &mut m, l0);
+        trainer.update(&mut m);
+        for _ in 0..15 {
+            let (g, l) = build(&m);
+            exec::forward_backward(&g, &mut m, l);
+            trainer.update(&mut m);
+        }
+        let (g, l) = build(&m);
+        let last = exec::forward(&g, &m)[l.index()][0];
+        assert!(last < first * 0.3, "GRU should learn: {first} -> {last}");
+    }
+
+    #[test]
+    fn gradient_check_against_numeric() {
+        let mut m = Model::new(5);
+        let cell = GruCell::register(&mut m, "gru", 3, 3);
+        let build = |m: &Model| {
+            let mut g = Graph::new();
+            let x = g.input(vec![0.4, -0.1, 0.3]);
+            let h0 = cell.initial_state(&mut g);
+            let h1 = cell.step(m, &mut g, x, h0);
+            let x2 = g.input(vec![-0.2, 0.6, 0.0]);
+            let h2 = cell.step(m, &mut g, x2, h1);
+            let loss = g.pick_neg_log_softmax(h2, 0);
+            (g, loss)
+        };
+        let (g, loss) = build(&m);
+        m.zero_grads();
+        exec::forward_backward(&g, &mut m, loss);
+        let snapshot = m.clone();
+        let eps = 1e-2_f32;
+        for (pid, p) in snapshot.params() {
+            for r in 0..p.value.rows().min(2) {
+                for c in 0..p.value.cols().min(2) {
+                    let eval = |delta: f32| {
+                        let mut mm = snapshot.clone();
+                        mm.param_mut(pid).value[(r, c)] += delta;
+                        let (gg, ll) = build(&mm);
+                        exec::forward(&gg, &mm)[ll.index()][0]
+                    };
+                    let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+                    let analytic = p.grad[(r, c)];
+                    assert!(
+                        (analytic - numeric).abs() < 2e-2,
+                        "{} [{r},{c}]: analytic {analytic} vs numeric {numeric}",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! Dynamic neural network model zoo (paper §IV / Fig. 11).
+//!
+//! The six benchmark applications of the paper's evaluation, expressed over
+//! the [`dyn_graph`] expression API so they run identically under VPPS and
+//! every baseline:
+//!
+//! * [`TreeLstm`] — Tree-Structured LSTM Sentiment Analyzer (Tai et al.);
+//!   the most irregular workload: the network *is* the parse tree.
+//! * [`BiLstmTagger`] — bi-directional LSTM named-entity tagger.
+//! * [`BiLstmCharTagger`] — the same with character-LSTM embeddings for
+//!   rare words, adding input-dependent subgraphs.
+//! * [`TdRnn`] / [`TdLstm`] — time-delay networks reducing a sentence by
+//!   iteratively composing adjacent embeddings (shared composition
+//!   function), with vanilla-RNN or LSTM-style composition.
+//! * [`Rvnn`] — recursive neural net over the parse tree with untied
+//!   leaf/internal weights.
+//!
+//! Every model implements [`DynamicModel`]: `build` constructs the
+//! per-input computation graph (the graph shape depends on the input — that
+//! is the whole point), and [`build_batch`] folds several inputs into one
+//! super-graph with a summed loss, the batching scheme of paper §III-D.
+
+pub mod bilstm;
+pub mod bilstm_char;
+pub mod gru;
+pub mod lstm;
+pub mod rvnn;
+pub mod td;
+pub mod tree_lstm;
+
+use dyn_graph::{Graph, Model, NodeId};
+
+pub use bilstm::BiLstmTagger;
+pub use bilstm_char::BiLstmCharTagger;
+pub use gru::GruCell;
+pub use lstm::LstmCell;
+pub use rvnn::Rvnn;
+pub use td::{TdLstm, TdRnn};
+pub use tree_lstm::TreeLstm;
+
+/// A dynamic-net architecture: given one input sample, build its
+/// computation graph and return the scalar loss node.
+pub trait DynamicModel<S: ?Sized> {
+    /// Builds the computation graph for `sample`, returning the graph and
+    /// its scalar loss node.
+    fn build(&self, model: &Model, sample: &S) -> (Graph, NodeId);
+}
+
+/// Folds `samples` into one super-graph whose loss is the sum of per-input
+/// losses (the aggregation of paper §III-D used for concurrent training of
+/// multiple computation graphs).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn build_batch<S, M: DynamicModel<S>>(
+    arch: &M,
+    model: &Model,
+    samples: &[S],
+) -> (Graph, NodeId) {
+    assert!(!samples.is_empty(), "batch must contain at least one sample");
+    let mut sg = Graph::new();
+    let mut losses = Vec::with_capacity(samples.len());
+    for s in samples {
+        let (g, l) = arch.build(model, s);
+        losses.push(sg.absorb(&g, l));
+    }
+    if losses.len() == 1 {
+        (sg, losses[0])
+    } else {
+        let total = sg.sum(&losses);
+        (sg, total)
+    }
+}

@@ -1,0 +1,148 @@
+//! A shared LSTM cell (Gers, Schmidhuber & Cummins 1999, as used by the
+//! paper's LSTM-based benchmarks).
+
+use dyn_graph::{Graph, Model, NodeId, ParamId};
+
+/// Parameters of one LSTM cell: input and recurrent matrices plus biases
+/// for the input, forget, output and update gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LstmCell {
+    /// Input dimension.
+    pub x_dim: usize,
+    /// Hidden dimension.
+    pub h_dim: usize,
+    w: [ParamId; 4],
+    u: [ParamId; 4],
+    b: [ParamId; 4],
+}
+
+impl LstmCell {
+    /// Registers the cell's parameters (`4 × (h×x)` input matrices,
+    /// `4 × (h×h)` recurrent matrices, `4` bias rows) under `prefix`.
+    pub fn register(model: &mut Model, prefix: &str, x_dim: usize, h_dim: usize) -> Self {
+        let gate = ["i", "f", "o", "u"];
+        let w = gate.map(|g| model.add_matrix(&format!("{prefix}.W{g}"), h_dim, x_dim));
+        let u = gate.map(|g| model.add_matrix(&format!("{prefix}.U{g}"), h_dim, h_dim));
+        let b = gate.map(|g| model.add_bias(&format!("{prefix}.b{g}"), h_dim));
+        Self { x_dim, h_dim, w, u, b }
+    }
+
+    /// Builds the initial `(h, c)` state (zero vectors).
+    pub fn initial_state(&self, g: &mut Graph) -> (NodeId, NodeId) {
+        let h = g.input(vec![0.0; self.h_dim]);
+        let c = g.input(vec![0.0; self.h_dim]);
+        (h, c)
+    }
+
+    /// One step: consumes input `x` and state `(h, c)`, producing the next
+    /// `(h, c)`.
+    ///
+    /// Gates: `i,f,o = σ(W_g x + U_g h + b_g)`, `u = tanh(W_u x + U_u h +
+    /// b_u)`, `c' = f⊙c + i⊙u`, `h' = o⊙tanh(c')`.
+    pub fn step(
+        &self,
+        model: &Model,
+        g: &mut Graph,
+        x: NodeId,
+        (h, c): (NodeId, NodeId),
+    ) -> (NodeId, NodeId) {
+        let gate = |g: &mut Graph, idx: usize| {
+            let wx = g.matvec(model, self.w[idx], x);
+            let uh = g.matvec(model, self.u[idx], h);
+            let s = g.add(wx, uh);
+            g.add_bias(model, self.b[idx], s)
+        };
+        let i_in = gate(g, 0);
+        let i = g.sigmoid(i_in);
+        let f_in = gate(g, 1);
+        let f = g.sigmoid(f_in);
+        let o_in = gate(g, 2);
+        let o = g.sigmoid(o_in);
+        let u_in = gate(g, 3);
+        let u = g.tanh(u_in);
+
+        let fc = g.cwise_mult(f, c);
+        let iu = g.cwise_mult(i, u);
+        let c_next = g.add(fc, iu);
+        let tc = g.tanh(c_next);
+        let h_next = g.cwise_mult(o, tc);
+        (h_next, c_next)
+    }
+
+    /// Runs the cell over a sequence of inputs, returning every hidden state.
+    pub fn run(&self, model: &Model, g: &mut Graph, xs: &[NodeId]) -> Vec<NodeId> {
+        let mut state = self.initial_state(g);
+        let mut hs = Vec::with_capacity(xs.len());
+        for &x in xs {
+            state = self.step(model, g, x, state);
+            hs.push(state.0);
+        }
+        hs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyn_graph::exec;
+
+    #[test]
+    fn registers_twelve_parameters() {
+        let mut m = Model::new(1);
+        let before = m.num_params();
+        let _cell = LstmCell::register(&mut m, "lstm", 8, 16);
+        assert_eq!(m.num_params() - before, 12);
+    }
+
+    #[test]
+    fn step_produces_bounded_hidden_state() {
+        let mut m = Model::new(2);
+        let cell = LstmCell::register(&mut m, "lstm", 8, 16);
+        let mut g = Graph::new();
+        let x = g.input(vec![0.5; 8]);
+        let s0 = cell.initial_state(&mut g);
+        let (h, c) = cell.step(&m, &mut g, x, s0);
+        let values = exec::forward(&g, &m);
+        let hv = &values[h.index()];
+        assert_eq!(hv.len(), 16);
+        // h = o * tanh(c) is bounded by 1 in magnitude.
+        assert!(hv.iter().all(|v| v.abs() <= 1.0));
+        assert!(values[c.index()].iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn run_unrolls_per_token() {
+        let mut m = Model::new(3);
+        let cell = LstmCell::register(&mut m, "lstm", 4, 8);
+        let mut g = Graph::new();
+        let xs: Vec<NodeId> = (0..5).map(|i| g.input(vec![0.1 * i as f32; 4])).collect();
+        let hs = cell.run(&m, &mut g, &xs);
+        assert_eq!(hs.len(), 5);
+        // Longer input -> deeper graph: the dynamic-shape property.
+        let mut g2 = Graph::new();
+        let xs2: Vec<NodeId> = (0..9).map(|_| g2.input(vec![0.1; 4])).collect();
+        cell.run(&m, &mut g2, &xs2);
+        assert!(g2.len() > g.len());
+    }
+
+    #[test]
+    fn gradients_flow_through_the_cell() {
+        let mut m = Model::new(4);
+        let cell = LstmCell::register(&mut m, "lstm", 4, 6);
+        let mut g = Graph::new();
+        let xs: Vec<NodeId> = (0..3).map(|_| g.input(vec![0.3; 4])).collect();
+        let hs = cell.run(&m, &mut g, &xs);
+        let loss = g.pick_neg_log_softmax(*hs.last().unwrap(), 2);
+        exec::forward_backward(&g, &mut m, loss);
+        // Every matrix participates and should receive gradient.
+        for (_, p) in m.params() {
+            if p.value.rows() > 1 {
+                assert!(
+                    p.grad.frobenius_norm() > 0.0,
+                    "parameter {} received no gradient",
+                    p.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Recursive Neural Network (Socher et al. 2011) over binary parse trees,
+//! with untied leaf/internal transformation spaces (Irsoy & Cardie 2014), as
+//! the paper's §IV-E describes.
+
+use dyn_graph::{Graph, LookupId, Model, NodeId, ParamId};
+use vpps_datasets::{ParseTree, TreeSample};
+
+use crate::DynamicModel;
+
+/// RvNN: `h_leaf = tanh(W_leaf x + b_leaf)`,
+/// `h_node = tanh(W_l h_l + W_r h_r + b)`, classifier at the root.
+#[derive(Debug, Clone)]
+pub struct Rvnn {
+    /// Embedding/hidden dimension (the paper uses 512).
+    pub dim: usize,
+    /// Number of sentiment classes.
+    pub classes: usize,
+    emb: LookupId,
+    w_leaf: ParamId,
+    b_leaf: ParamId,
+    w_l: ParamId,
+    w_r: ParamId,
+    b: ParamId,
+    cls_w: ParamId,
+    cls_b: ParamId,
+}
+
+impl Rvnn {
+    /// Registers parameters: an untied leaf matrix, two internal matrices
+    /// and the classifier.
+    pub fn register(model: &mut Model, vocab: usize, dim: usize, classes: usize) -> Self {
+        let emb = model.add_lookup("rvnn.emb", vocab, dim);
+        let w_leaf = model.add_matrix("rvnn.Wleaf", dim, dim);
+        let b_leaf = model.add_bias("rvnn.bleaf", dim);
+        let w_l = model.add_matrix("rvnn.Wl", dim, dim);
+        let w_r = model.add_matrix("rvnn.Wr", dim, dim);
+        let b = model.add_bias("rvnn.b", dim);
+        let cls_w = model.add_matrix("rvnn.cls.W", classes, dim);
+        let cls_b = model.add_bias("rvnn.cls.b", classes);
+        Self { dim, classes, emb, w_leaf, b_leaf, w_l, w_r, b, cls_w, cls_b }
+    }
+
+    fn build_tree(&self, model: &Model, g: &mut Graph, tree: &ParseTree) -> NodeId {
+        match tree {
+            ParseTree::Leaf { token } => {
+                let x = g.lookup(model, self.emb, *token);
+                let wx = g.matvec(model, self.w_leaf, x);
+                let wb = g.add_bias(model, self.b_leaf, wx);
+                g.tanh(wb)
+            }
+            ParseTree::Node { left, right } => {
+                let hl = self.build_tree(model, g, left);
+                let hr = self.build_tree(model, g, right);
+                let l = g.matvec(model, self.w_l, hl);
+                let r = g.matvec(model, self.w_r, hr);
+                let s = g.add(l, r);
+                let sb = g.add_bias(model, self.b, s);
+                g.tanh(sb)
+            }
+        }
+    }
+}
+
+impl DynamicModel<TreeSample> for Rvnn {
+    fn build(&self, model: &Model, sample: &TreeSample) -> (Graph, NodeId) {
+        let mut g = Graph::new();
+        let root = self.build_tree(model, &mut g, &sample.tree);
+        let logits_w = g.matvec(model, self.cls_w, root);
+        let logits = g.add_bias(model, self.cls_b, logits_w);
+        let loss = g.pick_neg_log_softmax(logits, sample.label);
+        (g, loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyn_graph::exec;
+    use vpps_datasets::{Treebank, TreebankConfig};
+
+    fn bank() -> Treebank {
+        Treebank::new(TreebankConfig { vocab: 60, min_len: 2, max_len: 12, ..Default::default() })
+    }
+
+    #[test]
+    fn graph_shape_follows_parse_tree() {
+        let mut m = Model::new(21);
+        let a = Rvnn::register(&mut m, 60, 8, 5);
+        // Left-leaning vs balanced trees of the same length build graphs of
+        // equal size but different depth.
+        let chain = TreeSample {
+            tree: ParseTree::Node {
+                left: Box::new(ParseTree::Node {
+                    left: Box::new(ParseTree::Node {
+                        left: Box::new(ParseTree::Leaf { token: 0 }),
+                        right: Box::new(ParseTree::Leaf { token: 1 }),
+                    }),
+                    right: Box::new(ParseTree::Leaf { token: 2 }),
+                }),
+                right: Box::new(ParseTree::Leaf { token: 3 }),
+            },
+            label: 0,
+        };
+        let balanced = TreeSample {
+            tree: ParseTree::Node {
+                left: Box::new(ParseTree::Node {
+                    left: Box::new(ParseTree::Leaf { token: 0 }),
+                    right: Box::new(ParseTree::Leaf { token: 1 }),
+                }),
+                right: Box::new(ParseTree::Node {
+                    left: Box::new(ParseTree::Leaf { token: 2 }),
+                    right: Box::new(ParseTree::Leaf { token: 3 }),
+                }),
+            },
+            label: 0,
+        };
+        let (g1, _) = a.build(&m, &chain);
+        let (g2, _) = a.build(&m, &balanced);
+        assert_eq!(g1.len(), g2.len(), "same token count, same node count");
+        let d1 = dyn_graph::levels::level_sort(&g1).len();
+        let d2 = dyn_graph::levels::level_sort(&g2).len();
+        assert!(d1 > d2, "chain tree must be deeper: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn untied_leaf_weights_get_their_own_gradient() {
+        let mut m = Model::new(22);
+        let a = Rvnn::register(&mut m, 60, 8, 5);
+        let mut b = bank();
+        let s = b.sample();
+        let (g, l) = a.build(&m, &s);
+        exec::forward_backward(&g, &mut m, l);
+        assert!(m.param(a.w_leaf).grad.frobenius_norm() > 0.0);
+        if s.tree.len() > 1 {
+            assert!(m.param(a.w_l).grad.frobenius_norm() > 0.0);
+        }
+    }
+
+    #[test]
+    fn training_converges_on_one_sample() {
+        let mut m = Model::new(23);
+        let a = Rvnn::register(&mut m, 60, 8, 5);
+        let mut b = bank();
+        let s = b.sample();
+        let trainer = dyn_graph::Trainer::new(0.3);
+        let (g0, l0) = a.build(&m, &s);
+        let first = exec::forward_backward(&g0, &mut m, l0);
+        trainer.update(&mut m);
+        for _ in 0..12 {
+            let (g, l) = a.build(&m, &s);
+            exec::forward_backward(&g, &mut m, l);
+            trainer.update(&mut m);
+        }
+        let (g, l) = a.build(&m, &s);
+        let last = exec::forward(&g, &m)[l.index()][0];
+        assert!(last < first * 0.5, "{first} -> {last}");
+    }
+}

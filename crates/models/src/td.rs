@@ -1,0 +1,241 @@
+//! Time-Delay networks (paper §IV-E: TD-RNN after Waibel et al. / Peddinti
+//! et al., and TD-LSTM with LSTM-style composition).
+//!
+//! Adjacent embeddings are iteratively combined by one *shared* composition
+//! function — `e'_j = f(e_j, e_{j+1})` — halving-by-one the sequence each
+//! level until a single vector summarizes the sentence, which a multi-layer
+//! perceptron classifies. Sentence length alone determines the (triangular)
+//! graph shape.
+
+use dyn_graph::{Graph, LookupId, Model, NodeId, ParamId};
+use vpps_datasets::TreeSample;
+
+use crate::DynamicModel;
+
+/// Shared classifier head: `W2 · relu(W1 · h + b1) + b2` → NLL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MlpHead {
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+}
+
+impl MlpHead {
+    fn register(model: &mut Model, prefix: &str, dim: usize, mlp_dim: usize, classes: usize) -> Self {
+        Self {
+            w1: model.add_matrix(&format!("{prefix}.mlp.W1"), mlp_dim, dim),
+            b1: model.add_bias(&format!("{prefix}.mlp.b1"), mlp_dim),
+            w2: model.add_matrix(&format!("{prefix}.mlp.W2"), classes, mlp_dim),
+            b2: model.add_bias(&format!("{prefix}.mlp.b2"), classes),
+        }
+    }
+
+    fn build(&self, model: &Model, g: &mut Graph, h: NodeId, label: usize) -> NodeId {
+        let m1 = g.matvec(model, self.w1, h);
+        let a1 = g.add_bias(model, self.b1, m1);
+        let r = g.relu(a1);
+        let m2 = g.matvec(model, self.w2, r);
+        let logits = g.add_bias(model, self.b2, m2);
+        g.pick_neg_log_softmax(logits, label)
+    }
+}
+
+/// TD-RNN: vanilla composition `e' = tanh(W_l e_j + W_r e_{j+1} + b)` with a
+/// single composition function reused at every position and level (Socher et
+/// al.'s proposition, as the paper notes).
+#[derive(Debug, Clone)]
+pub struct TdRnn {
+    /// Embedding/hidden dimension (the paper uses 512).
+    pub dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+    emb: LookupId,
+    w_l: ParamId,
+    w_r: ParamId,
+    b: ParamId,
+    head: MlpHead,
+}
+
+impl TdRnn {
+    /// Registers parameters: two `dim×dim` recurrent matrices + MLP head.
+    pub fn register(model: &mut Model, vocab: usize, dim: usize, mlp_dim: usize, classes: usize) -> Self {
+        let emb = model.add_lookup("tdrnn.emb", vocab, dim);
+        let w_l = model.add_matrix("tdrnn.Wl", dim, dim);
+        let w_r = model.add_matrix("tdrnn.Wr", dim, dim);
+        let b = model.add_bias("tdrnn.b", dim);
+        let head = MlpHead::register(model, "tdrnn", dim, mlp_dim, classes);
+        Self { dim, classes, emb, w_l, w_r, b, head }
+    }
+
+    fn compose(&self, model: &Model, g: &mut Graph, l: NodeId, r: NodeId) -> NodeId {
+        let wl = g.matvec(model, self.w_l, l);
+        let wr = g.matvec(model, self.w_r, r);
+        let s = g.add(wl, wr);
+        let sb = g.add_bias(model, self.b, s);
+        g.tanh(sb)
+    }
+}
+
+impl DynamicModel<TreeSample> for TdRnn {
+    fn build(&self, model: &Model, sample: &TreeSample) -> (Graph, NodeId) {
+        let mut g = Graph::new();
+        let mut level: Vec<NodeId> =
+            sample.tree.tokens().iter().map(|&t| g.lookup(model, self.emb, t)).collect();
+        while level.len() > 1 {
+            level = level
+                .windows(2)
+                .map(|pair| self.compose(model, &mut g, pair[0], pair[1]))
+                .collect();
+        }
+        let loss = self.head.build(model, &mut g, level[0], sample.label);
+        (g, loss)
+    }
+}
+
+/// TD-LSTM: the same time-delay reduction with the vanilla composition
+/// replaced by gated (LSTM-style) composition over the two inputs.
+#[derive(Debug, Clone)]
+pub struct TdLstm {
+    /// Embedding/hidden dimension.
+    pub dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+    emb: LookupId,
+    // Gates i, o, u, each from (left, right).
+    g_l: [ParamId; 3],
+    g_r: [ParamId; 3],
+    g_b: [ParamId; 3],
+    head: MlpHead,
+}
+
+impl TdLstm {
+    /// Registers parameters: six `dim×dim` gate matrices + MLP head.
+    pub fn register(model: &mut Model, vocab: usize, dim: usize, mlp_dim: usize, classes: usize) -> Self {
+        let emb = model.add_lookup("tdlstm.emb", vocab, dim);
+        let gates = ["i", "o", "u"];
+        let g_l = gates.map(|x| model.add_matrix(&format!("tdlstm.Wl{x}"), dim, dim));
+        let g_r = gates.map(|x| model.add_matrix(&format!("tdlstm.Wr{x}"), dim, dim));
+        let g_b = gates.map(|x| model.add_bias(&format!("tdlstm.b{x}"), dim));
+        let head = MlpHead::register(model, "tdlstm", dim, mlp_dim, classes);
+        Self { dim, classes, emb, g_l, g_r, g_b, head }
+    }
+
+    fn compose(&self, model: &Model, g: &mut Graph, l: NodeId, r: NodeId) -> NodeId {
+        let gate = |g: &mut Graph, idx: usize| {
+            let a = g.matvec(model, self.g_l[idx], l);
+            let b = g.matvec(model, self.g_r[idx], r);
+            let s = g.add(a, b);
+            g.add_bias(model, self.g_b[idx], s)
+        };
+        let i_in = gate(g, 0);
+        let i = g.sigmoid(i_in);
+        let o_in = gate(g, 1);
+        let o = g.sigmoid(o_in);
+        let u_in = gate(g, 2);
+        let u = g.tanh(u_in);
+        let c = g.cwise_mult(i, u);
+        let tc = g.tanh(c);
+        g.cwise_mult(o, tc)
+    }
+}
+
+impl DynamicModel<TreeSample> for TdLstm {
+    fn build(&self, model: &Model, sample: &TreeSample) -> (Graph, NodeId) {
+        let mut g = Graph::new();
+        let mut level: Vec<NodeId> =
+            sample.tree.tokens().iter().map(|&t| g.lookup(model, self.emb, t)).collect();
+        while level.len() > 1 {
+            level = level
+                .windows(2)
+                .map(|pair| self.compose(model, &mut g, pair[0], pair[1]))
+                .collect();
+        }
+        let loss = self.head.build(model, &mut g, level[0], sample.label);
+        (g, loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyn_graph::exec;
+    use vpps_datasets::{Treebank, TreebankConfig};
+
+    fn bank() -> Treebank {
+        Treebank::new(TreebankConfig { vocab: 80, min_len: 2, max_len: 10, ..Default::default() })
+    }
+
+    #[test]
+    fn td_rnn_graph_is_triangular_in_length() {
+        let mut m = Model::new(16);
+        let a = TdRnn::register(&mut m, 80, 8, 8, 5);
+        let mut b = bank();
+        // With n tokens the reduction performs n-1 + n-2 + ... + 1
+        // compositions; graph size grows quadratically.
+        let sizes: Vec<(usize, usize)> = b
+            .samples(12)
+            .into_iter()
+            .map(|s| (s.tree.len(), a.build(&m, &s).0.len()))
+            .collect();
+        for &(n, size) in &sizes {
+            let comps = n * (n - 1) / 2;
+            // compose = 5 nodes each; + n lookups + MLP (6) + loss... bound:
+            assert!(size >= comps * 5, "n={n}, size={size}");
+        }
+    }
+
+    #[test]
+    fn td_rnn_trains() {
+        let mut m = Model::new(17);
+        let a = TdRnn::register(&mut m, 80, 8, 8, 5);
+        let mut b = bank();
+        let s = b.sample();
+        let trainer = dyn_graph::Trainer::new(0.2);
+        let (g0, l0) = a.build(&m, &s);
+        let first = exec::forward_backward(&g0, &mut m, l0);
+        trainer.update(&mut m);
+        for _ in 0..10 {
+            let (g, l) = a.build(&m, &s);
+            exec::forward_backward(&g, &mut m, l);
+            trainer.update(&mut m);
+        }
+        let (g, l) = a.build(&m, &s);
+        let last = exec::forward(&g, &m)[l.index()][0];
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    #[test]
+    fn td_lstm_builds_and_evaluates() {
+        let mut m = Model::new(18);
+        let a = TdLstm::register(&mut m, 80, 8, 8, 5);
+        let mut b = bank();
+        for s in b.samples(4) {
+            let (g, l) = a.build(&m, &s);
+            let v = exec::forward(&g, &m)[l.index()][0];
+            assert!(v.is_finite() && v > 0.0);
+        }
+    }
+
+    #[test]
+    fn td_lstm_has_more_matrices_than_td_rnn() {
+        let mut m1 = Model::new(19);
+        TdRnn::register(&mut m1, 80, 8, 8, 5);
+        let mut m2 = Model::new(19);
+        TdLstm::register(&mut m2, 80, 8, 8, 5);
+        assert!(m2.dense_param_bytes() > m1.dense_param_bytes());
+    }
+
+    #[test]
+    fn single_token_sentence_skips_composition() {
+        let mut m = Model::new(20);
+        let a = TdRnn::register(&mut m, 80, 8, 8, 5);
+        let s = TreeSample {
+            tree: vpps_datasets::ParseTree::Leaf { token: 3 },
+            label: 1,
+        };
+        let (g, l) = a.build(&m, &s);
+        let v = exec::forward(&g, &m)[l.index()][0];
+        assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,220 @@
+//! Tree-Structured LSTM Sentiment Analyzer (Tai, Socher & Manning 2015) —
+//! the paper's primary benchmark.
+
+use dyn_graph::{Graph, LookupId, Model, NodeId, ParamId};
+use vpps_datasets::{ParseTree, TreeSample};
+
+use crate::DynamicModel;
+
+/// Binary tree-LSTM with a sentiment classifier at the root.
+///
+/// Leaves embed words and gate them through input-only LSTM gates; internal
+/// nodes combine the two children with per-child forget gates (the binary
+/// *N-ary Tree-LSTM* of Tai et al. §3.2). The parse tree of each sentence
+/// dictates the graph shape — different sentences induce differently shaped
+/// networks, the motivating example of the paper's Fig. 1.
+#[derive(Debug, Clone)]
+pub struct TreeLstm {
+    /// Word-embedding dimension.
+    pub emb_dim: usize,
+    /// Hidden (memory) dimension.
+    pub hidden_dim: usize,
+    /// Number of sentiment classes.
+    pub classes: usize,
+    emb: LookupId,
+    // Leaf gates (input only): i, o, u.
+    leaf_w: [ParamId; 3],
+    leaf_b: [ParamId; 3],
+    // Internal gates from (h_l, h_r): i, o, u and two forget gates.
+    comp_l: [ParamId; 5],
+    comp_r: [ParamId; 5],
+    comp_b: [ParamId; 5],
+    cls_w: ParamId,
+    cls_b: ParamId,
+}
+
+impl TreeLstm {
+    /// Registers all parameters: 3 leaf matrices (`h×emb`), 10 composition
+    /// matrices (`h×h`), biases, and the classifier.
+    pub fn register(
+        model: &mut Model,
+        vocab: usize,
+        emb_dim: usize,
+        hidden_dim: usize,
+        classes: usize,
+    ) -> Self {
+        let emb = model.add_lookup("treelstm.emb", vocab, emb_dim);
+        let leaf_gate = ["i", "o", "u"];
+        let leaf_w =
+            leaf_gate.map(|g| model.add_matrix(&format!("treelstm.leaf.W{g}"), hidden_dim, emb_dim));
+        let leaf_b = leaf_gate.map(|g| model.add_bias(&format!("treelstm.leaf.b{g}"), hidden_dim));
+        let comp_gate = ["i", "o", "u", "fl", "fr"];
+        let comp_l =
+            comp_gate.map(|g| model.add_matrix(&format!("treelstm.comp.Ul{g}"), hidden_dim, hidden_dim));
+        let comp_r =
+            comp_gate.map(|g| model.add_matrix(&format!("treelstm.comp.Ur{g}"), hidden_dim, hidden_dim));
+        let comp_b = comp_gate.map(|g| model.add_bias(&format!("treelstm.comp.b{g}"), hidden_dim));
+        let cls_w = model.add_matrix("treelstm.cls.W", classes, hidden_dim);
+        let cls_b = model.add_bias("treelstm.cls.b", classes);
+        Self { emb_dim, hidden_dim, classes, emb, leaf_w, leaf_b, comp_l, comp_r, comp_b, cls_w, cls_b }
+    }
+
+    fn leaf(&self, model: &Model, g: &mut Graph, token: usize) -> (NodeId, NodeId) {
+        let x = g.lookup(model, self.emb, token);
+        let gate = |g: &mut Graph, idx: usize| {
+            let wx = g.matvec(model, self.leaf_w[idx], x);
+            g.add_bias(model, self.leaf_b[idx], wx)
+        };
+        let i_in = gate(g, 0);
+        let i = g.sigmoid(i_in);
+        let o_in = gate(g, 1);
+        let o = g.sigmoid(o_in);
+        let u_in = gate(g, 2);
+        let u = g.tanh(u_in);
+        let c = g.cwise_mult(i, u);
+        let tc = g.tanh(c);
+        let h = g.cwise_mult(o, tc);
+        (h, c)
+    }
+
+    fn compose(
+        &self,
+        model: &Model,
+        g: &mut Graph,
+        (hl, cl): (NodeId, NodeId),
+        (hr, cr): (NodeId, NodeId),
+    ) -> (NodeId, NodeId) {
+        let gate = |g: &mut Graph, idx: usize| {
+            let l = g.matvec(model, self.comp_l[idx], hl);
+            let r = g.matvec(model, self.comp_r[idx], hr);
+            let s = g.add(l, r);
+            g.add_bias(model, self.comp_b[idx], s)
+        };
+        let i_in = gate(g, 0);
+        let i = g.sigmoid(i_in);
+        let o_in = gate(g, 1);
+        let o = g.sigmoid(o_in);
+        let u_in = gate(g, 2);
+        let u = g.tanh(u_in);
+        let fl_in = gate(g, 3);
+        let fl = g.sigmoid(fl_in);
+        let fr_in = gate(g, 4);
+        let fr = g.sigmoid(fr_in);
+
+        let iu = g.cwise_mult(i, u);
+        let flc = g.cwise_mult(fl, cl);
+        let frc = g.cwise_mult(fr, cr);
+        let part = g.add(iu, flc);
+        let c = g.add(part, frc);
+        let tc = g.tanh(c);
+        let h = g.cwise_mult(o, tc);
+        (h, c)
+    }
+
+    fn build_tree(&self, model: &Model, g: &mut Graph, tree: &ParseTree) -> (NodeId, NodeId) {
+        match tree {
+            ParseTree::Leaf { token } => self.leaf(model, g, *token),
+            ParseTree::Node { left, right } => {
+                let l = self.build_tree(model, g, left);
+                let r = self.build_tree(model, g, right);
+                self.compose(model, g, l, r)
+            }
+        }
+    }
+}
+
+impl DynamicModel<TreeSample> for TreeLstm {
+    fn build(&self, model: &Model, sample: &TreeSample) -> (Graph, NodeId) {
+        let mut g = Graph::new();
+        let (h_root, _) = self.build_tree(model, &mut g, &sample.tree);
+        let logits_w = g.matvec(model, self.cls_w, h_root);
+        let logits = g.add_bias(model, self.cls_b, logits_w);
+        let loss = g.pick_neg_log_softmax(logits, sample.label);
+        (g, loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_batch;
+    use dyn_graph::exec;
+    use vpps_datasets::{Treebank, TreebankConfig};
+
+    fn small_arch(m: &mut Model) -> TreeLstm {
+        TreeLstm::register(m, 100, 16, 16, 5)
+    }
+
+    fn small_bank() -> Treebank {
+        Treebank::new(TreebankConfig { vocab: 100, min_len: 3, max_len: 9, ..Default::default() })
+    }
+
+    #[test]
+    fn different_trees_build_different_graphs() {
+        let mut m = Model::new(5);
+        let arch = small_arch(&mut m);
+        let mut bank = small_bank();
+        let sizes: std::collections::BTreeSet<usize> = bank
+            .samples(10)
+            .iter()
+            .map(|s| arch.build(&m, s).0.len())
+            .collect();
+        assert!(sizes.len() > 1, "graph sizes should vary with tree shape");
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let mut m = Model::new(6);
+        let arch = small_arch(&mut m);
+        let mut bank = small_bank();
+        for s in bank.samples(5) {
+            let (g, l) = arch.build(&m, &s);
+            let v = exec::forward(&g, &m);
+            let loss = v[l.index()][0];
+            assert!(loss.is_finite() && loss > 0.0);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_sample() {
+        let mut m = Model::new(7);
+        let arch = small_arch(&mut m);
+        let mut bank = small_bank();
+        let sample = bank.sample();
+        let trainer = dyn_graph::Trainer::new(0.2);
+        let mut losses = Vec::new();
+        for _ in 0..15 {
+            let (g, l) = arch.build(&m, &sample);
+            losses.push(exec::forward_backward(&g, &mut m, l));
+            trainer.update(&mut m);
+        }
+        assert!(losses.last().unwrap() < &(losses[0] * 0.5), "{losses:?}");
+    }
+
+    #[test]
+    fn batch_loss_is_sum_of_singles() {
+        let mut m = Model::new(8);
+        let arch = small_arch(&mut m);
+        let mut bank = small_bank();
+        let samples = bank.samples(3);
+        let (bg, bl) = build_batch(&arch, &m, &samples);
+        let batch_loss = exec::forward(&bg, &m)[bl.index()][0];
+        let single_sum: f32 = samples
+            .iter()
+            .map(|s| {
+                let (g, l) = arch.build(&m, s);
+                exec::forward(&g, &m)[l.index()][0]
+            })
+            .sum();
+        assert!((batch_loss - single_sum).abs() < 1e-4);
+    }
+
+    #[test]
+    fn parameter_footprint_matches_paper_scale() {
+        // h = emb = 256 must be a few megabytes (Table I: ~2.75 MB/launch).
+        let mut m = Model::new(9);
+        let _ = TreeLstm::register(&mut m, 100, 256, 256, 5);
+        let mb = m.dense_param_bytes() as f64 / 1e6;
+        assert!(mb > 2.0 && mb < 5.0, "Tree-LSTM weights {mb} MB");
+    }
+}

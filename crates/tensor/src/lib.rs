@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+// Index-based loops below intentionally mirror the row/column arithmetic
+// of the GPU kernels they model.
+#![allow(clippy::needless_range_loop)]
+
+//! Dense `f32` tensor math and memory-pool allocation for the VPPS reproduction.
+//!
+//! This crate is the numerical substrate shared by every other crate in the
+//! workspace. It deliberately mirrors the primitives the paper's system relies
+//! on from CUDA/CUBLAS and DyNet:
+//!
+//! * [`Matrix`] — a row-major dense matrix, the representation DyNet uses for
+//!   model parameters (the paper caches these in GPU registers).
+//! * [`ops`] — BLAS-like kernels: `gemv` (matrix-vector), `gemv_t`
+//!   (transposed matrix-vector), `ger` (rank-1 update / outer product) and
+//!   `gemm` (matrix-matrix, the CUBLAS fallback of paper §III-C2).
+//! * [`activations`] and [`softmax`] — the static per-element device
+//!   functions of the paper's Fig. 5 (lines 10–13).
+//! * [`pool`] — a bump allocator over one large contiguous buffer with
+//!   4-byte-offset addressing, matching the globally shared DRAM memory pool
+//!   the paper's script instructions index into (§III-B1, footnote 7).
+//! * [`init`] — seeded Glorot/uniform initializers so every experiment in the
+//!   workspace is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use vpps_tensor::{Matrix, ops};
+//!
+//! let w = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+//! let x = [1.0, 0.0, -1.0];
+//! let mut y = [0.0; 2];
+//! ops::gemv(&w, &x, &mut y);
+//! assert_eq!(y, [-2.0, -2.0]);
+//! ```
+
+pub mod activations;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod pool;
+pub mod softmax;
+
+pub use matrix::Matrix;
+pub use pool::{Pool, PoolOffset, PoolOverflowError};

@@ -1,0 +1,267 @@
+//! Row-major dense matrix type.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f32` matrix.
+///
+/// Row-major layout matters for the reproduction: the paper distributes each
+/// *row* of a weight matrix to the registers of one warp so that the initial
+/// DRAM→register load is coalesced (paper §III-A1, footnote 3). Keeping the
+/// master copy row-major means a warp's chunk is contiguous in the backing
+/// slice.
+///
+/// # Example
+///
+/// ```
+/// use vpps_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m[(1, 0)], 3.0);
+/// assert_eq!(m.row(0), &[1.0, 2.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a generator function over `(row, col)` indices.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a matrix from an owned row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows * cols");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the row length the paper's Eq. 1 calls `row_max`
+    /// when maximized over all model matrices).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the matrix holds no elements. Always `false` for a
+    /// constructed matrix (dimensions are validated non-zero) but provided for
+    /// API completeness alongside [`Matrix::len`].
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the matrix in bytes when stored as `f32`, the unit Table I of
+    /// the paper reports weight traffic in.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Borrows row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrows the whole row-major backing buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the whole row-major backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Sets every element to zero (gradient reset between updates).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Returns the transposed matrix (used only by reference implementations
+    /// and tests; the VPPS kernel performs transposed products without
+    /// materializing a transpose, per paper footnote 4).
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Frobenius norm, handy for convergence assertions in tests.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(f, "{preview:?}")?;
+        if self.data.len() > 8 {
+            write!(f, ", ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_requested_shape() {
+        let m = Matrix::zeros(3, 5);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 5);
+        assert_eq!(m.len(), 15);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_fills_row_major() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn row_slices_are_contiguous() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(m.row(2), &[8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(1, 0)] = 7.5;
+        assert_eq!(m[(1, 0)], 7.5);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t[(0, 2)], m[(2, 0)]);
+    }
+
+    #[test]
+    fn size_bytes_counts_f32() {
+        assert_eq!(Matrix::zeros(16, 16).size_bytes(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_rejected() {
+        let _ = Matrix::zeros(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_rejected() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn fill_zero_clears() {
+        let mut m = Matrix::from_fn(2, 2, |_, _| 3.0);
+        m.fill_zero();
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn frobenius_norm_matches_hand_computation() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,161 @@
+//! Softmax, log-softmax and the `pick_neg_log_softmax` loss node.
+//!
+//! `pick_neg_log_softmax` is DyNet's fused classification-loss operation
+//! (negative softmax log-likelihood, the loss the paper's §II names); every
+//! benchmark model in the workspace terminates in it.
+
+/// Numerically stable softmax: `out[i] = exp(x[i] - max) / Σ exp(x[j] - max)`.
+///
+/// # Panics
+///
+/// Panics if `x` is empty or lengths differ.
+pub fn softmax(x: &[f32], out: &mut [f32]) {
+    assert!(!x.is_empty(), "softmax: input must be non-empty");
+    assert_eq!(x.len(), out.len(), "softmax: length mismatch");
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for (o, v) in out.iter_mut().zip(x) {
+        *o = (v - max).exp();
+        sum += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+/// Numerically stable log-softmax.
+///
+/// # Panics
+///
+/// Panics if `x` is empty or lengths differ.
+pub fn log_softmax(x: &[f32], out: &mut [f32]) {
+    assert!(!x.is_empty(), "log_softmax: input must be non-empty");
+    assert_eq!(x.len(), out.len(), "log_softmax: length mismatch");
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = x.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+    for (o, v) in out.iter_mut().zip(x) {
+        *o = v - log_sum;
+    }
+}
+
+/// Forward of the fused classification loss: `-log softmax(x)[label]`.
+///
+/// # Panics
+///
+/// Panics if `x` is empty or `label >= x.len()`.
+pub fn pick_neg_log_softmax(x: &[f32], label: usize) -> f32 {
+    assert!(label < x.len(), "pick_neg_log_softmax: label {label} out of range {}", x.len());
+    let mut ls = vec![0.0; x.len()];
+    log_softmax(x, &mut ls);
+    -ls[label]
+}
+
+/// Backward of the fused classification loss:
+/// `dx[i] += d_loss * (softmax(x)[i] - [i == label])`.
+///
+/// # Panics
+///
+/// Panics if `x` is empty, lengths differ, or `label >= x.len()`.
+pub fn pick_neg_log_softmax_backward(x: &[f32], label: usize, d_loss: f32, dx: &mut [f32]) {
+    assert_eq!(x.len(), dx.len(), "pick_neg_log_softmax_backward: length mismatch");
+    assert!(label < x.len(), "pick_neg_log_softmax_backward: label out of range");
+    let mut p = vec![0.0; x.len()];
+    softmax(x, &mut p);
+    for i in 0..x.len() {
+        let indicator = if i == label { 1.0 } else { 0.0 };
+        dx[i] += d_loss * (p[i] - indicator);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut out = [0.0; 4];
+        softmax(&[1.0, 2.0, 3.0, 4.0], &mut out);
+        let sum: f32 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = [0.0; 3];
+        let mut b = [0.0; 3];
+        softmax(&[1.0, 2.0, 3.0], &mut a);
+        softmax(&[101.0, 102.0, 103.0], &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_inputs() {
+        let mut out = [0.0; 2];
+        softmax(&[1000.0, 1000.0], &mut out);
+        assert!((out[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = [0.5, -1.0, 2.0];
+        let mut ls = [0.0; 3];
+        let mut s = [0.0; 3];
+        log_softmax(&x, &mut ls);
+        softmax(&x, &mut s);
+        for i in 0..3 {
+            assert!((ls[i] - s[i].ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn loss_is_positive_and_minimal_at_confident_correct() {
+        let confident = pick_neg_log_softmax(&[10.0, 0.0, 0.0], 0);
+        let wrong = pick_neg_log_softmax(&[10.0, 0.0, 0.0], 1);
+        assert!(confident < 1e-3);
+        assert!(wrong > 5.0);
+    }
+
+    #[test]
+    fn loss_backward_matches_numeric_gradient() {
+        let x = [0.3_f32, -0.7, 1.2, 0.0];
+        let label = 2;
+        let eps = 1e-3;
+        let mut dx = vec![0.0; x.len()];
+        pick_neg_log_softmax_backward(&x, label, 1.0, &mut dx);
+        for i in 0..x.len() {
+            let mut xp = x;
+            let mut xm = x;
+            xp[i] += eps;
+            xm[i] -= eps;
+            let numeric =
+                (pick_neg_log_softmax(&xp, label) - pick_neg_log_softmax(&xm, label)) / (2.0 * eps);
+            assert!(
+                (dx[i] - numeric).abs() < 1e-2,
+                "component {i}: analytic {} vs numeric {}",
+                dx[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn loss_backward_scales_with_upstream() {
+        let x = [0.1_f32, 0.9];
+        let mut dx1 = vec![0.0; 2];
+        let mut dx2 = vec![0.0; 2];
+        pick_neg_log_softmax_backward(&x, 0, 1.0, &mut dx1);
+        pick_neg_log_softmax_backward(&x, 0, 2.0, &mut dx2);
+        for i in 0..2 {
+            assert!((dx2[i] - 2.0 * dx1[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_rejected() {
+        let _ = pick_neg_log_softmax(&[0.0, 1.0], 5);
+    }
+}

@@ -1,0 +1,101 @@
+//! Device-sensitivity tests: the same model on a smaller (Pascal-class)
+//! simulated GPU must trigger different capacity decisions — and still train
+//! correctly. This exercises the §III-A/§III-C2 decision logic end to end.
+
+use dyn_graph::{Model, Trainer};
+use gpu_sim::DeviceConfig;
+use vpps::{GradStrategy, Handle, KernelPlan, VppsOptions};
+use vpps_datasets::{Treebank, TreebankConfig};
+use vpps_models::{build_batch, TreeLstm};
+
+fn tree_lstm(hidden: usize) -> (Model, TreeLstm) {
+    let mut m = Model::new(808);
+    let arch = TreeLstm::register(&mut m, 150, hidden, hidden, 5);
+    (m, arch)
+}
+
+#[test]
+fn smaller_device_fewer_vpps() {
+    let (m, _) = tree_lstm(64);
+    let titan = KernelPlan::build(&m, &DeviceConfig::titan_v(), 1).unwrap();
+    let pascal = KernelPlan::build(&m, &DeviceConfig::pascal_small(), 1).unwrap();
+    assert!(pascal.total_vpps() < titan.total_vpps());
+}
+
+#[test]
+fn capacity_pressure_changes_strategy_on_small_device() {
+    // A model comfortably cached (with gradients) on the Titan V exceeds
+    // the Pascal-class device's slots and falls back to GEMM gradients.
+    let (m, _) = tree_lstm(256);
+    let titan = KernelPlan::build(&m, &DeviceConfig::titan_v(), 1).unwrap();
+    assert_eq!(titan.grad_strategy(), GradStrategy::InRegister);
+    let pascal = KernelPlan::build(&m, &DeviceConfig::pascal_small(), 1).unwrap();
+    assert_eq!(
+        pascal.grad_strategy(),
+        GradStrategy::GemmFallback,
+        "28-SM device should not fit value+gradient chunks at hidden 256"
+    );
+}
+
+#[test]
+fn training_is_correct_on_both_devices() {
+    let mut bank =
+        Treebank::new(TreebankConfig { vocab: 150, min_len: 3, max_len: 6, ..Default::default() });
+    let samples = bank.samples(3);
+
+    let run = |device: DeviceConfig| {
+        let (mut m, arch) = tree_lstm(32);
+        let opts =
+            VppsOptions { learning_rate: 0.05, pool_capacity: 1 << 21, ..VppsOptions::default() };
+        let mut handle = Handle::new(&m, device, opts).unwrap();
+        let mut losses = Vec::new();
+        for s in &samples {
+            let (g, l) = build_batch(&arch, &m, std::slice::from_ref(s));
+            handle.fb(&mut m, &g, l);
+            losses.push(handle.sync_get_latest_loss());
+        }
+        (losses, m)
+    };
+
+    let (titan_losses, titan_model) = run(DeviceConfig::titan_v());
+    let (pascal_losses, pascal_model) = run(DeviceConfig::pascal_small());
+
+    // Reference for the same schedule.
+    let (mut ref_model, arch) = tree_lstm(32);
+    let trainer = Trainer::new(0.05);
+    let mut ref_losses = Vec::new();
+    for s in &samples {
+        let (g, l) = build_batch(&arch, &ref_model, std::slice::from_ref(s));
+        ref_losses.push(dyn_graph::exec::forward_backward(&g, &mut ref_model, l));
+        trainer.update(&mut ref_model);
+    }
+
+    for ((a, b), c) in titan_losses.iter().zip(&pascal_losses).zip(&ref_losses) {
+        assert!((a - c).abs() < 5e-3, "titan {a} vs reference {c}");
+        assert!((b - c).abs() < 5e-3, "pascal {b} vs reference {c}");
+    }
+    for ((_, pa), (_, pb)) in titan_model.params().zip(pascal_model.params()) {
+        for (x, y) in pa.value.as_slice().iter().zip(pb.value.as_slice()) {
+            assert!((x - y).abs() < 5e-3, "devices must agree on trained {}", pa.name);
+        }
+    }
+}
+
+#[test]
+fn smaller_device_is_slower() {
+    let mut bank =
+        Treebank::new(TreebankConfig { vocab: 150, min_len: 4, max_len: 7, ..Default::default() });
+    let samples = bank.samples(4);
+    let time_on = |device: DeviceConfig| {
+        let (mut m, arch) = tree_lstm(48);
+        let opts = VppsOptions { pool_capacity: 1 << 21, ..VppsOptions::default() };
+        let mut handle = Handle::new(&m, device, opts).unwrap();
+        let (g, l) = build_batch(&arch, &m, &samples);
+        handle.fb(&mut m, &g, l);
+        handle.sync_get_latest_loss();
+        handle.wall_time()
+    };
+    let titan = time_on(DeviceConfig::titan_v());
+    let pascal = time_on(DeviceConfig::pascal_small());
+    assert!(pascal > titan, "pascal {pascal} should be slower than titan {titan}");
+}

@@ -1,0 +1,88 @@
+//! The paper's portability claim, tested on its own counter-example:
+//! Persistent RNN "has to be specifically re-crafted by an expert ... for
+//! example, as in GRU" — VPPS must run a GRU (and arbitrary user variants)
+//! without any kernel work. Training a GRU classifier under VPPS must match
+//! the reference executor exactly.
+
+use dyn_graph::{exec as refexec, Graph, Model, NodeId, Trainer};
+use gpu_sim::DeviceConfig;
+use vpps::{Handle, VppsOptions};
+use vpps_models::GruCell;
+
+fn build_gru_graph(
+    model: &Model,
+    cell: &GruCell,
+    cls: dyn_graph::ParamId,
+    seq: &[f32],
+    label: usize,
+) -> (Graph, NodeId) {
+    let mut g = Graph::new();
+    let xs: Vec<NodeId> = seq.iter().map(|&v| g.input(vec![v; cell.x_dim])).collect();
+    let hs = cell.run(model, &mut g, &xs);
+    let o = g.matvec(model, cls, *hs.last().expect("non-empty sequence"));
+    let loss = g.pick_neg_log_softmax(o, label);
+    (g, loss)
+}
+
+#[test]
+fn gru_training_under_vpps_matches_reference() {
+    let mut model = Model::new(2024);
+    let cell = GruCell::register(&mut model, "gru", 10, 12);
+    let cls = model.add_matrix("cls", 4, 12);
+    let mut ref_model = model.clone();
+
+    let sequences: Vec<(Vec<f32>, usize)> = vec![
+        (vec![0.1, -0.2, 0.3], 0),
+        (vec![0.5, 0.4], 1),
+        (vec![-0.3, 0.2, 0.1, -0.1, 0.6], 2), // varying lengths: dynamic shapes
+        (vec![0.0, 0.0, 0.9], 3),
+    ];
+
+    let opts = VppsOptions { learning_rate: 0.1, pool_capacity: 1 << 20, ..VppsOptions::default() };
+    let mut handle = Handle::new(&model, DeviceConfig::titan_v(), opts).expect("GRU fits");
+    let trainer = Trainer::new(0.1);
+
+    for _ in 0..2 {
+        for (seq, label) in &sequences {
+            let (g, l) = build_gru_graph(&model, &cell, cls, seq, *label);
+            handle.fb(&mut model, &g, l);
+            let vpps_loss = handle.sync_get_latest_loss();
+
+            let (rg, rl) = build_gru_graph(&ref_model, &cell, cls, seq, *label);
+            let ref_loss = refexec::forward_backward(&rg, &mut ref_model, rl);
+            trainer.update(&mut ref_model);
+
+            assert!(
+                (vpps_loss - ref_loss).abs() < 5e-3 * (1.0 + ref_loss.abs()),
+                "GRU diverged: VPPS {vpps_loss} vs reference {ref_loss}"
+            );
+        }
+    }
+
+    for ((_, pa), (_, pb)) in model.params().zip(ref_model.params()) {
+        for (x, y) in pa.value.as_slice().iter().zip(pb.value.as_slice()) {
+            assert!((x - y).abs() < 5e-3, "GRU parameter {} diverged", pa.name);
+        }
+    }
+}
+
+#[test]
+fn gru_learns_under_vpps() {
+    let mut model = Model::new(2025);
+    let cell = GruCell::register(&mut model, "gru", 8, 10);
+    let cls = model.add_matrix("cls", 3, 10);
+    let opts = VppsOptions { learning_rate: 0.2, pool_capacity: 1 << 20, ..VppsOptions::default() };
+    let mut handle = Handle::new(&model, DeviceConfig::titan_v(), opts).expect("fits");
+
+    let seq = vec![0.3, -0.4, 0.2, 0.5];
+    let mut losses = Vec::new();
+    for _ in 0..12 {
+        let (g, l) = build_gru_graph(&model, &cell, cls, &seq, 1);
+        handle.fb(&mut model, &g, l);
+        losses.push(handle.sync_get_latest_loss());
+    }
+    assert!(
+        losses.last().unwrap() < &(losses[0] * 0.5),
+        "GRU under VPPS should converge: {losses:?}"
+    );
+}

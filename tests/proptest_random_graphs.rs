@@ -1,0 +1,156 @@
+//! Property tests over randomly generated dynamic computation graphs:
+//! whatever graph shape the generator produces, VPPS execution must agree
+//! with the reference executor. This is the portability claim tested as a
+//! property, not on a fixed model zoo.
+
+use dyn_graph::{exec as refexec, Graph, Model, NodeId};
+use gpu_sim::{DeviceConfig, GpuSim};
+use proptest::prelude::*;
+use vpps::exec::interp::{run_persistent_kernel, ExecConfig};
+use vpps::script::{generate, TableLayout};
+use vpps::KernelPlan;
+use vpps_tensor::Pool;
+
+const DIM: usize = 12;
+
+/// A recipe for building a random (but always valid) graph.
+#[derive(Debug, Clone)]
+struct GraphRecipe {
+    ops: Vec<u8>,
+    picks: Vec<u8>,
+    label: u8,
+}
+
+fn arb_recipe() -> impl Strategy<Value = GraphRecipe> {
+    (
+        prop::collection::vec(0u8..8, 1..30),
+        prop::collection::vec(any::<u8>(), 30),
+        0u8..4,
+    )
+        .prop_map(|(ops, picks, label)| GraphRecipe { ops, picks, label })
+}
+
+fn build_from_recipe(model: &Model, recipe: &GraphRecipe) -> (Graph, NodeId) {
+    let w1 = model.params().next().expect("model has w1").0;
+    let w2 = model.params().nth(1).expect("model has w2").0;
+    let b = model.params().nth(2).expect("model has bias").0;
+
+    let mut g = Graph::new();
+    let mut frontier = vec![g.input((0..DIM).map(|i| 0.1 * i as f32 - 0.5).collect())];
+    for (i, op) in recipe.ops.iter().enumerate() {
+        let pick = |k: usize| frontier[recipe.picks[(i + k) % recipe.picks.len()] as usize % frontier.len()];
+        let node = match op {
+            0 => g.matvec(model, w1, pick(0)),
+            1 => g.matvec(model, w2, pick(0)),
+            2 => g.add_bias(model, b, pick(0)),
+            3 => g.tanh(pick(0)),
+            4 => g.sigmoid(pick(0)),
+            5 => g.relu(pick(0)),
+            6 => g.add(pick(0), pick(1)),
+            _ => g.cwise_mult(pick(0), pick(1)),
+        };
+        frontier.push(node);
+    }
+    let last = *frontier.last().expect("non-empty");
+    let loss = g.pick_neg_log_softmax(last, recipe.label as usize);
+    (g, loss)
+}
+
+fn small_device() -> DeviceConfig {
+    let mut d = DeviceConfig::titan_v();
+    d.num_sms = 3;
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random graph: VPPS forward/backward/update equals the reference.
+    #[test]
+    fn vpps_matches_reference_on_random_graphs(recipe in arb_recipe()) {
+        let mut model = Model::new(123);
+        model.add_matrix("W1", DIM, DIM);
+        model.add_matrix("W2", DIM, DIM);
+        model.add_bias("b", DIM);
+
+        let (g, loss) = build_from_recipe(&model, &recipe);
+
+        // Reference.
+        let mut ref_model = model.clone();
+        let ref_loss = refexec::forward_backward(&g, &mut ref_model, loss);
+        dyn_graph::Trainer::new(0.05).update(&mut ref_model);
+
+        // VPPS.
+        let plan = KernelPlan::build(&model, &small_device(), 1).expect("tiny model fits");
+        let mut pool = Pool::with_capacity(1 << 18);
+        let tables = TableLayout::install(&model, &mut pool).expect("pool big enough");
+        let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
+        for (id, node) in g.iter() {
+            if let dyn_graph::Op::Input { values } = &node.op {
+                pool.slice_mut(gs.layout.value_off[id.index()], node.dim)
+                    .copy_from_slice(values);
+            }
+        }
+        let mut gpu = GpuSim::new(small_device());
+        let run = run_persistent_kernel(
+            &plan,
+            &gs,
+            &mut pool,
+            &mut model,
+            &mut gpu,
+            ExecConfig { learning_rate: 0.05, weight_decay: 0.0, apply_update: true },
+        );
+
+        prop_assert!(
+            (run.loss - ref_loss).abs() < 1e-3 * (1.0 + ref_loss.abs()),
+            "loss mismatch: vpps {} vs reference {}", run.loss, ref_loss
+        );
+        for ((_, pa), (_, pb)) in model.params().zip(ref_model.params()) {
+            for (x, y) in pa.value.as_slice().iter().zip(pb.value.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-3, "updated parameter {} diverged", pa.name);
+            }
+        }
+    }
+
+    /// Script generation never deadlocks and always schedules every
+    /// instruction (the interpreter asserts deadlock-freedom internally).
+    #[test]
+    fn scripts_never_deadlock(recipe in arb_recipe()) {
+        let mut model = Model::new(321);
+        model.add_matrix("W1", DIM, DIM);
+        model.add_matrix("W2", DIM, DIM);
+        model.add_bias("b", DIM);
+        let (g, loss) = build_from_recipe(&model, &recipe);
+        let plan = KernelPlan::build(&model, &small_device(), 1).expect("fits");
+        let mut pool = Pool::with_capacity(1 << 18);
+        let tables = TableLayout::install(&model, &mut pool).expect("fits");
+        let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
+        prop_assert!(
+            vpps::script::validate_protocol(&gs.scripts).is_ok(),
+            "generated script violates the barrier protocol"
+        );
+        let mut gpu = GpuSim::new(small_device());
+        let run = run_persistent_kernel(
+            &plan, &gs, &mut pool, &mut model, &mut gpu, ExecConfig::default(),
+        );
+        prop_assert!(run.instructions >= g.len() - 1);
+        prop_assert!(run.loss.is_finite());
+    }
+
+    /// The encoded script transfer round-trips for random graphs.
+    #[test]
+    fn encoded_scripts_round_trip(recipe in arb_recipe()) {
+        let mut model = Model::new(555);
+        model.add_matrix("W1", DIM, DIM);
+        model.add_matrix("W2", DIM, DIM);
+        model.add_bias("b", DIM);
+        let (g, loss) = build_from_recipe(&model, &recipe);
+        let plan = KernelPlan::build(&model, &small_device(), 1).expect("fits");
+        let mut pool = Pool::with_capacity(1 << 18);
+        let tables = TableLayout::install(&model, &mut pool).expect("fits");
+        let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
+        let encoded = gs.scripts.encode();
+        let decoded = vpps::script::ScriptSet::decode(&encoded, gs.scripts.num_vpps());
+        prop_assert_eq!(decoded, gs.scripts);
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-crate validation of the real-thread executor: the `signal`/`wait`
+//! protocol on actual atomics must reproduce the sequential interpreter's
+//! results on full benchmark models, not just synthetic graphs.
+
+use dyn_graph::Model;
+use gpu_sim::{DeviceConfig, GpuSim};
+use vpps::exec::interp::{run_persistent_kernel, ExecConfig};
+use vpps::exec::threaded::run_threaded;
+use vpps::script::{generate, TableLayout};
+use vpps::KernelPlan;
+use vpps_datasets::{Treebank, TreebankConfig};
+use vpps_models::{build_batch, DynamicModel, Rvnn, TreeLstm};
+use vpps_tensor::Pool;
+
+fn small_device() -> DeviceConfig {
+    // Few SMs keeps thread counts reasonable while still spreading chunks.
+    let mut d = DeviceConfig::titan_v();
+    d.num_sms = 6;
+    d
+}
+
+fn write_inputs(g: &dyn_graph::Graph, gs: &generate::GeneratedScript, pool: &mut Pool) {
+    for (id, node) in g.iter() {
+        if let dyn_graph::Op::Input { values } = &node.op {
+            pool.slice_mut(gs.layout.value_off[id.index()], node.dim).copy_from_slice(values);
+        }
+    }
+}
+
+fn check_threaded_matches_sequential<S>(
+    arch: &impl DynamicModel<S>,
+    model: &Model,
+    samples: &[S],
+) {
+    let plan = KernelPlan::build(model, &small_device(), 1).unwrap();
+    let (g, loss) = build_batch(arch, model, samples);
+
+    let mut model_a = model.clone();
+    let mut pool_a = Pool::with_capacity(1 << 20);
+    let tables_a = TableLayout::install(&model_a, &mut pool_a).unwrap();
+    let gs_a = generate::generate(&g, loss, &plan, &mut pool_a, &tables_a).unwrap();
+    write_inputs(&g, &gs_a, &mut pool_a);
+    let mut gpu = GpuSim::new(small_device());
+    let seq = run_persistent_kernel(
+        &plan,
+        &gs_a,
+        &mut pool_a,
+        &mut model_a,
+        &mut gpu,
+        ExecConfig::default(),
+    );
+
+    let mut model_b = model.clone();
+    let mut pool_b = Pool::with_capacity(1 << 20);
+    let tables_b = TableLayout::install(&model_b, &mut pool_b).unwrap();
+    let gs_b = generate::generate(&g, loss, &plan, &mut pool_b, &tables_b).unwrap();
+    write_inputs(&g, &gs_b, &mut pool_b);
+    let thr = run_threaded(&plan, &gs_b, &mut pool_b, &mut model_b, ExecConfig::default());
+
+    assert!(
+        (seq.loss - thr).abs() < 1e-3 * (1.0 + seq.loss.abs()),
+        "sequential {} vs threaded {}",
+        seq.loss,
+        thr
+    );
+    for ((_, pa), (_, pb)) in model_a.params().zip(model_b.params()) {
+        for (x, y) in pa.value.as_slice().iter().zip(pb.value.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "parameter {} diverged", pa.name);
+        }
+    }
+}
+
+#[test]
+fn tree_lstm_threaded_equals_sequential() {
+    let mut model = Model::new(600);
+    let arch = TreeLstm::register(&mut model, 80, 12, 12, 5);
+    let mut bank =
+        Treebank::new(TreebankConfig { vocab: 80, min_len: 3, max_len: 7, ..Default::default() });
+    let samples = bank.samples(3);
+    check_threaded_matches_sequential(&arch, &model, &samples);
+}
+
+#[test]
+fn rvnn_threaded_equals_sequential() {
+    let mut model = Model::new(601);
+    let arch = Rvnn::register(&mut model, 60, 16, 5);
+    let mut bank =
+        Treebank::new(TreebankConfig { vocab: 60, min_len: 2, max_len: 9, ..Default::default() });
+    let samples = bank.samples(4);
+    check_threaded_matches_sequential(&arch, &model, &samples);
+}
+
+#[test]
+fn threaded_is_deterministic_up_to_float_reassociation() {
+    // Atomic adds may reassociate float sums across runs; losses must still
+    // agree within tight tolerance run-to-run.
+    let mut model = Model::new(602);
+    let arch = TreeLstm::register(&mut model, 80, 12, 12, 5);
+    let mut bank =
+        Treebank::new(TreebankConfig { vocab: 80, min_len: 4, max_len: 8, ..Default::default() });
+    let samples = bank.samples(2);
+    let plan = KernelPlan::build(&model, &small_device(), 1).unwrap();
+    let (g, loss) = build_batch(&arch, &model, &samples);
+
+    let mut losses = Vec::new();
+    for _ in 0..3 {
+        let mut m = model.clone();
+        let mut pool = Pool::with_capacity(1 << 20);
+        let tables = TableLayout::install(&m, &mut pool).unwrap();
+        let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).unwrap();
+        write_inputs(&g, &gs, &mut pool);
+        losses.push(run_threaded(&plan, &gs, &mut pool, &mut m, ExecConfig::default()));
+    }
+    for w in losses.windows(2) {
+        assert!((w[0] - w[1]).abs() < 1e-4, "threaded runs disagree: {losses:?}");
+    }
+}
