@@ -1,7 +1,8 @@
 //! The baseline training executor.
 
 use dyn_graph::{exec as refexec, Graph, Model, NodeId, Trainer};
-use gpu_sim::{DeviceConfig, GpuSim, HostCostModel, SimTime};
+use gpu_sim::{DeviceConfig, GpuSim, HostCostModel, Metrics, SimTime};
+use vpps::Engine;
 
 use crate::groups::{group_graph, Strategy};
 use crate::kernels;
@@ -108,14 +109,14 @@ impl BaselineExecutor {
             }
         }
         for (_, p) in model.params() {
-            self.gpu.launch(&kernels::update_kernel(p.value.size_bytes() as u64));
+            self.gpu
+                .launch(&kernels::update_kernel(p.value.size_bytes() as u64));
             kernel_count += 1;
         }
         let device = self.gpu.now() - device_before;
 
         let t_graph = self.host.graph_construction(graph.len());
-        let t_sched = self.host.schedule(graph.len(), 0)
-            + self.host.schedule(graph.len(), 0); // forward + backward batching passes
+        let t_sched = self.host.schedule(graph.len(), 0) + self.host.schedule(graph.len(), 0); // forward + backward batching passes
         let t_prep = self.host.kernel_prep(kernel_count);
 
         self.phases.graph_construction += t_graph;
@@ -138,6 +139,13 @@ impl BaselineExecutor {
         &self.gpu
     }
 
+    /// Unified cumulative metrics, extracted from the device counters with
+    /// the same [`Metrics`] plumbing the VPPS engine uses — so baseline and
+    /// VPPS table rows are directly comparable.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::capture(&self.gpu)
+    }
+
     /// Accumulated wall time.
     pub fn wall_time(&self) -> SimTime {
         self.wall
@@ -154,6 +162,28 @@ impl BaselineExecutor {
     }
 }
 
+impl Engine for BaselineExecutor {
+    fn system(&self) -> String {
+        self.strategy.name().to_string()
+    }
+
+    fn train_batch(&mut self, model: &mut Model, graph: &Graph, loss: NodeId) -> f32 {
+        BaselineExecutor::train_batch(self, model, graph, loss)
+    }
+
+    fn metrics(&self) -> Metrics {
+        BaselineExecutor::metrics(self)
+    }
+
+    fn wall_time(&self) -> SimTime {
+        self.wall
+    }
+
+    fn batches(&self) -> u64 {
+        self.batches
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,7 +196,12 @@ mod tests {
         (m, w, cls)
     }
 
-    fn chain(m: &Model, w: dyn_graph::ParamId, cls: dyn_graph::ParamId, steps: usize) -> (Graph, NodeId) {
+    fn chain(
+        m: &Model,
+        w: dyn_graph::ParamId,
+        cls: dyn_graph::ParamId,
+        steps: usize,
+    ) -> (Graph, NodeId) {
         let mut g = Graph::new();
         let mut h = g.input(vec![0.2; 32]);
         for _ in 0..steps {
@@ -180,13 +215,15 @@ mod tests {
 
     #[test]
     fn losses_match_reference_for_all_strategies() {
-        for strategy in
-            [Strategy::Unbatched, Strategy::DepthBased, Strategy::AgendaBased, Strategy::TfFold]
-        {
+        for strategy in [
+            Strategy::Unbatched,
+            Strategy::DepthBased,
+            Strategy::AgendaBased,
+            Strategy::TfFold,
+        ] {
             let (mut m, w, cls) = toy();
             let mut ref_model = m.clone();
-            let mut exec =
-                BaselineExecutor::new(DeviceConfig::titan_v(), strategy, 0.1);
+            let mut exec = BaselineExecutor::new(DeviceConfig::titan_v(), strategy, 0.1);
             let trainer = Trainer::new(0.1);
             for step in 0..4 {
                 let (g, l) = chain(&m, w, cls, 1 + step % 3);
@@ -256,7 +293,10 @@ mod tests {
         ab.train_batch(&mut m2, &sg2, total2);
         let ab_weights = ab.gpu().dram().loads(TrafficTag::Weight);
 
-        assert!(ab_weights < unb_weights, "batched {ab_weights} vs unbatched {unb_weights}");
+        assert!(
+            ab_weights < unb_weights,
+            "batched {ab_weights} vs unbatched {unb_weights}"
+        );
     }
 
     #[test]
@@ -298,6 +338,44 @@ mod tests {
             }
             last = loss;
         }
-        assert!(last < first * 0.5, "baseline training should converge: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "baseline training should converge: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn metrics_come_from_the_unified_plumbing() {
+        let (mut m, w, cls) = toy();
+        let mut exec = BaselineExecutor::new(DeviceConfig::titan_v(), Strategy::DepthBased, 0.1);
+        let (g, l) = chain(&m, w, cls, 3);
+        exec.train_batch(&mut m, &g, l);
+        let metrics = exec.metrics();
+        assert_eq!(metrics.launches, exec.gpu().stats().kernels_launched);
+        assert_eq!(
+            metrics.weight_load_bytes(),
+            exec.gpu().dram().loads(TrafficTag::Weight)
+        );
+        assert!(
+            metrics.launches > 1,
+            "baselines launch one kernel per op group"
+        );
+        // Baselines have no signal/wait protocol.
+        assert_eq!(metrics.barrier_stall, SimTime::ZERO);
+        assert_eq!(metrics.imbalance.total(), 0);
+    }
+
+    #[test]
+    fn engine_trait_reports_the_strategy_name() {
+        use vpps::Engine;
+        let (mut m, w, cls) = toy();
+        let mut exec = BaselineExecutor::new(DeviceConfig::titan_v(), Strategy::AgendaBased, 0.1);
+        let eng: &mut dyn Engine = &mut exec;
+        assert_eq!(eng.system(), "DyNet-AB");
+        let (g, l) = chain(&m, w, cls, 2);
+        let loss = eng.train_batch(&mut m, &g, l);
+        assert!(loss > 0.0);
+        assert_eq!(eng.batches(), 1);
+        assert!(eng.metrics().device_time() > SimTime::ZERO);
     }
 }

@@ -73,7 +73,10 @@ pub fn group_graph(graph: &Graph, strategy: Strategy) -> Vec<KernelGroup> {
 fn unbatched(graph: &Graph) -> Vec<KernelGroup> {
     graph
         .iter()
-        .map(|(id, node)| KernelGroup { kind: node.op.kind(), nodes: vec![id] })
+        .map(|(id, node)| KernelGroup {
+            kind: node.op.kind(),
+            nodes: vec![id],
+        })
         .collect()
 }
 
@@ -93,7 +96,10 @@ fn depth_based(graph: &Graph) -> Vec<KernelGroup> {
             buckets.get_mut(&kind).expect("bucket exists").push(id);
         }
         for kind in order {
-            out.push(KernelGroup { kind, nodes: buckets.remove(&kind).expect("bucket") });
+            out.push(KernelGroup {
+                kind,
+                nodes: buckets.remove(&kind).expect("bucket"),
+            });
         }
     }
     out
@@ -183,8 +189,12 @@ mod tests {
     #[test]
     fn all_strategies_cover_graph_in_valid_order() {
         let (_, g) = two_chains();
-        for s in [Strategy::Unbatched, Strategy::DepthBased, Strategy::AgendaBased, Strategy::TfFold]
-        {
+        for s in [
+            Strategy::Unbatched,
+            Strategy::DepthBased,
+            Strategy::AgendaBased,
+            Strategy::TfFold,
+        ] {
             let groups = group_graph(&g, s);
             assert_valid_order(&g, &groups);
         }
@@ -216,7 +226,10 @@ mod tests {
         let (_, g) = two_chains();
         let db = group_graph(&g, Strategy::DepthBased).len();
         let ab = group_graph(&g, Strategy::AgendaBased).len();
-        assert!(ab <= db, "agenda ({ab}) should not exceed depth ({db}) groups here");
+        assert!(
+            ab <= db,
+            "agenda ({ab}) should not exceed depth ({db}) groups here"
+        );
     }
 
     #[test]

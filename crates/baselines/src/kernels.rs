@@ -272,11 +272,18 @@ mod tests {
     fn fused_matvec_loads_matrix_once() {
         let (m, g) = setup();
         let groups = group_graph(&g, Strategy::DepthBased);
-        let mv = groups.iter().find(|gr| matches!(gr.kind, OpKind::MatVec(_))).unwrap();
+        let mv = groups
+            .iter()
+            .find(|gr| matches!(gr.kind, OpKind::MatVec(_)))
+            .unwrap();
         assert_eq!(mv.len(), 3);
         let descs = forward_kernels(&g, &m, mv);
         assert_eq!(descs.len(), 1);
-        assert_eq!(descs[0].weight_bytes, 16 * 16 * 4, "one matrix load for the whole group");
+        assert_eq!(
+            descs[0].weight_bytes,
+            16 * 16 * 4,
+            "one matrix load for the whole group"
+        );
         assert_eq!(descs[0].other_load_bytes, 3 * 16 * 4);
     }
 
@@ -297,11 +304,21 @@ mod tests {
     fn backward_matvec_reloads_weights_again() {
         let (m, g) = setup();
         let groups = group_graph(&g, Strategy::DepthBased);
-        let mv = groups.iter().find(|gr| matches!(gr.kind, OpKind::MatVec(_))).unwrap();
+        let mv = groups
+            .iter()
+            .find(|gr| matches!(gr.kind, OpKind::MatVec(_)))
+            .unwrap();
         let descs = backward_kernels(&g, &m, mv);
         assert_eq!(descs.len(), 2);
-        assert_eq!(descs[0].weight_bytes, 16 * 16 * 4, "transposed product reloads W");
-        assert_eq!(descs[1].weight_bytes, 0, "outer product reads activations only");
+        assert_eq!(
+            descs[0].weight_bytes,
+            16 * 16 * 4,
+            "transposed product reloads W"
+        );
+        assert_eq!(
+            descs[1].weight_bytes, 0,
+            "outer product reads activations only"
+        );
     }
 
     #[test]
@@ -322,8 +339,14 @@ mod tests {
             let x = g.input(vec![0.1; 256]);
             nodes.push(g.matvec(&m, w, x));
         }
-        let small = KernelGroup { kind: OpKind::MatVec(wid(&m)), nodes: nodes[..1].to_vec() };
-        let large = KernelGroup { kind: OpKind::MatVec(wid(&m)), nodes };
+        let small = KernelGroup {
+            kind: OpKind::MatVec(wid(&m)),
+            nodes: nodes[..1].to_vec(),
+        };
+        let large = KernelGroup {
+            kind: OpKind::MatVec(wid(&m)),
+            nodes,
+        };
         let d_small = &forward_kernels(&g, &m, &small)[0];
         let d_large = &forward_kernels(&g, &m, &large)[0];
         assert!(d_large.ctas > d_small.ctas);
@@ -335,6 +358,9 @@ mod tests {
     #[test]
     fn update_kernel_touches_three_x_bytes() {
         let d = update_kernel(1024);
-        assert_eq!(d.weight_bytes + d.other_load_bytes + d.store_bytes, 3 * 1024);
+        assert_eq!(
+            d.weight_bytes + d.other_load_bytes + d.store_bytes,
+            3 * 1024
+        );
     }
 }

@@ -18,8 +18,12 @@ use vpps_tensor::Pool;
 fn setup() -> (Model, TreeLstm, Vec<vpps_datasets::TreeSample>) {
     let mut model = Model::new(8080);
     let arch = TreeLstm::register(&mut model, 400, 64, 64, 5);
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 400, min_len: 4, max_len: 10, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 400,
+        min_len: 4,
+        max_len: 10,
+        ..Default::default()
+    });
     let samples = bank.samples(4);
     (model, arch, samples)
 }
@@ -36,16 +40,23 @@ fn kernel_time_with_policy(policy: SchedulePolicy) -> f64 {
     let (g, loss) = build_batch(&arch, &model, &samples);
     let mut pool = Pool::with_capacity(1 << 22);
     let tables = TableLayout::install(&model, &mut pool).expect("fits");
-    let gs = generate::generate_with_policy(&g, loss, &plan, &mut pool, &tables, policy)
-        .expect("fits");
+    let gs =
+        generate::generate_with_policy(&g, loss, &plan, &mut pool, &tables, policy).expect("fits");
     for (id, node) in g.iter() {
         if let dyn_graph::Op::Input { values } = &node.op {
-            pool.slice_mut(gs.layout.value_off[id.index()], node.dim).copy_from_slice(values);
+            pool.slice_mut(gs.layout.value_off[id.index()], node.dim)
+                .copy_from_slice(values);
         }
     }
     let mut gpu = GpuSim::new(device());
-    let run =
-        run_persistent_kernel(&plan, &gs, &mut pool, &mut model, &mut gpu, ExecConfig::default());
+    let run = run_persistent_kernel(
+        &plan,
+        &gs,
+        &mut pool,
+        &mut model,
+        &mut gpu,
+        ExecConfig::default(),
+    );
     run.body_time.as_us()
 }
 
@@ -71,7 +82,10 @@ fn device_time_with_strategy(strategy: GradStrategy) -> f64 {
     let (mut model, arch, samples) = setup();
     // Verify the forced plan exists before timing.
     KernelPlan::build_forced(&model, &device(), 1, strategy).expect("both strategies fit");
-    let opts = VppsOptions { pool_capacity: 1 << 22, ..VppsOptions::default() };
+    let opts = VppsOptions {
+        pool_capacity: 1 << 22,
+        ..VppsOptions::default()
+    };
     // The handle picks automatically; emulate forcing by building the plan
     // and running the kernel directly.
     let plan = KernelPlan::build_forced(&model, &device(), 1, strategy).expect("fits");
@@ -81,11 +95,19 @@ fn device_time_with_strategy(strategy: GradStrategy) -> f64 {
     let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
     for (id, node) in g.iter() {
         if let dyn_graph::Op::Input { values } = &node.op {
-            pool.slice_mut(gs.layout.value_off[id.index()], node.dim).copy_from_slice(values);
+            pool.slice_mut(gs.layout.value_off[id.index()], node.dim)
+                .copy_from_slice(values);
         }
     }
     let mut gpu = GpuSim::new(device());
-    run_persistent_kernel(&plan, &gs, &mut pool, &mut model, &mut gpu, ExecConfig::default());
+    run_persistent_kernel(
+        &plan,
+        &gs,
+        &mut pool,
+        &mut model,
+        &mut gpu,
+        ExecConfig::default(),
+    );
     vpps::exec::fallback::apply_gemm_fallback(
         &plan,
         &gs.layout,

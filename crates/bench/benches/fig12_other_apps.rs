@@ -22,8 +22,13 @@ fn fig12(c: &mut Criterion) {
     let device = DeviceConfig::titan_v();
     let mut group = c.benchmark_group("fig12_other_apps");
     group.sample_size(10);
-    for kind in [AppKind::BiLstm, AppKind::BiLstmChar, AppKind::TdRnn, AppKind::TdLstm, AppKind::Rvnn]
-    {
+    for kind in [
+        AppKind::BiLstm,
+        AppKind::BiLstmChar,
+        AppKind::TdRnn,
+        AppKind::TdLstm,
+        AppKind::Rvnn,
+    ] {
         let app = small(kind);
         let v = run_vpps(&app, &device, 2, 1);
         let a = run_baseline(&app, &device, 2, Strategy::AgendaBased);

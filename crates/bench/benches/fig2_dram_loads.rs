@@ -25,7 +25,11 @@ fn fig2(c: &mut Criterion) {
     for kind in [AppKind::TreeLstm, AppKind::BiLstm, AppKind::Rvnn] {
         let app = small(kind);
         let r = run_baseline(&app, &device, 2, Strategy::AgendaBased);
-        eprintln!("fig2[{}]: weight fraction {:.1}%", kind.name(), 100.0 * r.weight_fraction);
+        eprintln!(
+            "fig2[{}]: weight fraction {:.1}%",
+            kind.name(),
+            100.0 * r.weight_fraction
+        );
         group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &app, |b, app| {
             b.iter(|| run_baseline(app, &device, 2, Strategy::AgendaBased).weight_fraction)
         });

@@ -12,7 +12,9 @@ fn fig9(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_hidden_size");
     group.sample_size(10);
     for hidden in [64usize, 128] {
-        let mut spec = AppSpec::paper(AppKind::TreeLstm).with_hidden(hidden).with_emb(64);
+        let mut spec = AppSpec::paper(AppKind::TreeLstm)
+            .with_hidden(hidden)
+            .with_emb(64);
         spec.vocab = 500;
         spec.max_len = 8;
         let app = AppInstance::new(spec, 4);

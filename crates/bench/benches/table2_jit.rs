@@ -21,9 +21,17 @@ fn table2(c: &mut Criterion) {
             plan.jit_cost().program_compile.as_secs(),
             plan.jit_cost().module_load.as_secs()
         );
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &model, |b, model| {
-            b.iter(|| KernelPlan::build(model, &device, 1).expect("fits").jit_cost())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    KernelPlan::build(model, &device, 1)
+                        .expect("fits")
+                        .jit_cost()
+                })
+            },
+        );
     }
     group.finish();
 }

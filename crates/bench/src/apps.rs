@@ -1,9 +1,7 @@
 //! Benchmark application instances at the paper's §IV settings.
 
 use dyn_graph::{Graph, Model, NodeId};
-use vpps_datasets::{
-    TaggedCorpus, TaggedCorpusConfig, Treebank, TreebankConfig, TreeSample,
-};
+use vpps_datasets::{TaggedCorpus, TaggedCorpusConfig, TreeSample, Treebank, TreebankConfig};
 use vpps_models::bilstm_char::CharTaggedSentence;
 use vpps_models::{
     build_batch, BiLstmCharTagger, BiLstmTagger, DynamicModel, Rvnn, TdLstm, TdRnn, TreeLstm,
@@ -86,7 +84,16 @@ impl AppSpec {
             AppKind::TdRnn | AppKind::TdLstm => 14,
             _ => 24,
         };
-        Self { kind, hidden, emb, mlp: 256, char_emb: 64, vocab: 5000, max_len, seed: 0x5EED }
+        Self {
+            kind,
+            hidden,
+            emb,
+            mlp: 256,
+            char_emb: 64,
+            vocab: 5000,
+            max_len,
+            seed: 0x5EED,
+        }
     }
 
     /// Same application with a different hidden-layer length (Fig. 9).
@@ -143,19 +150,33 @@ impl AppInstance {
             }
             AppKind::TdRnn => {
                 let arch = TdRnn::register(&mut model, spec.vocab, spec.emb, spec.mlp, classes);
-                (Arch::TdR(arch), Samples::Trees(tree_samples(&spec, num_inputs)))
+                (
+                    Arch::TdR(arch),
+                    Samples::Trees(tree_samples(&spec, num_inputs)),
+                )
             }
             AppKind::TdLstm => {
                 let arch = TdLstm::register(&mut model, spec.vocab, spec.emb, spec.mlp, classes);
-                (Arch::TdL(arch), Samples::Trees(tree_samples(&spec, num_inputs)))
+                (
+                    Arch::TdL(arch),
+                    Samples::Trees(tree_samples(&spec, num_inputs)),
+                )
             }
             AppKind::Rvnn => {
                 let arch = Rvnn::register(&mut model, spec.vocab, spec.emb, classes);
-                (Arch::Rv(arch), Samples::Trees(tree_samples(&spec, num_inputs)))
+                (
+                    Arch::Rv(arch),
+                    Samples::Trees(tree_samples(&spec, num_inputs)),
+                )
             }
             AppKind::BiLstm => {
                 let arch = BiLstmTagger::register(
-                    &mut model, spec.vocab, spec.emb, spec.hidden, spec.mlp, tags,
+                    &mut model,
+                    spec.vocab,
+                    spec.emb,
+                    spec.hidden,
+                    spec.mlp,
+                    tags,
                 );
                 let corpus = tagged_corpus(&spec, num_inputs);
                 let samples = corpus.sentences()[..num_inputs].to_vec();
@@ -181,7 +202,12 @@ impl AppInstance {
                 (Arch::BiLChar(arch), Samples::Char(samples))
             }
         };
-        Self { spec, model, arch, samples }
+        Self {
+            spec,
+            model,
+            arch,
+            samples,
+        }
     }
 
     /// The spec this instance was built from.
@@ -219,7 +245,10 @@ impl AppInstance {
             samples: &[S],
             batch: usize,
         ) -> Vec<(Graph, NodeId)> {
-            samples.chunks(batch).map(|c| build_batch(arch, model, c)).collect()
+            samples
+                .chunks(batch)
+                .map(|c| build_batch(arch, model, c))
+                .collect()
         }
         match (&self.arch, &self.samples) {
             (Arch::Tree(a), Samples::Trees(s)) => chunks(a, &self.model, s, batch_size),
@@ -273,7 +302,11 @@ mod tests {
             let app = AppInstance::new(spec, 6);
             assert_eq!(app.num_inputs(), 6);
             let batches = app.batch_graphs(4);
-            assert_eq!(batches.len(), 2, "{kind:?}: 6 inputs at batch 4 -> 2 batches");
+            assert_eq!(
+                batches.len(),
+                2,
+                "{kind:?}: 6 inputs at batch 4 -> 2 batches"
+            );
             for (g, l) in &batches {
                 assert_eq!(g.node(*l).dim, 1);
                 assert!(g.len() > 10);

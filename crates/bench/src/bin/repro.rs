@@ -11,11 +11,18 @@
 //! persistent kernel to `vpps_kernel_trace.json`). `--full` uses the
 //! paper's 128-input workloads; the default "quick" scale keeps every trend
 //! visible while running in minutes on one CPU core.
+//!
+//! `--backend=NAME` selects the VPPS execution backend for the sweeps
+//! (`event-interp`, `threaded`, or `parallel-interp`); `parallel-interp`
+//! partitions VPPs across all host cores, which shortens the `fig8`/`fig12`
+//! host wall time on multi-core machines without changing any reported
+//! number — every backend feeds the same unified metrics.
 
 use gpu_sim::DeviceConfig;
+use vpps::BackendKind;
 use vpps_baselines::Strategy;
 use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
-use vpps_bench::harness::{profiled_rpw, run_baseline, run_vpps, RunResult};
+use vpps_bench::harness::{profiled_rpw, run_baseline, run_vpps_with, RunResult};
 use vpps_bench::report::{fmt_mb, fmt_ratio, fmt_tput, render_table};
 
 #[derive(Clone, Copy)]
@@ -78,12 +85,16 @@ fn fig2(scale: &Scale) {
     }
     println!(
         "{}",
-        render_table("Fig 2", &["application", "weight-matrix loads", "other loads"], &rows)
+        render_table(
+            "Fig 2",
+            &["application", "weight-matrix loads", "other loads"],
+            &rows
+        )
     );
     println!("Paper: weight matrices dominate DRAM loads for every application.\n");
 }
 
-fn fig8(scale: &Scale) {
+fn fig8(scale: &Scale, backend: BackendKind) {
     println!("Fig. 8 — Tree-LSTM training throughput vs batch size");
     println!("(hidden = embedding = 256; inputs/s in simulated time)\n");
     let app = AppInstance::new(AppSpec::paper(AppKind::TreeLstm), scale.treelstm_inputs);
@@ -93,7 +104,7 @@ fn fig8(scale: &Scale) {
             continue;
         }
         let rpw = profiled_rpw(&app, &device(), batch);
-        let vpps = run_vpps(&app, &device(), batch, rpw);
+        let vpps = run_vpps_with(&app, &device(), batch, rpw, backend);
         let db = run_baseline(&app, &device(), batch, Strategy::DepthBased);
         let ab = run_baseline(&app, &device(), batch, Strategy::AgendaBased);
         let tf = run_baseline(&app, &device(), batch, Strategy::TfFold);
@@ -112,7 +123,14 @@ fn fig8(scale: &Scale) {
         "{}",
         render_table(
             "Fig 8",
-            &["batch", "VPPS", "DyNet-DB", "DyNet-AB", "TF-Fold", "VPPS/best-DyNet"],
+            &[
+                "batch",
+                "VPPS",
+                "DyNet-DB",
+                "DyNet-AB",
+                "TF-Fold",
+                "VPPS/best-DyNet"
+            ],
             &rows
         )
     );
@@ -120,8 +138,11 @@ fn fig8(scale: &Scale) {
     println!("TF-Fold trails both. The advantage concentrates at small batches.\n");
 }
 
-fn table1(scale: &Scale) {
-    println!("Table I — Weight bytes loaded (MB) training {} inputs", scale.treelstm_inputs);
+fn table1(scale: &Scale, backend: BackendKind) {
+    println!(
+        "Table I — Weight bytes loaded (MB) training {} inputs",
+        scale.treelstm_inputs
+    );
     println!("(Tree-LSTM, hidden = embedding = 256)\n");
     let app = AppInstance::new(AppSpec::paper(AppKind::TreeLstm), scale.treelstm_inputs);
     let mut header = vec!["system".to_owned()];
@@ -132,7 +153,7 @@ fn table1(scale: &Scale) {
             continue;
         }
         header.push(format!("b={batch}"));
-        let vpps = run_vpps(&app, &device(), batch, 1);
+        let vpps = run_vpps_with(&app, &device(), batch, 1, backend);
         let ab = run_baseline(&app, &device(), batch, Strategy::AgendaBased);
         vpps_row.push(fmt_mb(vpps.weight_mb));
         ab_row.push(fmt_mb(ab.weight_mb));
@@ -143,11 +164,13 @@ fn table1(scale: &Scale) {
     println!("(exactly weights x launches); DyNet-AB 2.82k MB shrinking sub-linearly.\n");
 }
 
-fn fig9(scale: &Scale) {
+fn fig9(scale: &Scale, backend: BackendKind) {
     println!("Fig. 9 — Tree-LSTM throughput vs hidden-layer length");
     println!("(word embedding fixed at 128)\n");
     for hidden in [128usize, 256, 384] {
-        let spec = AppSpec::paper(AppKind::TreeLstm).with_hidden(hidden).with_emb(128);
+        let spec = AppSpec::paper(AppKind::TreeLstm)
+            .with_hidden(hidden)
+            .with_emb(128);
         let app = AppInstance::new(spec, scale.treelstm_inputs);
         let mut rows = Vec::new();
         let mut occupancy = String::new();
@@ -156,13 +179,17 @@ fn fig9(scale: &Scale) {
                 continue;
             }
             let rpw = profiled_rpw(&app, &device(), batch);
-            let vpps = run_vpps(&app, &device(), batch, rpw);
+            let vpps = run_vpps_with(&app, &device(), batch, rpw, backend);
             let db = run_baseline(&app, &device(), batch, Strategy::DepthBased);
             let ab = run_baseline(&app, &device(), batch, Strategy::AgendaBased);
             if let Some((ctas, _)) = vpps.vpps_config {
                 occupancy = format!("{} CTA(s)/SM ({}% occupancy)", ctas, 12.5 * ctas as f64);
             }
-            let best = if db.throughput > ab.throughput { &db } else { &ab };
+            let best = if db.throughput > ab.throughput {
+                &db
+            } else {
+                &ab
+            };
             rows.push(vec![
                 batch.to_string(),
                 fmt_tput(vpps.throughput),
@@ -184,7 +211,7 @@ fn fig9(scale: &Scale) {
     println!("occupancy) and drops disproportionately vs 256; VPPS stays ahead.\n");
 }
 
-fn fig10(scale: &Scale) {
+fn fig10(scale: &Scale, backend: BackendKind) {
     println!("Fig. 10 — VPPS execution-time breakdown per input (ms)");
     println!("(Tree-LSTM, hidden = embedding = 256; CPU and GPU overlap at runtime)\n");
     let app = AppInstance::new(AppSpec::paper(AppKind::TreeLstm), scale.treelstm_inputs);
@@ -194,7 +221,7 @@ fn fig10(scale: &Scale) {
             continue;
         }
         let rpw = profiled_rpw(&app, &device(), batch);
-        let r = run_vpps(&app, &device(), batch, rpw);
+        let r = run_vpps_with(&app, &device(), batch, rpw, backend);
         let p = r.vpps_phases.expect("vpps run has phases");
         let per = |t: gpu_sim::SimTime| format!("{:.3}", t.as_ms() / r.inputs as f64);
         rows.push(vec![
@@ -230,11 +257,16 @@ fn fig10(scale: &Scale) {
     println!("bottleneck at large batches (the slight decline in Fig. 8).\n");
 }
 
-fn fig12(scale: &Scale) {
+fn fig12(scale: &Scale, backend: BackendKind) {
     println!("Fig. 12 — Training throughput for the other applications");
     println!("(BiLSTM/BiLSTMwChar/TD-LSTM at 256; TD-RNN/RvNN at 512)\n");
-    for kind in [AppKind::BiLstm, AppKind::BiLstmChar, AppKind::TdRnn, AppKind::TdLstm, AppKind::Rvnn]
-    {
+    for kind in [
+        AppKind::BiLstm,
+        AppKind::BiLstmChar,
+        AppKind::TdRnn,
+        AppKind::TdLstm,
+        AppKind::Rvnn,
+    ] {
         let app = AppInstance::new(AppSpec::paper(kind), inputs_for(kind, scale));
         let mut rows = Vec::new();
         let mut peak: f64 = 0.0;
@@ -243,10 +275,14 @@ fn fig12(scale: &Scale) {
                 continue;
             }
             let rpw = profiled_rpw(&app, &device(), batch);
-            let vpps = run_vpps(&app, &device(), batch, rpw);
+            let vpps = run_vpps_with(&app, &device(), batch, rpw, backend);
             let db = run_baseline(&app, &device(), batch, Strategy::DepthBased);
             let ab = run_baseline(&app, &device(), batch, Strategy::AgendaBased);
-            let best = if db.throughput > ab.throughput { &db } else { &ab };
+            let best = if db.throughput > ab.throughput {
+                &db
+            } else {
+                &ab
+            };
             let ratio = vpps.throughput / best.throughput;
             peak = peak.max(ratio);
             rows.push(vec![
@@ -260,7 +296,11 @@ fn fig12(scale: &Scale) {
         println!(
             "{}",
             render_table(
-                &format!("Fig 12 - {} (peak VPPS advantage {})", kind.name(), fmt_ratio(peak)),
+                &format!(
+                    "Fig 12 - {} (peak VPPS advantage {})",
+                    kind.name(),
+                    fmt_ratio(peak)
+                ),
                 &["batch", "VPPS", "DyNet-DB", "DyNet-AB", "VPPS/best"],
                 &rows
             )
@@ -292,7 +332,13 @@ fn table2() {
         "{}",
         render_table(
             "Table II",
-            &["application", "prog. compile (s)", "module load (s)", "instantiations", "regs/thread"],
+            &[
+                "application",
+                "prog. compile (s)",
+                "module load (s)",
+                "instantiations",
+                "regs/thread"
+            ],
             &rows
         )
     );
@@ -319,7 +365,8 @@ fn trace() {
     let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
     for (id, node) in g.iter() {
         if let dyn_graph::Op::Input { values } = &node.op {
-            pool.slice_mut(gs.layout.value_off[id.index()], node.dim).copy_from_slice(values);
+            pool.slice_mut(gs.layout.value_off[id.index()], node.dim)
+                .copy_from_slice(values);
         }
     }
     let mut gpu = gpu_sim::GpuSim::new(device());
@@ -346,36 +393,49 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { FULL } else { QUICK };
-    let cmd = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let backend = match args.iter().find_map(|a| a.strip_prefix("--backend=")) {
+        Some(name) => name.parse::<BackendKind>().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => BackendKind::default(),
+    };
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
 
     let t0 = std::time::Instant::now();
     println!(
-        "VPPS reproduction — simulated {} — scale: {}\n",
+        "VPPS reproduction — simulated {} — scale: {} — backend: {}\n",
         device().name,
-        if full { "full (paper)" } else { "quick" }
+        if full { "full (paper)" } else { "quick" },
+        backend.name()
     );
     match cmd {
         "fig2" => fig2(&scale),
-        "fig8" => fig8(&scale),
-        "fig9" => fig9(&scale),
-        "fig10" => fig10(&scale),
-        "fig12" => fig12(&scale),
-        "table1" => table1(&scale),
+        "fig8" => fig8(&scale, backend),
+        "fig9" => fig9(&scale, backend),
+        "fig10" => fig10(&scale, backend),
+        "fig12" => fig12(&scale, backend),
+        "table1" => table1(&scale, backend),
         "table2" => table2(),
         "trace" => trace(),
         "all" => {
             table2();
             fig2(&scale);
-            fig8(&scale);
-            table1(&scale);
-            fig9(&scale);
-            fig10(&scale);
-            fig12(&scale);
+            fig8(&scale, backend);
+            table1(&scale, backend);
+            fig9(&scale, backend);
+            fig10(&scale, backend);
+            fig12(&scale, backend);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|all] [--full]"
+                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|all] \
+                 [--full] [--backend=event-interp|threaded|parallel-interp]"
             );
             std::process::exit(2);
         }

@@ -1,8 +1,8 @@
 //! Experiment runner: trains one app instance under VPPS or a baseline and
 //! collects the metrics the paper's tables and figures report.
 
-use gpu_sim::{DeviceConfig, SimTime};
-use vpps::{Handle, PhaseBreakdown, RpwMode, VppsOptions};
+use gpu_sim::{DeviceConfig, Metrics, SimTime};
+use vpps::{BackendKind, Engine, Handle, PhaseBreakdown, RpwMode, VppsOptions};
 use vpps_baselines::{BaselineExecutor, Strategy};
 
 use crate::apps::AppInstance;
@@ -38,6 +38,9 @@ pub struct RunResult {
     pub vpps_phases: Option<PhaseBreakdown>,
     /// VPPS `(ctas_per_sm, rpw)` of the plan used; `None` for baselines.
     pub vpps_config: Option<(usize, usize)>,
+    /// Full unified metrics for the run — every headline column above is
+    /// derived from this one struct, identically for every system.
+    pub metrics: Metrics,
 }
 
 /// Sizes the device pool for the largest batch graph of the run.
@@ -82,12 +85,37 @@ pub fn profiled_rpw(app: &AppInstance, device: &DeviceConfig, batch: usize) -> u
 }
 
 /// Trains one epoch under VPPS and reports the metrics.
-pub fn run_vpps(app: &AppInstance, device: &DeviceConfig, batch_size: usize, rpw: usize) -> RunResult {
+///
+/// Convenience wrapper over [`run_vpps_with`] using the default execution
+/// backend.
+pub fn run_vpps(
+    app: &AppInstance,
+    device: &DeviceConfig,
+    batch_size: usize,
+    rpw: usize,
+) -> RunResult {
+    run_vpps_with(app, device, batch_size, rpw, BackendKind::default())
+}
+
+/// Trains one epoch under VPPS with an explicit execution backend and
+/// reports the metrics. All counters come from the unified
+/// [`Metrics`] plumbing ([`Handle::metrics`]), so every backend — the
+/// event-driven interpreter, the threaded executor or the wave-parallel
+/// interpreter — reports identical DRAM-byte and launch counts; only host
+/// wall time differs.
+pub fn run_vpps_with(
+    app: &AppInstance,
+    device: &DeviceConfig,
+    batch_size: usize,
+    rpw: usize,
+    backend: BackendKind,
+) -> RunResult {
     let mut model = app.fresh_model();
     let opts = VppsOptions {
         rpw: RpwMode::Fixed(rpw),
         learning_rate: 0.05,
         pool_capacity: pool_capacity_for(app, batch_size),
+        backend,
         ..VppsOptions::default()
     };
     let mut handle = Handle::new(&model, device.clone(), opts)
@@ -99,21 +127,22 @@ pub fn run_vpps(app: &AppInstance, device: &DeviceConfig, batch_size: usize, rpw
     let final_loss = handle.sync_get_latest_loss();
     let wall = handle.steady_state_time();
     let inputs = app.num_inputs();
-    let dram = handle.gpu().dram();
+    let metrics = handle.metrics();
     RunResult {
         system: "VPPS".to_owned(),
         batch_size,
         inputs,
         wall,
         throughput: inputs as f64 / wall.as_secs(),
-        weight_mb: dram.weight_loads_mb(),
-        weight_fraction: dram.weight_load_fraction(),
-        kernels: handle.gpu().stats().kernels_launched,
+        weight_mb: metrics.weight_loads_mb(),
+        weight_fraction: metrics.weight_load_fraction(),
+        kernels: metrics.launches,
         final_loss,
         host_time: handle.phases().host_total(),
         device_time: handle.phases().device_total(),
         vpps_phases: Some(*handle.phases()),
         vpps_config: Some((handle.plan().ctas_per_sm(), handle.plan().rpw())),
+        metrics,
     }
 }
 
@@ -130,23 +159,24 @@ pub fn run_baseline(
     for (g, l) in &app.batch_graphs(batch_size) {
         final_loss = exec.train_batch(&mut model, g, *l);
     }
-    let wall = exec.wall_time();
+    let wall = Engine::wall_time(&exec);
     let inputs = app.num_inputs();
-    let dram = exec.gpu().dram();
+    let metrics = exec.metrics();
     RunResult {
         system: strategy.name().to_owned(),
         batch_size,
         inputs,
         wall,
         throughput: inputs as f64 / wall.as_secs(),
-        weight_mb: dram.weight_loads_mb(),
-        weight_fraction: dram.weight_load_fraction(),
-        kernels: exec.gpu().stats().kernels_launched,
+        weight_mb: metrics.weight_loads_mb(),
+        weight_fraction: metrics.weight_load_fraction(),
+        kernels: metrics.launches,
         final_loss,
         host_time: exec.phases().host_total(),
         device_time: exec.phases().device,
         vpps_phases: None,
         vpps_config: None,
+        metrics,
     }
 }
 
@@ -198,6 +228,28 @@ mod tests {
             ab.throughput
         );
         assert!(vpps.weight_mb < ab.weight_mb);
+    }
+
+    #[test]
+    fn every_backend_reports_identical_bench_counters() {
+        let app = tiny_app();
+        let reference = run_vpps_with(
+            &app,
+            &DeviceConfig::titan_v(),
+            4,
+            1,
+            BackendKind::EventInterp,
+        );
+        for kind in [BackendKind::Threaded, BackendKind::ParallelInterp] {
+            let r = run_vpps_with(&app, &DeviceConfig::titan_v(), 4, 1, kind);
+            assert_eq!(r.final_loss, reference.final_loss, "{kind:?} loss");
+            assert_eq!(r.kernels, reference.kernels, "{kind:?} launches");
+            assert_eq!(
+                r.metrics.dram, reference.metrics.dram,
+                "{kind:?} DRAM bytes"
+            );
+            assert_eq!(r.wall, reference.wall, "{kind:?} simulated wall time");
+        }
     }
 
     #[test]

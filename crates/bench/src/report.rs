@@ -87,7 +87,10 @@ mod tests {
         let t = render_table(
             "T",
             &["name", "v"],
-            &[vec!["a".into(), "1000".into()], vec!["longer".into(), "2".into()]],
+            &[
+                vec!["a".into(), "1000".into()],
+                vec!["longer".into(), "2".into()],
+            ],
         );
         let header_line = t.lines().nth(2).unwrap();
         let row1 = t.lines().nth(4).unwrap();

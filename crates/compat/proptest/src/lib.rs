@@ -1,0 +1,241 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the subset of the proptest 1.x API its tests use: the [`Strategy`] trait
+//! with `prop_map`/`boxed`, range and tuple and `collection::vec` strategies,
+//! [`any`], `prop_oneof!`, the `proptest!` test macro with an optional
+//! `#![proptest_config(...)]` header, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its case
+//! index and message and panics immediately) and a fixed deterministic seed
+//! per test (derived from the case count), so failures reproduce exactly.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+/// Value-producing strategies over standard collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Number-of-elements specification for [`vec`]: a fixed size or a
+    /// half-open range, mirroring `proptest::collection::SizeRange`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`], mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!`-based test module needs, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, returning a
+/// [`test_runner::TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Picks uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports the upstream surface the workspace
+/// uses: an optional `#![proptest_config(...)]` header and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(&strategy, |($($arg,)+)| {
+                (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u32),
+        Rect(u32, u32),
+    }
+
+    fn arb_shape() -> impl Strategy<Value = Shape> {
+        prop_oneof![
+            any::<bool>().prop_map(|_| Shape::Dot),
+            (1u32..10).prop_map(Shape::Line),
+            (1u32..10, 1u32..10).prop_map(|(a, b)| Shape::Rect(a, b)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs_respect_bounds(
+            x in 3usize..17,
+            v in prop::collection::vec(any::<u8>(), 5),
+            w in prop::collection::vec(0u8..4, 1..9),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!(!w.is_empty() && w.len() < 9);
+            prop_assert!(w.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(shapes in prop::collection::vec(arb_shape(), 64)) {
+            // With 64 draws per case the union should not collapse to one arm.
+            let dots = shapes.iter().filter(|s| matches!(s, Shape::Dot)).count();
+            prop_assert!(dots < shapes.len());
+            if false {
+                return Ok(()); // `return Ok(())` must type-check inside bodies
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn failing_property_panics() {
+        proptest! {
+            fn always_fails(x in 0u8..8) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = (0u32..1000, prop::collection::vec(any::<u8>(), 0..10));
+        let mut all = Vec::new();
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(10));
+        runner.run(&s, |v| {
+            all.push(v);
+            Ok(())
+        });
+        let mut again = Vec::new();
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(10));
+        runner.run(&s, |v| {
+            again.push(v);
+            Ok(())
+        });
+        assert_eq!(all, again);
+    }
+}

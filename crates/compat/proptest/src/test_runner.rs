@@ -1,0 +1,99 @@
+//! Configuration and the case-running loop behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Deterministic RNG handed to strategies while a case's inputs are drawn.
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    fn for_case(seed: u64, case: u32) -> Self {
+        // One independent stream per case so editing the case count does not
+        // reshuffle every earlier case.
+        Self { rng: StdRng::seed_from_u64(seed ^ (0x9E37_79B9 + u64::from(case)).rotate_left(17)) }
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A test-body failure (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property did not hold; the payload is the assertion message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Drives a strategy through `config.cases` seeded cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Builds a runner. The base seed is fixed (overridable with the
+    /// `PROPTEST_SEED` environment variable) so failures reproduce exactly.
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x0BAD_5EED_CAFE_F00D);
+        Self { config, seed }
+    }
+
+    /// Runs `test` on freshly drawn inputs for every case, panicking on the
+    /// first failure (no shrinking in this offline subset).
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::for_case(self.seed, case);
+            let value = strategy.sample(&mut rng);
+            if let Err(e) = test(value) {
+                panic!(
+                    "proptest: property failed: {e}\nminimal failing input: not shrunk \
+                     (offline shim); case {case}/{} with seed {:#x}",
+                    self.config.cases, self.seed,
+                );
+            }
+        }
+    }
+}

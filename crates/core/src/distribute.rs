@@ -118,7 +118,10 @@ impl DistGeometry {
         rpw: usize,
         row_max: usize,
     ) -> Result<Self, VppsError> {
-        assert!(ctas_per_sm == 1 || ctas_per_sm == 2, "VPPS supports 1 or 2 CTAs per SM");
+        assert!(
+            ctas_per_sm == 1 || ctas_per_sm == 2,
+            "VPPS supports 1 or 2 CTAs per SM"
+        );
         assert!(rpw >= 1, "rows-per-warp must be at least 1");
         if row_max == 0 {
             return Err(VppsError::NoParameters);
@@ -245,7 +248,11 @@ impl Distribution {
         let total_vpps = geometry.total_vpps();
         let mut slot = 0usize;
 
-        let passes: &[bool] = if cache_grads { &[false, true] } else { &[false] };
+        let passes: &[bool] = if cache_grads {
+            &[false, true]
+        } else {
+            &[false]
+        };
         for &is_grad in passes {
             for shape in shapes {
                 let mut row = 0;
@@ -425,8 +432,18 @@ mod tests {
         let geo = DistGeometry::derive(&titan(), 2, 1, 256).unwrap();
         let p0 = pid(0);
         let p1 = pid(1);
-        let shapes =
-            [ParamShape { id: p0, rows: 256, cols: 256 }, ParamShape { id: p1, rows: 100, cols: 200 }];
+        let shapes = [
+            ParamShape {
+                id: p0,
+                rows: 256,
+                cols: 256,
+            },
+            ParamShape {
+                id: p1,
+                rows: 100,
+                cols: 200,
+            },
+        ];
         let dist = Distribution::build(&shapes, geo, true).unwrap();
         for shape in &shapes {
             let mut covered = vec![0u8; shape.rows];
@@ -437,7 +454,10 @@ mod tests {
                     covered[r] += 1;
                 }
             }
-            assert!(covered.iter().all(|&n| n == 1), "rows must be covered exactly once");
+            assert!(
+                covered.iter().all(|&n| n == 1),
+                "rows must be covered exactly once"
+            );
         }
     }
 
@@ -445,7 +465,11 @@ mod tests {
     fn gradient_chunks_mirror_value_chunks() {
         let geo = DistGeometry::derive(&titan(), 2, 1, 256).unwrap();
         let p = pid(0);
-        let shapes = [ParamShape { id: p, rows: 256, cols: 256 }];
+        let shapes = [ParamShape {
+            id: p,
+            rows: 256,
+            cols: 256,
+        }];
         let dist = Distribution::build(&shapes, geo, true).unwrap();
         assert_eq!(dist.value_chunks_of(p).len(), dist.grad_chunks_of(p).len());
         assert!(dist.caches_gradients());
@@ -460,8 +484,16 @@ mod tests {
     fn no_grad_caching_allocates_no_grad_chunks() {
         let geo = DistGeometry::derive(&titan(), 2, 1, 256).unwrap();
         let p = pid(0);
-        let dist =
-            Distribution::build(&[ParamShape { id: p, rows: 64, cols: 256 }], geo, false).unwrap();
+        let dist = Distribution::build(
+            &[ParamShape {
+                id: p,
+                rows: 64,
+                cols: 256,
+            }],
+            geo,
+            false,
+        )
+        .unwrap();
         assert!(dist.grad_chunks_of(p).is_empty());
         assert!(!dist.caches_gradients());
     }
@@ -471,8 +503,16 @@ mod tests {
         let geo = DistGeometry::derive(&titan(), 1, 1, 256).unwrap();
         let p = pid(0);
         // 256 rows / (8 warps * 1 rpw) = 32 chunks over 80 VPPs.
-        let dist =
-            Distribution::build(&[ParamShape { id: p, rows: 256, cols: 256 }], geo, false).unwrap();
+        let dist = Distribution::build(
+            &[ParamShape {
+                id: p,
+                rows: 256,
+                cols: 256,
+            }],
+            geo,
+            false,
+        )
+        .unwrap();
         for (i, cid) in dist.value_chunks_of(p).iter().enumerate() {
             let c = dist.chunk(*cid);
             assert_eq!(c.vpp, i % 80);
@@ -484,7 +524,11 @@ mod tests {
     fn imbalance_is_at_most_one_chunk() {
         let geo = DistGeometry::derive(&titan(), 2, 1, 256).unwrap();
         let shapes: Vec<ParamShape> = (0..10)
-            .map(|i| ParamShape { id: pid(i), rows: 256, cols: 256 })
+            .map(|i| ParamShape {
+                id: pid(i),
+                rows: 256,
+                cols: 256,
+            })
             .collect();
         let dist = Distribution::build(&shapes, geo, true).unwrap();
         assert!(dist.max_chunks_per_vpp() - dist.min_chunks_per_vpp() <= 1);
@@ -496,8 +540,13 @@ mod tests {
         // partitions_per_vpp = (128-63)/32 = 2 -> 160 VPPs * 2 = 320 slots.
         // One 1024x1024 matrix = 128 value chunks; with grads 256; four
         // matrices = 1024 chunks > 320 slots.
-        let shapes: Vec<ParamShape> =
-            (0..4).map(|i| ParamShape { id: pid(i), rows: 1024, cols: 1024 }).collect();
+        let shapes: Vec<ParamShape> = (0..4)
+            .map(|i| ParamShape {
+                id: pid(i),
+                rows: 1024,
+                cols: 1024,
+            })
+            .collect();
         let err = Distribution::build(&shapes, geo, true).unwrap_err();
         assert!(matches!(err, VppsError::ModelTooLarge { .. }));
     }
@@ -507,7 +556,13 @@ mod tests {
         // §IV-C: hidden 256 fits 2 CTAs/SM; hidden 384 forces 1 CTA/SM.
         // Model 13 h x h matrices with gradients, like Tree-LSTM.
         let shapes_of = |h: usize| -> Vec<ParamShape> {
-            (0..13).map(|i| ParamShape { id: pid(i), rows: h, cols: h }).collect()
+            (0..13)
+                .map(|i| ParamShape {
+                    id: pid(i),
+                    rows: h,
+                    cols: h,
+                })
+                .collect()
         };
         let geo256 = DistGeometry::derive(&titan(), 2, 1, 256).unwrap();
         assert!(Distribution::build(&shapes_of(256), geo256, true).is_ok());
@@ -522,10 +577,26 @@ mod tests {
     fn cached_bytes_accounts_values_and_grads() {
         let geo = DistGeometry::derive(&titan(), 2, 1, 128).unwrap();
         let p = pid(0);
-        let with_grads =
-            Distribution::build(&[ParamShape { id: p, rows: 128, cols: 128 }], geo, true).unwrap();
-        let without =
-            Distribution::build(&[ParamShape { id: p, rows: 128, cols: 128 }], geo, false).unwrap();
+        let with_grads = Distribution::build(
+            &[ParamShape {
+                id: p,
+                rows: 128,
+                cols: 128,
+            }],
+            geo,
+            true,
+        )
+        .unwrap();
+        let without = Distribution::build(
+            &[ParamShape {
+                id: p,
+                rows: 128,
+                cols: 128,
+            }],
+            geo,
+            false,
+        )
+        .unwrap();
         assert_eq!(with_grads.cached_bytes(), 2 * without.cached_bytes());
         assert_eq!(without.cached_bytes(), 128 * 128 * 4);
     }
@@ -542,7 +613,9 @@ mod proptests {
 
     fn build_ids(count: usize) -> Vec<ParamId> {
         let mut m = dyn_graph::Model::new(0);
-        (0..count).map(|i| m.add_matrix(&format!("p{i}"), 1, 1)).collect()
+        (0..count)
+            .map(|i| m.add_matrix(&format!("p{i}"), 1, 1))
+            .collect()
     }
 
     proptest! {

@@ -1,0 +1,357 @@
+//! The unified execution engine (backend abstraction layer).
+//!
+//! Every way of executing a batch's generated scripts — the event-driven
+//! interpreter, the real-thread executor, and the wave-parallel interpreter —
+//! implements one [`ExecutionBackend`] trait:
+//!
+//! * [`ExecutionBackend::prepare`] analyzes the scripts once into a
+//!   [`Session`]: the full per-VPP timeline, the kernel body time and a
+//!   complete [`gpu_sim::Metrics`] record (DRAM traffic by tag, launch
+//!   count, barrier-stall time, load-imbalance histogram).
+//! * [`ExecutionBackend::run`] executes the script phase against the memory
+//!   pool and register cache and returns a [`RunOutcome`].
+//!
+//! Because timing and traffic are computed analytically in `prepare` (every
+//! instruction's cost is data-independent), all backends report **identical
+//! metrics by construction** — the backends differ only in how the
+//! arithmetic itself is carried out. [`run_batch`] is the shared driver:
+//! prologue (parameter load into the register cache), backend run, epilogue
+//! (gradient application), and the single [`gpu_sim::Metrics::commit`] that
+//! posts the batch to the simulated device.
+//!
+//! The batch-level [`Engine`] trait is the corresponding abstraction one
+//! level up: anything that can train a batch graph and report unified
+//! metrics — the VPPS [`crate::Handle`] or a DyNet-style baseline executor —
+//! so benchmark tables compare numbers produced by identical plumbing.
+
+pub mod backends;
+pub mod timeline;
+
+use std::str::FromStr;
+
+use dyn_graph::{Graph, Model, NodeId};
+use gpu_sim::{CostModel, GpuSim, ImbalanceHistogram, Metrics, SimTime, TrafficTag};
+use vpps_tensor::{Pool, PoolOffset};
+
+use crate::exec::interp::{ExecConfig, KernelRun};
+use crate::exec::regcache::RegCache;
+use crate::exec::trace::KernelTrace;
+use crate::script::GeneratedScript;
+use crate::specialize::{GradStrategy, KernelPlan};
+
+pub use backends::{EventInterp, ParallelInterp, Threaded};
+pub use timeline::TimelineReport;
+
+/// Which execution backend a [`crate::Handle`] (or test) should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Deterministic single-thread event-driven interpreter (the reference).
+    #[default]
+    EventInterp,
+    /// One OS thread per VPP with real atomic barriers (validates the
+    /// signal/wait protocol under true concurrency).
+    Threaded,
+    /// Wave-parallel interpreter: VPPs are partitioned across a host worker
+    /// pool per barrier wave, with a deterministic merge that reproduces the
+    /// reference execution bit-for-bit.
+    ParallelInterp,
+}
+
+impl BackendKind {
+    /// Every backend, in display order.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::EventInterp,
+        BackendKind::Threaded,
+        BackendKind::ParallelInterp,
+    ];
+
+    /// Short stable name (accepted back by [`FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::EventInterp => "event-interp",
+            BackendKind::Threaded => "threaded",
+            BackendKind::ParallelInterp => "parallel-interp",
+        }
+    }
+
+    /// The backend implementation for this kind.
+    pub fn backend(self) -> &'static dyn ExecutionBackend {
+        match self {
+            BackendKind::EventInterp => &EventInterp,
+            BackendKind::Threaded => &Threaded,
+            BackendKind::ParallelInterp => &ParallelInterp,
+        }
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "event-interp" | "event" | "interp" | "serial" => Ok(BackendKind::EventInterp),
+            "threaded" | "threads" => Ok(BackendKind::Threaded),
+            "parallel-interp" | "parallel" => Ok(BackendKind::ParallelInterp),
+            other => Err(format!(
+                "unknown backend {other:?} (expected event-interp, threaded or parallel-interp)"
+            )),
+        }
+    }
+}
+
+/// A prepared batch: plan + scripts + the analytic schedule and metrics.
+///
+/// Built once per batch by [`ExecutionBackend::prepare`] (or directly via
+/// [`Session::build`]); consumed read-only by [`ExecutionBackend::run`], so
+/// one session can be executed by several backends for cross-checking.
+#[derive(Debug)]
+pub struct Session<'a> {
+    /// The specialized kernel plan (register distribution, grad strategy).
+    pub plan: &'a KernelPlan,
+    /// The batch's generated scripts and pool layout.
+    pub gs: &'a GeneratedScript,
+    /// Training hyper-parameters for the epilogue.
+    pub cfg: ExecConfig,
+    /// Event-driven schedule of the script phase.
+    pub timeline: TimelineReport,
+    /// The batch's complete metrics (timing + traffic), computed up front.
+    pub metrics: Metrics,
+}
+
+impl<'a> Session<'a> {
+    /// Analyzes `gs` into a session: runs the timeline sweep and derives the
+    /// kernel body time and DRAM traffic exactly as the event-driven
+    /// interpreter would account them (prologue weight load, derivative
+    /// zero-init, per-VPP script fetch, per-instruction activation traffic,
+    /// and the in-register epilogue write-back).
+    pub fn build(
+        plan: &'a KernelPlan,
+        gs: &'a GeneratedScript,
+        cfg: ExecConfig,
+        cost: &CostModel,
+        trace: Option<&mut KernelTrace>,
+    ) -> Self {
+        let timeline = timeline::analyze(plan, gs, cost, trace);
+        let geo = plan.distribution().geometry();
+        let all_sms = geo.num_sms;
+
+        let mut metrics = Metrics::default();
+
+        // Prologue: master copy -> registers (the *only* weight load of the
+        // whole batch, Table I's mechanism) + derivative-region memset.
+        let weight_bytes = plan.prologue_weight_bytes();
+        metrics.dram.record_load(TrafficTag::Weight, weight_bytes);
+        let mut body_time = cost.dram_time(weight_bytes, all_sms);
+        let deriv_bytes = (gs.layout.deriv_len * 4) as u64;
+        metrics
+            .dram
+            .record_store(TrafficTag::Activation, deriv_bytes);
+        body_time += cost.dram_time(deriv_bytes, all_sms);
+
+        // Script phase: per-VPP script fetch plus instruction traffic.
+        metrics
+            .dram
+            .record_load(TrafficTag::Script, timeline.script_bytes);
+        metrics
+            .dram
+            .record_load(TrafficTag::Activation, timeline.total_read_bytes);
+        metrics
+            .dram
+            .record_store(TrafficTag::Activation, timeline.total_write_bytes);
+        body_time += timeline.max_vpp_time;
+
+        // Epilogue: gradient application for the in-register strategy.
+        if cfg.apply_update && plan.grad_strategy() == GradStrategy::InRegister {
+            metrics.dram.record_store(TrafficTag::Weight, weight_bytes);
+            let update_flops = 3 * (weight_bytes / 4);
+            body_time += cost
+                .dram_time(weight_bytes, all_sms)
+                .max(cost.compute_time(update_flops, all_sms));
+        }
+
+        metrics.kernel_time = body_time;
+        metrics.launches = 1;
+        metrics.barrier_stall = timeline.barrier_stall;
+        metrics.imbalance = ImbalanceHistogram::from_times(&timeline.vpp_times);
+
+        Session {
+            plan,
+            gs,
+            cfg,
+            timeline,
+            metrics,
+        }
+    }
+
+    /// Pool offset of the scalar loss value.
+    pub fn loss_offset(&self) -> PoolOffset {
+        self.gs.layout.value_off[self.gs.layout.loss.index()]
+    }
+
+    /// Packages a finished run.
+    pub fn outcome(&self, loss: f32) -> RunOutcome {
+        RunOutcome {
+            loss,
+            body_time: self.metrics.kernel_time,
+            instructions: self.timeline.instructions,
+            max_vpp_time: self.timeline.max_vpp_time,
+            mean_vpp_time: self.timeline.mean_vpp_time,
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+/// Result of executing one batch through an [`ExecutionBackend`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Loss value (read back from the pool).
+    pub loss: f32,
+    /// Kernel body duration (prologue + script + epilogue).
+    pub body_time: SimTime,
+    /// Compute instructions executed across all VPPs.
+    pub instructions: usize,
+    /// Latest VPP finish time of the script phase (before the epilogue).
+    pub max_vpp_time: SimTime,
+    /// Mean VPP finish time — `max / mean` is the load-imbalance figure.
+    pub mean_vpp_time: SimTime,
+    /// Unified metrics, populated identically by every backend.
+    pub metrics: Metrics,
+}
+
+impl RunOutcome {
+    /// The legacy [`KernelRun`] view of this outcome.
+    pub fn kernel_run(&self) -> KernelRun {
+        KernelRun {
+            loss: self.loss,
+            body_time: self.body_time,
+            instructions: self.instructions,
+            max_vpp_time: self.max_vpp_time,
+            mean_vpp_time: self.mean_vpp_time,
+        }
+    }
+}
+
+/// One way of executing a prepared batch's scripts.
+///
+/// Implementations must be functionally equivalent: same pool contents, same
+/// register-cache contents (up to floating-point accumulation order for
+/// [`Threaded`]), and — because the [`Session`] carries the analytics — the
+/// exact same [`RunOutcome::metrics`].
+pub trait ExecutionBackend: Sync {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Short stable name for reports and CLI flags.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Analyzes the batch's scripts into a [`Session`].
+    fn prepare<'a>(
+        &self,
+        plan: &'a KernelPlan,
+        scripts: &'a GeneratedScript,
+        cfg: ExecConfig,
+        cost: &CostModel,
+    ) -> Session<'a> {
+        Session::build(plan, scripts, cfg, cost, None)
+    }
+
+    /// Executes the script phase of `session` against `pool` and the loaded
+    /// register `cache`. The prologue (parameter load) and epilogue
+    /// (gradient application) belong to the driver ([`run_batch`]), not the
+    /// backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a script references memory outside the pool.
+    fn run(&self, session: &Session<'_>, pool: &mut Pool, cache: &mut RegCache) -> RunOutcome;
+}
+
+/// Runs one batch end-to-end through `backend`: prologue parameter load,
+/// script execution, in-register gradient epilogue, and posting the batch's
+/// [`Metrics`] to the simulated device. Master parameters in `model` are
+/// updated in place.
+///
+/// # Panics
+///
+/// Panics if the generated scripts deadlock (a script-generator bug, caught
+/// eagerly) or reference memory outside the pool.
+pub fn run_batch(
+    backend: &dyn ExecutionBackend,
+    plan: &KernelPlan,
+    gs: &GeneratedScript,
+    pool: &mut Pool,
+    model: &mut Model,
+    gpu: &mut GpuSim,
+    cfg: ExecConfig,
+) -> RunOutcome {
+    let session = backend.prepare(plan, gs, cfg, gpu.cost_model());
+    run_prepared(backend, &session, pool, model, gpu)
+}
+
+/// [`run_batch`] plus a full per-VPP instruction timeline for visualization
+/// (see [`crate::exec::trace`]).
+///
+/// # Panics
+///
+/// Same conditions as [`run_batch`].
+pub fn run_batch_traced(
+    backend: &dyn ExecutionBackend,
+    plan: &KernelPlan,
+    gs: &GeneratedScript,
+    pool: &mut Pool,
+    model: &mut Model,
+    gpu: &mut GpuSim,
+    cfg: ExecConfig,
+) -> (RunOutcome, KernelTrace) {
+    let mut trace = KernelTrace::default();
+    let session = Session::build(plan, gs, cfg, gpu.cost_model(), Some(&mut trace));
+    let outcome = run_prepared(backend, &session, pool, model, gpu);
+    (outcome, trace)
+}
+
+fn run_prepared(
+    backend: &dyn ExecutionBackend,
+    session: &Session<'_>,
+    pool: &mut Pool,
+    model: &mut Model,
+    gpu: &mut GpuSim,
+) -> RunOutcome {
+    let dist = session.plan.distribution();
+    let mut cache = RegCache::new(dist);
+    cache.load_from_model(dist, model);
+    let outcome = backend.run(session, pool, &mut cache);
+    if session.cfg.apply_update && session.plan.grad_strategy() == GradStrategy::InRegister {
+        cache.apply_updates(
+            dist,
+            model,
+            session.cfg.learning_rate,
+            session.cfg.weight_decay,
+        );
+    }
+    outcome.metrics.commit(gpu);
+    outcome
+}
+
+/// A batch-level training system with unified measurement plumbing.
+///
+/// Implemented by the VPPS [`crate::Handle`] and by the DyNet-style baseline
+/// executors, so experiment harnesses extract throughput, traffic and launch
+/// counts the same way for every system they compare.
+pub trait Engine {
+    /// Display name of the system ("VPPS", "DyNet-AB", ...).
+    fn system(&self) -> String;
+
+    /// Trains one batch graph and returns its loss.
+    fn train_batch(&mut self, model: &mut Model, graph: &Graph, loss: NodeId) -> f32;
+
+    /// Cumulative unified metrics over all batches so far.
+    fn metrics(&self) -> Metrics;
+
+    /// Simulated wall time over all batches so far.
+    fn wall_time(&self) -> SimTime;
+
+    /// Batches processed so far.
+    fn batches(&self) -> u64;
+}

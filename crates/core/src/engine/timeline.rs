@@ -1,0 +1,190 @@
+//! Event-driven timeline analysis of a generated script set.
+//!
+//! Because every instruction's cost is data-independent
+//! ([`crate::exec::semantics::instr_cost`]), the complete per-VPP schedule of
+//! a batch — finish times, barrier stalls, DRAM byte totals, and the exact
+//! serial execution order — can be computed *before* any arithmetic runs.
+//! [`analyze`] performs that sweep once per batch; every execution backend
+//! then reuses the one [`TimelineReport`], which is how serial, threaded and
+//! parallel backends report bit-identical timing and traffic numbers.
+
+use gpu_sim::{CostModel, SimTime};
+
+use crate::exec::semantics::instr_cost;
+use crate::exec::trace::{KernelTrace, TraceEvent};
+use crate::script::{GeneratedScript, Instr};
+use crate::specialize::KernelPlan;
+
+/// Complete static schedule of one batch's scripts.
+#[derive(Debug, Clone)]
+pub struct TimelineReport {
+    /// Script-phase finish time of each VPP.
+    pub vpp_times: Vec<SimTime>,
+    /// Latest VPP finish time (the script phase's critical path).
+    pub max_vpp_time: SimTime,
+    /// Mean VPP finish time — `max / mean` is the load-imbalance figure.
+    pub mean_vpp_time: SimTime,
+    /// Total time VPPs spent blocked at `wait` instructions.
+    pub barrier_stall: SimTime,
+    /// DRAM bytes read by compute instructions (activations).
+    pub total_read_bytes: u64,
+    /// DRAM bytes written by compute instructions (activations).
+    pub total_write_bytes: u64,
+    /// Encoded script bytes fetched by the VPPs.
+    pub script_bytes: u64,
+    /// Compute instructions executed across all VPPs.
+    pub instructions: usize,
+    /// `(vpp, instruction index)` of every compute instruction in the order
+    /// the event-driven schedule executes them. Replaying this order serially
+    /// reproduces the reference execution exactly; it also defines the
+    /// deterministic commit order the parallel backend uses for accumulating
+    /// writes.
+    pub order: Vec<(u32, u32)>,
+}
+
+/// Sweeps the scripts with the event-driven scheduler: each VPP advances its
+/// own clock, `signal` records an arrival at its barrier, `wait` merges the
+/// barrier's release time. Identical control flow to the original
+/// interpreter, minus the arithmetic.
+///
+/// When `trace` is given, per-instruction events are recorded for the
+/// visualization tooling.
+///
+/// # Panics
+///
+/// Panics if the scripts deadlock (a script-generator bug, caught eagerly).
+pub fn analyze(
+    plan: &KernelPlan,
+    gs: &GeneratedScript,
+    cost: &CostModel,
+    mut trace: Option<&mut KernelTrace>,
+) -> TimelineReport {
+    let dist = plan.distribution();
+    let geo = dist.geometry();
+    let num_vpps = geo.total_vpps();
+
+    #[derive(Clone, Copy, Default)]
+    struct Barrier {
+        arrived: u32,
+        release: SimTime,
+    }
+
+    let mut times = vec![SimTime::ZERO; num_vpps];
+    let mut ips = vec![0usize; num_vpps];
+    let mut barriers = vec![Barrier::default(); gs.num_barriers as usize];
+    let mut instructions = 0usize;
+    let mut order = Vec::new();
+    let mut barrier_stall = SimTime::ZERO;
+
+    // Each VPP fetches its own script section from DRAM into shared memory.
+    let mut script_bytes = 0u64;
+    for v in 0..num_vpps {
+        let bytes: u64 = gs
+            .scripts
+            .script(v)
+            .iter()
+            .map(|i| i.encoded_len() as u64)
+            .sum();
+        if bytes > 0 {
+            script_bytes += bytes;
+            times[v] = cost.vpp_mem_time(bytes);
+        }
+    }
+
+    let mut total_read = 0u64;
+    let mut total_write = 0u64;
+    loop {
+        let mut progress = false;
+        let mut all_done = true;
+        for v in 0..num_vpps {
+            let script = gs.scripts.script(v);
+            while ips[v] < script.len() {
+                match script[ips[v]] {
+                    Instr::Wait { barrier, needed } => {
+                        let b = &barriers[barrier as usize];
+                        if b.arrived >= needed {
+                            let start = times[v];
+                            barrier_stall += times[v].max(b.release) - times[v];
+                            times[v] = times[v].max(b.release) + cost.wait_poll_time();
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.events.push(TraceEvent {
+                                    vpp: v,
+                                    name: "wait",
+                                    start_ns: start.as_ns(),
+                                    dur_ns: (times[v] - start).as_ns(),
+                                });
+                            }
+                            ips[v] += 1;
+                            progress = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    Instr::Signal { barrier } => {
+                        let start = times[v];
+                        times[v] += cost.signal_time();
+                        let b = &mut barriers[barrier as usize];
+                        b.arrived += 1;
+                        b.release = b.release.max(times[v]);
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.events.push(TraceEvent {
+                                vpp: v,
+                                name: "signal",
+                                start_ns: start.as_ns(),
+                                dur_ns: (times[v] - start).as_ns(),
+                            });
+                        }
+                        ips[v] += 1;
+                        progress = true;
+                    }
+                    ref instr => {
+                        let c = instr_cost(instr, dist);
+                        total_read += c.read_bytes;
+                        total_write += c.write_bytes;
+                        let start = times[v];
+                        times[v] += cost.vpp_instruction_time(
+                            c.read_bytes + c.write_bytes,
+                            c.flops,
+                            geo.ctas_per_sm,
+                        );
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.events.push(TraceEvent {
+                                vpp: v,
+                                name: instr.mnemonic(),
+                                start_ns: start.as_ns(),
+                                dur_ns: (times[v] - start).as_ns(),
+                            });
+                        }
+                        order.push((v as u32, ips[v] as u32));
+                        instructions += 1;
+                        ips[v] += 1;
+                        progress = true;
+                    }
+                }
+            }
+            if ips[v] < script.len() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        assert!(progress, "script deadlock: no VPP can make progress");
+    }
+
+    let max_vpp_time = times.iter().copied().fold(SimTime::ZERO, SimTime::max);
+    let mean_vpp_time =
+        SimTime::from_ns(times.iter().map(|t| t.as_ns()).sum::<f64>() / num_vpps as f64);
+
+    TimelineReport {
+        vpp_times: times,
+        max_vpp_time,
+        mean_vpp_time,
+        barrier_stall,
+        total_read_bytes: total_read,
+        total_write_bytes: total_write,
+        script_bytes,
+        instructions,
+        order,
+    }
+}

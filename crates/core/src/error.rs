@@ -37,7 +37,10 @@ pub enum VppsError {
 impl fmt::Display for VppsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VppsError::ModelTooLarge { required_chunks, available_chunks } => write!(
+            VppsError::ModelTooLarge {
+                required_chunks,
+                available_chunks,
+            } => write!(
                 f,
                 "model parameters do not fit the register file: need {required_chunks} \
                  partition slots, device offers {available_chunks}"
@@ -50,7 +53,10 @@ impl fmt::Display for VppsError {
             VppsError::NoParameters => {
                 write!(f, "model has no dense parameters to cache in registers")
             }
-            VppsError::PoolExhausted { requested, capacity } => write!(
+            VppsError::PoolExhausted {
+                requested,
+                capacity,
+            } => write!(
                 f,
                 "device memory pool exhausted: requested {requested} elements of {capacity}"
             ),
@@ -66,7 +72,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = VppsError::ModelTooLarge { required_chunks: 100, available_chunks: 10 };
+        let e = VppsError::ModelTooLarge {
+            required_chunks: 100,
+            available_chunks: 10,
+        };
         let s = e.to_string();
         assert!(s.contains("100"));
         assert!(s.contains("10"));

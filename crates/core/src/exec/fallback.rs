@@ -53,10 +53,16 @@ pub fn apply_gemm_fallback(
                 // Matrix gradient: G += Σ_k dy_k ⊗ x_k, computed as one GEMM.
                 for k in 0..stage.uses {
                     let dy = pool
-                        .slice(PoolOffset(stage.dy_base.raw() + (k * stage.rows) as u32), stage.rows)
+                        .slice(
+                            PoolOffset(stage.dy_base.raw() + (k * stage.rows) as u32),
+                            stage.rows,
+                        )
                         .to_vec();
                     let x = pool
-                        .slice(PoolOffset(x_base.raw() + (k * stage.cols) as u32), stage.cols)
+                        .slice(
+                            PoolOffset(x_base.raw() + (k * stage.cols) as u32),
+                            stage.cols,
+                        )
                         .to_vec();
                     ops::ger_acc(&mut model.param_mut(pid).grad, &dy, &x);
                 }
@@ -76,7 +82,10 @@ pub fn apply_gemm_fallback(
                 // Bias gradient: a plain sum reduction of the staged dys.
                 for k in 0..stage.uses {
                     let dy = pool
-                        .slice(PoolOffset(stage.dy_base.raw() + (k * stage.cols) as u32), stage.cols)
+                        .slice(
+                            PoolOffset(stage.dy_base.raw() + (k * stage.cols) as u32),
+                            stage.cols,
+                        )
                         .to_vec();
                     ops::axpy(1.0, &dy, model.param_mut(pid).grad.row_mut(0));
                 }
@@ -106,7 +115,11 @@ pub fn apply_gemm_fallback(
         flops: 3 * (weight_bytes / 4),
         ctas: gpu.config().num_sms,
     });
-    for (pid, _) in model.params().map(|(id, p)| (id, p.value.len())).collect::<Vec<_>>() {
+    for (pid, _) in model
+        .params()
+        .map(|(id, p)| (id, p.value.len()))
+        .collect::<Vec<_>>()
+    {
         let p = model.param_mut(pid);
         for i in 0..p.value.len() {
             let g = p.grad.as_slice()[i];
@@ -134,7 +147,11 @@ mod tests {
         d
     }
 
-    fn build(m: &Model, ws: &[dyn_graph::ParamId], b: dyn_graph::ParamId) -> (Graph, dyn_graph::NodeId) {
+    fn build(
+        m: &Model,
+        ws: &[dyn_graph::ParamId],
+        b: dyn_graph::ParamId,
+    ) -> (Graph, dyn_graph::NodeId) {
         let mut g = Graph::new();
         let mut h = g.input(vec![0.2; 128]);
         for &w in ws {
@@ -151,7 +168,9 @@ mod tests {
         let seed = 31;
         let make_model = || {
             let mut m = Model::new(seed);
-            let ws: Vec<_> = (0..5).map(|i| m.add_matrix(&format!("W{i}"), 128, 128)).collect();
+            let ws: Vec<_> = (0..5)
+                .map(|i| m.add_matrix(&format!("W{i}"), 128, 128))
+                .collect();
             let b = m.add_bias("b", 128);
             (m, ws, b)
         };
@@ -175,9 +194,12 @@ mod tests {
                         .copy_from_slice(values);
                 }
             }
-            let cfg = ExecConfig { learning_rate: 0.05, weight_decay: 0.0, apply_update: true };
-            let run =
-                run_persistent_kernel(&plan, &gs, &mut pool, &mut model, &mut gpu, cfg);
+            let cfg = ExecConfig {
+                learning_rate: 0.05,
+                weight_decay: 0.0,
+                apply_update: true,
+            };
+            let run = run_persistent_kernel(&plan, &gs, &mut pool, &mut model, &mut gpu, cfg);
             let fb = apply_gemm_fallback(&plan, &gs.layout, &pool, &mut model, &mut gpu, cfg);
             assert!(fb.gemm_kernels >= 2);
             vpps_losses.push(run.loss);

@@ -1,19 +1,23 @@
 //! Script-guided execution of the persistent forward-backward kernel
 //! (paper §III-B2, Fig. 7).
 //!
-//! Two executors share one set of instruction semantics
-//! ([`semantics::execute_instr`]):
+//! The executors themselves live in the unified engine layer
+//! ([`crate::engine`]), where every backend — the event-driven interpreter,
+//! the real-thread executor and the wave-parallel interpreter — implements
+//! one `ExecutionBackend` trait over the shared instruction semantics
+//! ([`semantics::execute_instr`]) and static costs
+//! ([`semantics::instr_cost`]). This module keeps the pieces the engine is
+//! built from plus the legacy entry points:
 //!
-//! * [`interp`] — a deterministic event-driven interpreter that advances a
-//!   per-VPP simulated timeline and produces the kernel duration, DRAM
-//!   traffic and load-imbalance data every experiment relies on;
-//! * [`threaded`] — a real-thread executor (one OS thread per group of VPPs)
-//!   that implements the `signal`/`wait` protocol with actual atomics,
-//!   validating that the generated scripts are deadlock-free and race-free.
+//! * [`interp`] — [`run_persistent_kernel`], the original API, now a wrapper
+//!   over `engine::run_batch` with the event-driven backend;
+//! * [`threaded`] — the original real-thread wrapper over the engine's
+//!   `Threaded` backend;
+//! * [`regcache`] — the functional stand-in for the SM register file;
+//! * [`semantics`] — data-independent instruction semantics and costs.
 //!
-//! Both operate on a [`RegCache`] — the functional stand-in for the SM
-//! register file — and the shared tensor [`vpps_tensor::Pool`] standing in
-//! for device DRAM.
+//! All backends operate on a [`RegCache`] and the shared tensor
+//! [`vpps_tensor::Pool`] standing in for device DRAM.
 
 pub mod fallback;
 pub mod interp;

@@ -18,7 +18,9 @@ pub struct RegCache {
 impl RegCache {
     /// Allocates zeroed storage for every chunk of `dist`.
     pub fn new(dist: &Distribution) -> Self {
-        Self { chunks: dist.chunks().iter().map(|c| vec![0.0; c.len()]).collect() }
+        Self {
+            chunks: dist.chunks().iter().map(|c| vec![0.0; c.len()]).collect(),
+        }
     }
 
     /// Kernel prologue: copies every value chunk's rows from the master
@@ -88,6 +90,16 @@ impl RegCache {
         self.chunks.is_empty()
     }
 
+    /// Raw `(pointer, length)` views of every chunk's storage, for the
+    /// engine's shared-chunk access (owner-VPP-only discipline; see
+    /// `engine::backends::SharedChunks`).
+    pub(crate) fn chunk_ptrs(&mut self) -> Vec<(*mut f32, usize)> {
+        self.chunks
+            .iter_mut()
+            .map(|c| (c.as_mut_ptr(), c.len()))
+            .collect()
+    }
+
     /// Splits the cache into per-VPP ownership sets for the threaded
     /// executor. Returns one `Vec<(ChunkId, Vec<f32>)>` per VPP; recombine
     /// with [`RegCache::from_parts`].
@@ -125,7 +137,11 @@ mod tests {
         let mut d = DeviceConfig::titan_v();
         d.num_sms = 2;
         let geo = DistGeometry::derive(&d, 1, 1, 16).unwrap();
-        let shapes = [ParamShape { id: w, rows: 32, cols: 16 }];
+        let shapes = [ParamShape {
+            id: w,
+            rows: 32,
+            cols: 16,
+        }];
         let dist = Distribution::build(&shapes, geo, true).unwrap();
         (m, w, dist)
     }
@@ -199,7 +215,10 @@ mod tests {
         assert_eq!(parts.len(), dist.geometry().total_vpps());
         let rebuilt = RegCache::from_parts(&dist, parts);
         for i in 0..reference.len() {
-            assert_eq!(reference.chunk(ChunkId(i as u32)), rebuilt.chunk(ChunkId(i as u32)));
+            assert_eq!(
+                reference.chunk(ChunkId(i as u32)),
+                rebuilt.chunk(ChunkId(i as u32))
+            );
         }
     }
 }

@@ -1,9 +1,14 @@
-//! Shared instruction semantics for both executors.
+//! Shared instruction semantics for every execution backend.
 //!
-//! The sequential interpreter and the threaded executor differ only in *how*
-//! they touch memory (direct slices vs. atomics) and in whether they keep a
+//! The execution backends differ only in *how* they touch memory (direct
+//! slices, atomics, or journaled accumulates) and in whether they keep a
 //! timeline; the arithmetic of every instruction is defined once here against
-//! the [`ExecCtx`] abstraction.
+//! the [`ExecCtx`] abstraction, and the memory/compute cost of every
+//! instruction is defined once in [`instr_cost`]. Costs are data-independent
+//! (they depend only on instruction operand lengths and chunk geometry), so
+//! the engine's timeline analysis can compute exact per-VPP schedules without
+//! executing any arithmetic — which is what lets every backend report
+//! identical [`gpu_sim::Metrics`].
 
 use vpps_tensor::PoolOffset;
 
@@ -49,7 +54,98 @@ fn off_plus(off: PoolOffset, delta: usize) -> PoolOffset {
     PoolOffset(off.raw() + delta as u32)
 }
 
-/// Executes one non-sync instruction against `ctx`, returning its cost.
+/// Static cost of one instruction: bytes moved through simulated DRAM and
+/// FP32 operations. Independent of the data values, so callers can schedule
+/// and account without executing. Sync instructions cost nothing here (the
+/// barrier algebra is the executor's job).
+pub fn instr_cost(instr: &Instr, dist: &Distribution) -> InstrCost {
+    match *instr {
+        Instr::Signal { .. } | Instr::Wait { .. } => InstrCost::default(),
+        Instr::MatVecChunk { chunk, len, .. } => {
+            let c = dist.chunk(chunk);
+            InstrCost {
+                read_bytes: 4 * len as u64,
+                write_bytes: 4 * c.rows as u64,
+                flops: 2 * (c.rows * c.cols) as u64,
+            }
+        }
+        Instr::TMatVecChunk { chunk, len, .. } => {
+            let c = dist.chunk(chunk);
+            InstrCost {
+                read_bytes: 4 * (c.rows as u64 + u64::from(len)),
+                write_bytes: 4 * u64::from(len),
+                flops: 2 * (c.rows * c.cols) as u64,
+            }
+        }
+        Instr::OuterChunk { chunk, len, .. } => {
+            let c = dist.chunk(chunk);
+            InstrCost {
+                read_bytes: 4 * (u64::from(len) + c.rows as u64),
+                write_bytes: 0,
+                flops: 2 * (c.rows * c.cols) as u64,
+            }
+        }
+        Instr::AddBiasChunk { len, .. } => InstrCost {
+            read_bytes: 4 * u64::from(len),
+            write_bytes: 4 * u64::from(len),
+            flops: u64::from(len),
+        },
+        Instr::BiasGradChunk { len, .. } => InstrCost {
+            read_bytes: 4 * u64::from(len),
+            write_bytes: 0,
+            flops: u64::from(len),
+        },
+        Instr::Tanh { len, .. } | Instr::Sigmoid { len, .. } => InstrCost {
+            read_bytes: 4 * u64::from(len),
+            write_bytes: 4 * u64::from(len),
+            flops: 8 * u64::from(len),
+        },
+        Instr::Relu { len, .. } => InstrCost {
+            read_bytes: 4 * u64::from(len),
+            write_bytes: 4 * u64::from(len),
+            flops: u64::from(len),
+        },
+        Instr::TanhBwd { len, .. } | Instr::SigmoidBwd { len, .. } | Instr::ReluBwd { len, .. } => {
+            InstrCost {
+                read_bytes: 12 * u64::from(len),
+                write_bytes: 4 * u64::from(len),
+                flops: 3 * u64::from(len),
+            }
+        }
+        Instr::Sub { len, .. }
+        | Instr::AccSub { len, .. }
+        | Instr::Add { len, .. }
+        | Instr::AccAdd { len, .. }
+        | Instr::CwiseMult { len, .. } => InstrCost {
+            read_bytes: 8 * u64::from(len),
+            write_bytes: 4 * u64::from(len),
+            flops: u64::from(len),
+        },
+        Instr::MulAcc { len, .. } => InstrCost {
+            read_bytes: 12 * u64::from(len),
+            write_bytes: 4 * u64::from(len),
+            flops: 2 * u64::from(len),
+        },
+        Instr::Copy { len, .. } => InstrCost {
+            read_bytes: 4 * u64::from(len),
+            write_bytes: 4 * u64::from(len),
+            flops: 0,
+        },
+        Instr::PickNls { len, .. } => InstrCost {
+            read_bytes: 4 * u64::from(len),
+            write_bytes: 4,
+            flops: 6 * u64::from(len),
+        },
+        Instr::PickNlsBwd { len, .. } => InstrCost {
+            read_bytes: 4 * (u64::from(len) * 2 + 1),
+            write_bytes: 4 * u64::from(len),
+            flops: 8 * u64::from(len),
+        },
+    }
+}
+
+/// Executes one non-sync instruction against `ctx`, returning its cost
+/// (identical to [`instr_cost`] for the same instruction).
 ///
 /// # Panics
 ///
@@ -75,11 +171,6 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                 }
             }
             ctx.write(off_plus(y, c.row_start), &out);
-            InstrCost {
-                read_bytes: 4 * len as u64,
-                write_bytes: 4 * c.rows as u64,
-                flops: 2 * (c.rows * c.cols) as u64,
-            }
         }
         Instr::TMatVecChunk { chunk, len, dy, dx } => {
             let c = dist.chunk(chunk);
@@ -101,11 +192,6 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                 }
             }
             ctx.accumulate(dx, &contrib);
-            InstrCost {
-                read_bytes: 4 * (c.rows as u64 + u64::from(len)),
-                write_bytes: 4 * u64::from(len),
-                flops: 2 * (c.rows * c.cols) as u64,
-            }
         }
         Instr::OuterChunk { chunk, len, x, dy } => {
             let c = dist.chunk(chunk);
@@ -125,11 +211,6 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                     *g += s * v;
                 }
             }
-            InstrCost {
-                read_bytes: 4 * (u64::from(len) + c.rows as u64),
-                write_bytes: 0,
-                flops: 2 * (c.rows * c.cols) as u64,
-            }
         }
         Instr::AddBiasChunk { chunk, len, x, y } => {
             let c = dist.chunk(chunk);
@@ -143,11 +224,6 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                 }
             }
             ctx.write(y, &xv);
-            InstrCost {
-                read_bytes: 4 * u64::from(len),
-                write_bytes: 4 * u64::from(len),
-                flops: u64::from(len),
-            }
         }
         Instr::BiasGradChunk { chunk, len, dy } => {
             let mut dyv = vec![0.0; len as usize];
@@ -156,15 +232,10 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
             for (g, d) in data.iter_mut().zip(&dyv) {
                 *g += d;
             }
-            InstrCost { read_bytes: 4 * u64::from(len), write_bytes: 0, flops: u64::from(len) }
         }
-        Instr::Tanh { len, x, y } => {
-            unary(ctx, len, x, y, |v| v.tanh(), 8)
-        }
-        Instr::Sigmoid { len, x, y } => {
-            unary(ctx, len, x, y, |v| 1.0 / (1.0 + (-v).exp()), 8)
-        }
-        Instr::Relu { len, x, y } => unary(ctx, len, x, y, |v| v.max(0.0), 1),
+        Instr::Tanh { len, x, y } => unary(ctx, len, x, y, |v| v.tanh()),
+        Instr::Sigmoid { len, x, y } => unary(ctx, len, x, y, |v| 1.0 / (1.0 + (-v).exp())),
+        Instr::Relu { len, x, y } => unary(ctx, len, x, y, |v| v.max(0.0)),
         Instr::TanhBwd { len, y, dy, dx } => {
             act_bwd(ctx, len, y, dy, dx, |yv, dyv| dyv * (1.0 - yv * yv))
         }
@@ -172,7 +243,14 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
             act_bwd(ctx, len, y, dy, dx, |yv, dyv| dyv * yv * (1.0 - yv))
         }
         Instr::ReluBwd { len, y, dy, dx } => {
-            act_bwd(ctx, len, y, dy, dx, |yv, dyv| if yv > 0.0 { dyv } else { 0.0 })
+            act_bwd(
+                ctx,
+                len,
+                y,
+                dy,
+                dx,
+                |yv, dyv| if yv > 0.0 { dyv } else { 0.0 },
+            )
         }
         Instr::Sub { len, a, b, y } => {
             let n = len as usize;
@@ -184,11 +262,6 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                 *x -= yv;
             }
             ctx.write(y, &av);
-            InstrCost {
-                read_bytes: 8 * u64::from(len),
-                write_bytes: 4 * u64::from(len),
-                flops: u64::from(len),
-            }
         }
         Instr::AccSub { len, x, y } => {
             let mut xv = vec![0.0; len as usize];
@@ -197,11 +270,6 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                 *v = -*v;
             }
             ctx.accumulate(y, &xv);
-            InstrCost {
-                read_bytes: 8 * u64::from(len),
-                write_bytes: 4 * u64::from(len),
-                flops: u64::from(len),
-            }
         }
         Instr::Add { len, a, b, y } => {
             let n = len as usize;
@@ -213,21 +281,11 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                 *x += yv;
             }
             ctx.write(y, &av);
-            InstrCost {
-                read_bytes: 8 * u64::from(len),
-                write_bytes: 4 * u64::from(len),
-                flops: u64::from(len),
-            }
         }
         Instr::AccAdd { len, x, y } => {
             let mut xv = vec![0.0; len as usize];
             ctx.read(x, &mut xv);
             ctx.accumulate(y, &xv);
-            InstrCost {
-                read_bytes: 8 * u64::from(len),
-                write_bytes: 4 * u64::from(len),
-                flops: u64::from(len),
-            }
         }
         Instr::MulAcc { len, a, b, y } => {
             let n = len as usize;
@@ -239,11 +297,6 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                 *x *= yv;
             }
             ctx.accumulate(y, &av);
-            InstrCost {
-                read_bytes: 12 * u64::from(len),
-                write_bytes: 4 * u64::from(len),
-                flops: 2 * u64::from(len),
-            }
         }
         Instr::CwiseMult { len, a, b, y } => {
             let n = len as usize;
@@ -255,30 +308,25 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                 *x *= yv;
             }
             ctx.write(y, &av);
-            InstrCost {
-                read_bytes: 8 * u64::from(len),
-                write_bytes: 4 * u64::from(len),
-                flops: u64::from(len),
-            }
         }
         Instr::Copy { len, src, dst } => {
             let mut v = vec![0.0; len as usize];
             ctx.read(src, &mut v);
             ctx.write(dst, &v);
-            InstrCost { read_bytes: 4 * u64::from(len), write_bytes: 4 * u64::from(len), flops: 0 }
         }
         Instr::PickNls { len, x, out, label } => {
             let mut xv = vec![0.0; len as usize];
             ctx.read(x, &mut xv);
             let loss = vpps_tensor::softmax::pick_neg_log_softmax(&xv, label as usize);
             ctx.write(out, &[loss]);
-            InstrCost {
-                read_bytes: 4 * u64::from(len),
-                write_bytes: 4,
-                flops: 6 * u64::from(len),
-            }
         }
-        Instr::PickNlsBwd { len, x, dloss, dx, label } => {
+        Instr::PickNlsBwd {
+            len,
+            x,
+            dloss,
+            dx,
+            label,
+        } => {
             let mut xv = vec![0.0; len as usize];
             ctx.read(x, &mut xv);
             let mut dl = [0.0];
@@ -291,34 +339,18 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                 &mut contrib,
             );
             ctx.accumulate(dx, &contrib);
-            InstrCost {
-                read_bytes: 4 * (u64::from(len) * 2 + 1),
-                write_bytes: 4 * u64::from(len),
-                flops: 8 * u64::from(len),
-            }
         }
     }
+    instr_cost(instr, dist)
 }
 
-fn unary(
-    ctx: &mut impl ExecCtx,
-    len: u32,
-    x: PoolOffset,
-    y: PoolOffset,
-    f: impl Fn(f32) -> f32,
-    flops_per_elem: u64,
-) -> InstrCost {
+fn unary(ctx: &mut impl ExecCtx, len: u32, x: PoolOffset, y: PoolOffset, f: impl Fn(f32) -> f32) {
     let mut v = vec![0.0; len as usize];
     ctx.read(x, &mut v);
     for e in v.iter_mut() {
         *e = f(*e);
     }
     ctx.write(y, &v);
-    InstrCost {
-        read_bytes: 4 * u64::from(len),
-        write_bytes: 4 * u64::from(len),
-        flops: flops_per_elem * u64::from(len),
-    }
 }
 
 fn act_bwd(
@@ -328,7 +360,7 @@ fn act_bwd(
     dy: PoolOffset,
     dx: PoolOffset,
     f: impl Fn(f32, f32) -> f32,
-) -> InstrCost {
+) {
     let n = len as usize;
     let mut yv = vec![0.0; n];
     let mut dyv = vec![0.0; n];
@@ -336,11 +368,6 @@ fn act_bwd(
     ctx.read(dy, &mut dyv);
     let contrib: Vec<f32> = yv.iter().zip(&dyv).map(|(&a, &b)| f(a, b)).collect();
     ctx.accumulate(dx, &contrib);
-    InstrCost {
-        read_bytes: 12 * u64::from(len),
-        write_bytes: 4 * u64::from(len),
-        flops: 3 * u64::from(len),
-    }
 }
 
 #[cfg(test)]
@@ -397,8 +424,16 @@ mod tests {
             8,
         )
         .unwrap();
-        let dist =
-            Distribution::build(&[ParamShape { id: w, rows: 64, cols: 8 }], geo, true).unwrap();
+        let dist = Distribution::build(
+            &[ParamShape {
+                id: w,
+                rows: 64,
+                cols: 8,
+            }],
+            geo,
+            true,
+        )
+        .unwrap();
         let mut chunks = Vec::new();
         for c in dist.chunks() {
             let mut data = vec![0.0; c.len()];
@@ -411,7 +446,13 @@ mod tests {
             }
             chunks.push(data);
         }
-        (dist, TestCtx { pool: vec![0.0; 1024], chunks })
+        (
+            dist,
+            TestCtx {
+                pool: vec![0.0; 1024],
+                chunks,
+            },
+        )
     }
 
     #[test]
@@ -429,7 +470,12 @@ mod tests {
             .expect("64-row matrix has later chunks");
         let c = dist.chunk(cid).clone();
         let cost = execute_instr(
-            &Instr::MatVecChunk { chunk: cid, len: 8, x: PoolOffset(0), y: PoolOffset(100) },
+            &Instr::MatVecChunk {
+                chunk: cid,
+                len: 8,
+                x: PoolOffset(0),
+                y: PoolOffset(100),
+            },
             &dist,
             &mut ctx,
         );
@@ -455,7 +501,12 @@ mod tests {
         let cid = dist.value_chunks_of(param)[0];
         let c = dist.chunk(cid).clone();
         execute_instr(
-            &Instr::TMatVecChunk { chunk: cid, len: 8, dy: PoolOffset(200), dx: PoolOffset(300) },
+            &Instr::TMatVecChunk {
+                chunk: cid,
+                len: 8,
+                dy: PoolOffset(200),
+                dx: PoolOffset(300),
+            },
             &dist,
             &mut ctx,
         );
@@ -481,7 +532,12 @@ mod tests {
         let gid = dist.grad_chunks_of(param)[0];
         let g = dist.chunk(gid).clone();
         execute_instr(
-            &Instr::OuterChunk { chunk: gid, len: 8, x: PoolOffset(0), dy: PoolOffset(200) },
+            &Instr::OuterChunk {
+                chunk: gid,
+                len: 8,
+                x: PoolOffset(0),
+                dy: PoolOffset(200),
+            },
             &dist,
             &mut ctx,
         );
@@ -492,6 +548,104 @@ mod tests {
                 assert!((got - want).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn static_cost_matches_executed_cost() {
+        let (dist, mut ctx) = setup();
+        ctx.pool[0..8].fill(0.5);
+        ctx.pool[200..264].fill(1.0);
+        let param = dist.chunks()[0].param;
+        let vid = dist.value_chunks_of(param)[0];
+        let gid = dist.grad_chunks_of(param)[0];
+        let instrs = [
+            Instr::MatVecChunk {
+                chunk: vid,
+                len: 8,
+                x: PoolOffset(0),
+                y: PoolOffset(100),
+            },
+            Instr::TMatVecChunk {
+                chunk: vid,
+                len: 8,
+                dy: PoolOffset(200),
+                dx: PoolOffset(300),
+            },
+            Instr::OuterChunk {
+                chunk: gid,
+                len: 8,
+                x: PoolOffset(0),
+                dy: PoolOffset(200),
+            },
+            Instr::Tanh {
+                len: 8,
+                x: PoolOffset(0),
+                y: PoolOffset(400),
+            },
+            Instr::TanhBwd {
+                len: 8,
+                y: PoolOffset(400),
+                dy: PoolOffset(200),
+                dx: PoolOffset(408),
+            },
+            Instr::Add {
+                len: 8,
+                a: PoolOffset(0),
+                b: PoolOffset(200),
+                y: PoolOffset(416),
+            },
+            Instr::MulAcc {
+                len: 8,
+                a: PoolOffset(0),
+                b: PoolOffset(200),
+                y: PoolOffset(424),
+            },
+            Instr::Copy {
+                len: 8,
+                src: PoolOffset(0),
+                dst: PoolOffset(432),
+            },
+            Instr::PickNls {
+                len: 8,
+                x: PoolOffset(0),
+                out: PoolOffset(440),
+                label: 2,
+            },
+            Instr::PickNlsBwd {
+                len: 8,
+                x: PoolOffset(0),
+                dloss: PoolOffset(440),
+                dx: PoolOffset(448),
+                label: 2,
+            },
+        ];
+        for instr in &instrs {
+            let executed = execute_instr(instr, &dist, &mut ctx);
+            assert_eq!(
+                executed,
+                instr_cost(instr, &dist),
+                "cost mismatch for {instr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sync_instructions_have_zero_cost() {
+        let (dist, _) = setup();
+        assert_eq!(
+            instr_cost(&Instr::Signal { barrier: 0 }, &dist),
+            InstrCost::default()
+        );
+        assert_eq!(
+            instr_cost(
+                &Instr::Wait {
+                    barrier: 0,
+                    needed: 1
+                },
+                &dist
+            ),
+            InstrCost::default()
+        );
     }
 
     #[test]

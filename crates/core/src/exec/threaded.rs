@@ -1,134 +1,29 @@
-//! Real-thread executor: the `signal`/`wait` protocol on actual atomics.
+//! Legacy entry point for the real-thread executor.
 //!
-//! The event-driven interpreter proves the scripts are *schedulable*; this
-//! executor proves they are *concurrently correct*. Each virtual persistent
-//! processor runs on its own OS thread against a shared memory pool, with
-//! barriers implemented exactly as the paper describes for the GPU —
-//! an atomic arrival counter with release semantics on `signal` and an
+//! The executor itself now lives in the unified engine layer: see
+//! [`crate::engine::Threaded`], which runs the `signal`/`wait` protocol on
+//! actual atomics — one OS thread per virtual persistent processor, an
+//! atomic arrival counter with release semantics on `signal` and an
 //! acquire-spin on `wait` (the `atomicAdd` + `__threadfence` pairing of
-//! §III-B1). Accumulating writes (the "remote atomic stores" of transposed
-//! matrix-vector products and derivative fan-in) use lock-free CAS adds;
-//! plain writes rely on the unique-writer-per-epoch guarantee the script
-//! generator establishes.
-//!
-//! It is used by the validation tests and examples to cross-check the
-//! sequential interpreter; the timed experiments use the interpreter.
-
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+//! §III-B1), and lock-free CAS adds for accumulating writes. This module
+//! keeps the original convenience wrapper used by validation tests and
+//! examples.
 
 use dyn_graph::Model;
-use vpps_tensor::{Pool, PoolOffset};
+use gpu_sim::{CostModel, DeviceConfig};
+use vpps_tensor::Pool;
 
-use crate::distribute::ChunkId;
+use crate::engine::{ExecutionBackend, Session, Threaded};
 use crate::exec::interp::ExecConfig;
 use crate::exec::regcache::RegCache;
-use crate::exec::semantics::{execute_instr, ExecCtx};
-use crate::script::{GeneratedScript, Instr};
+use crate::script::GeneratedScript;
 use crate::specialize::{GradStrategy, KernelPlan};
-
-/// A shared view of the device pool usable from many threads at once.
-///
-/// # Safety discipline
-///
-/// * `read`/`write` are plain (non-atomic) accesses. The script generator
-///   guarantees every pool location has at most one plain writer per barrier
-///   epoch and that readers of a location are separated from its writer by a
-///   barrier; the barrier's `Release`-increment / `Acquire`-spin establishes
-///   the necessary happens-before edges.
-/// * `accumulate` may race with other accumulators and therefore uses atomic
-///   compare-and-swap adds on the `f32` bit patterns.
-struct SharedPool {
-    ptr: *mut f32,
-    len: usize,
-}
-
-// SAFETY: all concurrent access goes through the discipline documented above;
-// the raw pointer itself is valid for the scope's lifetime and never
-// reallocated while threads run.
-unsafe impl Sync for SharedPool {}
-unsafe impl Send for SharedPool {}
-
-impl SharedPool {
-    fn check(&self, off: PoolOffset, len: usize) {
-        assert!(
-            off.raw() as usize + len <= self.len,
-            "shared pool access out of range: {}+{} > {}",
-            off.raw(),
-            len,
-            self.len
-        );
-    }
-
-    fn read(&self, off: PoolOffset, out: &mut [f32]) {
-        self.check(off, out.len());
-        for (i, o) in out.iter_mut().enumerate() {
-            // SAFETY: in-bounds (checked); no concurrent plain writer per the
-            // barrier discipline.
-            *o = unsafe { *self.ptr.add(off.raw() as usize + i) };
-        }
-    }
-
-    fn write(&self, off: PoolOffset, data: &[f32]) {
-        self.check(off, data.len());
-        for (i, v) in data.iter().enumerate() {
-            // SAFETY: in-bounds; unique writer for this range in this epoch.
-            unsafe { *self.ptr.add(off.raw() as usize + i) = *v };
-        }
-    }
-
-    fn accumulate(&self, off: PoolOffset, data: &[f32]) {
-        self.check(off, data.len());
-        for (i, v) in data.iter().enumerate() {
-            if *v == 0.0 {
-                continue;
-            }
-            // SAFETY: in-bounds; f32 and AtomicU32 share size and alignment.
-            let cell =
-                unsafe { &*(self.ptr.add(off.raw() as usize + i) as *const AtomicU32) };
-            let mut cur = cell.load(Ordering::Relaxed);
-            loop {
-                let next = (f32::from_bits(cur) + v).to_bits();
-                match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
-                    Ok(_) => break,
-                    Err(actual) => cur = actual,
-                }
-            }
-        }
-    }
-}
-
-struct ThreadCtx<'a> {
-    pool: &'a SharedPool,
-    chunks: HashMap<ChunkId, Vec<f32>>,
-}
-
-impl ExecCtx for ThreadCtx<'_> {
-    fn read(&self, off: PoolOffset, out: &mut [f32]) {
-        self.pool.read(off, out);
-    }
-
-    fn write(&mut self, off: PoolOffset, data: &[f32]) {
-        self.pool.write(off, data);
-    }
-
-    fn accumulate(&mut self, off: PoolOffset, data: &[f32]) {
-        self.pool.accumulate(off, data);
-    }
-
-    fn chunk(&self, id: ChunkId) -> &[f32] {
-        self.chunks.get(&id).expect("chunk owned by this VPP")
-    }
-
-    fn chunk_mut(&mut self, id: ChunkId) -> &mut [f32] {
-        self.chunks.get_mut(&id).expect("chunk owned by this VPP")
-    }
-}
 
 /// Executes one batch's scripts on real threads (one per VPP), applying the
 /// in-register epilogue update to `model`. Functionally equivalent to
-/// [`crate::exec::run_persistent_kernel`] but without the timing model; the
-/// GEMM fallback (if the plan uses it) must still be applied afterwards.
+/// [`crate::exec::run_persistent_kernel`] but without a device — no traffic
+/// or timing is recorded; the GEMM fallback (if the plan uses it) must still
+/// be applied afterwards.
 ///
 /// Returns the loss value.
 ///
@@ -143,59 +38,18 @@ pub fn run_threaded(
     model: &mut Model,
     cfg: ExecConfig,
 ) -> f32 {
+    // No device is involved: session timing is computed against a throwaway
+    // cost model and discarded (only the loss is returned).
+    let cost = CostModel::new(DeviceConfig::titan_v());
+    let session = Session::build(plan, gs, cfg, &cost, None);
     let dist = plan.distribution();
     let mut cache = RegCache::new(dist);
     cache.load_from_model(dist, model);
-    let parts = cache.into_parts(dist);
-
-    let barriers: Vec<AtomicU32> =
-        (0..gs.num_barriers).map(|_| AtomicU32::new(0)).collect();
-    let raw = pool.raw_mut();
-    let shared = SharedPool { ptr: raw.as_mut_ptr(), len: raw.len() };
-
-    let collected: Vec<Vec<(ChunkId, Vec<f32>)>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (vpp, part) in parts.into_iter().enumerate() {
-            let shared = &shared;
-            let barriers = &barriers;
-            let script = gs.scripts.script(vpp);
-            handles.push(scope.spawn(move || {
-                let mut ctx =
-                    ThreadCtx { pool: shared, chunks: part.into_iter().collect() };
-                for instr in script {
-                    match instr {
-                        Instr::Signal { barrier } => {
-                            barriers[*barrier as usize].fetch_add(1, Ordering::Release);
-                        }
-                        Instr::Wait { barrier, needed } => {
-                            let b = &barriers[*barrier as usize];
-                            let mut spins = 0u32;
-                            while b.load(Ordering::Acquire) < *needed {
-                                spins += 1;
-                                if spins.is_multiple_of(64) {
-                                    std::thread::yield_now();
-                                }
-                                std::hint::spin_loop();
-                            }
-                        }
-                        other => {
-                            execute_instr(other, dist, &mut ctx);
-                        }
-                    }
-                }
-                let mut out: Vec<(ChunkId, Vec<f32>)> = ctx.chunks.into_iter().collect();
-                out.sort_by_key(|(id, _)| *id);
-                out
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("VPP thread panicked")).collect()
-    });
-
-    let cache = RegCache::from_parts(dist, collected);
+    let outcome = Threaded.run(&session, pool, &mut cache);
     if plan.grad_strategy() == GradStrategy::InRegister {
         cache.apply_updates(dist, model, cfg.learning_rate, cfg.weight_decay);
     }
-    pool.slice(gs.layout.value_off[gs.layout.loss.index()], 1)[0]
+    outcome.loss
 }
 
 #[cfg(test)]
@@ -293,8 +147,13 @@ mod tests {
             let tables_b = TableLayout::install(&model_b, &mut pool_b).unwrap();
             let gs_b = generate::generate(&g, loss_node, &plan, &mut pool_b, &tables_b).unwrap();
             write_inputs(&g, &gs_b, &mut pool_b);
-            let loss_b =
-                run_threaded(&plan, &gs_b, &mut pool_b, &mut model_b, ExecConfig::default());
+            let loss_b = run_threaded(
+                &plan,
+                &gs_b,
+                &mut pool_b,
+                &mut model_b,
+                ExecConfig::default(),
+            );
 
             assert!(
                 (run.loss - loss_b).abs() < 1e-4,
@@ -337,6 +196,9 @@ mod tests {
         let loss = run_threaded(&plan, &gs, &mut pool, &mut model, ExecConfig::default());
 
         let ref_loss = dyn_graph::exec::forward_backward(&g, &mut ref_model, loss_node);
-        assert!((loss - ref_loss).abs() < 1e-3, "threaded {loss} vs reference {ref_loss}");
+        assert!(
+            (loss - ref_loss).abs() < 1e-3,
+            "threaded {loss} vs reference {ref_loss}"
+        );
     }
 }

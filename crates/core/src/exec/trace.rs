@@ -41,13 +41,21 @@ impl KernelTrace {
 
     /// Total busy nanoseconds of one VPP.
     pub fn busy_ns(&self, vpp: usize) -> f64 {
-        self.events.iter().filter(|e| e.vpp == vpp).map(|e| e.dur_ns).sum()
+        self.events
+            .iter()
+            .filter(|e| e.vpp == vpp)
+            .map(|e| e.dur_ns)
+            .sum()
     }
 
     /// Nanoseconds spent in barrier waits across all VPPs — the
     /// synchronization overhead the paper's level barriers introduce.
     pub fn wait_ns(&self) -> f64 {
-        self.events.iter().filter(|e| e.name == "wait").map(|e| e.dur_ns).sum()
+        self.events
+            .iter()
+            .filter(|e| e.name == "wait")
+            .map(|e| e.dur_ns)
+            .sum()
     }
 
     /// Serializes to the Chrome trace-event JSON array format. Timestamps
@@ -78,10 +86,30 @@ mod tests {
     fn sample() -> KernelTrace {
         KernelTrace {
             events: vec![
-                TraceEvent { vpp: 0, name: "matvec", start_ns: 0.0, dur_ns: 100.0 },
-                TraceEvent { vpp: 0, name: "signal", start_ns: 100.0, dur_ns: 10.0 },
-                TraceEvent { vpp: 1, name: "wait", start_ns: 0.0, dur_ns: 110.0 },
-                TraceEvent { vpp: 1, name: "tanh", start_ns: 110.0, dur_ns: 50.0 },
+                TraceEvent {
+                    vpp: 0,
+                    name: "matvec",
+                    start_ns: 0.0,
+                    dur_ns: 100.0,
+                },
+                TraceEvent {
+                    vpp: 0,
+                    name: "signal",
+                    start_ns: 100.0,
+                    dur_ns: 10.0,
+                },
+                TraceEvent {
+                    vpp: 1,
+                    name: "wait",
+                    start_ns: 0.0,
+                    dur_ns: 110.0,
+                },
+                TraceEvent {
+                    vpp: 1,
+                    name: "tanh",
+                    start_ns: 110.0,
+                    dur_ns: 50.0,
+                },
             ],
         }
     }

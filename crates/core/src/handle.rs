@@ -17,12 +17,13 @@
 //! device-bound at small batches, host-bound at large ones.
 
 use dyn_graph::{Graph, Model, NodeId, Op};
-use gpu_sim::{DeviceConfig, GpuSim, HostCostModel, SimTime, TrafficTag};
+use gpu_sim::{DeviceConfig, GpuSim, HostCostModel, Metrics, SimTime, TrafficTag};
 use vpps_tensor::Pool;
 
+use crate::engine::{self, BackendKind, Engine};
 use crate::error::VppsError;
 use crate::exec::fallback::apply_gemm_fallback;
-use crate::exec::interp::{run_persistent_kernel, ExecConfig};
+use crate::exec::interp::ExecConfig;
 use crate::script::{generate, TableLayout};
 use crate::specialize::{JitCost, KernelPlan};
 
@@ -54,6 +55,10 @@ pub struct VppsOptions {
     /// batch (the asynchrony ablation). `fb` then effectively behaves like
     /// `fb` + `sync_get_latest_loss`.
     pub synchronous: bool,
+    /// Which execution backend runs the persistent kernel (see
+    /// [`BackendKind`]). All backends produce identical metrics; the
+    /// parallel interpreter uses every host core for large sweeps.
+    pub backend: BackendKind,
 }
 
 impl Default for VppsOptions {
@@ -65,6 +70,7 @@ impl Default for VppsOptions {
             pool_capacity: 1 << 24,
             profile_batches_per_rpw: 2,
             synchronous: false,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -189,6 +195,7 @@ pub struct Handle {
     prev_loss: f32,
     profile: ProfileState,
     batches: u64,
+    kernel_metrics: Metrics,
 }
 
 impl Handle {
@@ -237,6 +244,7 @@ impl Handle {
             prev_loss: 0.0,
             profile,
             batches: 0,
+            kernel_metrics: Metrics::default(),
         })
     }
 
@@ -276,7 +284,9 @@ impl Handle {
         if input_bytes > 0 {
             t_copy += self.gpu.h2d_copy(input_bytes, TrafficTag::Activation);
         }
-        t_copy += self.gpu.h2d_copy(gs.scripts.encoded_bytes() as u64, TrafficTag::Script);
+        t_copy += self
+            .gpu
+            .h2d_copy(gs.scripts.encoded_bytes() as u64, TrafficTag::Script);
 
         // --- persistent kernel + optional fallback.
         let cfg = ExecConfig {
@@ -285,9 +295,17 @@ impl Handle {
             apply_update: true,
         };
         let before = self.gpu.now();
-        let run =
-            run_persistent_kernel(plan, &gs, &mut self.pool, model, &mut self.gpu, cfg);
+        let run = engine::run_batch(
+            self.opts.backend.backend(),
+            plan,
+            &gs,
+            &mut self.pool,
+            model,
+            &mut self.gpu,
+            cfg,
+        );
         let kernel_total = self.gpu.now() - before;
+        self.kernel_metrics.merge(&run.metrics);
         let fb_before = self.gpu.now();
         apply_gemm_fallback(plan, &gs.layout, &self.pool, model, &mut self.gpu, cfg);
         let fallback_total = self.gpu.now() - fb_before;
@@ -321,7 +339,10 @@ impl Handle {
         // cost (host and device overlap, so the binding constraint is their
         // maximum — "average computation time" in the paper's words).
         let batch_cost = cpu_time.max(device_time);
-        self.active = self.profile.record(batch_cost.as_ns()).min(self.plans.len() - 1);
+        self.active = self
+            .profile
+            .record(batch_cost.as_ns())
+            .min(self.plans.len() - 1);
 
         std::mem::replace(&mut self.prev_loss, run.loss)
     }
@@ -335,7 +356,10 @@ impl Handle {
         let mut touched = false;
         for (id, node) in graph.iter() {
             if let Op::Lookup { table, index } = node.op {
-                let d = self.pool.slice(gs.layout.deriv_off[id.index()], node.dim).to_vec();
+                let d = self
+                    .pool
+                    .slice(gs.layout.deriv_off[id.index()], node.dim)
+                    .to_vec();
                 let row = model.lookup_mut(table).grad.row_mut(index);
                 for (g, v) in row.iter_mut().zip(&d) {
                     *g += v;
@@ -388,7 +412,9 @@ impl Handle {
         if input_bytes > 0 {
             t_copy += self.gpu.h2d_copy(input_bytes, TrafficTag::Activation);
         }
-        t_copy += self.gpu.h2d_copy(gs.scripts.encoded_bytes() as u64, TrafficTag::Script);
+        t_copy += self
+            .gpu
+            .h2d_copy(gs.scripts.encoded_bytes() as u64, TrafficTag::Script);
 
         let cfg = ExecConfig {
             learning_rate: self.opts.learning_rate,
@@ -396,11 +422,23 @@ impl Handle {
             apply_update: false,
         };
         let before = self.gpu.now();
-        run_persistent_kernel(plan, &gs, &mut self.pool, model, &mut self.gpu, cfg);
+        let run = engine::run_batch(
+            self.opts.backend.backend(),
+            plan,
+            &gs,
+            &mut self.pool,
+            model,
+            &mut self.gpu,
+            cfg,
+        );
         let kernel_total = self.gpu.now() - before;
+        self.kernel_metrics.merge(&run.metrics);
 
         let dim = graph.node(root).dim;
-        let out = self.pool.slice(gs.layout.value_off[root.index()], dim).to_vec();
+        let out = self
+            .pool
+            .slice(gs.layout.value_off[root.index()], dim)
+            .to_vec();
 
         // Inference is synchronous: latency accumulates without overlap.
         let total = t_graph + t_fwd + t_copy + kernel_total;
@@ -443,6 +481,21 @@ impl Handle {
         &self.gpu
     }
 
+    /// Unified cumulative metrics: the device's measured counters (traffic,
+    /// launches, copies) plus the engine's analytic barrier-stall and
+    /// load-imbalance data.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::capture(&self.gpu);
+        m.barrier_stall = self.kernel_metrics.barrier_stall;
+        m.imbalance = self.kernel_metrics.imbalance;
+        m
+    }
+
+    /// The configured execution backend.
+    pub fn backend(&self) -> BackendKind {
+        self.opts.backend
+    }
+
     /// Pipelined simulated wall time over all batches so far. Call
     /// [`Handle::sync_get_latest_loss`] first to drain in-flight device work
     /// when computing end-to-end throughput.
@@ -472,6 +525,29 @@ impl Handle {
     /// `true` once the profile-guided search has settled.
     pub fn profile_settled(&self) -> bool {
         self.profile.done
+    }
+}
+
+impl Engine for Handle {
+    fn system(&self) -> String {
+        "VPPS".to_string()
+    }
+
+    fn train_batch(&mut self, model: &mut Model, graph: &Graph, loss: NodeId) -> f32 {
+        self.fb(model, graph, loss);
+        self.prev_loss
+    }
+
+    fn metrics(&self) -> Metrics {
+        Handle::metrics(self)
+    }
+
+    fn wall_time(&self) -> SimTime {
+        self.wall
+    }
+
+    fn batches(&self) -> u64 {
+        self.batches
     }
 }
 
@@ -513,7 +589,11 @@ mod tests {
     }
 
     fn opts() -> VppsOptions {
-        VppsOptions { pool_capacity: 1 << 20, learning_rate: 0.05, ..VppsOptions::default() }
+        VppsOptions {
+            pool_capacity: 1 << 20,
+            learning_rate: 0.05,
+            ..VppsOptions::default()
+        }
     }
 
     #[test]
@@ -579,7 +659,10 @@ mod tests {
         assert!(wall > wall_before_sync);
         // Overlap: wall is less than the serial sum of host + device time.
         let serial = h.phases().host_total() + h.phases().device_total();
-        assert!(wall <= serial + SimTime::from_ns(1.0), "wall {wall} vs serial {serial}");
+        assert!(
+            wall <= serial + SimTime::from_ns(1.0),
+            "wall {wall} vs serial {serial}"
+        );
     }
 
     #[test]
@@ -589,7 +672,10 @@ mod tests {
         o.rpw = RpwMode::Profile;
         o.profile_batches_per_rpw = 1;
         let mut h = Handle::new(&m, small_device(), o).unwrap();
-        assert!(h.plans().len() > 1, "profile mode compiles multiple kernels");
+        assert!(
+            h.plans().len() > 1,
+            "profile mode compiles multiple kernels"
+        );
         for _ in 0..(h.plans().len() + 2) {
             let (g, l) = toy_graph(&m, w, cls, 2, 1);
             h.fb(&mut m, &g, l);
@@ -631,5 +717,90 @@ mod tests {
         assert!(p.backward_schedule > SimTime::ZERO);
         assert!(p.script_copy > SimTime::ZERO);
         assert!(p.kernel_exec > SimTime::ZERO);
+    }
+
+    #[test]
+    fn every_backend_produces_identical_counters() {
+        // The tentpole guarantee: losses are bit-identical and the unified
+        // metrics (DRAM bytes, launches) agree across all three backends.
+        let mut reference: Option<(Vec<f32>, Metrics)> = None;
+        for kind in BackendKind::ALL {
+            let (mut m, w, cls) = toy_model();
+            let mut o = opts();
+            o.backend = kind;
+            let mut h = Handle::new(&m, small_device(), o).unwrap();
+            let mut losses = Vec::new();
+            for step in 0..4 {
+                let (g, l) = toy_graph(&m, w, cls, 1 + step % 3, step % 4);
+                h.fb(&mut m, &g, l);
+                losses.push(h.sync_get_latest_loss());
+            }
+            let metrics = h.metrics();
+            assert_eq!(metrics.launches, 4);
+            match &reference {
+                None => reference = Some((losses, metrics)),
+                Some((ref_losses, ref_metrics)) => {
+                    assert_eq!(
+                        &losses,
+                        ref_losses,
+                        "backend {} diverged from the reference losses",
+                        kind.name()
+                    );
+                    assert_eq!(
+                        metrics.dram,
+                        ref_metrics.dram,
+                        "backend {} posted different DRAM traffic",
+                        kind.name()
+                    );
+                    assert_eq!(metrics.launches, ref_metrics.launches);
+                    assert_eq!(metrics.kernel_time, ref_metrics.kernel_time);
+                    assert_eq!(metrics.imbalance, ref_metrics.imbalance);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handle_metrics_match_device_counters() {
+        let (mut m, w, cls) = toy_model();
+        let mut h = Handle::new(&m, small_device(), opts()).unwrap();
+        for _ in 0..3 {
+            let (g, l) = toy_graph(&m, w, cls, 2, 1);
+            h.fb(&mut m, &g, l);
+        }
+        let metrics = h.metrics();
+        assert_eq!(metrics.launches, h.gpu().stats().kernels_launched);
+        assert_eq!(
+            metrics.weight_load_bytes(),
+            h.gpu().dram().loads(TrafficTag::Weight)
+        );
+        let vpps = h.plan().distribution().geometry().total_vpps() as u64;
+        assert_eq!(
+            metrics.imbalance.total(),
+            3 * vpps,
+            "one histogram entry per VPP per batch"
+        );
+        assert!(metrics.device_time() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn handle_implements_the_engine_trait() {
+        let (mut m, w, cls) = toy_model();
+        let mut h = Handle::new(&m, small_device(), opts()).unwrap();
+        let eng: &mut dyn Engine = &mut h;
+        assert_eq!(eng.system(), "VPPS");
+        let (g, l) = toy_graph(&m, w, cls, 2, 1);
+        let loss = eng.train_batch(&mut m, &g, l);
+        assert!(loss > 0.0);
+        assert_eq!(eng.batches(), 1);
+        assert_eq!(Engine::metrics(eng).launches, 1);
+    }
+
+    #[test]
+    fn backend_kind_round_trips_through_names() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+        }
+        assert!("nonsense".parse::<BackendKind>().is_err());
     }
 }

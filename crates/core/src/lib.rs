@@ -54,12 +54,14 @@
 //! ```
 
 pub mod distribute;
+pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod handle;
 pub mod script;
 pub mod specialize;
 
+pub use engine::{BackendKind, Engine, ExecutionBackend, RunOutcome, Session};
 pub use error::VppsError;
 pub use handle::{Handle, PhaseBreakdown, RpwMode, VppsOptions};
 pub use specialize::{GradStrategy, KernelPlan, PlanCache};

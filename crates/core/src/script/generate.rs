@@ -48,23 +48,30 @@ impl TableLayout {
                 requested: len,
                 capacity: pool.capacity(),
             })?;
-            pool.slice_mut(base, len).copy_from_slice(lp.table.as_slice());
+            pool.slice_mut(base, len)
+                .copy_from_slice(lp.table.as_slice());
             bases.push(base);
             dims.push((lp.table.rows(), lp.table.cols()));
         }
-        let const_one = pool
-            .alloc(1)
-            .map_err(|_| VppsError::PoolExhausted { requested: 1, capacity: pool.capacity() })?;
+        let const_one = pool.alloc(1).map_err(|_| VppsError::PoolExhausted {
+            requested: 1,
+            capacity: pool.capacity(),
+        })?;
         pool.slice_mut(const_one, 1)[0] = 1.0;
         pool.freeze_floor();
-        Ok(Self { bases, dims, const_one })
+        Ok(Self {
+            bases,
+            dims,
+            const_one,
+        })
     }
 
     /// Re-writes the resident table values from `model` (after a parameter
     /// update touched the embeddings).
     pub fn refresh(&self, model: &dyn_graph::Model, pool: &mut Pool) {
         for ((_, lp), base) in model.lookups().zip(&self.bases) {
-            pool.slice_mut(*base, lp.table.len()).copy_from_slice(lp.table.as_slice());
+            pool.slice_mut(*base, lp.table.len())
+                .copy_from_slice(lp.table.as_slice());
         }
     }
 
@@ -86,7 +93,11 @@ impl TableLayout {
 
     /// Total resident bytes (tables + constant).
     pub fn resident_bytes(&self) -> u64 {
-        self.dims.iter().map(|(v, d)| (v * d * 4) as u64).sum::<u64>() + 4
+        self.dims
+            .iter()
+            .map(|(v, d)| (v * d * 4) as u64)
+            .sum::<u64>()
+            + 4
     }
 }
 
@@ -266,8 +277,10 @@ impl<'a> Emitter<'a> {
 }
 
 fn alloc(pool: &mut Pool, len: usize) -> Result<PoolOffset, VppsError> {
-    pool.alloc(len)
-        .map_err(|_| VppsError::PoolExhausted { requested: len, capacity: pool.capacity() })
+    pool.alloc(len).map_err(|_| VppsError::PoolExhausted {
+        requested: len,
+        capacity: pool.capacity(),
+    })
 }
 
 /// Generates the execution scripts for one batch super-graph.
@@ -320,7 +333,15 @@ pub fn generate_forward_only(
     pool: &mut Pool,
     tables: &TableLayout,
 ) -> Result<GeneratedScript, VppsError> {
-    generate_inner(graph, root, plan, pool, tables, SchedulePolicy::MinLoad, false)
+    generate_inner(
+        graph,
+        root,
+        plan,
+        pool,
+        tables,
+        SchedulePolicy::MinLoad,
+        false,
+    )
 }
 
 fn generate_inner(
@@ -388,10 +409,20 @@ fn generate_inner(
         let max_pidx = uses.keys().max().copied().unwrap_or(0);
         stages = vec![None; max_pidx + 1];
         for (pidx, (count, rows, cols, is_bias)) in uses {
-            let x_base = if is_bias { None } else { Some(alloc(pool, cols * count)?) };
+            let x_base = if is_bias {
+                None
+            } else {
+                Some(alloc(pool, cols * count)?)
+            };
             let dy_len = if is_bias { cols * count } else { rows * count };
             let dy_base = alloc(pool, dy_len)?;
-            stages[pidx] = Some(ParamStage { x_base, dy_base, uses: count, rows, cols });
+            stages[pidx] = Some(ParamStage {
+                x_base,
+                dy_base,
+                uses: count,
+                rows,
+                cols,
+            });
         }
     }
 
@@ -423,7 +454,12 @@ fn generate_inner(
                         let c = dist.chunk(*cid);
                         emitter.emit_pinned(
                             c.vpp,
-                            Instr::MatVecChunk { chunk: *cid, len: c.cols as u32, x, y },
+                            Instr::MatVecChunk {
+                                chunk: *cid,
+                                len: c.cols as u32,
+                                x,
+                                y,
+                            },
                         );
                         forward_instructions += 1;
                     }
@@ -435,7 +471,11 @@ fn generate_inner(
                         let dst = PoolOffset(
                             st.x_base.expect("matrix stage has x").raw() + (slot * cols) as u32,
                         );
-                        emitter.emit_balanced(Instr::Copy { len: cols as u32, src: x, dst });
+                        emitter.emit_balanced(Instr::Copy {
+                            len: cols as u32,
+                            src: x,
+                            dst,
+                        });
                         forward_instructions += 1;
                     }
                 }
@@ -445,7 +485,12 @@ fn generate_inner(
                     let c = dist.chunk(cid);
                     emitter.emit_pinned(
                         c.vpp,
-                        Instr::AddBiasChunk { chunk: cid, len: node.dim as u32, x, y },
+                        Instr::AddBiasChunk {
+                            chunk: cid,
+                            len: node.dim as u32,
+                            x,
+                            y,
+                        },
                     );
                     forward_instructions += 1;
                 }
@@ -478,7 +523,11 @@ fn generate_inner(
                     for arg in &node.args[1..] {
                         emitter.emit_pinned(
                             first,
-                            Instr::AccAdd { len: node.dim as u32, x: value_off[arg.index()], y },
+                            Instr::AccAdd {
+                                len: node.dim as u32,
+                                x: value_off[arg.index()],
+                                y,
+                            },
                         );
                     }
                     forward_instructions += node.args.len();
@@ -552,8 +601,11 @@ fn generate_inner(
 
     // ---- backward traversal, deepest level first.
     let mut backward_instructions = 0usize;
-    let backward_levels: Vec<&Vec<NodeId>> =
-        if backward { levels.iter_rev().collect() } else { Vec::new() };
+    let backward_levels: Vec<&Vec<NodeId>> = if backward {
+        levels.iter_rev().collect()
+    } else {
+        Vec::new()
+    };
     for level in backward_levels {
         for &id in level {
             let node = graph.node(id);
@@ -561,7 +613,11 @@ fn generate_inner(
             // Seed the loss derivative on whichever VPP handles the loss
             // node's backward instructions; emit it first for that node.
             let seed = if id == loss {
-                Some(Instr::Copy { len: 1, src: tables.const_one(), dst: dy })
+                Some(Instr::Copy {
+                    len: 1,
+                    src: tables.const_one(),
+                    dst: dy,
+                })
             } else {
                 None
             };
@@ -597,7 +653,12 @@ fn generate_inner(
                         let c = dist.chunk(*cid);
                         emitter.emit_pinned(
                             c.vpp,
-                            Instr::TMatVecChunk { chunk: *cid, len: c.cols as u32, dy, dx },
+                            Instr::TMatVecChunk {
+                                chunk: *cid,
+                                len: c.cols as u32,
+                                dy,
+                                dx,
+                            },
                         );
                         backward_instructions += 1;
                     }
@@ -605,7 +666,11 @@ fn generate_inner(
                         let (pidx, slot) = stage_slot[id.index()].expect("staged matvec");
                         let st = stages[pidx].as_ref().expect("stage exists");
                         let dst = PoolOffset(st.dy_base.raw() + (slot * st.rows) as u32);
-                        emitter.emit_balanced(Instr::Copy { len: st.rows as u32, src: dy, dst });
+                        emitter.emit_balanced(Instr::Copy {
+                            len: st.rows as u32,
+                            src: dy,
+                            dst,
+                        });
                         backward_instructions += 1;
                     } else {
                         let x = value_off[x_id.index()];
@@ -613,7 +678,12 @@ fn generate_inner(
                             let c = dist.chunk(*cid);
                             emitter.emit_pinned(
                                 c.vpp,
-                                Instr::OuterChunk { chunk: *cid, len: c.cols as u32, x, dy },
+                                Instr::OuterChunk {
+                                    chunk: *cid,
+                                    len: c.cols as u32,
+                                    x,
+                                    dy,
+                                },
                             );
                             backward_instructions += 1;
                         }
@@ -621,19 +691,31 @@ fn generate_inner(
                 }
                 Op::AddBias { b } => {
                     let dx = deriv_off[node.args[0].index()];
-                    emitter.emit_balanced(Instr::AccAdd { len: node.dim as u32, x: dy, y: dx });
+                    emitter.emit_balanced(Instr::AccAdd {
+                        len: node.dim as u32,
+                        x: dy,
+                        y: dx,
+                    });
                     backward_instructions += 1;
                     if fallback {
                         let (pidx, slot) = stage_slot[id.index()].expect("staged bias");
                         let st = stages[pidx].as_ref().expect("stage exists");
                         let dst = PoolOffset(st.dy_base.raw() + (slot * st.cols) as u32);
-                        emitter.emit_balanced(Instr::Copy { len: st.cols as u32, src: dy, dst });
+                        emitter.emit_balanced(Instr::Copy {
+                            len: st.cols as u32,
+                            src: dy,
+                            dst,
+                        });
                         backward_instructions += 1;
                     } else {
                         let cid = dist.grad_chunks_of(*b)[0];
                         emitter.emit_pinned(
                             dist.chunk(cid).vpp,
-                            Instr::BiasGradChunk { chunk: cid, len: node.dim as u32, dy },
+                            Instr::BiasGradChunk {
+                                chunk: cid,
+                                len: node.dim as u32,
+                                dy,
+                            },
                         );
                         backward_instructions += 1;
                     }
@@ -654,11 +736,19 @@ fn generate_inner(
                 Op::Sub => {
                     emit_seeded(
                         &mut emitter,
-                        Instr::AccAdd { len: node.dim as u32, x: dy, y: deriv_off[node.args[0].index()] },
+                        Instr::AccAdd {
+                            len: node.dim as u32,
+                            x: dy,
+                            y: deriv_off[node.args[0].index()],
+                        },
                     );
                     emit_seeded(
                         &mut emitter,
-                        Instr::AccSub { len: node.dim as u32, x: dy, y: deriv_off[node.args[1].index()] },
+                        Instr::AccSub {
+                            len: node.dim as u32,
+                            x: dy,
+                            y: deriv_off[node.args[1].index()],
+                        },
                     );
                     backward_instructions += 2;
                 }
@@ -755,7 +845,14 @@ fn generate_inner(
         last = emitter.flush_level(&mut scripts, &mut next_barrier, last);
     }
 
-    let layout = BatchLayout { value_off, deriv_off, deriv_base, deriv_len, loss, stages };
+    let layout = BatchLayout {
+        value_off,
+        deriv_off,
+        deriv_base,
+        deriv_len,
+        loss,
+        stages,
+    };
     Ok(GeneratedScript {
         scripts,
         layout,
@@ -781,7 +878,14 @@ mod tests {
         d
     }
 
-    fn setup() -> (Model, dyn_graph::ParamId, dyn_graph::ParamId, KernelPlan, Pool, TableLayout) {
+    fn setup() -> (
+        Model,
+        dyn_graph::ParamId,
+        dyn_graph::ParamId,
+        KernelPlan,
+        Pool,
+        TableLayout,
+    ) {
         let mut m = Model::new(5);
         let w = m.add_matrix("W", 32, 32);
         let b = m.add_bias("b", 32);
@@ -922,8 +1026,7 @@ mod tests {
             .filter(|i| matches!(i, Instr::OuterChunk { .. }))
             .count();
         assert_eq!(outers, 0);
-        let staged: usize =
-            gs.layout.stages.iter().flatten().map(|s| s.uses).sum();
+        let staged: usize = gs.layout.stages.iter().flatten().map(|s| s.uses).sum();
         assert_eq!(staged, 6);
     }
 
@@ -941,7 +1044,11 @@ mod tests {
         let loss = g.pick_neg_log_softmax(cat, 0);
         let gs = generate(&g, loss, &plan, &mut pool, &tables).unwrap();
         let busy = gs.vpp_loads.iter().filter(|&&l| l > 0.0).count();
-        assert!(busy >= 4, "independent work should use all {} VPPs, used {busy}", gs.vpp_loads.len());
+        assert!(
+            busy >= 4,
+            "independent work should use all {} VPPs, used {busy}",
+            gs.vpp_loads.len()
+        );
         let _ = m;
     }
 
@@ -953,8 +1060,10 @@ mod tests {
         let dloss = gs.layout.deriv_off[loss.index()];
         let seeds = (0..gs.scripts.num_vpps())
             .flat_map(|v| gs.scripts.script(v))
-            .filter(|i| matches!(i, Instr::Copy { src, dst, .. }
-                if *src == tables.const_one() && *dst == dloss))
+            .filter(|i| {
+                matches!(i, Instr::Copy { src, dst, .. }
+                if *src == tables.const_one() && *dst == dloss)
+            })
             .count();
         assert_eq!(seeds, 1);
     }

@@ -310,9 +310,9 @@ impl Instr {
             Instr::OuterChunk { chunk, x, dy, .. } => ([chunk.0, x.raw(), dy.raw(), 0], 3),
             Instr::AddBiasChunk { chunk, x, y, .. } => ([chunk.0, x.raw(), y.raw(), 0], 3),
             Instr::BiasGradChunk { chunk, dy, .. } => ([chunk.0, dy.raw(), 0, 0], 2),
-            Instr::Tanh { x, y, .. }
-            | Instr::Sigmoid { x, y, .. }
-            | Instr::Relu { x, y, .. } => ([x.raw(), y.raw(), 0, 0], 2),
+            Instr::Tanh { x, y, .. } | Instr::Sigmoid { x, y, .. } | Instr::Relu { x, y, .. } => {
+                ([x.raw(), y.raw(), 0, 0], 2)
+            }
             Instr::TanhBwd { y, dy, dx, .. }
             | Instr::SigmoidBwd { y, dy, dx, .. }
             | Instr::ReluBwd { y, dy, dx, .. } => ([y.raw(), dy.raw(), dx.raw(), 0], 3),
@@ -324,9 +324,13 @@ impl Instr {
             Instr::CwiseMult { a, b, y, .. } => ([a.raw(), b.raw(), y.raw(), 0], 3),
             Instr::Copy { src, dst, .. } => ([src.raw(), dst.raw(), 0, 0], 2),
             Instr::PickNls { x, out, label, .. } => ([x.raw(), out.raw(), label, 0], 3),
-            Instr::PickNlsBwd { x, dloss, dx, label, .. } => {
-                ([x.raw(), dloss.raw(), dx.raw(), label], 4)
-            }
+            Instr::PickNlsBwd {
+                x,
+                dloss,
+                dx,
+                label,
+                ..
+            } => ([x.raw(), dloss.raw(), dx.raw(), label], 4),
         }
     }
 
@@ -372,7 +376,10 @@ impl Instr {
     /// Appends the encoding to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
         let len = self.len_field();
-        assert!(len <= MAX_TENSOR_LEN, "tensor length {len} exceeds 24-bit preamble field");
+        assert!(
+            len <= MAX_TENSOR_LEN,
+            "tensor length {len} exceeds 24-bit preamble field"
+        );
         let preamble = u32::from(self.opcode()) | (len << 8);
         out.extend_from_slice(&preamble.to_le_bytes());
         let (ops, n) = self.operands();
@@ -390,7 +397,11 @@ impl Instr {
     /// by this crate; corruption is a logic error, not an input error).
     pub fn decode(buf: &[u8], pos: usize) -> (Instr, usize) {
         let word = |i: usize| -> u32 {
-            u32::from_le_bytes(buf[pos + 4 * i..pos + 4 * i + 4].try_into().expect("truncated"))
+            u32::from_le_bytes(
+                buf[pos + 4 * i..pos + 4 * i + 4]
+                    .try_into()
+                    .expect("truncated"),
+            )
         };
         let preamble = word(0);
         let opcode = (preamble & 0xFF) as u8;
@@ -399,30 +410,187 @@ impl Instr {
         let chunk = |i: usize| ChunkId(word(i));
         let (instr, nops) = match opcode {
             0 => (Instr::Signal { barrier: word(1) }, 1),
-            1 => (Instr::Wait { barrier: word(1), needed: word(2) }, 2),
-            2 => (Instr::MatVecChunk { chunk: chunk(1), len, x: off(2), y: off(3) }, 3),
-            3 => (Instr::TMatVecChunk { chunk: chunk(1), len, dy: off(2), dx: off(3) }, 3),
-            4 => (Instr::OuterChunk { chunk: chunk(1), len, x: off(2), dy: off(3) }, 3),
-            5 => (Instr::AddBiasChunk { chunk: chunk(1), len, x: off(2), y: off(3) }, 3),
-            6 => (Instr::BiasGradChunk { chunk: chunk(1), len, dy: off(2) }, 2),
-            7 => (Instr::Tanh { len, x: off(1), y: off(2) }, 2),
-            8 => (Instr::Sigmoid { len, x: off(1), y: off(2) }, 2),
-            9 => (Instr::Relu { len, x: off(1), y: off(2) }, 2),
-            10 => (Instr::TanhBwd { len, y: off(1), dy: off(2), dx: off(3) }, 3),
-            11 => (Instr::SigmoidBwd { len, y: off(1), dy: off(2), dx: off(3) }, 3),
-            12 => (Instr::ReluBwd { len, y: off(1), dy: off(2), dx: off(3) }, 3),
-            13 => (Instr::Add { len, a: off(1), b: off(2), y: off(3) }, 3),
-            14 => (Instr::AccAdd { len, x: off(1), y: off(2) }, 2),
-            15 => (Instr::MulAcc { len, a: off(1), b: off(2), y: off(3) }, 3),
-            16 => (Instr::CwiseMult { len, a: off(1), b: off(2), y: off(3) }, 3),
-            17 => (Instr::Copy { len, src: off(1), dst: off(2) }, 2),
-            18 => (Instr::PickNls { len, x: off(1), out: off(2), label: word(3) }, 3),
+            1 => (
+                Instr::Wait {
+                    barrier: word(1),
+                    needed: word(2),
+                },
+                2,
+            ),
+            2 => (
+                Instr::MatVecChunk {
+                    chunk: chunk(1),
+                    len,
+                    x: off(2),
+                    y: off(3),
+                },
+                3,
+            ),
+            3 => (
+                Instr::TMatVecChunk {
+                    chunk: chunk(1),
+                    len,
+                    dy: off(2),
+                    dx: off(3),
+                },
+                3,
+            ),
+            4 => (
+                Instr::OuterChunk {
+                    chunk: chunk(1),
+                    len,
+                    x: off(2),
+                    dy: off(3),
+                },
+                3,
+            ),
+            5 => (
+                Instr::AddBiasChunk {
+                    chunk: chunk(1),
+                    len,
+                    x: off(2),
+                    y: off(3),
+                },
+                3,
+            ),
+            6 => (
+                Instr::BiasGradChunk {
+                    chunk: chunk(1),
+                    len,
+                    dy: off(2),
+                },
+                2,
+            ),
+            7 => (
+                Instr::Tanh {
+                    len,
+                    x: off(1),
+                    y: off(2),
+                },
+                2,
+            ),
+            8 => (
+                Instr::Sigmoid {
+                    len,
+                    x: off(1),
+                    y: off(2),
+                },
+                2,
+            ),
+            9 => (
+                Instr::Relu {
+                    len,
+                    x: off(1),
+                    y: off(2),
+                },
+                2,
+            ),
+            10 => (
+                Instr::TanhBwd {
+                    len,
+                    y: off(1),
+                    dy: off(2),
+                    dx: off(3),
+                },
+                3,
+            ),
+            11 => (
+                Instr::SigmoidBwd {
+                    len,
+                    y: off(1),
+                    dy: off(2),
+                    dx: off(3),
+                },
+                3,
+            ),
+            12 => (
+                Instr::ReluBwd {
+                    len,
+                    y: off(1),
+                    dy: off(2),
+                    dx: off(3),
+                },
+                3,
+            ),
+            13 => (
+                Instr::Add {
+                    len,
+                    a: off(1),
+                    b: off(2),
+                    y: off(3),
+                },
+                3,
+            ),
+            14 => (
+                Instr::AccAdd {
+                    len,
+                    x: off(1),
+                    y: off(2),
+                },
+                2,
+            ),
+            15 => (
+                Instr::MulAcc {
+                    len,
+                    a: off(1),
+                    b: off(2),
+                    y: off(3),
+                },
+                3,
+            ),
+            16 => (
+                Instr::CwiseMult {
+                    len,
+                    a: off(1),
+                    b: off(2),
+                    y: off(3),
+                },
+                3,
+            ),
+            17 => (
+                Instr::Copy {
+                    len,
+                    src: off(1),
+                    dst: off(2),
+                },
+                2,
+            ),
+            18 => (
+                Instr::PickNls {
+                    len,
+                    x: off(1),
+                    out: off(2),
+                    label: word(3),
+                },
+                3,
+            ),
             19 => (
-                Instr::PickNlsBwd { len, x: off(1), dloss: off(2), dx: off(3), label: word(4) },
+                Instr::PickNlsBwd {
+                    len,
+                    x: off(1),
+                    dloss: off(2),
+                    dx: off(3),
+                    label: word(4),
+                },
                 4,
             ),
-            20 => (Instr::Sub { len, a: off(1), b: off(2), y: off(3) }, 3),
-            21 => (Instr::AccSub { len, x: off(1), y: off(2) }, 2),
+            20 => (
+                Instr::Sub {
+                    len,
+                    a: off(1),
+                    b: off(2),
+                    y: off(3),
+                },
+                3,
+            ),
+            21 => (
+                Instr::AccSub {
+                    len,
+                    x: off(1),
+                    y: off(2),
+                },
+                2,
+            ),
             other => panic!("unknown opcode {other} in encoded script"),
         };
         (instr, pos + 4 + 4 * nops)
@@ -444,7 +612,9 @@ pub struct ScriptSet {
 impl ScriptSet {
     /// Creates an empty script set for `num_vpps` virtual processors.
     pub fn new(num_vpps: usize) -> Self {
-        Self { scripts: vec![Vec::new(); num_vpps] }
+        Self {
+            scripts: vec![Vec::new(); num_vpps],
+        }
     }
 
     /// Creates a script set from per-VPP instruction vectors.
@@ -482,7 +652,11 @@ impl ScriptSet {
 
     /// Non-sync (compute/copy) instruction count.
     pub fn compute_instructions(&self) -> usize {
-        self.scripts.iter().flatten().filter(|i| !i.is_sync()).count()
+        self.scripts
+            .iter()
+            .flatten()
+            .filter(|i| !i.is_sync())
+            .count()
     }
 
     /// Encodes header + all scripts into one transferable buffer.
@@ -513,7 +687,10 @@ impl ScriptSet {
     /// Panics on malformed input (scripts are internal artifacts).
     pub fn decode(buf: &[u8], num_vpps: usize) -> Self {
         let header_len = 4 * (num_vpps + 1);
-        assert!(buf.len() >= header_len, "script buffer shorter than its header");
+        assert!(
+            buf.len() >= header_len,
+            "script buffer shorter than its header"
+        );
         let offset = |i: usize| -> usize {
             u32::from_le_bytes(buf[4 * i..4 * i + 4].try_into().expect("truncated header")) as usize
         };
@@ -536,7 +713,12 @@ impl ScriptSet {
     /// paper §III-B2 transfers).
     pub fn encoded_bytes(&self) -> usize {
         4 * (self.scripts.len() + 1)
-            + self.scripts.iter().flatten().map(Instr::encoded_len).sum::<usize>()
+            + self
+                .scripts
+                .iter()
+                .flatten()
+                .map(Instr::encoded_len)
+                .sum::<usize>()
     }
 
     /// Estimates what the same work would cost under a *RISC* virtual-
@@ -557,7 +739,10 @@ impl ScriptSet {
                 other => (other.encoded_len() - 4) / 4 + 1,
             };
         }
-        RiscEstimate { instructions, bytes: instructions * 8 }
+        RiscEstimate {
+            instructions,
+            bytes: instructions * 8,
+        }
     }
 }
 
@@ -577,26 +762,117 @@ mod tests {
     fn sample_instrs() -> Vec<Instr> {
         vec![
             Instr::Signal { barrier: 3 },
-            Instr::Wait { barrier: 3, needed: 17 },
-            Instr::MatVecChunk { chunk: ChunkId(9), len: 256, x: PoolOffset(64), y: PoolOffset(512) },
-            Instr::TMatVecChunk { chunk: ChunkId(2), len: 128, dy: PoolOffset(1), dx: PoolOffset(2) },
-            Instr::OuterChunk { chunk: ChunkId(77), len: 300, x: PoolOffset(3), dy: PoolOffset(4) },
-            Instr::AddBiasChunk { chunk: ChunkId(5), len: 64, x: PoolOffset(5), y: PoolOffset(6) },
-            Instr::BiasGradChunk { chunk: ChunkId(5), len: 64, dy: PoolOffset(66) },
-            Instr::Tanh { len: 10, x: PoolOffset(7), y: PoolOffset(8) },
-            Instr::Sigmoid { len: 10, x: PoolOffset(9), y: PoolOffset(10) },
-            Instr::Relu { len: 10, x: PoolOffset(11), y: PoolOffset(12) },
-            Instr::TanhBwd { len: 10, y: PoolOffset(1), dy: PoolOffset(2), dx: PoolOffset(3) },
-            Instr::SigmoidBwd { len: 10, y: PoolOffset(4), dy: PoolOffset(5), dx: PoolOffset(6) },
-            Instr::ReluBwd { len: 10, y: PoolOffset(7), dy: PoolOffset(8), dx: PoolOffset(9) },
-            Instr::Add { len: 33, a: PoolOffset(1), b: PoolOffset(2), y: PoolOffset(3) },
-            Instr::Sub { len: 33, a: PoolOffset(1), b: PoolOffset(2), y: PoolOffset(3) },
-            Instr::AccSub { len: 33, x: PoolOffset(4), y: PoolOffset(5) },
-            Instr::AccAdd { len: 33, x: PoolOffset(4), y: PoolOffset(5) },
-            Instr::MulAcc { len: 33, a: PoolOffset(6), b: PoolOffset(7), y: PoolOffset(8) },
-            Instr::CwiseMult { len: 33, a: PoolOffset(9), b: PoolOffset(10), y: PoolOffset(11) },
-            Instr::Copy { len: 5, src: PoolOffset(100), dst: PoolOffset(200) },
-            Instr::PickNls { len: 5, x: PoolOffset(1), out: PoolOffset(2), label: 4 },
+            Instr::Wait {
+                barrier: 3,
+                needed: 17,
+            },
+            Instr::MatVecChunk {
+                chunk: ChunkId(9),
+                len: 256,
+                x: PoolOffset(64),
+                y: PoolOffset(512),
+            },
+            Instr::TMatVecChunk {
+                chunk: ChunkId(2),
+                len: 128,
+                dy: PoolOffset(1),
+                dx: PoolOffset(2),
+            },
+            Instr::OuterChunk {
+                chunk: ChunkId(77),
+                len: 300,
+                x: PoolOffset(3),
+                dy: PoolOffset(4),
+            },
+            Instr::AddBiasChunk {
+                chunk: ChunkId(5),
+                len: 64,
+                x: PoolOffset(5),
+                y: PoolOffset(6),
+            },
+            Instr::BiasGradChunk {
+                chunk: ChunkId(5),
+                len: 64,
+                dy: PoolOffset(66),
+            },
+            Instr::Tanh {
+                len: 10,
+                x: PoolOffset(7),
+                y: PoolOffset(8),
+            },
+            Instr::Sigmoid {
+                len: 10,
+                x: PoolOffset(9),
+                y: PoolOffset(10),
+            },
+            Instr::Relu {
+                len: 10,
+                x: PoolOffset(11),
+                y: PoolOffset(12),
+            },
+            Instr::TanhBwd {
+                len: 10,
+                y: PoolOffset(1),
+                dy: PoolOffset(2),
+                dx: PoolOffset(3),
+            },
+            Instr::SigmoidBwd {
+                len: 10,
+                y: PoolOffset(4),
+                dy: PoolOffset(5),
+                dx: PoolOffset(6),
+            },
+            Instr::ReluBwd {
+                len: 10,
+                y: PoolOffset(7),
+                dy: PoolOffset(8),
+                dx: PoolOffset(9),
+            },
+            Instr::Add {
+                len: 33,
+                a: PoolOffset(1),
+                b: PoolOffset(2),
+                y: PoolOffset(3),
+            },
+            Instr::Sub {
+                len: 33,
+                a: PoolOffset(1),
+                b: PoolOffset(2),
+                y: PoolOffset(3),
+            },
+            Instr::AccSub {
+                len: 33,
+                x: PoolOffset(4),
+                y: PoolOffset(5),
+            },
+            Instr::AccAdd {
+                len: 33,
+                x: PoolOffset(4),
+                y: PoolOffset(5),
+            },
+            Instr::MulAcc {
+                len: 33,
+                a: PoolOffset(6),
+                b: PoolOffset(7),
+                y: PoolOffset(8),
+            },
+            Instr::CwiseMult {
+                len: 33,
+                a: PoolOffset(9),
+                b: PoolOffset(10),
+                y: PoolOffset(11),
+            },
+            Instr::Copy {
+                len: 5,
+                src: PoolOffset(100),
+                dst: PoolOffset(200),
+            },
+            Instr::PickNls {
+                len: 5,
+                x: PoolOffset(1),
+                out: PoolOffset(2),
+                label: 4,
+            },
             Instr::PickNlsBwd {
                 len: 5,
                 x: PoolOffset(1),
@@ -630,13 +906,21 @@ mod tests {
     fn tanh_example_is_twelve_bytes() {
         // Paper §III-B1: "for a tanh() operation, the framework generates 12
         // bytes of instructions".
-        let t = Instr::Tanh { len: 256, x: PoolOffset(0), y: PoolOffset(0) };
+        let t = Instr::Tanh {
+            len: 256,
+            x: PoolOffset(0),
+            y: PoolOffset(0),
+        };
         assert_eq!(t.encoded_len(), 12);
     }
 
     #[test]
     fn preamble_packs_opcode_and_length() {
-        let t = Instr::Tanh { len: 0xABCDEF, x: PoolOffset(1), y: PoolOffset(2) };
+        let t = Instr::Tanh {
+            len: 0xABCDEF,
+            x: PoolOffset(1),
+            y: PoolOffset(2),
+        };
         let mut buf = Vec::new();
         t.encode(&mut buf);
         let preamble = u32::from_le_bytes(buf[0..4].try_into().unwrap());
@@ -647,7 +931,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "24-bit")]
     fn oversized_length_rejected() {
-        let t = Instr::Tanh { len: 1 << 24, x: PoolOffset(0), y: PoolOffset(0) };
+        let t = Instr::Tanh {
+            len: 1 << 24,
+            x: PoolOffset(0),
+            y: PoolOffset(0),
+        };
         t.encode(&mut Vec::new());
     }
 
@@ -688,8 +976,21 @@ mod tests {
     fn instruction_counters() {
         let mut set = ScriptSet::new(2);
         set.push(0, Instr::Signal { barrier: 0 });
-        set.push(0, Instr::Tanh { len: 4, x: PoolOffset(0), y: PoolOffset(4) });
-        set.push(1, Instr::Wait { barrier: 0, needed: 1 });
+        set.push(
+            0,
+            Instr::Tanh {
+                len: 4,
+                x: PoolOffset(0),
+                y: PoolOffset(4),
+            },
+        );
+        set.push(
+            1,
+            Instr::Wait {
+                barrier: 0,
+                needed: 1,
+            },
+        );
         assert_eq!(set.total_instructions(), 3);
         assert_eq!(set.compute_instructions(), 1);
     }
@@ -708,14 +1009,29 @@ mod proptests {
         let len = 1u32..MAX_TENSOR_LEN;
         prop_oneof![
             any::<u32>().prop_map(|barrier| Instr::Signal { barrier }),
-            (any::<u32>(), any::<u32>()).prop_map(|(barrier, needed)| Instr::Wait { barrier, needed }),
+            (any::<u32>(), any::<u32>())
+                .prop_map(|(barrier, needed)| Instr::Wait { barrier, needed }),
             (any::<u32>(), len.clone(), arb_offset(), arb_offset()).prop_map(|(c, len, x, y)| {
-                Instr::MatVecChunk { chunk: ChunkId(c), len, x, y }
+                Instr::MatVecChunk {
+                    chunk: ChunkId(c),
+                    len,
+                    x,
+                    y,
+                }
             }),
             (any::<u32>(), len.clone(), arb_offset(), arb_offset()).prop_map(|(c, len, dy, dx)| {
-                Instr::TMatVecChunk { chunk: ChunkId(c), len, dy, dx }
+                Instr::TMatVecChunk {
+                    chunk: ChunkId(c),
+                    len,
+                    dy,
+                    dx,
+                }
             }),
-            (len.clone(), arb_offset(), arb_offset()).prop_map(|(len, x, y)| Instr::Tanh { len, x, y }),
+            (len.clone(), arb_offset(), arb_offset()).prop_map(|(len, x, y)| Instr::Tanh {
+                len,
+                x,
+                y
+            }),
             (len.clone(), arb_offset(), arb_offset(), arb_offset())
                 .prop_map(|(len, a, b, y)| Instr::Add { len, a, b, y }),
             (len.clone(), arb_offset(), arb_offset()).prop_map(|(len, src, dst)| Instr::Copy {
@@ -723,8 +1039,15 @@ mod proptests {
                 src,
                 dst
             }),
-            (len, arb_offset(), arb_offset(), arb_offset(), any::<u32>())
-                .prop_map(|(len, x, dloss, dx, label)| Instr::PickNlsBwd { len, x, dloss, dx, label }),
+            (len, arb_offset(), arb_offset(), arb_offset(), any::<u32>()).prop_map(
+                |(len, x, dloss, dx, label)| Instr::PickNlsBwd {
+                    len,
+                    x,
+                    dloss,
+                    dx,
+                    label
+                }
+            ),
         ]
     }
 

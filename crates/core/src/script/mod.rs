@@ -10,8 +10,8 @@ pub mod isa;
 pub mod stats;
 pub mod validate;
 
-pub use generate::{BatchLayout, GeneratedScript, ParamStage, SchedulePolicy, TableLayout};
 pub use generate::generate_forward_only;
+pub use generate::{BatchLayout, GeneratedScript, ParamStage, SchedulePolicy, TableLayout};
+pub use isa::{Instr, ScriptSet, MAX_TENSOR_LEN};
 pub use stats::ScriptStats;
 pub use validate::{disassemble, validate_protocol, ProtocolError};
-pub use isa::{Instr, ScriptSet, MAX_TENSOR_LEN};

@@ -114,11 +114,39 @@ mod tests {
 
     fn sample() -> ScriptSet {
         let mut s = ScriptSet::new(2);
-        s.push(0, Instr::MatVecChunk { chunk: ChunkId(0), len: 8, x: PoolOffset(0), y: PoolOffset(8) });
+        s.push(
+            0,
+            Instr::MatVecChunk {
+                chunk: ChunkId(0),
+                len: 8,
+                x: PoolOffset(0),
+                y: PoolOffset(8),
+            },
+        );
         s.push(0, Instr::Signal { barrier: 0 });
-        s.push(1, Instr::Wait { barrier: 0, needed: 1 });
-        s.push(1, Instr::Tanh { len: 8, x: PoolOffset(8), y: PoolOffset(16) });
-        s.push(1, Instr::Tanh { len: 8, x: PoolOffset(16), y: PoolOffset(24) });
+        s.push(
+            1,
+            Instr::Wait {
+                barrier: 0,
+                needed: 1,
+            },
+        );
+        s.push(
+            1,
+            Instr::Tanh {
+                len: 8,
+                x: PoolOffset(8),
+                y: PoolOffset(16),
+            },
+        );
+        s.push(
+            1,
+            Instr::Tanh {
+                len: 8,
+                x: PoolOffset(16),
+                y: PoolOffset(24),
+            },
+        );
         s
     }
 

@@ -48,12 +48,19 @@ impl fmt::Display for ProtocolError {
             ProtocolError::InconsistentNeeded { barrier } => {
                 write!(f, "barrier {barrier}: waits disagree on the needed count")
             }
-            ProtocolError::SignalCountMismatch { barrier, signals, needed } => write!(
+            ProtocolError::SignalCountMismatch {
+                barrier,
+                signals,
+                needed,
+            } => write!(
                 f,
                 "barrier {barrier}: {signals} signals emitted but waiters need {needed}"
             ),
             ProtocolError::WaitAfterLaterSignal { vpp, barrier } => {
-                write!(f, "vpp {vpp}: waits on barrier {barrier} after signalling a later one")
+                write!(
+                    f,
+                    "vpp {vpp}: waits on barrier {barrier} after signalling a later one"
+                )
             }
         }
     }
@@ -81,7 +88,10 @@ pub fn validate_protocol(scripts: &ScriptSet) -> Result<(), ProtocolError> {
                 Instr::Signal { barrier } => {
                     *signal_count.entry(*barrier).or_default() += 1;
                     if last_barrier.is_some_and(|b| *barrier < b) {
-                        return Err(ProtocolError::WaitAfterLaterSignal { vpp: v, barrier: *barrier });
+                        return Err(ProtocolError::WaitAfterLaterSignal {
+                            vpp: v,
+                            barrier: *barrier,
+                        });
                     }
                     last_barrier = Some(*barrier);
                 }
@@ -92,7 +102,10 @@ pub fn validate_protocol(scripts: &ScriptSet) -> Result<(), ProtocolError> {
                         }
                     }
                     if last_barrier.is_some_and(|b| *barrier < b) {
-                        return Err(ProtocolError::WaitAfterLaterSignal { vpp: v, barrier: *barrier });
+                        return Err(ProtocolError::WaitAfterLaterSignal {
+                            vpp: v,
+                            barrier: *barrier,
+                        });
                     }
                 }
                 _ => {}
@@ -102,7 +115,11 @@ pub fn validate_protocol(scripts: &ScriptSet) -> Result<(), ProtocolError> {
     for (barrier, needed) in wait_needed {
         let signals = signal_count.get(&barrier).copied().unwrap_or(0);
         if signals != needed {
-            return Err(ProtocolError::SignalCountMismatch { barrier, signals, needed });
+            return Err(ProtocolError::SignalCountMismatch {
+                barrier,
+                signals,
+                needed,
+            });
         }
     }
     Ok(())
@@ -175,10 +192,30 @@ mod tests {
 
     fn ok_set() -> ScriptSet {
         let mut s = ScriptSet::new(2);
-        s.push(0, Instr::Tanh { len: 4, x: PoolOffset(0), y: PoolOffset(4) });
+        s.push(
+            0,
+            Instr::Tanh {
+                len: 4,
+                x: PoolOffset(0),
+                y: PoolOffset(4),
+            },
+        );
         s.push(0, Instr::Signal { barrier: 0 });
-        s.push(1, Instr::Wait { barrier: 0, needed: 1 });
-        s.push(1, Instr::Copy { len: 4, src: PoolOffset(4), dst: PoolOffset(8) });
+        s.push(
+            1,
+            Instr::Wait {
+                barrier: 0,
+                needed: 1,
+            },
+        );
+        s.push(
+            1,
+            Instr::Copy {
+                len: 4,
+                src: PoolOffset(4),
+                dst: PoolOffset(8),
+            },
+        );
         s
     }
 
@@ -190,18 +227,34 @@ mod tests {
     #[test]
     fn undersignalled_barrier_detected() {
         let mut s = ok_set();
-        s.push(1, Instr::Wait { barrier: 1, needed: 3 });
+        s.push(
+            1,
+            Instr::Wait {
+                barrier: 1,
+                needed: 3,
+            },
+        );
         s.push(0, Instr::Signal { barrier: 1 });
         assert_eq!(
             validate_protocol(&s),
-            Err(ProtocolError::SignalCountMismatch { barrier: 1, signals: 1, needed: 3 })
+            Err(ProtocolError::SignalCountMismatch {
+                barrier: 1,
+                signals: 1,
+                needed: 3
+            })
         );
     }
 
     #[test]
     fn inconsistent_needed_detected() {
         let mut s = ok_set();
-        s.push(0, Instr::Wait { barrier: 0, needed: 2 });
+        s.push(
+            0,
+            Instr::Wait {
+                barrier: 0,
+                needed: 2,
+            },
+        );
         assert_eq!(
             validate_protocol(&s),
             Err(ProtocolError::InconsistentNeeded { barrier: 0 })
@@ -212,7 +265,13 @@ mod tests {
     fn out_of_order_barriers_detected() {
         let mut s = ScriptSet::new(1);
         s.push(0, Instr::Signal { barrier: 3 });
-        s.push(0, Instr::Wait { barrier: 1, needed: 1 });
+        s.push(
+            0,
+            Instr::Wait {
+                barrier: 1,
+                needed: 1,
+            },
+        );
         assert!(matches!(
             validate_protocol(&s),
             Err(ProtocolError::WaitAfterLaterSignal { vpp: 0, barrier: 1 })

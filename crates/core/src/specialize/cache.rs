@@ -33,7 +33,9 @@ impl PlanCache {
     /// Propagates filesystem errors creating the directory.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
         fs::create_dir_all(dir.as_ref())?;
-        Ok(Self { dir: dir.as_ref().to_path_buf() })
+        Ok(Self {
+            dir: dir.as_ref().to_path_buf(),
+        })
     }
 
     /// The cache key for a `(model shapes, device, rpw)` specialization.
@@ -122,7 +124,10 @@ impl KernelPlan {
     /// serialization constraint.
     pub fn with_cached_compile(mut self) -> Self {
         let jit = self.jit_cost();
-        self.set_jit_cost(JitCost { program_compile: SimTime::ZERO, module_load: jit.module_load });
+        self.set_jit_cost(JitCost {
+            program_compile: SimTime::ZERO,
+            module_load: jit.module_load,
+        });
         self
     }
 }
@@ -193,7 +198,10 @@ mod tests {
         let dev = DeviceConfig::titan_v();
         let (p1, _) = cache.build(&m, &dev, 1).unwrap();
         let (p2, _) = cache.build(&m, &dev, 1).unwrap();
-        assert_eq!(p1.distribution().used_slots(), p2.distribution().used_slots());
+        assert_eq!(
+            p1.distribution().used_slots(),
+            p2.distribution().used_slots()
+        );
         assert_eq!(p1.ctas_per_sm(), p2.ctas_per_sm());
         assert_eq!(p1.source().text(), p2.source().text());
     }

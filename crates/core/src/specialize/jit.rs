@@ -67,7 +67,11 @@ mod tests {
         let mut shapes = Vec::new();
         for i in 0..6 {
             let id = m.add_matrix(&format!("W{i}"), hidden, hidden);
-            shapes.push(ParamShape { id, rows: hidden, cols: hidden });
+            shapes.push(ParamShape {
+                id,
+                rows: hidden,
+                cols: hidden,
+            });
         }
         let geo = DistGeometry::derive(&DeviceConfig::titan_v(), ctas, 1, hidden).unwrap();
         let dist = Distribution::build(&shapes, geo, true).unwrap();
@@ -80,7 +84,11 @@ mod tests {
         // Table II reports 7-75 s; anything in single-to-tens of seconds is
         // the right regime.
         let c = plan_cost(256, 2);
-        assert!(c.program_compile.as_secs() > 1.0, "got {}", c.program_compile);
+        assert!(
+            c.program_compile.as_secs() > 1.0,
+            "got {}",
+            c.program_compile
+        );
         assert!(c.program_compile.as_secs() < 120.0);
     }
 

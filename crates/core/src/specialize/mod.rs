@@ -89,7 +89,11 @@ impl KernelPlan {
     ) -> Result<Self, VppsError> {
         let shapes: Vec<ParamShape> = model
             .params()
-            .map(|(id, p)| ParamShape { id, rows: p.value.rows(), cols: p.value.cols() })
+            .map(|(id, p)| ParamShape {
+                id,
+                rows: p.value.rows(),
+                cols: p.value.cols(),
+            })
             .collect();
         if shapes.is_empty() {
             return Err(VppsError::NoParameters);
@@ -119,7 +123,13 @@ impl KernelPlan {
                     };
                     let source = KernelSource::generate(model, &distribution, grad_strategy);
                     let jit = JitCost::estimate(&source, &distribution);
-                    return Ok(Self { distribution, shapes, grad_strategy, source, jit });
+                    return Ok(Self {
+                        distribution,
+                        shapes,
+                        grad_strategy,
+                        source,
+                        jit,
+                    });
                 }
                 Err(e) => last_err = e,
             }
@@ -136,7 +146,9 @@ impl KernelPlan {
             return Vec::new();
         }
         let upper = DistGeometry::max_rpw(device, 1, row_max).max(1);
-        (1..=upper).filter(|&rpw| KernelPlan::build(model, device, rpw).is_ok()).collect()
+        (1..=upper)
+            .filter(|&rpw| KernelPlan::build(model, device, rpw).is_ok())
+            .collect()
     }
 
     /// A thinned candidate set for profiling: models with short rows can
@@ -209,7 +221,10 @@ impl KernelPlan {
     /// Bytes of parameter values loaded from DRAM in the kernel prologue
     /// (master copy → registers) — the per-launch weight traffic of Table I.
     pub fn prologue_weight_bytes(&self) -> u64 {
-        self.shapes.iter().map(|s| (s.rows * s.cols * 4) as u64).sum()
+        self.shapes
+            .iter()
+            .map(|s| (s.rows * s.cols * 4) as u64)
+            .sum()
     }
 }
 

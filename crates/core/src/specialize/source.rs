@@ -48,7 +48,9 @@ impl KernelSource {
             parts, regs_pp, geo.rpw, geo.row_max
         ));
         push(&format!("__device__ constexpr int kPartitions = {parts};"));
-        push(&format!("__device__ constexpr int kRegsPerPartition = {regs_pp};"));
+        push(&format!(
+            "__device__ constexpr int kRegsPerPartition = {regs_pp};"
+        ));
         push("");
 
         // Distinct (rows, cols) routine shapes → template instantiations.
@@ -85,12 +87,18 @@ impl KernelSource {
             if chunk.is_grad {
                 push(&format!(
                     "  if (vppId() == {}) zero_partition<{}>(/*chunk {id} grad of p{}*/);",
-                    chunk.vpp, chunk.partition, chunk.param.index()
+                    chunk.vpp,
+                    chunk.partition,
+                    chunk.param.index()
                 ));
             } else {
                 push(&format!(
                     "  if (vppId() == {}) load_rows<{}, {}, {}>(master /*chunk {id} of p{}*/);",
-                    chunk.vpp, chunk.partition, chunk.row_start, chunk.rows, chunk.param.index()
+                    chunk.vpp,
+                    chunk.partition,
+                    chunk.row_start,
+                    chunk.rows,
+                    chunk.param.index()
                 ));
             }
         }
@@ -140,7 +148,12 @@ impl KernelSource {
 
         let lines = text.lines().count();
         let register_refs_per_thread = parts * regs_pp;
-        Self { text, template_instantiations: instantiations, register_refs_per_thread, lines }
+        Self {
+            text,
+            template_instantiations: instantiations,
+            register_refs_per_thread,
+            lines,
+        }
     }
 
     /// The generated source text.
@@ -176,7 +189,11 @@ mod tests {
         let mut shapes = Vec::new();
         for i in 0..4 {
             let id = m.add_matrix(&format!("W{i}"), hidden, hidden);
-            shapes.push(ParamShape { id, rows: hidden, cols: hidden });
+            shapes.push(ParamShape {
+                id,
+                rows: hidden,
+                cols: hidden,
+            });
         }
         let geo = DistGeometry::derive(&DeviceConfig::titan_v(), 2, 1, hidden).unwrap();
         let dist = Distribution::build(&shapes, geo, cache_grads).unwrap();

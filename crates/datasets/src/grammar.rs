@@ -35,7 +35,14 @@ pub struct GrammarConfig {
 
 impl Default for GrammarConfig {
     fn default() -> Self {
-        Self { vocab: 10_000, min_len: 4, max_len: 40, classes: 5, right_bias: 0.6, seed: 0x6AA }
+        Self {
+            vocab: 10_000,
+            min_len: 4,
+            max_len: 40,
+            classes: 5,
+            right_bias: 0.6,
+            seed: 0x6AA,
+        }
     }
 }
 
@@ -55,10 +62,20 @@ impl GrammarTreebank {
     /// Panics on an empty length range, fewer than two classes, or a bias
     /// outside `[0, 1]`.
     pub fn new(cfg: GrammarConfig) -> Self {
-        assert!(cfg.min_len >= 1 && cfg.min_len <= cfg.max_len, "invalid length range");
+        assert!(
+            cfg.min_len >= 1 && cfg.min_len <= cfg.max_len,
+            "invalid length range"
+        );
         assert!(cfg.classes >= 2, "need at least two classes");
-        assert!((0.0..=1.0).contains(&cfg.right_bias), "bias must be in [0, 1]");
-        Self { cfg, zipf: Zipf::new(cfg.vocab, 1.05), rng: StdRng::seed_from_u64(cfg.seed) }
+        assert!(
+            (0.0..=1.0).contains(&cfg.right_bias),
+            "bias must be in [0, 1]"
+        );
+        Self {
+            cfg,
+            zipf: Zipf::new(cfg.vocab, 1.05),
+            rng: StdRng::seed_from_u64(cfg.seed),
+        }
     }
 
     /// The configuration.
@@ -117,7 +134,11 @@ mod tests {
 
     #[test]
     fn preserves_tokens_and_length() {
-        let cfg = GrammarConfig { min_len: 5, max_len: 9, ..Default::default() };
+        let cfg = GrammarConfig {
+            min_len: 5,
+            max_len: 9,
+            ..Default::default()
+        };
         let mut g = GrammarTreebank::new(cfg);
         for s in g.samples(50) {
             let n = s.tree.len();
@@ -161,7 +182,10 @@ mod tests {
         });
         let g = mean_height(&grammar.samples(60));
         let u = mean_height(&uniform.samples(60));
-        assert!(g > u, "biased grammar ({g}) should be deeper on average than uniform ({u})");
+        assert!(
+            g > u,
+            "biased grammar ({g}) should be deeper on average than uniform ({u})"
+        );
         assert!(g < 16.0, "but not a pure spine");
     }
 }

@@ -91,7 +91,10 @@ impl TaggedCorpus {
     ///
     /// Panics on an empty length range or zero-sized vocabularies.
     pub fn generate(cfg: TaggedCorpusConfig) -> Self {
-        assert!(cfg.min_len >= 1 && cfg.min_len <= cfg.max_len, "invalid length range");
+        assert!(
+            cfg.min_len >= 1 && cfg.min_len <= cfg.max_len,
+            "invalid length range"
+        );
         assert!(cfg.min_word_chars >= 1 && cfg.min_word_chars <= cfg.max_word_chars);
         assert!(cfg.tags >= 2, "need at least two tags");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -120,7 +123,11 @@ impl TaggedCorpus {
             }
             sentences.push(TaggedSentence { words, tags, chars });
         }
-        Self { sentences, word_freq, cfg }
+        Self {
+            sentences,
+            word_freq,
+            cfg,
+        }
     }
 
     /// The generated sentences.
@@ -173,7 +180,11 @@ mod tests {
     use super::*;
 
     fn small() -> TaggedCorpusConfig {
-        TaggedCorpusConfig { sentences: 64, vocab: 2_000, ..Default::default() }
+        TaggedCorpusConfig {
+            sentences: 64,
+            vocab: 2_000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -202,7 +213,12 @@ mod tests {
                 counts[w] += 1;
             }
         }
-        assert_eq!(counts, (0..c.config().vocab).map(|w| c.frequency(w)).collect::<Vec<_>>());
+        assert_eq!(
+            counts,
+            (0..c.config().vocab)
+                .map(|w| c.frequency(w))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

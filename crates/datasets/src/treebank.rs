@@ -90,7 +90,13 @@ pub struct TreebankConfig {
 
 impl Default for TreebankConfig {
     fn default() -> Self {
-        Self { vocab: 10_000, min_len: 4, max_len: 40, classes: 5, seed: 0xA11CE }
+        Self {
+            vocab: 10_000,
+            min_len: 4,
+            max_len: 40,
+            classes: 5,
+            seed: 0xA11CE,
+        }
     }
 }
 
@@ -109,10 +115,17 @@ impl Treebank {
     ///
     /// Panics if the length range is empty or the vocabulary is.
     pub fn new(cfg: TreebankConfig) -> Self {
-        assert!(cfg.min_len >= 1 && cfg.min_len <= cfg.max_len, "invalid length range");
+        assert!(
+            cfg.min_len >= 1 && cfg.min_len <= cfg.max_len,
+            "invalid length range"
+        );
         assert!(cfg.classes >= 2, "need at least two sentiment classes");
         let zipf = Zipf::new(cfg.vocab, 1.05);
-        Self { cfg, zipf, rng: StdRng::seed_from_u64(cfg.seed) }
+        Self {
+            cfg,
+            zipf,
+            rng: StdRng::seed_from_u64(cfg.seed),
+        }
     }
 
     /// The configuration.
@@ -163,7 +176,11 @@ mod tests {
 
     #[test]
     fn lengths_respect_configured_range() {
-        let cfg = TreebankConfig { min_len: 3, max_len: 9, ..Default::default() };
+        let cfg = TreebankConfig {
+            min_len: 3,
+            max_len: 9,
+            ..Default::default()
+        };
         let mut t = Treebank::new(cfg);
         for s in t.samples(100) {
             let len = s.tree.len();
@@ -183,12 +200,19 @@ mod tests {
     fn tree_structure_varies_across_inputs() {
         // The defining property of a dynamic-net workload: same length can
         // yield different tree shapes.
-        let cfg = TreebankConfig { min_len: 8, max_len: 8, ..Default::default() };
+        let cfg = TreebankConfig {
+            min_len: 8,
+            max_len: 8,
+            ..Default::default()
+        };
         let mut t = Treebank::new(cfg);
         let samples = t.samples(50);
         let heights: std::collections::BTreeSet<usize> =
             samples.iter().map(|s| s.tree.height()).collect();
-        assert!(heights.len() > 1, "tree shapes should vary, got heights {heights:?}");
+        assert!(
+            heights.len() > 1,
+            "tree shapes should vary, got heights {heights:?}"
+        );
     }
 
     #[test]
@@ -207,7 +231,10 @@ mod tests {
 
     #[test]
     fn tokens_are_in_vocab() {
-        let cfg = TreebankConfig { vocab: 50, ..Default::default() };
+        let cfg = TreebankConfig {
+            vocab: 50,
+            ..Default::default()
+        };
         let mut t = Treebank::new(cfg);
         for s in t.samples(30) {
             assert!(s.tree.tokens().iter().all(|&tok| tok < 50));

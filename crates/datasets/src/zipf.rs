@@ -47,7 +47,9 @@ impl Zipf {
     /// Samples one rank.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -82,10 +84,12 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let z = Zipf::new(100, 1.2);
-        let a: Vec<usize> =
-            (0..50).map(|_| z.sample(&mut StdRng::seed_from_u64(3))).collect();
-        let b: Vec<usize> =
-            (0..50).map(|_| z.sample(&mut StdRng::seed_from_u64(3))).collect();
+        let a: Vec<usize> = (0..50)
+            .map(|_| z.sample(&mut StdRng::seed_from_u64(3)))
+            .collect();
+        let b: Vec<usize> = (0..50)
+            .map(|_| z.sample(&mut StdRng::seed_from_u64(3)))
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -271,9 +271,15 @@ mod tests {
     fn forward_matches_hand_computed_affine() {
         let mut m = Model::new(0);
         let w = m.add_matrix("W", 2, 2);
-        m.param_mut(w).value.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        m.param_mut(w)
+            .value
+            .as_mut_slice()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
         let b = m.add_bias("b", 2);
-        m.param_mut(b).value.as_mut_slice().copy_from_slice(&[0.5, -0.5]);
+        m.param_mut(b)
+            .value
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -0.5]);
         let mut g = Graph::new();
         let x = g.input(vec![1.0, -1.0]);
         let y = g.affine(&m, w, b, x);

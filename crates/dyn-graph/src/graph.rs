@@ -77,7 +77,10 @@ impl Graph {
 
     /// Iterates over `(id, node)` in topological (construction) order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     fn push(&mut self, op: Op, args: Vec<NodeId>, dim: usize) -> NodeId {
@@ -109,7 +112,11 @@ impl Graph {
     /// Panics if `index` is outside the table.
     pub fn lookup(&mut self, model: &Model, table: LookupId, index: usize) -> NodeId {
         let t = model.lookup(table);
-        assert!(index < t.table.rows(), "lookup index {index} out of vocab {}", t.table.rows());
+        assert!(
+            index < t.table.rows(),
+            "lookup index {index} out of vocab {}",
+            t.table.rows()
+        );
         let dim = t.table.cols();
         self.push(Op::Lookup { table, index }, Vec::new(), dim)
     }
@@ -138,8 +145,17 @@ impl Graph {
     /// Panics if `b` is not a bias row or lengths mismatch.
     pub fn add_bias(&mut self, model: &Model, b: ParamId, x: NodeId) -> NodeId {
         let p = model.param(b);
-        assert!(p.is_bias(), "add_bias: parameter {} is not a bias row", p.name);
-        assert_eq!(self.node(x).dim, p.value.cols(), "add_bias: length mismatch for {}", p.name);
+        assert!(
+            p.is_bias(),
+            "add_bias: parameter {} is not a bias row",
+            p.name
+        );
+        assert_eq!(
+            self.node(x).dim,
+            p.value.cols(),
+            "add_bias: length mismatch for {}",
+            p.name
+        );
         let dim = self.node(x).dim;
         self.push(Op::AddBias { b }, vec![x], dim)
     }
@@ -150,7 +166,11 @@ impl Graph {
     ///
     /// Panics if lengths differ.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        assert_eq!(self.node(a).dim, self.node(b).dim, "add: operand lengths differ");
+        assert_eq!(
+            self.node(a).dim,
+            self.node(b).dim,
+            "add: operand lengths differ"
+        );
         let dim = self.node(a).dim;
         self.push(Op::Add, vec![a, b], dim)
     }
@@ -161,7 +181,11 @@ impl Graph {
     ///
     /// Panics if lengths differ.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        assert_eq!(self.node(a).dim, self.node(b).dim, "sub: operand lengths differ");
+        assert_eq!(
+            self.node(a).dim,
+            self.node(b).dim,
+            "sub: operand lengths differ"
+        );
         let dim = self.node(a).dim;
         self.push(Op::Sub, vec![a, b], dim)
     }
@@ -186,7 +210,11 @@ impl Graph {
     ///
     /// Panics if lengths differ.
     pub fn cwise_mult(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        assert_eq!(self.node(a).dim, self.node(b).dim, "cwise_mult: operand lengths differ");
+        assert_eq!(
+            self.node(a).dim,
+            self.node(b).dim,
+            "cwise_mult: operand lengths differ"
+        );
         let dim = self.node(a).dim;
         self.push(Op::CwiseMult, vec![a, b], dim)
     }
@@ -226,7 +254,10 @@ impl Graph {
     ///
     /// Panics if `label` is outside `x`'s length.
     pub fn pick_neg_log_softmax(&mut self, x: NodeId, label: usize) -> NodeId {
-        assert!(label < self.node(x).dim, "pick_neg_log_softmax: label out of range");
+        assert!(
+            label < self.node(x).dim,
+            "pick_neg_log_softmax: label out of range"
+        );
         self.push(Op::PickNegLogSoftmax { label }, vec![x], 1)
     }
 
@@ -244,7 +275,10 @@ impl Graph {
 
     /// Counts nodes that multiply by a weight matrix.
     pub fn matvec_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.op.uses_weight_matrix()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.op.uses_weight_matrix())
+            .count()
     }
 
     /// Merges the node list of `other` into `self`, returning the remapped id

@@ -70,7 +70,14 @@ pub fn level_sort(graph: &Graph) -> Levels {
         depth_of[id.index()] = d;
         max_depth = max_depth.max(d);
     }
-    let mut levels = vec![Vec::new(); if graph.is_empty() { 0 } else { max_depth as usize + 1 }];
+    let mut levels = vec![
+        Vec::new();
+        if graph.is_empty() {
+            0
+        } else {
+            max_depth as usize + 1
+        }
+    ];
     for (id, _) in graph.iter() {
         levels[depth_of[id.index()] as usize].push(id);
     }
@@ -155,10 +162,7 @@ mod tests {
         let b = g.tanh(a);
         let _ = b;
         let l = level_sort(&g);
-        let depths: Vec<usize> = l
-            .iter_rev()
-            .map(|lv| l.depth(lv[0]))
-            .collect();
+        let depths: Vec<usize> = l.iter_rev().map(|lv| l.depth(lv[0])).collect();
         assert_eq!(depths, vec![1, 0]);
     }
 }

@@ -168,7 +168,11 @@ mod tests {
     #[test]
     fn leaf_classification() {
         assert!(Op::Input { values: vec![1.0] }.is_leaf());
-        assert!(Op::Lookup { table: LookupId(0), index: 5 }.is_leaf());
+        assert!(Op::Lookup {
+            table: LookupId(0),
+            index: 5
+        }
+        .is_leaf());
         assert!(!Op::Tanh.is_leaf());
     }
 

@@ -78,7 +78,11 @@ pub struct Model {
 impl Model {
     /// Creates an empty model whose initializers draw from a seeded RNG.
     pub fn new(seed: u64) -> Self {
-        Self { params: Vec::new(), lookups: Vec::new(), rng: init::seeded_rng(seed) }
+        Self {
+            params: Vec::new(),
+            lookups: Vec::new(),
+            rng: init::seeded_rng(seed),
+        }
     }
 
     /// Adds a Glorot-initialized `rows × cols` weight matrix.
@@ -89,7 +93,11 @@ impl Model {
     pub fn add_matrix(&mut self, name: &str, rows: usize, cols: usize) -> ParamId {
         let value = init::glorot_uniform(rows, cols, &mut self.rng);
         let grad = Matrix::zeros(rows, cols);
-        self.params.push(Parameter { name: name.to_owned(), value, grad });
+        self.params.push(Parameter {
+            name: name.to_owned(),
+            value,
+            grad,
+        });
         ParamId((self.params.len() - 1) as u32)
     }
 
@@ -101,7 +109,11 @@ impl Model {
     pub fn add_bias(&mut self, name: &str, len: usize) -> ParamId {
         let value = Matrix::zeros(1, len);
         let grad = Matrix::zeros(1, len);
-        self.params.push(Parameter { name: name.to_owned(), value, grad });
+        self.params.push(Parameter {
+            name: name.to_owned(),
+            value,
+            grad,
+        });
         ParamId((self.params.len() - 1) as u32)
     }
 
@@ -113,7 +125,11 @@ impl Model {
     pub fn add_lookup(&mut self, name: &str, vocab: usize, dim: usize) -> LookupId {
         let table = init::uniform(vocab, dim, 0.1, &mut self.rng);
         let grad = Matrix::zeros(vocab, dim);
-        self.lookups.push(LookupParameter { name: name.to_owned(), table, grad });
+        self.lookups.push(LookupParameter {
+            name: name.to_owned(),
+            table,
+            grad,
+        });
         LookupId((self.lookups.len() - 1) as u32)
     }
 
@@ -155,12 +171,18 @@ impl Model {
 
     /// Iterates over `(id, parameter)` pairs.
     pub fn params(&self) -> impl Iterator<Item = (ParamId, &Parameter)> {
-        self.params.iter().enumerate().map(|(i, p)| (ParamId(i as u32), p))
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i as u32), p))
     }
 
     /// Iterates over `(id, lookup)` pairs.
     pub fn lookups(&self) -> impl Iterator<Item = (LookupId, &LookupParameter)> {
-        self.lookups.iter().enumerate().map(|(i, p)| (LookupId(i as u32), p))
+        self.lookups
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (LookupId(i as u32), p))
     }
 
     /// Number of dense parameters.
@@ -176,13 +198,20 @@ impl Model {
     /// Total bytes of dense (register-cacheable) parameters — the weight
     /// footprint Table I is built from.
     pub fn dense_param_bytes(&self) -> u64 {
-        self.params.iter().map(|p| p.value.size_bytes() as u64).sum()
+        self.params
+            .iter()
+            .map(|p| p.value.size_bytes() as u64)
+            .sum()
     }
 
     /// Longest row (in elements) over all dense parameters — `row_max` in the
     /// paper's Eq. 1.
     pub fn max_row_len(&self) -> usize {
-        self.params.iter().map(|p| p.value.cols()).max().unwrap_or(0)
+        self.params
+            .iter()
+            .map(|p| p.value.cols())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Zeroes every gradient accumulator (dense and lookup).

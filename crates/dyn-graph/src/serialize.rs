@@ -92,7 +92,9 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, LoadModelError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn matrix(&mut self) -> Result<(String, Matrix), LoadModelError> {
@@ -143,12 +145,20 @@ pub fn load_model(buf: &[u8]) -> Result<Model, LoadModelError> {
         } else {
             model.add_matrix(&name, m.rows(), m.cols())
         };
-        model.param_mut(id).value.as_mut_slice().copy_from_slice(m.as_slice());
+        model
+            .param_mut(id)
+            .value
+            .as_mut_slice()
+            .copy_from_slice(m.as_slice());
     }
     for _ in 0..lookups {
         let (name, m) = r.matrix()?;
         let id = model.add_lookup(&name, m.rows(), m.cols());
-        model.lookup_mut(id).table.as_mut_slice().copy_from_slice(m.as_slice());
+        model
+            .lookup_mut(id)
+            .table
+            .as_mut_slice()
+            .copy_from_slice(m.as_slice());
     }
     if r.pos != buf.len() {
         return Err(LoadModelError::Malformed("trailing bytes"));
@@ -216,14 +226,20 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut bytes = save_model(&sample_model());
         bytes.push(0);
-        assert_eq!(load_model(&bytes).unwrap_err(), LoadModelError::Malformed("trailing bytes"));
+        assert_eq!(
+            load_model(&bytes).unwrap_err(),
+            LoadModelError::Malformed("trailing bytes")
+        );
     }
 
     #[test]
     fn bad_version_rejected() {
         let mut bytes = save_model(&sample_model());
         bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
-        assert_eq!(load_model(&bytes).unwrap_err(), LoadModelError::BadVersion(99));
+        assert_eq!(
+            load_model(&bytes).unwrap_err(),
+            LoadModelError::BadVersion(99)
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl Trainer {
             learning_rate.is_finite() && learning_rate > 0.0,
             "learning rate must be positive"
         );
-        Self { learning_rate, weight_decay: 0.0 }
+        Self {
+            learning_rate,
+            weight_decay: 0.0,
+        }
     }
 
     /// Sets the weight-decay coefficient.
@@ -34,7 +37,10 @@ impl Trainer {
     ///
     /// Panics if `weight_decay` is negative or non-finite.
     pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
-        assert!(weight_decay.is_finite() && weight_decay >= 0.0, "weight decay must be >= 0");
+        assert!(
+            weight_decay.is_finite() && weight_decay >= 0.0,
+            "weight decay must be >= 0"
+        );
         self.weight_decay = weight_decay;
         self
     }
@@ -77,8 +83,14 @@ mod tests {
     fn update_moves_against_gradient() {
         let mut m = Model::new(0);
         let w = m.add_matrix("W", 1, 2);
-        m.param_mut(w).value.as_mut_slice().copy_from_slice(&[1.0, 1.0]);
-        m.param_mut(w).grad.as_mut_slice().copy_from_slice(&[0.5, -0.5]);
+        m.param_mut(w)
+            .value
+            .as_mut_slice()
+            .copy_from_slice(&[1.0, 1.0]);
+        m.param_mut(w)
+            .grad
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -0.5]);
         Trainer::new(0.1).update(&mut m);
         let v = m.param(w).value.as_slice();
         assert!((v[0] - 0.95).abs() < 1e-6);

@@ -117,7 +117,10 @@ impl DeviceConfig {
     ///
     /// Panics if either argument is zero.
     pub fn regs_per_thread(&self, threads_per_cta: usize, ctas_per_sm: usize) -> usize {
-        assert!(threads_per_cta > 0 && ctas_per_sm > 0, "CTA shape must be non-zero");
+        assert!(
+            threads_per_cta > 0 && ctas_per_sm > 0,
+            "CTA shape must be non-zero"
+        );
         let per_thread = self.registers_per_sm / (threads_per_cta * ctas_per_sm);
         per_thread.min(self.max_regs_per_thread)
     }

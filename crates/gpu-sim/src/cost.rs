@@ -68,7 +68,13 @@ impl CostModel {
 
     /// Roofline time for one kernel *body* (excluding launch overhead):
     /// the maximum of its memory time and its compute time.
-    pub fn kernel_body_time(&self, load_bytes: u64, store_bytes: u64, flops: u64, ctas: usize) -> SimTime {
+    pub fn kernel_body_time(
+        &self,
+        load_bytes: u64,
+        store_bytes: u64,
+        flops: u64,
+        ctas: usize,
+    ) -> SimTime {
         let sms = ctas.clamp(1, self.cfg.num_sms);
         let mem = self.dram_time(load_bytes + store_bytes, sms);
         let cmp = self.compute_time(flops, sms);
@@ -101,7 +107,9 @@ impl CostModel {
     /// plus the interpreter's decode overhead.
     pub fn vpp_instruction_time(&self, bytes: u64, flops: u64, ctas_per_sm: usize) -> SimTime {
         SimTime::from_ns(self.cfg.decode_ns)
-            + self.vpp_mem_time(bytes).max(self.vpp_compute_time(flops, ctas_per_sm))
+            + self
+                .vpp_mem_time(bytes)
+                .max(self.vpp_compute_time(flops, ctas_per_sm))
     }
 
     /// Cost of a `signal` instruction (global atomicAdd + threadfence).

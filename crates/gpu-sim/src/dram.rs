@@ -134,6 +134,22 @@ impl Dram {
             self.stores[i] += other.stores[i];
         }
     }
+
+    /// Component-wise difference `self - since`, for extracting per-run
+    /// traffic from a running counter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `since` is not an earlier snapshot of the
+    /// same counters (a component would underflow).
+    pub fn delta(&self, since: &Dram) -> Dram {
+        let mut d = Dram::new();
+        for i in 0..5 {
+            d.loads[i] = self.loads[i] - since.loads[i];
+            d.stores[i] = self.stores[i] - since.stores[i];
+        }
+        d
+    }
 }
 
 #[cfg(test)]

@@ -42,11 +42,13 @@
 pub mod config;
 pub mod cost;
 pub mod dram;
+pub mod metrics;
 pub mod sim;
 pub mod time;
 
 pub use config::DeviceConfig;
 pub use cost::{CostModel, HostCostModel};
 pub use dram::{Dram, TrafficTag};
+pub use metrics::{DeviceSnapshot, ImbalanceHistogram, Metrics};
 pub use sim::{GpuSim, KernelDesc, KernelStats};
 pub use time::SimTime;

@@ -63,7 +63,12 @@ pub struct GpuSim {
 impl GpuSim {
     /// Creates a device from a configuration.
     pub fn new(cfg: DeviceConfig) -> Self {
-        Self { cost: CostModel::new(cfg), dram: Dram::new(), stats: KernelStats::default(), now: SimTime::ZERO }
+        Self {
+            cost: CostModel::new(cfg),
+            dram: Dram::new(),
+            stats: KernelStats::default(),
+            now: SimTime::ZERO,
+        }
     }
 
     /// The device's cost model (shared with the VPPS interpreter).
@@ -91,6 +96,12 @@ impl GpuSim {
         self.stats
     }
 
+    /// Captures the current counters for later delta extraction with
+    /// [`crate::Metrics::since`].
+    pub fn snapshot(&self) -> crate::metrics::DeviceSnapshot {
+        crate::metrics::DeviceSnapshot::of(self)
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -101,8 +112,10 @@ impl GpuSim {
     /// duration.
     pub fn launch(&mut self, desc: &KernelDesc) -> SimTime {
         self.dram.record_load(TrafficTag::Weight, desc.weight_bytes);
-        self.dram.record_load(TrafficTag::Activation, desc.other_load_bytes);
-        self.dram.record_store(TrafficTag::Activation, desc.store_bytes);
+        self.dram
+            .record_load(TrafficTag::Activation, desc.other_load_bytes);
+        self.dram
+            .record_store(TrafficTag::Activation, desc.store_bytes);
 
         let body = self.cost.kernel_body_time(
             desc.weight_bytes + desc.other_load_bytes,

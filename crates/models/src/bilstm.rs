@@ -46,12 +46,28 @@ impl BiLstmTagger {
         let mlp_b1 = model.add_bias("bilstm.mlp.b1", mlp_dim);
         let mlp_w2 = model.add_matrix("bilstm.mlp.W2", tags, mlp_dim);
         let mlp_b2 = model.add_bias("bilstm.mlp.b2", tags);
-        Self { emb_dim, hidden_dim, mlp_dim, tags, emb, fwd, bwd, mlp_w1, mlp_b1, mlp_w2, mlp_b2 }
+        Self {
+            emb_dim,
+            hidden_dim,
+            mlp_dim,
+            tags,
+            emb,
+            fwd,
+            bwd,
+            mlp_w1,
+            mlp_b1,
+            mlp_w2,
+            mlp_b2,
+        }
     }
 
     /// Per-word embeddings; overridable by [`crate::BiLstmCharTagger`].
     fn embed(&self, model: &Model, g: &mut Graph, sentence: &TaggedSentence) -> Vec<NodeId> {
-        sentence.words.iter().map(|&w| g.lookup(model, self.emb, w)).collect()
+        sentence
+            .words
+            .iter()
+            .map(|&w| g.lookup(model, self.emb, w))
+            .collect()
     }
 
     /// The word-embedding table (shared with the char-feature variant).
@@ -167,7 +183,7 @@ mod tests {
             trainer.update(&mut m);
             v
         };
-        for _ in 0..10 {
+        for _ in 0..25 {
             let (g, l) = a.build(&m, s);
             exec::forward_backward(&g, &mut m, l);
             trainer.update(&mut m);

@@ -66,12 +66,23 @@ impl BiLstmCharTagger {
         let char_bwd = LstmCell::register(model, "bilstmchar.char_bwd", char_dim, char_h);
         let proj_w = model.add_matrix("bilstmchar.proj.W", emb_dim, 2 * char_h);
         let proj_b = model.add_bias("bilstmchar.proj.b", emb_dim);
-        Self { base, char_emb, char_dim, char_fwd, char_bwd, proj_w, proj_b }
+        Self {
+            base,
+            char_emb,
+            char_dim,
+            char_fwd,
+            char_bwd,
+            proj_w,
+            proj_b,
+        }
     }
 
     /// Builds the char-LSTM embedding for one word's characters.
     fn char_embedding(&self, model: &Model, g: &mut Graph, chars: &[usize]) -> NodeId {
-        let xs: Vec<NodeId> = chars.iter().map(|&c| g.lookup(model, self.char_emb, c)).collect();
+        let xs: Vec<NodeId> = chars
+            .iter()
+            .map(|&c| g.lookup(model, self.char_emb, c))
+            .collect();
         let hs_f = self.char_fwd.run(model, g, &xs);
         let rev: Vec<NodeId> = xs.iter().rev().copied().collect();
         let hs_b = self.char_bwd.run(model, g, &rev);
@@ -88,7 +99,11 @@ impl DynamicModel<CharTaggedSentence> for BiLstmCharTagger {
     fn build(&self, model: &Model, input: &CharTaggedSentence) -> (Graph, NodeId) {
         let s = &input.sentence;
         assert!(!s.is_empty(), "cannot tag an empty sentence");
-        assert_eq!(s.len(), input.rare.len(), "rarity flags must align with words");
+        assert_eq!(
+            s.len(),
+            input.rare.len(),
+            "rarity flags must align with words"
+        );
         let mut g = Graph::new();
         let embeddings: Vec<NodeId> = s
             .words
@@ -103,7 +118,9 @@ impl DynamicModel<CharTaggedSentence> for BiLstmCharTagger {
                 }
             })
             .collect();
-        let loss = self.base.build_over_embeddings(model, &mut g, &embeddings, &s.tags);
+        let loss = self
+            .base
+            .build_over_embeddings(model, &mut g, &embeddings, &s.tags);
         (g, loss)
     }
 }
@@ -190,6 +207,9 @@ mod tests {
         let (g, l) = a.build(&m, &annotated);
         exec::forward_backward(&g, &mut m, l);
         let proj = m.param(a.proj_w);
-        assert!(proj.grad.frobenius_norm() > 0.0, "char projection got no gradient");
+        assert!(
+            proj.grad.frobenius_norm() > 0.0,
+            "char projection got no gradient"
+        );
     }
 }

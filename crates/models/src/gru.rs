@@ -30,7 +30,13 @@ impl GruCell {
         let w = gate.map(|g| model.add_matrix(&format!("{prefix}.W{g}"), h_dim, x_dim));
         let u = gate.map(|g| model.add_matrix(&format!("{prefix}.U{g}"), h_dim, h_dim));
         let b = gate.map(|g| model.add_bias(&format!("{prefix}.b{g}"), h_dim));
-        Self { x_dim, h_dim, w, u, b }
+        Self {
+            x_dim,
+            h_dim,
+            w,
+            u,
+            b,
+        }
     }
 
     /// Builds the initial hidden state (zeros).
@@ -120,7 +126,11 @@ mod tests {
         exec::forward_backward(&g, &mut m, loss);
         for (_, p) in m.params() {
             if p.value.rows() > 1 {
-                assert!(p.grad.frobenius_norm() > 0.0, "matrix {} got no gradient", p.name);
+                assert!(
+                    p.grad.frobenius_norm() > 0.0,
+                    "matrix {} got no gradient",
+                    p.name
+                );
             }
         }
     }
@@ -133,8 +143,9 @@ mod tests {
         let trainer = Trainer::new(0.2);
         let build = |m: &Model| {
             let mut g = Graph::new();
-            let xs: Vec<NodeId> =
-                (0..5).map(|i| g.input(vec![(i as f32 - 2.0) * 0.2; 6])).collect();
+            let xs: Vec<NodeId> = (0..5)
+                .map(|i| g.input(vec![(i as f32 - 2.0) * 0.2; 6]))
+                .collect();
             let hs = cell.run(m, &mut g, &xs);
             let o = g.matvec(m, cls, *hs.last().unwrap());
             let loss = g.pick_neg_log_softmax(o, 2);

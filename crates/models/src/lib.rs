@@ -60,7 +60,10 @@ pub fn build_batch<S, M: DynamicModel<S>>(
     model: &Model,
     samples: &[S],
 ) -> (Graph, NodeId) {
-    assert!(!samples.is_empty(), "batch must contain at least one sample");
+    assert!(
+        !samples.is_empty(),
+        "batch must contain at least one sample"
+    );
     let mut sg = Graph::new();
     let mut losses = Vec::with_capacity(samples.len());
     for s in samples {

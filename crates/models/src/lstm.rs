@@ -24,7 +24,13 @@ impl LstmCell {
         let w = gate.map(|g| model.add_matrix(&format!("{prefix}.W{g}"), h_dim, x_dim));
         let u = gate.map(|g| model.add_matrix(&format!("{prefix}.U{g}"), h_dim, h_dim));
         let b = gate.map(|g| model.add_bias(&format!("{prefix}.b{g}"), h_dim));
-        Self { x_dim, h_dim, w, u, b }
+        Self {
+            x_dim,
+            h_dim,
+            w,
+            u,
+            b,
+        }
     }
 
     /// Builds the initial `(h, c)` state (zero vectors).

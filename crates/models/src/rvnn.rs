@@ -37,7 +37,18 @@ impl Rvnn {
         let b = model.add_bias("rvnn.b", dim);
         let cls_w = model.add_matrix("rvnn.cls.W", classes, dim);
         let cls_b = model.add_bias("rvnn.cls.b", classes);
-        Self { dim, classes, emb, w_leaf, b_leaf, w_l, w_r, b, cls_w, cls_b }
+        Self {
+            dim,
+            classes,
+            emb,
+            w_leaf,
+            b_leaf,
+            w_l,
+            w_r,
+            b,
+            cls_w,
+            cls_b,
+        }
     }
 
     fn build_tree(&self, model: &Model, g: &mut Graph, tree: &ParseTree) -> NodeId {
@@ -79,7 +90,12 @@ mod tests {
     use vpps_datasets::{Treebank, TreebankConfig};
 
     fn bank() -> Treebank {
-        Treebank::new(TreebankConfig { vocab: 60, min_len: 2, max_len: 12, ..Default::default() })
+        Treebank::new(TreebankConfig {
+            vocab: 60,
+            min_len: 2,
+            max_len: 12,
+            ..Default::default()
+        })
     }
 
     #[test]

@@ -22,7 +22,13 @@ struct MlpHead {
 }
 
 impl MlpHead {
-    fn register(model: &mut Model, prefix: &str, dim: usize, mlp_dim: usize, classes: usize) -> Self {
+    fn register(
+        model: &mut Model,
+        prefix: &str,
+        dim: usize,
+        mlp_dim: usize,
+        classes: usize,
+    ) -> Self {
         Self {
             w1: model.add_matrix(&format!("{prefix}.mlp.W1"), mlp_dim, dim),
             b1: model.add_bias(&format!("{prefix}.mlp.b1"), mlp_dim),
@@ -59,13 +65,27 @@ pub struct TdRnn {
 
 impl TdRnn {
     /// Registers parameters: two `dim×dim` recurrent matrices + MLP head.
-    pub fn register(model: &mut Model, vocab: usize, dim: usize, mlp_dim: usize, classes: usize) -> Self {
+    pub fn register(
+        model: &mut Model,
+        vocab: usize,
+        dim: usize,
+        mlp_dim: usize,
+        classes: usize,
+    ) -> Self {
         let emb = model.add_lookup("tdrnn.emb", vocab, dim);
         let w_l = model.add_matrix("tdrnn.Wl", dim, dim);
         let w_r = model.add_matrix("tdrnn.Wr", dim, dim);
         let b = model.add_bias("tdrnn.b", dim);
         let head = MlpHead::register(model, "tdrnn", dim, mlp_dim, classes);
-        Self { dim, classes, emb, w_l, w_r, b, head }
+        Self {
+            dim,
+            classes,
+            emb,
+            w_l,
+            w_r,
+            b,
+            head,
+        }
     }
 
     fn compose(&self, model: &Model, g: &mut Graph, l: NodeId, r: NodeId) -> NodeId {
@@ -80,8 +100,12 @@ impl TdRnn {
 impl DynamicModel<TreeSample> for TdRnn {
     fn build(&self, model: &Model, sample: &TreeSample) -> (Graph, NodeId) {
         let mut g = Graph::new();
-        let mut level: Vec<NodeId> =
-            sample.tree.tokens().iter().map(|&t| g.lookup(model, self.emb, t)).collect();
+        let mut level: Vec<NodeId> = sample
+            .tree
+            .tokens()
+            .iter()
+            .map(|&t| g.lookup(model, self.emb, t))
+            .collect();
         while level.len() > 1 {
             level = level
                 .windows(2)
@@ -111,14 +135,28 @@ pub struct TdLstm {
 
 impl TdLstm {
     /// Registers parameters: six `dim×dim` gate matrices + MLP head.
-    pub fn register(model: &mut Model, vocab: usize, dim: usize, mlp_dim: usize, classes: usize) -> Self {
+    pub fn register(
+        model: &mut Model,
+        vocab: usize,
+        dim: usize,
+        mlp_dim: usize,
+        classes: usize,
+    ) -> Self {
         let emb = model.add_lookup("tdlstm.emb", vocab, dim);
         let gates = ["i", "o", "u"];
         let g_l = gates.map(|x| model.add_matrix(&format!("tdlstm.Wl{x}"), dim, dim));
         let g_r = gates.map(|x| model.add_matrix(&format!("tdlstm.Wr{x}"), dim, dim));
         let g_b = gates.map(|x| model.add_bias(&format!("tdlstm.b{x}"), dim));
         let head = MlpHead::register(model, "tdlstm", dim, mlp_dim, classes);
-        Self { dim, classes, emb, g_l, g_r, g_b, head }
+        Self {
+            dim,
+            classes,
+            emb,
+            g_l,
+            g_r,
+            g_b,
+            head,
+        }
     }
 
     fn compose(&self, model: &Model, g: &mut Graph, l: NodeId, r: NodeId) -> NodeId {
@@ -143,8 +181,12 @@ impl TdLstm {
 impl DynamicModel<TreeSample> for TdLstm {
     fn build(&self, model: &Model, sample: &TreeSample) -> (Graph, NodeId) {
         let mut g = Graph::new();
-        let mut level: Vec<NodeId> =
-            sample.tree.tokens().iter().map(|&t| g.lookup(model, self.emb, t)).collect();
+        let mut level: Vec<NodeId> = sample
+            .tree
+            .tokens()
+            .iter()
+            .map(|&t| g.lookup(model, self.emb, t))
+            .collect();
         while level.len() > 1 {
             level = level
                 .windows(2)
@@ -163,7 +205,12 @@ mod tests {
     use vpps_datasets::{Treebank, TreebankConfig};
 
     fn bank() -> Treebank {
-        Treebank::new(TreebankConfig { vocab: 80, min_len: 2, max_len: 10, ..Default::default() })
+        Treebank::new(TreebankConfig {
+            vocab: 80,
+            min_len: 2,
+            max_len: 10,
+            ..Default::default()
+        })
     }
 
     #[test]

@@ -45,18 +45,30 @@ impl TreeLstm {
     ) -> Self {
         let emb = model.add_lookup("treelstm.emb", vocab, emb_dim);
         let leaf_gate = ["i", "o", "u"];
-        let leaf_w =
-            leaf_gate.map(|g| model.add_matrix(&format!("treelstm.leaf.W{g}"), hidden_dim, emb_dim));
+        let leaf_w = leaf_gate
+            .map(|g| model.add_matrix(&format!("treelstm.leaf.W{g}"), hidden_dim, emb_dim));
         let leaf_b = leaf_gate.map(|g| model.add_bias(&format!("treelstm.leaf.b{g}"), hidden_dim));
         let comp_gate = ["i", "o", "u", "fl", "fr"];
-        let comp_l =
-            comp_gate.map(|g| model.add_matrix(&format!("treelstm.comp.Ul{g}"), hidden_dim, hidden_dim));
-        let comp_r =
-            comp_gate.map(|g| model.add_matrix(&format!("treelstm.comp.Ur{g}"), hidden_dim, hidden_dim));
+        let comp_l = comp_gate
+            .map(|g| model.add_matrix(&format!("treelstm.comp.Ul{g}"), hidden_dim, hidden_dim));
+        let comp_r = comp_gate
+            .map(|g| model.add_matrix(&format!("treelstm.comp.Ur{g}"), hidden_dim, hidden_dim));
         let comp_b = comp_gate.map(|g| model.add_bias(&format!("treelstm.comp.b{g}"), hidden_dim));
         let cls_w = model.add_matrix("treelstm.cls.W", classes, hidden_dim);
         let cls_b = model.add_bias("treelstm.cls.b", classes);
-        Self { emb_dim, hidden_dim, classes, emb, leaf_w, leaf_b, comp_l, comp_r, comp_b, cls_w, cls_b }
+        Self {
+            emb_dim,
+            hidden_dim,
+            classes,
+            emb,
+            leaf_w,
+            leaf_b,
+            comp_l,
+            comp_r,
+            comp_b,
+            cls_w,
+            cls_b,
+        }
     }
 
     fn leaf(&self, model: &Model, g: &mut Graph, token: usize) -> (NodeId, NodeId) {
@@ -146,7 +158,12 @@ mod tests {
     }
 
     fn small_bank() -> Treebank {
-        Treebank::new(TreebankConfig { vocab: 100, min_len: 3, max_len: 9, ..Default::default() })
+        Treebank::new(TreebankConfig {
+            vocab: 100,
+            min_len: 3,
+            max_len: 9,
+            ..Default::default()
+        })
     }
 
     #[test]

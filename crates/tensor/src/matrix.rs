@@ -35,7 +35,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a generator function over `(row, col)` indices.
@@ -63,7 +67,11 @@ impl Matrix {
             assert_eq!(row.len(), cols, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a matrix from an owned row-major buffer.
@@ -73,7 +81,11 @@ impl Matrix {
     /// Panics if `data.len() != rows * cols` or either dimension is zero.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows * cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows * cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -163,14 +175,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

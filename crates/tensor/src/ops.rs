@@ -25,8 +25,16 @@ pub fn gemv(w: &Matrix, x: &[f32], y: &mut [f32]) {
 ///
 /// Panics if `x.len() != w.cols()` or `y.len() != w.rows()`.
 pub fn gemv_acc(w: &Matrix, x: &[f32], y: &mut [f32]) {
-    assert_eq!(x.len(), w.cols(), "gemv_acc: x length must equal matrix cols");
-    assert_eq!(y.len(), w.rows(), "gemv_acc: y length must equal matrix rows");
+    assert_eq!(
+        x.len(),
+        w.cols(),
+        "gemv_acc: x length must equal matrix cols"
+    );
+    assert_eq!(
+        y.len(),
+        w.rows(),
+        "gemv_acc: y length must equal matrix rows"
+    );
     for r in 0..w.rows() {
         y[r] += dot(w.row(r), x);
     }
@@ -42,8 +50,16 @@ pub fn gemv_acc(w: &Matrix, x: &[f32], y: &mut [f32]) {
 ///
 /// Panics if `dy.len() != w.rows()` or `y.len() != w.cols()`.
 pub fn gemv_t_acc(w: &Matrix, dy: &[f32], y: &mut [f32]) {
-    assert_eq!(dy.len(), w.rows(), "gemv_t_acc: dy length must equal matrix rows");
-    assert_eq!(y.len(), w.cols(), "gemv_t_acc: y length must equal matrix cols");
+    assert_eq!(
+        dy.len(),
+        w.rows(),
+        "gemv_t_acc: dy length must equal matrix rows"
+    );
+    assert_eq!(
+        y.len(),
+        w.cols(),
+        "gemv_t_acc: y length must equal matrix cols"
+    );
     for r in 0..w.rows() {
         let s = dy[r];
         if s == 0.0 {
@@ -63,8 +79,16 @@ pub fn gemv_t_acc(w: &Matrix, dy: &[f32], y: &mut [f32]) {
 ///
 /// Panics if `dy.len() != g.rows()` or `x.len() != g.cols()`.
 pub fn ger_acc(g: &mut Matrix, dy: &[f32], x: &[f32]) {
-    assert_eq!(dy.len(), g.rows(), "ger_acc: dy length must equal gradient rows");
-    assert_eq!(x.len(), g.cols(), "ger_acc: x length must equal gradient cols");
+    assert_eq!(
+        dy.len(),
+        g.rows(),
+        "ger_acc: dy length must equal gradient rows"
+    );
+    assert_eq!(
+        x.len(),
+        g.cols(),
+        "ger_acc: x length must equal gradient cols"
+    );
     for r in 0..g.rows() {
         let s = dy[r];
         if s == 0.0 {
@@ -91,7 +115,11 @@ pub fn ger_acc(g: &mut Matrix, dy: &[f32], x: &[f32]) {
 ///
 /// Panics if the pair counts differ or any vector has the wrong length.
 pub fn gemm_outer_acc(g: &mut Matrix, dys: &[&[f32]], xs: &[&[f32]]) {
-    assert_eq!(dys.len(), xs.len(), "gemm_outer_acc: pair counts must match");
+    assert_eq!(
+        dys.len(),
+        xs.len(),
+        "gemm_outer_acc: pair counts must match"
+    );
     for (dy, x) in dys.iter().zip(xs) {
         ger_acc(g, dy, x);
     }
@@ -152,8 +180,16 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
 ///
 /// Panics if lengths differ.
 pub fn cwise_mult(a: &[f32], b: &[f32], out: &mut [f32]) {
-    assert_eq!(a.len(), b.len(), "cwise_mult: inputs must have equal length");
-    assert_eq!(a.len(), out.len(), "cwise_mult: output must have equal length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "cwise_mult: inputs must have equal length"
+    );
+    assert_eq!(
+        a.len(),
+        out.len(),
+        "cwise_mult: output must have equal length"
+    );
     for i in 0..a.len() {
         out[i] = a[i] * b[i];
     }
@@ -166,7 +202,11 @@ pub fn cwise_mult(a: &[f32], b: &[f32], out: &mut [f32]) {
 /// Panics if lengths differ.
 pub fn cwise_add(a: &[f32], b: &[f32], out: &mut [f32]) {
     assert_eq!(a.len(), b.len(), "cwise_add: inputs must have equal length");
-    assert_eq!(a.len(), out.len(), "cwise_add: output must have equal length");
+    assert_eq!(
+        a.len(),
+        out.len(),
+        "cwise_add: output must have equal length"
+    );
     for i in 0..a.len() {
         out[i] = a[i] + b[i];
     }

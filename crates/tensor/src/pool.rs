@@ -93,7 +93,12 @@ impl Pool {
             capacity <= u32::MAX as usize,
             "pool capacity must be addressable by a 4-byte offset"
         );
-        Self { data: vec![0.0; capacity], used: 0, floor: 0, high_water: 0 }
+        Self {
+            data: vec![0.0; capacity],
+            used: 0,
+            floor: 0,
+            high_water: 0,
+        }
     }
 
     /// Allocates `len` elements, zero-initialized, returning their offset.
@@ -154,8 +159,14 @@ impl Pool {
         b_len: usize,
     ) -> (&mut [f32], &mut [f32]) {
         let (a0, b0) = (a.0 as usize, b.0 as usize);
-        assert!(a0 + a_len <= self.used && b0 + b_len <= self.used, "pool access out of range");
-        assert!(a0 + a_len <= b0 || b0 + b_len <= a0, "pool regions must be disjoint");
+        assert!(
+            a0 + a_len <= self.used && b0 + b_len <= self.used,
+            "pool access out of range"
+        );
+        assert!(
+            a0 + a_len <= b0 || b0 + b_len <= a0,
+            "pool regions must be disjoint"
+        );
         if a0 < b0 {
             let (lo, hi) = self.data.split_at_mut(b0);
             (&mut lo[a0..a0 + a_len], &mut hi[..b_len])

@@ -44,7 +44,11 @@ pub fn log_softmax(x: &[f32], out: &mut [f32]) {
 ///
 /// Panics if `x` is empty or `label >= x.len()`.
 pub fn pick_neg_log_softmax(x: &[f32], label: usize) -> f32 {
-    assert!(label < x.len(), "pick_neg_log_softmax: label {label} out of range {}", x.len());
+    assert!(
+        label < x.len(),
+        "pick_neg_log_softmax: label {label} out of range {}",
+        x.len()
+    );
     let mut ls = vec![0.0; x.len()];
     log_softmax(x, &mut ls);
     -ls[label]
@@ -57,8 +61,15 @@ pub fn pick_neg_log_softmax(x: &[f32], label: usize) -> f32 {
 ///
 /// Panics if `x` is empty, lengths differ, or `label >= x.len()`.
 pub fn pick_neg_log_softmax_backward(x: &[f32], label: usize, d_loss: f32, dx: &mut [f32]) {
-    assert_eq!(x.len(), dx.len(), "pick_neg_log_softmax_backward: length mismatch");
-    assert!(label < x.len(), "pick_neg_log_softmax_backward: label out of range");
+    assert_eq!(
+        x.len(),
+        dx.len(),
+        "pick_neg_log_softmax_backward: length mismatch"
+    );
+    assert!(
+        label < x.len(),
+        "pick_neg_log_softmax_backward: label out of range"
+    );
     let mut p = vec![0.0; x.len()];
     softmax(x, &mut p);
     for i in 0..x.len() {

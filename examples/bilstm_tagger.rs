@@ -10,7 +10,7 @@
 //! ```
 
 use gpu_sim::DeviceConfig;
-use vpps::{Handle, VppsOptions};
+use vpps::{BackendKind, Handle, VppsOptions};
 use vpps_datasets::{TaggedCorpus, TaggedCorpusConfig};
 use vpps_models::bilstm_char::CharTaggedSentence;
 use vpps_models::{build_batch, BiLstmCharTagger, DynamicModel};
@@ -53,12 +53,19 @@ fn main() -> Result<(), vpps::VppsError> {
         );
     }
 
-    let opts = VppsOptions { learning_rate: 0.1, pool_capacity: 1 << 22, ..VppsOptions::default() };
+    // Backend selectable per handle; all backends agree bit-for-bit.
+    let opts = VppsOptions {
+        learning_rate: 0.1,
+        pool_capacity: 1 << 22,
+        backend: BackendKind::Threaded,
+        ..VppsOptions::default()
+    };
     let mut handle = Handle::new(&model, DeviceConfig::titan_v(), opts)?;
     println!(
-        "\nVPPS plan: {} CTAs/SM, gradient strategy {:?}",
+        "\nVPPS plan: {} CTAs/SM, gradient strategy {:?}, backend {}",
         handle.plan().ctas_per_sm(),
-        handle.plan().grad_strategy()
+        handle.plan().grad_strategy(),
+        handle.backend().name()
     );
 
     for epoch in 0..4 {
@@ -70,13 +77,17 @@ fn main() -> Result<(), vpps::VppsError> {
         }
         // Per-word average loss: ln(9) ≈ 2.20 at random initialization.
         let words: usize = train.iter().map(|s| s.sentence.len()).sum();
-        println!("epoch {epoch}: avg per-word loss {:.4}", total / words as f32);
+        println!(
+            "epoch {epoch}: avg per-word loss {:.4}",
+            total / words as f32
+        );
     }
 
+    let metrics = handle.metrics();
     println!(
         "\n{} persistent kernel launches, {:.1} MB weights loaded, simulated time {}",
-        handle.gpu().stats().kernels_launched,
-        handle.gpu().dram().weight_loads_mb(),
+        metrics.launches,
+        metrics.weight_loads_mb(),
         handle.wall_time()
     );
     Ok(())

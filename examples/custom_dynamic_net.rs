@@ -105,7 +105,11 @@ fn main() -> Result<(), vpps::VppsError> {
     let mut handle = Handle::new(
         &model,
         DeviceConfig::titan_v(),
-        VppsOptions { learning_rate: 0.1, pool_capacity: 1 << 22, ..VppsOptions::default() },
+        VppsOptions {
+            learning_rate: 0.1,
+            pool_capacity: 1 << 22,
+            ..VppsOptions::default()
+        },
     )?;
     println!(
         "specialized kernel for a custom architecture: {} CTAs/SM, rpw {}",
@@ -129,11 +133,12 @@ fn main() -> Result<(), vpps::VppsError> {
         println!("epoch {epoch}: total loss {total:8.3}");
     }
     assert!(last_epoch < first_epoch, "the custom net should learn");
+    let metrics = handle.metrics();
     println!(
         "\ncustom architecture trained end-to-end with register-cached weights;\n\
          {:.2} MB weight traffic over {} kernel launches (one per input).",
-        handle.gpu().dram().weight_loads_mb(),
-        handle.gpu().stats().kernels_launched
+        metrics.weight_loads_mb(),
+        metrics.launches
     );
     Ok(())
 }

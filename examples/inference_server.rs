@@ -10,8 +10,8 @@
 //! ```
 
 use dyn_graph::{load_model, save_model};
-use gpu_sim::DeviceConfig;
-use vpps::{Handle, VppsOptions};
+use gpu_sim::{DeviceConfig, TrafficTag};
+use vpps::{BackendKind, Handle, VppsOptions};
 use vpps_datasets::{Treebank, TreebankConfig};
 use vpps_models::{build_batch, DynamicModel, TreeLstm};
 
@@ -29,7 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- phase 1: train briefly.
     let mut model = dyn_graph::Model::new(7777);
     let arch = TreeLstm::register(&mut model, vocab, dim, dim, 5);
-    let opts = VppsOptions { learning_rate: 0.08, pool_capacity: 1 << 22, ..VppsOptions::default() };
+    // Serve with the wave-parallel interpreter: identical results to the
+    // serial backends, but request batches execute across all host cores.
+    let opts = VppsOptions {
+        learning_rate: 0.08,
+        pool_capacity: 1 << 22,
+        backend: BackendKind::ParallelInterp,
+        ..VppsOptions::default()
+    };
     let mut trainer_handle = Handle::new(&model, DeviceConfig::titan_v(), opts)?;
     let train_set = bank.samples(32);
     for epoch in 0..2 {
@@ -37,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let (g, l) = build_batch(&arch, &model, chunk);
             trainer_handle.fb(&mut model, &g, l);
         }
-        println!("trained epoch {epoch}: last loss {:.3}", trainer_handle.sync_get_latest_loss());
+        println!(
+            "trained epoch {epoch}: last loss {:.3}",
+            trainer_handle.sync_get_latest_loss()
+        );
     }
 
     // --- phase 2: checkpoint and "deploy".
@@ -68,14 +78,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    let metrics = server.metrics();
     println!(
         "\nserver stats: {} kernels, {:.2} MB weight loads (one per request), wall {}",
-        server.gpu().stats().kernels_launched,
-        server.gpu().dram().weight_loads_mb(),
+        metrics.launches,
+        metrics.weight_loads_mb(),
         server.wall_time()
     );
-    println!("no weight write-back occurred: {} weight store bytes", {
-        server.gpu().dram().stores(gpu_sim::TrafficTag::Weight)
-    });
+    println!(
+        "no weight write-back occurred: {} weight store bytes",
+        metrics.dram.stores(TrafficTag::Weight)
+    );
     Ok(())
 }

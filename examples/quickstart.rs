@@ -10,7 +10,7 @@
 
 use dyn_graph::{Graph, Model};
 use gpu_sim::DeviceConfig;
-use vpps::{Handle, VppsOptions};
+use vpps::{BackendKind, Handle, VppsOptions};
 
 fn main() -> Result<(), vpps::VppsError> {
     // 1. Define the model parameters (this is what gets register-cached).
@@ -20,12 +20,25 @@ fn main() -> Result<(), vpps::VppsError> {
     let w_out = model.add_matrix("W_out", 4, 64);
 
     // 2. Specialize the kernel for this model — paper: `vpps::handle hndl(model)`.
-    let mut handle = Handle::new(&model, DeviceConfig::titan_v(), VppsOptions::default())?;
+    //    The `backend` option picks how the simulated kernel executes on the
+    //    host: every backend produces bit-identical losses and metrics, and
+    //    the wave-parallel interpreter uses all host cores.
+    let backend = if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+        BackendKind::ParallelInterp
+    } else {
+        BackendKind::default()
+    };
+    let opts = VppsOptions {
+        backend,
+        ..VppsOptions::default()
+    };
+    let mut handle = Handle::new(&model, DeviceConfig::titan_v(), opts)?;
     println!(
-        "specialized kernel: {} CTAs/SM, rpw {}, modeled JIT cost {:.2}s",
+        "specialized kernel: {} CTAs/SM, rpw {}, modeled JIT cost {:.2}s, backend {}",
         handle.plan().ctas_per_sm(),
         handle.plan().rpw(),
         handle.jit_cost().total().as_secs(),
+        handle.backend().name(),
     );
 
     // 3. Training loop. Each input may build a *different* graph — here the
@@ -56,13 +69,15 @@ fn main() -> Result<(), vpps::VppsError> {
         }
     }
 
-    // 4. Explicit synchronization for the final loss.
+    // 4. Explicit synchronization for the final loss, and the unified
+    //    metrics every execution backend populates identically.
     let last = handle.sync_get_latest_loss();
     println!("final loss = {last:.4}");
+    let metrics = handle.metrics();
     println!(
         "{} persistent kernels launched, {:.2} MB of weights loaded from DRAM",
-        handle.gpu().stats().kernels_launched,
-        handle.gpu().dram().weight_loads_mb(),
+        metrics.launches,
+        metrics.weight_loads_mb(),
     );
     println!("simulated training wall time: {}", handle.wall_time());
     Ok(())

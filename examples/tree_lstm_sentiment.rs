@@ -10,7 +10,7 @@
 //! ```
 
 use gpu_sim::DeviceConfig;
-use vpps::{Handle, RpwMode, VppsOptions};
+use vpps::{Engine, Handle, RpwMode, VppsOptions};
 use vpps_baselines::{BaselineExecutor, Strategy};
 use vpps_datasets::{Treebank, TreebankConfig};
 use vpps_models::{build_batch, TreeLstm};
@@ -65,8 +65,7 @@ fn main() -> Result<(), vpps::VppsError> {
     }
 
     // --- DyNet-AB baseline on identical data and initialization.
-    let mut baseline =
-        BaselineExecutor::new(DeviceConfig::titan_v(), Strategy::AgendaBased, 0.05);
+    let mut baseline = BaselineExecutor::new(DeviceConfig::titan_v(), Strategy::AgendaBased, 0.05);
     for epoch in 0..epochs {
         let mut epoch_loss = 0.0;
         for chunk in train.chunks(batch_size) {
@@ -76,21 +75,32 @@ fn main() -> Result<(), vpps::VppsError> {
         println!("DyNet-AB epoch {epoch}: total loss {epoch_loss:8.3}");
     }
 
-    // --- Compare simulated cost.
+    // --- Compare simulated cost through the unified `Engine` trait: both
+    //     systems expose the same `metrics()` plumbing, so the comparison
+    //     reads identically for VPPS and every baseline.
+    let engines: [&dyn Engine; 2] = [&handle, &baseline];
     let inputs = (train.len() * epochs) as f64;
-    let vpps_tput = inputs / handle.wall_time().as_secs();
-    let base_tput = inputs / baseline.wall_time().as_secs();
-    println!("\nsimulated throughput: VPPS {vpps_tput:.0} inputs/s, DyNet-AB {base_tput:.0} inputs/s ({:.2}x)",
-        vpps_tput / base_tput);
+    let tputs: Vec<f64> = engines
+        .iter()
+        .map(|e| inputs / e.wall_time().as_secs())
+        .collect();
     println!(
-        "weight DRAM traffic:  VPPS {:.2} MB vs DyNet-AB {:.2} MB",
-        handle.gpu().dram().weight_loads_mb(),
-        baseline.gpu().dram().weight_loads_mb()
+        "\nsimulated throughput: {} {:.0} inputs/s, {} {:.0} inputs/s ({:.2}x)",
+        engines[0].system(),
+        tputs[0],
+        engines[1].system(),
+        tputs[1],
+        tputs[0] / tputs[1]
     );
-    println!(
-        "kernel launches:      VPPS {} vs DyNet-AB {}",
-        handle.gpu().stats().kernels_launched,
-        baseline.gpu().stats().kernels_launched
-    );
+    for e in engines {
+        let m = e.metrics();
+        println!(
+            "{:8} over {} batches: {:.2} MB weight loads, {} kernel launches",
+            e.system(),
+            e.batches(),
+            m.weight_loads_mb(),
+            m.launches
+        );
+    }
     Ok(())
 }

@@ -1,0 +1,149 @@
+//! Property: every execution backend is the *same machine*. Whatever random
+//! dynamic graph the generator produces, the event-driven interpreter, the
+//! real-thread executor and the wave-parallel interpreter must return
+//! bit-identical losses, bit-identical updated parameters, and identical
+//! unified metrics (DRAM bytes per traffic class, launch counts).
+//!
+//! Reuses the graph generators from `tests/support/graphgen.rs` shared with
+//! `proptest_random_graphs.rs`, so backend agreement is tested over the same
+//! graph space as reference agreement.
+
+use dyn_graph::Model;
+use gpu_sim::{GpuSim, Metrics, TrafficTag};
+use proptest::prelude::*;
+use vpps::engine;
+use vpps::exec::interp::ExecConfig;
+use vpps::script::{generate, TableLayout};
+use vpps::{BackendKind, Handle, KernelPlan, RpwMode, VppsOptions};
+
+#[path = "support/graphgen.rs"]
+mod graphgen;
+use graphgen::{arb_recipe, build_from_recipe, small_device, GraphRecipe, DIM};
+
+/// Runs one recipe start-to-finish on one backend with its own fresh model,
+/// pool and device, returning the loss, the batch metrics and the updated
+/// dense parameters.
+fn run_on_backend(recipe: &GraphRecipe, kind: BackendKind) -> (f32, Metrics, Vec<u32>) {
+    let mut model = Model::new(987);
+    model.add_matrix("W1", DIM, DIM);
+    model.add_matrix("W2", DIM, DIM);
+    model.add_bias("b", DIM);
+    let (g, loss) = build_from_recipe(&model, recipe);
+
+    let plan = KernelPlan::build(&model, &small_device(), 1).expect("tiny model fits");
+    let mut pool = vpps_tensor::Pool::with_capacity(1 << 18);
+    let tables = TableLayout::install(&model, &mut pool).expect("pool big enough");
+    let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
+    for (id, node) in g.iter() {
+        if let dyn_graph::Op::Input { values } = &node.op {
+            pool.slice_mut(gs.layout.value_off[id.index()], node.dim)
+                .copy_from_slice(values);
+        }
+    }
+    let mut gpu = GpuSim::new(small_device());
+    let run = engine::run_batch(
+        kind.backend(),
+        &plan,
+        &gs,
+        &mut pool,
+        &mut model,
+        &mut gpu,
+        ExecConfig {
+            learning_rate: 0.05,
+            weight_decay: 0.0,
+            apply_update: true,
+        },
+    );
+    let params: Vec<u32> = model
+        .params()
+        .flat_map(|(_, p)| p.value.as_slice().iter().map(|v| v.to_bits()))
+        .collect();
+    (run.loss, run.metrics, params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All three backends agree bit-for-bit on any random graph.
+    #[test]
+    fn backends_agree_on_random_graphs(recipe in arb_recipe()) {
+        let (ref_loss, ref_metrics, ref_params) =
+            run_on_backend(&recipe, BackendKind::EventInterp);
+        for kind in [BackendKind::Threaded, BackendKind::ParallelInterp] {
+            let (loss, metrics, params) = run_on_backend(&recipe, kind);
+            prop_assert_eq!(
+                loss.to_bits(), ref_loss.to_bits(),
+                "{:?} loss {} != event-interp loss {}", kind, loss, ref_loss
+            );
+            prop_assert_eq!(
+                metrics.dram.loads(TrafficTag::Weight),
+                ref_metrics.dram.loads(TrafficTag::Weight),
+                "{:?} DRAM weight bytes differ", kind
+            );
+            prop_assert_eq!(&metrics.dram, &ref_metrics.dram, "{:?} DRAM bytes differ", kind);
+            prop_assert_eq!(metrics.launches, ref_metrics.launches, "{:?} launches", kind);
+            prop_assert_eq!(
+                metrics.kernel_time, ref_metrics.kernel_time,
+                "{:?} modeled kernel time differs", kind
+            );
+            prop_assert_eq!(&params, &ref_params, "{:?} updated parameters diverged", kind);
+        }
+    }
+}
+
+/// Trains a fixed workload on one backend and reports (loss history, host
+/// wall-clock).
+fn train_workload(kind: BackendKind, batches: usize) -> (Vec<f32>, std::time::Duration) {
+    use vpps_datasets::{Treebank, TreebankConfig};
+    use vpps_models::{build_batch, TreeLstm};
+
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 400,
+        min_len: 4,
+        max_len: 10,
+        classes: 5,
+        seed: 5,
+    });
+    let samples = bank.samples(4 * batches);
+    let mut model = Model::new(31415);
+    let arch = TreeLstm::register(&mut model, 400, 48, 48, 5);
+    let opts = VppsOptions {
+        rpw: RpwMode::Fixed(1),
+        pool_capacity: 1 << 22,
+        backend: kind,
+        ..VppsOptions::default()
+    };
+    let mut handle = Handle::new(&model, small_device(), opts).expect("tiny Tree-LSTM fits");
+    let start = std::time::Instant::now();
+    let mut losses = Vec::new();
+    for chunk in samples.chunks(4) {
+        let (g, l) = build_batch(&arch, &model, chunk);
+        handle.fb(&mut model, &g, l);
+        losses.push(handle.sync_get_latest_loss());
+    }
+    (losses, start.elapsed())
+}
+
+/// On a real Tree-LSTM workload the wave-parallel interpreter matches the
+/// serial interpreter exactly; on multi-core hosts it must also be no slower
+/// in host wall-clock (it partitions each barrier wave across all cores).
+#[test]
+fn parallel_interp_matches_and_scales() {
+    let (serial_losses, serial_time) = train_workload(BackendKind::EventInterp, 8);
+    let (parallel_losses, parallel_time) = train_workload(BackendKind::ParallelInterp, 8);
+    assert_eq!(
+        serial_losses, parallel_losses,
+        "backends must agree bit-for-bit"
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores > 1 {
+        // Generous slack: the win must come from parallel waves, but tiny
+        // CI machines share cores with the OS.
+        assert!(
+            parallel_time < serial_time * 3,
+            "with {cores} cores the parallel interpreter should not be far \
+             slower than serial: parallel {parallel_time:?} vs serial {serial_time:?}"
+        );
+    }
+}

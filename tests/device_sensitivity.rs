@@ -39,14 +39,21 @@ fn capacity_pressure_changes_strategy_on_small_device() {
 
 #[test]
 fn training_is_correct_on_both_devices() {
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 150, min_len: 3, max_len: 6, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 150,
+        min_len: 3,
+        max_len: 6,
+        ..Default::default()
+    });
     let samples = bank.samples(3);
 
     let run = |device: DeviceConfig| {
         let (mut m, arch) = tree_lstm(32);
-        let opts =
-            VppsOptions { learning_rate: 0.05, pool_capacity: 1 << 21, ..VppsOptions::default() };
+        let opts = VppsOptions {
+            learning_rate: 0.05,
+            pool_capacity: 1 << 21,
+            ..VppsOptions::default()
+        };
         let mut handle = Handle::new(&m, device, opts).unwrap();
         let mut losses = Vec::new();
         for s in &samples {
@@ -76,19 +83,30 @@ fn training_is_correct_on_both_devices() {
     }
     for ((_, pa), (_, pb)) in titan_model.params().zip(pascal_model.params()) {
         for (x, y) in pa.value.as_slice().iter().zip(pb.value.as_slice()) {
-            assert!((x - y).abs() < 5e-3, "devices must agree on trained {}", pa.name);
+            assert!(
+                (x - y).abs() < 5e-3,
+                "devices must agree on trained {}",
+                pa.name
+            );
         }
     }
 }
 
 #[test]
 fn smaller_device_is_slower() {
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 150, min_len: 4, max_len: 7, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 150,
+        min_len: 4,
+        max_len: 7,
+        ..Default::default()
+    });
     let samples = bank.samples(4);
     let time_on = |device: DeviceConfig| {
         let (mut m, arch) = tree_lstm(48);
-        let opts = VppsOptions { pool_capacity: 1 << 21, ..VppsOptions::default() };
+        let opts = VppsOptions {
+            pool_capacity: 1 << 21,
+            ..VppsOptions::default()
+        };
         let mut handle = Handle::new(&m, device, opts).unwrap();
         let (g, l) = build_batch(&arch, &m, &samples);
         handle.fb(&mut m, &g, l);
@@ -97,5 +115,8 @@ fn smaller_device_is_slower() {
     };
     let titan = time_on(DeviceConfig::titan_v());
     let pascal = time_on(DeviceConfig::pascal_small());
-    assert!(pascal > titan, "pascal {pascal} should be slower than titan {titan}");
+    assert!(
+        pascal > titan,
+        "pascal {pascal} should be slower than titan {titan}"
+    );
 }

@@ -13,9 +13,7 @@ use vpps::{Handle, VppsOptions};
 use vpps_baselines::{BaselineExecutor, Strategy};
 use vpps_datasets::{TaggedCorpus, TaggedCorpusConfig, Treebank, TreebankConfig};
 use vpps_models::bilstm_char::CharTaggedSentence;
-use vpps_models::{
-    build_batch, BiLstmCharTagger, BiLstmTagger, Rvnn, TdLstm, TdRnn, TreeLstm,
-};
+use vpps_models::{build_batch, BiLstmCharTagger, BiLstmTagger, Rvnn, TdLstm, TdRnn, TreeLstm};
 
 const LR: f32 = 0.05;
 const STEPS: usize = 3;
@@ -37,7 +35,11 @@ fn check_equivalence(seed: u64, batches: &[(Graph, NodeId)], mut model: Model) {
     }
 
     // VPPS.
-    let opts = VppsOptions { learning_rate: LR, pool_capacity: 1 << 22, ..VppsOptions::default() };
+    let opts = VppsOptions {
+        learning_rate: LR,
+        pool_capacity: 1 << 22,
+        ..VppsOptions::default()
+    };
     let mut handle = Handle::new(&model, device(), opts).expect("model fits");
     let mut vpps_losses = Vec::new();
     for (g, l) in batches {
@@ -76,11 +78,19 @@ fn check_equivalence(seed: u64, batches: &[(Graph, NodeId)], mut model: Model) {
 fn baselines_equal_reference_on_tree_lstm() {
     let mut model = Model::new(900);
     let arch = TreeLstm::register(&mut model, 100, 12, 12, 5);
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 100, min_len: 3, max_len: 7, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 100,
+        min_len: 3,
+        max_len: 7,
+        ..Default::default()
+    });
     let samples = bank.samples(6);
 
-    for strategy in [Strategy::Unbatched, Strategy::DepthBased, Strategy::AgendaBased] {
+    for strategy in [
+        Strategy::Unbatched,
+        Strategy::DepthBased,
+        Strategy::AgendaBased,
+    ] {
         let mut m1 = model.clone();
         let mut m2 = model.clone();
         let mut exec = BaselineExecutor::new(device(), strategy, LR);
@@ -100,10 +110,17 @@ fn baselines_equal_reference_on_tree_lstm() {
 fn tree_lstm_vpps_equals_reference() {
     let mut model = Model::new(901);
     let arch = TreeLstm::register(&mut model, 100, 12, 12, 5);
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 100, min_len: 3, max_len: 8, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 100,
+        min_len: 3,
+        max_len: 8,
+        ..Default::default()
+    });
     let samples = bank.samples(STEPS * 2);
-    let batches: Vec<_> = samples.chunks(2).map(|c| build_batch(&arch, &model, c)).collect();
+    let batches: Vec<_> = samples
+        .chunks(2)
+        .map(|c| build_batch(&arch, &model, c))
+        .collect();
     check_equivalence(901, &batches, model);
 }
 
@@ -111,10 +128,17 @@ fn tree_lstm_vpps_equals_reference() {
 fn rvnn_vpps_equals_reference() {
     let mut model = Model::new(902);
     let arch = Rvnn::register(&mut model, 80, 12, 5);
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 80, min_len: 2, max_len: 9, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 80,
+        min_len: 2,
+        max_len: 9,
+        ..Default::default()
+    });
     let samples = bank.samples(STEPS * 2);
-    let batches: Vec<_> = samples.chunks(2).map(|c| build_batch(&arch, &model, c)).collect();
+    let batches: Vec<_> = samples
+        .chunks(2)
+        .map(|c| build_batch(&arch, &model, c))
+        .collect();
     check_equivalence(902, &batches, model);
 }
 
@@ -122,10 +146,17 @@ fn rvnn_vpps_equals_reference() {
 fn td_rnn_vpps_equals_reference() {
     let mut model = Model::new(903);
     let arch = TdRnn::register(&mut model, 80, 12, 12, 5);
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 80, min_len: 2, max_len: 7, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 80,
+        min_len: 2,
+        max_len: 7,
+        ..Default::default()
+    });
     let samples = bank.samples(STEPS);
-    let batches: Vec<_> = samples.chunks(1).map(|c| build_batch(&arch, &model, c)).collect();
+    let batches: Vec<_> = samples
+        .chunks(1)
+        .map(|c| build_batch(&arch, &model, c))
+        .collect();
     check_equivalence(903, &batches, model);
 }
 
@@ -133,10 +164,17 @@ fn td_rnn_vpps_equals_reference() {
 fn td_lstm_vpps_equals_reference() {
     let mut model = Model::new(904);
     let arch = TdLstm::register(&mut model, 80, 12, 12, 5);
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 80, min_len: 2, max_len: 7, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 80,
+        min_len: 2,
+        max_len: 7,
+        ..Default::default()
+    });
     let samples = bank.samples(STEPS);
-    let batches: Vec<_> = samples.chunks(1).map(|c| build_batch(&arch, &model, c)).collect();
+    let batches: Vec<_> = samples
+        .chunks(1)
+        .map(|c| build_batch(&arch, &model, c))
+        .collect();
     check_equivalence(904, &batches, model);
 }
 
@@ -152,7 +190,10 @@ fn bilstm_vpps_equals_reference() {
         ..Default::default()
     });
     let samples: Vec<_> = corpus.sentences().to_vec();
-    let batches: Vec<_> = samples.chunks(2).map(|c| build_batch(&arch, &model, c)).collect();
+    let batches: Vec<_> = samples
+        .chunks(2)
+        .map(|c| build_batch(&arch, &model, c))
+        .collect();
     check_equivalence(905, &batches, model);
 }
 
@@ -174,7 +215,10 @@ fn bilstm_char_vpps_equals_reference() {
         .cloned()
         .map(|s| CharTaggedSentence::annotate(s, &corpus))
         .collect();
-    let batches: Vec<_> = samples.chunks(2).map(|c| build_batch(&arch, &model, c)).collect();
+    let batches: Vec<_> = samples
+        .chunks(2)
+        .map(|c| build_batch(&arch, &model, c))
+        .collect();
     check_equivalence(906, &batches, model);
 }
 
@@ -184,10 +228,18 @@ fn mixed_shaped_batches_through_one_handle() {
     // the core dynamic-net requirement.
     let mut model = Model::new(907);
     let arch = TreeLstm::register(&mut model, 100, 12, 12, 5);
-    let opts = VppsOptions { learning_rate: LR, pool_capacity: 1 << 22, ..VppsOptions::default() };
+    let opts = VppsOptions {
+        learning_rate: LR,
+        pool_capacity: 1 << 22,
+        ..VppsOptions::default()
+    };
     let mut handle = Handle::new(&model, device(), opts).expect("fits");
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 100, min_len: 2, max_len: 12, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 100,
+        min_len: 2,
+        max_len: 12,
+        ..Default::default()
+    });
     for batch_size in [1usize, 3, 1, 5, 2] {
         let samples = bank.samples(batch_size);
         let (g, l) = build_batch(&arch, &model, &samples);

@@ -38,7 +38,11 @@ fn gru_training_under_vpps_matches_reference() {
         (vec![0.0, 0.0, 0.9], 3),
     ];
 
-    let opts = VppsOptions { learning_rate: 0.1, pool_capacity: 1 << 20, ..VppsOptions::default() };
+    let opts = VppsOptions {
+        learning_rate: 0.1,
+        pool_capacity: 1 << 20,
+        ..VppsOptions::default()
+    };
     let mut handle = Handle::new(&model, DeviceConfig::titan_v(), opts).expect("GRU fits");
     let trainer = Trainer::new(0.1);
 
@@ -71,7 +75,11 @@ fn gru_learns_under_vpps() {
     let mut model = Model::new(2025);
     let cell = GruCell::register(&mut model, "gru", 8, 10);
     let cls = model.add_matrix("cls", 3, 10);
-    let opts = VppsOptions { learning_rate: 0.2, pool_capacity: 1 << 20, ..VppsOptions::default() };
+    let opts = VppsOptions {
+        learning_rate: 0.2,
+        pool_capacity: 1 << 20,
+        ..VppsOptions::default()
+    };
     let mut handle = Handle::new(&model, DeviceConfig::titan_v(), opts).expect("fits");
 
     let seq = vec![0.3, -0.4, 0.2, 0.5];

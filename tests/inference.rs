@@ -12,7 +12,10 @@ fn device() -> DeviceConfig {
 }
 
 fn opts() -> VppsOptions {
-    VppsOptions { pool_capacity: 1 << 22, ..VppsOptions::default() }
+    VppsOptions {
+        pool_capacity: 1 << 22,
+        ..VppsOptions::default()
+    }
 }
 
 fn mlp_graph(model: &Model, w1: dyn_graph::ParamId, w2: dyn_graph::ParamId) -> (Graph, NodeId) {
@@ -36,7 +39,10 @@ fn infer_matches_reference_forward() {
     let want = &refexec::forward(&g, &model)[out.index()];
     assert_eq!(got.len(), 6);
     for (a, b) in got.iter().zip(want) {
-        assert!((a - b).abs() < 1e-4, "inference output diverged: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-4,
+            "inference output diverged: {a} vs {b}"
+        );
     }
 }
 
@@ -64,7 +70,11 @@ fn infer_weight_traffic_is_one_load_no_store() {
     let (g, out) = mlp_graph(&model, w1, w2);
     let _ = handle.infer(&mut model, &g, out);
     assert_eq!(handle.gpu().dram().loads(TrafficTag::Weight), weights);
-    assert_eq!(handle.gpu().dram().stores(TrafficTag::Weight), 0, "no weight write-back");
+    assert_eq!(
+        handle.gpu().dram().stores(TrafficTag::Weight),
+        0,
+        "no weight write-back"
+    );
 }
 
 #[test]
@@ -86,7 +96,10 @@ fn infer_is_cheaper_than_training() {
     h_train.sync_get_latest_loss();
     let train_time = h_train.wall_time();
 
-    assert!(infer_time < train_time, "inference {infer_time} vs training {train_time}");
+    assert!(
+        infer_time < train_time,
+        "inference {infer_time} vs training {train_time}"
+    );
 }
 
 #[test]
@@ -94,8 +107,12 @@ fn tree_lstm_classification_via_infer() {
     // Inference over dynamic tree shapes: read the root logits.
     let mut model = Model::new(704);
     let arch = TreeLstm::register(&mut model, 100, 12, 12, 5);
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 100, min_len: 3, max_len: 8, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 100,
+        min_len: 3,
+        max_len: 8,
+        ..Default::default()
+    });
     let mut handle = Handle::new(&model, device(), opts()).unwrap();
     for s in bank.samples(4) {
         let (g, loss) = arch.build(&model, &s);

@@ -13,11 +13,18 @@ fn device() -> DeviceConfig {
     DeviceConfig::titan_v()
 }
 
-fn tree_lstm_setup(hidden: usize, inputs: usize) -> (Model, TreeLstm, Vec<vpps_datasets::TreeSample>) {
+fn tree_lstm_setup(
+    hidden: usize,
+    inputs: usize,
+) -> (Model, TreeLstm, Vec<vpps_datasets::TreeSample>) {
     let mut model = Model::new(31337);
     let arch = TreeLstm::register(&mut model, 200, hidden, hidden, 5);
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 200, min_len: 3, max_len: 8, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 200,
+        min_len: 3,
+        max_len: 8,
+        ..Default::default()
+    });
     let samples = bank.samples(inputs);
     (model, arch, samples)
 }
@@ -32,7 +39,10 @@ fn table1_vpps_weight_loads_scale_inverse_with_batch() {
     let mut loads = Vec::new();
     for batch in [1usize, 2, 4, 8] {
         let mut m = model.clone();
-        let opts = VppsOptions { pool_capacity: 1 << 22, ..VppsOptions::default() };
+        let opts = VppsOptions {
+            pool_capacity: 1 << 22,
+            ..VppsOptions::default()
+        };
         let mut handle = Handle::new(&m, device(), opts).unwrap();
         for chunk in samples.chunks(batch) {
             let (g, l) = build_batch(&arch, &m, chunk);
@@ -72,7 +82,10 @@ fn table1_dynet_weight_loads_shrink_sublinearly() {
 
     // VPPS at batch 1 still loads less than DyNet at batch 4.
     let mut m = model.clone();
-    let opts = VppsOptions { pool_capacity: 1 << 22, ..VppsOptions::default() };
+    let opts = VppsOptions {
+        pool_capacity: 1 << 22,
+        ..VppsOptions::default()
+    };
     let mut handle = Handle::new(&m, device(), opts).unwrap();
     for chunk in samples.chunks(1) {
         let (g, l) = build_batch(&arch, &m, chunk);
@@ -103,7 +116,10 @@ fn fig8_vpps_wins_at_small_batch() {
     let (model, arch, samples) = tree_lstm_setup(32, 4);
 
     let mut m1 = model.clone();
-    let opts = VppsOptions { pool_capacity: 1 << 22, ..VppsOptions::default() };
+    let opts = VppsOptions {
+        pool_capacity: 1 << 22,
+        ..VppsOptions::default()
+    };
     let mut handle = Handle::new(&m1, device(), opts).unwrap();
     for s in &samples {
         let (g, l) = build_batch(&arch, &m1, std::slice::from_ref(s));
@@ -151,7 +167,10 @@ fn fig10_host_device_crossover_direction() {
     let (model, arch, samples) = tree_lstm_setup(24, 8);
     let per_input = |batch: usize| {
         let mut m = model.clone();
-        let opts = VppsOptions { pool_capacity: 1 << 22, ..VppsOptions::default() };
+        let opts = VppsOptions {
+            pool_capacity: 1 << 22,
+            ..VppsOptions::default()
+        };
         let mut handle = Handle::new(&m, device(), opts).unwrap();
         for chunk in samples.chunks(batch) {
             let (g, l) = build_batch(&arch, &m, chunk);
@@ -166,7 +185,10 @@ fn fig10_host_device_crossover_direction() {
     let (host1, dev1) = per_input(1);
     let (host8, dev8) = per_input(8);
     assert!(dev8 < dev1, "per-input device time must shrink with batch");
-    assert!(host8 >= host1 * 0.95, "per-input host time must not shrink much");
+    assert!(
+        host8 >= host1 * 0.95,
+        "per-input host time must not shrink much"
+    );
 }
 
 /// Table II's mechanism: JIT cost grows super-linearly with cached register
@@ -176,18 +198,28 @@ fn table2_jit_cost_grows_with_hidden_size() {
     let cost_of = |hidden: usize| {
         let mut model = Model::new(777);
         let _ = TreeLstm::register(&mut model, 100, hidden, hidden, 5);
-        KernelPlan::build(&model, &device(), 1).unwrap().jit_cost().program_compile.as_secs()
+        KernelPlan::build(&model, &device(), 1)
+            .unwrap()
+            .jit_cost()
+            .program_compile
+            .as_secs()
     };
     let small = cost_of(128);
     let big = cost_of(512);
-    assert!(big > 2.0 * small, "512-hidden compile ({big}s) should dwarf 128 ({small}s)");
+    assert!(
+        big > 2.0 * small,
+        "512-hidden compile ({big}s) should dwarf 128 ({small}s)"
+    );
 }
 
 /// §III-D: the async API returns stale losses and sync drains the pipeline.
 #[test]
 fn async_fb_protocol() {
     let (mut model, arch, samples) = tree_lstm_setup(16, 3);
-    let opts = VppsOptions { pool_capacity: 1 << 22, ..VppsOptions::default() };
+    let opts = VppsOptions {
+        pool_capacity: 1 << 22,
+        ..VppsOptions::default()
+    };
     let mut handle = Handle::new(&model, device(), opts).unwrap();
     let mut stale = Vec::new();
     for s in &samples {
@@ -198,5 +230,8 @@ fn async_fb_protocol() {
     assert_eq!(stale[0], 0.0);
     assert!(stale[1] > 0.0 && stale[2] > 0.0);
     assert!(latest > 0.0);
-    assert_ne!(stale[2], latest, "sync returns the newest loss, fb the previous");
+    assert_ne!(
+        stale[2], latest,
+        "sync returns the newest loss, fb the previous"
+    );
 }

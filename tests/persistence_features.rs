@@ -37,8 +37,12 @@ fn kernel_cache_amortizes_jit_across_sessions() {
     assert_eq!(plan2.jit_cost().module_load, cold.module_load);
 
     // The cached plan trains correctly.
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 100, min_len: 3, max_len: 6, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 100,
+        min_len: 3,
+        max_len: 6,
+        ..Default::default()
+    });
     let samples = bank.samples(2);
     let (g, loss) = build_batch(&arch, &model, &samples);
     let mut pool = Pool::with_capacity(1 << 20);
@@ -91,7 +95,10 @@ fn checkpoint_resume_continues_training_identically() {
         }
     }
     for ((_, a), (_, b)) in direct.params().zip(resumed.params()) {
-        assert_eq!(a.value, b.value, "resumed training must match uninterrupted training");
+        assert_eq!(
+            a.value, b.value,
+            "resumed training must match uninterrupted training"
+        );
     }
 }
 
@@ -100,8 +107,12 @@ fn kernel_trace_captures_the_whole_timeline() {
     let mut model = Model::new(77);
     let arch = TreeLstm::register(&mut model, 80, 16, 16, 5);
     let plan = KernelPlan::build(&model, &device(), 1).unwrap();
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 80, min_len: 4, max_len: 7, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 80,
+        min_len: 4,
+        max_len: 7,
+        ..Default::default()
+    });
     let s = bank.sample();
     let (g, loss) = arch.build(&model, &s);
     let mut pool = Pool::with_capacity(1 << 20);
@@ -121,8 +132,11 @@ fn kernel_trace_captures_the_whole_timeline() {
     // Every instruction (compute + sync) produced exactly one event.
     assert_eq!(trace.len(), gs.scripts.total_instructions());
     // Compute events match the run's count.
-    let compute =
-        trace.events.iter().filter(|e| e.name != "signal" && e.name != "wait").count();
+    let compute = trace
+        .events
+        .iter()
+        .filter(|e| e.name != "signal" && e.name != "wait")
+        .count();
     assert_eq!(compute, run.instructions);
     // No event extends past the script-phase end on its own VPP clock.
     for e in &trace.events {

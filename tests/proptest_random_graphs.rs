@@ -3,64 +3,17 @@
 //! with the reference executor. This is the portability claim tested as a
 //! property, not on a fixed model zoo.
 
-use dyn_graph::{exec as refexec, Graph, Model, NodeId};
-use gpu_sim::{DeviceConfig, GpuSim};
+use dyn_graph::{exec as refexec, Model};
+use gpu_sim::GpuSim;
 use proptest::prelude::*;
 use vpps::exec::interp::{run_persistent_kernel, ExecConfig};
 use vpps::script::{generate, TableLayout};
 use vpps::KernelPlan;
 use vpps_tensor::Pool;
 
-const DIM: usize = 12;
-
-/// A recipe for building a random (but always valid) graph.
-#[derive(Debug, Clone)]
-struct GraphRecipe {
-    ops: Vec<u8>,
-    picks: Vec<u8>,
-    label: u8,
-}
-
-fn arb_recipe() -> impl Strategy<Value = GraphRecipe> {
-    (
-        prop::collection::vec(0u8..8, 1..30),
-        prop::collection::vec(any::<u8>(), 30),
-        0u8..4,
-    )
-        .prop_map(|(ops, picks, label)| GraphRecipe { ops, picks, label })
-}
-
-fn build_from_recipe(model: &Model, recipe: &GraphRecipe) -> (Graph, NodeId) {
-    let w1 = model.params().next().expect("model has w1").0;
-    let w2 = model.params().nth(1).expect("model has w2").0;
-    let b = model.params().nth(2).expect("model has bias").0;
-
-    let mut g = Graph::new();
-    let mut frontier = vec![g.input((0..DIM).map(|i| 0.1 * i as f32 - 0.5).collect())];
-    for (i, op) in recipe.ops.iter().enumerate() {
-        let pick = |k: usize| frontier[recipe.picks[(i + k) % recipe.picks.len()] as usize % frontier.len()];
-        let node = match op {
-            0 => g.matvec(model, w1, pick(0)),
-            1 => g.matvec(model, w2, pick(0)),
-            2 => g.add_bias(model, b, pick(0)),
-            3 => g.tanh(pick(0)),
-            4 => g.sigmoid(pick(0)),
-            5 => g.relu(pick(0)),
-            6 => g.add(pick(0), pick(1)),
-            _ => g.cwise_mult(pick(0), pick(1)),
-        };
-        frontier.push(node);
-    }
-    let last = *frontier.last().expect("non-empty");
-    let loss = g.pick_neg_log_softmax(last, recipe.label as usize);
-    (g, loss)
-}
-
-fn small_device() -> DeviceConfig {
-    let mut d = DeviceConfig::titan_v();
-    d.num_sms = 3;
-    d
-}
+#[path = "support/graphgen.rs"]
+mod graphgen;
+use graphgen::{arb_recipe, build_from_recipe, small_device, DIM};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -22,16 +22,13 @@ fn small_device() -> DeviceConfig {
 fn write_inputs(g: &dyn_graph::Graph, gs: &generate::GeneratedScript, pool: &mut Pool) {
     for (id, node) in g.iter() {
         if let dyn_graph::Op::Input { values } = &node.op {
-            pool.slice_mut(gs.layout.value_off[id.index()], node.dim).copy_from_slice(values);
+            pool.slice_mut(gs.layout.value_off[id.index()], node.dim)
+                .copy_from_slice(values);
         }
     }
 }
 
-fn check_threaded_matches_sequential<S>(
-    arch: &impl DynamicModel<S>,
-    model: &Model,
-    samples: &[S],
-) {
+fn check_threaded_matches_sequential<S>(arch: &impl DynamicModel<S>, model: &Model, samples: &[S]) {
     let plan = KernelPlan::build(model, &small_device(), 1).unwrap();
     let (g, loss) = build_batch(arch, model, samples);
 
@@ -55,7 +52,13 @@ fn check_threaded_matches_sequential<S>(
     let tables_b = TableLayout::install(&model_b, &mut pool_b).unwrap();
     let gs_b = generate::generate(&g, loss, &plan, &mut pool_b, &tables_b).unwrap();
     write_inputs(&g, &gs_b, &mut pool_b);
-    let thr = run_threaded(&plan, &gs_b, &mut pool_b, &mut model_b, ExecConfig::default());
+    let thr = run_threaded(
+        &plan,
+        &gs_b,
+        &mut pool_b,
+        &mut model_b,
+        ExecConfig::default(),
+    );
 
     assert!(
         (seq.loss - thr).abs() < 1e-3 * (1.0 + seq.loss.abs()),
@@ -74,8 +77,12 @@ fn check_threaded_matches_sequential<S>(
 fn tree_lstm_threaded_equals_sequential() {
     let mut model = Model::new(600);
     let arch = TreeLstm::register(&mut model, 80, 12, 12, 5);
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 80, min_len: 3, max_len: 7, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 80,
+        min_len: 3,
+        max_len: 7,
+        ..Default::default()
+    });
     let samples = bank.samples(3);
     check_threaded_matches_sequential(&arch, &model, &samples);
 }
@@ -84,8 +91,12 @@ fn tree_lstm_threaded_equals_sequential() {
 fn rvnn_threaded_equals_sequential() {
     let mut model = Model::new(601);
     let arch = Rvnn::register(&mut model, 60, 16, 5);
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 60, min_len: 2, max_len: 9, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 60,
+        min_len: 2,
+        max_len: 9,
+        ..Default::default()
+    });
     let samples = bank.samples(4);
     check_threaded_matches_sequential(&arch, &model, &samples);
 }
@@ -96,8 +107,12 @@ fn threaded_is_deterministic_up_to_float_reassociation() {
     // agree within tight tolerance run-to-run.
     let mut model = Model::new(602);
     let arch = TreeLstm::register(&mut model, 80, 12, 12, 5);
-    let mut bank =
-        Treebank::new(TreebankConfig { vocab: 80, min_len: 4, max_len: 8, ..Default::default() });
+    let mut bank = Treebank::new(TreebankConfig {
+        vocab: 80,
+        min_len: 4,
+        max_len: 8,
+        ..Default::default()
+    });
     let samples = bank.samples(2);
     let plan = KernelPlan::build(&model, &small_device(), 1).unwrap();
     let (g, loss) = build_batch(&arch, &model, &samples);
@@ -109,9 +124,18 @@ fn threaded_is_deterministic_up_to_float_reassociation() {
         let tables = TableLayout::install(&m, &mut pool).unwrap();
         let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).unwrap();
         write_inputs(&g, &gs, &mut pool);
-        losses.push(run_threaded(&plan, &gs, &mut pool, &mut m, ExecConfig::default()));
+        losses.push(run_threaded(
+            &plan,
+            &gs,
+            &mut pool,
+            &mut m,
+            ExecConfig::default(),
+        ));
     }
     for w in losses.windows(2) {
-        assert!((w[0] - w[1]).abs() < 1e-4, "threaded runs disagree: {losses:?}");
+        assert!(
+            (w[0] - w[1]).abs() < 1e-4,
+            "threaded runs disagree: {losses:?}"
+        );
     }
 }

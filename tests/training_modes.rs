@@ -62,7 +62,11 @@ fn weight_decay_flows_through_the_kernel_epilogue() {
     }
     for ((_, pa), (_, pb)) in vpps_model.params().zip(ref_model.params()) {
         for (x, y) in pa.value.as_slice().iter().zip(pb.value.as_slice()) {
-            assert!((x - y).abs() < 5e-3, "decayed parameter {} diverged", pa.name);
+            assert!(
+                (x - y).abs() < 5e-3,
+                "decayed parameter {} diverged",
+                pa.name
+            );
         }
     }
 }
@@ -91,7 +95,10 @@ fn synchronous_mode_same_math_more_wall_time() {
     for ((_, pa), (_, pb)) in m_async.params().zip(m_sync.params()) {
         assert_eq!(pa.value, pb.value);
     }
-    assert!(t_sync > t_async, "synchronous {t_sync} should exceed pipelined {t_async}");
+    assert!(
+        t_sync > t_async,
+        "synchronous {t_sync} should exceed pipelined {t_async}"
+    );
 }
 
 #[test]
@@ -118,7 +125,10 @@ fn profile_mode_trains_identically_to_fixed_rpw() {
     let (l_fixed, m_fixed) = run(RpwMode::Fixed(1));
     let (l_prof, m_prof) = run(RpwMode::Profile);
     for (a, b) in l_fixed.iter().zip(&l_prof) {
-        assert!((a - b).abs() < 1e-4, "profile mode changed the math: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-4,
+            "profile mode changed the math: {a} vs {b}"
+        );
     }
     for ((_, pa), (_, pb)) in m_fixed.params().zip(m_prof.params()) {
         for (x, y) in pa.value.as_slice().iter().zip(pb.value.as_slice()) {
