@@ -82,6 +82,7 @@ impl BaselineExecutor {
     ///
     /// Panics if `loss` is not a scalar node of `graph`.
     pub fn train_batch(&mut self, model: &mut Model, graph: &Graph, loss: NodeId) -> f32 {
+        let _span = vpps_obs::span("baseline.train_batch");
         // --- functional math (ground truth).
         let values = refexec::forward(graph, model);
         let loss_value = values[loss.index()][0];
@@ -94,21 +95,25 @@ impl BaselineExecutor {
         let mut kernel_count = 0usize;
         for group in &groups {
             if self.strategy.needs_gather() && group.len() > 1 {
+                let _s = vpps_obs::span("baseline.kernel_launch");
                 self.gpu.launch(&kernels::gather_kernel(graph, group));
                 kernel_count += 1;
             }
             for desc in kernels::forward_kernels(graph, model, group) {
+                let _s = vpps_obs::span("baseline.kernel_launch");
                 self.gpu.launch(&desc);
                 kernel_count += 1;
             }
         }
         for group in groups.iter().rev() {
             for desc in kernels::backward_kernels(graph, model, group) {
+                let _s = vpps_obs::span("baseline.kernel_launch");
                 self.gpu.launch(&desc);
                 kernel_count += 1;
             }
         }
         for (_, p) in model.params() {
+            let _s = vpps_obs::span("baseline.kernel_launch");
             self.gpu
                 .launch(&kernels::update_kernel(p.value.size_bytes() as u64));
             kernel_count += 1;

@@ -6,6 +6,7 @@ use gpu_sim::DeviceConfig;
 use vpps_baselines::Strategy;
 use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
 use vpps_bench::harness::{run_baseline, run_vpps};
+use vpps_bench::trajectory::write_bench_summary;
 
 fn small(kind: AppKind) -> AppInstance {
     let mut spec = AppSpec::paper(kind);
@@ -22,6 +23,7 @@ fn fig12(c: &mut Criterion) {
     let device = DeviceConfig::titan_v();
     let mut group = c.benchmark_group("fig12_other_apps");
     group.sample_size(10);
+    let mut results = Vec::new();
     for kind in [
         AppKind::BiLstm,
         AppKind::BiLstmChar,
@@ -39,6 +41,7 @@ fn fig12(c: &mut Criterion) {
             a.throughput,
             v.throughput / a.throughput
         );
+        results.extend([v, a]);
         group.bench_with_input(BenchmarkId::new("vpps", kind.name()), &app, |b, app| {
             b.iter(|| run_vpps(app, &device, 2, 1).throughput)
         });
@@ -47,6 +50,8 @@ fn fig12(c: &mut Criterion) {
         });
     }
     group.finish();
+    let path = write_bench_summary("fig12", &results).expect("write BENCH_fig12.json");
+    eprintln!("wrote {}", path.display());
 }
 
 criterion_group!(benches, fig12);

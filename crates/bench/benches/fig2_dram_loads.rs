@@ -6,6 +6,7 @@ use gpu_sim::DeviceConfig;
 use vpps_baselines::Strategy;
 use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
 use vpps_bench::harness::run_baseline;
+use vpps_bench::trajectory::write_bench_summary;
 
 fn small(kind: AppKind) -> AppInstance {
     let mut spec = AppSpec::paper(kind);
@@ -22,6 +23,7 @@ fn fig2(c: &mut Criterion) {
     let device = DeviceConfig::titan_v();
     let mut group = c.benchmark_group("fig2_dram_loads");
     group.sample_size(10);
+    let mut results = Vec::new();
     for kind in [AppKind::TreeLstm, AppKind::BiLstm, AppKind::Rvnn] {
         let app = small(kind);
         let r = run_baseline(&app, &device, 2, Strategy::AgendaBased);
@@ -30,11 +32,14 @@ fn fig2(c: &mut Criterion) {
             kind.name(),
             100.0 * r.weight_fraction
         );
+        results.push(r);
         group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &app, |b, app| {
             b.iter(|| run_baseline(app, &device, 2, Strategy::AgendaBased).weight_fraction)
         });
     }
     group.finish();
+    let path = write_bench_summary("fig2", &results).expect("write BENCH_fig2.json");
+    eprintln!("wrote {}", path.display());
 }
 
 criterion_group!(benches, fig2);

@@ -10,6 +10,7 @@ use gpu_sim::DeviceConfig;
 use vpps_baselines::Strategy;
 use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
 use vpps_bench::harness::{run_baseline, run_vpps};
+use vpps_bench::trajectory::write_bench_summary;
 
 fn bench_app() -> AppInstance {
     let mut spec = AppSpec::paper(AppKind::TreeLstm);
@@ -25,15 +26,19 @@ fn fig8(c: &mut Criterion) {
     let device = DeviceConfig::titan_v();
     let mut group = c.benchmark_group("fig8_treelstm");
     group.sample_size(10);
+    let mut results = Vec::new();
     for batch in [1usize, 4] {
         let v = run_vpps(&app, &device, batch, 1);
         let a = run_baseline(&app, &device, batch, Strategy::AgendaBased);
+        let d = run_baseline(&app, &device, batch, Strategy::DepthBased);
+        let t = run_baseline(&app, &device, batch, Strategy::TfFold);
         eprintln!(
             "fig8[batch {batch}]: VPPS {:.0}/s vs DyNet-AB {:.0}/s ({:.2}x)",
             v.throughput,
             a.throughput,
             v.throughput / a.throughput
         );
+        results.extend([v, a, d, t]);
         group.bench_with_input(BenchmarkId::new("vpps", batch), &batch, |b, &batch| {
             b.iter(|| run_vpps(&app, &device, batch, 1).throughput)
         });
@@ -48,6 +53,8 @@ fn fig8(c: &mut Criterion) {
         });
     }
     group.finish();
+    let path = write_bench_summary("fig8", &results).expect("write BENCH_fig8.json");
+    eprintln!("wrote {}", path.display());
 }
 
 criterion_group!(benches, fig8);

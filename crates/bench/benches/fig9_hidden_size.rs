@@ -6,11 +6,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::DeviceConfig;
 use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
 use vpps_bench::harness::run_vpps;
+use vpps_bench::trajectory::write_bench_summary;
 
 fn fig9(c: &mut Criterion) {
     let device = DeviceConfig::titan_v();
     let mut group = c.benchmark_group("fig9_hidden_size");
     group.sample_size(10);
+    let mut results = Vec::new();
     for hidden in [64usize, 128] {
         let mut spec = AppSpec::paper(AppKind::TreeLstm)
             .with_hidden(hidden)
@@ -24,11 +26,14 @@ fn fig9(c: &mut Criterion) {
             "fig9[hidden {hidden}]: {:.0} inputs/s, {ctas} CTA(s)/SM, rpw {rpw}",
             r.throughput
         );
+        results.push(r);
         group.bench_with_input(BenchmarkId::from_parameter(hidden), &app, |b, app| {
             b.iter(|| run_vpps(app, &device, 2, 1).throughput)
         });
     }
     group.finish();
+    let path = write_bench_summary("fig9", &results).expect("write BENCH_fig9.json");
+    eprintln!("wrote {}", path.display());
 }
 
 criterion_group!(benches, fig9);

@@ -6,6 +6,7 @@ use gpu_sim::DeviceConfig;
 use vpps_baselines::Strategy;
 use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
 use vpps_bench::harness::{run_baseline, run_vpps};
+use vpps_bench::trajectory::write_bench_summary;
 
 fn table1(c: &mut Criterion) {
     let device = DeviceConfig::titan_v();
@@ -18,6 +19,7 @@ fn table1(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table1_weight_traffic");
     group.sample_size(10);
+    let mut results = Vec::new();
     for batch in [1usize, 8] {
         let v = run_vpps(&app, &device, batch, 1);
         let a = run_baseline(&app, &device, batch, Strategy::AgendaBased);
@@ -27,6 +29,7 @@ fn table1(c: &mut Criterion) {
             a.weight_mb,
             a.weight_mb / v.weight_mb
         );
+        results.extend([v, a]);
         group.bench_with_input(BenchmarkId::new("vpps", batch), &batch, |b, &batch| {
             b.iter(|| run_vpps(&app, &device, batch, 1).weight_mb)
         });
@@ -35,6 +38,8 @@ fn table1(c: &mut Criterion) {
         });
     }
     group.finish();
+    let path = write_bench_summary("table1", &results).expect("write BENCH_table1.json");
+    eprintln!("wrote {}", path.display());
 }
 
 criterion_group!(benches, table1);

@@ -17,6 +17,13 @@
 //! partitions VPPs across all host cores, which shortens the `fig8`/`fig12`
 //! host wall time on multi-core machines without changing any reported
 //! number — every backend feeds the same unified metrics.
+//!
+//! `--emit-metrics=FILE` turns instrumentation on and writes the run's
+//! metric registry after the experiment: a versioned JSON snapshot, or
+//! Prometheus text exposition when FILE ends in `.prom`. `--emit-trace=FILE`
+//! writes the recorded host spans as Chrome `trace_event` JSON (load in
+//! chrome://tracing or https://ui.perfetto.dev). Both outputs are validated
+//! against their own schemas before the process exits.
 
 use gpu_sim::DeviceConfig;
 use vpps::BackendKind;
@@ -389,6 +396,73 @@ fn trace() {
     println!("open chrome://tracing or https://ui.perfetto.dev and load the file.");
 }
 
+/// Captures the metric registry and writes it to `path` (Prometheus text
+/// for `.prom`, versioned JSON snapshot otherwise). JSON snapshots are
+/// validated by parsing them back through their own schema.
+fn emit_metrics(path: &str, cmd: &str, backend: BackendKind, full: bool) {
+    let mut snap = vpps_obs::Snapshot::capture();
+    snap.set_extra("experiment", vpps_obs::Json::from(cmd));
+    snap.set_extra("backend", vpps_obs::Json::from(backend.name()));
+    snap.set_extra(
+        "scale",
+        vpps_obs::Json::from(if full { "full" } else { "quick" }),
+    );
+    let text = if path.ends_with(".prom") {
+        vpps_obs::to_prometheus_text(&snap)
+    } else {
+        let json = snap.to_json();
+        match vpps_obs::Snapshot::parse(&json) {
+            Ok(back) if back == snap => {}
+            Ok(_) => {
+                eprintln!("metrics snapshot did not round-trip losslessly");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("metrics snapshot failed self-validation: {e}");
+                std::process::exit(1);
+            }
+        }
+        json
+    };
+    std::fs::write(path, &text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "metrics: {} counters, {} gauges, {} histograms -> {path}",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len()
+    );
+}
+
+/// Writes the recorded host spans as Chrome trace-event JSON, validating
+/// the output before the process exits.
+fn emit_trace(path: &str) {
+    let spans = vpps_obs::snapshot_spans();
+    let mut chrome = vpps_obs::ChromeTrace::new();
+    chrome.add_host_spans(0, &spans);
+    let json = chrome.to_json();
+    if let Err(e) = vpps_obs::validate_chrome_trace(&json) {
+        eprintln!("host-span trace failed self-validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    let dropped = vpps_obs::dropped_spans();
+    println!(
+        "trace: {} host spans{} -> {path}",
+        chrome.len(),
+        if dropped > 0 {
+            format!(" ({dropped} dropped, ring full)")
+        } else {
+            String::new()
+        }
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -400,6 +474,17 @@ fn main() {
         }),
         None => BackendKind::default(),
     };
+    let metrics_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--emit-metrics="))
+        .map(str::to_owned);
+    let trace_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--emit-trace="))
+        .map(str::to_owned);
+    if metrics_path.is_some() || trace_path.is_some() {
+        vpps_obs::set_enabled(true);
+    }
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -435,10 +520,17 @@ fn main() {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|all] \
-                 [--full] [--backend=event-interp|threaded|parallel-interp]"
+                 [--full] [--backend=event-interp|threaded|parallel-interp] \
+                 [--emit-metrics=FILE[.prom]] [--emit-trace=FILE]"
             );
             std::process::exit(2);
         }
+    }
+    if let Some(path) = &metrics_path {
+        emit_metrics(path, cmd, backend, full);
+    }
+    if let Some(path) = &trace_path {
+        emit_trace(path);
     }
     println!("(completed in {:.1?} host wall time)", t0.elapsed());
 }

@@ -18,6 +18,8 @@
 pub mod apps;
 pub mod harness;
 pub mod report;
+pub mod trajectory;
 
 pub use apps::{AppInstance, AppKind, AppSpec};
 pub use harness::{profiled_rpw, run_baseline, run_vpps, RunResult};
+pub use trajectory::{validate_bench_summary, write_bench_summary, BenchRecord};

@@ -1,0 +1,202 @@
+//! Bench-trajectory emission: one `BENCH_<experiment>.json` per experiment.
+//!
+//! Every criterion bench (and the repro CLI's figure sweeps) condenses its
+//! [`RunResult`]s into [`BenchRecord`]s — the handful of headline numbers a
+//! regression tracker needs: throughput, DRAM bytes, launch count and the
+//! barrier-stall fraction. The file is a versioned JSON document
+//! ([`validate_bench_summary`] checks it) so CI can archive the artifacts
+//! and diff runs across commits.
+
+use std::io;
+use std::path::PathBuf;
+
+use vpps_obs::Json;
+
+use crate::harness::RunResult;
+
+/// Schema identifier written into every bench summary.
+pub const SCHEMA: &str = "vpps-bench-trajectory";
+
+/// Current schema version.
+pub const VERSION: u64 = 1;
+
+/// One system × batch-size headline row of an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// System name ("VPPS", "DyNet-AB", ...).
+    pub system: String,
+    /// Batch size.
+    pub batch: u64,
+    /// Inputs per simulated second.
+    pub throughput: f64,
+    /// Total DRAM bytes loaded.
+    pub dram_load_bytes: u64,
+    /// Total DRAM bytes stored.
+    pub dram_store_bytes: u64,
+    /// Weight-matrix bytes loaded (the paper's headline traffic number).
+    pub weight_load_bytes: u64,
+    /// Kernels launched.
+    pub launches: u64,
+    /// Barrier-stall time as a fraction of kernel time (0 when no kernel
+    /// time was recorded; always 0 for baselines, which have no barriers).
+    pub barrier_stall_fraction: f64,
+    /// Kernel time in simulated seconds.
+    pub kernel_time_s: f64,
+}
+
+impl BenchRecord {
+    /// Condenses one run into its headline row.
+    pub fn from_run(r: &RunResult) -> Self {
+        let kernel_ns = r.metrics.kernel_time.as_ns();
+        let stall_fraction = if kernel_ns > 0.0 {
+            r.metrics.barrier_stall.as_ns() / kernel_ns
+        } else {
+            0.0
+        };
+        BenchRecord {
+            system: r.system.clone(),
+            batch: r.batch_size as u64,
+            throughput: r.throughput,
+            dram_load_bytes: r.metrics.dram.total_loads(),
+            dram_store_bytes: r.metrics.dram.total_stores(),
+            weight_load_bytes: r.metrics.weight_load_bytes(),
+            launches: r.metrics.launches,
+            barrier_stall_fraction: stall_fraction,
+            kernel_time_s: r.metrics.kernel_time.as_secs(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("system", Json::from(self.system.as_str()));
+        o.set("batch", Json::from(self.batch));
+        o.set("throughput", Json::Num(self.throughput));
+        o.set("dram_load_bytes", Json::from(self.dram_load_bytes));
+        o.set("dram_store_bytes", Json::from(self.dram_store_bytes));
+        o.set("weight_load_bytes", Json::from(self.weight_load_bytes));
+        o.set("launches", Json::from(self.launches));
+        o.set(
+            "barrier_stall_fraction",
+            Json::Num(self.barrier_stall_fraction),
+        );
+        o.set("kernel_time_s", Json::Num(self.kernel_time_s));
+        o
+    }
+}
+
+/// Serializes an experiment's records into the versioned summary document.
+pub fn bench_summary_json(experiment: &str, results: &[RunResult]) -> String {
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from(SCHEMA));
+    doc.set("version", Json::from(VERSION));
+    doc.set("experiment", Json::from(experiment));
+    doc.set(
+        "records",
+        Json::Arr(
+            results
+                .iter()
+                .map(|r| BenchRecord::from_run(r).to_json())
+                .collect(),
+        ),
+    );
+    let mut out = String::new();
+    doc.write(&mut out);
+    out
+}
+
+/// Writes `BENCH_<experiment>.json`, validating the document before
+/// returning its path.
+///
+/// The file goes into `$VPPS_BENCH_DIR` when set, else the current
+/// directory. Note that `cargo bench` runs bench executables with the
+/// *package* root as cwd (`crates/bench/`), so CI sets `VPPS_BENCH_DIR`
+/// to collect artifacts from the workspace root.
+///
+/// # Errors
+///
+/// I/O failure writing the file, or (as [`io::ErrorKind::InvalidData`]) a
+/// summary that fails its own schema validation — a bug, not an
+/// environment problem.
+pub fn write_bench_summary(experiment: &str, results: &[RunResult]) -> io::Result<PathBuf> {
+    let json = bench_summary_json(experiment, results);
+    validate_bench_summary(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut path = std::env::var_os("VPPS_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    path.push(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, &json)?;
+    Ok(path)
+}
+
+/// Validates a bench summary document against the schema.
+///
+/// # Errors
+///
+/// Describes the first structural problem found.
+pub fn validate_bench_summary(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string \"schema\"".to_string())?;
+    if schema != SCHEMA {
+        return Err(format!("unknown schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "missing integer \"version\"".to_string())?;
+    if version != VERSION {
+        return Err(format!("unsupported version {version}, expected {VERSION}"));
+    }
+    doc.get("experiment")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string \"experiment\"".to_string())?;
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing array \"records\"".to_string())?;
+    for (i, rec) in records.iter().enumerate() {
+        let err = |what: &str| format!("record {i}: {what}");
+        rec.get("system")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing string \"system\""))?;
+        for key in [
+            "batch",
+            "dram_load_bytes",
+            "dram_store_bytes",
+            "weight_load_bytes",
+            "launches",
+        ] {
+            rec.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err(&format!("missing u64 {key:?}")))?;
+        }
+        for key in ["throughput", "barrier_stall_fraction", "kernel_time_s"] {
+            rec.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err(&format!("missing number {key:?}")))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_validates() {
+        let json = bench_summary_json("fig8", &[]);
+        validate_bench_summary(&json).unwrap();
+        assert!(json.contains("\"experiment\":\"fig8\""));
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema() {
+        let json = bench_summary_json("fig8", &[]).replace(SCHEMA, "nope");
+        assert!(validate_bench_summary(&json).is_err());
+        assert!(validate_bench_summary("{}").is_err());
+        assert!(validate_bench_summary("junk").is_err());
+    }
+}

@@ -407,6 +407,7 @@ impl ExecutionBackend for ParallelInterp {
             if wave.is_empty() {
                 continue;
             }
+            let _wave_span = vpps_obs::span("engine.wave");
             let stripe = wave.len().div_ceil(workers.min(wave.len()));
             let mut journal: Vec<JournalEntry> = std::thread::scope(|scope| {
                 let mut handles = Vec::new();

@@ -33,9 +33,10 @@ use dyn_graph::{Graph, Model, NodeId};
 use gpu_sim::{CostModel, GpuSim, ImbalanceHistogram, Metrics, SimTime, TrafficTag};
 use vpps_tensor::{Pool, PoolOffset};
 
+use vpps_obs::SimTrace;
+
 use crate::exec::interp::{ExecConfig, KernelRun};
 use crate::exec::regcache::RegCache;
-use crate::exec::trace::KernelTrace;
 use crate::script::GeneratedScript;
 use crate::specialize::{GradStrategy, KernelPlan};
 
@@ -129,8 +130,9 @@ impl<'a> Session<'a> {
         gs: &'a GeneratedScript,
         cfg: ExecConfig,
         cost: &CostModel,
-        trace: Option<&mut KernelTrace>,
+        trace: Option<&mut SimTrace>,
     ) -> Self {
+        let _span = vpps_obs::span("engine.prepare");
         let timeline = timeline::analyze(plan, gs, cost, trace);
         let geo = plan.distribution().geometry();
         let all_sms = geo.num_sms;
@@ -291,7 +293,7 @@ pub fn run_batch(
 }
 
 /// [`run_batch`] plus a full per-VPP instruction timeline for visualization
-/// (see [`crate::exec::trace`]).
+/// (a [`SimTrace`], exportable via [`SimTrace::to_chrome_json`]).
 ///
 /// # Panics
 ///
@@ -304,8 +306,8 @@ pub fn run_batch_traced(
     model: &mut Model,
     gpu: &mut GpuSim,
     cfg: ExecConfig,
-) -> (RunOutcome, KernelTrace) {
-    let mut trace = KernelTrace::default();
+) -> (RunOutcome, SimTrace) {
+    let mut trace = SimTrace::default();
     let session = Session::build(plan, gs, cfg, gpu.cost_model(), Some(&mut trace));
     let outcome = run_prepared(backend, &session, pool, model, gpu);
     (outcome, trace)
@@ -318,6 +320,10 @@ fn run_prepared(
     model: &mut Model,
     gpu: &mut GpuSim,
 ) -> RunOutcome {
+    let _span = vpps_obs::span("engine.run");
+    if vpps_obs::enabled() {
+        vpps_obs::counter(&format!("engine.batches.{}", backend.name())).incr();
+    }
     let dist = session.plan.distribution();
     let mut cache = RegCache::new(dist);
     cache.load_from_model(dist, model);

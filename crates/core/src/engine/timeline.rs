@@ -8,10 +8,12 @@
 //! then reuses the one [`TimelineReport`], which is how serial, threaded and
 //! parallel backends report bit-identical timing and traffic numbers.
 
+use std::collections::BTreeMap;
+
 use gpu_sim::{CostModel, SimTime};
+use vpps_obs::SimTrace;
 
 use crate::exec::semantics::instr_cost;
-use crate::exec::trace::{KernelTrace, TraceEvent};
 use crate::script::{GeneratedScript, Instr};
 use crate::specialize::KernelPlan;
 
@@ -26,6 +28,9 @@ pub struct TimelineReport {
     pub mean_vpp_time: SimTime,
     /// Total time VPPs spent blocked at `wait` instructions.
     pub barrier_stall: SimTime,
+    /// Per-VPP share of [`TimelineReport::barrier_stall`] — which processors
+    /// the level barriers actually held up.
+    pub vpp_stall: Vec<SimTime>,
     /// DRAM bytes read by compute instructions (activations).
     pub total_read_bytes: u64,
     /// DRAM bytes written by compute instructions (activations).
@@ -57,11 +62,12 @@ pub fn analyze(
     plan: &KernelPlan,
     gs: &GeneratedScript,
     cost: &CostModel,
-    mut trace: Option<&mut KernelTrace>,
+    mut trace: Option<&mut SimTrace>,
 ) -> TimelineReport {
     let dist = plan.distribution();
     let geo = dist.geometry();
     let num_vpps = geo.total_vpps();
+    let obs = vpps_obs::enabled();
 
     #[derive(Clone, Copy, Default)]
     struct Barrier {
@@ -75,6 +81,10 @@ pub fn analyze(
     let mut instructions = 0usize;
     let mut order = Vec::new();
     let mut barrier_stall = SimTime::ZERO;
+    let mut vpp_stall = vec![SimTime::ZERO; num_vpps];
+    // Per-mnemonic tallies accumulate locally; one counter add per class at
+    // the end keeps the sweep free of registry traffic.
+    let mut instr_classes: BTreeMap<&'static str, u64> = BTreeMap::new();
 
     // Each VPP fetches its own script section from DRAM into shared memory.
     let mut script_bytes = 0u64;
@@ -104,15 +114,12 @@ pub fn analyze(
                         let b = &barriers[barrier as usize];
                         if b.arrived >= needed {
                             let start = times[v];
-                            barrier_stall += times[v].max(b.release) - times[v];
+                            let stall = times[v].max(b.release) - times[v];
+                            barrier_stall += stall;
+                            vpp_stall[v] += stall;
                             times[v] = times[v].max(b.release) + cost.wait_poll_time();
                             if let Some(t) = trace.as_deref_mut() {
-                                t.events.push(TraceEvent {
-                                    vpp: v,
-                                    name: "wait",
-                                    start_ns: start.as_ns(),
-                                    dur_ns: (times[v] - start).as_ns(),
-                                });
+                                t.push(v, "wait", start.as_ns(), (times[v] - start).as_ns());
                             }
                             ips[v] += 1;
                             progress = true;
@@ -127,12 +134,7 @@ pub fn analyze(
                         b.arrived += 1;
                         b.release = b.release.max(times[v]);
                         if let Some(t) = trace.as_deref_mut() {
-                            t.events.push(TraceEvent {
-                                vpp: v,
-                                name: "signal",
-                                start_ns: start.as_ns(),
-                                dur_ns: (times[v] - start).as_ns(),
-                            });
+                            t.push(v, "signal", start.as_ns(), (times[v] - start).as_ns());
                         }
                         ips[v] += 1;
                         progress = true;
@@ -148,12 +150,15 @@ pub fn analyze(
                             geo.ctas_per_sm,
                         );
                         if let Some(t) = trace.as_deref_mut() {
-                            t.events.push(TraceEvent {
-                                vpp: v,
-                                name: instr.mnemonic(),
-                                start_ns: start.as_ns(),
-                                dur_ns: (times[v] - start).as_ns(),
-                            });
+                            t.push(
+                                v,
+                                instr.mnemonic(),
+                                start.as_ns(),
+                                (times[v] - start).as_ns(),
+                            );
+                        }
+                        if obs {
+                            *instr_classes.entry(instr.mnemonic()).or_insert(0) += 1;
                         }
                         order.push((v as u32, ips[v] as u32));
                         instructions += 1;
@@ -176,11 +181,23 @@ pub fn analyze(
     let mean_vpp_time =
         SimTime::from_ns(times.iter().map(|t| t.as_ns()).sum::<f64>() / num_vpps as f64);
 
+    if obs {
+        for (mnemonic, n) in &instr_classes {
+            vpps_obs::counter(&format!("engine.instr.{mnemonic}")).add(*n);
+        }
+        vpps_obs::counter("engine.barriers").add(gs.num_barriers as u64);
+        let stall_hist = vpps_obs::histogram("engine.vpp_stall_ns");
+        for s in &vpp_stall {
+            stall_hist.record(s.as_ns() as u64);
+        }
+    }
+
     TimelineReport {
         vpp_times: times,
         max_vpp_time,
         mean_vpp_time,
         barrier_stall,
+        vpp_stall,
         total_read_bytes: total_read,
         total_write_bytes: total_write,
         script_bytes,

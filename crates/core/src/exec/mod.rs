@@ -24,8 +24,7 @@ pub mod interp;
 pub mod regcache;
 pub mod semantics;
 pub mod threaded;
-pub mod trace;
 
 pub use interp::{run_persistent_kernel, run_persistent_kernel_traced, ExecConfig, KernelRun};
 pub use regcache::RegCache;
-pub use trace::{KernelTrace, TraceEvent};
+pub use vpps_obs::{SimSpan, SimTrace};

@@ -260,6 +260,7 @@ impl Handle {
     /// exhausts the device memory pool (size it via
     /// [`VppsOptions::pool_capacity`]).
     pub fn fb(&mut self, model: &mut Model, graph: &Graph, loss: NodeId) -> f32 {
+        let _span = vpps_obs::span("handle.fb");
         let plan = &self.plans[self.active];
 
         // --- host phases (modeled times; the work itself is real).

@@ -353,6 +353,7 @@ fn generate_inner(
     policy: SchedulePolicy,
     backward: bool,
 ) -> Result<GeneratedScript, VppsError> {
+    let _span = vpps_obs::span("script.generate");
     assert!(
         !backward || graph.node(loss).dim == 1,
         "loss must be a scalar node for backward generation"
@@ -853,6 +854,23 @@ fn generate_inner(
         loss,
         stages,
     };
+    if vpps_obs::enabled() {
+        vpps_obs::counter("script.instructions")
+            .add((forward_instructions + backward_instructions) as u64);
+        vpps_obs::counter("script.barriers").add(next_barrier as u64);
+        let (mut signals, mut waits) = (0u64, 0u64);
+        for v in 0..scripts.num_vpps() {
+            for i in scripts.script(v) {
+                match i {
+                    Instr::Signal { .. } => signals += 1,
+                    Instr::Wait { .. } => waits += 1,
+                    _ => {}
+                }
+            }
+        }
+        vpps_obs::counter("script.signal_instrs").add(signals);
+        vpps_obs::counter("script.wait_instrs").add(waits);
+    }
     Ok(GeneratedScript {
         scripts,
         layout,

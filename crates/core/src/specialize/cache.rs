@@ -98,12 +98,14 @@ impl PlanCache {
             // format changes); mismatches are treated as misses.
             if let Ok(stored) = fs::read_to_string(&path) {
                 if stored == plan.source().text() {
+                    vpps_obs::counter("specialize.cache_hit").incr();
                     return Ok((plan.with_cached_compile(), true));
                 }
             }
         }
         // Best-effort store; failures leave the cache cold but harmless.
         let _ = fs::write(&path, plan.source().text());
+        vpps_obs::counter("specialize.cache_miss").incr();
         Ok((plan, false))
     }
 

@@ -87,6 +87,7 @@ impl KernelPlan {
         rpw: usize,
         forced: Option<GradStrategy>,
     ) -> Result<Self, VppsError> {
+        let _span = vpps_obs::span("specialize.plan_build");
         let shapes: Vec<ParamShape> = model
             .params()
             .map(|(id, p)| ParamShape {
@@ -107,6 +108,9 @@ impl KernelPlan {
         };
         let mut last_err = VppsError::NoParameters;
         for &(ctas_per_sm, cache_grads) in attempts {
+            if vpps_obs::enabled() {
+                vpps_obs::counter("specialize.config_attempts").incr();
+            }
             let geometry = match DistGeometry::derive(device, ctas_per_sm, rpw, row_max) {
                 Ok(g) => g,
                 Err(e) => {
@@ -123,6 +127,10 @@ impl KernelPlan {
                     };
                     let source = KernelSource::generate(model, &distribution, grad_strategy);
                     let jit = JitCost::estimate(&source, &distribution);
+                    if vpps_obs::enabled() {
+                        vpps_obs::gauge("specialize.jit_compile_s")
+                            .set(jit.program_compile.as_secs());
+                    }
                     return Ok(Self {
                         distribution,
                         shapes,

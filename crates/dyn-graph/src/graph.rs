@@ -91,6 +91,12 @@ impl Graph {
                 "argument {a} does not exist yet (graphs are append-only)"
             );
         }
+        if vpps_obs::enabled() {
+            static NODES: std::sync::OnceLock<vpps_obs::Counter> = std::sync::OnceLock::new();
+            NODES
+                .get_or_init(|| vpps_obs::counter("graph.nodes"))
+                .incr();
+        }
         self.nodes.push(Node { op, args, dim });
         NodeId((self.nodes.len() - 1) as u32)
     }
@@ -285,6 +291,7 @@ impl Graph {
     /// of `other_root`. Used to build batch super-graphs from independently
     /// constructed per-input graphs.
     pub fn absorb(&mut self, other: &Graph, other_root: NodeId) -> NodeId {
+        let _span = vpps_obs::span("graph.absorb");
         let base = self.nodes.len() as u32;
         for node in &other.nodes {
             let mut n = node.clone();

@@ -58,6 +58,7 @@ impl Levels {
 /// Runs in O(nodes + edges); graphs are append-only so a single forward scan
 /// suffices.
 pub fn level_sort(graph: &Graph) -> Levels {
+    let _span = vpps_obs::span("graph.level_sort");
     let mut depth_of = vec![0u32; graph.len()];
     let mut max_depth = 0u32;
     for (id, node) in graph.iter() {

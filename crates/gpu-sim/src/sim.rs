@@ -1,9 +1,26 @@
 //! The simulated device: kernel launches, clock, statistics.
 
+use std::sync::OnceLock;
+
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
 use crate::dram::{Dram, TrafficTag};
 use crate::time::SimTime;
+
+/// Posts one kernel launch to the observability layer. Handles are cached:
+/// after the first resolution this is one flag load plus two atomic RMWs.
+fn obs_record_launch(total: SimTime) {
+    if vpps_obs::enabled() {
+        static LAUNCHES: OnceLock<vpps_obs::Counter> = OnceLock::new();
+        static KERNEL_NS: OnceLock<vpps_obs::Histogram> = OnceLock::new();
+        LAUNCHES
+            .get_or_init(|| vpps_obs::counter("gpusim.launches"))
+            .incr();
+        KERNEL_NS
+            .get_or_init(|| vpps_obs::histogram("gpusim.kernel_ns"))
+            .record(total.as_ns() as u64);
+    }
+}
 
 /// Description of one kernel launch submitted to the simulated device.
 ///
@@ -129,6 +146,7 @@ impl GpuSim {
         self.stats.launch_time += launch;
         let total = body + launch;
         self.now += total;
+        obs_record_launch(total);
         total
     }
 
@@ -142,6 +160,7 @@ impl GpuSim {
         self.stats.launch_time += launch;
         let total = body + launch;
         self.now += total;
+        obs_record_launch(total);
         total
     }
 
@@ -154,6 +173,12 @@ impl GpuSim {
         let t = self.cost.h2d_copy(bytes);
         self.stats.copy_time += t;
         self.now += t;
+        if vpps_obs::enabled() {
+            static BYTES: OnceLock<vpps_obs::Counter> = OnceLock::new();
+            BYTES
+                .get_or_init(|| vpps_obs::counter("gpusim.h2d_bytes"))
+                .add(bytes);
+        }
         t
     }
 

@@ -1,0 +1,12 @@
+//! Process-wide monotonic clock: nanoseconds since the first observation.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the process epoch (first call).
+pub(crate) fn now_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}

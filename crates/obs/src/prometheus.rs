@@ -1,0 +1,129 @@
+//! Prometheus text exposition of a metrics [`Snapshot`].
+//!
+//! Metric names are sanitized to the Prometheus charset (`.` becomes `_`);
+//! histograms are rendered as cumulative `_bucket` series with `le` labels
+//! taken from the log2 bucket bounds, followed by `_sum` and `_count`.
+
+use std::fmt::Write as _;
+
+use crate::metrics::bucket_upper_bound;
+use crate::snapshot::Snapshot;
+
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn to_prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (i, count) in h.buckets.iter().enumerate() {
+            cumulative += count;
+            match bucket_upper_bound(i) {
+                Some(le) => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                None => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        // A snapshot may carry fewer buckets than HIST_BUCKETS (hand-built
+        // in tests); the +Inf row is mandatory either way.
+        if h.buckets.len() < crate::metrics::HIST_BUCKETS {
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {cumulative}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::metrics::{HistogramSnapshot, HIST_BUCKETS};
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize("engine.vpp_stall_ns"), "engine_vpp_stall_ns");
+        assert_eq!(sanitize("a:b-c d"), "a:b_c_d");
+        assert_eq!(sanitize("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn counters_and_gauges_render_with_type_lines() {
+        let mut s = Snapshot::default();
+        s.counters.insert("gpusim.launches".into(), 42);
+        s.gauges.insert("specialize.jit_compile_s".into(), 0.5);
+        s.set_extra("ignored", Json::from("x"));
+        let text = to_prometheus_text(&s);
+        assert!(text.contains("# TYPE gpusim_launches counter\ngpusim_launches 42\n"));
+        assert!(
+            text.contains("# TYPE specialize_jit_compile_s gauge\nspecialize_jit_compile_s 0.5\n")
+        );
+        assert!(!text.contains("ignored"));
+    }
+
+    #[test]
+    fn histograms_are_cumulative_with_inf_bucket() {
+        let mut buckets = vec![0u64; HIST_BUCKETS];
+        buckets[0] = 1; // one zero-valued observation
+        buckets[2] = 2; // two observations in [2, 4)
+        let mut s = Snapshot::default();
+        s.histograms.insert(
+            "engine.vpp_stall_ns".into(),
+            HistogramSnapshot { buckets, sum: 6 },
+        );
+        let text = to_prometheus_text(&s);
+        assert!(text.contains("# TYPE engine_vpp_stall_ns histogram"));
+        assert!(text.contains("engine_vpp_stall_ns_bucket{le=\"0\"} 1"));
+        assert!(text.contains("engine_vpp_stall_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("engine_vpp_stall_ns_bucket{le=\"3\"} 3"));
+        assert!(text.contains("engine_vpp_stall_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("engine_vpp_stall_ns_sum 6"));
+        assert!(text.contains("engine_vpp_stall_ns_count 3"));
+    }
+
+    #[test]
+    fn short_histograms_still_get_an_inf_bucket() {
+        let mut s = Snapshot::default();
+        s.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                buckets: vec![1, 2],
+                sum: 2,
+            },
+        );
+        let text = to_prometheus_text(&s);
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("h_count 3"));
+    }
+}

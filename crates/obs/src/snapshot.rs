@@ -1,0 +1,225 @@
+//! Versioned JSON snapshot of the metrics registry.
+//!
+//! A [`Snapshot`] is a point-in-time copy of every registered metric plus
+//! free-form `extra` context (experiment name, backend, scale...). Its JSON
+//! form carries a `schema`/`version` pair so downstream tooling can reject
+//! files it does not understand, and [`Snapshot::parse`] round-trips the
+//! exact structure — the repro CLI validates every snapshot it emits by
+//! parsing it back.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::metrics::{registry_snapshot, HistogramSnapshot, MetricValue};
+
+/// Schema identifier written into every snapshot.
+pub const SCHEMA: &str = "vpps-obs-snapshot";
+
+/// Current schema version.
+pub const VERSION: u64 = 1;
+
+/// Point-in-time copy of the metrics registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram contents by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Free-form context (experiment name, backend, ...).
+    pub extra: BTreeMap<String, Json>,
+}
+
+impl Snapshot {
+    /// Captures the current values of every registered metric.
+    pub fn capture() -> Self {
+        let mut snap = Self::default();
+        for (name, value) in registry_snapshot() {
+            match value {
+                MetricValue::Counter(v) => {
+                    snap.counters.insert(name, v);
+                }
+                MetricValue::Gauge(v) => {
+                    snap.gauges.insert(name, v);
+                }
+                MetricValue::Histogram(h) => {
+                    snap.histograms.insert(name, h);
+                }
+            }
+        }
+        snap
+    }
+
+    /// Attaches one free-form context entry.
+    pub fn set_extra(&mut self, key: &str, value: Json) {
+        self.extra.insert(key.to_owned(), value);
+    }
+
+    /// Serializes to the versioned JSON object form.
+    pub fn to_json(&self) -> String {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Json::Arr(h.buckets.iter().map(|&b| Json::from(b)).collect());
+                    let mut obj = Json::obj();
+                    obj.set("buckets", buckets);
+                    obj.set("sum", Json::from(h.sum));
+                    (k.clone(), obj)
+                })
+                .collect(),
+        );
+        let extra = Json::Obj(
+            self.extra
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        let mut doc = Json::obj();
+        doc.set("schema", Json::from(SCHEMA));
+        doc.set("version", Json::from(VERSION));
+        doc.set("counters", counters);
+        doc.set("gauges", gauges);
+        doc.set("histograms", histograms);
+        doc.set("extra", extra);
+        let mut out = String::new();
+        doc.write(&mut out);
+        out
+    }
+
+    /// Parses the JSON form back, validating the schema and version.
+    ///
+    /// # Errors
+    ///
+    /// On malformed JSON, an unknown schema or version, or a structurally
+    /// invalid section.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing string \"schema\"".to_string())?;
+        if schema != SCHEMA {
+            return Err(format!("unknown schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing integer \"version\"".to_string())?;
+        if version != VERSION {
+            return Err(format!("unsupported version {version}, expected {VERSION}"));
+        }
+        let section = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("missing object {key:?}"))
+        };
+
+        let mut snap = Self::default();
+        for (name, v) in section("counters")? {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| format!("counter {name:?} is not a u64"))?;
+            snap.counters.insert(name.clone(), v);
+        }
+        for (name, v) in section("gauges")? {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| format!("gauge {name:?} is not a number"))?;
+            snap.gauges.insert(name.clone(), v);
+        }
+        for (name, h) in section("histograms")? {
+            let err = |what: &str| format!("histogram {name:?}: {what}");
+            let buckets = h
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err("missing array \"buckets\""))?
+                .iter()
+                .map(|b| b.as_u64().ok_or_else(|| err("non-u64 bucket")))
+                .collect::<Result<Vec<u64>, String>>()?;
+            let sum = h
+                .get("sum")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err("missing u64 \"sum\""))?;
+            snap.histograms
+                .insert(name.clone(), HistogramSnapshot { buckets, sum });
+        }
+        for (name, v) in section("extra")? {
+            snap.extra.insert(name.clone(), v.clone());
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("engine.barriers".into(), 12);
+        s.counters.insert("gpusim.launches".into(), 3);
+        s.gauges.insert("specialize.jit_compile_s".into(), 0.25);
+        s.histograms.insert(
+            "engine.vpp_stall_ns".into(),
+            HistogramSnapshot {
+                buckets: vec![1, 0, 2, 5],
+                sum: 123,
+            },
+        );
+        s.set_extra("experiment", Json::from("fig8"));
+        s.set_extra("batch", Json::from(64u64));
+        s
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = sample();
+        let json = s.to_json();
+        let back = Snapshot::parse(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let s = Snapshot::default();
+        assert_eq!(Snapshot::parse(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn schema_and_version_are_enforced() {
+        let mut json = sample().to_json();
+        assert!(Snapshot::parse(&json).is_ok());
+        json = json.replace("vpps-obs-snapshot", "other-schema");
+        assert!(Snapshot::parse(&json).unwrap_err().contains("schema"));
+        let json = sample()
+            .to_json()
+            .replace("\"version\":1", "\"version\":99");
+        assert!(Snapshot::parse(&json).unwrap_err().contains("version"));
+        assert!(Snapshot::parse("{}").is_err());
+        assert!(Snapshot::parse("[1,2]").is_err());
+    }
+
+    #[test]
+    fn capture_reflects_the_registry() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::counter("test.snapshot.counter").add(7);
+        crate::set_enabled(false);
+        let snap = Snapshot::capture();
+        assert_eq!(snap.counters.get("test.snapshot.counter"), Some(&7));
+    }
+}

@@ -1,0 +1,204 @@
+//! Hierarchical spans recorded into a bounded global ring buffer.
+//!
+//! [`span`] returns an RAII guard; the interval is recorded when the guard
+//! drops. Each thread gets its own *track* (assigned lazily), and a
+//! per-thread depth counter makes nesting explicit in the recorded events —
+//! a span opened while another is live on the same thread has a strictly
+//! greater depth, so well-nestedness is a structural invariant rather than a
+//! convention.
+//!
+//! When instrumentation is disabled ([`crate::enabled`] is `false`), a span
+//! is an inert value: no clock read, no lock, no allocation.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::clock::now_ns;
+use crate::enabled;
+
+/// Capacity of the global span ring buffer. When full, the oldest events are
+/// overwritten (and counted by [`dropped_spans`]).
+pub const SPAN_RING_CAPACITY: usize = 1 << 16;
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static span name (e.g. `"engine.run"`).
+    pub name: &'static str,
+    /// Track (thread) the span ran on.
+    pub track: u32,
+    /// Nesting depth on its track at open time (0 = top level).
+    pub depth: u32,
+    /// Start, monotonic nanoseconds since the process epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Global completion sequence number (monotonically increasing).
+    pub seq: u64,
+}
+
+impl SpanEvent {
+    /// End timestamp (start + duration).
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+struct Ring {
+    events: VecDeque<SpanEvent>,
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring {
+    events: VecDeque::new(),
+});
+static NEXT_TRACK: AtomicU32 = AtomicU32::new(0);
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TRACK: Cell<u32> = const { Cell::new(u32::MAX) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The calling thread's track id (assigned on first use).
+pub fn current_track() -> u32 {
+    TRACK.with(|t| {
+        if t.get() == u32::MAX {
+            t.set(NEXT_TRACK.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// Opens a span named `name`; the interval ends when the returned guard
+/// drops. Inert (and free) when instrumentation is disabled.
+#[must_use = "a span records its interval when the guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            name,
+            track: 0,
+            depth: 0,
+            start_ns: 0,
+            active: false,
+        };
+    }
+    let track = current_track();
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    SpanGuard {
+        name,
+        track,
+        depth,
+        start_ns: now_ns(),
+        active: true,
+    }
+}
+
+/// RAII guard returned by [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    track: u32,
+    depth: u32,
+    start_ns: u64,
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let event = SpanEvent {
+            name: self.name,
+            track: self.track,
+            depth: self.depth,
+            start_ns: self.start_ns,
+            dur_ns: now_ns().saturating_sub(self.start_ns),
+            seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+        };
+        let mut ring = RING.lock().unwrap();
+        if ring.events.len() == SPAN_RING_CAPACITY {
+            ring.events.pop_front();
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.events.push_back(event);
+    }
+}
+
+/// Copies the ring buffer's current contents (oldest first, i.e. by
+/// completion order). Non-destructive, so concurrent recorders — other test
+/// threads, say — are unaffected; filter by [`SpanEvent::track`] to isolate
+/// one thread's spans.
+pub fn snapshot_spans() -> Vec<SpanEvent> {
+    RING.lock().unwrap().events.iter().copied().collect()
+}
+
+/// Empties the ring buffer and resets the dropped-event count.
+pub fn clear_spans() {
+    RING.lock().unwrap().events.clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+/// Events overwritten because the ring was full.
+pub fn dropped_spans() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_enabled;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = crate::test_lock();
+        set_enabled(false);
+        let before = snapshot_spans().len();
+        {
+            let _a = span("outer");
+            let _b = span("inner");
+        }
+        assert_eq!(snapshot_spans().len(), before);
+    }
+
+    #[test]
+    fn nested_spans_record_depth_and_nesting() {
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        let track = current_track();
+        {
+            let _a = span("outer-test-span");
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            {
+                let _b = span("inner-test-span");
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+        set_enabled(false);
+        let mine: Vec<SpanEvent> = snapshot_spans()
+            .into_iter()
+            .filter(|e| e.track == track && e.name.ends_with("-test-span"))
+            .collect();
+        let outer = mine.iter().find(|e| e.name == "outer-test-span").unwrap();
+        let inner = mine.iter().find(|e| e.name == "inner-test-span").unwrap();
+        assert_eq!(inner.depth, outer.depth + 1);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+        assert!(inner.seq < outer.seq, "inner drops before outer");
+    }
+
+    #[test]
+    fn threads_get_distinct_tracks() {
+        let here = current_track();
+        let there = std::thread::spawn(current_track).join().unwrap();
+        assert_ne!(here, there);
+    }
+}

@@ -1,0 +1,240 @@
+//! Invariants of the observability layer under real workloads:
+//!
+//! * per-traffic-class DRAM bytes always sum to the totals;
+//! * all three execution backends report identical unified metrics *with
+//!   instrumentation enabled* (the obs hooks must not perturb the analytic
+//!   path);
+//! * recorded span trees are well-nested with monotonic timestamps;
+//! * metric snapshots survive a JSON round-trip through their versioned
+//!   schema.
+//!
+//! Reuses the random-graph generators shared with the backend-equivalence
+//! and reference-agreement suites. Tests that enable the global obs flag
+//! filter spans by their own thread's track, so parallel test threads do
+//! not interfere.
+
+use dyn_graph::Model;
+use gpu_sim::{GpuSim, Metrics, TrafficTag};
+use proptest::prelude::*;
+use vpps::engine;
+use vpps::exec::interp::ExecConfig;
+use vpps::script::{generate, TableLayout};
+use vpps::{BackendKind, KernelPlan};
+use vpps_obs::HistogramSnapshot;
+
+#[path = "support/graphgen.rs"]
+mod graphgen;
+use graphgen::{arb_recipe, build_from_recipe, small_device, GraphRecipe, DIM};
+
+/// Runs one recipe end-to-end on one backend with a fresh model, pool and
+/// device, returning the batch metrics.
+fn run_on_backend(recipe: &GraphRecipe, kind: BackendKind) -> Metrics {
+    let mut model = Model::new(987);
+    model.add_matrix("W1", DIM, DIM);
+    model.add_matrix("W2", DIM, DIM);
+    model.add_bias("b", DIM);
+    let (g, loss) = build_from_recipe(&model, recipe);
+
+    let plan = KernelPlan::build(&model, &small_device(), 1).expect("tiny model fits");
+    let mut pool = vpps_tensor::Pool::with_capacity(1 << 18);
+    let tables = TableLayout::install(&model, &mut pool).expect("pool big enough");
+    let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
+    for (id, node) in g.iter() {
+        if let dyn_graph::Op::Input { values } = &node.op {
+            pool.slice_mut(gs.layout.value_off[id.index()], node.dim)
+                .copy_from_slice(values);
+        }
+    }
+    let mut gpu = GpuSim::new(small_device());
+    let run = engine::run_batch(
+        kind.backend(),
+        &plan,
+        &gs,
+        &mut pool,
+        &mut model,
+        &mut gpu,
+        ExecConfig {
+            learning_rate: 0.05,
+            weight_decay: 0.0,
+            apply_update: true,
+        },
+    );
+    run.metrics
+}
+
+fn assert_dram_sums(metrics: &Metrics) {
+    let load_sum: u64 = TrafficTag::ALL.iter().map(|&t| metrics.dram.loads(t)).sum();
+    let store_sum: u64 = TrafficTag::ALL
+        .iter()
+        .map(|&t| metrics.dram.stores(t))
+        .sum();
+    assert_eq!(load_sum, metrics.dram.total_loads(), "load classes sum");
+    assert_eq!(store_sum, metrics.dram.total_stores(), "store classes sum");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-class DRAM bytes sum to the totals on any random graph.
+    #[test]
+    fn dram_classes_sum_to_totals(recipe in arb_recipe()) {
+        let metrics = run_on_backend(&recipe, BackendKind::EventInterp);
+        assert_dram_sums(&metrics);
+        prop_assert!(metrics.dram.total_loads() > 0, "a batch always loads weights");
+    }
+
+    /// With instrumentation ON, all three backends still report identical
+    /// unified metrics — the obs hooks sit outside the analytic path.
+    #[test]
+    fn backends_report_identical_metrics_under_instrumentation(recipe in arb_recipe()) {
+        vpps_obs::set_enabled(true);
+        let reference = run_on_backend(&recipe, BackendKind::EventInterp);
+        let outcome = [BackendKind::Threaded, BackendKind::ParallelInterp]
+            .map(|kind| run_on_backend(&recipe, kind));
+        vpps_obs::set_enabled(false);
+        for (kind, metrics) in [BackendKind::Threaded, BackendKind::ParallelInterp]
+            .iter()
+            .zip(outcome.iter())
+        {
+            for &tag in &TrafficTag::ALL {
+                prop_assert_eq!(
+                    metrics.dram.loads(tag), reference.dram.loads(tag),
+                    "{:?} loads[{:?}]", kind, tag
+                );
+                prop_assert_eq!(
+                    metrics.dram.stores(tag), reference.dram.stores(tag),
+                    "{:?} stores[{:?}]", kind, tag
+                );
+            }
+            prop_assert_eq!(metrics.launches, reference.launches);
+            prop_assert_eq!(
+                metrics.kernel_time.as_ns().to_bits(),
+                reference.kernel_time.as_ns().to_bits(),
+                "{:?} kernel_time", kind
+            );
+            prop_assert_eq!(
+                metrics.barrier_stall.as_ns().to_bits(),
+                reference.barrier_stall.as_ns().to_bits(),
+                "{:?} barrier_stall", kind
+            );
+            assert_dram_sums(metrics);
+        }
+    }
+
+    /// A metric snapshot built from arbitrary contents survives the JSON
+    /// round-trip through its versioned schema.
+    #[test]
+    fn snapshot_round_trips(
+        counters in prop::collection::vec(0u64..(1 << 53), 0..6),
+        gauges in prop::collection::vec(any::<f64>(), 0..6),
+        hists in prop::collection::vec(
+            (prop::collection::vec(0u64..(1 << 53), 1..40), 0u64..(1 << 53)),
+            0..4,
+        ),
+    ) {
+        // Counts stay below 2^53: the snapshot format stores numbers as
+        // JSON doubles, so only that range round-trips exactly (real
+        // registry counts never approach it). NaN/Inf gauges likewise
+        // cannot round-trip (no JSON literals for them); the registry
+        // never produces them from counters/times, so map them out.
+        let mut snap = vpps_obs::Snapshot::default();
+        for (i, v) in counters.into_iter().enumerate() {
+            snap.counters.insert(format!("test.counter.{i}"), v);
+        }
+        for (i, v) in gauges.into_iter().enumerate() {
+            let v = if v.is_finite() { v } else { 0.0 };
+            snap.gauges.insert(format!("test.gauge.{i}"), v);
+        }
+        for (i, (buckets, sum)) in hists.into_iter().enumerate() {
+            snap.histograms
+                .insert(format!("test.hist.{i}"), HistogramSnapshot { buckets, sum });
+        }
+        snap.set_extra("experiment", vpps_obs::Json::from("prop"));
+        let back = vpps_obs::Snapshot::parse(&snap.to_json());
+        prop_assert_eq!(back.as_ref(), Ok(&snap));
+    }
+}
+
+/// Spans recorded while driving a real batch are well-nested per track and
+/// carry monotonic timestamps.
+#[test]
+fn span_trees_are_well_nested_and_monotonic() {
+    vpps_obs::set_enabled(true);
+    let track = vpps_obs::current_track();
+    let recipe = GraphRecipe {
+        ops: vec![0, 3, 1, 6, 4, 7, 2],
+        picks: vec![7; 30],
+        label: 1,
+    };
+    run_on_backend(&recipe, BackendKind::EventInterp);
+    vpps_obs::set_enabled(false);
+
+    let mine: Vec<vpps_obs::SpanEvent> = vpps_obs::snapshot_spans()
+        .into_iter()
+        .filter(|e| e.track == track)
+        .collect();
+    assert!(
+        mine.iter().any(|e| e.name == "engine.prepare"),
+        "engine spans recorded"
+    );
+    assert!(
+        mine.iter().any(|e| e.name == "script.generate"),
+        "script spans recorded"
+    );
+
+    for e in &mine {
+        assert!(e.end_ns() >= e.start_ns, "span {e:?} runs backwards");
+    }
+    // Well-nested: any two spans on one track either nest or are disjoint,
+    // and true containment implies greater depth.
+    for (i, a) in mine.iter().enumerate() {
+        for b in mine.iter().skip(i + 1) {
+            let disjoint = a.end_ns() <= b.start_ns || b.end_ns() <= a.start_ns;
+            let a_in_b = b.start_ns <= a.start_ns && a.end_ns() <= b.end_ns();
+            let b_in_a = a.start_ns <= b.start_ns && b.end_ns() <= a.end_ns();
+            assert!(
+                disjoint || a_in_b || b_in_a,
+                "spans {a:?} and {b:?} partially overlap"
+            );
+            if a_in_b && a.start_ns > b.start_ns && a.end_ns() < b.end_ns() {
+                assert!(
+                    a.depth > b.depth,
+                    "contained span {a:?} not deeper than {b:?}"
+                );
+            }
+            if b_in_a && b.start_ns > a.start_ns && b.end_ns() < a.end_ns() {
+                assert!(
+                    b.depth > a.depth,
+                    "contained span {b:?} not deeper than {a:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The Chrome exporter renders those same spans as a trace that validates.
+#[test]
+fn host_spans_export_as_valid_chrome_trace() {
+    vpps_obs::set_enabled(true);
+    let track = vpps_obs::current_track();
+    let recipe = GraphRecipe {
+        ops: vec![0, 1, 2, 3],
+        picks: vec![3; 30],
+        label: 0,
+    };
+    run_on_backend(&recipe, BackendKind::EventInterp);
+    vpps_obs::set_enabled(false);
+
+    let mine: Vec<vpps_obs::SpanEvent> = vpps_obs::snapshot_spans()
+        .into_iter()
+        .filter(|e| e.track == track)
+        .collect();
+    assert!(!mine.is_empty());
+    let mut chrome = vpps_obs::ChromeTrace::new();
+    chrome.add_host_spans(0, &mine);
+    let json = chrome.to_json();
+    assert_eq!(
+        vpps_obs::validate_chrome_trace(&json).expect("valid chrome trace"),
+        mine.len()
+    );
+}
