@@ -1,0 +1,196 @@
+//! Load generator for the `vpps-serve` serving layer.
+//!
+//! ```text
+//! cargo run -p vpps-bench --release --bin loadgen -- --requests 500 --seed 7
+//! ```
+//!
+//! Issues a deterministic multi-tenant request trace (open-loop Poisson by
+//! default, closed-loop with `--closed-loop N`) against a serving instance
+//! with a warm Tree-LSTM handle, then prints the serving report: goodput,
+//! p50/p95/p99 latency, batch-size distribution, shed counts.
+//!
+//! Flags for CI smoke runs:
+//!
+//! * `--fail-on-shed` — exit non-zero if any request was shed. At the
+//!   default (low) offered load the server must complete everything.
+//! * `--verify-determinism` — run the scenario twice and exit non-zero
+//!   unless both runs serialize to byte-identical trajectory records.
+//! * `--emit=FILE` — write the run's `BENCH_*.json` trajectory document
+//!   (schema-validated) to FILE; with `--emit=-` print it to stdout.
+
+use vpps::BackendKind;
+use vpps_bench::serve_bench::{run_scenario, ServeScenario};
+use vpps_serve::{serve_summary_json, validate_serve_summary, ServeRecord};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--requests N] [--seed N] [--rate RPS] [--tenants N]\n\
+         \x20              [--batch-max N] [--linger-us F] [--no-batching]\n\
+         \x20              [--train-fraction F] [--deadline-us F] [--closed-loop N]\n\
+         \x20              [--queue-cap N] [--tenant-quota N] [--hidden N]\n\
+         \x20              [--backend event-interp|threaded|parallel-interp]\n\
+         \x20              [--label S] [--emit FILE|-] [--fail-on-shed]\n\
+         \x20              [--verify-determinism]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    scenario: ServeScenario,
+    emit: Option<String>,
+    fail_on_shed: bool,
+    verify_determinism: bool,
+}
+
+fn parse_args() -> Args {
+    let mut sc = ServeScenario {
+        label: "loadgen".to_owned(),
+        ..ServeScenario::default()
+    };
+    let mut emit = None;
+    let mut fail_on_shed = false;
+    let mut verify_determinism = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    // Flags accept both `--flag value` and `--flag=value`.
+    let value = |i: &mut usize, arg: &str| -> String {
+        if let Some((_, v)) = arg.split_once('=') {
+            return v.to_owned();
+        }
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        let arg = argv[i].clone();
+        let key = arg.split_once('=').map_or(arg.as_str(), |(k, _)| k);
+        let parse_num = |s: String| -> f64 {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("invalid number {s:?} for {key}");
+                std::process::exit(2);
+            })
+        };
+        match key {
+            "--requests" => sc.requests = parse_num(value(&mut i, &arg)) as usize,
+            "--seed" => sc.seed = parse_num(value(&mut i, &arg)) as u64,
+            "--rate" => sc.rate_rps = parse_num(value(&mut i, &arg)),
+            "--tenants" => sc.tenants = (parse_num(value(&mut i, &arg)) as u32).max(1),
+            "--batch-max" => sc.max_batch = (parse_num(value(&mut i, &arg)) as usize).max(1),
+            "--linger-us" => sc.linger_us = parse_num(value(&mut i, &arg)),
+            "--no-batching" => sc.max_batch = 1,
+            "--train-fraction" => sc.train_fraction = parse_num(value(&mut i, &arg)),
+            "--deadline-us" => sc.deadline_us = Some(parse_num(value(&mut i, &arg))),
+            "--closed-loop" => sc.closed_clients = Some(parse_num(value(&mut i, &arg)) as usize),
+            "--queue-cap" => sc.queue_capacity = parse_num(value(&mut i, &arg)) as usize,
+            "--tenant-quota" => sc.tenant_quota = parse_num(value(&mut i, &arg)) as usize,
+            "--hidden" => sc.hidden = (parse_num(value(&mut i, &arg)) as usize).max(8),
+            "--label" => sc.label = value(&mut i, &arg),
+            "--backend" => {
+                let name = value(&mut i, &arg);
+                sc.backend = name.parse::<BackendKind>().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--emit" => emit = Some(value(&mut i, &arg)),
+            "--fail-on-shed" => fail_on_shed = true,
+            "--verify-determinism" => verify_determinism = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    Args {
+        scenario: sc,
+        emit,
+        fail_on_shed,
+        verify_determinism,
+    }
+}
+
+fn print_report(rec: &ServeRecord) {
+    let r = &rec.report;
+    println!(
+        "scenario '{}' on backend {} — offered {:.0} rps",
+        rec.label, rec.backend, rec.offered_rps
+    );
+    println!(
+        "  requests: {} offered, {} completed ({} in deadline), {} shed",
+        r.offered,
+        r.completed,
+        r.good,
+        r.total_shed()
+    );
+    for (reason, n) in &r.shed {
+        if *n > 0 {
+            println!("    shed[{reason}]: {n}");
+        }
+    }
+    println!(
+        "  goodput: {:.0} rps (throughput {:.0} rps) over {:.3} ms makespan",
+        r.goodput_rps,
+        r.throughput_rps,
+        r.makespan_s * 1e3
+    );
+    println!(
+        "  batches: {} dispatched, mean size {:.2}, distribution {:?}",
+        r.batches, r.mean_batch, r.batch_sizes
+    );
+    println!(
+        "  e2e latency: p50 {:.1} us, p95 {:.1} us, p99 {:.1} us, max {:.1} us",
+        r.e2e.p50_us, r.e2e.p95_us, r.e2e.p99_us, r.e2e.max_us
+    );
+    println!(
+        "  queue wait:  p50 {:.1} us, p95 {:.1} us, p99 {:.1} us",
+        r.queue_wait.p50_us, r.queue_wait.p95_us, r.queue_wait.p99_us
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = std::time::Instant::now();
+    let rec = run_scenario(&args.scenario);
+    let json = serve_summary_json(&args.scenario.label, std::slice::from_ref(&rec));
+    if let Err(e) = validate_serve_summary(&json) {
+        eprintln!("trajectory failed self-validation: {e}");
+        std::process::exit(1);
+    }
+    print_report(&rec);
+
+    let mut failed = false;
+    if args.verify_determinism {
+        let again = run_scenario(&args.scenario);
+        let json2 = serve_summary_json(&args.scenario.label, std::slice::from_ref(&again));
+        if json == json2 {
+            println!("determinism: two runs produced byte-identical trajectories");
+        } else {
+            eprintln!("DETERMINISM FAILURE: same seed, different trajectories");
+            failed = true;
+        }
+    }
+    if args.fail_on_shed && rec.report.total_shed() > 0 {
+        eprintln!(
+            "SHED FAILURE: {} requests shed at offered load {:.0} rps",
+            rec.report.total_shed(),
+            rec.offered_rps
+        );
+        failed = true;
+    }
+    if let Some(path) = &args.emit {
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("trajectory -> {path}");
+        }
+    }
+    println!("(completed in {:.1?} host wall time)", t0.elapsed());
+    if failed {
+        std::process::exit(1);
+    }
+}

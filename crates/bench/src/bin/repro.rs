@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Subcommands: `fig2`, `fig8`, `fig9`, `fig10`, `fig12`, `table1`,
-//! `table2`, `all`, and `trace` (writes a Chrome trace of one Tree-LSTM
+//! `table2`, `all`, `serve` (serving-layer batching experiment writing
+//! `BENCH_serve.json`), and `trace` (writes a Chrome trace of one Tree-LSTM
 //! persistent kernel to `vpps_kernel_trace.json`). `--full` uses the
 //! paper's 128-input workloads; the default "quick" scale keeps every trend
 //! visible while running in minutes on one CPU core.
@@ -31,6 +32,8 @@ use vpps_baselines::Strategy;
 use vpps_bench::apps::{AppInstance, AppKind, AppSpec};
 use vpps_bench::harness::{profiled_rpw, run_baseline, run_vpps_with, RunResult};
 use vpps_bench::report::{fmt_mb, fmt_ratio, fmt_tput, render_table};
+use vpps_bench::serve_bench::{run_scenario, ServeScenario};
+use vpps_serve::write_serve_summary;
 
 #[derive(Clone, Copy)]
 struct Scale {
@@ -396,6 +399,85 @@ fn trace() {
     println!("open chrome://tracing or https://ui.perfetto.dev and load the file.");
 }
 
+/// Serving-layer experiment: shape-bucketed dynamic batching vs batch-1
+/// dispatch at a saturating offered load, plus a low-load sanity row.
+/// Writes `BENCH_serve.json` (honoring `$VPPS_BENCH_DIR`).
+fn serve(full: bool, backend: BackendKind) {
+    println!("Serve — multi-tenant batched serving vs per-request dispatch");
+    println!("(Tree-LSTM inference; open-loop Poisson arrivals on the virtual clock)\n");
+    let requests = if full { 500 } else { 160 };
+    let hidden = if full { 128 } else { 64 };
+    let base = ServeScenario {
+        requests,
+        hidden,
+        backend,
+        ..ServeScenario::default()
+    };
+    let saturating = 5_000_000.0;
+    let records = vec![
+        run_scenario(&ServeScenario {
+            label: "no-batching".to_owned(),
+            rate_rps: saturating,
+            max_batch: 1,
+            ..base.clone()
+        }),
+        run_scenario(&ServeScenario {
+            label: "batching".to_owned(),
+            rate_rps: saturating,
+            max_batch: 16,
+            ..base.clone()
+        }),
+        run_scenario(&ServeScenario {
+            label: "low-load".to_owned(),
+            rate_rps: 2_000.0,
+            ..base.clone()
+        }),
+    ];
+    let mut rows = Vec::new();
+    for rec in &records {
+        let r = &rec.report;
+        rows.push(vec![
+            rec.label.clone(),
+            format!("{:.0}", rec.offered_rps),
+            format!("{:.0}", r.goodput_rps),
+            format!("{:.2}", r.mean_batch),
+            format!("{:.0}", r.e2e.p50_us),
+            format!("{:.0}", r.e2e.p99_us),
+            format!("{}", r.total_shed()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Serve",
+            &[
+                "scenario",
+                "offered rps",
+                "goodput rps",
+                "mean batch",
+                "p50 us",
+                "p99 us",
+                "shed"
+            ],
+            &rows
+        )
+    );
+    let single = records[0].report.goodput_rps;
+    let batched = records[1].report.goodput_rps;
+    println!(
+        "Batching goodput is {} batch-1 dispatch at the same offered load;",
+        fmt_ratio(batched / single.max(1.0))
+    );
+    println!("the low-load row must complete everything with zero shed.\n");
+    match write_serve_summary("serve", &records) {
+        Ok(path) => println!("serving trajectory -> {}\n", path.display()),
+        Err(e) => {
+            eprintln!("cannot write serving trajectory: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Captures the metric registry and writes it to `path` (Prometheus text
 /// for `.prom`, versioned JSON snapshot otherwise). JSON snapshots are
 /// validated by parsing them back through their own schema.
@@ -507,6 +589,7 @@ fn main() {
         "table1" => table1(&scale, backend),
         "table2" => table2(),
         "trace" => trace(),
+        "serve" => serve(full, backend),
         "all" => {
             table2();
             fig2(&scale);
@@ -515,11 +598,12 @@ fn main() {
             fig9(&scale, backend);
             fig10(&scale, backend);
             fig12(&scale, backend);
+            serve(full, backend);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|all] \
+                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|serve|all] \
                  [--full] [--backend=event-interp|threaded|parallel-interp] \
                  [--emit-metrics=FILE[.prom]] [--emit-trace=FILE]"
             );

@@ -18,8 +18,10 @@
 pub mod apps;
 pub mod harness;
 pub mod report;
+pub mod serve_bench;
 pub mod trajectory;
 
 pub use apps::{AppInstance, AppKind, AppSpec};
 pub use harness::{profiled_rpw, run_baseline, run_vpps, RunResult};
+pub use serve_bench::{run_scenario, ServeScenario, ServeWorkload};
 pub use trajectory::{validate_bench_summary, write_bench_summary, BenchRecord};

@@ -8,6 +8,12 @@
 //! `Instant`-based mean over the configured sample count — enough for the
 //! relative regression tracking the benches exist for, without upstream's
 //! statistical machinery.
+//!
+//! Setting `VPPS_BENCH_QUICK` (to anything but `0` or the empty string)
+//! caps every group's sample count at 2, so CI smoke jobs can execute every
+//! bench end to end — including the side-effecting trajectory writes — in
+//! seconds instead of minutes. Timing quality is irrelevant in that mode;
+//! the artifacts are the point.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -21,13 +27,17 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds an id like `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
-        Self { name: format!("{}/{}", name.into(), parameter) }
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// Builds an id from the parameter alone (upstream prints it under the
     /// group name).
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { name: parameter.to_string() }
+        Self {
+            name: parameter.to_string(),
+        }
     }
 }
 
@@ -60,21 +70,37 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
 }
 
+/// True when `VPPS_BENCH_QUICK` asks for the smoke-test sample cap.
+fn quick_mode() -> bool {
+    std::env::var("VPPS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 impl BenchmarkGroup<'_> {
-    /// Sets how many timed iterations each benchmark runs.
+    /// Sets how many timed iterations each benchmark runs. Under
+    /// `VPPS_BENCH_QUICK` the count is capped at 2 regardless.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample_size must be positive");
-        self.sample_size = n;
+        self.sample_size = if quick_mode() { n.min(2) } else { n };
         self
     }
 
     fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
-        let mut b = Bencher { samples: self.sample_size, mean: None };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean: None,
+        };
         f(&mut b);
         let _ = &self.criterion;
         match b.mean {
-            Some(mean) => println!("{}/{id}: {:.3} ms/iter", self.name, mean.as_secs_f64() * 1e3),
-            None => println!("{}/{id}: no measurement (closure never called iter)", self.name),
+            Some(mean) => println!(
+                "{}/{id}: {:.3} ms/iter",
+                self.name,
+                mean.as_secs_f64() * 1e3
+            ),
+            None => println!(
+                "{}/{id}: no measurement (closure never called iter)",
+                self.name
+            ),
         }
     }
 
@@ -112,7 +138,12 @@ impl Criterion {
     /// Opens a named benchmark group (default 10 samples per benchmark —
     /// the workspace's benches all override this explicitly anyway).
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+        let sample_size = if quick_mode() { 2 } else { 10 };
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
     }
 }
 
@@ -141,8 +172,12 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that read or write `VPPS_BENCH_QUICK`.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn group_runs_and_times_closures() {
+        let _env = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("demo");
         let mut calls = 0usize;
@@ -150,6 +185,20 @@ mod tests {
         group.bench_function("counting", |b| b.iter(|| calls += 1));
         group.finish();
         assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn quick_mode_caps_sample_size() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("VPPS_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        let mut calls = 0usize;
+        group.sample_size(50);
+        group.bench_function("counting", |b| b.iter(|| calls += 1));
+        group.finish();
+        std::env::remove_var("VPPS_BENCH_QUICK");
+        assert_eq!(calls, 2, "quick mode caps 50 samples at 2");
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            Self { lo: r.start, hi: r.end }
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -52,7 +55,10 @@ pub mod collection {
 
     /// Builds a [`VecStrategy`], mirroring `proptest::collection::vec`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -14,7 +14,9 @@ impl TestRng {
     fn for_case(seed: u64, case: u32) -> Self {
         // One independent stream per case so editing the case count does not
         // reshuffle every earlier case.
-        Self { rng: StdRng::seed_from_u64(seed ^ (0x9E37_79B9 + u64::from(case)).rotate_left(17)) }
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ (0x9E37_79B9 + u64::from(case)).rotate_left(17)),
+        }
     }
 }
 

@@ -137,7 +137,10 @@ pub trait Rng: RngCore {
 
     /// Returns `true` with probability `p`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         self.gen::<f64>() < p
     }
 }
@@ -166,7 +169,9 @@ pub mod rngs {
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
-            Self { s: std::array::from_fn(|_| splitmix64(&mut sm)) }
+            Self {
+                s: std::array::from_fn(|_| splitmix64(&mut sm)),
+            }
         }
     }
 

@@ -393,11 +393,41 @@ impl Handle {
     ///
     /// Panics if the batch exhausts the device memory pool.
     pub fn infer(&mut self, model: &mut Model, graph: &Graph, root: NodeId) -> Vec<f32> {
+        self.infer_many(model, graph, &[root])
+            .pop()
+            .expect("one root")
+    }
+
+    /// Batch inference dispatch: executes `graph` (typically a super-graph
+    /// absorbed from several independent request graphs) with **one**
+    /// generated script and **one** persistent-kernel launch, then reads the
+    /// value of every node in `roots`. The prologue weight load — the
+    /// dominant cost of small inference graphs — is paid once for the whole
+    /// batch, which is what makes cross-request batching in `vpps-serve`
+    /// profitable.
+    ///
+    /// Because the script generator schedules the entire graph, every root's
+    /// value is computed exactly as it would be for a single-graph
+    /// [`Handle::infer`] call — batched and serial execution are
+    /// bit-identical per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `roots` is empty or the batch exhausts the device memory
+    /// pool.
+    pub fn infer_many(
+        &mut self,
+        model: &mut Model,
+        graph: &Graph,
+        roots: &[NodeId],
+    ) -> Vec<Vec<f32>> {
+        assert!(!roots.is_empty(), "inference batch needs at least one root");
         let plan = &self.plans[self.active];
         let t_graph = self.host.graph_construction(graph.len());
         self.pool.reset();
-        let gs = generate::generate_forward_only(graph, root, plan, &mut self.pool, &self.tables)
-            .expect("batch exceeds the device memory pool");
+        let gs =
+            generate::generate_forward_only(graph, roots[0], plan, &mut self.pool, &self.tables)
+                .expect("batch exceeds the device memory pool");
         let t_fwd = self.host.schedule(graph.len(), gs.forward_instructions);
 
         let mut input_bytes = 0u64;
@@ -435,11 +465,15 @@ impl Handle {
         let kernel_total = self.gpu.now() - before;
         self.kernel_metrics.merge(&run.metrics);
 
-        let dim = graph.node(root).dim;
-        let out = self
-            .pool
-            .slice(gs.layout.value_off[root.index()], dim)
-            .to_vec();
+        let out: Vec<Vec<f32>> = roots
+            .iter()
+            .map(|&root| {
+                let dim = graph.node(root).dim;
+                self.pool
+                    .slice(gs.layout.value_off[root.index()], dim)
+                    .to_vec()
+            })
+            .collect();
 
         // Inference is synchronous: latency accumulates without overlap.
         let total = t_graph + t_fwd + t_copy + kernel_total;
@@ -689,6 +723,34 @@ mod tests {
         let (g, l) = toy_graph(&m, w, cls, 2, 1);
         h.fb(&mut m, &g, l);
         assert!(h.sync_get_latest_loss() > 0.0);
+    }
+
+    #[test]
+    fn infer_many_matches_serial_infer_bitwise() {
+        let (mut m, w, cls) = toy_model();
+        // Serial reference: one infer call per graph on a fresh handle.
+        let mut serial = Handle::new(&m, small_device(), opts()).unwrap();
+        let mut expected = Vec::new();
+        for steps in [1usize, 2, 3] {
+            let (g, l) = toy_graph(&m, w, cls, steps, 0);
+            expected.push(serial.infer(&mut m, &g, l));
+        }
+        // Batched: absorb the three graphs into one super-graph.
+        let mut batched = Handle::new(&m, small_device(), opts()).unwrap();
+        let mut sg = Graph::new();
+        let mut roots = Vec::new();
+        for steps in [1usize, 2, 3] {
+            let (g, l) = toy_graph(&m, w, cls, steps, 0);
+            roots.push(sg.absorb(&g, l));
+        }
+        let launches_before = batched.gpu().stats().kernels_launched;
+        let got = batched.infer_many(&mut m, &sg, &roots);
+        assert_eq!(
+            batched.gpu().stats().kernels_launched,
+            launches_before + 1,
+            "one kernel for the whole batch"
+        );
+        assert_eq!(got, expected, "batched inference is bit-identical");
     }
 
     #[test]

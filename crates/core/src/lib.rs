@@ -64,4 +64,4 @@ pub mod specialize;
 pub use engine::{BackendKind, Engine, ExecutionBackend, RunOutcome, Session};
 pub use error::VppsError;
 pub use handle::{Handle, PhaseBreakdown, RpwMode, VppsOptions};
-pub use specialize::{GradStrategy, KernelPlan, PlanCache};
+pub use specialize::{GradStrategy, KernelPlan, PlanCache, PlanSignature};

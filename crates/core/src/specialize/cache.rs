@@ -17,7 +17,7 @@ use dyn_graph::Model;
 use gpu_sim::{DeviceConfig, SimTime};
 
 use crate::error::VppsError;
-use crate::specialize::{JitCost, KernelPlan};
+use crate::specialize::{JitCost, KernelPlan, PlanSignature};
 
 /// A directory-backed kernel cache.
 #[derive(Debug, Clone)]
@@ -38,28 +38,12 @@ impl PlanCache {
         })
     }
 
-    /// The cache key for a `(model shapes, device, rpw)` specialization.
-    /// Everything that changes the generated kernel feeds the hash.
+    /// The cache key for a `(model shapes, device, rpw)` specialization —
+    /// the [`PlanSignature`]'s cache key, so the on-disk cache and every
+    /// other consumer of plan identity (batch bucketing in `vpps-serve`,
+    /// cache-hit accounting) agree by construction.
     pub fn key(model: &Model, device: &DeviceConfig, rpw: usize) -> String {
-        // FNV-1a over the specialization inputs; no external dependencies.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x1000_0000_01b3);
-            }
-        };
-        for (_, p) in model.params() {
-            eat(p.name.as_bytes());
-            eat(&(p.value.rows() as u64).to_le_bytes());
-            eat(&(p.value.cols() as u64).to_le_bytes());
-        }
-        eat(device.name.as_bytes());
-        eat(&(device.num_sms as u64).to_le_bytes());
-        eat(&(device.registers_per_sm as u64).to_le_bytes());
-        eat(&(device.max_regs_per_thread as u64).to_le_bytes());
-        eat(&(rpw as u64).to_le_bytes());
-        format!("{h:016x}")
+        PlanSignature::derive(model, device, rpw).cache_key()
     }
 
     fn path_for(&self, key: &str) -> PathBuf {

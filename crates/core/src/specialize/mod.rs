@@ -23,6 +23,76 @@ pub use cache::PlanCache;
 pub use jit::JitCost;
 pub use source::KernelSource;
 
+/// Stable identity of one specialization: everything that determines the
+/// generated kernel feeds it — parameter names and shapes, the device
+/// geometry, and rows-per-warp.
+///
+/// The signature is the single source of truth for "same plan":
+/// [`PlanCache`] keys its on-disk entries by [`PlanSignature::cache_key`],
+/// and the serving layer buckets requests by the same value, so cache-hit
+/// accounting and batch bucketing can never disagree.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlanSignature {
+    plan_id: u64,
+    shape_key: String,
+}
+
+impl PlanSignature {
+    /// Derives the signature for `(model, device, rpw)` without building the
+    /// plan.
+    pub fn derive(model: &Model, device: &DeviceConfig, rpw: usize) -> Self {
+        // FNV-1a over the specialization inputs; no external dependencies.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        let mut shape_key = String::new();
+        for (_, p) in model.params() {
+            eat(p.name.as_bytes());
+            eat(&(p.value.rows() as u64).to_le_bytes());
+            eat(&(p.value.cols() as u64).to_le_bytes());
+            if !shape_key.is_empty() {
+                shape_key.push(',');
+            }
+            shape_key.push_str(&format!("{}x{}", p.value.rows(), p.value.cols()));
+        }
+        eat(device.name.as_bytes());
+        eat(&(device.num_sms as u64).to_le_bytes());
+        eat(&(device.registers_per_sm as u64).to_le_bytes());
+        eat(&(device.max_regs_per_thread as u64).to_le_bytes());
+        eat(&(rpw as u64).to_le_bytes());
+        Self {
+            plan_id: h,
+            shape_key,
+        }
+    }
+
+    /// The 64-bit plan id (hash of every specialization input).
+    pub fn plan_id(&self) -> u64 {
+        self.plan_id
+    }
+
+    /// The shape bucket key: the comma-joined `rows x cols` list of every
+    /// dense parameter, in registration order.
+    pub fn shape_key(&self) -> &str {
+        &self.shape_key
+    }
+
+    /// The string form used as the kernel-cache file stem.
+    pub fn cache_key(&self) -> String {
+        format!("{:016x}", self.plan_id)
+    }
+}
+
+impl std::fmt::Display for PlanSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}[{}]", self.plan_id, self.shape_key)
+    }
+}
+
 /// How gradients of cached matrices are accumulated (paper §III-C2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GradStrategy {
@@ -44,6 +114,7 @@ pub struct KernelPlan {
     grad_strategy: GradStrategy,
     source: KernelSource,
     jit: JitCost,
+    signature: PlanSignature,
 }
 
 impl KernelPlan {
@@ -137,6 +208,7 @@ impl KernelPlan {
                         grad_strategy,
                         source,
                         jit,
+                        signature: PlanSignature::derive(model, device, rpw),
                     });
                 }
                 Err(e) => last_err = e,
@@ -195,6 +267,11 @@ impl KernelPlan {
     /// The gradient accumulation strategy chosen.
     pub fn grad_strategy(&self) -> GradStrategy {
         self.grad_strategy
+    }
+
+    /// The stable specialization signature this plan was built from.
+    pub fn signature(&self) -> &PlanSignature {
+        &self.signature
     }
 
     /// The generated specialized kernel source.
@@ -311,6 +388,30 @@ mod tests {
         let m = tree_lstm_like(256);
         let plan = KernelPlan::build(&m, &DeviceConfig::titan_v(), 1).unwrap();
         assert_eq!(plan.prologue_weight_bytes(), m.dense_param_bytes());
+    }
+
+    #[test]
+    fn signature_is_stable_and_discriminating() {
+        let m = tree_lstm_like(256);
+        let dev = DeviceConfig::titan_v();
+        let sig = PlanSignature::derive(&m, &dev, 1);
+        assert_eq!(sig, PlanSignature::derive(&m, &dev, 1));
+        assert_ne!(sig, PlanSignature::derive(&m, &dev, 2), "rpw feeds the id");
+        assert_ne!(
+            sig,
+            PlanSignature::derive(&tree_lstm_like(384), &dev, 1),
+            "shapes feed the id"
+        );
+        assert!(sig.shape_key().contains("256x256"));
+        assert_eq!(sig.cache_key(), format!("{:016x}", sig.plan_id()));
+    }
+
+    #[test]
+    fn built_plan_carries_its_signature() {
+        let m = tree_lstm_like(256);
+        let dev = DeviceConfig::titan_v();
+        let plan = KernelPlan::build(&m, &dev, 2).unwrap();
+        assert_eq!(plan.signature(), &PlanSignature::derive(&m, &dev, 2));
     }
 
     #[test]

@@ -16,15 +16,20 @@
 //! * [`tagged`] — tagged sentences with Zipf-distributed word frequencies,
 //!   so a realistic fraction of words is *rare* (frequency < 5) and triggers
 //!   the character-LSTM path of BiLSTMwChar exactly as in the paper.
+//! * [`requests`] — multi-tenant serving traffic traces (Zipf-skewed tenant
+//!   activity, open-loop Poisson arrivals) for the `vpps-serve` load
+//!   generator.
 //!
 //! All generators are deterministic given a seed.
 
 pub mod grammar;
+pub mod requests;
 pub mod tagged;
 pub mod treebank;
 pub mod zipf;
 
 pub use grammar::{GrammarConfig, GrammarTreebank};
+pub use requests::{RequestCorpus, RequestCorpusConfig, RequestSpec};
 pub use tagged::{TaggedCorpus, TaggedCorpusConfig, TaggedSentence};
 pub use treebank::{ParseTree, TreeSample, Treebank, TreebankConfig};
 pub use zipf::Zipf;

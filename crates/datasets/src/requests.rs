@@ -1,0 +1,221 @@
+//! Serving request-corpus generation: who asks for what, when.
+//!
+//! The serving benchmarks need a *traffic trace*, not just samples: each
+//! request has an issuing tenant (Zipf-skewed — a few tenants dominate, as
+//! in real multi-tenant serving), an arrival timestamp drawn from an
+//! open-loop Poisson process at a configured offered load, and a per-request
+//! seed from which the request's dynamic input graph is built. Everything is
+//! deterministic given the config seed, so two load-generator runs over the
+//! same config produce byte-identical traces.
+//!
+//! The corpus deliberately stops at *specs*: graph construction needs a
+//! model architecture, which lives in `vpps-models`. Consumers (the bench
+//! crate's `loadgen`) pair each spec's `sample_seed` with a dataset
+//! generator to build the actual graph.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Configuration for [`RequestCorpus::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestCorpusConfig {
+    /// Number of requests in the trace.
+    pub requests: usize,
+    /// Number of tenants issuing them.
+    pub tenants: u32,
+    /// Zipf exponent of the tenant activity distribution (tenant 0 is the
+    /// busiest). Must be positive; `1.0` is a realistic skew.
+    pub tenant_skew: f64,
+    /// Mean offered load in requests per (simulated) second: inter-arrival
+    /// gaps are exponential with mean `1/rate_rps` (open-loop Poisson).
+    pub rate_rps: f64,
+    /// Fraction of requests that are training (forward-backward-update)
+    /// rather than inference.
+    pub train_fraction: f64,
+    /// Relative completion deadline applied to every request, in seconds.
+    /// `None` disables deadlines.
+    pub deadline_s: Option<f64>,
+    /// RNG seed; the whole trace is a pure function of this config.
+    pub seed: u64,
+}
+
+impl Default for RequestCorpusConfig {
+    fn default() -> Self {
+        Self {
+            requests: 500,
+            tenants: 4,
+            tenant_skew: 1.0,
+            rate_rps: 10_000.0,
+            train_fraction: 0.0,
+            deadline_s: None,
+            seed: 7,
+        }
+    }
+}
+
+/// One request spec: scheduling metadata plus a seed for building the
+/// request's input graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestSpec {
+    /// Position in the trace (arrival order).
+    pub index: usize,
+    /// Issuing tenant in `0..tenants`.
+    pub tenant: u32,
+    /// Arrival time in seconds from trace start (non-decreasing).
+    pub arrival_s: f64,
+    /// Absolute deadline in seconds, when configured.
+    pub deadline_s: Option<f64>,
+    /// `true` for a training request.
+    pub train: bool,
+    /// Seed for generating this request's input sample (graph shape).
+    pub sample_seed: u64,
+}
+
+/// A deterministic multi-tenant traffic trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestCorpus {
+    /// The requests, in arrival order.
+    pub specs: Vec<RequestSpec>,
+}
+
+impl RequestCorpus {
+    /// Generates the trace described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.tenants == 0`, `cfg.rate_rps` is not positive, or
+    /// `cfg.train_fraction` is outside `[0, 1]`.
+    pub fn generate(cfg: RequestCorpusConfig) -> Self {
+        assert!(cfg.tenants > 0, "need at least one tenant");
+        assert!(
+            cfg.rate_rps.is_finite() && cfg.rate_rps > 0.0,
+            "offered load must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.train_fraction),
+            "train_fraction must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let tenant_dist = Zipf::new(cfg.tenants as usize, cfg.tenant_skew);
+        let mut specs = Vec::with_capacity(cfg.requests);
+        let mut clock = 0.0f64;
+        for index in 0..cfg.requests {
+            // Exponential inter-arrival via inverse transform; 1-u keeps the
+            // argument of ln strictly positive.
+            let u: f64 = rng.gen();
+            clock += -(1.0 - u).ln() / cfg.rate_rps;
+            let tenant = tenant_dist.sample(&mut rng) as u32;
+            let train = cfg.train_fraction > 0.0 && rng.gen::<f64>() < cfg.train_fraction;
+            let sample_seed: u64 = rng.gen();
+            specs.push(RequestSpec {
+                index,
+                tenant,
+                arrival_s: clock,
+                deadline_s: cfg.deadline_s.map(|d| clock + d),
+                train,
+                sample_seed,
+            });
+        }
+        Self { specs }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Mean offered load actually realized by the trace, in requests per
+    /// second (requests divided by the last arrival time).
+    pub fn offered_rps(&self) -> f64 {
+        match self.specs.last() {
+            Some(last) if last.arrival_s > 0.0 => self.specs.len() as f64 / last.arrival_s,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_sorted_and_roughly_match_the_rate() {
+        let cfg = RequestCorpusConfig {
+            requests: 2000,
+            rate_rps: 1000.0,
+            ..RequestCorpusConfig::default()
+        };
+        let c = RequestCorpus::generate(cfg);
+        assert_eq!(c.len(), 2000);
+        for w in c.specs.windows(2) {
+            assert!(w[1].arrival_s >= w[0].arrival_s);
+        }
+        // Law of large numbers: realized load within 10% of configured.
+        let realized = c.offered_rps();
+        assert!(
+            (realized - 1000.0).abs() < 100.0,
+            "realized {realized} rps vs configured 1000"
+        );
+    }
+
+    #[test]
+    fn tenant_activity_is_skewed() {
+        let cfg = RequestCorpusConfig {
+            requests: 2000,
+            tenants: 8,
+            tenant_skew: 1.2,
+            ..RequestCorpusConfig::default()
+        };
+        let c = RequestCorpus::generate(cfg);
+        let mut counts = vec![0u32; 8];
+        for s in &c.specs {
+            assert!(s.tenant < 8);
+            counts[s.tenant as usize] += 1;
+        }
+        assert!(
+            counts[0] > counts[7],
+            "tenant 0 should dominate: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn train_fraction_and_deadlines_apply() {
+        let cfg = RequestCorpusConfig {
+            requests: 1000,
+            train_fraction: 0.3,
+            deadline_s: Some(0.005),
+            ..RequestCorpusConfig::default()
+        };
+        let c = RequestCorpus::generate(cfg);
+        let trains = c.specs.iter().filter(|s| s.train).count();
+        assert!((200..400).contains(&trains), "got {trains} train requests");
+        for s in &c.specs {
+            let d = s.deadline_s.expect("deadline configured");
+            assert!((d - s.arrival_s - 0.005).abs() < 1e-12);
+        }
+        // No deadlines when disabled.
+        let none = RequestCorpus::generate(RequestCorpusConfig {
+            requests: 10,
+            ..RequestCorpusConfig::default()
+        });
+        assert!(none.specs.iter().all(|s| s.deadline_s.is_none()));
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let cfg = RequestCorpusConfig::default();
+        assert_eq!(RequestCorpus::generate(cfg), RequestCorpus::generate(cfg));
+        let other = RequestCorpusConfig {
+            seed: 8,
+            ..RequestCorpusConfig::default()
+        };
+        assert_ne!(RequestCorpus::generate(cfg), RequestCorpus::generate(other));
+    }
+}

@@ -128,6 +128,58 @@ impl HistogramSnapshot {
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
     }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) of the recorded values from
+    /// the log2 buckets, interpolating linearly inside the target bucket.
+    /// Returns 0 for an empty histogram. The last (unbounded) bucket is
+    /// treated as spanning one doubling past its lower bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        // Rank of the target observation, 1-based: ceil(q * total).
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                // Bucket i spans [lower, upper): 0 -> [0, 1); i>0 ->
+                // [2^(i-1), 2^i); the last bucket gets one extra doubling.
+                let (lower, upper) = if i == 0 {
+                    (0.0, 1.0)
+                } else {
+                    let lo = (1u64 << (i - 1)) as f64;
+                    let hi = if i + 1 >= self.buckets.len() {
+                        lo * 4.0
+                    } else {
+                        (1u64 << i) as f64
+                    };
+                    (lo, hi)
+                };
+                let frac = (rank - cum) as f64 / n as f64;
+                return lower + frac * (upper - lower);
+            }
+            cum += n;
+        }
+        0.0
+    }
+
+    /// Convenience: the (p50, p95, p99) triple via [`Self::quantile`].
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
 }
 
 /// A metric's current value, as returned by [`registry_snapshot`].
@@ -288,6 +340,41 @@ mod tests {
         assert_eq!(s.sum, 1004);
         assert_eq!(s.buckets[0], 1);
         assert_eq!(s.buckets[bucket_index(1000)], 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantile(0.5), 0.0);
+
+        // 100 observations of the exact value 8 -> all in bucket [8, 16).
+        let h = histogram("test.metrics.quant");
+        let _guard = crate::test_lock();
+        set_enabled(true);
+        for _ in 0..100 {
+            h.record(8);
+        }
+        set_enabled(false);
+        let s = h.snapshot();
+        let (p50, p95, p99) = s.percentiles();
+        assert!((8.0..16.0).contains(&p50), "p50 {p50} in bucket span");
+        assert!(p50 <= p95 && p95 <= p99, "monotone: {p50} {p95} {p99}");
+
+        // A bimodal distribution: quantiles must straddle the modes.
+        let mut lo_hi = HistogramSnapshot {
+            buckets: vec![0; HIST_BUCKETS],
+            sum: 0,
+        };
+        lo_hi.buckets[bucket_index(2)] = 90;
+        lo_hi.buckets[bucket_index(1000)] = 10;
+        assert!(lo_hi.quantile(0.5) < 8.0);
+        assert!(lo_hi.quantile(0.99) >= 512.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_rejects_out_of_range() {
+        HistogramSnapshot::default().quantile(0.0);
     }
 
     #[test]

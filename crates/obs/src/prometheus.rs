@@ -61,6 +61,14 @@ pub fn to_prometheus_text(snap: &Snapshot) -> String {
         }
         let _ = writeln!(out, "{n}_sum {}", h.sum);
         let _ = writeln!(out, "{n}_count {cumulative}");
+        // Pre-computed quantile estimates (from the log2 buckets) as
+        // companion gauges, so dashboards get p50/p95/p99 without
+        // server-side histogram_quantile() queries.
+        let (p50, p95, p99) = h.percentiles();
+        for (suffix, v) in [("p50", p50), ("p95", p95), ("p99", p99)] {
+            let _ = writeln!(out, "# TYPE {n}_{suffix} gauge");
+            let _ = writeln!(out, "{n}_{suffix} {v}");
+        }
     }
     out
 }
@@ -110,6 +118,10 @@ mod tests {
         assert!(text.contains("engine_vpp_stall_ns_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("engine_vpp_stall_ns_sum 6"));
         assert!(text.contains("engine_vpp_stall_ns_count 3"));
+        assert!(text.contains("# TYPE engine_vpp_stall_ns_p50 gauge"));
+        assert!(text.contains("engine_vpp_stall_ns_p50 "));
+        assert!(text.contains("engine_vpp_stall_ns_p95 "));
+        assert!(text.contains("engine_vpp_stall_ns_p99 "));
     }
 
     #[test]

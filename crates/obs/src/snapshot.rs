@@ -15,8 +15,9 @@ use crate::metrics::{registry_snapshot, HistogramSnapshot, MetricValue};
 /// Schema identifier written into every snapshot.
 pub const SCHEMA: &str = "vpps-obs-snapshot";
 
-/// Current schema version.
-pub const VERSION: u64 = 1;
+/// Current schema version. v2 adds a derived `quantiles` object
+/// (`p50`/`p95`/`p99`, estimated from the log2 buckets) to every histogram.
+pub const VERSION: u64 = 2;
 
 /// Point-in-time copy of the metrics registry.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -78,6 +79,12 @@ impl Snapshot {
                     let mut obj = Json::obj();
                     obj.set("buckets", buckets);
                     obj.set("sum", Json::from(h.sum));
+                    let (p50, p95, p99) = h.percentiles();
+                    let mut q = Json::obj();
+                    q.set("p50", Json::Num(p50));
+                    q.set("p95", Json::Num(p95));
+                    q.set("p99", Json::Num(p99));
+                    obj.set("quantiles", q);
                     (k.clone(), obj)
                 })
                 .collect(),
@@ -154,6 +161,18 @@ impl Snapshot {
                 .get("sum")
                 .and_then(Json::as_u64)
                 .ok_or_else(|| err("missing u64 \"sum\""))?;
+            // v2: quantiles are derived from the buckets, so parsing only
+            // validates their presence and shape; the struct stores the
+            // buckets they were computed from.
+            let quantiles = h
+                .get("quantiles")
+                .ok_or_else(|| err("missing object \"quantiles\""))?;
+            for key in ["p50", "p95", "p99"] {
+                quantiles
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| err(&format!("missing number quantile {key:?}")))?;
+            }
             snap.histograms
                 .insert(name.clone(), HistogramSnapshot { buckets, sum });
         }
@@ -207,10 +226,39 @@ mod tests {
         assert!(Snapshot::parse(&json).unwrap_err().contains("schema"));
         let json = sample()
             .to_json()
-            .replace("\"version\":1", "\"version\":99");
+            .replace(&format!("\"version\":{VERSION}"), "\"version\":99");
         assert!(Snapshot::parse(&json).unwrap_err().contains("version"));
         assert!(Snapshot::parse("{}").is_err());
         assert!(Snapshot::parse("[1,2]").is_err());
+    }
+
+    #[test]
+    fn v2_snapshots_carry_histogram_quantiles() {
+        let s = sample();
+        let json = s.to_json();
+        assert_eq!(VERSION, 2);
+        assert!(json.contains("\"quantiles\""));
+        assert!(json.contains("\"p50\""));
+        assert!(json.contains("\"p99\""));
+        // Parsing rejects a v2 document whose histogram lost its quantiles.
+        let doc = Json::parse(&json).unwrap();
+        let h = doc
+            .get("histograms")
+            .and_then(|hs| hs.get("engine.vpp_stall_ns"))
+            .unwrap();
+        let mut stripped = Json::obj();
+        stripped.set("buckets", h.get("buckets").unwrap().clone());
+        stripped.set("sum", h.get("sum").unwrap().clone());
+        let mut hists = Json::obj();
+        hists.set("engine.vpp_stall_ns", stripped);
+        let mut bad = Json::obj();
+        for key in ["schema", "version", "counters", "gauges", "extra"] {
+            bad.set(key, doc.get(key).unwrap().clone());
+        }
+        bad.set("histograms", hists);
+        let mut text = String::new();
+        bad.write(&mut text);
+        assert!(Snapshot::parse(&text).unwrap_err().contains("quantiles"));
     }
 
     #[test]

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! `vpps-serve`: multi-tenant inference/training serving on VPPS.
+//!
+//! The paper specializes one persistent kernel per *model* and then feeds it
+//! arbitrary per-input dynamic graphs. That division of labour is exactly
+//! what an inference server needs: the expensive step (JIT specialization)
+//! depends only on the parameter set, so a server can keep one warm
+//! [`vpps::Handle`] per model and route every request — whatever its graph
+//! shape — to it with zero per-request compilation. This crate builds that
+//! server:
+//!
+//! * **Requests** ([`Request`]) carry a dynamic graph, a tenant, an arrival
+//!   time on the virtual clock, and an optional deadline.
+//! * **Admission control** ([`AdmissionPolicy`]) bounds the queue server-wide
+//!   and per tenant; overload sheds with a reason instead of queueing
+//!   without bound.
+//! * **Shape-bucketed batching** ([`BatchPolicy`], [`shape_class`]) groups
+//!   same-plan, same-kind, similar-size requests and flushes on size,
+//!   linger expiry, or an approaching deadline. A batch becomes one absorbed
+//!   super-graph and **one** persistent-kernel launch, so the prologue
+//!   weight load (the dominant cost of small graphs) is amortized across
+//!   the batch — the serving-side analogue of the paper's §III-D concurrent
+//!   training of multiple computation graphs.
+//! * **Determinism**: the whole server is a discrete-event simulation on
+//!   [`gpu_sim::SimTime`]. Same request stream in, byte-identical outcome
+//!   stream out — see [`Server`].
+//! * **Reports** ([`ServeReport`]) with exact latency quantiles, goodput,
+//!   and batch-size distribution, plus the versioned `BENCH_serve.json`
+//!   trajectory ([`write_serve_summary`]).
+
+pub mod batcher;
+pub mod policy;
+pub mod report;
+pub mod request;
+pub mod server;
+
+pub use batcher::{shape_class, BucketKey};
+pub use policy::{AdmissionPolicy, BatchPolicy, ServeConfig};
+pub use report::{
+    serve_summary_json, validate_serve_summary, write_serve_summary, LatencyStats, ServeRecord,
+    ServeReport,
+};
+pub use request::{
+    Completion, ModelId, Outcome, Request, RequestId, RequestKind, Shed, ShedReason, TenantId,
+};
+pub use server::{Admission, Server};

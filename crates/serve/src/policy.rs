@@ -1,0 +1,91 @@
+//! Serving policies: batch formation and admission control.
+
+use gpu_sim::{DeviceConfig, SimTime};
+use vpps::VppsOptions;
+
+/// Batch-formation policy for one shape bucket.
+///
+/// A bucket flushes (forms a batch and dispatches it) when the first of
+/// these triggers fires:
+///
+/// 1. **Size** — the bucket holds [`BatchPolicy::max_batch`] requests.
+/// 2. **Linger** — the oldest queued request has waited
+///    [`BatchPolicy::max_linger`]; no request is ever dispatched later than
+///    `enqueue + max_linger`.
+/// 3. **Deadline** (if [`BatchPolicy::deadline_aware`]) — a queued request's
+///    deadline is about to pass, so the batch is flushed early rather than
+///    letting the request expire in the queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Maximum requests per batch (per kernel launch). `1` disables
+    /// cross-request batching.
+    pub max_batch: usize,
+    /// Maximum time a request may wait in a bucket before the bucket is
+    /// flushed regardless of fill.
+    pub max_linger: SimTime,
+    /// Flush a bucket early when a member's deadline would otherwise expire
+    /// while queued.
+    pub deadline_aware: bool,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_linger: SimTime::from_us(200.0),
+            deadline_aware: true,
+        }
+    }
+}
+
+/// Admission-control policy: bounded queues and per-tenant quotas.
+///
+/// Rejections happen at submission time (backpressure to the caller) and
+/// are recorded as shed outcomes, so overload degrades goodput gracefully
+/// instead of growing queues without bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Server-wide bound on *outstanding* requests: queued for batching
+    /// plus dispatched but still executing on the (virtual-time) device.
+    /// Submissions beyond it are shed with
+    /// [`crate::ShedReason::QueueFull`] — real backpressure under
+    /// overload, since dispatch alone does not make work disappear.
+    pub queue_capacity: usize,
+    /// Per-tenant bound on queued requests. Submissions beyond it are shed
+    /// with [`crate::ShedReason::TenantQuota`], so one tenant cannot occupy
+    /// the whole queue.
+    pub tenant_quota: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            tenant_quota: 64,
+        }
+    }
+}
+
+/// Full server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Simulated device each warm handle runs on.
+    pub device: DeviceConfig,
+    /// VPPS handle options (backend, rows-per-warp, pool capacity...).
+    pub opts: VppsOptions,
+    /// Batch-formation policy.
+    pub batch: BatchPolicy,
+    /// Admission-control policy.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            device: DeviceConfig::titan_v(),
+            opts: VppsOptions::default(),
+            batch: BatchPolicy::default(),
+            admission: AdmissionPolicy::default(),
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! Serving reports and the `BENCH_serve.json` trajectory document.
+//!
+//! [`ServeReport`] condenses a server's outcome stream into the headline
+//! serving numbers — offered load, goodput, latency quantiles, batch-size
+//! distribution, shed counts — computed **exactly** from the per-request
+//! records (not from the log2 obs histograms, which are estimates). The
+//! trajectory document mirrors the bench crate's `BENCH_<experiment>.json`
+//! convention: a versioned JSON file validated by its own parser, written
+//! to `$VPPS_BENCH_DIR` so CI can archive and diff it across commits.
+
+use std::io;
+use std::path::PathBuf;
+
+use gpu_sim::SimTime;
+use vpps_obs::Json;
+
+use crate::request::{Outcome, ShedReason};
+
+/// Schema identifier written into every serve trajectory.
+pub const SCHEMA: &str = "vpps-serve-trajectory";
+
+/// Current schema version.
+pub const VERSION: u64 = 1;
+
+/// Exact latency quantiles over one stage, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Maximum.
+    pub max_us: f64,
+    /// Mean.
+    pub mean_us: f64,
+}
+
+impl LatencyStats {
+    /// Exact quantiles of `samples` (nanoseconds), by sorted rank
+    /// (`ceil(q·n)`), converted to microseconds.
+    pub fn from_ns_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |q: f64| {
+            let idx = (q * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+            sorted[idx.min(sorted.len() - 1)] / 1e3
+        };
+        Self {
+            p50_us: rank(0.50),
+            p95_us: rank(0.95),
+            p99_us: rank(0.99),
+            max_us: sorted[sorted.len() - 1] / 1e3,
+            mean_us: sorted.iter().sum::<f64>() / sorted.len() as f64 / 1e3,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        let mut o = Json::obj();
+        o.set("p50_us", Json::Num(self.p50_us));
+        o.set("p95_us", Json::Num(self.p95_us));
+        o.set("p99_us", Json::Num(self.p99_us));
+        o.set("max_us", Json::Num(self.max_us));
+        o.set("mean_us", Json::Num(self.mean_us));
+        o
+    }
+}
+
+/// Headline serving numbers for one run (one outcome stream).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeReport {
+    /// Requests submitted (admitted + shed).
+    pub offered: u64,
+    /// Requests that completed execution.
+    pub completed: u64,
+    /// Completions that met their deadline (all of them when no deadlines
+    /// were set) — the numerator of goodput.
+    pub good: u64,
+    /// Shed counts by [`ShedReason::name`].
+    pub shed: Vec<(String, u64)>,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Batch-size histogram: `(size, batches_of_that_size)`, ascending.
+    pub batch_sizes: Vec<(u64, u64)>,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+    /// First arrival to last completion, in simulated seconds.
+    pub makespan_s: f64,
+    /// In-deadline completions per simulated second of makespan.
+    pub goodput_rps: f64,
+    /// All completions per simulated second of makespan.
+    pub throughput_rps: f64,
+    /// End-to-end latency (arrival → completion).
+    pub e2e: LatencyStats,
+    /// Queueing/batching delay (arrival → dispatch).
+    pub queue_wait: LatencyStats,
+}
+
+impl ServeReport {
+    /// Builds the report from an outcome stream (typically
+    /// [`crate::Server::outcomes`] after a drain).
+    pub fn from_outcomes(outcomes: &[Outcome]) -> Self {
+        let mut r = Self {
+            offered: outcomes.len() as u64,
+            ..Self::default()
+        };
+        let mut shed = ShedReason::ALL.map(|reason| (reason.name().to_owned(), 0u64));
+        let mut sizes: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let mut e2e_ns = Vec::new();
+        let mut wait_ns = Vec::new();
+        let mut first_arrival: Option<SimTime> = None;
+        let mut last_completion = SimTime::ZERO;
+        let mut batch_members = 0u64;
+        for o in outcomes {
+            match o {
+                Outcome::Completed(c) => {
+                    r.completed += 1;
+                    if c.in_deadline {
+                        r.good += 1;
+                    }
+                    e2e_ns.push((c.completed_at - c.arrival).as_ns());
+                    wait_ns.push((c.dispatched_at - c.arrival).as_ns());
+                    first_arrival = Some(match first_arrival {
+                        Some(f) => f.min(c.arrival),
+                        None => c.arrival,
+                    });
+                    last_completion = last_completion.max(c.completed_at);
+                    // Each member of an n-batch reports batch_size == n, so
+                    // a batch of n contributes n entries; divide back out.
+                    *sizes.entry(c.batch_size as u64).or_insert(0) += 1;
+                    batch_members += 1;
+                }
+                Outcome::Shed(s) => {
+                    shed[ShedReason::ALL.iter().position(|r| *r == s.reason).unwrap()].1 += 1;
+                }
+            }
+        }
+        r.shed = shed.into_iter().collect();
+        r.batch_sizes = sizes
+            .into_iter()
+            .map(|(size, members)| (size, members / size.max(1)))
+            .collect();
+        r.batches = r.batch_sizes.iter().map(|&(_, n)| n).sum();
+        r.mean_batch = if r.batches > 0 {
+            batch_members as f64 / r.batches as f64
+        } else {
+            0.0
+        };
+        if let Some(first) = first_arrival {
+            let makespan = (last_completion - first).as_secs();
+            r.makespan_s = makespan;
+            if makespan > 0.0 {
+                r.goodput_rps = r.good as f64 / makespan;
+                r.throughput_rps = r.completed as f64 / makespan;
+            }
+        }
+        r.e2e = LatencyStats::from_ns_samples(&e2e_ns);
+        r.queue_wait = LatencyStats::from_ns_samples(&wait_ns);
+        r
+    }
+
+    /// Total shed requests.
+    pub fn total_shed(&self) -> u64 {
+        self.shed.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Serializes the report as one trajectory record.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("offered", Json::from(self.offered));
+        o.set("completed", Json::from(self.completed));
+        o.set("good", Json::from(self.good));
+        let mut shed = Json::obj();
+        for (reason, n) in &self.shed {
+            shed.set(reason, Json::from(*n));
+        }
+        o.set("shed", shed);
+        o.set("batches", Json::from(self.batches));
+        o.set(
+            "batch_sizes",
+            Json::Arr(
+                self.batch_sizes
+                    .iter()
+                    .map(|&(size, n)| Json::Arr(vec![Json::from(size), Json::from(n)]))
+                    .collect(),
+            ),
+        );
+        o.set("mean_batch", Json::Num(self.mean_batch));
+        o.set("makespan_s", Json::Num(self.makespan_s));
+        o.set("goodput_rps", Json::Num(self.goodput_rps));
+        o.set("throughput_rps", Json::Num(self.throughput_rps));
+        o.set("e2e", self.e2e.to_json());
+        o.set("queue_wait", self.queue_wait.to_json());
+        o
+    }
+}
+
+/// One labelled report row in a serve trajectory (e.g. one point of an
+/// offered-load sweep, or "batching" vs "no-batching").
+#[derive(Debug, Clone)]
+pub struct ServeRecord {
+    /// Row label (configuration under test).
+    pub label: String,
+    /// Execution backend name.
+    pub backend: String,
+    /// Offered load in requests per simulated second (0 when closed-loop).
+    pub offered_rps: f64,
+    /// The measured numbers.
+    pub report: ServeReport,
+}
+
+impl ServeRecord {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("label", Json::from(self.label.as_str()));
+        o.set("backend", Json::from(self.backend.as_str()));
+        o.set("offered_rps", Json::Num(self.offered_rps));
+        o.set("report", self.report.to_json());
+        o
+    }
+}
+
+/// Serializes serve records into the versioned trajectory document.
+pub fn serve_summary_json(experiment: &str, records: &[ServeRecord]) -> String {
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from(SCHEMA));
+    doc.set("version", Json::from(VERSION));
+    doc.set("experiment", Json::from(experiment));
+    doc.set(
+        "records",
+        Json::Arr(records.iter().map(ServeRecord::to_json).collect()),
+    );
+    let mut out = String::new();
+    doc.write(&mut out);
+    out
+}
+
+/// Writes `BENCH_<experiment>.json` into `$VPPS_BENCH_DIR` (or the current
+/// directory), validating the document first.
+///
+/// # Errors
+///
+/// I/O failure writing the file, or (as [`io::ErrorKind::InvalidData`]) a
+/// document that fails its own schema validation — a bug, not an
+/// environment problem.
+pub fn write_serve_summary(experiment: &str, records: &[ServeRecord]) -> io::Result<PathBuf> {
+    let json = serve_summary_json(experiment, records);
+    validate_serve_summary(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut path = std::env::var_os("VPPS_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    path.push(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, &json)?;
+    Ok(path)
+}
+
+/// Validates a serve trajectory document against the schema.
+///
+/// # Errors
+///
+/// Describes the first structural problem found.
+pub fn validate_serve_summary(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string \"schema\"".to_string())?;
+    if schema != SCHEMA {
+        return Err(format!("unknown schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "missing integer \"version\"".to_string())?;
+    if version != VERSION {
+        return Err(format!("unsupported version {version}, expected {VERSION}"));
+    }
+    doc.get("experiment")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string \"experiment\"".to_string())?;
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing array \"records\"".to_string())?;
+    for (i, rec) in records.iter().enumerate() {
+        let err = |what: &str| format!("record {i}: {what}");
+        for key in ["label", "backend"] {
+            rec.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| err(&format!("missing string {key:?}")))?;
+        }
+        rec.get("offered_rps")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err("missing number \"offered_rps\""))?;
+        let report = rec
+            .get("report")
+            .ok_or_else(|| err("missing object \"report\""))?;
+        for key in ["offered", "completed", "good", "batches"] {
+            report
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err(&format!("missing u64 report.{key}")))?;
+        }
+        for key in ["mean_batch", "makespan_s", "goodput_rps", "throughput_rps"] {
+            report
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err(&format!("missing number report.{key}")))?;
+        }
+        let shed = report
+            .get("shed")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| err("missing object report.shed"))?;
+        for reason in ShedReason::ALL {
+            if !shed.iter().any(|(k, _)| k == reason.name()) {
+                return Err(err(&format!("missing shed reason {:?}", reason.name())));
+            }
+        }
+        report
+            .get("batch_sizes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing array report.batch_sizes"))?;
+        for stage in ["e2e", "queue_wait"] {
+            let s = report
+                .get(stage)
+                .ok_or_else(|| err(&format!("missing object report.{stage}")))?;
+            for key in ["p50_us", "p95_us", "p99_us", "max_us", "mean_us"] {
+                s.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| err(&format!("missing number report.{stage}.{key}")))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Completion, ModelId, RequestId, RequestKind, Shed, TenantId};
+
+    fn completion(id: u64, arrive_ns: f64, done_ns: f64, batch: usize, good: bool) -> Outcome {
+        Outcome::Completed(Completion {
+            id: RequestId(id),
+            tenant: TenantId(0),
+            model: ModelId(0),
+            kind: RequestKind::Infer,
+            arrival: SimTime::from_ns(arrive_ns),
+            dispatched_at: SimTime::from_ns(arrive_ns + 10.0),
+            completed_at: SimTime::from_ns(done_ns),
+            batch_size: batch,
+            output: vec![0.0],
+            in_deadline: good,
+        })
+    }
+
+    #[test]
+    fn report_counts_batches_and_goodput() {
+        let outcomes = vec![
+            completion(0, 0.0, 1000.0, 2, true),
+            completion(1, 0.0, 1000.0, 2, true),
+            completion(2, 100.0, 2000.0, 1, false),
+            Outcome::Shed(Shed {
+                id: RequestId(3),
+                tenant: TenantId(1),
+                at: SimTime::from_ns(150.0),
+                reason: ShedReason::QueueFull,
+            }),
+        ];
+        let r = ServeReport::from_outcomes(&outcomes);
+        assert_eq!(r.offered, 4);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.good, 2);
+        assert_eq!(r.total_shed(), 1);
+        assert_eq!(r.batches, 2, "one 2-batch and one 1-batch");
+        assert_eq!(r.batch_sizes, vec![(1, 1), (2, 1)]);
+        assert!((r.mean_batch - 1.5).abs() < 1e-12);
+        // Makespan 2000ns = 2e-6s; goodput 2/2e-6, throughput 3/2e-6.
+        assert!((r.goodput_rps - 1e6).abs() < 1.0);
+        assert!((r.throughput_rps - 1.5e6).abs() < 1.0);
+        assert!(r.e2e.p50_us > 0.0);
+        assert!(r.e2e.max_us >= r.e2e.p99_us);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = ServeReport::from_outcomes(&[]);
+        assert_eq!(r.offered, 0);
+        assert_eq!(r.goodput_rps, 0.0);
+        assert_eq!(r.e2e, LatencyStats::default());
+    }
+
+    #[test]
+    fn exact_quantiles_use_sorted_ranks() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 1000.0).collect();
+        let l = LatencyStats::from_ns_samples(&samples);
+        assert_eq!(l.p50_us, 50.0);
+        assert_eq!(l.p95_us, 95.0);
+        assert_eq!(l.p99_us, 99.0);
+        assert_eq!(l.max_us, 100.0);
+    }
+
+    #[test]
+    fn summary_round_trips_and_validates() {
+        let outcomes = vec![completion(0, 0.0, 500.0, 1, true)];
+        let rec = ServeRecord {
+            label: "batching".into(),
+            backend: "event-interp".into(),
+            offered_rps: 1000.0,
+            report: ServeReport::from_outcomes(&outcomes),
+        };
+        let json = serve_summary_json("serve", &[rec]);
+        validate_serve_summary(&json).unwrap();
+        assert!(json.contains("\"experiment\":\"serve\""));
+        assert!(json.contains("\"goodput_rps\""));
+        assert!(validate_serve_summary(&json.replace(SCHEMA, "nope")).is_err());
+        assert!(validate_serve_summary("{}").is_err());
+    }
+}

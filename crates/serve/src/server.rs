@@ -1,0 +1,765 @@
+//! The serving engine: a deterministic discrete-event simulation.
+//!
+//! [`Server`] runs entirely on a **virtual clock** ([`SimTime`]): requests
+//! carry arrival timestamps, batch-formation linger timers fire as simulated
+//! events, and execution latency comes from the simulated device inside each
+//! warm [`Handle`]. Nothing reads the wall clock and every container is
+//! ordered (`BTreeMap`, `Vec`), so two runs over the same request sequence
+//! produce byte-identical outcome streams — the property the serving
+//! benchmarks and the proptest invariants lean on.
+//!
+//! Life of a request:
+//!
+//! 1. **Admission** ([`Server::submit`]) — bounded server-wide queue,
+//!    per-tenant quota, dead-on-arrival deadline check. Rejections are shed
+//!    immediately (backpressure).
+//! 2. **Bucketing** — admitted requests join the bucket keyed by
+//!    (model, kind, [`shape_class`]); only same-bucket requests co-batch,
+//!    so a batch never mixes specialization plans.
+//! 3. **Batch formation** — a bucket flushes when full
+//!    ([`crate::BatchPolicy::max_batch`]), when its oldest request has
+//!    lingered [`crate::BatchPolicy::max_linger`], or (deadline-aware) when
+//!    a member's deadline is about to expire.
+//! 4. **Dispatch** — the batch's graphs are absorbed into one super-graph
+//!    and executed with **one** persistent-kernel launch on the model's warm
+//!    handle ([`Handle::infer_many`] / [`Handle::fb`]); the prologue weight
+//!    load is paid once per batch, which is where batching wins. The device
+//!    is serially occupied: a batch starts at `max(now, busy_until)`.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use dyn_graph::{Graph, Model};
+use gpu_sim::SimTime;
+use vpps::{Handle, PlanSignature, VppsError};
+
+use crate::batcher::{shape_class, Bucket, BucketKey, Pending};
+use crate::policy::ServeConfig;
+use crate::request::{
+    Completion, ModelId, Outcome, Request, RequestId, RequestKind, Shed, ShedReason, TenantId,
+};
+
+/// Result of [`Server::submit`]: either queued for batching or shed at
+/// admission. Both variants carry the assigned id; the shed variant is also
+/// recorded as an [`Outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted and queued.
+    Queued(RequestId),
+    /// Rejected at admission.
+    Shed(RequestId, ShedReason),
+}
+
+impl Admission {
+    /// The assigned request id.
+    pub fn id(&self) -> RequestId {
+        match *self {
+            Admission::Queued(id) | Admission::Shed(id, _) => id,
+        }
+    }
+
+    /// `true` if the request was admitted.
+    pub fn is_queued(&self) -> bool {
+        matches!(self, Admission::Queued(_))
+    }
+}
+
+/// A registered model with its always-warm VPPS handle.
+#[derive(Debug)]
+struct WarmModel {
+    name: String,
+    model: Model,
+    handle: Handle,
+    signature: PlanSignature,
+    /// The device executes batches serially; the next batch for this model
+    /// starts no earlier than this.
+    busy_until: SimTime,
+    batches: u64,
+}
+
+/// Multi-tenant serving engine over warm VPPS handles. See the module docs
+/// for the event model.
+#[derive(Debug)]
+pub struct Server {
+    cfg: ServeConfig,
+    models: Vec<WarmModel>,
+    /// Distinct plan signatures seen across registrations: a repeat
+    /// signature means the JIT program compile would be served from the
+    /// specialization cache.
+    known_plans: BTreeSet<PlanSignature>,
+    buckets: BTreeMap<BucketKey, Bucket>,
+    now: SimTime,
+    next_id: u64,
+    queued: usize,
+    queued_per_tenant: BTreeMap<TenantId, usize>,
+    /// Completion times (ns bit pattern, min-heap) of dispatched requests
+    /// the device has not finished yet at `now`. Dispatched work counts
+    /// toward the admission bound — otherwise an overloaded server would
+    /// keep admitting forever and just complete everything arbitrarily
+    /// late.
+    inflight: BinaryHeap<Reverse<u64>>,
+    outcomes: Vec<Outcome>,
+    batches: u64,
+    jit_paid: SimTime,
+}
+
+impl Server {
+    /// Creates an empty server (no models registered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.batch.max_batch` is zero.
+    pub fn new(cfg: ServeConfig) -> Self {
+        assert!(cfg.batch.max_batch > 0, "max_batch must be at least 1");
+        Self {
+            cfg,
+            models: Vec::new(),
+            known_plans: BTreeSet::new(),
+            buckets: BTreeMap::new(),
+            now: SimTime::ZERO,
+            next_id: 0,
+            queued: 0,
+            queued_per_tenant: BTreeMap::new(),
+            inflight: BinaryHeap::new(),
+            outcomes: Vec::new(),
+            batches: 0,
+            jit_paid: SimTime::ZERO,
+        }
+    }
+
+    /// Registers a model: specializes its kernel plan and keeps the handle
+    /// warm for the server's lifetime, so JIT cost is paid at registration —
+    /// once per plan — and never on the request path. Registering a second
+    /// model with an identical [`PlanSignature`] pays only the module load
+    /// (the program compile hits the specialization cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-construction failures from [`Handle::new`].
+    pub fn register_model(&mut self, name: &str, model: Model) -> Result<ModelId, VppsError> {
+        let handle = Handle::new(&model, self.cfg.device.clone(), self.cfg.opts)?;
+        let signature = handle.plan().signature().clone();
+        let jit = handle.jit_cost();
+        if self.known_plans.insert(signature.clone()) {
+            self.jit_paid += jit.program_compile + jit.module_load;
+            vpps_obs::counter("serve.jit.compiles").incr();
+        } else {
+            self.jit_paid += jit.module_load;
+            vpps_obs::counter("serve.jit.cache_hits").incr();
+        }
+        let id = ModelId(self.models.len());
+        self.models.push(WarmModel {
+            name: name.to_owned(),
+            model,
+            handle,
+            signature,
+            busy_until: SimTime::ZERO,
+            batches: 0,
+        });
+        Ok(id)
+    }
+
+    /// Current virtual time (the latest event processed).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of admitted requests not yet dispatched.
+    pub fn queue_depth(&self) -> usize {
+        self.queued
+    }
+
+    /// Number of admitted requests not yet *finished* at the current
+    /// virtual time: queued plus dispatched-but-executing. This is the
+    /// quantity the server-wide admission bound applies to.
+    pub fn outstanding(&self) -> usize {
+        let now_bits = self.now.as_ns().to_bits();
+        self.queued
+            + self
+                .inflight
+                .iter()
+                .filter(|Reverse(done)| *done > now_bits)
+                .count()
+    }
+
+    /// Drops in-flight records whose completion time has passed.
+    fn settle_inflight(&mut self) {
+        let now_bits = self.now.as_ns().to_bits();
+        while self
+            .inflight
+            .peek()
+            .is_some_and(|Reverse(done)| *done <= now_bits)
+        {
+            self.inflight.pop();
+        }
+    }
+
+    /// Registered name of a model.
+    pub fn model_name(&self, id: ModelId) -> &str {
+        &self.models[id.0].name
+    }
+
+    /// Plan signature of a registered model (the specialization-cache key).
+    pub fn plan_signature(&self, id: ModelId) -> &PlanSignature {
+        &self.models[id.0].signature
+    }
+
+    /// Total modeled JIT time paid across registrations (cache hits pay
+    /// only module load).
+    pub fn jit_paid(&self) -> SimTime {
+        self.jit_paid
+    }
+
+    /// Every outcome recorded so far, in decision order.
+    pub fn outcomes(&self) -> &[Outcome] {
+        &self.outcomes
+    }
+
+    /// Batches dispatched so far.
+    pub fn batches_dispatched(&self) -> u64 {
+        self.batches
+    }
+
+    /// Submits one request. The clock first advances to the request's
+    /// arrival (firing any batch flushes due before it), then admission
+    /// control runs. Arrivals must be non-decreasing; an arrival in the past
+    /// is clamped to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req.model` was not registered.
+    pub fn submit(&mut self, req: Request) -> Admission {
+        assert!(
+            req.model.0 < self.models.len(),
+            "unregistered model {:?}",
+            req.model
+        );
+        self.run_until(req.arrival);
+        self.settle_inflight();
+        let arrival = req.arrival.max(self.now);
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+
+        let shed = |reason: ShedReason| Admission::Shed(id, reason);
+        let verdict = if req.deadline.is_some_and(|d| d < arrival) {
+            shed(ShedReason::DeadlineExpired)
+        } else if self.queued + self.inflight.len() >= self.cfg.admission.queue_capacity {
+            shed(ShedReason::QueueFull)
+        } else if self
+            .queued_per_tenant
+            .get(&req.tenant)
+            .copied()
+            .unwrap_or(0)
+            >= self.cfg.admission.tenant_quota
+        {
+            shed(ShedReason::TenantQuota)
+        } else {
+            Admission::Queued(id)
+        };
+
+        match verdict {
+            Admission::Shed(id, reason) => {
+                self.record_shed(Shed {
+                    id,
+                    tenant: req.tenant,
+                    at: arrival,
+                    reason,
+                });
+            }
+            Admission::Queued(id) => {
+                vpps_obs::counter("serve.admitted").incr();
+                let key = BucketKey {
+                    model: req.model,
+                    kind: req.kind,
+                    shape: shape_class(req.graph.len()),
+                };
+                self.buckets.entry(key).or_default().push(Pending {
+                    id,
+                    tenant: req.tenant,
+                    graph: req.graph,
+                    root: req.root,
+                    arrival,
+                    deadline: req.deadline,
+                    linger_deadline: arrival + self.cfg.batch.max_linger,
+                });
+                self.queued += 1;
+                *self.queued_per_tenant.entry(req.tenant).or_insert(0) += 1;
+                // Size trigger: flush as long as the bucket can fill a batch.
+                while self
+                    .buckets
+                    .get(&key)
+                    .is_some_and(|b| b.len() >= self.cfg.batch.max_batch)
+                {
+                    self.flush_bucket(key);
+                }
+            }
+        }
+        vpps_obs::gauge("serve.queue_depth").set(self.queued as f64);
+        verdict
+    }
+
+    /// Advances the virtual clock to `t`, firing every linger/deadline
+    /// flush due on the way, in event-time order (ties broken by bucket key
+    /// order — deterministic).
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            let mut due: Option<(SimTime, BucketKey)> = None;
+            for (key, bucket) in &self.buckets {
+                if let Some(ft) = bucket.next_flush(self.cfg.batch.deadline_aware) {
+                    if ft <= t && due.is_none_or(|(dt, _)| ft < dt) {
+                        due = Some((ft, *key));
+                    }
+                }
+            }
+            let Some((ft, key)) = due else { break };
+            self.now = self.now.max(ft);
+            self.flush_bucket(key);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Flushes every remaining queued request immediately (end of the
+    /// request stream: no point lingering for co-batchable arrivals that
+    /// will never come). After `drain` the queue is empty and every
+    /// submitted request has exactly one outcome.
+    pub fn drain(&mut self) {
+        while let Some(key) = self.buckets.keys().next().copied() {
+            self.flush_bucket(key);
+        }
+        vpps_obs::gauge("serve.queue_depth").set(0.0);
+    }
+
+    fn record_shed(&mut self, shed: Shed) {
+        vpps_obs::counter("serve.shed").incr();
+        vpps_obs::counter(&format!("serve.shed.{}", shed.reason.name())).incr();
+        self.outcomes.push(Outcome::Shed(shed));
+    }
+
+    /// Forms one batch from `key`'s bucket at the current virtual time and
+    /// executes it. Also sheds queued requests whose deadline already
+    /// passed. Removes the bucket when it empties.
+    fn flush_bucket(&mut self, key: BucketKey) {
+        let Some(bucket) = self.buckets.get_mut(&key) else {
+            return;
+        };
+        let expired = bucket.expire(self.now);
+        let batch = bucket.take_batch(self.cfg.batch.max_batch);
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+        }
+        let removed = expired.len() + batch.len();
+        self.queued -= removed;
+        for p in expired.iter().chain(&batch) {
+            if let Some(n) = self.queued_per_tenant.get_mut(&p.tenant) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        vpps_obs::gauge("serve.queue_depth").set(self.queued as f64);
+        for p in expired {
+            self.record_shed(Shed {
+                id: p.id,
+                tenant: p.tenant,
+                at: self.now,
+                reason: ShedReason::DeadlineExpired,
+            });
+        }
+        if batch.is_empty() {
+            return;
+        }
+
+        // Absorb the request graphs into one super-graph: one generated
+        // script, one kernel launch, one prologue weight load for the lot.
+        let mut sg = Graph::new();
+        let roots: Vec<_> = batch.iter().map(|p| sg.absorb(&p.graph, p.root)).collect();
+        let wm = &mut self.models[key.model.0];
+        let dispatched_at = self.now;
+        let start = dispatched_at.max(wm.busy_until);
+        let wall_before = wm.handle.wall_time();
+        let outputs: Vec<Vec<f32>> = match key.kind {
+            RequestKind::Infer => wm.handle.infer_many(&mut wm.model, &sg, &roots),
+            RequestKind::Train => {
+                let loss_root = if roots.len() == 1 {
+                    roots[0]
+                } else {
+                    sg.sum(&roots)
+                };
+                wm.handle.fb(&mut wm.model, &sg, loss_root);
+                let loss = wm.handle.sync_get_latest_loss();
+                vec![vec![loss]; batch.len()]
+            }
+        };
+        let service = wm.handle.wall_time() - wall_before;
+        let completed_at = start + service;
+        wm.busy_until = completed_at;
+        wm.batches += 1;
+        self.batches += 1;
+        for _ in 0..batch.len() {
+            self.inflight.push(Reverse(completed_at.as_ns().to_bits()));
+        }
+
+        vpps_obs::counter("serve.batches").incr();
+        vpps_obs::counter("serve.completed").add(batch.len() as u64);
+        vpps_obs::histogram("serve.batch_size").record(batch.len() as u64);
+        vpps_obs::histogram("serve.service_ns").record(service.as_ns() as u64);
+        let batch_size = batch.len();
+        for (p, output) in batch.into_iter().zip(outputs) {
+            let in_deadline = p.deadline.is_none_or(|d| completed_at <= d);
+            vpps_obs::histogram("serve.queue_wait_ns")
+                .record((dispatched_at - p.arrival).as_ns() as u64);
+            vpps_obs::histogram("serve.e2e_ns").record((completed_at - p.arrival).as_ns() as u64);
+            self.outcomes.push(Outcome::Completed(Completion {
+                id: p.id,
+                tenant: p.tenant,
+                model: key.model,
+                kind: key.kind,
+                arrival: p.arrival,
+                dispatched_at,
+                completed_at,
+                batch_size,
+                output,
+                in_deadline,
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AdmissionPolicy, BatchPolicy};
+    use dyn_graph::NodeId;
+    use gpu_sim::DeviceConfig;
+
+    fn toy_model() -> (Model, dyn_graph::ParamId, dyn_graph::ParamId) {
+        let mut m = Model::new(7);
+        let w = m.add_matrix("W", 16, 16);
+        let cls = m.add_matrix("cls", 4, 16);
+        (m, w, cls)
+    }
+
+    fn toy_graph(
+        m: &Model,
+        w: dyn_graph::ParamId,
+        cls: dyn_graph::ParamId,
+        steps: usize,
+        label: usize,
+    ) -> (Graph, NodeId) {
+        let mut g = Graph::new();
+        let mut h = g.input(vec![0.5; 16]);
+        for _ in 0..steps {
+            let z = g.matvec(m, w, h);
+            h = g.tanh(z);
+        }
+        let o = g.matvec(m, cls, h);
+        let loss = g.pick_neg_log_softmax(o, label);
+        (g, loss)
+    }
+
+    fn small_config() -> ServeConfig {
+        let mut device = DeviceConfig::titan_v();
+        device.num_sms = 4;
+        ServeConfig {
+            device,
+            opts: vpps::VppsOptions {
+                pool_capacity: 1 << 20,
+                ..vpps::VppsOptions::default()
+            },
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_linger: SimTime::from_us(50.0),
+                deadline_aware: true,
+            },
+            admission: AdmissionPolicy::default(),
+        }
+    }
+
+    fn infer_request(
+        server_model: ModelId,
+        m: &Model,
+        w: dyn_graph::ParamId,
+        cls: dyn_graph::ParamId,
+        tenant: u32,
+        steps: usize,
+        at_us: f64,
+    ) -> Request {
+        let (graph, root) = toy_graph(m, w, cls, steps, 0);
+        Request {
+            tenant: TenantId(tenant),
+            model: server_model,
+            kind: RequestKind::Infer,
+            graph,
+            root,
+            arrival: SimTime::from_us(at_us),
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn full_bucket_flushes_as_one_batch() {
+        let (m, w, cls) = toy_model();
+        let mut srv = Server::new(small_config());
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        for i in 0..4 {
+            let adm = srv.submit(infer_request(mid, &m, w, cls, i, 2, 1.0));
+            assert!(adm.is_queued());
+        }
+        // Size trigger fired: everything completed in one batch of 4.
+        assert_eq!(srv.queue_depth(), 0);
+        assert_eq!(srv.batches_dispatched(), 1);
+        let completions: Vec<_> = srv
+            .outcomes()
+            .iter()
+            .filter_map(Outcome::completion)
+            .collect();
+        assert_eq!(completions.len(), 4);
+        assert!(completions.iter().all(|c| c.batch_size == 4));
+    }
+
+    #[test]
+    fn linger_expiry_flushes_a_partial_batch() {
+        let (m, w, cls) = toy_model();
+        let mut srv = Server::new(small_config());
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        srv.submit(infer_request(mid, &m, w, cls, 0, 2, 1.0));
+        srv.submit(infer_request(mid, &m, w, cls, 1, 2, 2.0));
+        assert_eq!(srv.queue_depth(), 2);
+        // Advance past the first request's linger deadline (1us + 50us).
+        srv.run_until(SimTime::from_us(60.0));
+        assert_eq!(srv.queue_depth(), 0);
+        let completions: Vec<_> = srv
+            .outcomes()
+            .iter()
+            .filter_map(Outcome::completion)
+            .collect();
+        assert_eq!(completions.len(), 2);
+        assert_eq!(completions[0].batch_size, 2);
+        // Linger bound respected: dispatch within max_linger of arrival.
+        for c in &completions {
+            assert!(c.dispatched_at <= c.arrival + SimTime::from_us(50.0) + SimTime::from_ns(1.0));
+        }
+    }
+
+    #[test]
+    fn different_shape_classes_never_co_batch() {
+        let (m, w, cls) = toy_model();
+        let mut srv = Server::new(small_config());
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        // 1-step (~5 nodes) and 16-step (~35 nodes) graphs land in
+        // different log2 shape classes.
+        srv.submit(infer_request(mid, &m, w, cls, 0, 1, 1.0));
+        srv.submit(infer_request(mid, &m, w, cls, 0, 16, 1.0));
+        srv.drain();
+        assert_eq!(srv.batches_dispatched(), 2);
+        let completions: Vec<_> = srv
+            .outcomes()
+            .iter()
+            .filter_map(Outcome::completion)
+            .collect();
+        assert!(completions.iter().all(|c| c.batch_size == 1));
+    }
+
+    #[test]
+    fn admission_sheds_beyond_bounds_and_records_every_outcome() {
+        let (m, w, cls) = toy_model();
+        let mut cfg = small_config();
+        cfg.batch.max_batch = 64; // keep everything queued
+        cfg.admission = AdmissionPolicy {
+            queue_capacity: 6,
+            tenant_quota: 4,
+        };
+        let mut srv = Server::new(cfg);
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        let mut queued = 0;
+        let mut quota = 0;
+        let mut full = 0;
+        for i in 0..10 {
+            let tenant = i / 8; // tenant 0 submits 8, tenant 1 submits 2
+            match srv.submit(infer_request(mid, &m, w, cls, tenant, 2, 1.0)) {
+                Admission::Queued(_) => queued += 1,
+                Admission::Shed(_, ShedReason::TenantQuota) => quota += 1,
+                Admission::Shed(_, ShedReason::QueueFull) => full += 1,
+                Admission::Shed(_, r) => panic!("unexpected shed {r:?}"),
+            }
+        }
+        // Tenant 0 hits its quota of 4 (4 shed), then tenant 1 queues 2.
+        assert_eq!((queued, quota, full), (6, 4, 0));
+        // An 11th request hits the global bound.
+        match srv.submit(infer_request(mid, &m, w, cls, 2, 2, 1.0)) {
+            Admission::Shed(_, ShedReason::QueueFull) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        srv.drain();
+        assert_eq!(srv.outcomes().len(), 11);
+        assert_eq!(
+            srv.outcomes()
+                .iter()
+                .filter(|o| o.completion().is_some())
+                .count(),
+            6
+        );
+    }
+
+    #[test]
+    fn overload_sheds_against_the_outstanding_bound() {
+        let (m, w, cls) = toy_model();
+        let mut cfg = small_config();
+        cfg.batch.max_batch = 2;
+        cfg.admission = AdmissionPolicy {
+            queue_capacity: 4,
+            tenant_quota: 100,
+        };
+        let mut srv = Server::new(cfg);
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        // A simultaneous burst: batches dispatch instantly (size trigger)
+        // but the virtual device hasn't finished them, so in-flight work
+        // keeps counting against the bound.
+        let mut admitted = 0;
+        let mut shed = 0;
+        for i in 0..12 {
+            match srv.submit(infer_request(mid, &m, w, cls, i, 2, 1.0)) {
+                Admission::Queued(_) => admitted += 1,
+                Admission::Shed(_, ShedReason::QueueFull) => shed += 1,
+                Admission::Shed(_, r) => panic!("unexpected shed {r:?}"),
+            }
+        }
+        assert_eq!((admitted, shed), (4, 8));
+        assert_eq!(srv.outstanding(), 4);
+        // Once the device catches up, capacity frees again.
+        srv.run_until(SimTime::from_secs(1.0));
+        assert_eq!(srv.outstanding(), 0);
+        assert!(srv
+            .submit(infer_request(mid, &m, w, cls, 0, 2, 1_000_001.0))
+            .is_queued());
+    }
+
+    #[test]
+    fn expired_deadlines_shed_instead_of_executing() {
+        let (m, w, cls) = toy_model();
+        let mut srv = Server::new(small_config());
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        let mut req = infer_request(mid, &m, w, cls, 0, 2, 1.0);
+        req.deadline = Some(SimTime::from_us(10.0));
+        assert!(srv.submit(req).is_queued());
+        // Dead on arrival: deadline before arrival time.
+        let mut doa = infer_request(mid, &m, w, cls, 0, 2, 20.0);
+        doa.deadline = Some(SimTime::from_us(15.0));
+        match srv.submit(doa) {
+            Admission::Shed(_, ShedReason::DeadlineExpired) => {}
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        // The first request was flushed at its deadline (deadline-aware),
+        // completing late but dispatched before expiry.
+        let completions: Vec<_> = srv
+            .outcomes()
+            .iter()
+            .filter_map(Outcome::completion)
+            .collect();
+        assert_eq!(completions.len(), 1);
+        assert!(completions[0].dispatched_at <= SimTime::from_us(10.0));
+    }
+
+    #[test]
+    fn train_batches_return_the_summed_loss_and_update_weights() {
+        let (m, w, cls) = toy_model();
+        let mut srv = Server::new(small_config());
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        for i in 0..2 {
+            let (graph, root) = toy_graph(&m, w, cls, 2, i);
+            srv.submit(Request {
+                tenant: TenantId(0),
+                model: mid,
+                kind: RequestKind::Train,
+                graph,
+                root,
+                arrival: SimTime::from_us(1.0),
+                deadline: None,
+            });
+        }
+        srv.drain();
+        let completions: Vec<_> = srv
+            .outcomes()
+            .iter()
+            .filter_map(Outcome::completion)
+            .collect();
+        assert_eq!(completions.len(), 2);
+        let loss = completions[0].output[0];
+        assert!(loss > 0.0, "summed batch loss should be positive");
+        assert_eq!(completions[1].output[0], loss, "same batch, same loss");
+    }
+
+    #[test]
+    fn batched_inference_is_bit_identical_to_serial() {
+        let (mut m, w, cls) = toy_model();
+        // Serial reference on a raw handle.
+        let mut reference = Vec::new();
+        let mut h = Handle::new(&m, small_config().device, small_config().opts).unwrap();
+        for steps in [2usize, 2, 2] {
+            let (g, l) = toy_graph(&m, w, cls, steps, 0);
+            reference.push(h.infer(&mut m, &g, l));
+        }
+        // Server path: the three requests co-batch into one launch.
+        let mut srv = Server::new(small_config());
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        for i in 0..3 {
+            srv.submit(infer_request(mid, &m, w, cls, i, 2, 1.0));
+        }
+        srv.drain();
+        let got: Vec<_> = srv
+            .outcomes()
+            .iter()
+            .filter_map(Outcome::completion)
+            .map(|c| c.output.clone())
+            .collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let run = || {
+            let (m, w, cls) = toy_model();
+            let mut srv = Server::new(small_config());
+            let mid = srv.register_model("toy", m.clone()).unwrap();
+            for i in 0..9 {
+                srv.submit(infer_request(
+                    mid,
+                    &m,
+                    w,
+                    cls,
+                    i % 3,
+                    1 + (i as usize) % 3,
+                    i as f64,
+                ));
+            }
+            srv.drain();
+            srv.outcomes()
+                .iter()
+                .map(|o| match o {
+                    Outcome::Completed(c) => (
+                        c.id.0,
+                        c.dispatched_at.as_ns().to_bits(),
+                        c.completed_at.as_ns().to_bits(),
+                        c.output.clone(),
+                    ),
+                    Outcome::Shed(s) => (s.id.0, s.at.as_ns().to_bits(), 0, Vec::new()),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shared_plan_signatures_hit_the_jit_cache() {
+        let (m, _, _) = toy_model();
+        let mut srv = Server::new(small_config());
+        let a = srv.register_model("a", m.clone()).unwrap();
+        let paid_after_first = srv.jit_paid();
+        let b = srv.register_model("b", m.clone()).unwrap();
+        assert_eq!(srv.plan_signature(a), srv.plan_signature(b));
+        let second_cost = srv.jit_paid() - paid_after_first;
+        assert!(
+            second_cost < paid_after_first,
+            "cache hit pays module load only"
+        );
+        assert_eq!(srv.model_name(b), "b");
+    }
+}

@@ -1,0 +1,306 @@
+//! Invariants of the `vpps-serve` serving layer under randomized traffic:
+//!
+//! * every submitted request is resolved exactly once — completed or shed,
+//!   never both, never dropped silently;
+//! * no dispatched batch mixes specialization plans (checked across two
+//!   models with distinct plan signatures), request kinds, or sizes beyond
+//!   the policy's `max_batch`;
+//! * the linger bound holds on the virtual clock: a completed request is
+//!   always dispatched within `max_linger` of its arrival;
+//! * batched inference is bit-identical to serial per-request execution of
+//!   the same trace — batching changes scheduling, never numerics.
+//!
+//! The traffic generator drives a scaled-down Tree-LSTM serving workload:
+//! random arrival gaps, tenants, per-request parse trees (so graph shapes
+//! differ), and randomized batching/admission policies.
+
+use std::collections::BTreeMap;
+
+use dyn_graph::Model;
+use gpu_sim::{DeviceConfig, SimTime};
+use proptest::prelude::*;
+use vpps_datasets::{Treebank, TreebankConfig};
+use vpps_models::{DynamicModel, TreeLstm};
+use vpps_serve::{
+    Admission, AdmissionPolicy, BatchPolicy, ModelId, Outcome, Request, RequestKind, ServeConfig,
+    Server, TenantId,
+};
+
+/// One randomly generated request, before materialization into a graph.
+#[derive(Debug, Clone)]
+struct ReqSpec {
+    tenant: u32,
+    /// Gap to the previous arrival, nanoseconds.
+    gap_ns: u32,
+    /// Seed for the per-request parse tree (controls graph shape).
+    sample_seed: u32,
+    /// Which of the two registered models this request targets.
+    second_model: bool,
+    train: bool,
+}
+
+/// One randomly generated serving run: a trace plus the policies.
+#[derive(Debug, Clone)]
+struct RunSpec {
+    reqs: Vec<ReqSpec>,
+    max_batch: usize,
+    linger_us: u16,
+    queue_capacity: usize,
+    tenant_quota: usize,
+    /// Relative deadline in microseconds; 0 disables deadlines.
+    deadline_us: u32,
+}
+
+fn arb_run() -> impl Strategy<Value = RunSpec> {
+    let req = (0u32..3, 0u32..400_000, any::<u32>(), any::<bool>(), 0u8..4).prop_map(
+        |(tenant, gap_ns, sample_seed, second_model, train)| ReqSpec {
+            tenant,
+            gap_ns,
+            sample_seed,
+            second_model,
+            // ~1 in 4 requests trains.
+            train: train == 0,
+        },
+    );
+    (
+        prop::collection::vec(req, 1..24),
+        1usize..6,
+        20u16..400,
+        4usize..64,
+        2usize..32,
+        prop_oneof![Just(0u32), 50u32..5_000],
+    )
+        .prop_map(
+            |(reqs, max_batch, linger_us, queue_capacity, tenant_quota, deadline_us)| RunSpec {
+                reqs,
+                max_batch,
+                linger_us,
+                queue_capacity,
+                tenant_quota,
+                deadline_us,
+            },
+        )
+}
+
+/// Two Tree-LSTM workloads with different dimensions — and therefore
+/// different specialization plans — behind one server.
+struct TwoModelWorkload {
+    arches: [TreeLstm; 2],
+    models: [Model; 2],
+}
+
+impl TwoModelWorkload {
+    fn new() -> Self {
+        let mut m0 = Model::new(11);
+        let a0 = TreeLstm::register(&mut m0, 60, 16, 16, 3);
+        let mut m1 = Model::new(13);
+        let a1 = TreeLstm::register(&mut m1, 60, 24, 24, 3);
+        Self {
+            arches: [a0, a1],
+            models: [m0, m1],
+        }
+    }
+
+    fn graph(&self, which: usize, sample_seed: u32) -> (dyn_graph::Graph, dyn_graph::NodeId) {
+        let mut bank = Treebank::new(TreebankConfig {
+            vocab: 60,
+            min_len: 3,
+            max_len: 7,
+            classes: 3,
+            seed: u64::from(sample_seed),
+        });
+        let sample = bank.sample();
+        self.arches[which].build(&self.models[which], &sample)
+    }
+}
+
+fn server_for(spec: &RunSpec, workload: &TwoModelWorkload) -> (Server, [ModelId; 2]) {
+    let cfg = ServeConfig {
+        device: DeviceConfig::titan_v(),
+        opts: vpps::VppsOptions {
+            pool_capacity: 1 << 21,
+            ..vpps::VppsOptions::default()
+        },
+        batch: BatchPolicy {
+            max_batch: spec.max_batch,
+            max_linger: SimTime::from_us(f64::from(spec.linger_us)),
+            deadline_aware: true,
+        },
+        admission: AdmissionPolicy {
+            queue_capacity: spec.queue_capacity,
+            tenant_quota: spec.tenant_quota,
+        },
+    };
+    let mut server = Server::new(cfg);
+    let m0 = server
+        .register_model("small", workload.models[0].clone())
+        .expect("small model fits");
+    let m1 = server
+        .register_model("large", workload.models[1].clone())
+        .expect("large model fits");
+    (server, [m0, m1])
+}
+
+/// Drives the whole trace through a server and returns it drained, plus the
+/// admission verdict for every request in submission order.
+fn run_trace(
+    spec: &RunSpec,
+    workload: &TwoModelWorkload,
+) -> (Server, [ModelId; 2], Vec<Admission>) {
+    let (mut server, mids) = server_for(spec, workload);
+    let mut clock = SimTime::ZERO;
+    let mut admissions = Vec::with_capacity(spec.reqs.len());
+    for r in &spec.reqs {
+        clock += SimTime::from_ns(f64::from(r.gap_ns));
+        let which = usize::from(r.second_model);
+        let (graph, root) = workload.graph(which, r.sample_seed);
+        let deadline =
+            (spec.deadline_us > 0).then(|| clock + SimTime::from_us(f64::from(spec.deadline_us)));
+        admissions.push(server.submit(Request {
+            tenant: TenantId(r.tenant),
+            model: mids[which],
+            kind: if r.train {
+                RequestKind::Train
+            } else {
+                RequestKind::Infer
+            },
+            graph,
+            root,
+            arrival: clock,
+            deadline,
+        }));
+    }
+    server.drain();
+    (server, mids, admissions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every submitted request resolves exactly once, shed admissions stay
+    /// shed, and no outcome appears for a request that was never submitted.
+    #[test]
+    fn every_request_resolves_exactly_once(spec in arb_run()) {
+        let workload = TwoModelWorkload::new();
+        let (server, _, admissions) = run_trace(&spec, &workload);
+        prop_assert_eq!(server.outcomes().len(), spec.reqs.len(),
+            "one outcome per submitted request");
+        let mut seen = BTreeMap::new();
+        for o in server.outcomes() {
+            *seen.entry(o.id()).or_insert(0u32) += 1;
+        }
+        for (id, n) in &seen {
+            prop_assert_eq!(*n, 1, "request {:?} resolved {} times", id, n);
+        }
+        for adm in &admissions {
+            match adm {
+                Admission::Queued(id) => {
+                    prop_assert!(seen.contains_key(id), "queued {id:?} has an outcome");
+                }
+                Admission::Shed(id, _) => {
+                    let shed_now = server.outcomes().iter().any(
+                        |o| matches!(o, Outcome::Shed(s) if s.id == *id));
+                    prop_assert!(shed_now, "shed-at-admission {id:?} recorded as shed");
+                }
+            }
+        }
+    }
+
+    /// A dispatched batch never mixes specialization plans, request kinds,
+    /// or more members than the policy allows. Batch identity is
+    /// `(model, dispatched_at, completed_at)`: one model executes batches
+    /// serially on its device, so no two batches share all three.
+    #[test]
+    fn batches_are_homogeneous_and_bounded(spec in arb_run()) {
+        let workload = TwoModelWorkload::new();
+        let (server, mids, _) = run_trace(&spec, &workload);
+        prop_assert!(server.plan_signature(mids[0]) != server.plan_signature(mids[1]),
+            "the two workload models must have distinct plans");
+        let mut batches: BTreeMap<(usize, u64, u64), Vec<_>> = BTreeMap::new();
+        for o in server.outcomes() {
+            if let Outcome::Completed(c) = o {
+                batches
+                    .entry((
+                        c.model.0,
+                        c.dispatched_at.as_ns().to_bits(),
+                        c.completed_at.as_ns().to_bits(),
+                    ))
+                    .or_default()
+                    .push(c);
+            }
+        }
+        for ((model, _, _), members) in &batches {
+            let kind = members[0].kind;
+            let size = members[0].batch_size;
+            prop_assert!(size <= spec.max_batch, "batch of {} exceeds max {}", size, spec.max_batch);
+            prop_assert_eq!(members.len(), size,
+                "batch on model {} reports size {} but has {} members", model, size, members.len());
+            for c in members {
+                prop_assert_eq!(c.kind, kind, "batch mixes request kinds");
+                prop_assert_eq!(c.batch_size, size, "batch members disagree on size");
+            }
+        }
+    }
+
+    /// The linger bound: on the virtual clock, every completed request was
+    /// dispatched no later than `arrival + max_linger`.
+    #[test]
+    fn linger_deadline_is_never_exceeded(spec in arb_run()) {
+        let workload = TwoModelWorkload::new();
+        let (server, _, _) = run_trace(&spec, &workload);
+        let linger = SimTime::from_us(f64::from(spec.linger_us));
+        for o in server.outcomes() {
+            if let Outcome::Completed(c) = o {
+                prop_assert!(
+                    c.dispatched_at <= c.arrival + linger,
+                    "request {:?} arrived {} us, dispatched {} us, linger {} us",
+                    c.id, c.arrival.as_us(), c.dispatched_at.as_us(), linger.as_us()
+                );
+            }
+        }
+    }
+
+    /// Batching changes scheduling, never numerics: an all-inference trace
+    /// produces bit-identical outputs whether batched or executed one
+    /// request at a time.
+    #[test]
+    fn batched_inference_matches_serial_bitwise(spec in arb_run()) {
+        let mut spec = spec;
+        // Inference only (training mutates weights, so request outputs
+        // depend on everything executed before them), no deadline sheds,
+        // and admission wide enough that both configurations keep
+        // everything.
+        for r in &mut spec.reqs {
+            r.train = false;
+        }
+        spec.deadline_us = 0;
+        spec.queue_capacity = 10_000;
+        spec.tenant_quota = 10_000;
+        let mut serial = spec.clone();
+        serial.max_batch = 1;
+
+        let workload = TwoModelWorkload::new();
+        let (batched_srv, _, _) = run_trace(&spec, &workload);
+        let (serial_srv, _, _) = run_trace(&serial, &workload);
+
+        let outputs = |srv: &Server| -> BTreeMap<_, Vec<u32>> {
+            srv.outcomes()
+                .iter()
+                .filter_map(|o| match o {
+                    Outcome::Completed(c) => Some((
+                        c.id,
+                        c.output.iter().map(|v| v.to_bits()).collect(),
+                    )),
+                    Outcome::Shed(_) => None,
+                })
+                .collect()
+        };
+        let batched = outputs(&batched_srv);
+        let serial = outputs(&serial_srv);
+        prop_assert_eq!(batched.len(), spec.reqs.len(), "batched run completed everything");
+        prop_assert_eq!(serial.len(), spec.reqs.len(), "serial run completed everything");
+        for (id, bits) in &batched {
+            prop_assert_eq!(&serial[id], bits, "request {:?} differs from serial run", id);
+        }
+    }
+}
