@@ -8,16 +8,20 @@
 //!
 //! Subcommands: `fig2`, `fig8`, `fig9`, `fig10`, `fig12`, `table1`,
 //! `table2`, `all`, `serve` (serving-layer batching experiment writing
-//! `BENCH_serve.json`), and `trace` (writes a Chrome trace of one Tree-LSTM
-//! persistent kernel to `vpps_kernel_trace.json`). `--full` uses the
-//! paper's 128-input workloads; the default "quick" scale keeps every trend
-//! visible while running in minutes on one CPU core.
+//! `BENCH_serve.json`), `lowered` (interpreted-vs-lowered engine wall-clock
+//! comparison writing `BENCH_lowered.json`; included in `all`), and `trace`
+//! (writes a Chrome trace of one Tree-LSTM persistent kernel to
+//! `vpps_kernel_trace.json`). `--full` uses the paper's 128-input
+//! workloads; the default "quick" scale keeps every trend visible while
+//! running in minutes on one CPU core.
 //!
 //! `--backend=NAME` selects the VPPS execution backend for the sweeps
-//! (`event-interp`, `threaded`, or `parallel-interp`); `parallel-interp`
-//! partitions VPPs across all host cores, which shortens the `fig8`/`fig12`
-//! host wall time on multi-core machines without changing any reported
-//! number — every backend feeds the same unified metrics.
+//! (`event-interp`, `threaded`, `parallel-interp`, or `lowered`);
+//! `parallel-interp` partitions VPPs across all host cores, which shortens
+//! the `fig8`/`fig12` host wall time on multi-core machines without
+//! changing any reported number — every backend feeds the same unified
+//! metrics. `lowered` pre-resolves each script to flat micro-ops and caches
+//! the artifact per plan, so warm batches skip both dispatch and analysis.
 //!
 //! `--emit-metrics=FILE` turns instrumentation on and writes the run's
 //! metric registry after the experiment: a versioned JSON snapshot, or
@@ -399,6 +403,57 @@ fn trace() {
     println!("open chrome://tracing or https://ui.perfetto.dev and load the file.");
 }
 
+/// Interpreted-vs-lowered engine wall-clock comparison. Writes
+/// `BENCH_lowered.json` (honoring `$VPPS_BENCH_DIR`).
+fn lowered(full: bool) {
+    println!("Lowered — pre-resolved micro-op execution vs the event interpreter");
+    println!("(engine wall-clock only; losses compared bit-for-bit)\n");
+    let rows = vpps_bench::lowered_bench(full);
+    let mut table = Vec::new();
+    for r in &rows {
+        table.push(vec![
+            r.scenario.clone(),
+            r.batches.to_string(),
+            format!("{:.2}", r.interp_ns as f64 / 1e6),
+            format!("{:.2}", r.lowered_ns as f64 / 1e6),
+            fmt_ratio(r.speedup),
+            if r.plan_warm_hit_rate < 0.0 {
+                "-".to_owned()
+            } else {
+                format!("{:.2}", r.plan_warm_hit_rate)
+            },
+            format!("{}/{}", r.script_hits, r.script_hits + r.script_misses),
+            if r.bit_identical { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Lowered",
+            &[
+                "scenario",
+                "batches",
+                "interp ms",
+                "lowered ms",
+                "speedup",
+                "warm hit rate",
+                "script hits",
+                "bit-identical"
+            ],
+            &table
+        )
+    );
+    println!("Every row must be bit-identical; the fig8 sweep shows the cache win");
+    println!("(epoch 2+ batches skip lowering and the timeline sweep entirely).\n");
+    match vpps_bench::write_lowered_summary(&rows) {
+        Ok(path) => println!("lowered trajectory -> {}\n", path.display()),
+        Err(e) => {
+            eprintln!("cannot write lowered trajectory: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Serving-layer experiment: shape-bucketed dynamic batching vs batch-1
 /// dispatch at a saturating offered load, plus a low-load sanity row.
 /// Writes `BENCH_serve.json` (honoring `$VPPS_BENCH_DIR`).
@@ -590,6 +645,7 @@ fn main() {
         "table2" => table2(),
         "trace" => trace(),
         "serve" => serve(full, backend),
+        "lowered" => lowered(full),
         "all" => {
             table2();
             fig2(&scale);
@@ -599,12 +655,13 @@ fn main() {
             fig10(&scale, backend);
             fig12(&scale, backend);
             serve(full, backend);
+            lowered(full);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|serve|all] \
-                 [--full] [--backend=event-interp|threaded|parallel-interp] \
+                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|serve|lowered|all] \
+                 [--full] [--backend=event-interp|threaded|parallel-interp|lowered] \
                  [--emit-metrics=FILE[.prom]] [--emit-trace=FILE]"
             );
             std::process::exit(2);

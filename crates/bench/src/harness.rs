@@ -240,7 +240,11 @@ mod tests {
             1,
             BackendKind::EventInterp,
         );
-        for kind in [BackendKind::Threaded, BackendKind::ParallelInterp] {
+        for kind in [
+            BackendKind::Threaded,
+            BackendKind::ParallelInterp,
+            BackendKind::Lowered,
+        ] {
             let r = run_vpps_with(&app, &DeviceConfig::titan_v(), 4, 1, kind);
             assert_eq!(r.final_loss, reference.final_loss, "{kind:?} loss");
             assert_eq!(r.kernels, reference.kernels, "{kind:?} launches");

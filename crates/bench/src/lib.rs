@@ -17,11 +17,15 @@
 
 pub mod apps;
 pub mod harness;
+pub mod lowered_bench;
 pub mod report;
 pub mod serve_bench;
 pub mod trajectory;
 
 pub use apps::{AppInstance, AppKind, AppSpec};
 pub use harness::{profiled_rpw, run_baseline, run_vpps, RunResult};
+pub use lowered_bench::{
+    lowered_bench, validate_lowered_summary, write_lowered_summary, LoweredBenchRow,
+};
 pub use serve_bench::{run_scenario, ServeScenario, ServeWorkload};
 pub use trajectory::{validate_bench_summary, write_bench_summary, BenchRecord};

@@ -1,0 +1,430 @@
+//! Interpreted-vs-lowered wall-clock comparison (`BENCH_lowered.json`).
+//!
+//! The lowering pass (`vpps::engine::lowered`) buys its speedup in two
+//! installments: the branch-light micro-op sweep beats the event-driven
+//! interpreter on every batch, and the `PlanSignature`-keyed artifact cache
+//! lets warm batches skip the timeline analysis entirely. This module
+//! measures both against [`BackendKind::EventInterp`] on three regimes:
+//!
+//! * **`fig2-static`** — one fixed-shape graph re-run every batch (the
+//!   static-workload regime of the paper's Fig. 2 motivation): after the
+//!   cold batch every lookup is a script-level cache hit.
+//! * **`fig8-treelstm`** — the Fig. 8 Tree-LSTM batch sweep, several epochs
+//!   over a fixed sample set, so the plan-level table is hit on every batch
+//!   after the first and repeated trees become script-level hits.
+//! * **`serve`** — end-to-end wall clock of the serving scenario from
+//!   [`crate::serve_bench`], once per backend.
+//!
+//! Only the engine call is timed — graph generation, pool reset and input
+//! staging are identical work on both sides and are excluded so the rows
+//! isolate execution cost. Each backend trains its own fresh clone of the
+//! model and the per-batch losses are compared bit-for-bit, making every
+//! row double as an equivalence check.
+
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dyn_graph::{Graph, NodeId, Op};
+use gpu_sim::{DeviceConfig, GpuSim};
+use vpps::engine::{self, EventInterp};
+use vpps::exec::interp::ExecConfig;
+use vpps::script::{generate, TableLayout};
+use vpps::{BackendKind, KernelPlan, LoweredCache};
+use vpps_obs::Json;
+
+use crate::apps::{AppInstance, AppKind, AppSpec};
+use crate::serve_bench::{run_scenario, ServeScenario};
+
+/// Schema identifier written into every lowered summary.
+pub const SCHEMA: &str = "vpps-lowered-trajectory";
+
+/// Current schema version.
+pub const VERSION: u64 = 1;
+
+/// One scenario row of the interpreted-vs-lowered comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredBenchRow {
+    /// Scenario label ("fig2-static", "fig8-treelstm", "serve").
+    pub scenario: String,
+    /// Timed batches per backend (requests completed, for "serve").
+    pub batches: u64,
+    /// Host nanoseconds in the engine under [`BackendKind::EventInterp`].
+    pub interp_ns: u64,
+    /// Host nanoseconds in the engine under [`BackendKind::Lowered`].
+    pub lowered_ns: u64,
+    /// `interp_ns / lowered_ns`.
+    pub speedup: f64,
+    /// Fraction of plan-level cache lookups after the first batch that hit
+    /// (the warm-path invariant: 1.0). `-1.0` for "serve", where the cache
+    /// lives inside the server's handles — the CI smoke job asserts that
+    /// row through obs counters instead.
+    pub plan_warm_hit_rate: f64,
+    /// Script-level (fingerprint-keyed) cache hits on the lowered side.
+    pub script_hits: u64,
+    /// Script-level cache misses (each one lowering pass).
+    pub script_misses: u64,
+    /// Compute instructions executed per backend (identical by
+    /// construction; 0 for "serve", which reports through its own summary).
+    pub instructions: u64,
+    /// Whether the two backends produced bit-identical results.
+    pub bit_identical: bool,
+}
+
+/// Everything one backend's sweep over a batch list produces.
+struct SweepResult {
+    engine_ns: u64,
+    loss_bits: Vec<u32>,
+    instructions: u64,
+    plan_warm_hit_rate: f64,
+    script_hits: u64,
+    script_misses: u64,
+}
+
+/// Trains `epochs` passes over `batches` on one backend, timing only the
+/// engine call. The lowered side routes through a [`LoweredCache`] exactly
+/// like [`vpps::Handle`] does, so warm batches exercise the artifact cache.
+fn run_sweep(
+    app: &AppInstance,
+    device: &DeviceConfig,
+    batches: &[(Graph, NodeId)],
+    epochs: usize,
+    pool_capacity: usize,
+    lowered: bool,
+) -> SweepResult {
+    let mut model = app.fresh_model();
+    let plan = KernelPlan::build(&model, device, 1).expect("bench model fits the device");
+    let mut pool = vpps_tensor::Pool::with_capacity(pool_capacity);
+    let tables = TableLayout::install(&model, &mut pool).expect("pool sized for bench");
+    let mut gpu = GpuSim::new(device.clone());
+    let mut cache = LoweredCache::default();
+
+    let mut engine_ns = 0u64;
+    let mut loss_bits = Vec::new();
+    let mut instructions = 0u64;
+    // (hits, lookups) snapshot after the cold batch, for the warm-path rate.
+    let mut warm_base: Option<(u64, u64)> = None;
+
+    for _ in 0..epochs {
+        for (g, loss) in batches {
+            pool.reset();
+            let gs = generate::generate(g, *loss, &plan, &mut pool, &tables)
+                .expect("bench batch fits the pool");
+            for (id, node) in g.iter() {
+                if let Op::Input { values } = &node.op {
+                    pool.slice_mut(gs.layout.value_off[id.index()], node.dim)
+                        .copy_from_slice(values);
+                }
+            }
+            let cfg = ExecConfig {
+                learning_rate: 0.05,
+                weight_decay: 0.0,
+                apply_update: true,
+            };
+            let t0 = Instant::now();
+            let run = if lowered {
+                engine::run_batch_lowered(
+                    &plan, &gs, &mut pool, &mut model, &mut gpu, cfg, &mut cache,
+                )
+            } else {
+                engine::run_batch(
+                    &EventInterp,
+                    &plan,
+                    &gs,
+                    &mut pool,
+                    &mut model,
+                    &mut gpu,
+                    cfg,
+                )
+            };
+            engine_ns += t0.elapsed().as_nanos() as u64;
+            loss_bits.push(run.loss.to_bits());
+            instructions += run.instructions as u64;
+            if lowered && warm_base.is_none() {
+                let s = cache.stats();
+                warm_base = Some((s.plan_hits, s.plan_hits + s.plan_misses));
+            }
+        }
+    }
+
+    let stats = cache.stats();
+    let plan_warm_hit_rate = match warm_base {
+        Some((hits0, lookups0)) => {
+            let hits = stats.plan_hits - hits0;
+            let lookups = (stats.plan_hits + stats.plan_misses) - lookups0;
+            if lookups == 0 {
+                1.0
+            } else {
+                hits as f64 / lookups as f64
+            }
+        }
+        None => 1.0, // interpreted side: no cache in the loop
+    };
+    SweepResult {
+        engine_ns,
+        loss_bits,
+        instructions,
+        plan_warm_hit_rate,
+        script_hits: stats.script_hits,
+        script_misses: stats.script_misses,
+    }
+}
+
+/// Builds one comparison row from the two sweeps of a scenario.
+fn row_from_sweeps(scenario: &str, interp: &SweepResult, lowered: &SweepResult) -> LoweredBenchRow {
+    LoweredBenchRow {
+        scenario: scenario.to_owned(),
+        batches: interp.loss_bits.len() as u64,
+        interp_ns: interp.engine_ns,
+        lowered_ns: lowered.engine_ns,
+        speedup: interp.engine_ns as f64 / lowered.engine_ns.max(1) as f64,
+        plan_warm_hit_rate: lowered.plan_warm_hit_rate,
+        script_hits: lowered.script_hits,
+        script_misses: lowered.script_misses,
+        instructions: lowered.instructions,
+        bit_identical: interp.loss_bits == lowered.loss_bits
+            && interp.instructions == lowered.instructions,
+    }
+}
+
+/// The Tree-LSTM spec used by the sweeps: the paper architecture at a
+/// dimension that keeps the quick run in seconds.
+fn bench_spec(hidden: usize) -> AppSpec {
+    let mut spec = AppSpec::paper(AppKind::TreeLstm);
+    spec.hidden = hidden;
+    spec.emb = hidden;
+    spec.vocab = 500;
+    spec.max_len = 12;
+    spec
+}
+
+/// Pool sized for the largest batch graph plus resident tables and slack.
+fn pool_capacity_for(app: &AppInstance, batches: &[(Graph, NodeId)]) -> usize {
+    let resident: usize = {
+        let m = app.fresh_model();
+        m.lookups().map(|(_, l)| l.table.len()).sum::<usize>() + 16
+    };
+    let max_elems = batches
+        .iter()
+        .map(|(g, _)| g.total_elements())
+        .max()
+        .unwrap_or(0);
+    resident + max_elems * 3 + (1 << 16)
+}
+
+/// Runs the full interpreted-vs-lowered comparison and returns its rows.
+///
+/// `full` scales the workloads up (paper-style sizes); the default quick
+/// scale keeps the whole comparison in seconds.
+pub fn lowered_bench(full: bool) -> Vec<LoweredBenchRow> {
+    let device = DeviceConfig::titan_v();
+    let mut rows = Vec::new();
+
+    // fig8: dynamic Tree-LSTM shapes, several epochs over a fixed sample
+    // set. Epoch one misses the script cache (distinct trees); later epochs
+    // hit it, which is where the lowering investment pays off.
+    let inputs = if full { 32 } else { 16 };
+    let epochs = 8;
+    let app = AppInstance::new(bench_spec(if full { 128 } else { 32 }), inputs);
+    let batches = app.batch_graphs(4);
+    let capacity = pool_capacity_for(&app, &batches);
+    let interp = run_sweep(&app, &device, &batches, epochs, capacity, false);
+    let lowered = run_sweep(&app, &device, &batches, epochs, capacity, true);
+    rows.push(row_from_sweeps("fig8-treelstm", &interp, &lowered));
+
+    // fig2: static shape — the first batch graph re-run every batch, so
+    // every lookup after the cold one is a script-level hit.
+    let static_batches = &batches[..1];
+    let static_epochs = if full { 24 } else { 12 };
+    let interp = run_sweep(
+        &app,
+        &device,
+        static_batches,
+        static_epochs,
+        capacity,
+        false,
+    );
+    let lowered = run_sweep(&app, &device, static_batches, static_epochs, capacity, true);
+    rows.push(row_from_sweeps("fig2-static", &interp, &lowered));
+
+    // serve: whole-scenario wall clock (queueing + batching + engine); the
+    // backends must agree on every served outcome, so the reports match.
+    let base = ServeScenario {
+        label: "lowered-serve".to_owned(),
+        requests: if full { 300 } else { 80 },
+        hidden: 32,
+        ..ServeScenario::default()
+    };
+    let t0 = Instant::now();
+    let interp_rec = run_scenario(&ServeScenario {
+        backend: BackendKind::EventInterp,
+        ..base.clone()
+    });
+    let interp_ns = t0.elapsed().as_nanos() as u64;
+    let t0 = Instant::now();
+    let lowered_rec = run_scenario(&ServeScenario {
+        backend: BackendKind::Lowered,
+        ..base
+    });
+    let lowered_ns = t0.elapsed().as_nanos() as u64;
+    rows.push(LoweredBenchRow {
+        scenario: "serve".to_owned(),
+        batches: interp_rec.report.completed,
+        interp_ns,
+        lowered_ns,
+        speedup: interp_ns as f64 / lowered_ns.max(1) as f64,
+        plan_warm_hit_rate: -1.0,
+        script_hits: 0,
+        script_misses: 0,
+        instructions: 0,
+        bit_identical: interp_rec.report == lowered_rec.report,
+    });
+
+    rows
+}
+
+impl LoweredBenchRow {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("scenario", Json::from(self.scenario.as_str()));
+        o.set("batches", Json::from(self.batches));
+        o.set("interp_ns", Json::from(self.interp_ns));
+        o.set("lowered_ns", Json::from(self.lowered_ns));
+        o.set("speedup", Json::Num(self.speedup));
+        o.set("plan_warm_hit_rate", Json::Num(self.plan_warm_hit_rate));
+        o.set("script_hits", Json::from(self.script_hits));
+        o.set("script_misses", Json::from(self.script_misses));
+        o.set("instructions", Json::from(self.instructions));
+        o.set("bit_identical", Json::from(self.bit_identical));
+        o
+    }
+}
+
+/// Serializes the comparison rows into the versioned summary document.
+pub fn lowered_summary_json(rows: &[LoweredBenchRow]) -> String {
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from(SCHEMA));
+    doc.set("version", Json::from(VERSION));
+    doc.set("experiment", Json::from("lowered"));
+    doc.set(
+        "records",
+        Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+    );
+    let mut out = String::new();
+    doc.write(&mut out);
+    out
+}
+
+/// Writes `BENCH_lowered.json` (into `$VPPS_BENCH_DIR` when set, else the
+/// current directory), validating the document first.
+///
+/// # Errors
+///
+/// I/O failure writing the file, or (as [`io::ErrorKind::InvalidData`]) a
+/// summary that fails its own schema validation — a bug, not an
+/// environment problem.
+pub fn write_lowered_summary(rows: &[LoweredBenchRow]) -> io::Result<PathBuf> {
+    let json = lowered_summary_json(rows);
+    validate_lowered_summary(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut path = std::env::var_os("VPPS_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    path.push("BENCH_lowered.json");
+    std::fs::write(&path, &json)?;
+    Ok(path)
+}
+
+/// Validates a lowered summary document against the schema.
+///
+/// # Errors
+///
+/// Describes the first structural problem found.
+pub fn validate_lowered_summary(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string \"schema\"".to_string())?;
+    if schema != SCHEMA {
+        return Err(format!("unknown schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "missing integer \"version\"".to_string())?;
+    if version != VERSION {
+        return Err(format!("unsupported version {version}, expected {VERSION}"));
+    }
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing array \"records\"".to_string())?;
+    for (i, rec) in records.iter().enumerate() {
+        let err = |what: &str| format!("record {i}: {what}");
+        rec.get("scenario")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing string \"scenario\""))?;
+        for key in [
+            "batches",
+            "interp_ns",
+            "lowered_ns",
+            "script_hits",
+            "script_misses",
+            "instructions",
+        ] {
+            rec.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err(&format!("missing u64 {key:?}")))?;
+        }
+        for key in ["speedup", "plan_warm_hit_rate"] {
+            rec.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err(&format!("missing number {key:?}")))?;
+        }
+        match rec.get("bit_identical") {
+            Some(Json::Bool(_)) => {}
+            _ => return Err(err("missing bool \"bit_identical\"")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_validates() {
+        let json = lowered_summary_json(&[]);
+        validate_lowered_summary(&json).unwrap();
+        assert!(json.contains("\"experiment\":\"lowered\""));
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema() {
+        let json = lowered_summary_json(&[]).replace(SCHEMA, "nope");
+        assert!(validate_lowered_summary(&json).is_err());
+        assert!(validate_lowered_summary("{}").is_err());
+        assert!(validate_lowered_summary("junk").is_err());
+    }
+
+    #[test]
+    fn tiny_sweep_is_bit_identical_and_warm() {
+        let device = DeviceConfig::titan_v();
+        let app = AppInstance::new(bench_spec(16), 8);
+        let batches = app.batch_graphs(4);
+        let capacity = pool_capacity_for(&app, &batches);
+        let interp = run_sweep(&app, &device, &batches, 2, capacity, false);
+        let lowered = run_sweep(&app, &device, &batches, 2, capacity, true);
+        let row = row_from_sweeps("tiny", &interp, &lowered);
+        assert!(row.bit_identical, "losses must match bit-for-bit");
+        assert_eq!(
+            row.plan_warm_hit_rate, 1.0,
+            "every lookup after the cold batch hits the plan table"
+        );
+        // Epoch two re-runs the same trees: script hits must appear.
+        assert!(row.script_hits >= row.script_misses);
+        let json = lowered_summary_json(&[row]);
+        validate_lowered_summary(&json).unwrap();
+    }
+}

@@ -93,14 +93,18 @@ impl SharedPool {
             }
             // SAFETY: in-bounds; f32 and AtomicU32 share size and alignment.
             let cell = unsafe { &*(self.ptr.add(off.raw() as usize + i) as *const AtomicU32) };
-            let mut cur = cell.load(Ordering::Relaxed);
-            loop {
-                let next = (f32::from_bits(cur) + v).to_bits();
-                match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
-                    Ok(_) => break,
-                    Err(actual) => cur = actual,
-                }
-            }
+            // One `fetch_update` per element replaces the hand-rolled
+            // load + compare_exchange_weak loop (same CAS retry protocol,
+            // provided by the standard library). This atomic does *not*
+            // decide summation order: `Threaded` accumulation order is
+            // inherently racy (its float results carry tolerances), and
+            // `ParallelInterp` gets bit-identical sums by journaling its
+            // accumulates and committing them in reference serial order via
+            // `add_serial` — never through this method.
+            cell.fetch_update(Ordering::AcqRel, Ordering::Relaxed, |cur| {
+                Some((f32::from_bits(cur) + v).to_bits())
+            })
+            .expect("fetch_update closure never returns None");
         }
     }
 

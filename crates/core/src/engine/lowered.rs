@@ -1,0 +1,1122 @@
+//! Lowered-script execution: the host-side analogue of the paper's
+//! specialization.
+//!
+//! The NVRTC-specialized persistent kernel bakes *literal register indices*
+//! into its instruction stream so VPPs never chase pointers at run time.
+//! The interpreted backends still pay that indirection on the host: every
+//! executed [`Instr`] goes through a 20-arm `match`, a
+//! [`Distribution::chunk`] lookup, a `row_start` offset computation and one
+//! to three heap allocations. This module performs the same specialization
+//! once, ahead of time:
+//!
+//! ```text
+//!  GeneratedScript ─┐
+//!  Distribution  ───┼─ lower() ──► LoweredScript
+//!  KernelPlan  ─────┘                ├─ ops:      flat [MicroOp] in the
+//!  (CostModel for the timeline)      │            reference serial order,
+//!                                    │            sync compiled away
+//!                                    ├─ costs:    per-instruction InstrCost
+//!                                    │            table (ScriptCosts)
+//!                                    └─ timeline: the cached TimelineReport
+//! ```
+//!
+//! * **Literal resolution** — every pool offset (including the chunk's
+//!   `row_start` bias), operand length and chunk slice range is folded into
+//!   the [`MicroOp`] as a plain integer at lower time; the hot loop does no
+//!   `Distribution` lookups and allocates nothing.
+//! * **Sync compiled away** — the event-driven schedule (which *is* the
+//!   barrier/wave structure) is resolved at lower time into the serial op
+//!   order of [`TimelineReport::order`]; the executor is a branch-light
+//!   sweep over contiguous `MicroOp` structs with no `Signal`/`Wait` arms at
+//!   all. Note the serial order is not wave-contiguous: a VPP whose wait is
+//!   satisfied mid-sweep runs ahead into the next wave, and the lowered
+//!   stream preserves exactly that reference order, which is what keeps the
+//!   backend bit-identical to [`super::EventInterp`].
+//! * **Costs resolved once** — the [`ScriptCosts`] table is derived from the
+//!   per-plan [`LoweredPlan`] chunk table and cached with the artifact, so
+//!   re-running an identical script never recomputes `instr_cost` and the
+//!   timeline analysis consumes precomputed costs.
+//! * **Shared inner kernels** — the arithmetic routes through
+//!   [`crate::exec::kernels`], the same chunked, autovectorizable dot/axpy
+//!   loops the interpreted semantics use, so results match bit for bit.
+//!
+//! Artifacts are cached at two levels by [`LoweredCache`]: a
+//! [`PlanSignature`]-keyed [`PlanMemo`] of [`LoweredPlan`]s (chunk geometry
+//! and static costs — shared by every script of a plan, so serving corpora
+//! whose requests all have distinct graphs still hit after the first batch)
+//! and a bounded `(plan id, script fingerprint)`-keyed map of full
+//! [`LoweredScript`]s (micro-ops + timeline — the full skip-analysis win for
+//! re-run identical scripts, e.g. static shapes trained for many epochs).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gpu_sim::CostModel;
+use vpps_tensor::Pool;
+
+use crate::distribute::{ChunkId, Distribution};
+use crate::exec::kernels;
+use crate::exec::regcache::RegCache;
+use crate::exec::semantics::{instr_cost, InstrCost};
+use crate::script::{GeneratedScript, Instr, ScriptSet};
+#[allow(unused_imports)] // doc links
+use crate::specialize::PlanSignature;
+use crate::specialize::{KernelPlan, PlanMemo};
+
+use super::timeline::{self, ScriptCosts, TimelineReport};
+
+/// One chunk's geometry and static per-kind costs, resolved once per plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweredChunk {
+    /// First row of the parameter matrix this chunk covers.
+    pub row_start: u32,
+    /// Rows in this chunk.
+    pub rows: u32,
+    /// Columns (the full matrix width).
+    pub cols: u32,
+    /// `true` for gradient-accumulator chunks.
+    pub is_grad: bool,
+    /// Static cost of a `MatVecChunk` on this chunk (for `len == cols`).
+    pub matvec_cost: InstrCost,
+    /// Static cost of a `TMatVecChunk` on this chunk (for `len == cols`).
+    pub tmatvec_cost: InstrCost,
+    /// Static cost of an `OuterChunk` on this chunk (for `len == cols`).
+    pub outer_cost: InstrCost,
+}
+
+/// Per-plan lowering artifact: every chunk's geometry and static costs as a
+/// flat, index-addressed table. Built once per [`PlanSignature`] and shared
+/// by every script lowered against that plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoweredPlan {
+    /// `chunks[ChunkId.index()]` — resolved geometry + costs.
+    pub chunks: Vec<LoweredChunk>,
+}
+
+impl LoweredPlan {
+    /// Resolves `plan`'s distribution into the flat chunk table.
+    pub fn build(plan: &KernelPlan) -> Self {
+        let dist = plan.distribution();
+        let chunks = dist
+            .chunks()
+            .iter()
+            .map(|c| {
+                let (rows, cols) = (c.rows as u64, c.cols as u64);
+                LoweredChunk {
+                    row_start: c.row_start as u32,
+                    rows: c.rows as u32,
+                    cols: c.cols as u32,
+                    is_grad: c.is_grad,
+                    matvec_cost: InstrCost {
+                        read_bytes: 4 * cols,
+                        write_bytes: 4 * rows,
+                        flops: 2 * rows * cols,
+                    },
+                    tmatvec_cost: InstrCost {
+                        read_bytes: 4 * (rows + cols),
+                        write_bytes: 4 * cols,
+                        flops: 2 * rows * cols,
+                    },
+                    outer_cost: InstrCost {
+                        read_bytes: 4 * (cols + rows),
+                        write_bytes: 0,
+                        flops: 2 * rows * cols,
+                    },
+                }
+            })
+            .collect();
+        Self { chunks }
+    }
+}
+
+/// One fully resolved instruction of the lowered stream.
+///
+/// All fields are literal `u32`s: raw pool indices (with any chunk
+/// `row_start` bias already folded in), element counts and chunk table
+/// indices. Executing one op touches no plan metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// `y[r] = dot(chunk_row_r, x[..len])`; `y` is pre-offset by the
+    /// chunk's `row_start`.
+    MatVec {
+        /// Chunk table index.
+        chunk: u32,
+        /// Input vector pool index.
+        x: u32,
+        /// Output pool index (row_start already applied).
+        y: u32,
+        /// Input vector length.
+        len: u32,
+        /// Rows in the chunk.
+        rows: u32,
+        /// Chunk row stride (matrix columns).
+        cols: u32,
+    },
+    /// `dx[..len] += Σ_r dy[r] * chunk_row_r`; `dy` pre-offset by
+    /// `row_start`.
+    TMatVec {
+        /// Chunk table index.
+        chunk: u32,
+        /// Upstream gradient pool index (row_start already applied).
+        dy: u32,
+        /// Accumulated gradient pool index.
+        dx: u32,
+        /// Output gradient length.
+        len: u32,
+        /// Rows in the chunk.
+        rows: u32,
+        /// Chunk row stride (matrix columns).
+        cols: u32,
+    },
+    /// `grad_chunk_row_r += dy[r] * x[..len]`; `dy` pre-offset by
+    /// `row_start`.
+    Outer {
+        /// Gradient chunk table index.
+        chunk: u32,
+        /// Input vector pool index.
+        x: u32,
+        /// Upstream gradient pool index (row_start already applied).
+        dy: u32,
+        /// Input vector length.
+        len: u32,
+        /// Rows in the chunk.
+        rows: u32,
+        /// Chunk row stride (matrix columns).
+        cols: u32,
+    },
+    /// `y[i] = x[i] + bias[i]` over a single-row bias chunk.
+    AddBias {
+        /// Bias chunk table index.
+        chunk: u32,
+        /// Input pool index.
+        x: u32,
+        /// Output pool index.
+        y: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `bias_grad[i] += dy[i]`.
+    BiasGrad {
+        /// Bias-gradient chunk table index.
+        chunk: u32,
+        /// Upstream gradient pool index.
+        dy: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `y[i] = tanh(x[i])`.
+    Tanh {
+        /// Input pool index.
+        x: u32,
+        /// Output pool index.
+        y: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `y[i] = sigmoid(x[i])`.
+    Sigmoid {
+        /// Input pool index.
+        x: u32,
+        /// Output pool index.
+        y: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `y[i] = max(x[i], 0)`.
+    Relu {
+        /// Input pool index.
+        x: u32,
+        /// Output pool index.
+        y: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `dx[i] += dy[i] * (1 - y[i]^2)`.
+    TanhBwd {
+        /// Forward output pool index.
+        y: u32,
+        /// Upstream gradient pool index.
+        dy: u32,
+        /// Accumulated gradient pool index.
+        dx: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `dx[i] += dy[i] * y[i] * (1 - y[i])`.
+    SigmoidBwd {
+        /// Forward output pool index.
+        y: u32,
+        /// Upstream gradient pool index.
+        dy: u32,
+        /// Accumulated gradient pool index.
+        dx: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `dx[i] += if y[i] > 0 { dy[i] } else { 0 }`.
+    ReluBwd {
+        /// Forward output pool index.
+        y: u32,
+        /// Upstream gradient pool index.
+        dy: u32,
+        /// Accumulated gradient pool index.
+        dx: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `y[i] = a[i] - b[i]`.
+    Sub {
+        /// Left operand pool index.
+        a: u32,
+        /// Right operand pool index.
+        b: u32,
+        /// Output pool index.
+        y: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `y[i] += -x[i]`.
+    AccSub {
+        /// Input pool index.
+        x: u32,
+        /// Accumulator pool index.
+        y: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `y[i] = a[i] + b[i]`.
+    Add {
+        /// Left operand pool index.
+        a: u32,
+        /// Right operand pool index.
+        b: u32,
+        /// Output pool index.
+        y: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `y[i] += x[i]`.
+    AccAdd {
+        /// Input pool index.
+        x: u32,
+        /// Accumulator pool index.
+        y: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `y[i] += a[i] * b[i]`.
+    MulAcc {
+        /// Left operand pool index.
+        a: u32,
+        /// Right operand pool index.
+        b: u32,
+        /// Accumulator pool index.
+        y: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `y[i] = a[i] * b[i]`.
+    CwiseMult {
+        /// Left operand pool index.
+        a: u32,
+        /// Right operand pool index.
+        b: u32,
+        /// Output pool index.
+        y: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `dst[i] = src[i]`.
+    Copy {
+        /// Source pool index.
+        src: u32,
+        /// Destination pool index.
+        dst: u32,
+        /// Element count.
+        len: u32,
+    },
+    /// `out[0] = -log softmax(x)[label]`.
+    PickNls {
+        /// Logits pool index.
+        x: u32,
+        /// Scalar loss pool index.
+        out: u32,
+        /// Picked class.
+        label: u32,
+        /// Logit count.
+        len: u32,
+    },
+    /// `dx[i] += dloss * d(-log softmax(x)[label])/dx[i]`.
+    PickNlsBwd {
+        /// Logits pool index.
+        x: u32,
+        /// Scalar upstream-loss pool index.
+        dloss: u32,
+        /// Accumulated gradient pool index.
+        dx: u32,
+        /// Picked class.
+        label: u32,
+        /// Logit count.
+        len: u32,
+    },
+}
+
+/// Pool `(start, len)` ranges one micro-op reads, plus the range it writes.
+type OpRanges = (Vec<(u32, u32)>, Option<(u32, u32)>);
+
+impl MicroOp {
+    /// Mnemonic, identical to the source [`Instr::mnemonic`] string.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            MicroOp::MatVec { .. } => "matvec",
+            MicroOp::TMatVec { .. } => "tmatvec",
+            MicroOp::Outer { .. } => "outer",
+            MicroOp::AddBias { .. } => "add_bias",
+            MicroOp::BiasGrad { .. } => "bias_grad",
+            MicroOp::Tanh { .. } => "tanh",
+            MicroOp::Sigmoid { .. } => "sigmoid",
+            MicroOp::Relu { .. } => "relu",
+            MicroOp::TanhBwd { .. } => "tanh_bwd",
+            MicroOp::SigmoidBwd { .. } => "sigmoid_bwd",
+            MicroOp::ReluBwd { .. } => "relu_bwd",
+            MicroOp::Sub { .. } => "sub",
+            MicroOp::AccSub { .. } => "acc_sub",
+            MicroOp::Add { .. } => "add",
+            MicroOp::AccAdd { .. } => "acc_add",
+            MicroOp::MulAcc { .. } => "mul_acc",
+            MicroOp::CwiseMult { .. } => "cwise_mult",
+            MicroOp::Copy { .. } => "copy",
+            MicroOp::PickNls { .. } => "pick_nls",
+            MicroOp::PickNlsBwd { .. } => "pick_nls_bwd",
+        }
+    }
+
+    /// `(pool range read set, pool range written)` of this op, as
+    /// `(start, len)` pairs — used by the lower-time aliasing check that the
+    /// raw-pointer executor relies on.
+    fn ranges(&self) -> OpRanges {
+        match *self {
+            MicroOp::MatVec {
+                x, y, len, rows, ..
+            } => (vec![(x, len)], Some((y, rows))),
+            MicroOp::TMatVec {
+                dy, dx, len, rows, ..
+            } => (vec![(dy, rows)], Some((dx, len))),
+            MicroOp::Outer {
+                x, dy, len, rows, ..
+            } => (vec![(x, len), (dy, rows)], None),
+            MicroOp::AddBias { x, y, len, .. } => (vec![(x, len)], Some((y, len))),
+            MicroOp::BiasGrad { dy, len, .. } => (vec![(dy, len)], None),
+            MicroOp::Tanh { x, y, len }
+            | MicroOp::Sigmoid { x, y, len }
+            | MicroOp::Relu { x, y, len } => (vec![(x, len)], Some((y, len))),
+            MicroOp::TanhBwd { y, dy, dx, len }
+            | MicroOp::SigmoidBwd { y, dy, dx, len }
+            | MicroOp::ReluBwd { y, dy, dx, len } => (vec![(y, len), (dy, len)], Some((dx, len))),
+            MicroOp::Sub { a, b, y, len }
+            | MicroOp::Add { a, b, y, len }
+            | MicroOp::CwiseMult { a, b, y, len }
+            | MicroOp::MulAcc { a, b, y, len } => (vec![(a, len), (b, len)], Some((y, len))),
+            MicroOp::AccSub { x, y, len } | MicroOp::AccAdd { x, y, len } => {
+                (vec![(x, len)], Some((y, len)))
+            }
+            MicroOp::Copy { src, dst, len } => (vec![(src, len)], Some((dst, len))),
+            MicroOp::PickNls { x, out, len, .. } => (vec![(x, len)], Some((out, 1))),
+            MicroOp::PickNlsBwd {
+                x, dloss, dx, len, ..
+            } => (vec![(x, len), (dloss, 1)], Some((dx, len))),
+        }
+    }
+}
+
+/// A fully lowered script: the compiled artifact one plan + one script set
+/// produce, reusable across every run of that identical script.
+#[derive(Debug, Clone)]
+pub struct LoweredScript {
+    /// The owning plan's id ([`PlanSignature::plan_id`]).
+    pub plan_id: u64,
+    /// [`ScriptSet::fingerprint`] of the source scripts.
+    pub fingerprint: u64,
+    /// Barrier count of the source scripts (for per-run obs).
+    pub num_barriers: u32,
+    /// Micro-ops in the reference serial execution order
+    /// ([`TimelineReport::order`]), sync compiled away.
+    pub ops: Vec<MicroOp>,
+    /// The precomputed per-instruction cost table.
+    pub costs: ScriptCosts,
+    /// The cached schedule (what [`super::Session`] would otherwise
+    /// re-analyze every run).
+    pub timeline: TimelineReport,
+    /// One past the highest pool index any op touches — bounds-checked once
+    /// per run instead of per access.
+    pub pool_end: usize,
+    /// Largest scratch buffer any op needs (tmatvec/softmax-backward
+    /// contributions).
+    pub scratch_len: usize,
+}
+
+fn resolve_cost(instr: &Instr, lplan: &LoweredPlan, dist: &Distribution) -> InstrCost {
+    match *instr {
+        Instr::MatVecChunk { chunk, len, .. } => {
+            let c = &lplan.chunks[chunk.index()];
+            if len == c.cols {
+                c.matvec_cost
+            } else {
+                instr_cost(instr, dist)
+            }
+        }
+        Instr::TMatVecChunk { chunk, len, .. } => {
+            let c = &lplan.chunks[chunk.index()];
+            if len == c.cols {
+                c.tmatvec_cost
+            } else {
+                instr_cost(instr, dist)
+            }
+        }
+        Instr::OuterChunk { chunk, len, .. } => {
+            let c = &lplan.chunks[chunk.index()];
+            if len == c.cols {
+                c.outer_cost
+            } else {
+                instr_cost(instr, dist)
+            }
+        }
+        ref other => instr_cost(other, dist),
+    }
+}
+
+/// Builds the [`ScriptCosts`] table from the per-plan chunk table (identical
+/// values to [`ScriptCosts::compute`], without per-instruction
+/// `Distribution` lookups for the chunk ops).
+fn script_costs(scripts: &ScriptSet, lplan: &LoweredPlan, dist: &Distribution) -> ScriptCosts {
+    let mut costs = Vec::with_capacity(scripts.num_vpps());
+    let mut vpp_script_bytes = Vec::with_capacity(scripts.num_vpps());
+    let mut mix: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
+    for v in 0..scripts.num_vpps() {
+        let script = scripts.script(v);
+        let mut per_ip = Vec::with_capacity(script.len());
+        let mut bytes = 0u64;
+        for instr in script {
+            per_ip.push(resolve_cost(instr, lplan, dist));
+            bytes += instr.encoded_len() as u64;
+            if !instr.is_sync() {
+                *mix.entry(instr.mnemonic()).or_insert(0) += 1;
+            }
+        }
+        costs.push(per_ip);
+        vpp_script_bytes.push(bytes);
+    }
+    ScriptCosts {
+        costs,
+        vpp_script_bytes,
+        instr_mix: mix.into_iter().collect(),
+    }
+}
+
+fn lower_instr(instr: &Instr, lplan: &LoweredPlan) -> Option<MicroOp> {
+    Some(match *instr {
+        Instr::Signal { .. } | Instr::Wait { .. } => return None,
+        Instr::MatVecChunk { chunk, len, x, y } => {
+            let c = &lplan.chunks[chunk.index()];
+            debug_assert!(!c.is_grad, "matvec must use a value chunk");
+            MicroOp::MatVec {
+                chunk: chunk.0,
+                x: x.raw(),
+                y: y.raw() + c.row_start,
+                len,
+                rows: c.rows,
+                cols: c.cols,
+            }
+        }
+        Instr::TMatVecChunk { chunk, len, dy, dx } => {
+            let c = &lplan.chunks[chunk.index()];
+            debug_assert!(!c.is_grad, "t-matvec must use a value chunk");
+            MicroOp::TMatVec {
+                chunk: chunk.0,
+                dy: dy.raw() + c.row_start,
+                dx: dx.raw(),
+                len,
+                rows: c.rows,
+                cols: c.cols,
+            }
+        }
+        Instr::OuterChunk { chunk, len, x, dy } => {
+            let c = &lplan.chunks[chunk.index()];
+            debug_assert!(c.is_grad, "outer product must target a gradient chunk");
+            MicroOp::Outer {
+                chunk: chunk.0,
+                x: x.raw(),
+                dy: dy.raw() + c.row_start,
+                len,
+                rows: c.rows,
+                cols: c.cols,
+            }
+        }
+        Instr::AddBiasChunk { chunk, len, x, y } => MicroOp::AddBias {
+            chunk: chunk.0,
+            x: x.raw(),
+            y: y.raw(),
+            len,
+        },
+        Instr::BiasGradChunk { chunk, len, dy } => MicroOp::BiasGrad {
+            chunk: chunk.0,
+            dy: dy.raw(),
+            len,
+        },
+        Instr::Tanh { len, x, y } => MicroOp::Tanh {
+            x: x.raw(),
+            y: y.raw(),
+            len,
+        },
+        Instr::Sigmoid { len, x, y } => MicroOp::Sigmoid {
+            x: x.raw(),
+            y: y.raw(),
+            len,
+        },
+        Instr::Relu { len, x, y } => MicroOp::Relu {
+            x: x.raw(),
+            y: y.raw(),
+            len,
+        },
+        Instr::TanhBwd { len, y, dy, dx } => MicroOp::TanhBwd {
+            y: y.raw(),
+            dy: dy.raw(),
+            dx: dx.raw(),
+            len,
+        },
+        Instr::SigmoidBwd { len, y, dy, dx } => MicroOp::SigmoidBwd {
+            y: y.raw(),
+            dy: dy.raw(),
+            dx: dx.raw(),
+            len,
+        },
+        Instr::ReluBwd { len, y, dy, dx } => MicroOp::ReluBwd {
+            y: y.raw(),
+            dy: dy.raw(),
+            dx: dx.raw(),
+            len,
+        },
+        Instr::Sub { len, a, b, y } => MicroOp::Sub {
+            a: a.raw(),
+            b: b.raw(),
+            y: y.raw(),
+            len,
+        },
+        Instr::AccSub { len, x, y } => MicroOp::AccSub {
+            x: x.raw(),
+            y: y.raw(),
+            len,
+        },
+        Instr::Add { len, a, b, y } => MicroOp::Add {
+            a: a.raw(),
+            b: b.raw(),
+            y: y.raw(),
+            len,
+        },
+        Instr::AccAdd { len, x, y } => MicroOp::AccAdd {
+            x: x.raw(),
+            y: y.raw(),
+            len,
+        },
+        Instr::MulAcc { len, a, b, y } => MicroOp::MulAcc {
+            a: a.raw(),
+            b: b.raw(),
+            y: y.raw(),
+            len,
+        },
+        Instr::CwiseMult { len, a, b, y } => MicroOp::CwiseMult {
+            a: a.raw(),
+            b: b.raw(),
+            y: y.raw(),
+            len,
+        },
+        Instr::Copy { len, src, dst } => MicroOp::Copy {
+            src: src.raw(),
+            dst: dst.raw(),
+            len,
+        },
+        Instr::PickNls { len, x, out, label } => MicroOp::PickNls {
+            x: x.raw(),
+            out: out.raw(),
+            label,
+            len,
+        },
+        Instr::PickNlsBwd {
+            len,
+            x,
+            dloss,
+            dx,
+            label,
+        } => MicroOp::PickNlsBwd {
+            x: x.raw(),
+            dloss: dloss.raw(),
+            dx: dx.raw(),
+            label,
+            len,
+        },
+    })
+}
+
+fn overlaps(a: (u32, u32), b: (u32, u32)) -> bool {
+    a.0 < b.0 + b.1 && b.0 < a.0 + a.1
+}
+
+/// Lowers `gs` against an already-resolved [`LoweredPlan`].
+///
+/// # Panics
+///
+/// Panics if the scripts deadlock, or if any op's written pool range
+/// overlaps one of its read ranges — the script generator never emits such
+/// ops (each destination is a fresh allocation), and the raw-pointer
+/// executor depends on that disjointness, so lowering checks it once
+/// up front rather than trusting it silently.
+pub fn lower_with(
+    lplan: &LoweredPlan,
+    plan: &KernelPlan,
+    gs: &GeneratedScript,
+    cost: &CostModel,
+) -> LoweredScript {
+    let _span = vpps_obs::span("engine.lower");
+    let dist = plan.distribution();
+    let costs = script_costs(&gs.scripts, lplan, dist);
+    let tl = timeline::analyze_costed(plan, gs, &costs, cost, None);
+
+    let mut resolved: Vec<Vec<Option<MicroOp>>> = (0..gs.scripts.num_vpps())
+        .map(|v| {
+            gs.scripts
+                .script(v)
+                .iter()
+                .map(|i| lower_instr(i, lplan))
+                .collect()
+        })
+        .collect();
+
+    let mut ops = Vec::with_capacity(tl.order.len());
+    let mut pool_end = 0usize;
+    let mut scratch_len = 0usize;
+    for &(v, ip) in &tl.order {
+        let op = resolved[v as usize][ip as usize]
+            .take()
+            .expect("timeline order names a sync or duplicated instruction");
+        let (reads, write) = op.ranges();
+        if let Some(w) = write {
+            pool_end = pool_end.max(w.0 as usize + w.1 as usize);
+            for r in &reads {
+                assert!(
+                    !overlaps(*r, w),
+                    "lowering: op {op:?} writes a pool range overlapping its input"
+                );
+            }
+        }
+        for r in &reads {
+            pool_end = pool_end.max(r.0 as usize + r.1 as usize);
+        }
+        scratch_len = scratch_len.max(match op {
+            MicroOp::TMatVec { len, .. } | MicroOp::PickNlsBwd { len, .. } => len as usize,
+            _ => 0,
+        });
+        ops.push(op);
+    }
+
+    LoweredScript {
+        plan_id: plan.signature().plan_id(),
+        fingerprint: gs.scripts.fingerprint(),
+        num_barriers: gs.num_barriers,
+        ops,
+        costs,
+        timeline: tl,
+        pool_end,
+        scratch_len,
+    }
+}
+
+/// Lowers `gs` from scratch (resolving the plan table too). Cached callers
+/// should go through [`LoweredCache::get_or_lower`] instead.
+pub fn lower(plan: &KernelPlan, gs: &GeneratedScript, cost: &CostModel) -> LoweredScript {
+    let lplan = LoweredPlan::build(plan);
+    lower_with(&lplan, plan, gs, cost)
+}
+
+#[inline]
+unsafe fn view<'x>(base: *mut f32, off: u32, len: u32) -> &'x [f32] {
+    std::slice::from_raw_parts(base.add(off as usize), len as usize)
+}
+
+#[inline]
+#[allow(clippy::mut_from_ref)]
+unsafe fn view_mut<'x>(base: *mut f32, off: u32, len: u32) -> &'x mut [f32] {
+    std::slice::from_raw_parts_mut(base.add(off as usize), len as usize)
+}
+
+/// Executes a lowered artifact serially against `pool` and `cache`.
+///
+/// The sweep is branch-light: one match per op, zero allocations (one
+/// scratch buffer is reused across ops), no sync arms, and all inner loops
+/// are the shared [`kernels`] so results are bit-identical to
+/// [`super::EventInterp`] replaying the same serial order.
+///
+/// # Panics
+///
+/// Panics if the artifact references pool memory beyond `pool`'s capacity.
+pub(crate) fn execute(art: &LoweredScript, pool: &mut Pool, cache: &mut RegCache) {
+    let raw = pool.raw_mut();
+    assert!(
+        art.pool_end <= raw.len(),
+        "lowered script references pool index {} beyond capacity {}",
+        art.pool_end,
+        raw.len()
+    );
+    let base = raw.as_mut_ptr();
+    let mut scratch = vec![0.0f32; art.scratch_len];
+    // SAFETY: `base` comes from a unique `&mut` borrow of the pool held for
+    // the whole loop; execution is single-threaded; and lowering asserted
+    // that every op's written range is disjoint from its read ranges, so
+    // each iteration's shared/mutable views never alias. Register chunks
+    // live in `cache`, a separate allocation, and can never alias the pool.
+    unsafe {
+        for op in &art.ops {
+            match *op {
+                MicroOp::MatVec {
+                    chunk,
+                    x,
+                    y,
+                    len,
+                    rows,
+                    cols,
+                } => {
+                    let xv = view(base, x, len);
+                    let out = view_mut(base, y, rows);
+                    let data = cache.chunk(ChunkId(chunk));
+                    let cols = cols as usize;
+                    for (r, o) in out.iter_mut().enumerate() {
+                        *o = kernels::dot(&data[r * cols..(r + 1) * cols], xv);
+                    }
+                }
+                MicroOp::TMatVec {
+                    chunk,
+                    dy,
+                    dx,
+                    len,
+                    rows,
+                    cols,
+                } => {
+                    let dyv = view(base, dy, rows);
+                    let contrib = &mut scratch[..len as usize];
+                    contrib.fill(0.0);
+                    let data = cache.chunk(ChunkId(chunk));
+                    let cols = cols as usize;
+                    for (r, &s) in dyv.iter().enumerate() {
+                        if s == 0.0 {
+                            continue;
+                        }
+                        kernels::axpy(contrib, s, &data[r * cols..(r + 1) * cols]);
+                    }
+                    kernels::add_assign(view_mut(base, dx, len), contrib);
+                }
+                MicroOp::Outer {
+                    chunk,
+                    x,
+                    dy,
+                    len,
+                    rows,
+                    cols,
+                } => {
+                    let xv = view(base, x, len);
+                    let dyv = view(base, dy, rows);
+                    let data = cache.chunk_mut(ChunkId(chunk));
+                    let cols = cols as usize;
+                    for (r, &s) in dyv.iter().enumerate() {
+                        if s == 0.0 {
+                            continue;
+                        }
+                        kernels::axpy(&mut data[r * cols..(r + 1) * cols], s, xv);
+                    }
+                }
+                MicroOp::AddBias { chunk, x, y, len } => {
+                    let xv = view(base, x, len);
+                    let out = view_mut(base, y, len);
+                    out.copy_from_slice(xv);
+                    let bias = cache.chunk(ChunkId(chunk));
+                    for (o, b) in out.iter_mut().zip(bias) {
+                        *o += b;
+                    }
+                }
+                MicroOp::BiasGrad { chunk, dy, len } => {
+                    kernels::add_assign(cache.chunk_mut(ChunkId(chunk)), view(base, dy, len));
+                }
+                MicroOp::Tanh { x, y, len } => {
+                    let xv = view(base, x, len);
+                    for (o, v) in view_mut(base, y, len).iter_mut().zip(xv) {
+                        *o = v.tanh();
+                    }
+                }
+                MicroOp::Sigmoid { x, y, len } => {
+                    let xv = view(base, x, len);
+                    for (o, v) in view_mut(base, y, len).iter_mut().zip(xv) {
+                        *o = 1.0 / (1.0 + (-v).exp());
+                    }
+                }
+                MicroOp::Relu { x, y, len } => {
+                    let xv = view(base, x, len);
+                    for (o, v) in view_mut(base, y, len).iter_mut().zip(xv) {
+                        *o = v.max(0.0);
+                    }
+                }
+                MicroOp::TanhBwd { y, dy, dx, len } => {
+                    let yv = view(base, y, len);
+                    let dyv = view(base, dy, len);
+                    for ((o, &a), &b) in view_mut(base, dx, len).iter_mut().zip(yv).zip(dyv) {
+                        *o += b * (1.0 - a * a);
+                    }
+                }
+                MicroOp::SigmoidBwd { y, dy, dx, len } => {
+                    let yv = view(base, y, len);
+                    let dyv = view(base, dy, len);
+                    for ((o, &a), &b) in view_mut(base, dx, len).iter_mut().zip(yv).zip(dyv) {
+                        *o += b * a * (1.0 - a);
+                    }
+                }
+                MicroOp::ReluBwd { y, dy, dx, len } => {
+                    let yv = view(base, y, len);
+                    let dyv = view(base, dy, len);
+                    for ((o, &a), &b) in view_mut(base, dx, len).iter_mut().zip(yv).zip(dyv) {
+                        *o += if a > 0.0 { b } else { 0.0 };
+                    }
+                }
+                MicroOp::Sub { a, b, y, len } => {
+                    let av = view(base, a, len);
+                    let bv = view(base, b, len);
+                    for ((o, &x1), &x2) in view_mut(base, y, len).iter_mut().zip(av).zip(bv) {
+                        *o = x1 - x2;
+                    }
+                }
+                MicroOp::AccSub { x, y, len } => {
+                    let xv = view(base, x, len);
+                    for (o, &v) in view_mut(base, y, len).iter_mut().zip(xv) {
+                        *o += -v;
+                    }
+                }
+                MicroOp::Add { a, b, y, len } => {
+                    let av = view(base, a, len);
+                    let bv = view(base, b, len);
+                    for ((o, &x1), &x2) in view_mut(base, y, len).iter_mut().zip(av).zip(bv) {
+                        *o = x1 + x2;
+                    }
+                }
+                MicroOp::AccAdd { x, y, len } => {
+                    kernels::add_assign(view_mut(base, y, len), view(base, x, len));
+                }
+                MicroOp::MulAcc { a, b, y, len } => {
+                    let av = view(base, a, len);
+                    let bv = view(base, b, len);
+                    for ((o, &x1), &x2) in view_mut(base, y, len).iter_mut().zip(av).zip(bv) {
+                        *o += x1 * x2;
+                    }
+                }
+                MicroOp::CwiseMult { a, b, y, len } => {
+                    let av = view(base, a, len);
+                    let bv = view(base, b, len);
+                    for ((o, &x1), &x2) in view_mut(base, y, len).iter_mut().zip(av).zip(bv) {
+                        *o = x1 * x2;
+                    }
+                }
+                MicroOp::Copy { src, dst, len } => {
+                    view_mut(base, dst, len).copy_from_slice(view(base, src, len));
+                }
+                MicroOp::PickNls { x, out, label, len } => {
+                    let xv = view(base, x, len);
+                    let loss = vpps_tensor::softmax::pick_neg_log_softmax(xv, label as usize);
+                    view_mut(base, out, 1)[0] = loss;
+                }
+                MicroOp::PickNlsBwd {
+                    x,
+                    dloss,
+                    dx,
+                    label,
+                    len,
+                } => {
+                    let xv = view(base, x, len);
+                    let dl = view(base, dloss, 1)[0];
+                    let contrib = &mut scratch[..len as usize];
+                    contrib.fill(0.0);
+                    vpps_tensor::softmax::pick_neg_log_softmax_backward(
+                        xv,
+                        label as usize,
+                        dl,
+                        contrib,
+                    );
+                    kernels::add_assign(view_mut(base, dx, len), contrib);
+                }
+            }
+        }
+    }
+}
+
+/// Cache-hit/miss tallies of a [`LoweredCache`], independent of whether
+/// observability is enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoweredCacheStats {
+    /// Plan-level ([`PlanSignature`]-keyed) hits.
+    pub plan_hits: u64,
+    /// Plan-level misses (first encounter of a plan).
+    pub plan_misses: u64,
+    /// Plan-level misses for plans already lowered before (always zero while
+    /// the plan memo is unbounded — the warm-hit-rate invariant).
+    pub plan_re_misses: u64,
+    /// Script-level hits (identical script re-run on the same plan).
+    pub script_hits: u64,
+    /// Script-level misses.
+    pub script_misses: u64,
+    /// Script-level misses for fingerprints previously cached (evicted and
+    /// re-lowered).
+    pub script_re_misses: u64,
+}
+
+/// Two-level cache of lowered artifacts, owned by warm paths
+/// ([`crate::Handle`], and through it `vpps-serve`).
+///
+/// Level 1 memoizes [`LoweredPlan`]s by [`PlanSignature`] — obs counters
+/// `lower.cache_hit` / `lower.cache_miss` / `lower.cache_re_miss`. Level 2
+/// holds full [`LoweredScript`]s keyed by `(plan id, script fingerprint)`
+/// with bounded FIFO eviction — counters `lower.script.cache_hit` /
+/// `lower.script.cache_miss` / `lower.script.cache_re_miss`. Time spent
+/// lowering accumulates in the `lower.ns` counter and lowered micro-ops per
+/// mnemonic in `lower.ops.<mnemonic>`.
+#[derive(Debug)]
+pub struct LoweredCache {
+    plans: PlanMemo<LoweredPlan>,
+    scripts: HashMap<(u64, u64), Arc<LoweredScript>>,
+    fifo: VecDeque<(u64, u64)>,
+    seen_scripts: HashSet<(u64, u64)>,
+    capacity: usize,
+    script_hits: u64,
+    script_misses: u64,
+    script_re_misses: u64,
+}
+
+/// Lowered scripts kept per handle before FIFO eviction; plans are never
+/// evicted (they are small and bounded by the number of served models).
+pub const DEFAULT_SCRIPT_CACHE_CAPACITY: usize = 256;
+
+impl Default for LoweredCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SCRIPT_CACHE_CAPACITY)
+    }
+}
+
+impl LoweredCache {
+    /// Creates a cache holding at most `capacity` lowered scripts (>= 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            plans: PlanMemo::new("lower"),
+            scripts: HashMap::new(),
+            fifo: VecDeque::new(),
+            seen_scripts: HashSet::new(),
+            capacity: capacity.max(1),
+            script_hits: 0,
+            script_misses: 0,
+            script_re_misses: 0,
+        }
+    }
+
+    /// Returns the lowered artifact for `(plan, gs)`, lowering on miss.
+    pub fn get_or_lower(
+        &mut self,
+        plan: &KernelPlan,
+        gs: &GeneratedScript,
+        cost: &CostModel,
+    ) -> Arc<LoweredScript> {
+        let t0 = Instant::now();
+        let lplan = self
+            .plans
+            .get_or_insert_with(plan.signature(), || LoweredPlan::build(plan));
+        let key = (plan.signature().plan_id(), gs.scripts.fingerprint());
+        if let Some(art) = self.scripts.get(&key) {
+            self.script_hits += 1;
+            vpps_obs::counter("lower.script.cache_hit").incr();
+            return Arc::clone(art);
+        }
+        self.script_misses += 1;
+        vpps_obs::counter("lower.script.cache_miss").incr();
+        if !self.seen_scripts.insert(key) {
+            self.script_re_misses += 1;
+            vpps_obs::counter("lower.script.cache_re_miss").incr();
+        }
+        let art = Arc::new(lower_with(&lplan, plan, gs, cost));
+        if vpps_obs::enabled() {
+            vpps_obs::counter("lower.ns").add(t0.elapsed().as_nanos() as u64);
+            for (mnemonic, n) in &art.costs.instr_mix {
+                vpps_obs::counter(&format!("lower.ops.{mnemonic}")).add(*n);
+            }
+        }
+        if self.scripts.len() == self.capacity {
+            if let Some(old) = self.fifo.pop_front() {
+                self.scripts.remove(&old);
+            }
+        }
+        self.fifo.push_back(key);
+        self.scripts.insert(key, Arc::clone(&art));
+        art
+    }
+
+    /// Hit/miss tallies since construction.
+    pub fn stats(&self) -> LoweredCacheStats {
+        let (plan_hits, plan_misses, plan_re_misses) = self.plans.stats();
+        LoweredCacheStats {
+            plan_hits,
+            plan_misses,
+            plan_re_misses,
+            script_hits: self.script_hits,
+            script_misses: self.script_misses,
+            script_re_misses: self.script_re_misses,
+        }
+    }
+
+    /// Number of cached lowered scripts.
+    pub fn len(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// `true` when no script has been lowered yet.
+    pub fn is_empty(&self) -> bool {
+        self.scripts.is_empty()
+    }
+}
+
+/// The lowered execution backend: pre-resolved micro-ops in the reference
+/// serial order, bit-identical to [`super::EventInterp`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lowered;
+
+impl super::ExecutionBackend for Lowered {
+    fn kind(&self) -> super::BackendKind {
+        super::BackendKind::Lowered
+    }
+
+    fn prepare<'a>(
+        &self,
+        plan: &'a KernelPlan,
+        scripts: &'a GeneratedScript,
+        cfg: crate::exec::interp::ExecConfig,
+        cost: &CostModel,
+    ) -> super::Session<'a> {
+        let art = Arc::new(lower(plan, scripts, cost));
+        super::Session::from_lowered(plan, scripts, cfg, cost, art)
+    }
+
+    fn run(
+        &self,
+        session: &super::Session<'_>,
+        pool: &mut Pool,
+        cache: &mut RegCache,
+    ) -> super::RunOutcome {
+        let art = session
+            .lowered
+            .as_ref()
+            .expect("Lowered backend requires a session with a lowered artifact");
+        execute(art, pool, cache);
+        let loss = pool.slice(session.loss_offset(), 1)[0];
+        session.outcome(loss)
+    }
+}

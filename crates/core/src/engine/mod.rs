@@ -1,8 +1,9 @@
 //! The unified execution engine (backend abstraction layer).
 //!
 //! Every way of executing a batch's generated scripts — the event-driven
-//! interpreter, the real-thread executor, and the wave-parallel interpreter —
-//! implements one [`ExecutionBackend`] trait:
+//! interpreter, the real-thread executor, the wave-parallel interpreter, and
+//! the lowered micro-op executor — implements one [`ExecutionBackend`]
+//! trait:
 //!
 //! * [`ExecutionBackend::prepare`] analyzes the scripts once into a
 //!   [`Session`]: the full per-VPP timeline, the kernel body time and a
@@ -25,9 +26,11 @@
 //! so benchmark tables compare numbers produced by identical plumbing.
 
 pub mod backends;
+pub mod lowered;
 pub mod timeline;
 
 use std::str::FromStr;
+use std::sync::Arc;
 
 use dyn_graph::{Graph, Model, NodeId};
 use gpu_sim::{CostModel, GpuSim, ImbalanceHistogram, Metrics, SimTime, TrafficTag};
@@ -41,7 +44,8 @@ use crate::script::GeneratedScript;
 use crate::specialize::{GradStrategy, KernelPlan};
 
 pub use backends::{EventInterp, ParallelInterp, Threaded};
-pub use timeline::TimelineReport;
+pub use lowered::{Lowered, LoweredCache, LoweredCacheStats, LoweredPlan, LoweredScript, MicroOp};
+pub use timeline::{ScriptCosts, TimelineReport};
 
 /// Which execution backend a [`crate::Handle`] (or test) should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,14 +60,19 @@ pub enum BackendKind {
     /// pool per barrier wave, with a deterministic merge that reproduces the
     /// reference execution bit-for-bit.
     ParallelInterp,
+    /// Pre-lowered micro-op executor: scripts are compiled once per plan into
+    /// flat arrays of literal-resolved [`MicroOp`]s (sync compiled away,
+    /// costs precomputed) and cached, bit-identical to [`EventInterp`].
+    Lowered,
 }
 
 impl BackendKind {
     /// Every backend, in display order.
-    pub const ALL: [BackendKind; 3] = [
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::EventInterp,
         BackendKind::Threaded,
         BackendKind::ParallelInterp,
+        BackendKind::Lowered,
     ];
 
     /// Short stable name (accepted back by [`FromStr`]).
@@ -72,6 +81,7 @@ impl BackendKind {
             BackendKind::EventInterp => "event-interp",
             BackendKind::Threaded => "threaded",
             BackendKind::ParallelInterp => "parallel-interp",
+            BackendKind::Lowered => "lowered",
         }
     }
 
@@ -81,6 +91,7 @@ impl BackendKind {
             BackendKind::EventInterp => &EventInterp,
             BackendKind::Threaded => &Threaded,
             BackendKind::ParallelInterp => &ParallelInterp,
+            BackendKind::Lowered => &Lowered,
         }
     }
 }
@@ -93,8 +104,10 @@ impl FromStr for BackendKind {
             "event-interp" | "event" | "interp" | "serial" => Ok(BackendKind::EventInterp),
             "threaded" | "threads" => Ok(BackendKind::Threaded),
             "parallel-interp" | "parallel" => Ok(BackendKind::ParallelInterp),
+            "lowered" | "lower" => Ok(BackendKind::Lowered),
             other => Err(format!(
-                "unknown backend {other:?} (expected event-interp, threaded or parallel-interp)"
+                "unknown backend {other:?} (expected event-interp, threaded, parallel-interp \
+                 or lowered)"
             )),
         }
     }
@@ -117,6 +130,9 @@ pub struct Session<'a> {
     pub timeline: TimelineReport,
     /// The batch's complete metrics (timing + traffic), computed up front.
     pub metrics: Metrics,
+    /// The lowered artifact, when this session was prepared for the
+    /// [`Lowered`] backend (fresh or from a [`LoweredCache`]).
+    pub lowered: Option<Arc<LoweredScript>>,
 }
 
 impl<'a> Session<'a> {
@@ -134,6 +150,39 @@ impl<'a> Session<'a> {
     ) -> Self {
         let _span = vpps_obs::span("engine.prepare");
         let timeline = timeline::analyze(plan, gs, cost, trace);
+        timeline.record_obs(gs.num_barriers);
+        Self::assemble(plan, gs, cfg, cost, timeline, None)
+    }
+
+    /// Builds a session around an already-lowered artifact: the cached
+    /// [`TimelineReport`] is reused instead of re-analyzing the scripts, so
+    /// warm-path prepares skip the whole event-driven sweep. Per-run obs is
+    /// recorded identically to [`Session::build`].
+    pub fn from_lowered(
+        plan: &'a KernelPlan,
+        gs: &'a GeneratedScript,
+        cfg: ExecConfig,
+        cost: &CostModel,
+        artifact: Arc<LoweredScript>,
+    ) -> Self {
+        let _span = vpps_obs::span("engine.prepare");
+        let timeline = artifact.timeline.clone();
+        timeline.record_obs(artifact.num_barriers);
+        Self::assemble(plan, gs, cfg, cost, timeline, Some(artifact))
+    }
+
+    /// The metrics arithmetic shared by [`Session::build`] and
+    /// [`Session::from_lowered`]. Not cacheable: `cfg.apply_update` changes
+    /// the epilogue term between training and inference runs of the same
+    /// timeline.
+    fn assemble(
+        plan: &'a KernelPlan,
+        gs: &'a GeneratedScript,
+        cfg: ExecConfig,
+        cost: &CostModel,
+        timeline: TimelineReport,
+        lowered: Option<Arc<LoweredScript>>,
+    ) -> Self {
         let geo = plan.distribution().geometry();
         let all_sms = geo.num_sms;
 
@@ -182,6 +231,7 @@ impl<'a> Session<'a> {
             cfg,
             timeline,
             metrics,
+            lowered,
         }
     }
 
@@ -290,6 +340,29 @@ pub fn run_batch(
 ) -> RunOutcome {
     let session = backend.prepare(plan, gs, cfg, gpu.cost_model());
     run_prepared(backend, &session, pool, model, gpu)
+}
+
+/// [`run_batch`] for the [`Lowered`] backend through a [`LoweredCache`]:
+/// the lowering artifact (micro-ops, costs, timeline) is fetched from —
+/// or installed into — `cache`, so warm paths pay lowering once per
+/// `(plan, script)` and skip both cost resolution and the timeline sweep
+/// on every hit.
+///
+/// # Panics
+///
+/// Same conditions as [`run_batch`].
+pub fn run_batch_lowered(
+    plan: &KernelPlan,
+    gs: &GeneratedScript,
+    pool: &mut Pool,
+    model: &mut Model,
+    gpu: &mut GpuSim,
+    cfg: ExecConfig,
+    cache: &mut LoweredCache,
+) -> RunOutcome {
+    let art = cache.get_or_lower(plan, gs, gpu.cost_model());
+    let session = Session::from_lowered(plan, gs, cfg, gpu.cost_model(), art);
+    run_prepared(&Lowered, &session, pool, model, gpu)
 }
 
 /// [`run_batch`] plus a full per-VPP instruction timeline for visualization

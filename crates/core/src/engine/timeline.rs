@@ -7,15 +7,69 @@
 //! [`analyze`] performs that sweep once per batch; every execution backend
 //! then reuses the one [`TimelineReport`], which is how serial, threaded and
 //! parallel backends report bit-identical timing and traffic numbers.
+//!
+//! Cost resolution is split from the sweep: [`ScriptCosts::compute`] resolves
+//! every instruction's [`InstrCost`] (plus the per-VPP encoded script bytes
+//! and the per-mnemonic instruction mix) once, and [`analyze_costed`] consumes
+//! the precomputed table. The lowering pass ([`crate::engine::lowered`])
+//! caches `ScriptCosts` alongside its micro-ops, so repeated runs of an
+//! identical script never recompute `instr_cost` — previously that happened
+//! once per instruction per run.
 
 use std::collections::BTreeMap;
 
 use gpu_sim::{CostModel, SimTime};
 use vpps_obs::SimTrace;
 
-use crate::exec::semantics::instr_cost;
-use crate::script::{GeneratedScript, Instr};
+use crate::distribute::Distribution;
+use crate::exec::semantics::{instr_cost, InstrCost};
+use crate::script::{GeneratedScript, Instr, ScriptSet};
 use crate::specialize::KernelPlan;
+
+/// Per-instruction costs of one script set, resolved once.
+///
+/// Everything in here depends only on the scripts and the parameter
+/// distribution — not on data, not on the batch — so it is computed at
+/// lowering/plan-build time and reused across every run of the same script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptCosts {
+    /// `costs[vpp][ip]` — static cost of each instruction (zero for sync).
+    pub costs: Vec<Vec<InstrCost>>,
+    /// Encoded script bytes each VPP fetches from DRAM.
+    pub vpp_script_bytes: Vec<u64>,
+    /// Compute instructions per mnemonic, sorted by mnemonic. Every compute
+    /// instruction executes exactly once per run, so this static mix *is*
+    /// the executed-instruction histogram.
+    pub instr_mix: Vec<(&'static str, u64)>,
+}
+
+impl ScriptCosts {
+    /// Resolves every instruction's static cost against `dist`.
+    pub fn compute(scripts: &ScriptSet, dist: &Distribution) -> Self {
+        let mut costs = Vec::with_capacity(scripts.num_vpps());
+        let mut vpp_script_bytes = Vec::with_capacity(scripts.num_vpps());
+        let mut mix: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for v in 0..scripts.num_vpps() {
+            let script = scripts.script(v);
+            let mut per_ip = Vec::with_capacity(script.len());
+            let mut bytes = 0u64;
+            for instr in script {
+                per_ip.push(instr_cost(instr, dist));
+                bytes += instr.encoded_len() as u64;
+                if !instr.is_sync() {
+                    *mix.entry(instr.mnemonic()).or_insert(0) += 1;
+                }
+            }
+            costs.push(per_ip);
+            vpp_script_bytes.push(bytes);
+        }
+        Self {
+            costs,
+            vpp_script_bytes,
+            instr_mix: mix.into_iter().collect(),
+        }
+    }
+}
 
 /// Complete static schedule of one batch's scripts.
 #[derive(Debug, Clone)]
@@ -39,21 +93,42 @@ pub struct TimelineReport {
     pub script_bytes: u64,
     /// Compute instructions executed across all VPPs.
     pub instructions: usize,
+    /// Executed compute instructions per mnemonic (the script's static mix).
+    pub instr_mix: Vec<(&'static str, u64)>,
     /// `(vpp, instruction index)` of every compute instruction in the order
     /// the event-driven schedule executes them. Replaying this order serially
     /// reproduces the reference execution exactly; it also defines the
     /// deterministic commit order the parallel backend uses for accumulating
-    /// writes.
+    /// writes, and the op order of the lowered backend's flat micro-op array.
     pub order: Vec<(u32, u32)>,
 }
 
-/// Sweeps the scripts with the event-driven scheduler: each VPP advances its
-/// own clock, `signal` records an arrival at its barrier, `wait` merges the
-/// barrier's release time. Identical control flow to the original
-/// interpreter, minus the arithmetic.
-///
-/// When `trace` is given, per-instruction events are recorded for the
-/// visualization tooling.
+impl TimelineReport {
+    /// Records this schedule's per-run observability: the per-mnemonic
+    /// executed-instruction counters, the barrier count and the per-VPP
+    /// stall histogram.
+    ///
+    /// Called once per engine run (fresh analysis or cached timeline alike),
+    /// so a run that reuses a lowered artifact reports exactly the same
+    /// counters as one that analyzed from scratch.
+    pub fn record_obs(&self, num_barriers: u32) {
+        if !vpps_obs::enabled() {
+            return;
+        }
+        for (mnemonic, n) in &self.instr_mix {
+            vpps_obs::counter(&format!("engine.instr.{mnemonic}")).add(*n);
+        }
+        vpps_obs::counter("engine.barriers").add(u64::from(num_barriers));
+        let stall_hist = vpps_obs::histogram("engine.vpp_stall_ns");
+        for s in &self.vpp_stall {
+            stall_hist.record(s.as_ns() as u64);
+        }
+    }
+}
+
+/// Resolves costs and sweeps the scripts ([`ScriptCosts::compute`] +
+/// [`analyze_costed`]) — the once-per-batch entry point for backends that do
+/// not cache lowered artifacts.
 ///
 /// # Panics
 ///
@@ -62,12 +137,40 @@ pub fn analyze(
     plan: &KernelPlan,
     gs: &GeneratedScript,
     cost: &CostModel,
+    trace: Option<&mut SimTrace>,
+) -> TimelineReport {
+    let costs = ScriptCosts::compute(&gs.scripts, plan.distribution());
+    analyze_costed(plan, gs, &costs, cost, trace)
+}
+
+/// Sweeps the scripts with the event-driven scheduler: each VPP advances its
+/// own clock, `signal` records an arrival at its barrier, `wait` merges the
+/// barrier's release time. Identical control flow to the original
+/// interpreter, minus the arithmetic — instruction costs come from the
+/// precomputed `costs` table instead of being re-derived per instruction.
+///
+/// When `trace` is given, per-instruction events are recorded for the
+/// visualization tooling.
+///
+/// # Panics
+///
+/// Panics if the scripts deadlock (a script-generator bug, caught eagerly),
+/// or if `costs` was computed for a different script set.
+pub fn analyze_costed(
+    plan: &KernelPlan,
+    gs: &GeneratedScript,
+    costs: &ScriptCosts,
+    cost: &CostModel,
     mut trace: Option<&mut SimTrace>,
 ) -> TimelineReport {
     let dist = plan.distribution();
     let geo = dist.geometry();
     let num_vpps = geo.total_vpps();
-    let obs = vpps_obs::enabled();
+    assert_eq!(
+        costs.costs.len(),
+        num_vpps,
+        "cost table does not match the script set"
+    );
 
     #[derive(Clone, Copy, Default)]
     struct Barrier {
@@ -82,19 +185,11 @@ pub fn analyze(
     let mut order = Vec::new();
     let mut barrier_stall = SimTime::ZERO;
     let mut vpp_stall = vec![SimTime::ZERO; num_vpps];
-    // Per-mnemonic tallies accumulate locally; one counter add per class at
-    // the end keeps the sweep free of registry traffic.
-    let mut instr_classes: BTreeMap<&'static str, u64> = BTreeMap::new();
 
     // Each VPP fetches its own script section from DRAM into shared memory.
     let mut script_bytes = 0u64;
     for v in 0..num_vpps {
-        let bytes: u64 = gs
-            .scripts
-            .script(v)
-            .iter()
-            .map(|i| i.encoded_len() as u64)
-            .sum();
+        let bytes = costs.vpp_script_bytes[v];
         if bytes > 0 {
             script_bytes += bytes;
             times[v] = cost.vpp_mem_time(bytes);
@@ -140,7 +235,7 @@ pub fn analyze(
                         progress = true;
                     }
                     ref instr => {
-                        let c = instr_cost(instr, dist);
+                        let c = costs.costs[v][ips[v]];
                         total_read += c.read_bytes;
                         total_write += c.write_bytes;
                         let start = times[v];
@@ -156,9 +251,6 @@ pub fn analyze(
                                 start.as_ns(),
                                 (times[v] - start).as_ns(),
                             );
-                        }
-                        if obs {
-                            *instr_classes.entry(instr.mnemonic()).or_insert(0) += 1;
                         }
                         order.push((v as u32, ips[v] as u32));
                         instructions += 1;
@@ -181,17 +273,6 @@ pub fn analyze(
     let mean_vpp_time =
         SimTime::from_ns(times.iter().map(|t| t.as_ns()).sum::<f64>() / num_vpps as f64);
 
-    if obs {
-        for (mnemonic, n) in &instr_classes {
-            vpps_obs::counter(&format!("engine.instr.{mnemonic}")).add(*n);
-        }
-        vpps_obs::counter("engine.barriers").add(gs.num_barriers as u64);
-        let stall_hist = vpps_obs::histogram("engine.vpp_stall_ns");
-        for s in &vpp_stall {
-            stall_hist.record(s.as_ns() as u64);
-        }
-    }
-
     TimelineReport {
         vpp_times: times,
         max_vpp_time,
@@ -202,6 +283,7 @@ pub fn analyze(
         total_write_bytes: total_write,
         script_bytes,
         instructions,
+        instr_mix: costs.instr_mix.clone(),
         order,
     }
 }

@@ -1,0 +1,107 @@
+//! SIMD-friendly inner kernels shared by every execution backend.
+//!
+//! The interpreted backends ([`super::semantics::execute_instr`]) and the
+//! lowered backend ([`crate::engine::lowered`]) both route their mat-vec,
+//! transposed mat-vec and outer-product hot loops through these functions.
+//! Sharing the exact loop bodies is what makes the backends bit-identical:
+//! f32 addition is not associative, so two different reduction orders would
+//! produce different losses. Every kernel here has one fixed, deterministic
+//! association — chunked into [`LANES`] independent accumulators so LLVM can
+//! autovectorize the loop, with a fixed pairwise reduction tree at the end
+//! and a sequential scalar tail.
+
+/// Number of independent accumulator lanes in the chunked reduction.
+///
+/// Eight f32 lanes fill one AVX2 register; on narrower ISAs LLVM splits the
+/// lanes across two registers, which is still profitable. The value is part
+/// of the numerical contract (it fixes the association of [`dot`]), so it
+/// must never depend on the host CPU.
+pub const LANES: usize = 8;
+
+/// Dot product with a fixed chunked association.
+///
+/// Accumulates `a[i] * b[i]` into `LANES` independent partial sums
+/// (`acc[l] += a[8k + l] * b[8k + l]`), reduces them with a fixed pairwise
+/// tree, then folds the scalar tail in order. The association is fully
+/// determined by the input length — never by the host — so every backend
+/// computes bit-identical results.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f32; LANES];
+    let chunks = n / LANES;
+    for k in 0..chunks {
+        let (va, vb) = (
+            &a[k * LANES..(k + 1) * LANES],
+            &b[k * LANES..(k + 1) * LANES],
+        );
+        for l in 0..LANES {
+            acc[l] += va[l] * vb[l];
+        }
+    }
+    // Fixed pairwise tree: ((0+4)+(2+6)) + ((1+5)+(3+7)).
+    let mut sum = ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]));
+    for i in chunks * LANES..n {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// `acc[i] += s * x[i]` over the common prefix.
+///
+/// Purely element-wise (no reduction), so the result is association-free and
+/// LLVM vectorizes the loop directly.
+#[inline]
+pub fn axpy(acc: &mut [f32], s: f32, x: &[f32]) {
+    for (a, v) in acc.iter_mut().zip(x) {
+        *a += s * *v;
+    }
+}
+
+/// `acc[i] += x[i]` over the common prefix (element-wise, association-free).
+#[inline]
+pub fn add_assign(acc: &mut [f32], x: &[f32]) {
+    for (a, v) in acc.iter_mut().zip(x) {
+        *a += *v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_reference_within_float_tolerance() {
+        for n in [0, 1, 7, 8, 9, 16, 31, 64, 257] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos()).collect();
+            let want: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| f64::from(*x) * f64::from(*y))
+                .sum();
+            let got = f64::from(dot(&a, &b));
+            assert!(
+                (got - want).abs() < 1e-4 * (1.0 + want.abs()),
+                "n={n}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_is_deterministic_across_calls() {
+        let a: Vec<f32> = (0..123).map(|i| (i as f32 * 0.77).sin()).collect();
+        let b: Vec<f32> = (0..123).map(|i| (i as f32 * 0.23).cos()).collect();
+        assert_eq!(dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn axpy_and_add_assign_are_elementwise() {
+        let mut acc = vec![1.0f32; 5];
+        axpy(&mut acc, 2.0, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(acc, vec![3.0, 5.0, 7.0, 9.0, 11.0]);
+        add_assign(&mut acc, &[1.0; 5]);
+        assert_eq!(acc, vec![4.0, 6.0, 8.0, 10.0, 12.0]);
+    }
+}

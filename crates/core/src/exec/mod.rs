@@ -14,13 +14,17 @@
 //! * [`threaded`] — the original real-thread wrapper over the engine's
 //!   `Threaded` backend;
 //! * [`regcache`] — the functional stand-in for the SM register file;
-//! * [`semantics`] — data-independent instruction semantics and costs.
+//! * [`semantics`] — data-independent instruction semantics and costs;
+//! * [`kernels`] — the SIMD-friendly inner loops (chunked dot, axpy) shared
+//!   by the interpreted semantics and the lowered executor, so every backend
+//!   computes bit-identical f32 results.
 //!
 //! All backends operate on a [`RegCache`] and the shared tensor
 //! [`vpps_tensor::Pool`] standing in for device DRAM.
 
 pub mod fallback;
 pub mod interp;
+pub mod kernels;
 pub mod regcache;
 pub mod semantics;
 pub mod threaded;

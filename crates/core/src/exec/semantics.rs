@@ -13,6 +13,7 @@
 use vpps_tensor::PoolOffset;
 
 use crate::distribute::{ChunkId, Distribution};
+use crate::exec::kernels;
 use crate::script::Instr;
 
 /// Memory/compute cost of one executed instruction, in the units the device
@@ -167,7 +168,7 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                 let data = ctx.chunk(chunk);
                 for r in 0..c.rows {
                     let row = &data[r * c.cols..(r + 1) * c.cols];
-                    out[r] = row.iter().zip(&xv).map(|(w, v)| w * v).sum();
+                    out[r] = kernels::dot(row, &xv);
                 }
             }
             ctx.write(off_plus(y, c.row_start), &out);
@@ -186,9 +187,7 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                         continue;
                     }
                     let row = &data[r * c.cols..(r + 1) * c.cols];
-                    for (o, w) in contrib.iter_mut().zip(row) {
-                        *o += s * w;
-                    }
+                    kernels::axpy(&mut contrib, s, row);
                 }
             }
             ctx.accumulate(dx, &contrib);
@@ -207,9 +206,7 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
                     continue;
                 }
                 let row = &mut data[r * c.cols..(r + 1) * c.cols];
-                for (g, v) in row.iter_mut().zip(&xv) {
-                    *g += s * v;
-                }
+                kernels::axpy(row, s, &xv);
             }
         }
         Instr::AddBiasChunk { chunk, len, x, y } => {
@@ -229,9 +226,7 @@ pub fn execute_instr(instr: &Instr, dist: &Distribution, ctx: &mut impl ExecCtx)
             let mut dyv = vec![0.0; len as usize];
             ctx.read(dy, &mut dyv);
             let data = ctx.chunk_mut(chunk);
-            for (g, d) in data.iter_mut().zip(&dyv) {
-                *g += d;
-            }
+            kernels::add_assign(data, &dyv);
         }
         Instr::Tanh { len, x, y } => unary(ctx, len, x, y, |v| v.tanh()),
         Instr::Sigmoid { len, x, y } => unary(ctx, len, x, y, |v| 1.0 / (1.0 + (-v).exp())),

@@ -196,6 +196,7 @@ pub struct Handle {
     profile: ProfileState,
     batches: u64,
     kernel_metrics: Metrics,
+    lowered: engine::LoweredCache,
 }
 
 impl Handle {
@@ -245,6 +246,7 @@ impl Handle {
             profile,
             batches: 0,
             kernel_metrics: Metrics::default(),
+            lowered: engine::LoweredCache::default(),
         })
     }
 
@@ -296,15 +298,29 @@ impl Handle {
             apply_update: true,
         };
         let before = self.gpu.now();
-        let run = engine::run_batch(
-            self.opts.backend.backend(),
-            plan,
-            &gs,
-            &mut self.pool,
-            model,
-            &mut self.gpu,
-            cfg,
-        );
+        // The lowered backend goes through the handle's artifact cache so
+        // repeated shapes skip lowering *and* the timeline sweep entirely.
+        let run = if self.opts.backend == BackendKind::Lowered {
+            engine::run_batch_lowered(
+                plan,
+                &gs,
+                &mut self.pool,
+                model,
+                &mut self.gpu,
+                cfg,
+                &mut self.lowered,
+            )
+        } else {
+            engine::run_batch(
+                self.opts.backend.backend(),
+                plan,
+                &gs,
+                &mut self.pool,
+                model,
+                &mut self.gpu,
+                cfg,
+            )
+        };
         let kernel_total = self.gpu.now() - before;
         self.kernel_metrics.merge(&run.metrics);
         let fb_before = self.gpu.now();
@@ -453,15 +469,29 @@ impl Handle {
             apply_update: false,
         };
         let before = self.gpu.now();
-        let run = engine::run_batch(
-            self.opts.backend.backend(),
-            plan,
-            &gs,
-            &mut self.pool,
-            model,
-            &mut self.gpu,
-            cfg,
-        );
+        // The lowered backend goes through the handle's artifact cache so
+        // repeated shapes skip lowering *and* the timeline sweep entirely.
+        let run = if self.opts.backend == BackendKind::Lowered {
+            engine::run_batch_lowered(
+                plan,
+                &gs,
+                &mut self.pool,
+                model,
+                &mut self.gpu,
+                cfg,
+                &mut self.lowered,
+            )
+        } else {
+            engine::run_batch(
+                self.opts.backend.backend(),
+                plan,
+                &gs,
+                &mut self.pool,
+                model,
+                &mut self.gpu,
+                cfg,
+            )
+        };
         let kernel_total = self.gpu.now() - before;
         self.kernel_metrics.merge(&run.metrics);
 
@@ -503,6 +533,12 @@ impl Handle {
     /// [`RpwMode::Profile`]).
     pub fn plans(&self) -> &[KernelPlan] {
         &self.plans
+    }
+
+    /// Hit/miss tallies of the lowered-artifact cache (only populated when
+    /// [`VppsOptions::backend`] is [`BackendKind::Lowered`]).
+    pub fn lowered_cache_stats(&self) -> engine::LoweredCacheStats {
+        self.lowered.stats()
     }
 
     /// Modeled JIT cost of the active plan (Table II reports this per

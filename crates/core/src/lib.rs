@@ -61,7 +61,10 @@ pub mod handle;
 pub mod script;
 pub mod specialize;
 
-pub use engine::{BackendKind, Engine, ExecutionBackend, RunOutcome, Session};
+pub use engine::{
+    BackendKind, Engine, ExecutionBackend, LoweredCache, LoweredCacheStats, LoweredScript,
+    RunOutcome, Session,
+};
 pub use error::VppsError;
 pub use handle::{Handle, PhaseBreakdown, RpwMode, VppsOptions};
-pub use specialize::{GradStrategy, KernelPlan, PlanCache, PlanSignature};
+pub use specialize::{GradStrategy, KernelPlan, PlanCache, PlanMemo, PlanSignature};

@@ -709,6 +709,40 @@ impl ScriptSet {
         Self { scripts }
     }
 
+    /// Stable 64-bit content fingerprint (FNV-1a over the logical
+    /// instruction stream, including per-VPP boundaries).
+    ///
+    /// Two script sets have equal fingerprints exactly when they decode to
+    /// the same per-VPP instruction sequences, so the fingerprint — combined
+    /// with a plan id — keys the lowered-script cache
+    /// ([`crate::engine::lowered`]): re-running an identical script on the
+    /// same plan reuses its lowered micro-ops and timeline instead of
+    /// re-deriving them.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |word: u32| {
+            for b in word.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.scripts.len() as u32);
+        for script in &self.scripts {
+            eat(script.len() as u32);
+            for instr in script {
+                eat(u32::from(instr.opcode()));
+                eat(instr.len_field());
+                let (ops, n) = instr.operands();
+                for op in &ops[..n] {
+                    eat(*op);
+                }
+            }
+        }
+        h
+    }
+
     /// Size of the encoded form in bytes (what the host-to-device copy of
     /// paper §III-B2 transfers).
     pub fn encoded_bytes(&self) -> usize {

@@ -9,9 +9,11 @@
 //! A cache hit skips the expensive program-compilation stage; the
 //! PTX-to-binary module load must still be paid, just as on real hardware.
 
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use dyn_graph::Model;
 use gpu_sim::{DeviceConfig, SimTime};
@@ -101,6 +103,86 @@ impl PlanCache {
     /// `true` if the cache holds no kernels.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// An in-memory, [`PlanSignature`]-keyed memo for artifacts derived once per
+/// plan (the host analogue of the paper's per-specialization kernel cache,
+/// for things that — unlike PTX — never need to touch disk).
+///
+/// Values are stored behind [`Arc`] so consumers can hold a derived artifact
+/// across batches without cloning it. Hits and misses are counted both
+/// locally (for callers that need exact rates with observability disabled)
+/// and through `vpps-obs` under `<prefix>.cache_hit` / `<prefix>.cache_miss`;
+/// a miss whose signature was *already seen* additionally bumps
+/// `<prefix>.cache_re_miss` — with the unbounded map this cannot happen, so
+/// the counter staying at zero is the "hit rate is 1.0 after warmup"
+/// invariant CI asserts.
+#[derive(Debug)]
+pub struct PlanMemo<T> {
+    hit_counter: String,
+    miss_counter: String,
+    re_miss_counter: String,
+    map: HashMap<u64, Arc<T>>,
+    seen: HashSet<u64>,
+    hits: u64,
+    misses: u64,
+    re_misses: u64,
+}
+
+impl<T> PlanMemo<T> {
+    /// Creates an empty memo whose obs counters are named
+    /// `<prefix>.cache_hit`, `<prefix>.cache_miss` and
+    /// `<prefix>.cache_re_miss`.
+    pub fn new(prefix: &str) -> Self {
+        Self {
+            hit_counter: format!("{prefix}.cache_hit"),
+            miss_counter: format!("{prefix}.cache_miss"),
+            re_miss_counter: format!("{prefix}.cache_re_miss"),
+            map: HashMap::new(),
+            seen: HashSet::new(),
+            hits: 0,
+            misses: 0,
+            re_misses: 0,
+        }
+    }
+
+    /// Returns the artifact for `sig`, building it with `build` on first
+    /// encounter.
+    pub fn get_or_insert_with(&mut self, sig: &PlanSignature, build: impl FnOnce() -> T) -> Arc<T> {
+        let key = sig.plan_id();
+        if let Some(v) = self.map.get(&key) {
+            self.hits += 1;
+            vpps_obs::counter(&self.hit_counter).incr();
+            return Arc::clone(v);
+        }
+        self.misses += 1;
+        vpps_obs::counter(&self.miss_counter).incr();
+        if !self.seen.insert(key) {
+            self.re_misses += 1;
+            vpps_obs::counter(&self.re_miss_counter).incr();
+        }
+        let v = Arc::new(build());
+        self.map.insert(key, Arc::clone(&v));
+        v
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no artifact has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses, re_misses)` since construction. `re_misses` counts
+    /// misses for signatures that had been built before (impossible while
+    /// the memo is unbounded; the field exists so an eviction policy cannot
+    /// be added later without the invariant being monitored).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.re_misses)
     }
 }
 

@@ -173,6 +173,12 @@ impl From<u64> for Json {
     }
 }
 
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
 impl From<f64> for Json {
     fn from(v: f64) -> Json {
         Json::Num(v)

@@ -1,8 +1,9 @@
 //! Property: every execution backend is the *same machine*. Whatever random
 //! dynamic graph the generator produces, the event-driven interpreter, the
-//! real-thread executor and the wave-parallel interpreter must return
-//! bit-identical losses, bit-identical updated parameters, and identical
-//! unified metrics (DRAM bytes per traffic class, launch counts).
+//! real-thread executor, the wave-parallel interpreter and the lowered
+//! micro-op executor must return bit-identical losses, bit-identical updated
+//! parameters, and identical unified metrics (DRAM bytes per traffic class,
+//! launch counts).
 //!
 //! Reuses the graph generators from `tests/support/graphgen.rs` shared with
 //! `proptest_random_graphs.rs`, so backend agreement is tested over the same
@@ -64,12 +65,16 @@ fn run_on_backend(recipe: &GraphRecipe, kind: BackendKind) -> (f32, Metrics, Vec
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// All three backends agree bit-for-bit on any random graph.
+    /// All backends agree bit-for-bit on any random graph.
     #[test]
     fn backends_agree_on_random_graphs(recipe in arb_recipe()) {
         let (ref_loss, ref_metrics, ref_params) =
             run_on_backend(&recipe, BackendKind::EventInterp);
-        for kind in [BackendKind::Threaded, BackendKind::ParallelInterp] {
+        for kind in [
+            BackendKind::Threaded,
+            BackendKind::ParallelInterp,
+            BackendKind::Lowered,
+        ] {
             let (loss, metrics, params) = run_on_backend(&recipe, kind);
             prop_assert_eq!(
                 loss.to_bits(), ref_loss.to_bits(),
@@ -122,6 +127,19 @@ fn train_workload(kind: BackendKind, batches: usize) -> (Vec<f32>, std::time::Du
         losses.push(handle.sync_get_latest_loss());
     }
     (losses, start.elapsed())
+}
+
+/// On a real multi-batch Tree-LSTM workload the lowered executor matches the
+/// serial interpreter exactly, including across parameter updates (the warm
+/// batches run from the handle's lowered-artifact cache).
+#[test]
+fn lowered_matches_reference_on_real_workload() {
+    let (serial_losses, _) = train_workload(BackendKind::EventInterp, 8);
+    let (lowered_losses, _) = train_workload(BackendKind::Lowered, 8);
+    assert_eq!(
+        serial_losses, lowered_losses,
+        "lowered backend must agree bit-for-bit"
+    );
 }
 
 /// On a real Tree-LSTM workload the wave-parallel interpreter matches the

@@ -1,0 +1,197 @@
+//! Properties of the script-lowering pass (`vpps::engine::lowered`).
+//!
+//! * **Determinism** — lowering is a pure function of `(plan, scripts)`:
+//!   lowering the same recipe twice produces byte-identical micro-op arrays,
+//!   cost tables and derived bounds. This is what makes the lowered-artifact
+//!   cache sound (a hit is indistinguishable from re-lowering).
+//! * **Stream shape** — the micro-op stream is exactly the timeline's
+//!   compute-instruction order with sync compiled away: same length, same
+//!   per-mnemonic counts as the script's static instruction mix.
+//! * **Caching** — the two-level `LoweredCache` returns the same `Arc` on a
+//!   hit, never re-lowers a seen script (re-miss counter stays zero), and
+//!   shares the per-plan chunk table across distinct scripts of one plan.
+
+use std::collections::BTreeMap;
+
+use dyn_graph::Model;
+use gpu_sim::GpuSim;
+use proptest::prelude::*;
+use vpps::engine::lowered::{self, LoweredCache, LoweredScript};
+use vpps::script::{generate, TableLayout};
+use vpps::KernelPlan;
+
+#[path = "support/graphgen.rs"]
+mod graphgen;
+use graphgen::{arb_recipe, build_from_recipe, small_device, GraphRecipe, DIM};
+
+fn test_model() -> Model {
+    let mut model = Model::new(987);
+    model.add_matrix("W1", DIM, DIM);
+    model.add_matrix("W2", DIM, DIM);
+    model.add_bias("b", DIM);
+    model
+}
+
+/// Builds and lowers one recipe from scratch (fresh model, plan, pool).
+fn lower_recipe(recipe: &GraphRecipe) -> LoweredScript {
+    let model = test_model();
+    let (g, loss) = build_from_recipe(&model, recipe);
+    let plan = KernelPlan::build(&model, &small_device(), 1).expect("tiny model fits");
+    let mut pool = vpps_tensor::Pool::with_capacity(1 << 18);
+    let tables = TableLayout::install(&model, &mut pool).expect("pool big enough");
+    let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
+    let gpu = GpuSim::new(small_device());
+    lowered::lower(&plan, &gs, gpu.cost_model())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same recipe, two independent lowering passes: byte-identical
+    /// artifacts.
+    #[test]
+    fn lowering_is_deterministic(recipe in arb_recipe()) {
+        let a = lower_recipe(&recipe);
+        let b = lower_recipe(&recipe);
+        prop_assert_eq!(a.plan_id, b.plan_id, "plan identity must be stable");
+        prop_assert_eq!(a.fingerprint, b.fingerprint, "script fingerprint must be stable");
+        prop_assert_eq!(&a.ops, &b.ops, "micro-op arrays must be identical");
+        prop_assert_eq!(&a.costs, &b.costs, "cost tables must be identical");
+        prop_assert_eq!(a.pool_end, b.pool_end);
+        prop_assert_eq!(a.scratch_len, b.scratch_len);
+        prop_assert_eq!(a.num_barriers, b.num_barriers);
+        // Belt and braces: the full debug rendering (every literal field of
+        // every op) must match byte for byte.
+        prop_assert_eq!(format!("{:?}", a.ops), format!("{:?}", b.ops));
+    }
+
+    /// The op stream is the timeline's compute order with sync compiled
+    /// away: one micro-op per executed instruction, and the per-mnemonic
+    /// histogram equals the script's static instruction mix.
+    #[test]
+    fn op_stream_matches_timeline(recipe in arb_recipe()) {
+        let art = lower_recipe(&recipe);
+        prop_assert_eq!(
+            art.ops.len(),
+            art.timeline.instructions,
+            "one micro-op per compute instruction"
+        );
+        prop_assert_eq!(art.ops.len(), art.timeline.order.len());
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for op in &art.ops {
+            *counts.entry(op.mnemonic()).or_insert(0) += 1;
+        }
+        let mix: BTreeMap<&'static str, u64> = art.costs.instr_mix.iter().copied().collect();
+        prop_assert_eq!(counts, mix, "lowered op histogram must equal the static mix");
+    }
+
+    /// Re-lowering through the cache hits (same `Arc`), and a seen script is
+    /// never re-lowered (re-miss counters stay zero).
+    #[test]
+    fn cache_hits_are_shared_and_never_re_miss(recipe in arb_recipe()) {
+        let model = test_model();
+        let (g, loss) = build_from_recipe(&model, &recipe);
+        let plan = KernelPlan::build(&model, &small_device(), 1).expect("tiny model fits");
+        let mut pool = vpps_tensor::Pool::with_capacity(1 << 18);
+        let tables = TableLayout::install(&model, &mut pool).expect("pool big enough");
+        let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
+        let gpu = GpuSim::new(small_device());
+
+        let mut cache = LoweredCache::default();
+        let first = cache.get_or_lower(&plan, &gs, gpu.cost_model());
+        for _ in 0..3 {
+            let again = cache.get_or_lower(&plan, &gs, gpu.cost_model());
+            prop_assert!(
+                std::sync::Arc::ptr_eq(&first, &again),
+                "a cache hit must return the same artifact"
+            );
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.plan_misses, 1);
+        prop_assert_eq!(stats.plan_hits, 3);
+        prop_assert_eq!(stats.plan_re_misses, 0, "plans are never evicted");
+        prop_assert_eq!(stats.script_misses, 1);
+        prop_assert_eq!(stats.script_hits, 3);
+        prop_assert_eq!(stats.script_re_misses, 0, "a seen script must not re-lower");
+        prop_assert_eq!(cache.len(), 1);
+    }
+}
+
+/// Distinct scripts of the same plan share the level-1 (per-plan) entry:
+/// only the first batch misses it, so warm-path plan hit rate is 1.0.
+#[test]
+fn plan_table_is_shared_across_distinct_scripts() {
+    let model = test_model();
+    let plan = KernelPlan::build(&model, &small_device(), 1).expect("tiny model fits");
+    let gpu = GpuSim::new(small_device());
+    let mut cache = LoweredCache::default();
+
+    let recipes = [
+        GraphRecipe {
+            ops: vec![0, 3, 1, 6],
+            picks: vec![1; 30],
+            label: 0,
+        },
+        GraphRecipe {
+            ops: vec![1, 4, 2],
+            picks: vec![2; 30],
+            label: 1,
+        },
+        GraphRecipe {
+            ops: vec![0, 1, 5, 7, 2],
+            picks: vec![3; 30],
+            label: 2,
+        },
+    ];
+    for recipe in &recipes {
+        let (g, loss) = build_from_recipe(&model, recipe);
+        let mut pool = vpps_tensor::Pool::with_capacity(1 << 18);
+        let tables = TableLayout::install(&model, &mut pool).expect("pool big enough");
+        let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
+        cache.get_or_lower(&plan, &gs, gpu.cost_model());
+    }
+
+    let stats = cache.stats();
+    assert_eq!(stats.plan_misses, 1, "one plan, one plan-level miss");
+    assert_eq!(
+        stats.plan_hits, 2,
+        "remaining scripts reuse the chunk table"
+    );
+    assert_eq!(stats.plan_re_misses, 0);
+    assert_eq!(
+        stats.script_misses, 3,
+        "three distinct scripts each lower once"
+    );
+    assert_eq!(stats.script_re_misses, 0);
+}
+
+/// Through a `Handle` training a fixed shape, every batch after the first is
+/// a script-level cache hit — the warm-path hit rate the CI smoke job
+/// asserts through obs counters.
+#[test]
+fn handle_warm_path_hits_after_first_batch() {
+    use vpps::{BackendKind, Handle, RpwMode, VppsOptions};
+
+    let recipe = GraphRecipe {
+        ops: vec![0, 2, 3, 1, 6],
+        picks: vec![5; 30],
+        label: 1,
+    };
+    let mut model = test_model();
+    let opts = VppsOptions {
+        rpw: RpwMode::Fixed(1),
+        pool_capacity: 1 << 18,
+        backend: BackendKind::Lowered,
+        ..VppsOptions::default()
+    };
+    let mut handle = Handle::new(&model, small_device(), opts).expect("tiny model fits");
+    for _ in 0..5 {
+        let (g, loss) = build_from_recipe(&model, &recipe);
+        handle.fb(&mut model, &g, loss);
+    }
+    let stats = handle.lowered_cache_stats();
+    assert_eq!(stats.script_misses, 1, "only the cold batch lowers");
+    assert_eq!(stats.script_hits, 4, "every warm batch hits");
+    assert_eq!(stats.script_re_misses, 0);
+    assert_eq!(stats.plan_re_misses, 0);
+}
