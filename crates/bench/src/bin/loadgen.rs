@@ -15,12 +15,24 @@
 //!   default (low) offered load the server must complete everything.
 //! * `--verify-determinism` — run the scenario twice and exit non-zero
 //!   unless both runs serialize to byte-identical trajectory records.
+//!   Holds with fault injection armed: faults and recovery replay exactly.
 //! * `--emit=FILE` — write the run's `BENCH_*.json` trajectory document
 //!   (schema-validated) to FILE; with `--emit=-` print it to stdout.
+//!
+//! Chaos flags:
+//!
+//! * `--fault-profile=SPEC` — arm deterministic fault injection on the
+//!   served model's device. SPEC is a comma list of `key=value` pairs
+//!   (`seed`, `transfer`, `launch`, `hang`, `dram`, `jit`), e.g.
+//!   `--fault-profile=seed=7,launch=0.05,hang=0.02`.
+//! * `--no-fallback` — disable the handle's backend degradation ladder, so
+//!   exhausted retries surface as typed errors (breaker/shed territory).
+//! * `--expect-recovery` — exit non-zero unless the run both injected
+//!   faults and completed requests: proves the recovery path actually ran.
 
-use vpps::BackendKind;
-use vpps_bench::serve_bench::{run_scenario, ServeScenario};
-use vpps_serve::{serve_summary_json, validate_serve_summary, ServeRecord};
+use vpps::{BackendKind, FaultConfig};
+use vpps_bench::serve_bench::{run_scenario_server, ServeScenario};
+use vpps_serve::{serve_summary_json, validate_serve_summary, ServeRecord, ServeReport};
 
 fn usage() -> ! {
     eprintln!(
@@ -30,7 +42,8 @@ fn usage() -> ! {
          \x20              [--queue-cap N] [--tenant-quota N] [--hidden N]\n\
          \x20              [--backend event-interp|threaded|parallel-interp]\n\
          \x20              [--label S] [--emit FILE|-] [--fail-on-shed]\n\
-         \x20              [--verify-determinism]"
+         \x20              [--verify-determinism] [--fault-profile SPEC]\n\
+         \x20              [--no-fallback] [--expect-recovery]"
     );
     std::process::exit(2);
 }
@@ -40,6 +53,7 @@ struct Args {
     emit: Option<String>,
     fail_on_shed: bool,
     verify_determinism: bool,
+    expect_recovery: bool,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +64,7 @@ fn parse_args() -> Args {
     let mut emit = None;
     let mut fail_on_shed = false;
     let mut verify_determinism = false;
+    let mut expect_recovery = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     // Flags accept both `--flag value` and `--flag=value`.
@@ -91,9 +106,18 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--fault-profile" => {
+                let spec = value(&mut i, &arg);
+                sc.faults = FaultConfig::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("invalid --fault-profile {spec:?}: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--no-fallback" => sc.fallback = false,
             "--emit" => emit = Some(value(&mut i, &arg)),
             "--fail-on-shed" => fail_on_shed = true,
             "--verify-determinism" => verify_determinism = true,
+            "--expect-recovery" => expect_recovery = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -107,6 +131,28 @@ fn parse_args() -> Args {
         emit,
         fail_on_shed,
         verify_determinism,
+        expect_recovery,
+    }
+}
+
+/// One run plus the fault/recovery accounting `--expect-recovery` needs.
+struct RunOutput {
+    rec: ServeRecord,
+    faults_injected: u64,
+    recovery: vpps::RecoveryStats,
+}
+
+fn run_once(sc: &ServeScenario) -> RunOutput {
+    let (server, mid, offered_rps) = run_scenario_server(sc);
+    RunOutput {
+        rec: ServeRecord {
+            label: sc.label.clone(),
+            backend: sc.backend.name().to_owned(),
+            offered_rps,
+            report: ServeReport::from_outcomes(server.outcomes()),
+        },
+        faults_injected: server.fault_profile(mid).map_or(0, |p| p.total_injected()),
+        recovery: server.recovery_stats(mid),
     }
 }
 
@@ -151,22 +197,46 @@ fn print_report(rec: &ServeRecord) {
 fn main() {
     let args = parse_args();
     let t0 = std::time::Instant::now();
-    let rec = run_scenario(&args.scenario);
+    let out = run_once(&args.scenario);
+    let rec = out.rec;
     let json = serve_summary_json(&args.scenario.label, std::slice::from_ref(&rec));
     if let Err(e) = validate_serve_summary(&json) {
         eprintln!("trajectory failed self-validation: {e}");
         std::process::exit(1);
     }
     print_report(&rec);
+    if args.scenario.faults.enabled {
+        let r = &out.recovery;
+        println!(
+            "  chaos: {} faults injected; {} retries, {} backend fallbacks, \
+             {} baseline fallbacks, {} quarantines, {} rollbacks",
+            out.faults_injected,
+            r.retries,
+            r.backend_fallbacks,
+            r.baseline_fallbacks,
+            r.quarantines,
+            r.rollbacks
+        );
+    }
 
     let mut failed = false;
     if args.verify_determinism {
-        let again = run_scenario(&args.scenario);
+        let again = run_once(&args.scenario).rec;
         let json2 = serve_summary_json(&args.scenario.label, std::slice::from_ref(&again));
         if json == json2 {
             println!("determinism: two runs produced byte-identical trajectories");
         } else {
             eprintln!("DETERMINISM FAILURE: same seed, different trajectories");
+            failed = true;
+        }
+    }
+    if args.expect_recovery {
+        if out.faults_injected == 0 {
+            eprintln!("RECOVERY FAILURE: --expect-recovery but no faults were injected");
+            failed = true;
+        }
+        if rec.report.completed == 0 {
+            eprintln!("RECOVERY FAILURE: --expect-recovery but no request completed");
             failed = true;
         }
     }

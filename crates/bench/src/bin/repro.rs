@@ -9,7 +9,10 @@
 //! Subcommands: `fig2`, `fig8`, `fig9`, `fig10`, `fig12`, `table1`,
 //! `table2`, `all`, `serve` (serving-layer batching experiment writing
 //! `BENCH_serve.json`), `lowered` (interpreted-vs-lowered engine wall-clock
-//! comparison writing `BENCH_lowered.json`; included in `all`), and `trace`
+//! comparison writing `BENCH_lowered.json`; included in `all`), `chaos`
+//! (serving goodput under swept deterministic fault rates writing
+//! `BENCH_chaos.json`; exits nonzero if its armed-rate-0 or same-seed
+//! reproducibility invariant fails), and `trace`
 //! (writes a Chrome trace of one Tree-LSTM persistent kernel to
 //! `vpps_kernel_trace.json`). `--full` uses the paper's 128-input
 //! workloads; the default "quick" scale keeps every trend visible while
@@ -533,6 +536,78 @@ fn serve(full: bool, backend: BackendKind) {
     }
 }
 
+/// Chaos experiment: the serving trace replayed across a ladder of fault
+/// rates with deterministic injection and the full recovery stack armed.
+/// Writes `BENCH_chaos.json` (honoring `$VPPS_BENCH_DIR`) and exits
+/// nonzero if either self-checked invariant (armed-rate-0 silence,
+/// same-seed reproducibility) fails.
+fn chaos(full: bool, backend: BackendKind) {
+    println!("Chaos — goodput and recovery cost under swept fault rates");
+    println!("(deterministic injection; every point self-checks reproducibility)\n");
+    let sc = vpps_bench::ChaosScenario {
+        requests: if full { 240 } else { 80 },
+        hidden: if full { 64 } else { 32 },
+        backend,
+        ..vpps_bench::ChaosScenario::default()
+    };
+    let summary = vpps_bench::run_chaos(&sc);
+    let mut rows = Vec::new();
+    for rec in &summary.records {
+        let r = &rec.record.report;
+        rows.push(vec![
+            format!("{:.2}", rec.rate),
+            rec.faults_total.to_string(),
+            rec.recovery.retries.to_string(),
+            (rec.recovery.backend_fallbacks + rec.recovery.baseline_fallbacks).to_string(),
+            rec.recovery.quarantines.to_string(),
+            format!("{:.0}", r.goodput_rps),
+            format!("{:.0}", r.e2e.p99_us),
+            format!("{}", r.total_shed()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Chaos",
+            &[
+                "fault rate",
+                "injected",
+                "retries",
+                "fallbacks",
+                "quarantines",
+                "goodput rps",
+                "p99 us",
+                "shed"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "armed rate-0 identical to disabled: {}; same-seed sweep reproducible: {}\n",
+        if summary.zero_rate_identical {
+            "yes"
+        } else {
+            "NO"
+        },
+        if summary.same_seed_identical {
+            "yes"
+        } else {
+            "NO"
+        },
+    );
+    if !summary.zero_rate_identical || !summary.same_seed_identical {
+        eprintln!("chaos determinism invariant failed");
+        std::process::exit(1);
+    }
+    match vpps_bench::write_chaos_summary("chaos", &summary) {
+        Ok(path) => println!("chaos trajectory -> {}\n", path.display()),
+        Err(e) => {
+            eprintln!("cannot write chaos trajectory: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Captures the metric registry and writes it to `path` (Prometheus text
 /// for `.prom`, versioned JSON snapshot otherwise). JSON snapshots are
 /// validated by parsing them back through their own schema.
@@ -646,6 +721,7 @@ fn main() {
         "trace" => trace(),
         "serve" => serve(full, backend),
         "lowered" => lowered(full),
+        "chaos" => chaos(full, backend),
         "all" => {
             table2();
             fig2(&scale);
@@ -660,7 +736,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|serve|lowered|all] \
+                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|serve|lowered|chaos|all] \
                  [--full] [--backend=event-interp|threaded|parallel-interp|lowered] \
                  [--emit-metrics=FILE[.prom]] [--emit-trace=FILE]"
             );

@@ -1,0 +1,391 @@
+//! Chaos benchmark: goodput and recovery cost under swept fault rates.
+//!
+//! A [`ChaosScenario`] replays the *same* seeded serving trace (the
+//! Tree-LSTM workload from [`crate::serve_bench`]) at a ladder of fault
+//! rates, producing one [`ChaosRecord`] per rate: serving goodput, faults
+//! injected by kind, and the handle-level recovery activity (retries,
+//! backoff time, fallbacks, quarantines). The summary is a versioned,
+//! self-validating `BENCH_chaos.json` document, like the other bench
+//! trajectories.
+//!
+//! Two invariants are *checked while benchmarking* and recorded in the
+//! document, so CI only needs to read flags:
+//!
+//! * `zero_rate_identical` — the rate-0 row is executed twice, once with the
+//!   injector armed at rate 0 and once with it disabled, and the serialized
+//!   serving records must be byte-identical (an armed-but-silent injector
+//!   perturbs nothing).
+//! * `same_seed_identical` — the whole sweep is executed twice in-process
+//!   and the two summaries must serialize byte-identically (faults and
+//!   recovery are exactly reproducible).
+
+use std::io;
+use std::path::PathBuf;
+
+use vpps::{FaultConfig, FaultKind, RecoveryStats};
+use vpps_obs::Json;
+use vpps_serve::{serve_summary_json, ServeRecord, ServeReport};
+
+use crate::serve_bench::{run_scenario_server, ServeScenario};
+
+/// Schema identifier written into every chaos trajectory.
+pub const SCHEMA: &str = "vpps-chaos-trajectory";
+
+/// Current schema version.
+pub const VERSION: u64 = 1;
+
+/// One chaos experiment: a serving trace swept over fault rates.
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    /// Requests per sweep point.
+    pub requests: usize,
+    /// Seed for both the request trace and the fault streams.
+    pub seed: u64,
+    /// Open-loop offered load, requests per simulated second.
+    pub rate_rps: f64,
+    /// Maximum batch size.
+    pub max_batch: usize,
+    /// Hidden dimension of the workload model.
+    pub hidden: usize,
+    /// Uniform per-kind fault rates to sweep (`0.0` rows double as the
+    /// armed-vs-disabled bit-identity check).
+    pub rates: Vec<f64>,
+    /// Handle-level degradation ladder on/off.
+    pub fallback: bool,
+    /// Execution backend for the warm handles (the top of the ladder).
+    pub backend: vpps::BackendKind,
+}
+
+impl Default for ChaosScenario {
+    fn default() -> Self {
+        Self {
+            requests: 120,
+            seed: 42,
+            rate_rps: 50_000.0,
+            max_batch: 8,
+            hidden: 32,
+            rates: vec![0.0, 0.02, 0.05, 0.10],
+            fallback: true,
+            backend: vpps::BackendKind::default(),
+        }
+    }
+}
+
+/// One sweep point: the serving record plus fault/recovery accounting.
+#[derive(Debug, Clone)]
+pub struct ChaosRecord {
+    /// Uniform fault rate of this point.
+    pub rate: f64,
+    /// The serving-side numbers (goodput, latency, shed reasons).
+    pub record: ServeRecord,
+    /// Faults injected, by [`FaultKind::name`], in [`FaultKind::ALL`] order.
+    pub faults: Vec<(String, u64)>,
+    /// Total faults injected.
+    pub faults_total: u64,
+    /// Handle-level recovery activity.
+    pub recovery: RecoveryStats,
+    /// Batches whose dispatch returned a typed error to the server.
+    pub batch_failures: u64,
+    /// Breaker state changes on the served model.
+    pub breaker_transitions: u64,
+}
+
+/// A full sweep plus its self-checked invariants.
+#[derive(Debug, Clone)]
+pub struct ChaosSummary {
+    /// One record per swept rate, in scenario order.
+    pub records: Vec<ChaosRecord>,
+    /// `true` iff every rate-0 row was byte-identical to a disabled-injector
+    /// run of the same trace.
+    pub zero_rate_identical: bool,
+    /// `true` iff re-running the whole sweep reproduced the summary
+    /// byte-for-byte (filled by [`run_chaos`]).
+    pub same_seed_identical: bool,
+}
+
+fn serve_scenario(sc: &ChaosScenario, rate: f64, faults: FaultConfig) -> ServeScenario {
+    ServeScenario {
+        label: format!("chaos-rate-{rate}"),
+        requests: sc.requests,
+        seed: sc.seed,
+        rate_rps: sc.rate_rps,
+        max_batch: sc.max_batch,
+        hidden: sc.hidden,
+        faults,
+        fallback: sc.fallback,
+        backend: sc.backend,
+        ..ServeScenario::default()
+    }
+}
+
+fn run_point(sc: &ChaosScenario, rate: f64, faults: FaultConfig) -> ChaosRecord {
+    let ssc = serve_scenario(sc, rate, faults);
+    let (server, mid, offered_rps) = run_scenario_server(&ssc);
+    let record = ServeRecord {
+        label: ssc.label.clone(),
+        backend: ssc.backend.name().to_owned(),
+        offered_rps,
+        report: ServeReport::from_outcomes(server.outcomes()),
+    };
+    let faults: Vec<(String, u64)> = FaultKind::ALL
+        .iter()
+        .map(|&k| {
+            (
+                k.name().to_owned(),
+                server.fault_profile(mid).map_or(0, |p| p.injected(k)),
+            )
+        })
+        .collect();
+    let faults_total = faults.iter().map(|&(_, n)| n).sum();
+    ChaosRecord {
+        rate,
+        record,
+        faults,
+        faults_total,
+        recovery: server.recovery_stats(mid),
+        batch_failures: server.batch_failures(),
+        breaker_transitions: server.breaker_transitions(mid).len() as u64,
+    }
+}
+
+fn run_sweep(sc: &ChaosScenario) -> (Vec<ChaosRecord>, bool) {
+    let mut records = Vec::new();
+    let mut zero_rate_identical = true;
+    for &rate in &sc.rates {
+        let armed = run_point(sc, rate, FaultConfig::uniform(sc.seed, rate));
+        if rate == 0.0 {
+            // The armed-but-silent injector must not perturb the serving
+            // results at all: compare the serialized records byte-for-byte
+            // against a disabled-injector run of the same trace.
+            let disabled = run_point(sc, rate, FaultConfig::disabled());
+            let a = serve_summary_json("chaos-zero", std::slice::from_ref(&armed.record));
+            let b = serve_summary_json("chaos-zero", std::slice::from_ref(&disabled.record));
+            zero_rate_identical &= a == b && armed.faults_total == 0;
+        }
+        records.push(armed);
+    }
+    (records, zero_rate_identical)
+}
+
+/// Runs the sweep — twice, to self-check reproducibility — and returns the
+/// summary with both invariant flags filled in.
+pub fn run_chaos(sc: &ChaosScenario) -> ChaosSummary {
+    let (records, zero_rate_identical) = run_sweep(sc);
+    let first = ChaosSummary {
+        records,
+        zero_rate_identical,
+        same_seed_identical: true,
+    };
+    let (again, zero_again) = run_sweep(sc);
+    let second = ChaosSummary {
+        records: again,
+        zero_rate_identical: zero_again,
+        same_seed_identical: true,
+    };
+    let identical = chaos_summary_json("chaos", &first) == chaos_summary_json("chaos", &second);
+    ChaosSummary {
+        same_seed_identical: identical,
+        ..first
+    }
+}
+
+impl ChaosRecord {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("rate", Json::Num(self.rate));
+        o.set("label", Json::from(self.record.label.as_str()));
+        o.set("backend", Json::from(self.record.backend.as_str()));
+        o.set("offered_rps", Json::Num(self.record.offered_rps));
+        o.set("report", self.record.report.to_json());
+        let mut faults = Json::obj();
+        for (kind, n) in &self.faults {
+            faults.set(kind, Json::from(*n));
+        }
+        faults.set("total", Json::from(self.faults_total));
+        o.set("faults", faults);
+        let r = &self.recovery;
+        let mut rec = Json::obj();
+        rec.set("retries", Json::from(r.retries));
+        rec.set("backoff_us", Json::Num(r.backoff.as_ns() / 1e3));
+        rec.set("watchdog_timeouts", Json::from(r.watchdog_timeouts));
+        rec.set("backend_fallbacks", Json::from(r.backend_fallbacks));
+        rec.set("baseline_fallbacks", Json::from(r.baseline_fallbacks));
+        rec.set("quarantines", Json::from(r.quarantines));
+        rec.set("rejits", Json::from(r.rejits));
+        rec.set("jit_retries", Json::from(r.jit_retries));
+        rec.set("rollbacks", Json::from(r.rollbacks));
+        o.set("recovery", rec);
+        o.set("batch_failures", Json::from(self.batch_failures));
+        o.set("breaker_transitions", Json::from(self.breaker_transitions));
+        o
+    }
+}
+
+/// Serializes a chaos summary into the versioned trajectory document.
+pub fn chaos_summary_json(experiment: &str, summary: &ChaosSummary) -> String {
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from(SCHEMA));
+    doc.set("version", Json::from(VERSION));
+    doc.set("experiment", Json::from(experiment));
+    doc.set(
+        "zero_rate_identical",
+        Json::Bool(summary.zero_rate_identical),
+    );
+    doc.set(
+        "same_seed_identical",
+        Json::Bool(summary.same_seed_identical),
+    );
+    doc.set(
+        "records",
+        Json::Arr(summary.records.iter().map(ChaosRecord::to_json).collect()),
+    );
+    let mut out = String::new();
+    doc.write(&mut out);
+    out
+}
+
+/// Writes `BENCH_<experiment>.json` into `$VPPS_BENCH_DIR` (or the current
+/// directory), validating the document first.
+///
+/// # Errors
+///
+/// I/O failure writing the file, or (as [`io::ErrorKind::InvalidData`]) a
+/// document that fails its own schema validation — a bug, not an
+/// environment problem.
+pub fn write_chaos_summary(experiment: &str, summary: &ChaosSummary) -> io::Result<PathBuf> {
+    let json = chaos_summary_json(experiment, summary);
+    validate_chaos_summary(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut path = std::env::var_os("VPPS_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    path.push(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, &json)?;
+    Ok(path)
+}
+
+/// Validates a chaos trajectory document against the schema.
+///
+/// # Errors
+///
+/// Describes the first structural problem found.
+pub fn validate_chaos_summary(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string \"schema\"".to_string())?;
+    if schema != SCHEMA {
+        return Err(format!("unknown schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "missing integer \"version\"".to_string())?;
+    if version != VERSION {
+        return Err(format!("unsupported version {version}, expected {VERSION}"));
+    }
+    doc.get("experiment")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string \"experiment\"".to_string())?;
+    for key in ["zero_rate_identical", "same_seed_identical"] {
+        doc.get(key)
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("missing bool {key:?}"))?;
+    }
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing array \"records\"".to_string())?;
+    if records.is_empty() {
+        return Err("empty \"records\"".to_string());
+    }
+    for (i, rec) in records.iter().enumerate() {
+        let err = |what: &str| format!("record {i}: {what}");
+        rec.get("rate")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err("missing number \"rate\""))?;
+        rec.get("report")
+            .and_then(|r| r.get("goodput_rps"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err("missing number report.goodput_rps"))?;
+        let faults = rec
+            .get("faults")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| err("missing object \"faults\""))?;
+        for kind in FaultKind::ALL {
+            if !faults.iter().any(|(k, _)| k == kind.name()) {
+                return Err(err(&format!("missing fault kind {:?}", kind.name())));
+            }
+        }
+        let recovery = rec
+            .get("recovery")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| err("missing object \"recovery\""))?;
+        for key in [
+            "retries",
+            "watchdog_timeouts",
+            "backend_fallbacks",
+            "baseline_fallbacks",
+            "quarantines",
+            "rejits",
+            "rollbacks",
+        ] {
+            if !recovery.iter().any(|(k, _)| k == key) {
+                return Err(err(&format!("missing recovery.{key}")));
+            }
+        }
+        rec.get("batch_failures")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| err("missing u64 \"batch_failures\""))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ChaosScenario {
+        ChaosScenario {
+            requests: 24,
+            rates: vec![0.0, 0.1],
+            ..ChaosScenario::default()
+        }
+    }
+
+    #[test]
+    fn chaos_sweep_self_checks_and_validates() {
+        let summary = run_chaos(&tiny());
+        assert!(summary.zero_rate_identical, "armed rate-0 must be silent");
+        assert!(summary.same_seed_identical, "sweep must be reproducible");
+        assert_eq!(summary.records.len(), 2);
+        assert_eq!(summary.records[0].faults_total, 0);
+        assert!(
+            summary.records[1].faults_total > 0,
+            "rate 0.1 must inject faults"
+        );
+        // With the ladder on, goodput survives: everything still completes.
+        assert_eq!(
+            summary.records[1].record.report.completed,
+            summary.records[1].record.report.offered
+        );
+        let json = chaos_summary_json("chaos", &summary);
+        validate_chaos_summary(&json).unwrap();
+        assert!(validate_chaos_summary("{}").is_err());
+    }
+
+    #[test]
+    fn faults_slow_the_system_down() {
+        let sc = tiny();
+        let summary = run_chaos(&sc);
+        let clean = &summary.records[0];
+        let faulty = &summary.records[1];
+        assert!(faulty.recovery.retries > 0, "faults must trigger retries");
+        assert!(
+            faulty.record.report.e2e.p99_us >= clean.record.report.e2e.p99_us,
+            "recovery work cannot make the tail faster: {} vs {}",
+            faulty.record.report.e2e.p99_us,
+            clean.record.report.e2e.p99_us
+        );
+    }
+}

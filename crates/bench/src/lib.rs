@@ -16,6 +16,7 @@
 //! crossovers fall. `EXPERIMENTS.md` records both.
 
 pub mod apps;
+pub mod chaos_bench;
 pub mod harness;
 pub mod lowered_bench;
 pub mod report;
@@ -23,9 +24,13 @@ pub mod serve_bench;
 pub mod trajectory;
 
 pub use apps::{AppInstance, AppKind, AppSpec};
+pub use chaos_bench::{
+    chaos_summary_json, run_chaos, validate_chaos_summary, write_chaos_summary, ChaosRecord,
+    ChaosScenario, ChaosSummary,
+};
 pub use harness::{profiled_rpw, run_baseline, run_vpps, RunResult};
 pub use lowered_bench::{
     lowered_bench, validate_lowered_summary, write_lowered_summary, LoweredBenchRow,
 };
-pub use serve_bench::{run_scenario, ServeScenario, ServeWorkload};
+pub use serve_bench::{run_scenario, run_scenario_server, ServeScenario, ServeWorkload};
 pub use trajectory::{validate_bench_summary, write_bench_summary, BenchRecord};

@@ -65,6 +65,14 @@ pub struct ServeScenario {
     /// Hidden/embedding dimension of the serving model (weight volume — and
     /// therefore the per-launch prologue cost batching amortizes).
     pub hidden: usize,
+    /// Fault injection for the warm handles ([`vpps::FaultConfig::disabled`]
+    /// by default). Arming this turns the scenario into a chaos run: the
+    /// same seeded trace, with deterministic faults layered on top.
+    pub faults: vpps::FaultConfig,
+    /// Handle-level recovery: enables the backend degradation ladder. Set
+    /// `false` to let batches fail with typed errors and exercise the
+    /// serving-side breaker/retry-budget path instead.
+    pub fallback: bool,
 }
 
 impl Default for ServeScenario {
@@ -84,6 +92,8 @@ impl Default for ServeScenario {
             backend: BackendKind::default(),
             closed_clients: None,
             hidden: 64,
+            faults: vpps::FaultConfig::disabled(),
+            fallback: true,
         }
     }
 }
@@ -133,6 +143,11 @@ fn server_for(sc: &ServeScenario) -> (Server, ModelId, ServeWorkload) {
         opts: vpps::VppsOptions {
             pool_capacity: 1 << 22,
             backend: sc.backend,
+            faults: sc.faults,
+            recovery: vpps::RecoveryPolicy {
+                fallback: sc.fallback,
+                ..vpps::RecoveryPolicy::default()
+            },
             ..vpps::VppsOptions::default()
         },
         batch: BatchPolicy {
@@ -144,6 +159,7 @@ fn server_for(sc: &ServeScenario) -> (Server, ModelId, ServeWorkload) {
             queue_capacity: sc.queue_capacity,
             tenant_quota: sc.tenant_quota,
         },
+        recovery: vpps_serve::RecoveryConfig::default(),
     };
     let mut server = Server::new(cfg);
     let mid = server
@@ -155,10 +171,7 @@ fn server_for(sc: &ServeScenario) -> (Server, ModelId, ServeWorkload) {
 /// Runs one scenario end to end and condenses it into a trajectory record.
 /// Deterministic: equal scenarios produce byte-identical records.
 pub fn run_scenario(sc: &ServeScenario) -> ServeRecord {
-    let (server, offered_rps) = match sc.closed_clients {
-        None => run_open_loop(sc),
-        Some(clients) => run_closed_loop(sc, clients.max(1)),
-    };
+    let (server, _, offered_rps) = run_scenario_server(sc);
     ServeRecord {
         label: sc.label.clone(),
         backend: sc.backend.name().to_owned(),
@@ -167,7 +180,18 @@ pub fn run_scenario(sc: &ServeScenario) -> ServeRecord {
     }
 }
 
-fn run_open_loop(sc: &ServeScenario) -> (Server, f64) {
+/// Runs one scenario and returns the finished server (plus the served
+/// model's id and the offered load) for callers that need more than the
+/// condensed record — fault journals, recovery statistics, breaker
+/// transitions.
+pub fn run_scenario_server(sc: &ServeScenario) -> (Server, ModelId, f64) {
+    match sc.closed_clients {
+        None => run_open_loop(sc),
+        Some(clients) => run_closed_loop(sc, clients.max(1)),
+    }
+}
+
+fn run_open_loop(sc: &ServeScenario) -> (Server, ModelId, f64) {
     let (mut server, mid, workload) = server_for(sc);
     let corpus = RequestCorpus::generate(RequestCorpusConfig {
         requests: sc.requests,
@@ -196,10 +220,10 @@ fn run_open_loop(sc: &ServeScenario) -> (Server, f64) {
         });
     }
     server.drain();
-    (server, offered)
+    (server, mid, offered)
 }
 
-fn run_closed_loop(sc: &ServeScenario, clients: usize) -> (Server, f64) {
+fn run_closed_loop(sc: &ServeScenario, clients: usize) -> (Server, ModelId, f64) {
     let (mut server, mid, workload) = server_for(sc);
     let mut rng = StdRng::seed_from_u64(sc.seed);
     let linger = SimTime::from_us(sc.linger_us);
@@ -265,7 +289,7 @@ fn run_closed_loop(sc: &ServeScenario, clients: usize) -> (Server, f64) {
     } else {
         0.0
     };
-    (server, realized)
+    (server, mid, realized)
 }
 
 #[cfg(test)]

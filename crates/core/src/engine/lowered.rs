@@ -971,6 +971,8 @@ pub struct LoweredCacheStats {
     /// Script-level misses for fingerprints previously cached (evicted and
     /// re-lowered).
     pub script_re_misses: u64,
+    /// Scripts evicted, by FIFO capacity pressure or plan quarantine.
+    pub script_evictions: u64,
 }
 
 /// Two-level cache of lowered artifacts, owned by warm paths
@@ -993,6 +995,7 @@ pub struct LoweredCache {
     script_hits: u64,
     script_misses: u64,
     script_re_misses: u64,
+    script_evictions: u64,
 }
 
 /// Lowered scripts kept per handle before FIFO eviction; plans are never
@@ -1017,6 +1020,7 @@ impl LoweredCache {
             script_hits: 0,
             script_misses: 0,
             script_re_misses: 0,
+            script_evictions: 0,
         }
     }
 
@@ -1053,6 +1057,8 @@ impl LoweredCache {
         if self.scripts.len() == self.capacity {
             if let Some(old) = self.fifo.pop_front() {
                 self.scripts.remove(&old);
+                self.script_evictions += 1;
+                vpps_obs::counter("lower.script.cache_evict").incr();
             }
         }
         self.fifo.push_back(key);
@@ -1070,7 +1076,28 @@ impl LoweredCache {
             script_hits: self.script_hits,
             script_misses: self.script_misses,
             script_re_misses: self.script_re_misses,
+            script_evictions: self.script_evictions,
         }
+    }
+
+    /// Quarantines one plan: evicts its [`LoweredPlan`] memo entry *and*
+    /// every cached [`LoweredScript`] lowered from it, in one step, so the
+    /// two levels can never disagree about a plan the recovery layer has
+    /// condemned. Returns the number of scripts evicted. The next
+    /// [`LoweredCache::get_or_lower`] for this plan re-lowers from scratch
+    /// and is counted as a plan-level *re-miss* (`lower.cache_re_miss`) —
+    /// the monitored invariant that plan entries only vanish on purpose.
+    pub fn invalidate_plan(&mut self, plan_id: u64) -> usize {
+        self.plans.remove(plan_id);
+        let before = self.scripts.len();
+        self.scripts.retain(|&(pid, _), _| pid != plan_id);
+        self.fifo.retain(|&(pid, _)| pid != plan_id);
+        let evicted = before - self.scripts.len();
+        if evicted > 0 {
+            self.script_evictions += evicted as u64;
+            vpps_obs::counter("lower.script.cache_evict").add(evicted as u64);
+        }
+        evicted
     }
 
     /// Number of cached lowered scripts.

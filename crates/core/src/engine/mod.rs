@@ -27,6 +27,7 @@
 
 pub mod backends;
 pub mod lowered;
+pub mod recovery;
 pub mod timeline;
 
 use std::str::FromStr;
@@ -45,6 +46,7 @@ use crate::specialize::{GradStrategy, KernelPlan};
 
 pub use backends::{EventInterp, ParallelInterp, Threaded};
 pub use lowered::{Lowered, LoweredCache, LoweredCacheStats, LoweredPlan, LoweredScript, MicroOp};
+pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use timeline::{ScriptCosts, TimelineReport};
 
 /// Which execution backend a [`crate::Handle`] (or test) should use.
@@ -386,7 +388,12 @@ pub fn run_batch_traced(
     (outcome, trace)
 }
 
-fn run_prepared(
+/// Executes an already-prepared [`Session`]: prologue parameter load, script
+/// execution, in-register gradient epilogue, and the [`Metrics::commit`] that
+/// posts the batch to the simulated device. [`run_batch`] is `prepare` +
+/// `run_prepared`; the recovery layer calls this directly because it needs
+/// the session's analytic body time *before* execution to arm the watchdog.
+pub fn run_prepared(
     backend: &dyn ExecutionBackend,
     session: &Session<'_>,
     pool: &mut Pool,

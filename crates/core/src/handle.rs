@@ -16,10 +16,16 @@
 //! device execution, which is what produces the paper's Fig. 10 crossover:
 //! device-bound at small batches, host-bound at large ones.
 
-use dyn_graph::{Graph, Model, NodeId, Op};
-use gpu_sim::{DeviceConfig, GpuSim, HostCostModel, Metrics, SimTime, TrafficTag};
+use std::collections::{HashMap, HashSet};
+
+use dyn_graph::{Graph, Model, NodeId, Op, Trainer};
+use gpu_sim::{
+    DeviceConfig, FaultConfig, FaultKind, FaultProfile, GpuSim, HostCostModel, KernelDesc, Metrics,
+    SimTime, TrafficTag,
+};
 use vpps_tensor::Pool;
 
+use crate::engine::recovery::{self, RecoveryPolicy, RecoveryStats};
 use crate::engine::{self, BackendKind, Engine};
 use crate::error::VppsError;
 use crate::exec::fallback::apply_gemm_fallback;
@@ -59,6 +65,14 @@ pub struct VppsOptions {
     /// [`BackendKind`]). All backends produce identical metrics; the
     /// parallel interpreter uses every host core for large sweeps.
     pub backend: BackendKind,
+    /// Deterministic fault injection (disabled by default). When armed, the
+    /// handle owns a seeded [`FaultProfile`] and every batch's attempts draw
+    /// from it; an armed profile with all rates zero is bit-identical to the
+    /// disabled configuration.
+    pub faults: FaultConfig,
+    /// Watchdog / retry / quarantine / fallback policy (see
+    /// [`RecoveryPolicy`]). Only consulted when an attempt faults.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for VppsOptions {
@@ -71,6 +85,8 @@ impl Default for VppsOptions {
             profile_batches_per_rpw: 2,
             synchronous: false,
             backend: BackendKind::default(),
+            faults: FaultConfig::disabled(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -91,6 +107,9 @@ pub struct PhaseBreakdown {
     pub kernel_exec: SimTime,
     /// Device: GEMM-fallback gradient kernels (zero for in-register plans).
     pub fallback_exec: SimTime,
+    /// Recovery overhead: watchdog waits on hung runs, retry backoff, and
+    /// device time burned by faulted attempts (zero without fault injection).
+    pub recovery: SimTime,
 }
 
 impl PhaseBreakdown {
@@ -101,7 +120,7 @@ impl PhaseBreakdown {
 
     /// Total device-side time.
     pub fn device_total(&self) -> SimTime {
-        self.script_copy + self.kernel_exec + self.fallback_exec
+        self.script_copy + self.kernel_exec + self.fallback_exec + self.recovery
     }
 }
 
@@ -177,6 +196,89 @@ impl ProfileState {
     }
 }
 
+/// Recovery bookkeeping of one handle: cumulative stats plus the per-plan
+/// fault attribution that drives quarantine.
+#[derive(Debug, Default)]
+struct RecoveryTracker {
+    stats: RecoveryStats,
+    fault_counts: HashMap<u64, u32>,
+    rejitted: HashSet<u64>,
+}
+
+/// Snapshot of the dense master parameters, captured before a training batch
+/// when fault injection is armed so a faulted `fb` never leaves half-applied
+/// gradients: every faulted attempt restores this checkpoint before retrying.
+/// (Lookup tables need no snapshot — their sparse update runs only on the
+/// success path; the kernel epilogue mutates dense parameters only.)
+#[derive(Debug)]
+struct ParamCheckpoint {
+    params: Vec<Vec<f32>>,
+}
+
+impl ParamCheckpoint {
+    fn capture(model: &Model) -> Self {
+        Self {
+            params: model
+                .params()
+                .map(|(_, p)| p.value.as_slice().to_vec())
+                .collect(),
+        }
+    }
+
+    fn restore(&self, model: &mut Model) {
+        let ids: Vec<_> = model.params().map(|(id, _)| id).collect();
+        for (id, saved) in ids.into_iter().zip(&self.params) {
+            model
+                .param_mut(id)
+                .value
+                .as_mut_slice()
+                .copy_from_slice(saved);
+        }
+    }
+}
+
+/// Host/copy time accumulated across *all* attempts of one batch (failed
+/// attempts redo script generation and transfers; that work is real).
+#[derive(Debug, Default, Clone, Copy)]
+struct AttemptTimes {
+    fwd: SimTime,
+    bwd: SimTime,
+    copy: SimTime,
+}
+
+/// One successful attempt's products.
+struct AttemptOk {
+    run: engine::RunOutcome,
+    gs: generate::GeneratedScript,
+    kernel_total: SimTime,
+}
+
+/// One Bernoulli draw against an optional injector.
+fn draw_fault(faults: &mut Option<FaultProfile>, kind: FaultKind, now: SimTime) -> bool {
+    faults.as_mut().is_some_and(|p| p.draw(kind, now))
+}
+
+/// Models transient JIT/specialization failures: draws [`FaultKind::JitFailure`]
+/// per compile attempt, retrying up to the policy budget. Returns the number
+/// of failed attempts absorbed.
+fn simulate_jit(
+    faults: &mut Option<FaultProfile>,
+    policy: &RecoveryPolicy,
+    now: SimTime,
+) -> Result<u32, VppsError> {
+    let Some(p) = faults.as_mut() else {
+        return Ok(0);
+    };
+    let budget = policy.max_attempts.max(1);
+    for attempt in 0..budget {
+        if !p.draw(FaultKind::JitFailure, now) {
+            return Ok(attempt);
+        }
+        vpps_obs::counter("recover.retry").incr();
+    }
+    Err(VppsError::JitFailed { attempts: budget })
+}
+
 /// The VPPS training handle: owns the specialized kernel plans, the simulated
 /// device, and the tensor memory pool.
 #[derive(Debug)]
@@ -197,6 +299,8 @@ pub struct Handle {
     batches: u64,
     kernel_metrics: Metrics,
     lowered: engine::LoweredCache,
+    faults: Option<FaultProfile>,
+    rec: RecoveryTracker,
 }
 
 impl Handle {
@@ -207,9 +311,17 @@ impl Handle {
     /// # Errors
     ///
     /// Propagates plan-construction failures ([`VppsError::ModelTooLarge`],
-    /// [`VppsError::RowTooLong`], [`VppsError::NoParameters`]) and pool
-    /// exhaustion installing the embedding tables.
+    /// [`VppsError::RowTooLong`], [`VppsError::NoParameters`]), pool
+    /// exhaustion installing the embedding tables, and — with fault injection
+    /// armed — [`VppsError::JitFailed`] when simulated transient JIT failures
+    /// exhaust the retry budget.
     pub fn new(model: &Model, device: DeviceConfig, opts: VppsOptions) -> Result<Self, VppsError> {
+        let mut faults = if opts.faults.enabled {
+            Some(FaultProfile::new(opts.faults))
+        } else {
+            None
+        };
+        let mut rec = RecoveryTracker::default();
         let plans = match opts.rpw {
             RpwMode::Fixed(rpw) => vec![KernelPlan::build(model, &device, rpw)?],
             RpwMode::Profile => {
@@ -224,6 +336,12 @@ impl Handle {
                     .collect::<Result<Vec<_>, _>>()?
             }
         };
+        // Transient JIT failures at specialization time: one simulated
+        // NVRTC compile (with retries) per plan.
+        for _ in &plans {
+            rec.stats.jit_retries +=
+                simulate_jit(&mut faults, &opts.recovery, SimTime::ZERO)? as u64;
+        }
         let profile = match opts.rpw {
             RpwMode::Fixed(_) => ProfileState::fixed(),
             RpwMode::Profile => ProfileState::profiling(plans.len(), opts.profile_batches_per_rpw),
@@ -247,6 +365,8 @@ impl Handle {
             batches: 0,
             kernel_metrics: Metrics::default(),
             lowered: engine::LoweredCache::default(),
+            faults,
+            rec,
         })
     }
 
@@ -258,82 +378,88 @@ impl Handle {
     ///
     /// # Panics
     ///
-    /// Panics if `loss` is not a scalar node of `graph`, or if the batch
-    /// exhausts the device memory pool (size it via
-    /// [`VppsOptions::pool_capacity`]).
+    /// Panics if `loss` is not a scalar node of `graph`, or on any
+    /// [`Handle::try_fb`] error — most commonly a batch exhausting the device
+    /// memory pool (size it via [`VppsOptions::pool_capacity`]).
     pub fn fb(&mut self, model: &mut Model, graph: &Graph, loss: NodeId) -> f32 {
+        match self.try_fb(model, graph, loss) {
+            Ok(l) => l,
+            Err(e) => panic!("fb failed: {e}"),
+        }
+    }
+
+    /// Fallible [`Handle::fb`]: same semantics (returns the *previous*
+    /// batch's loss on success), but surfaces failures as typed
+    /// [`VppsError`]s instead of panicking. With fault injection armed this
+    /// is the recovery entry point: faulted attempts roll the master
+    /// parameters back to a pre-batch checkpoint, retry with backoff,
+    /// degrade down the backend ladder, and only then report
+    /// [`VppsError::RetriesExhausted`].
+    ///
+    /// # Errors
+    ///
+    /// [`VppsError::PoolExhausted`] when the batch does not fit the pool;
+    /// with faults armed also [`VppsError::RetriesExhausted`] (fallback
+    /// disabled) and [`VppsError::JitFailed`] (quarantine re-JIT failed).
+    pub fn try_fb(
+        &mut self,
+        model: &mut Model,
+        graph: &Graph,
+        loss: NodeId,
+    ) -> Result<f32, VppsError> {
         let _span = vpps_obs::span("handle.fb");
-        let plan = &self.plans[self.active];
-
-        // --- host phases (modeled times; the work itself is real).
         let t_graph = self.host.graph_construction(graph.len());
-        self.pool.reset();
-        let gs = generate::generate(graph, loss, plan, &mut self.pool, &self.tables)
-            .expect("batch exceeds the device memory pool");
-        let t_fwd = self.host.schedule(graph.len(), gs.forward_instructions);
-        let t_bwd = self.host.schedule(graph.len(), gs.backward_instructions);
+        let device_before = self.gpu.now();
+        let mut times = AttemptTimes::default();
 
-        // --- input + script transfer.
-        let mut input_bytes = 0u64;
-        for (id, node) in graph.iter() {
-            if let Op::Input { values } = &node.op {
-                self.pool
-                    .slice_mut(gs.layout.value_off[id.index()], node.dim)
-                    .copy_from_slice(values);
-                input_bytes += (node.dim * 4) as u64;
+        let attempt = match self.run_with_recovery(model, graph, loss, true, &mut times) {
+            Ok(ok) => Some(ok),
+            Err(VppsError::RetriesExhausted { .. }) if self.opts.recovery.fallback => None,
+            Err(e) => {
+                self.charge_failed(t_graph, &times, device_before);
+                return Err(e);
             }
-        }
-        let mut t_copy = SimTime::ZERO;
-        if input_bytes > 0 {
-            t_copy += self.gpu.h2d_copy(input_bytes, TrafficTag::Activation);
-        }
-        t_copy += self
-            .gpu
-            .h2d_copy(gs.scripts.encoded_bytes() as u64, TrafficTag::Script);
-
-        // --- persistent kernel + optional fallback.
-        let cfg = ExecConfig {
-            learning_rate: self.opts.learning_rate,
-            weight_decay: self.opts.weight_decay,
-            apply_update: true,
         };
-        let before = self.gpu.now();
-        // The lowered backend goes through the handle's artifact cache so
-        // repeated shapes skip lowering *and* the timeline sweep entirely.
-        let run = if self.opts.backend == BackendKind::Lowered {
-            engine::run_batch_lowered(
-                plan,
-                &gs,
-                &mut self.pool,
-                model,
-                &mut self.gpu,
-                cfg,
-                &mut self.lowered,
-            )
-        } else {
-            engine::run_batch(
-                self.opts.backend.backend(),
-                plan,
-                &gs,
-                &mut self.pool,
-                model,
-                &mut self.gpu,
-                cfg,
-            )
-        };
-        let kernel_total = self.gpu.now() - before;
-        self.kernel_metrics.merge(&run.metrics);
-        let fb_before = self.gpu.now();
-        apply_gemm_fallback(plan, &gs.layout, &self.pool, model, &mut self.gpu, cfg);
-        let fallback_total = self.gpu.now() - fb_before;
 
-        // --- lookup-table gradients (sparse, outside the cached set).
-        self.apply_lookup_updates(model, graph, &gs);
+        let (loss_val, kernel_total, fallback_total) = match attempt {
+            Some(ok) => {
+                self.kernel_metrics.merge(&ok.run.metrics);
+                let cfg = ExecConfig {
+                    learning_rate: self.opts.learning_rate,
+                    weight_decay: self.opts.weight_decay,
+                    apply_update: true,
+                };
+                let fb_before = self.gpu.now();
+                apply_gemm_fallback(
+                    &self.plans[self.active],
+                    &ok.gs.layout,
+                    &self.pool,
+                    model,
+                    &mut self.gpu,
+                    cfg,
+                );
+                let fallback_total = self.gpu.now() - fb_before;
+
+                // --- lookup-table gradients (sparse, outside the cached set).
+                self.apply_lookup_updates(model, graph, &ok.gs);
+                (ok.run.loss, ok.kernel_total, fallback_total)
+            }
+            None => {
+                // Bottom of the ladder: launch-per-op baseline training on
+                // the host reference executor (deterministic; numerically —
+                // not bitwise — equivalent to the persistent kernel).
+                let base_before = self.gpu.now();
+                let loss_val = self.baseline_train(model, graph, loss);
+                (loss_val, SimTime::ZERO, self.gpu.now() - base_before)
+            }
+        };
 
         // --- pipelined wall-clock accounting (paper §III-C1: script
         // generation for batch i overlaps device execution of batch i-1).
-        let cpu_time = t_graph + t_fwd + t_bwd;
-        let device_time = t_copy + kernel_total + fallback_total;
+        // The device span covers every attempt: copies, faulted launches,
+        // watchdog waits and retry backoff all occupy device-side time.
+        let cpu_time = t_graph + times.fwd + times.bwd;
+        let device_time = self.gpu.now() - device_before;
         if self.opts.synchronous {
             self.wall += cpu_time + device_time;
             self.steady += cpu_time + device_time;
@@ -345,11 +471,12 @@ impl Handle {
         }
 
         self.phases.graph_construction += t_graph;
-        self.phases.forward_schedule += t_fwd;
-        self.phases.backward_schedule += t_bwd;
-        self.phases.script_copy += t_copy;
+        self.phases.forward_schedule += times.fwd;
+        self.phases.backward_schedule += times.bwd;
+        self.phases.script_copy += times.copy;
         self.phases.kernel_exec += kernel_total;
         self.phases.fallback_exec += fallback_total;
+        self.phases.recovery += device_time - times.copy - kernel_total - fallback_total;
         self.batches += 1;
 
         // --- profile-guided rpw selection, driven by the pipelined batch
@@ -361,7 +488,276 @@ impl Handle {
             .record(batch_cost.as_ns())
             .min(self.plans.len() - 1);
 
-        std::mem::replace(&mut self.prev_loss, run.loss)
+        Ok(std::mem::replace(&mut self.prev_loss, loss_val))
+    }
+
+    /// Accounts the host and device time consumed by a batch that ends in a
+    /// typed error: the failed attempts' copies, faulted launches, watchdog
+    /// waits and backoff still occupied the (virtual) machine, and callers
+    /// like `vpps-serve` derive service times from the wall-clock delta —
+    /// an error must not look free. Charged synchronously (there is no
+    /// result to pipeline behind).
+    fn charge_failed(&mut self, t_graph: SimTime, times: &AttemptTimes, device_before: SimTime) {
+        let cpu_time = t_graph + times.fwd + times.bwd;
+        let device_time = self.gpu.now() - device_before;
+        self.wall += cpu_time + device_time;
+        self.steady += cpu_time + device_time;
+        self.prev_device_time = SimTime::ZERO;
+        self.phases.graph_construction += t_graph;
+        self.phases.forward_schedule += times.fwd;
+        self.phases.backward_schedule += times.bwd;
+        self.phases.script_copy += times.copy;
+        self.phases.recovery += device_time - times.copy;
+    }
+
+    /// Executes one batch with bounded retry, backend degradation and plan
+    /// quarantine. `root` is the loss node (training) or the generation root
+    /// (inference). Restores the dense-parameter checkpoint after every
+    /// faulted training attempt so no retry ever observes half-applied
+    /// gradients.
+    fn run_with_recovery(
+        &mut self,
+        model: &mut Model,
+        graph: &Graph,
+        root: NodeId,
+        train: bool,
+        times: &mut AttemptTimes,
+    ) -> Result<AttemptOk, VppsError> {
+        let policy = self.opts.recovery;
+        let checkpoint = if train && self.faults.is_some() {
+            Some(ParamCheckpoint::capture(model))
+        } else {
+            None
+        };
+        let mut backend = self.opts.backend;
+        let mut on_rung = 0u32;
+        let mut total = 0u32;
+        loop {
+            match self.attempt(model, graph, root, train, backend, times) {
+                Ok(ok) => return Ok(ok),
+                Err(e) if !e.is_retryable() => return Err(e),
+                Err(e) => {
+                    total += 1;
+                    on_rung += 1;
+                    if matches!(e, VppsError::RunTimedOut { .. }) {
+                        self.rec.stats.watchdog_timeouts += 1;
+                    }
+                    if let Some(cp) = &checkpoint {
+                        cp.restore(model);
+                        self.rec.stats.rollbacks += 1;
+                    }
+                    self.note_plan_fault(model)?;
+                    if on_rung >= policy.max_attempts.max(1) {
+                        match recovery::degraded(backend).filter(|_| policy.fallback) {
+                            Some(next) => {
+                                self.rec.stats.backend_fallbacks += 1;
+                                if vpps_obs::enabled() {
+                                    vpps_obs::counter(&format!("recover.fallback.{}", next.name()))
+                                        .incr();
+                                }
+                                backend = next;
+                                on_rung = 0;
+                            }
+                            None => {
+                                return Err(VppsError::RetriesExhausted {
+                                    attempts: total,
+                                    last: Box::new(e),
+                                });
+                            }
+                        }
+                    } else {
+                        let delay = match self.faults.as_mut() {
+                            Some(p) => policy.backoff_delay(on_rung - 1, p),
+                            None => SimTime::ZERO,
+                        };
+                        self.gpu.advance(delay);
+                        self.rec.stats.retries += 1;
+                        self.rec.stats.backoff += delay;
+                        if vpps_obs::enabled() {
+                            vpps_obs::counter("recover.retry").incr();
+                            vpps_obs::counter("recover.backoff_ns").add(delay.as_ns() as u64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One end-to-end attempt: host prep (script generation + transfers),
+    /// fault draws in fixed order (transfer, launch, hang, dram), and the
+    /// kernel run. Host and copy times accumulate into `times` whether or
+    /// not the attempt survives.
+    fn attempt(
+        &mut self,
+        model: &mut Model,
+        graph: &Graph,
+        root: NodeId,
+        train: bool,
+        backend: BackendKind,
+        times: &mut AttemptTimes,
+    ) -> Result<AttemptOk, VppsError> {
+        let plan = &self.plans[self.active];
+        self.pool.reset();
+        let gs = if train {
+            generate::generate(graph, root, plan, &mut self.pool, &self.tables)?
+        } else {
+            generate::generate_forward_only(graph, root, plan, &mut self.pool, &self.tables)?
+        };
+        times.fwd += self.host.schedule(graph.len(), gs.forward_instructions);
+        if train {
+            times.bwd += self.host.schedule(graph.len(), gs.backward_instructions);
+        }
+
+        // --- input + script transfer.
+        let mut input_bytes = 0u64;
+        for (id, node) in graph.iter() {
+            if let Op::Input { values } = &node.op {
+                self.pool
+                    .slice_mut(gs.layout.value_off[id.index()], node.dim)
+                    .copy_from_slice(values);
+                input_bytes += (node.dim * 4) as u64;
+            }
+        }
+        if input_bytes > 0 {
+            times.copy += self.gpu.h2d_copy(input_bytes, TrafficTag::Activation);
+        }
+        times.copy += self
+            .gpu
+            .h2d_copy(gs.scripts.encoded_bytes() as u64, TrafficTag::Script);
+
+        // --- fault draws, in fixed order so the stream is stable.
+        if draw_fault(
+            &mut self.faults,
+            FaultKind::TransferCorruption,
+            self.gpu.now(),
+        ) {
+            // Caught by the end-to-end transfer checksum before launch; the
+            // copy time above is already paid.
+            return Err(VppsError::DeviceFault {
+                fault: FaultKind::TransferCorruption,
+            });
+        }
+        if draw_fault(&mut self.faults, FaultKind::LaunchFailure, self.gpu.now()) {
+            self.gpu.record_failed_launch();
+            return Err(VppsError::DeviceFault {
+                fault: FaultKind::LaunchFailure,
+            });
+        }
+
+        let cfg = ExecConfig {
+            learning_rate: self.opts.learning_rate,
+            weight_decay: self.opts.weight_decay,
+            apply_update: train,
+        };
+        let before = self.gpu.now();
+        // Prepare first: the session's analytic body time arms the watchdog.
+        // The lowered backend goes through the handle's artifact cache so
+        // repeated shapes skip lowering *and* the timeline sweep entirely.
+        let session = if backend == BackendKind::Lowered {
+            let art = self.lowered.get_or_lower(plan, &gs, self.gpu.cost_model());
+            engine::Session::from_lowered(plan, &gs, cfg, self.gpu.cost_model(), art)
+        } else {
+            backend
+                .backend()
+                .prepare(plan, &gs, cfg, self.gpu.cost_model())
+        };
+        if draw_fault(&mut self.faults, FaultKind::VppHang, self.gpu.now()) {
+            // The kernel launches, one CTA stops advancing, and the watchdog
+            // kills it after its timeout elapses on the virtual clock.
+            let timeout = self
+                .opts
+                .recovery
+                .watchdog_timeout(session.metrics.kernel_time);
+            self.gpu.record_failed_launch();
+            self.gpu.advance(timeout);
+            return Err(VppsError::RunTimedOut { waited: timeout });
+        }
+        // A DRAM corruption is only detected by ECC *after* the run: the
+        // full body time is paid and the caller must roll back.
+        let dram_fault = draw_fault(&mut self.faults, FaultKind::DramCorruption, self.gpu.now());
+        let run = engine::run_prepared(
+            backend.backend(),
+            &session,
+            &mut self.pool,
+            model,
+            &mut self.gpu,
+        );
+        drop(session);
+        if dram_fault {
+            return Err(VppsError::DeviceFault {
+                fault: FaultKind::DramCorruption,
+            });
+        }
+        let kernel_total = self.gpu.now() - before;
+        Ok(AttemptOk {
+            run,
+            gs,
+            kernel_total,
+        })
+    }
+
+    /// Charges one fault to the active plan; at the quarantine threshold the
+    /// plan's lowered artifacts and memo entries are invalidated together and
+    /// the plan is re-JITted — exactly once per plan (a plan that keeps
+    /// faulting after its re-JIT is not rebuilt again; retry/fallback handle
+    /// it from there).
+    fn note_plan_fault(&mut self, model: &Model) -> Result<(), VppsError> {
+        let plan_id = self.plans[self.active].signature().plan_id();
+        let count = self.rec.fault_counts.entry(plan_id).or_insert(0);
+        *count += 1;
+        if *count >= self.opts.recovery.quarantine_threshold
+            && !self.rec.rejitted.contains(&plan_id)
+        {
+            self.rec.rejitted.insert(plan_id);
+            self.rec.stats.quarantines += 1;
+            vpps_obs::counter("recover.quarantine").incr();
+            self.lowered.invalidate_plan(plan_id);
+            let rpw = self.plans[self.active].rpw();
+            let device = self.gpu.config().clone();
+            self.rec.stats.jit_retries +=
+                simulate_jit(&mut self.faults, &self.opts.recovery, self.gpu.now())? as u64;
+            self.plans[self.active] = KernelPlan::build(model, &device, rpw)?;
+            self.rec.stats.rejits += 1;
+        }
+        Ok(())
+    }
+
+    /// The ladder's last rung: DyNet-style launch-per-op training on the
+    /// host reference executor. Per-op kernels hold no persistent register
+    /// state to poison, so this rung is modeled fault-free — it terminates
+    /// the recovery recursion by construction.
+    fn baseline_train(&mut self, model: &mut Model, graph: &Graph, loss: NodeId) -> f32 {
+        self.rec.stats.baseline_fallbacks += 1;
+        vpps_obs::counter("recover.fallback.baseline").incr();
+        let loss_val = dyn_graph::exec::forward_backward(graph, model, loss);
+        self.charge_baseline_launches(model, graph);
+        Trainer {
+            learning_rate: self.opts.learning_rate,
+            weight_decay: self.opts.weight_decay,
+        }
+        .update(model);
+        self.tables.refresh(model, &mut self.pool);
+        loss_val
+    }
+
+    /// Charges the launch-per-op cost of one baseline-executed graph: one
+    /// kernel per node, weights re-read from DRAM on every matvec — the §II
+    /// cost structure VPPS exists to avoid, acceptable as a last resort.
+    fn charge_baseline_launches(&mut self, model: &Model, graph: &Graph) {
+        for (_, node) in graph.iter() {
+            let weight_bytes = match node.op {
+                Op::MatVec { w } => (model.param(w).value.as_slice().len() * 4) as u64,
+                _ => 0,
+            };
+            self.gpu.launch(&KernelDesc {
+                label: "recover-baseline-op",
+                weight_bytes,
+                other_load_bytes: (node.dim * 4) as u64,
+                store_bytes: (node.dim * 4) as u64,
+                flops: (2 * node.dim * node.dim) as u64,
+                ctas: 1,
+            });
+        }
     }
 
     fn apply_lookup_updates(
@@ -414,6 +810,23 @@ impl Handle {
             .expect("one root")
     }
 
+    /// Fallible [`Handle::infer`]; see [`Handle::try_infer_many`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Handle::try_infer_many`].
+    pub fn try_infer(
+        &mut self,
+        model: &mut Model,
+        graph: &Graph,
+        root: NodeId,
+    ) -> Result<Vec<f32>, VppsError> {
+        Ok(self
+            .try_infer_many(model, graph, &[root])?
+            .pop()
+            .expect("one root"))
+    }
+
     /// Batch inference dispatch: executes `graph` (typically a super-graph
     /// absorbed from several independent request graphs) with **one**
     /// generated script and **one** persistent-kernel launch, then reads the
@@ -429,91 +842,106 @@ impl Handle {
     ///
     /// # Panics
     ///
-    /// Panics if `roots` is empty or the batch exhausts the device memory
-    /// pool.
+    /// Panics if `roots` is empty or on any [`Handle::try_infer_many`] error.
     pub fn infer_many(
         &mut self,
         model: &mut Model,
         graph: &Graph,
         roots: &[NodeId],
     ) -> Vec<Vec<f32>> {
+        match self.try_infer_many(model, graph, roots) {
+            Ok(out) => out,
+            Err(e) => panic!("infer_many failed: {e}"),
+        }
+    }
+
+    /// Fallible [`Handle::infer_many`]: identical batching and bit-identity
+    /// semantics, but pool exhaustion and unrecoverable faults come back as
+    /// typed [`VppsError`]s. With fault injection armed, faulted attempts
+    /// retry / degrade exactly like [`Handle::try_fb`] (no checkpoint is
+    /// needed — inference never mutates parameters); the final rung is
+    /// launch-per-op forward execution on the host reference.
+    ///
+    /// # Errors
+    ///
+    /// [`VppsError::PoolExhausted`] when the batch does not fit the pool;
+    /// with faults armed also [`VppsError::RetriesExhausted`] when the
+    /// ladder is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `roots` is empty (programmer error, not input-dependent).
+    pub fn try_infer_many(
+        &mut self,
+        model: &mut Model,
+        graph: &Graph,
+        roots: &[NodeId],
+    ) -> Result<Vec<Vec<f32>>, VppsError> {
         assert!(!roots.is_empty(), "inference batch needs at least one root");
-        let plan = &self.plans[self.active];
         let t_graph = self.host.graph_construction(graph.len());
-        self.pool.reset();
-        let gs =
-            generate::generate_forward_only(graph, roots[0], plan, &mut self.pool, &self.tables)
-                .expect("batch exceeds the device memory pool");
-        let t_fwd = self.host.schedule(graph.len(), gs.forward_instructions);
+        let device_before = self.gpu.now();
+        let mut times = AttemptTimes::default();
 
-        let mut input_bytes = 0u64;
-        for (id, node) in graph.iter() {
-            if let Op::Input { values } = &node.op {
-                self.pool
-                    .slice_mut(gs.layout.value_off[id.index()], node.dim)
-                    .copy_from_slice(values);
-                input_bytes += (node.dim * 4) as u64;
+        let attempt = match self.run_with_recovery(model, graph, roots[0], false, &mut times) {
+            Ok(ok) => Some(ok),
+            Err(VppsError::RetriesExhausted { .. }) if self.opts.recovery.fallback => None,
+            Err(e) => {
+                self.charge_failed(t_graph, &times, device_before);
+                return Err(e);
             }
-        }
-        let mut t_copy = SimTime::ZERO;
-        if input_bytes > 0 {
-            t_copy += self.gpu.h2d_copy(input_bytes, TrafficTag::Activation);
-        }
-        t_copy += self
-            .gpu
-            .h2d_copy(gs.scripts.encoded_bytes() as u64, TrafficTag::Script);
-
-        let cfg = ExecConfig {
-            learning_rate: self.opts.learning_rate,
-            weight_decay: self.opts.weight_decay,
-            apply_update: false,
         };
-        let before = self.gpu.now();
-        // The lowered backend goes through the handle's artifact cache so
-        // repeated shapes skip lowering *and* the timeline sweep entirely.
-        let run = if self.opts.backend == BackendKind::Lowered {
-            engine::run_batch_lowered(
-                plan,
-                &gs,
-                &mut self.pool,
-                model,
-                &mut self.gpu,
-                cfg,
-                &mut self.lowered,
-            )
-        } else {
-            engine::run_batch(
-                self.opts.backend.backend(),
-                plan,
-                &gs,
-                &mut self.pool,
-                model,
-                &mut self.gpu,
-                cfg,
-            )
+
+        let (out, kernel_total, fallback_total) = match attempt {
+            Some(ok) => {
+                self.kernel_metrics.merge(&ok.run.metrics);
+                let out: Vec<Vec<f32>> = roots
+                    .iter()
+                    .map(|&root| {
+                        let dim = graph.node(root).dim;
+                        self.pool
+                            .slice(ok.gs.layout.value_off[root.index()], dim)
+                            .to_vec()
+                    })
+                    .collect();
+                (out, ok.kernel_total, SimTime::ZERO)
+            }
+            None => {
+                let base_before = self.gpu.now();
+                let out = self.baseline_infer(model, graph, roots);
+                (out, SimTime::ZERO, self.gpu.now() - base_before)
+            }
         };
-        let kernel_total = self.gpu.now() - before;
-        self.kernel_metrics.merge(&run.metrics);
 
-        let out: Vec<Vec<f32>> = roots
-            .iter()
-            .map(|&root| {
-                let dim = graph.node(root).dim;
-                self.pool
-                    .slice(gs.layout.value_off[root.index()], dim)
-                    .to_vec()
-            })
-            .collect();
-
-        // Inference is synchronous: latency accumulates without overlap.
-        let total = t_graph + t_fwd + t_copy + kernel_total;
+        // Inference is synchronous: latency accumulates without overlap. The
+        // device span folds in every attempt's copies, faulted launches,
+        // watchdog waits and backoff.
+        let device_time = self.gpu.now() - device_before;
+        let total = t_graph + times.fwd + device_time;
         self.wall += total;
         self.steady += total;
         self.phases.graph_construction += t_graph;
-        self.phases.forward_schedule += t_fwd;
-        self.phases.script_copy += t_copy;
+        self.phases.forward_schedule += times.fwd;
+        self.phases.script_copy += times.copy;
         self.phases.kernel_exec += kernel_total;
-        out
+        self.phases.fallback_exec += fallback_total;
+        self.phases.recovery += device_time - times.copy - kernel_total - fallback_total;
+        Ok(out)
+    }
+
+    /// Launch-per-op forward execution on the host reference — the
+    /// inference side of the ladder's last rung. Numerically (not bitwise)
+    /// equivalent to the persistent kernel, and fault-free by construction.
+    fn baseline_infer(
+        &mut self,
+        model: &mut Model,
+        graph: &Graph,
+        roots: &[NodeId],
+    ) -> Vec<Vec<f32>> {
+        self.rec.stats.baseline_fallbacks += 1;
+        vpps_obs::counter("recover.fallback.baseline").incr();
+        let values = dyn_graph::exec::forward(graph, model);
+        self.charge_baseline_launches(model, graph);
+        roots.iter().map(|&r| values[r.index()].clone()).collect()
     }
 
     /// Waits for the in-flight device work and returns the most recent loss
@@ -539,6 +967,18 @@ impl Handle {
     /// [`VppsOptions::backend`] is [`BackendKind::Lowered`]).
     pub fn lowered_cache_stats(&self) -> engine::LoweredCacheStats {
         self.lowered.stats()
+    }
+
+    /// The fault injector, if armed via [`VppsOptions::faults`]. Exposes the
+    /// journal and per-kind injection counts for reproducibility checks.
+    pub fn fault_profile(&self) -> Option<&FaultProfile> {
+        self.faults.as_ref()
+    }
+
+    /// Cumulative recovery activity (retries, backoff time, fallbacks,
+    /// quarantines, rollbacks) since construction.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.rec.stats
     }
 
     /// Modeled JIT cost of the active plan (Table II reports this per

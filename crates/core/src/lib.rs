@@ -63,8 +63,9 @@ pub mod specialize;
 
 pub use engine::{
     BackendKind, Engine, ExecutionBackend, LoweredCache, LoweredCacheStats, LoweredScript,
-    RunOutcome, Session,
+    RecoveryPolicy, RecoveryStats, RunOutcome, Session,
 };
 pub use error::VppsError;
+pub use gpu_sim::{FaultConfig, FaultEvent, FaultKind, FaultProfile};
 pub use handle::{Handle, PhaseBreakdown, RpwMode, VppsOptions};
 pub use specialize::{GradStrategy, KernelPlan, PlanCache, PlanMemo, PlanSignature};

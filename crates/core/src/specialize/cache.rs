@@ -167,6 +167,17 @@ impl<T> PlanMemo<T> {
         v
     }
 
+    /// Evicts the artifact memoized under `plan_id`, returning `true` if one
+    /// was present. Used by plan-cache quarantine: a plan whose artifact
+    /// keeps faulting is invalidated so the next
+    /// [`PlanMemo::get_or_insert_with`] rebuilds it — and, because the
+    /// signature stays in `seen`, that rebuild is counted as a *re-miss*, so
+    /// the eviction is visible in the `<prefix>.cache_re_miss` counter the
+    /// re-miss machinery was reserved for.
+    pub fn remove(&mut self, plan_id: u64) -> bool {
+        self.map.remove(&plan_id).is_some()
+    }
+
     /// Number of cached artifacts.
     pub fn len(&self) -> usize {
         self.map.len()

@@ -1,0 +1,480 @@
+//! Deterministic fault injection.
+//!
+//! The paper's design is fragile by construction: a persistent kernel pins
+//! every weight in the register file of live SMs, so a hung VPP, a flipped
+//! pool word or a failed JIT poisons the whole model state. This module
+//! models that misbehavior as faithfully as the happy path: a seeded
+//! [`FaultProfile`] draws Bernoulli trials on the *virtual* clock, journals
+//! every injected fault with its timestamp, and is therefore byte-reproducible
+//! — two runs with the same seed and the same draw sequence inject the same
+//! faults at the same virtual times.
+//!
+//! The injector is detection-level: it decides *that* a fault occurred (a
+//! corrupted transfer caught by a checksum, an ECC-flagged DRAM word, a
+//! launch the driver rejected, a CTA the watchdog declared hung), not the
+//! corrupted bits themselves. That keeps recovered results bit-identical to
+//! fault-free runs — the recovery layer re-executes from a checkpoint instead
+//! of propagating garbage — which is what makes chaos runs self-validating.
+//!
+//! The RNG is a self-contained splitmix64 stream, deliberately independent of
+//! the workspace `rand` shim: fault draws must never perturb (or be perturbed
+//! by) workload RNG streams, and `gpu-sim` stays dependency-free.
+
+use std::sync::OnceLock;
+
+use crate::time::SimTime;
+
+/// The kinds of fault the injector can produce, in their fixed draw order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A device-to-device transfer (H2D/D2H) delivered corrupted data,
+    /// caught by an end-to-end checksum before the kernel consumed it.
+    TransferCorruption,
+    /// The driver rejected a kernel launch transiently (the launch overhead
+    /// is still paid).
+    LaunchFailure,
+    /// One CTA stopped advancing mid-run; the watchdog declares the kernel
+    /// hung after its timeout elapses on the virtual clock.
+    VppHang,
+    /// A word in the DRAM pool was corrupted during the run and flagged by
+    /// ECC after the kernel completed (the full body time is paid).
+    DramCorruption,
+    /// JIT specialization (NVRTC program compile / module load) failed
+    /// transiently.
+    JitFailure,
+}
+
+impl FaultKind {
+    /// Every kind, in the fixed per-attempt draw order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::TransferCorruption,
+        FaultKind::LaunchFailure,
+        FaultKind::VppHang,
+        FaultKind::DramCorruption,
+        FaultKind::JitFailure,
+    ];
+
+    /// Stable snake_case name, used in obs counters (`fault.injected.<name>`)
+    /// and bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TransferCorruption => "transfer_corruption",
+            FaultKind::LaunchFailure => "launch_failure",
+            FaultKind::VppHang => "vpp_hang",
+            FaultKind::DramCorruption => "dram_corruption",
+            FaultKind::JitFailure => "jit_failure",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::TransferCorruption => 0,
+            FaultKind::LaunchFailure => 1,
+            FaultKind::VppHang => 2,
+            FaultKind::DramCorruption => 3,
+            FaultKind::JitFailure => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-run fault rates plus the injector seed.
+///
+/// `enabled` distinguishes "an armed injector whose rates happen to be zero"
+/// from "no injector at all": the rate-0-armed configuration must be
+/// bit-identical to the disabled one (a tested invariant), but it still
+/// exercises the whole injection/recovery plumbing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Arms the injector. When `false` no [`FaultProfile`] is constructed at
+    /// all and every rate is ignored.
+    pub enabled: bool,
+    /// Seed for the deterministic draw stream.
+    pub seed: u64,
+    /// Probability an H2D/D2H transfer delivers corrupted data.
+    pub transfer_corruption: f64,
+    /// Probability a kernel launch fails transiently.
+    pub launch_failure: f64,
+    /// Probability a CTA hangs mid-run.
+    pub vpp_hang: f64,
+    /// Probability ECC flags a corrupted pool word after a run.
+    pub dram_corruption: f64,
+    /// Probability a JIT specialization attempt fails.
+    pub jit_failure: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl FaultConfig {
+    /// No injector at all: the fault-free configuration every other run is
+    /// compared against.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            seed: 0,
+            transfer_corruption: 0.0,
+            launch_failure: 0.0,
+            vpp_hang: 0.0,
+            dram_corruption: 0.0,
+            jit_failure: 0.0,
+        }
+    }
+
+    /// An armed injector applying `rate` uniformly to every fault kind.
+    /// `uniform(seed, 0.0)` is the armed-but-silent profile whose results
+    /// must be bit-identical to [`FaultConfig::disabled`].
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        Self {
+            enabled: true,
+            seed,
+            transfer_corruption: rate,
+            launch_failure: rate,
+            vpp_hang: rate,
+            dram_corruption: rate,
+            jit_failure: rate,
+        }
+    }
+
+    /// The configured rate for one kind, clamped to `[0, 1]`.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        let r = match kind {
+            FaultKind::TransferCorruption => self.transfer_corruption,
+            FaultKind::LaunchFailure => self.launch_failure,
+            FaultKind::VppHang => self.vpp_hang,
+            FaultKind::DramCorruption => self.dram_corruption,
+            FaultKind::JitFailure => self.jit_failure,
+        };
+        r.clamp(0.0, 1.0)
+    }
+
+    /// `true` if any kind can actually fire.
+    pub fn any_rate_positive(&self) -> bool {
+        FaultKind::ALL.iter().any(|&k| self.rate(k) > 0.0)
+    }
+
+    /// Parses a `loadgen --fault-profile` spec: comma-separated `key=value`
+    /// pairs where keys are `seed`, `rate` (applies to every kind) or a kind
+    /// name / short alias (`transfer`, `launch`, `hang`, `dram`, `jit`).
+    ///
+    /// `"hang=0.05,launch=0.01,seed=7"` arms hangs at 5%, launch failures at
+    /// 1% and seeds the stream with 7.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown keys, malformed numbers
+    /// or rates outside `[0, 1]`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut cfg = Self {
+            enabled: true,
+            ..Self::disabled()
+        };
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault-profile entry `{part}` is not key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            if key == "seed" {
+                cfg.seed = value
+                    .parse()
+                    .map_err(|_| format!("fault-profile seed `{value}` is not an integer"))?;
+                continue;
+            }
+            let rate: f64 = value
+                .parse()
+                .map_err(|_| format!("fault-profile rate `{value}` is not a number"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("fault-profile rate `{value}` outside [0, 1]"));
+            }
+            match key {
+                "rate" => {
+                    cfg.transfer_corruption = rate;
+                    cfg.launch_failure = rate;
+                    cfg.vpp_hang = rate;
+                    cfg.dram_corruption = rate;
+                    cfg.jit_failure = rate;
+                }
+                "transfer" | "transfer_corruption" => cfg.transfer_corruption = rate,
+                "launch" | "launch_failure" => cfg.launch_failure = rate,
+                "hang" | "vpp_hang" => cfg.vpp_hang = rate,
+                "dram" | "dram_corruption" => cfg.dram_corruption = rate,
+                "jit" | "jit_failure" => cfg.jit_failure = rate,
+                other => return Err(format!("unknown fault-profile key `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// One injected fault, journaled with its virtual timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time of the draw that fired.
+    pub at: SimTime,
+    /// What was injected.
+    pub kind: FaultKind,
+    /// 0-based index of the draw (over *all* draws, fired or not) that
+    /// produced this fault — pins the event to a unique point in the stream
+    /// even when two faults share a virtual timestamp.
+    pub draw: u64,
+}
+
+/// Posts one injected fault to the observability layer. Handles for the five
+/// kind-specific counters are cached after first resolution.
+fn obs_record_injection(kind: FaultKind) {
+    if vpps_obs::enabled() {
+        static TOTAL: OnceLock<vpps_obs::Counter> = OnceLock::new();
+        static PER_KIND: OnceLock<[vpps_obs::Counter; 5]> = OnceLock::new();
+        TOTAL
+            .get_or_init(|| vpps_obs::counter("fault.injected"))
+            .incr();
+        PER_KIND.get_or_init(|| {
+            FaultKind::ALL.map(|k| vpps_obs::counter(&format!("fault.injected.{}", k.name())))
+        })[kind.index()]
+        .incr();
+    }
+}
+
+/// The seeded injector: a splitmix64 draw stream plus the fault journal.
+///
+/// Each [`FaultProfile::draw`] consumes exactly one value from the stream
+/// (whatever the per-kind rate), so which rates are zero never shifts the
+/// stream — raising one rate cannot move another kind's faults in time.
+#[derive(Debug, Clone)]
+pub struct FaultProfile {
+    cfg: FaultConfig,
+    state: u64,
+    draws: u64,
+    journal: Vec<FaultEvent>,
+    counts: [u64; 5],
+}
+
+/// splitmix64 step — the standard 64-bit mix (Steele et al.), more than
+/// adequate statistically for Bernoulli fault draws and trivially portable.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultProfile {
+    /// Creates an injector from a config. (Callers normally gate on
+    /// [`FaultConfig::enabled`] and construct no profile when disabled.)
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self {
+            cfg,
+            state: cfg.seed,
+            draws: 0,
+            journal: Vec::new(),
+            counts: [0; 5],
+        }
+    }
+
+    /// The configuration this profile was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Uniform `f64` in `[0, 1)` — one stream step.
+    fn next_f64(&mut self) -> f64 {
+        (splitmix64(&mut self.state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// One Bernoulli trial for `kind` at virtual time `now`. Always consumes
+    /// exactly one stream value; on a hit the fault is journaled, counted and
+    /// posted to obs (`fault.injected.<kind>`).
+    pub fn draw(&mut self, kind: FaultKind, now: SimTime) -> bool {
+        let draw = self.draws;
+        self.draws += 1;
+        let u = self.next_f64();
+        let fired = u < self.cfg.rate(kind);
+        if fired {
+            self.journal.push(FaultEvent {
+                at: now,
+                kind,
+                draw,
+            });
+            self.counts[kind.index()] += 1;
+            obs_record_injection(kind);
+        }
+        fired
+    }
+
+    /// Deterministic jitter in `[0, max]` nanoseconds for retry backoff —
+    /// drawn from the same stream so it is reproducible with the faults.
+    pub fn jitter_ns(&mut self, max_ns: f64) -> f64 {
+        if max_ns <= 0.0 {
+            return 0.0;
+        }
+        self.next_f64() * max_ns
+    }
+
+    /// Every injected fault, in stream order.
+    pub fn journal(&self) -> &[FaultEvent] {
+        &self.journal
+    }
+
+    /// Number of injected faults of one kind.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total injected faults across all kinds.
+    pub fn total_injected(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total draws consumed (fired or not) — the stream position.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_journal() {
+        let cfg = FaultConfig::uniform(42, 0.3);
+        let mut a = FaultProfile::new(cfg);
+        let mut b = FaultProfile::new(cfg);
+        for i in 0..200 {
+            let t = SimTime::from_ns(i as f64 * 10.0);
+            for &k in &FaultKind::ALL {
+                assert_eq!(a.draw(k, t), b.draw(k, t));
+            }
+        }
+        assert_eq!(a.journal(), b.journal());
+        assert!(a.total_injected() > 0, "rate 0.3 over 1000 draws must fire");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultProfile::new(FaultConfig::uniform(1, 0.5));
+        let mut b = FaultProfile::new(FaultConfig::uniform(2, 0.5));
+        let mut same = true;
+        for i in 0..64 {
+            let t = SimTime::from_ns(i as f64);
+            if a.draw(FaultKind::VppHang, t) != b.draw(FaultKind::VppHang, t) {
+                same = false;
+            }
+        }
+        assert!(!same, "different seeds must produce different streams");
+    }
+
+    #[test]
+    fn rate_zero_never_fires_but_consumes_stream() {
+        let mut p = FaultProfile::new(FaultConfig::uniform(7, 0.0));
+        for i in 0..100 {
+            assert!(!p.draw(FaultKind::DramCorruption, SimTime::from_ns(i as f64)));
+        }
+        assert_eq!(p.total_injected(), 0);
+        assert!(p.journal().is_empty());
+        assert_eq!(p.draws(), 100);
+    }
+
+    #[test]
+    fn zero_rates_do_not_shift_other_kinds() {
+        // The hang-fault positions must be identical whether or not the other
+        // kinds' rates are zero: one draw per call, always.
+        let mut only_hang = FaultProfile::new(FaultConfig {
+            vpp_hang: 0.4,
+            ..FaultConfig::uniform(9, 0.0)
+        });
+        let mut all = FaultProfile::new(FaultConfig {
+            vpp_hang: 0.4,
+            ..FaultConfig::uniform(9, 0.9)
+        });
+        let mut hangs_a = Vec::new();
+        let mut hangs_b = Vec::new();
+        for i in 0..100 {
+            let t = SimTime::from_ns(i as f64);
+            for &k in &FaultKind::ALL {
+                let fa = only_hang.draw(k, t);
+                let fb = all.draw(k, t);
+                if k == FaultKind::VppHang {
+                    hangs_a.push(fa);
+                    hangs_b.push(fb);
+                }
+            }
+        }
+        assert_eq!(hangs_a, hangs_b);
+    }
+
+    #[test]
+    fn rate_one_always_fires() {
+        let mut p = FaultProfile::new(FaultConfig::uniform(3, 1.0));
+        for &k in &FaultKind::ALL {
+            assert!(p.draw(k, SimTime::ZERO));
+        }
+        assert_eq!(p.total_injected(), 5);
+        assert_eq!(p.journal().len(), 5);
+    }
+
+    #[test]
+    fn journal_records_timestamp_kind_and_draw_index() {
+        let mut p = FaultProfile::new(FaultConfig::uniform(5, 1.0));
+        p.draw(FaultKind::LaunchFailure, SimTime::from_us(3.0));
+        p.draw(FaultKind::VppHang, SimTime::from_us(4.0));
+        let j = p.journal();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j[0].kind, FaultKind::LaunchFailure);
+        assert_eq!(j[0].at, SimTime::from_us(3.0));
+        assert_eq!(j[0].draw, 0);
+        assert_eq!(j[1].kind, FaultKind::VppHang);
+        assert_eq!(j[1].draw, 1);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mut a = FaultProfile::new(FaultConfig::uniform(11, 0.0));
+        let mut b = FaultProfile::new(FaultConfig::uniform(11, 0.0));
+        for _ in 0..50 {
+            let ja = a.jitter_ns(1000.0);
+            assert!((0.0..=1000.0).contains(&ja));
+            assert_eq!(ja, b.jitter_ns(1000.0));
+        }
+        assert_eq!(a.jitter_ns(0.0), 0.0);
+    }
+
+    #[test]
+    fn parse_spec_roundtrip() {
+        let cfg = FaultConfig::parse("hang=0.05,launch=0.01,seed=7").unwrap();
+        assert!(cfg.enabled);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.rate(FaultKind::VppHang), 0.05);
+        assert_eq!(cfg.rate(FaultKind::LaunchFailure), 0.01);
+        assert_eq!(cfg.rate(FaultKind::DramCorruption), 0.0);
+
+        let uniform = FaultConfig::parse("rate=0.1,seed=3").unwrap();
+        for &k in &FaultKind::ALL {
+            assert_eq!(uniform.rate(k), 0.1);
+        }
+
+        assert!(FaultConfig::parse("bogus=1").is_err());
+        assert!(FaultConfig::parse("hang=2.0").is_err());
+        assert!(FaultConfig::parse("hang").is_err());
+        assert!(FaultConfig::parse("seed=x").is_err());
+    }
+
+    #[test]
+    fn display_names_are_snake_case() {
+        for &k in &FaultKind::ALL {
+            let n = k.name();
+            assert_eq!(n, format!("{k}"));
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{n}");
+        }
+    }
+}

@@ -42,6 +42,7 @@
 pub mod config;
 pub mod cost;
 pub mod dram;
+pub mod fault;
 pub mod metrics;
 pub mod sim;
 pub mod time;
@@ -49,6 +50,7 @@ pub mod time;
 pub use config::DeviceConfig;
 pub use cost::{CostModel, HostCostModel};
 pub use dram::{Dram, TrafficTag};
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultProfile};
 pub use metrics::{DeviceSnapshot, ImbalanceHistogram, Metrics};
 pub use sim::{GpuSim, KernelDesc, KernelStats};
 pub use time::SimTime;

@@ -164,6 +164,24 @@ impl GpuSim {
         total
     }
 
+    /// Advances the clock without attributing any device work — recovery
+    /// waits (watchdog timeouts on hung kernels, retry backoff) that occupy
+    /// virtual time but are neither kernel body nor launch nor copy.
+    pub fn advance(&mut self, d: SimTime) {
+        self.now += d;
+    }
+
+    /// Charges one *failed* kernel launch: the launch overhead is paid and
+    /// the clock advances, but no kernel body runs and `kernels_launched`
+    /// does not count it (metrics count completed kernels). Returns the
+    /// overhead charged.
+    pub fn record_failed_launch(&mut self) -> SimTime {
+        let launch = self.cost.launch_overhead();
+        self.stats.launch_time += launch;
+        self.now += launch;
+        launch
+    }
+
     /// Performs a host-to-device copy: records script traffic and advances
     /// the clock. Returns the copy duration.
     pub fn h2d_copy(&mut self, bytes: u64, tag: TrafficTag) -> SimTime {
@@ -269,6 +287,26 @@ mod tests {
         assert_eq!(gpu.stats(), KernelStats::default());
         assert_eq!(gpu.dram().total_loads(), 0);
         assert_eq!(gpu.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_moves_clock_only() {
+        let mut gpu = GpuSim::new(DeviceConfig::titan_v());
+        gpu.advance(SimTime::from_us(5.0));
+        assert_eq!(gpu.now(), SimTime::from_us(5.0));
+        assert_eq!(gpu.stats(), KernelStats::default());
+        assert_eq!(gpu.dram().total_loads(), 0);
+    }
+
+    #[test]
+    fn failed_launch_pays_overhead_but_counts_no_kernel() {
+        let mut gpu = GpuSim::new(DeviceConfig::titan_v());
+        let d = gpu.record_failed_launch();
+        assert!(d.as_ns() > 0.0);
+        assert_eq!(gpu.now(), d);
+        assert_eq!(gpu.stats().kernels_launched, 0);
+        assert_eq!(gpu.stats().launch_time, d);
+        assert_eq!(gpu.stats().busy_time, SimTime::ZERO);
     }
 
     #[test]

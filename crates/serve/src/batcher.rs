@@ -47,6 +47,9 @@ pub(crate) struct Pending {
     pub deadline: Option<SimTime>,
     /// Hard flush bound: `arrival + max_linger`.
     pub linger_deadline: SimTime,
+    /// Batch failures survived so far (bounded by
+    /// [`crate::RecoveryConfig::retry_budget`]).
+    pub retries: u32,
 }
 
 /// Per-bucket queue state: per-tenant FIFOs plus a round-robin cursor.
@@ -165,6 +168,7 @@ mod tests {
             arrival: SimTime::from_ns(at_ns),
             deadline: None,
             linger_deadline: SimTime::from_ns(at_ns + 100.0),
+            retries: 0,
         }
     }
 

@@ -22,6 +22,13 @@
 //!   weight load (the dominant cost of small graphs) is amortized across
 //!   the batch — the serving-side analogue of the paper's §III-D concurrent
 //!   training of multiple computation graphs.
+//! * **Degraded-mode serving** ([`RecoveryConfig`], [`CircuitBreaker`]) —
+//!   when batches fault (under `gpu_sim` fault injection), per-model
+//!   circuit breakers shed instead of queueing behind a failing handle,
+//!   failed batches are split and retried as singletons under a per-request
+//!   retry budget, and the handle's own recovery ladder keeps the common
+//!   case invisible. One poisoned tenant graph cannot starve the batch
+//!   loop.
 //! * **Determinism**: the whole server is a discrete-event simulation on
 //!   [`gpu_sim::SimTime`]. Same request stream in, byte-identical outcome
 //!   stream out — see [`Server`].
@@ -30,13 +37,15 @@
 //!   trajectory ([`write_serve_summary`]).
 
 pub mod batcher;
+pub mod breaker;
 pub mod policy;
 pub mod report;
 pub mod request;
 pub mod server;
 
 pub use batcher::{shape_class, BucketKey};
-pub use policy::{AdmissionPolicy, BatchPolicy, ServeConfig};
+pub use breaker::{BreakerState, BreakerTransition, CircuitBreaker};
+pub use policy::{AdmissionPolicy, BatchPolicy, RecoveryConfig, ServeConfig};
 pub use report::{
     serve_summary_json, validate_serve_summary, write_serve_summary, LatencyStats, ServeRecord,
     ServeReport,

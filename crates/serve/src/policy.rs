@@ -66,6 +66,36 @@ impl Default for AdmissionPolicy {
     }
 }
 
+/// Serving-side recovery policy: the circuit breaker and per-request retry
+/// budget that sit *above* the handle's own retry/fallback ladder
+/// ([`vpps::RecoveryPolicy`]). The handle absorbs transient faults; this
+/// layer decides what to do when a whole batch still comes back with a
+/// typed error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Consecutive failed batches on one model before its breaker opens.
+    pub breaker_threshold: u32,
+    /// Virtual time an open breaker sheds before allowing a half-open probe.
+    pub breaker_cooldown: SimTime,
+    /// Batch failures one request may survive (being requeued as a
+    /// singleton) before it is shed with
+    /// [`crate::ShedReason::RetryBudget`]. This bounds the blast radius of a
+    /// poisoned graph: it can burn at most `retry_budget + 1` dispatches,
+    /// and after its first failure it never co-batches with healthy
+    /// requests again.
+    pub retry_budget: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            breaker_threshold: 3,
+            breaker_cooldown: SimTime::from_us(500.0),
+            retry_budget: 2,
+        }
+    }
+}
+
 /// Full server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -77,6 +107,8 @@ pub struct ServeConfig {
     pub batch: BatchPolicy,
     /// Admission-control policy.
     pub admission: AdmissionPolicy,
+    /// Serving-side recovery policy (breaker + retry budgets).
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +118,7 @@ impl Default for ServeConfig {
             opts: VppsOptions::default(),
             batch: BatchPolicy::default(),
             admission: AdmissionPolicy::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 }

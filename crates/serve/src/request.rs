@@ -75,6 +75,15 @@ pub enum ShedReason {
     TenantQuota,
     /// The request's deadline passed while it was still queued.
     DeadlineExpired,
+    /// The target model's circuit breaker was open (degraded mode): recent
+    /// batches faulted past the breaker threshold, so work is shed instead
+    /// of queued behind a failing handle.
+    BreakerOpen,
+    /// The request's batch faulted and the request exhausted its per-request
+    /// retry budget ([`crate::RecoveryConfig::retry_budget`]).
+    RetryBudget,
+    /// The request named a model that was never registered.
+    UnknownModel,
 }
 
 impl ShedReason {
@@ -84,14 +93,20 @@ impl ShedReason {
             ShedReason::QueueFull => "queue_full",
             ShedReason::TenantQuota => "tenant_quota",
             ShedReason::DeadlineExpired => "deadline_expired",
+            ShedReason::BreakerOpen => "breaker_open",
+            ShedReason::RetryBudget => "retry_budget",
+            ShedReason::UnknownModel => "unknown_model",
         }
     }
 
     /// All reasons, in report order.
-    pub const ALL: [ShedReason; 3] = [
+    pub const ALL: [ShedReason; 6] = [
         ShedReason::QueueFull,
         ShedReason::TenantQuota,
         ShedReason::DeadlineExpired,
+        ShedReason::BreakerOpen,
+        ShedReason::RetryBudget,
+        ShedReason::UnknownModel,
     ];
 }
 

@@ -31,9 +31,10 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use dyn_graph::{Graph, Model};
 use gpu_sim::SimTime;
-use vpps::{Handle, PlanSignature, VppsError};
+use vpps::{Handle, PlanSignature, RecoveryStats, VppsError};
 
 use crate::batcher::{shape_class, Bucket, BucketKey, Pending};
+use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker};
 use crate::policy::ServeConfig;
 use crate::request::{
     Completion, ModelId, Outcome, Request, RequestId, RequestKind, Shed, ShedReason, TenantId,
@@ -75,6 +76,9 @@ struct WarmModel {
     /// starts no earlier than this.
     busy_until: SimTime,
     batches: u64,
+    /// Per-model circuit breaker: opens after consecutive batch failures,
+    /// sheds while open, probes half-open after the cooldown.
+    breaker: CircuitBreaker,
 }
 
 /// Multi-tenant serving engine over warm VPPS handles. See the module docs
@@ -100,6 +104,9 @@ pub struct Server {
     inflight: BinaryHeap<Reverse<u64>>,
     outcomes: Vec<Outcome>,
     batches: u64,
+    /// Batches whose dispatch returned a typed error (after the handle's own
+    /// retry/fallback ladder gave up).
+    batch_failures: u64,
     jit_paid: SimTime,
 }
 
@@ -123,6 +130,7 @@ impl Server {
             inflight: BinaryHeap::new(),
             outcomes: Vec::new(),
             batches: 0,
+            batch_failures: 0,
             jit_paid: SimTime::ZERO,
         }
     }
@@ -148,6 +156,7 @@ impl Server {
             vpps_obs::counter("serve.jit.cache_hits").incr();
         }
         let id = ModelId(self.models.len());
+        let rc = self.cfg.recovery;
         self.models.push(WarmModel {
             name: name.to_owned(),
             model,
@@ -155,6 +164,7 @@ impl Server {
             signature,
             busy_until: SimTime::ZERO,
             batches: 0,
+            breaker: CircuitBreaker::new(rc.breaker_threshold, rc.breaker_cooldown),
         });
         Ok(id)
     }
@@ -223,17 +233,10 @@ impl Server {
     /// Submits one request. The clock first advances to the request's
     /// arrival (firing any batch flushes due before it), then admission
     /// control runs. Arrivals must be non-decreasing; an arrival in the past
-    /// is clamped to `now`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `req.model` was not registered.
+    /// is clamped to `now`. A request naming an unregistered model is shed
+    /// with [`ShedReason::UnknownModel`] — client input never panics the
+    /// server.
     pub fn submit(&mut self, req: Request) -> Admission {
-        assert!(
-            req.model.0 < self.models.len(),
-            "unregistered model {:?}",
-            req.model
-        );
         self.run_until(req.arrival);
         self.settle_inflight();
         let arrival = req.arrival.max(self.now);
@@ -241,7 +244,9 @@ impl Server {
         self.next_id += 1;
 
         let shed = |reason: ShedReason| Admission::Shed(id, reason);
-        let verdict = if req.deadline.is_some_and(|d| d < arrival) {
+        let verdict = if req.model.0 >= self.models.len() {
+            shed(ShedReason::UnknownModel)
+        } else if req.deadline.is_some_and(|d| d < arrival) {
             shed(ShedReason::DeadlineExpired)
         } else if self.queued + self.inflight.len() >= self.cfg.admission.queue_capacity {
             shed(ShedReason::QueueFull)
@@ -281,6 +286,7 @@ impl Server {
                     arrival,
                     deadline: req.deadline,
                     linger_deadline: arrival + self.cfg.batch.max_linger,
+                    retries: 0,
                 });
                 self.queued += 1;
                 *self.queued_per_tenant.entry(req.tenant).or_insert(0) += 1;
@@ -366,31 +372,93 @@ impl Server {
         if batch.is_empty() {
             return;
         }
+        self.execute_batch(key, batch);
+    }
+
+    /// Dispatches one formed batch through the model's breaker and warm
+    /// handle. On a typed execution error the batch is *split*: members
+    /// within their retry budget are re-executed as singleton batches
+    /// (isolating a poisoned graph from healthy co-batched requests — it
+    /// never shares a launch again), the rest are shed with
+    /// [`ShedReason::RetryBudget`]. Recursion depth is bounded by
+    /// [`crate::RecoveryConfig::retry_budget`].
+    fn execute_batch(&mut self, key: BucketKey, batch: Vec<Pending>) {
+        let wm = &mut self.models[key.model.0];
+        if !wm.breaker.allow(self.now) {
+            let at = self.now;
+            for p in batch {
+                self.record_shed(Shed {
+                    id: p.id,
+                    tenant: p.tenant,
+                    at,
+                    reason: ShedReason::BreakerOpen,
+                });
+            }
+            return;
+        }
 
         // Absorb the request graphs into one super-graph: one generated
         // script, one kernel launch, one prologue weight load for the lot.
         let mut sg = Graph::new();
         let roots: Vec<_> = batch.iter().map(|p| sg.absorb(&p.graph, p.root)).collect();
-        let wm = &mut self.models[key.model.0];
         let dispatched_at = self.now;
         let start = dispatched_at.max(wm.busy_until);
         let wall_before = wm.handle.wall_time();
-        let outputs: Vec<Vec<f32>> = match key.kind {
-            RequestKind::Infer => wm.handle.infer_many(&mut wm.model, &sg, &roots),
+        let result: Result<Vec<Vec<f32>>, VppsError> = match key.kind {
+            RequestKind::Infer => wm.handle.try_infer_many(&mut wm.model, &sg, &roots),
             RequestKind::Train => {
                 let loss_root = if roots.len() == 1 {
                     roots[0]
                 } else {
                     sg.sum(&roots)
                 };
-                wm.handle.fb(&mut wm.model, &sg, loss_root);
-                let loss = wm.handle.sync_get_latest_loss();
-                vec![vec![loss]; batch.len()]
+                wm.handle.try_fb(&mut wm.model, &sg, loss_root).map(|_| {
+                    let loss = wm.handle.sync_get_latest_loss();
+                    vec![vec![loss]; batch.len()]
+                })
             }
         };
+        // Failed dispatches still occupied the device (faulted attempts,
+        // watchdog waits, backoff): service time is the wall delta either way.
         let service = wm.handle.wall_time() - wall_before;
         let completed_at = start + service;
         wm.busy_until = completed_at;
+
+        let outputs = match result {
+            Ok(outputs) => {
+                wm.breaker.record_success(self.now);
+                outputs
+            }
+            Err(_) => {
+                wm.breaker.record_failure(self.now);
+                self.batch_failures += 1;
+                vpps_obs::counter("serve.batch_failures").incr();
+                let budget = self.cfg.recovery.retry_budget;
+                let mut retry = Vec::new();
+                let at = self.now;
+                for mut p in batch {
+                    p.retries += 1;
+                    if p.retries > budget {
+                        self.record_shed(Shed {
+                            id: p.id,
+                            tenant: p.tenant,
+                            at,
+                            reason: ShedReason::RetryBudget,
+                        });
+                    } else {
+                        retry.push(p);
+                    }
+                }
+                // Singleton re-execution: a multi-request batch that faulted
+                // may contain one poisoned graph; isolating members means at
+                // most that one keeps failing while the rest complete.
+                for p in retry {
+                    vpps_obs::counter("serve.retried").incr();
+                    self.execute_batch(key, vec![p]);
+                }
+                return;
+            }
+        };
         wm.batches += 1;
         self.batches += 1;
         for _ in 0..batch.len() {
@@ -420,6 +488,42 @@ impl Server {
                 in_deadline,
             }));
         }
+    }
+
+    /// Batches whose dispatch came back with a typed error.
+    pub fn batch_failures(&self) -> u64 {
+        self.batch_failures
+    }
+
+    /// Current breaker state of a registered model.
+    pub fn breaker_state(&self, id: ModelId) -> BreakerState {
+        self.models[id.0].breaker.state()
+    }
+
+    /// Every breaker transition of a registered model, in order.
+    pub fn breaker_transitions(&self, id: ModelId) -> &[BreakerTransition] {
+        self.models[id.0].breaker.transitions()
+    }
+
+    /// Cumulative handle-level recovery activity of a registered model.
+    pub fn recovery_stats(&self, id: ModelId) -> RecoveryStats {
+        self.models[id.0].handle.recovery_stats()
+    }
+
+    /// Total faults injected into a registered model's handle (0 when fault
+    /// injection is not armed).
+    pub fn faults_injected(&self, id: ModelId) -> u64 {
+        self.models[id.0]
+            .handle
+            .fault_profile()
+            .map_or(0, |p| p.total_injected())
+    }
+
+    /// The fault injector of a registered model's handle, when armed
+    /// (journal, per-kind counts — for chaos benches and reproducibility
+    /// checks).
+    pub fn fault_profile(&self, id: ModelId) -> Option<&vpps::FaultProfile> {
+        self.models[id.0].handle.fault_profile()
     }
 }
 
@@ -470,6 +574,7 @@ mod tests {
                 deadline_aware: true,
             },
             admission: AdmissionPolicy::default(),
+            recovery: crate::policy::RecoveryConfig::default(),
         }
     }
 
@@ -745,6 +850,84 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unknown_model_sheds_instead_of_panicking() {
+        let (m, w, cls) = toy_model();
+        let mut srv = Server::new(small_config());
+        let _ = srv.register_model("toy", m.clone()).unwrap();
+        let req = infer_request(ModelId(7), &m, w, cls, 0, 2, 1.0);
+        match srv.submit(req) {
+            Admission::Shed(_, ShedReason::UnknownModel) => {}
+            other => panic!("expected UnknownModel shed, got {other:?}"),
+        }
+        assert_eq!(srv.outcomes().len(), 1);
+    }
+
+    #[test]
+    fn faults_with_fallback_enabled_complete_every_request() {
+        let (m, w, cls) = toy_model();
+        let mut cfg = small_config();
+        cfg.opts.faults = vpps::FaultConfig::uniform(11, 0.2);
+        let mut srv = Server::new(cfg);
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        for i in 0..8 {
+            srv.submit(infer_request(mid, &m, w, cls, i % 2, 2, i as f64));
+        }
+        srv.drain();
+        let completed = srv
+            .outcomes()
+            .iter()
+            .filter(|o| o.completion().is_some())
+            .count();
+        assert_eq!(completed, 8, "the recovery ladder absorbs every fault");
+        assert_eq!(srv.batch_failures(), 0);
+        assert!(srv.faults_injected(mid) > 0, "faults were actually drawn");
+        assert_eq!(srv.breaker_state(mid), BreakerState::Closed);
+    }
+
+    #[test]
+    fn fallback_disabled_faults_trip_the_breaker_and_shed_typed() {
+        let (m, w, cls) = toy_model();
+        let mut cfg = small_config();
+        // Every batch faults and the handle may not degrade: dispatches
+        // fail, the breaker opens, and every request ends in a typed shed.
+        // (JIT rate stays 0 so registration itself succeeds.)
+        let mut faults = vpps::FaultConfig::uniform(5, 1.0);
+        faults.jit_failure = 0.0;
+        cfg.opts.faults = faults;
+        cfg.opts.recovery.fallback = false;
+        cfg.recovery.breaker_threshold = 2;
+        let mut srv = Server::new(cfg);
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        for i in 0..8 {
+            srv.submit(infer_request(mid, &m, w, cls, i % 2, 2, i as f64));
+        }
+        srv.drain();
+        assert!(srv.batch_failures() > 0);
+        assert_eq!(srv.breaker_state(mid), BreakerState::Open);
+        // Exactly one outcome per request, all shed with recovery reasons.
+        assert_eq!(srv.outcomes().len(), 8);
+        for o in srv.outcomes() {
+            let s = o.shed().expect("all-fault run completes nothing");
+            assert!(
+                matches!(s.reason, ShedReason::RetryBudget | ShedReason::BreakerOpen),
+                "unexpected shed reason {:?}",
+                s.reason
+            );
+        }
+        // Breaker transitions are legal: Closed→Open first, then only
+        // Open→HalfOpen→{Open,Closed} moves.
+        let trs = srv.breaker_transitions(mid);
+        assert!(!trs.is_empty());
+        assert_eq!(
+            (trs[0].from, trs[0].to),
+            (BreakerState::Closed, BreakerState::Open)
+        );
+        for w in trs.windows(2) {
+            assert_eq!(w[0].to, w[1].from, "transition chain must be contiguous");
+        }
     }
 
     #[test]

@@ -96,6 +96,100 @@ proptest! {
     }
 }
 
+/// Trains one random recipe through the full `Handle` path (pipelined
+/// accounting, recovery plumbing) and returns every observable the fault
+/// machinery could perturb: loss bits, updated parameter bits, the modeled
+/// wall clock, and the batch metrics.
+fn run_handle_with_faults(
+    recipe: &GraphRecipe,
+    kind: BackendKind,
+    faults: gpu_sim::FaultConfig,
+) -> (u32, Vec<u32>, u64, Metrics) {
+    let mut model = Model::new(987);
+    model.add_matrix("W1", DIM, DIM);
+    model.add_matrix("W2", DIM, DIM);
+    model.add_bias("b", DIM);
+    let (g, loss) = build_from_recipe(&model, recipe);
+    let opts = VppsOptions {
+        rpw: RpwMode::Fixed(1),
+        learning_rate: 0.05,
+        weight_decay: 0.0,
+        pool_capacity: 1 << 18,
+        backend: kind,
+        faults,
+        ..VppsOptions::default()
+    };
+    let mut handle = Handle::new(&model, small_device(), opts).expect("tiny model fits");
+    handle.fb(&mut model, &g, loss);
+    let loss_bits = handle.sync_get_latest_loss().to_bits();
+    let params: Vec<u32> = model
+        .params()
+        .flat_map(|(_, p)| p.value.as_slice().iter().map(|v| v.to_bits()))
+        .collect();
+    (
+        loss_bits,
+        params,
+        handle.wall_time().as_ns().to_bits(),
+        handle.metrics(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// An armed fault injector whose rates are all zero is invisible: on
+    /// every backend it produces bit-identical losses, parameters, virtual
+    /// time, and metrics to a run with the injector disabled outright.
+    ///
+    /// Exception: `Threaded` accumulation order is inherently racy — its
+    /// float results carry tolerances (see `accumulate()` in
+    /// `crates/core/src/engine/backends.rs`) — so two *independent* Threaded
+    /// runs can legitimately differ in final float bits regardless of the
+    /// injector. For that backend the float observables are compared within
+    /// the backend's own tolerance; every deterministic observable (virtual
+    /// clock, DRAM traffic, launch counts) is still compared bit-for-bit.
+    #[test]
+    fn armed_rate_zero_injector_is_bit_identical_to_disabled(recipe in arb_recipe()) {
+        for kind in [
+            BackendKind::EventInterp,
+            BackendKind::Threaded,
+            BackendKind::ParallelInterp,
+            BackendKind::Lowered,
+        ] {
+            let armed =
+                run_handle_with_faults(&recipe, kind, gpu_sim::FaultConfig::uniform(7, 0.0));
+            let disabled =
+                run_handle_with_faults(&recipe, kind, gpu_sim::FaultConfig::disabled());
+            if kind == BackendKind::Threaded {
+                let close = |a: u32, b: u32| {
+                    let (a, b) = (f32::from_bits(a), f32::from_bits(b));
+                    (a - b).abs() <= 1e-4 * a.abs().max(b.abs()).max(1.0)
+                };
+                prop_assert!(
+                    close(armed.0, disabled.0),
+                    "Threaded: losses beyond accumulation tolerance"
+                );
+                prop_assert_eq!(armed.1.len(), disabled.1.len());
+                for (i, (&a, &d)) in armed.1.iter().zip(&disabled.1).enumerate() {
+                    prop_assert!(
+                        close(a, d),
+                        "Threaded: parameter {} beyond accumulation tolerance", i
+                    );
+                }
+            } else {
+                prop_assert_eq!(armed.0, disabled.0, "{:?}: loss bits differ", kind);
+                prop_assert_eq!(&armed.1, &disabled.1, "{:?}: parameter bits differ", kind);
+            }
+            prop_assert_eq!(armed.2, disabled.2, "{:?}: wall-clock bits differ", kind);
+            prop_assert_eq!(&armed.3.dram, &disabled.3.dram, "{:?}: DRAM bytes differ", kind);
+            prop_assert_eq!(
+                armed.3.launches, disabled.3.launches,
+                "{:?}: launch counts differ", kind
+            );
+        }
+    }
+}
+
 /// Trains a fixed workload on one backend and reports (loss history, host
 /// wall-clock).
 fn train_workload(kind: BackendKind, batches: usize) -> (Vec<f32>, std::time::Duration) {

@@ -165,6 +165,80 @@ fn plan_table_is_shared_across_distinct_scripts() {
     assert_eq!(stats.script_re_misses, 0);
 }
 
+/// FIFO capacity pressure and plan quarantine are the only two ways a
+/// script leaves the cache, and both are observable: the stats struct and
+/// the `lower.script.cache_evict` counter move in lockstep, and a
+/// quarantined plan's next lowering registers as a plan-level re-miss.
+#[test]
+fn evictions_are_counted_by_stats_and_obs() {
+    vpps_obs::set_enabled(true);
+    let evict_counter = vpps_obs::counter("lower.script.cache_evict");
+    let before = evict_counter.get();
+
+    let model = test_model();
+    let plan = KernelPlan::build(&model, &small_device(), 1).expect("tiny model fits");
+    let gpu = GpuSim::new(small_device());
+    let mut cache = LoweredCache::with_capacity(2);
+
+    let recipes = [
+        GraphRecipe {
+            ops: vec![0, 3, 1, 6],
+            picks: vec![1; 30],
+            label: 0,
+        },
+        GraphRecipe {
+            ops: vec![1, 4, 2],
+            picks: vec![2; 30],
+            label: 1,
+        },
+        GraphRecipe {
+            ops: vec![0, 1, 5, 7, 2],
+            picks: vec![3; 30],
+            label: 2,
+        },
+    ];
+    let mut plan_id = 0;
+    for recipe in &recipes {
+        let (g, loss) = build_from_recipe(&model, recipe);
+        let mut pool = vpps_tensor::Pool::with_capacity(1 << 18);
+        let tables = TableLayout::install(&model, &mut pool).expect("pool big enough");
+        let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
+        plan_id = cache.get_or_lower(&plan, &gs, gpu.cost_model()).plan_id;
+    }
+    assert_eq!(cache.len(), 2, "capacity 2 holds two scripts");
+    assert_eq!(
+        cache.stats().script_evictions,
+        1,
+        "the third distinct script evicts the FIFO head"
+    );
+
+    // Quarantine: both remaining scripts and the plan memo go at once.
+    assert_eq!(cache.invalidate_plan(plan_id), 2);
+    assert!(cache.is_empty());
+    assert_eq!(cache.stats().script_evictions, 3);
+    assert_eq!(
+        evict_counter.get() - before,
+        3,
+        "obs counter moves in lockstep with the stats struct"
+    );
+
+    // Re-lowering after quarantine is a deliberate re-miss on both levels.
+    let (g, loss) = build_from_recipe(&model, &recipes[0]);
+    let mut pool = vpps_tensor::Pool::with_capacity(1 << 18);
+    let tables = TableLayout::install(&model, &mut pool).expect("pool big enough");
+    let gs = generate::generate(&g, loss, &plan, &mut pool, &tables).expect("fits");
+    cache.get_or_lower(&plan, &gs, gpu.cost_model());
+    let stats = cache.stats();
+    assert_eq!(
+        stats.plan_re_misses, 1,
+        "plan entries vanish only on purpose"
+    );
+    assert_eq!(
+        stats.script_re_misses, 1,
+        "the script is re-lowered knowingly"
+    );
+}
+
 /// Through a `Handle` training a fixed shape, every batch after the first is
 /// a script-level cache hit — the warm-path hit rate the CI smoke job
 /// asserts through obs counters.

@@ -130,6 +130,7 @@ fn server_for(spec: &RunSpec, workload: &TwoModelWorkload) -> (Server, [ModelId;
             queue_capacity: spec.queue_capacity,
             tenant_quota: spec.tenant_quota,
         },
+        recovery: vpps_serve::RecoveryConfig::default(),
     };
     let mut server = Server::new(cfg);
     let m0 = server
