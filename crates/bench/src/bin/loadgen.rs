@@ -40,6 +40,7 @@ fn usage() -> ! {
          \x20              [--batch-max N] [--linger-us F] [--no-batching]\n\
          \x20              [--train-fraction F] [--deadline-us F] [--closed-loop N]\n\
          \x20              [--queue-cap N] [--tenant-quota N] [--hidden N]\n\
+         \x20              [--devices N] [--sample-pool N]\n\
          \x20              [--backend event-interp|threaded|parallel-interp]\n\
          \x20              [--label S] [--emit FILE|-] [--fail-on-shed]\n\
          \x20              [--verify-determinism] [--fault-profile SPEC]\n\
@@ -98,6 +99,8 @@ fn parse_args() -> Args {
             "--queue-cap" => sc.queue_capacity = parse_num(value(&mut i, &arg)) as usize,
             "--tenant-quota" => sc.tenant_quota = parse_num(value(&mut i, &arg)) as usize,
             "--hidden" => sc.hidden = (parse_num(value(&mut i, &arg)) as usize).max(8),
+            "--devices" => sc.devices = (parse_num(value(&mut i, &arg)) as usize).max(1),
+            "--sample-pool" => sc.sample_pool = parse_num(value(&mut i, &arg)) as usize,
             "--label" => sc.label = value(&mut i, &arg),
             "--backend" => {
                 let name = value(&mut i, &arg);
@@ -144,11 +147,15 @@ struct RunOutput {
 
 fn run_once(sc: &ServeScenario) -> RunOutput {
     let (server, mid, offered_rps) = run_scenario_server(sc);
+    let cache = server.lowered_cache_stats();
     RunOutput {
         rec: ServeRecord {
             label: sc.label.clone(),
             backend: sc.backend.name().to_owned(),
             offered_rps,
+            script_hits: cache.script_hits,
+            script_misses: cache.script_misses,
+            script_re_misses: cache.script_re_misses,
             report: ServeReport::from_outcomes(server.outcomes()),
         },
         faults_injected: server.fault_profile(mid).map_or(0, |p| p.total_injected()),

@@ -8,7 +8,10 @@
 //!
 //! Subcommands: `fig2`, `fig8`, `fig9`, `fig10`, `fig12`, `table1`,
 //! `table2`, `all`, `serve` (serving-layer batching experiment writing
-//! `BENCH_serve.json`), `lowered` (interpreted-vs-lowered engine wall-clock
+//! `BENCH_serve.json`), `serve-sharded` (device-count sweep of the sharded
+//! serving layer writing `BENCH_serve_sharded.json`; exits nonzero if the
+//! warm-cache, determinism, or single-device-equivalence self-checks fail),
+//! `lowered` (interpreted-vs-lowered engine wall-clock
 //! comparison writing `BENCH_lowered.json`; included in `all`), `chaos`
 //! (serving goodput under swept deterministic fault rates writing
 //! `BENCH_chaos.json`; exits nonzero if its armed-rate-0 or same-seed
@@ -448,6 +451,17 @@ fn lowered(full: bool) {
     );
     println!("Every row must be bit-identical; the fig8 sweep shows the cache win");
     println!("(epoch 2+ batches skip lowering and the timeline sweep entirely).\n");
+    // Self-check: the serve row runs the structure-keyed batcher against the
+    // lowered backend's script cache, so repeated popular inputs must hit.
+    if let Some(serve_row) = rows.iter().find(|r| r.scenario == "serve") {
+        if serve_row.script_hits == 0 {
+            eprintln!(
+                "serve row recorded no script-cache hits: the serve workload \
+                 is not exercising the warm lowered cache"
+            );
+            std::process::exit(1);
+        }
+    }
     match vpps_bench::write_lowered_summary(&rows) {
         Ok(path) => println!("lowered trajectory -> {}\n", path.display()),
         Err(e) => {
@@ -527,10 +541,133 @@ fn serve(full: bool, backend: BackendKind) {
         fmt_ratio(batched / single.max(1.0))
     );
     println!("the low-load row must complete everything with zero shed.\n");
+    if backend == BackendKind::Lowered {
+        // Self-check: once a bucket's scripts are lowered they must stay
+        // warm. First-touch misses are the warmup; everything after must
+        // hit (re-misses mean the structure-keyed cache is churning).
+        for rec in &records {
+            let after_warmup = rec.script_hits + rec.script_re_misses;
+            let rate = if after_warmup == 0 {
+                1.0
+            } else {
+                rec.script_hits as f64 / after_warmup as f64
+            };
+            if rate < 0.9 {
+                eprintln!(
+                    "{}: post-warmup script-cache hit rate {:.3} < 0.9 \
+                     ({} hits, {} re-misses)",
+                    rec.label, rate, rec.script_hits, rec.script_re_misses
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     match write_serve_summary("serve", &records) {
         Ok(path) => println!("serving trajectory -> {}\n", path.display()),
         Err(e) => {
             eprintln!("cannot write serving trajectory: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Sharded-serving experiment: the saturating Zipf serving trace swept
+/// across device counts, with warmup so the reported goodput reflects warm
+/// per-device lowered caches. Writes `BENCH_serve_sharded.json` (honoring
+/// `$VPPS_BENCH_DIR`) and exits nonzero if any self-check fails: warm
+/// script-cache hit rate >= 0.9, byte-identical reruns, sharded outputs
+/// bit-identical to single-device, goodput not regressing as devices are
+/// added.
+fn serve_sharded(full: bool) {
+    println!("Serve-sharded — device-count sweep of the sharded serving layer");
+    println!("(saturating Zipf corpus; plan-affinity routing with work stealing)\n");
+    let records = vpps_bench::run_sharded(full);
+    let mut rows = Vec::new();
+    for r in &records {
+        let util = r
+            .per_device_util
+            .iter()
+            .map(|u| format!("{:.2}", u))
+            .collect::<Vec<_>>()
+            .join(" ");
+        rows.push(vec![
+            r.devices.to_string(),
+            format!("{:.0}", r.goodput_rps),
+            format!("{:.2}", r.mean_batch),
+            format!("{:.3}", r.warm_hit_rate),
+            r.affinity_hits.to_string(),
+            r.steals.to_string(),
+            util,
+            if r.deterministic { "yes" } else { "NO" }.to_owned(),
+            if r.outputs_match_single { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Serve-sharded",
+            &[
+                "devices",
+                "goodput rps",
+                "mean batch",
+                "warm hit",
+                "affinity",
+                "steals",
+                "per-device util",
+                "det",
+                "=1-dev"
+            ],
+            &rows
+        )
+    );
+    let mut failed = false;
+    for r in &records {
+        if r.warm_hit_rate < 0.9 {
+            eprintln!(
+                "devices={}: warm script-cache hit rate {:.3} < 0.9",
+                r.devices, r.warm_hit_rate
+            );
+            failed = true;
+        }
+        if r.script_re_misses != 0 {
+            eprintln!(
+                "devices={}: {} structural re-misses (keying bug)",
+                r.devices, r.script_re_misses
+            );
+            failed = true;
+        }
+        if !r.deterministic {
+            eprintln!("devices={}: rerun was not byte-identical", r.devices);
+            failed = true;
+        }
+        if !r.outputs_match_single {
+            eprintln!(
+                "devices={}: outputs differ from the single-device run",
+                r.devices
+            );
+            failed = true;
+        }
+    }
+    let g1 = records
+        .iter()
+        .find(|r| r.devices == 1)
+        .map_or(0.0, |r| r.goodput_rps);
+    for r in records.iter().filter(|r| r.devices > 1) {
+        println!(
+            "scaling: {} devices give {} the single-device goodput",
+            r.devices,
+            fmt_ratio(r.goodput_rps / g1.max(1.0))
+        );
+    }
+    if failed {
+        eprintln!("serve-sharded self-checks failed");
+        std::process::exit(1);
+    }
+    println!();
+    match vpps_bench::write_sharded_summary(&records) {
+        Ok(path) => println!("sharded trajectory -> {}\n", path.display()),
+        Err(e) => {
+            eprintln!("cannot write sharded trajectory: {e}");
             std::process::exit(1);
         }
     }
@@ -720,6 +857,7 @@ fn main() {
         "table2" => table2(),
         "trace" => trace(),
         "serve" => serve(full, backend),
+        "serve-sharded" => serve_sharded(full),
         "lowered" => lowered(full),
         "chaos" => chaos(full, backend),
         "all" => {
@@ -736,7 +874,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|serve|lowered|chaos|all] \
+                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|serve|serve-sharded|lowered|chaos|all] \
                  [--full] [--backend=event-interp|threaded|parallel-interp|lowered] \
                  [--emit-metrics=FILE[.prom]] [--emit-trace=FILE]"
             );

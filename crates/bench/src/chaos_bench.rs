@@ -121,10 +121,14 @@ fn serve_scenario(sc: &ChaosScenario, rate: f64, faults: FaultConfig) -> ServeSc
 fn run_point(sc: &ChaosScenario, rate: f64, faults: FaultConfig) -> ChaosRecord {
     let ssc = serve_scenario(sc, rate, faults);
     let (server, mid, offered_rps) = run_scenario_server(&ssc);
+    let cache = server.lowered_cache_stats();
     let record = ServeRecord {
         label: ssc.label.clone(),
         backend: ssc.backend.name().to_owned(),
         offered_rps,
+        script_hits: cache.script_hits,
+        script_misses: cache.script_misses,
+        script_re_misses: cache.script_re_misses,
         report: ServeReport::from_outcomes(server.outcomes()),
     };
     let faults: Vec<(String, u64)> = FaultKind::ALL

@@ -21,6 +21,7 @@ pub mod harness;
 pub mod lowered_bench;
 pub mod report;
 pub mod serve_bench;
+pub mod sharded_bench;
 pub mod trajectory;
 
 pub use apps::{AppInstance, AppKind, AppSpec};
@@ -33,4 +34,7 @@ pub use lowered_bench::{
     lowered_bench, validate_lowered_summary, write_lowered_summary, LoweredBenchRow,
 };
 pub use serve_bench::{run_scenario, run_scenario_server, ServeScenario, ServeWorkload};
+pub use sharded_bench::{
+    run_sharded, validate_sharded_summary, write_sharded_summary, ShardedRecord,
+};
 pub use trajectory::{validate_bench_summary, write_bench_summary, BenchRecord};

@@ -62,6 +62,18 @@ pub struct ServeScenario {
     /// `Some(n)`: closed loop with `n` single-outstanding-request clients.
     /// `None`: open loop at `rate_rps`.
     pub closed_clients: Option<usize>,
+    /// Sample-seed pool size: popular inputs repeat (Zipf over the pool),
+    /// so structurally identical requests co-batch and warm the lowered
+    /// script cache. `0` gives every request a unique graph.
+    pub sample_pool: usize,
+    /// Virtual devices the server shards across (1 = unsharded).
+    pub devices: usize,
+    /// Work-stealing margin, microseconds: a batch leaves its warm affinity
+    /// device only when that device's backlog exceeds the least-loaded
+    /// backlog by more than this. Size it against the batch service time —
+    /// a margin far below one batch's service steals on any queueing at
+    /// all, scattering cold lowering passes across devices.
+    pub steal_margin_us: f64,
     /// Hidden/embedding dimension of the serving model (weight volume — and
     /// therefore the per-launch prologue cost batching amortizes).
     pub hidden: usize,
@@ -91,6 +103,9 @@ impl Default for ServeScenario {
             tenant_quota: 64,
             backend: BackendKind::default(),
             closed_clients: None,
+            sample_pool: 32,
+            devices: 1,
+            steal_margin_us: 50.0,
             hidden: 64,
             faults: vpps::FaultConfig::disabled(),
             fallback: true,
@@ -136,7 +151,7 @@ impl ServeWorkload {
     }
 }
 
-fn server_for(sc: &ServeScenario) -> (Server, ModelId, ServeWorkload) {
+pub(crate) fn server_for(sc: &ServeScenario) -> (Server, ModelId, ServeWorkload) {
     let workload = ServeWorkload::new(sc.seed ^ 0x5E47E, sc.hidden);
     let cfg = ServeConfig {
         device: DeviceConfig::titan_v(),
@@ -160,6 +175,10 @@ fn server_for(sc: &ServeScenario) -> (Server, ModelId, ServeWorkload) {
             tenant_quota: sc.tenant_quota,
         },
         recovery: vpps_serve::RecoveryConfig::default(),
+        shard: vpps_serve::ShardPolicy {
+            devices: sc.devices.max(1),
+            steal_margin: SimTime::from_us(sc.steal_margin_us),
+        },
     };
     let mut server = Server::new(cfg);
     let mid = server
@@ -172,10 +191,14 @@ fn server_for(sc: &ServeScenario) -> (Server, ModelId, ServeWorkload) {
 /// Deterministic: equal scenarios produce byte-identical records.
 pub fn run_scenario(sc: &ServeScenario) -> ServeRecord {
     let (server, _, offered_rps) = run_scenario_server(sc);
+    let cache = server.lowered_cache_stats();
     ServeRecord {
         label: sc.label.clone(),
         backend: sc.backend.name().to_owned(),
         offered_rps,
+        script_hits: cache.script_hits,
+        script_misses: cache.script_misses,
+        script_re_misses: cache.script_re_misses,
         report: ServeReport::from_outcomes(server.outcomes()),
     }
 }
@@ -200,6 +223,7 @@ fn run_open_loop(sc: &ServeScenario) -> (Server, ModelId, f64) {
         rate_rps: sc.rate_rps,
         train_fraction: sc.train_fraction,
         deadline_s: sc.deadline_us.map(|us| us * 1e-6),
+        sample_pool: sc.sample_pool,
         seed: sc.seed,
     });
     let offered = corpus.offered_rps();
@@ -226,6 +250,9 @@ fn run_open_loop(sc: &ServeScenario) -> (Server, ModelId, f64) {
 fn run_closed_loop(sc: &ServeScenario, clients: usize) -> (Server, ModelId, f64) {
     let (mut server, mid, workload) = server_for(sc);
     let mut rng = StdRng::seed_from_u64(sc.seed);
+    // Same popular-inputs-repeat regime as the open-loop corpus.
+    let pool: Vec<u64> = (0..sc.sample_pool).map(|_| rng.gen()).collect();
+    let pool_dist = (!pool.is_empty()).then(|| vpps_datasets::Zipf::new(pool.len(), 1.0));
     let linger = SimTime::from_us(sc.linger_us);
     // Client c is ready to submit at ready[c]; a client with a request in
     // flight is keyed by that request's id instead.
@@ -239,7 +266,10 @@ fn run_closed_loop(sc: &ServeScenario, clients: usize) -> (Server, ModelId, f64)
         ready.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         if issued < sc.requests && !ready.is_empty() {
             let (client, at) = ready.remove(0);
-            let sample_seed: u64 = rng.gen();
+            let sample_seed: u64 = match &pool_dist {
+                Some(d) => pool[d.sample(&mut rng)],
+                None => rng.gen(),
+            };
             let train = sc.train_fraction > 0.0 && rng.gen::<f64>() < sc.train_fraction;
             let (graph, root) = workload.request_graph(sample_seed);
             let arrival = at.max(server.now());

@@ -1,0 +1,487 @@
+//! Sharded-serving benchmark (`BENCH_serve_sharded.json`).
+//!
+//! Sweeps the device count of the sharded server under a saturating
+//! Zipf-skewed multi-tenant corpus and records, per device count:
+//!
+//! * **goodput** over a measured pass that starts with warm lowered caches
+//!   (three warmup passes over the same trace precede it, so the reported
+//!   numbers are steady-state, not cold-start);
+//! * **warm script-cache hit rate** — the fraction of lowered script-cache
+//!   lookups in the measured pass that hit. With structure-keyed buckets
+//!   this must be ≈1: every batch shape was already lowered during warmup;
+//! * **router behavior** — placements, affinity hits, steal counts;
+//! * **per-device utilization and batch counts** over the measured pass;
+//! * two self-checks computed in-process so CI only reads booleans:
+//!   `deterministic` (the whole warmup+measure run, repeated, is
+//!   byte-identical)
+//!   and `outputs_match_single` (a low-load verification trace produces
+//!   bit-identical per-request outputs on N devices and on one).
+//!
+//! Everything runs on the virtual clock; records are pure functions of the
+//! scenario.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+
+use gpu_sim::SimTime;
+use vpps::BackendKind;
+use vpps_datasets::{RequestCorpus, RequestCorpusConfig};
+use vpps_obs::Json;
+use vpps_serve::{
+    ModelId, Outcome, Request, RequestKind, ServeReport, Server, ShedReason, TenantId,
+};
+
+use crate::serve_bench::{run_scenario_server, server_for, ServeScenario, ServeWorkload};
+
+/// Schema identifier written into every sharded summary.
+pub const SCHEMA: &str = "vpps-serve-sharded-trajectory";
+
+/// Current schema version.
+pub const VERSION: u64 = 1;
+
+/// One device-count point of the sharded sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRecord {
+    /// Virtual devices the server sharded across.
+    pub devices: usize,
+    /// Offered load realized by the trace, requests per simulated second.
+    pub offered_rps: f64,
+    /// Completions in the measured (warm) pass.
+    pub completed: u64,
+    /// Sheds in the measured pass.
+    pub shed: u64,
+    /// In-deadline completions per simulated second in the measured pass.
+    pub goodput_rps: f64,
+    /// Mean requests per batch in the measured pass.
+    pub mean_batch: f64,
+    /// Warm lowered script-cache hit rate over the measured pass.
+    pub warm_hit_rate: f64,
+    /// Script-cache hits across the whole run (warmup + measure).
+    pub script_hits: u64,
+    /// Script-cache misses across the whole run.
+    pub script_misses: u64,
+    /// Structural re-misses across the whole run (must stay 0).
+    pub script_re_misses: u64,
+    /// Batches routed across the whole run.
+    pub routed: u64,
+    /// First-seen bucket placements.
+    pub placements: u64,
+    /// Batches routed to their warm affinity device.
+    pub affinity_hits: u64,
+    /// Batches stolen to a less-loaded device.
+    pub steals: u64,
+    /// Per-device busy fraction over the measured pass.
+    pub per_device_util: Vec<f64>,
+    /// Per-device executed batches over the measured pass.
+    pub per_device_batches: Vec<u64>,
+    /// The whole warmup+measure run, repeated from scratch, was
+    /// byte-identical.
+    pub deterministic: bool,
+    /// A low-load verification trace completed every request with
+    /// per-request outputs bit-identical to a single-device run.
+    pub outputs_match_single: bool,
+}
+
+/// The sweep scenario: a saturating open-loop burst of Zipf-popular inputs
+/// on the lowered backend (the backend whose caches sharding must respect).
+pub fn sharded_scenario(full: bool) -> ServeScenario {
+    ServeScenario {
+        label: "serve-sharded".to_owned(),
+        requests: if full { 480 } else { 240 },
+        rate_rps: 2_000_000.0,
+        tenants: 6,
+        backend: BackendKind::Lowered,
+        sample_pool: 24,
+        hidden: 32,
+        // ~2 batch services: steal only under real imbalance, so hot
+        // buckets stay on (and keep hitting) their warm affinity device.
+        steal_margin_us: 2_000.0,
+        ..ServeScenario::default()
+    }
+}
+
+/// Device counts swept by [`run_sharded`].
+pub fn device_counts(full: bool) -> Vec<usize> {
+    if full {
+        vec![1, 2, 4, 8]
+    } else {
+        vec![1, 2, 4]
+    }
+}
+
+/// Runs the full sweep and returns one record per device count.
+pub fn run_sharded(full: bool) -> Vec<ShardedRecord> {
+    let sc = sharded_scenario(full);
+    device_counts(full)
+        .into_iter()
+        .map(|d| sharded_point(&sc, d))
+        .collect()
+}
+
+/// Submits one corpus pass, shifting every arrival (and deadline) by
+/// `offset` so a second pass lands after the first finished.
+fn submit_corpus(
+    server: &mut Server,
+    mid: ModelId,
+    workload: &ServeWorkload,
+    corpus: &RequestCorpus,
+    offset: SimTime,
+) {
+    for spec in &corpus.specs {
+        let (graph, root) = workload.request_graph(spec.sample_seed);
+        server.submit(Request {
+            tenant: TenantId(spec.tenant),
+            model: mid,
+            kind: if spec.train {
+                RequestKind::Train
+            } else {
+                RequestKind::Infer
+            },
+            graph,
+            root,
+            arrival: offset + SimTime::from_secs(spec.arrival_s),
+            deadline: spec.deadline_s.map(|d| offset + SimTime::from_secs(d)),
+        });
+    }
+}
+
+/// A run's observable surface, for byte-identity comparison: per outcome
+/// (id, time bits, time bits, payload digest).
+fn outcome_fingerprint(outcomes: &[Outcome]) -> Vec<(u64, u64, u64, u64)> {
+    outcomes
+        .iter()
+        .map(|o| match o {
+            Outcome::Completed(c) => {
+                let mut digest = 0xcbf2_9ce4_8422_2325u64;
+                for x in &c.output {
+                    digest ^= x.to_bits() as u64;
+                    digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                (
+                    c.id.0,
+                    c.dispatched_at.as_ns().to_bits(),
+                    c.completed_at.as_ns().to_bits(),
+                    digest,
+                )
+            }
+            Outcome::Shed(s) => {
+                let reason = ShedReason::ALL.iter().position(|r| *r == s.reason).unwrap() as u64;
+                (s.id.0, s.at.as_ns().to_bits(), u64::MAX, reason)
+            }
+        })
+        .collect()
+}
+
+/// Everything one warmup+measure execution produces.
+struct WarmRun {
+    record: ShardedRecord,
+    fingerprint: Vec<(u64, u64, u64, u64)>,
+}
+
+fn warm_run(sc: &ServeScenario, devices: usize) -> WarmRun {
+    let mut sc = sc.clone();
+    sc.devices = devices;
+    let (mut server, mid, workload) = server_for(&sc);
+    let corpus = RequestCorpus::generate(RequestCorpusConfig {
+        requests: sc.requests,
+        tenants: sc.tenants,
+        tenant_skew: 1.0,
+        rate_rps: sc.rate_rps,
+        train_fraction: sc.train_fraction,
+        deadline_s: sc.deadline_us.map(|us| us * 1e-6),
+        sample_pool: sc.sample_pool,
+        seed: sc.seed,
+    });
+
+    // Warmup: three passes over the trace. The first pays the cold lowering
+    // misses on each bucket's affinity device; the later ones let devices
+    // that *steal* hot buckets under load lower them too, so the measured
+    // pass sees steady-state caches on every device a batch can land on.
+    for _ in 0..3 {
+        let offset = server.now();
+        submit_corpus(&mut server, mid, &workload, &corpus, offset);
+        server.drain();
+    }
+    let cache_warm = server.lowered_cache_stats();
+    let stats_warm = server.device_stats();
+    let outcomes_warm = server.outcomes().len();
+    let t_warm = server.now();
+
+    // Measured pass: same trace, shifted past the warmup; every batch shape
+    // is already lowered on the devices that execute it.
+    submit_corpus(&mut server, mid, &workload, &corpus, t_warm);
+    server.drain();
+    let cache = server.lowered_cache_stats();
+    let stats = server.device_stats();
+    let elapsed = server.now() - t_warm;
+
+    let report = ServeReport::from_outcomes(&server.outcomes()[outcomes_warm..]);
+    let warm_hits = cache.script_hits - cache_warm.script_hits;
+    let warm_misses = cache.script_misses - cache_warm.script_misses;
+    let warm_hit_rate = if warm_hits + warm_misses == 0 {
+        1.0
+    } else {
+        warm_hits as f64 / (warm_hits + warm_misses) as f64
+    };
+    let per_device_util = stats
+        .iter()
+        .zip(&stats_warm)
+        .map(|(s, w)| {
+            if elapsed.as_ns() > 0.0 {
+                (s.busy - w.busy).as_ns() / elapsed.as_ns()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let per_device_batches = stats
+        .iter()
+        .zip(&stats_warm)
+        .map(|(s, w)| s.batches - w.batches)
+        .collect();
+    let router = server.router_stats();
+    WarmRun {
+        record: ShardedRecord {
+            devices,
+            offered_rps: corpus.offered_rps(),
+            completed: report.completed,
+            shed: report.total_shed(),
+            goodput_rps: report.goodput_rps,
+            mean_batch: report.mean_batch,
+            warm_hit_rate,
+            script_hits: cache.script_hits,
+            script_misses: cache.script_misses,
+            script_re_misses: cache.script_re_misses,
+            routed: router.routed,
+            placements: router.placements,
+            affinity_hits: router.affinity_hits,
+            steals: router.steals,
+            per_device_util,
+            per_device_batches,
+            deterministic: false,        // filled by sharded_point
+            outputs_match_single: false, // filled by sharded_point
+        },
+        fingerprint: outcome_fingerprint(server.outcomes()),
+    }
+}
+
+/// Per-request output bits of a low-load (shed-free) verification trace.
+fn verification_outputs(sc: &ServeScenario, devices: usize) -> Option<BTreeMap<u64, Vec<u32>>> {
+    let mut v = sc.clone();
+    v.devices = devices;
+    v.requests = sc.requests.min(160);
+    v.rate_rps = 20_000.0; // low load: nothing sheds, every request completes
+    v.train_fraction = 0.0; // replicas diverge under training; infer-only
+    v.deadline_us = None;
+    v.queue_capacity = 1 << 16; // belt and braces: admission never sheds
+    let (server, _, _) = run_scenario_server(&v);
+    let mut out = BTreeMap::new();
+    for o in server.outcomes() {
+        match o {
+            Outcome::Completed(c) => {
+                out.insert(c.id.0, c.output.iter().map(|x| x.to_bits()).collect());
+            }
+            Outcome::Shed(_) => return None, // a shed voids the comparison
+        }
+    }
+    Some(out)
+}
+
+/// One point of the sweep, with both self-checks filled in.
+fn sharded_point(sc: &ServeScenario, devices: usize) -> ShardedRecord {
+    let first = warm_run(sc, devices);
+    let second = warm_run(sc, devices);
+    let single = verification_outputs(sc, 1);
+    let sharded = verification_outputs(sc, devices);
+    let mut record = first.record;
+    // Both flags are still false in both records here, so plain equality
+    // compares only the measured numbers.
+    record.deterministic = first.fingerprint == second.fingerprint && record == second.record;
+    record.outputs_match_single = match (&single, &sharded) {
+        (Some(a), Some(b)) => a == b && !a.is_empty(),
+        _ => false,
+    };
+    record
+}
+
+impl ShardedRecord {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("devices", Json::from(self.devices as u64));
+        o.set("offered_rps", Json::Num(self.offered_rps));
+        o.set("completed", Json::from(self.completed));
+        o.set("shed", Json::from(self.shed));
+        o.set("goodput_rps", Json::Num(self.goodput_rps));
+        o.set("mean_batch", Json::Num(self.mean_batch));
+        o.set("warm_hit_rate", Json::Num(self.warm_hit_rate));
+        o.set("script_hits", Json::from(self.script_hits));
+        o.set("script_misses", Json::from(self.script_misses));
+        o.set("script_re_misses", Json::from(self.script_re_misses));
+        o.set("routed", Json::from(self.routed));
+        o.set("placements", Json::from(self.placements));
+        o.set("affinity_hits", Json::from(self.affinity_hits));
+        o.set("steals", Json::from(self.steals));
+        o.set(
+            "per_device_util",
+            Json::Arr(self.per_device_util.iter().map(|&u| Json::Num(u)).collect()),
+        );
+        o.set(
+            "per_device_batches",
+            Json::Arr(
+                self.per_device_batches
+                    .iter()
+                    .map(|&b| Json::from(b))
+                    .collect(),
+            ),
+        );
+        o.set("deterministic", Json::from(self.deterministic));
+        o.set(
+            "outputs_match_single",
+            Json::from(self.outputs_match_single),
+        );
+        o
+    }
+}
+
+/// Serializes the sweep into the versioned summary document.
+pub fn sharded_summary_json(records: &[ShardedRecord]) -> String {
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from(SCHEMA));
+    doc.set("version", Json::from(VERSION));
+    doc.set("experiment", Json::from("serve_sharded"));
+    doc.set(
+        "records",
+        Json::Arr(records.iter().map(|r| r.to_json()).collect()),
+    );
+    let mut out = String::new();
+    doc.write(&mut out);
+    out
+}
+
+/// Writes `BENCH_serve_sharded.json` (into `$VPPS_BENCH_DIR` when set, else
+/// the current directory), validating the document first.
+///
+/// # Errors
+///
+/// I/O failure writing the file, or (as [`io::ErrorKind::InvalidData`]) a
+/// document that fails its own schema validation — a bug, not an
+/// environment problem.
+pub fn write_sharded_summary(records: &[ShardedRecord]) -> io::Result<PathBuf> {
+    let json = sharded_summary_json(records);
+    validate_sharded_summary(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut path = std::env::var_os("VPPS_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    path.push("BENCH_serve_sharded.json");
+    std::fs::write(&path, &json)?;
+    Ok(path)
+}
+
+/// Validates a sharded summary document against the schema.
+///
+/// # Errors
+///
+/// Describes the first structural problem found.
+pub fn validate_sharded_summary(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string \"schema\"".to_string())?;
+    if schema != SCHEMA {
+        return Err(format!("unknown schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "missing integer \"version\"".to_string())?;
+    if version != VERSION {
+        return Err(format!("unsupported version {version}, expected {VERSION}"));
+    }
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing array \"records\"".to_string())?;
+    for (i, rec) in records.iter().enumerate() {
+        let err = |what: &str| format!("record {i}: {what}");
+        for key in [
+            "devices",
+            "completed",
+            "shed",
+            "script_hits",
+            "script_misses",
+            "script_re_misses",
+            "routed",
+            "placements",
+            "affinity_hits",
+            "steals",
+        ] {
+            rec.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err(&format!("missing u64 {key:?}")))?;
+        }
+        for key in ["offered_rps", "goodput_rps", "mean_batch", "warm_hit_rate"] {
+            rec.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err(&format!("missing number {key:?}")))?;
+        }
+        for key in ["per_device_util", "per_device_batches"] {
+            let arr = rec
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err(&format!("missing array {key:?}")))?;
+            let devices = rec.get("devices").and_then(Json::as_u64).unwrap();
+            if arr.len() as u64 != devices {
+                return Err(err(&format!(
+                    "{key} has {} entries for {} devices",
+                    arr.len(),
+                    devices
+                )));
+            }
+        }
+        for key in ["deterministic", "outputs_match_single"] {
+            match rec.get(key) {
+                Some(Json::Bool(_)) => {}
+                _ => return Err(err(&format!("missing bool {key:?}"))),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_validates() {
+        let json = sharded_summary_json(&[]);
+        validate_sharded_summary(&json).unwrap();
+        assert!(json.contains("\"experiment\":\"serve_sharded\""));
+        assert!(validate_sharded_summary(&json.replace(SCHEMA, "nope")).is_err());
+        assert!(validate_sharded_summary("{}").is_err());
+    }
+
+    #[test]
+    fn tiny_sharded_point_passes_its_self_checks() {
+        let mut sc = sharded_scenario(false);
+        sc.requests = 60;
+        let rec = sharded_point(&sc, 2);
+        assert_eq!(rec.devices, 2);
+        assert!(rec.deterministic, "warmup+measure run must be reproducible");
+        assert!(
+            rec.outputs_match_single,
+            "2-device outputs must match 1-device bitwise"
+        );
+        assert!(
+            rec.warm_hit_rate >= 0.9,
+            "warm pass must hit the script cache, got {}",
+            rec.warm_hit_rate
+        );
+        assert_eq!(rec.script_re_misses, 0);
+        assert_eq!(rec.per_device_util.len(), 2);
+        let json = sharded_summary_json(&[rec]);
+        validate_sharded_summary(&json).unwrap();
+    }
+}

@@ -44,9 +44,14 @@
 //! [`PlanSignature`]-keyed [`PlanMemo`] of [`LoweredPlan`]s (chunk geometry
 //! and static costs — shared by every script of a plan, so serving corpora
 //! whose requests all have distinct graphs still hit after the first batch)
-//! and a bounded `(plan id, script fingerprint)`-keyed map of full
-//! [`LoweredScript`]s (micro-ops + timeline — the full skip-analysis win for
-//! re-run identical scripts, e.g. static shapes trained for many epochs).
+//! and a bounded `(plan id, structural script fingerprint)`-keyed map of
+//! full [`LoweredScript`]s (micro-ops + timeline — the full skip-analysis
+//! win for re-run scripts). The structural fingerprint
+//! ([`ScriptSet::structural_fingerprint`]) masks per-request literals
+//! (embedding-row copy sources, gold labels), which the executor patches
+//! back in per run, so scripts that differ *only* in which rows they look
+//! up and which labels they pick — a serving bucket's canonical
+//! super-graphs — share one cached artifact.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -430,13 +435,33 @@ impl MicroOp {
     }
 }
 
+/// One patchable literal in a lowered op stream: an op whose value depends
+/// on the *request* (which embedding row a lookup copies, which gold label a
+/// loss picks) rather than on the script's structure. Two scripts with equal
+/// [`ScriptSet::structural_fingerprint`]s differ only at these points, so a
+/// cached artifact is re-targeted to a fresh request by overwriting the
+/// patched field — no re-lowering, no timeline re-analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchPoint {
+    /// VPP whose script holds the source instruction.
+    pub vpp: u32,
+    /// Instruction index within that VPP's script.
+    pub ip: u32,
+    /// Index into [`LoweredScript::ops`] (ascending by construction — the
+    /// executor walks patch points with a single forward cursor).
+    pub op_index: u32,
+}
+
 /// A fully lowered script: the compiled artifact one plan + one script set
-/// produce, reusable across every run of that identical script.
+/// produce, reusable across every run of that identical script — and, via
+/// [`LoweredScript::extract_patches`], across every *structurally* identical
+/// script.
 #[derive(Debug, Clone)]
 pub struct LoweredScript {
     /// The owning plan's id ([`PlanSignature::plan_id`]).
     pub plan_id: u64,
-    /// [`ScriptSet::fingerprint`] of the source scripts.
+    /// [`ScriptSet::structural_fingerprint`] of the source scripts (the
+    /// cache key half: per-request literals masked out).
     pub fingerprint: u64,
     /// Barrier count of the source scripts (for per-run obs).
     pub num_barriers: u32,
@@ -454,6 +479,41 @@ pub struct LoweredScript {
     /// Largest scratch buffer any op needs (tmatvec/softmax-backward
     /// contributions).
     pub scratch_len: usize,
+    /// Ops carrying per-request literals, in ascending `op_index` order:
+    /// resident-region `Copy` sources (embedding rows, the loss-seed
+    /// constant) and `PickNls`/`PickNlsBwd` labels.
+    pub patch_points: Vec<PatchPoint>,
+}
+
+impl LoweredScript {
+    /// Reads the per-request literal values out of `gs` at this artifact's
+    /// patch points, producing the patch vector [`execute`] applies. For the
+    /// script this artifact was lowered from, the patches equal the baked
+    /// literals (applying them is a no-op); for any other script with the
+    /// same structural fingerprint they re-target the cached ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gs` is not structurally identical to the script this
+    /// artifact was lowered from (a patch point names an instruction of a
+    /// different kind) — callers key by structural fingerprint, which rules
+    /// that out.
+    pub fn extract_patches(&self, gs: &GeneratedScript) -> Vec<u32> {
+        self.patch_points
+            .iter()
+            .map(|p| {
+                let instr = &gs.scripts.script(p.vpp as usize)[p.ip as usize];
+                match (instr, &self.ops[p.op_index as usize]) {
+                    (Instr::Copy { src, .. }, MicroOp::Copy { .. }) => src.raw(),
+                    (Instr::PickNls { label, .. }, MicroOp::PickNls { .. }) => *label,
+                    (Instr::PickNlsBwd { label, .. }, MicroOp::PickNlsBwd { .. }) => *label,
+                    (i, o) => panic!(
+                        "patch point {p:?} misaligned: script instr {i:?} vs lowered op {o:?}"
+                    ),
+                }
+            })
+            .collect()
+    }
 }
 
 fn resolve_cost(instr: &Instr, lplan: &LoweredPlan, dist: &Distribution) -> InstrCost {
@@ -693,12 +753,27 @@ pub fn lower_with(
         .collect();
 
     let mut ops = Vec::with_capacity(tl.order.len());
+    let mut patch_points = Vec::new();
     let mut pool_end = 0usize;
     let mut scratch_len = 0usize;
     for &(v, ip) in &tl.order {
         let op = resolved[v as usize][ip as usize]
             .take()
             .expect("timeline order names a sync or duplicated instruction");
+        // Per-request literals the structural fingerprint masks out become
+        // patch points: resident-region copy sources and pick labels.
+        let patchable = match &gs.scripts.script(v as usize)[ip as usize] {
+            Instr::Copy { src, .. } => src.raw() < gs.persistent_floor,
+            Instr::PickNls { .. } | Instr::PickNlsBwd { .. } => true,
+            _ => false,
+        };
+        if patchable {
+            patch_points.push(PatchPoint {
+                vpp: v,
+                ip,
+                op_index: ops.len() as u32,
+            });
+        }
         let (reads, write) = op.ranges();
         if let Some(w) = write {
             pool_end = pool_end.max(w.0 as usize + w.1 as usize);
@@ -718,16 +793,21 @@ pub fn lower_with(
         });
         ops.push(op);
     }
+    // Patched copy sources can land on any resident row, so the executor's
+    // single bounds check must cover the whole resident region, not just the
+    // rows this particular script happened to read.
+    pool_end = pool_end.max(gs.persistent_floor as usize);
 
     LoweredScript {
         plan_id: plan.signature().plan_id(),
-        fingerprint: gs.scripts.fingerprint(),
+        fingerprint: gs.scripts.structural_fingerprint(gs.persistent_floor),
         num_barriers: gs.num_barriers,
         ops,
         costs,
         timeline: tl,
         pool_end,
         scratch_len,
+        patch_points,
     }
 }
 
@@ -749,17 +829,22 @@ unsafe fn view_mut<'x>(base: *mut f32, off: u32, len: u32) -> &'x mut [f32] {
     std::slice::from_raw_parts_mut(base.add(off as usize), len as usize)
 }
 
-/// Executes a lowered artifact serially against `pool` and `cache`.
+/// Executes a lowered artifact serially against `pool` and `cache`,
+/// applying `patches` — the per-request literal values from
+/// [`LoweredScript::extract_patches`], parallel to
+/// [`LoweredScript::patch_points`] — as it sweeps.
 ///
 /// The sweep is branch-light: one match per op, zero allocations (one
 /// scratch buffer is reused across ops), no sync arms, and all inner loops
 /// are the shared [`kernels`] so results are bit-identical to
-/// [`super::EventInterp`] replaying the same serial order.
+/// [`super::EventInterp`] replaying the same serial order. Patch points are
+/// ascending in op index, so patching costs one cursor compare per op.
 ///
 /// # Panics
 ///
-/// Panics if the artifact references pool memory beyond `pool`'s capacity.
-pub(crate) fn execute(art: &LoweredScript, pool: &mut Pool, cache: &mut RegCache) {
+/// Panics if the artifact references pool memory beyond `pool`'s capacity,
+/// or if `patches` does not match the artifact's patch points.
+pub(crate) fn execute(art: &LoweredScript, patches: &[u32], pool: &mut Pool, cache: &mut RegCache) {
     let raw = pool.raw_mut();
     assert!(
         art.pool_end <= raw.len(),
@@ -767,16 +852,39 @@ pub(crate) fn execute(art: &LoweredScript, pool: &mut Pool, cache: &mut RegCache
         art.pool_end,
         raw.len()
     );
+    assert_eq!(
+        patches.len(),
+        art.patch_points.len(),
+        "patch vector does not match the artifact's patch points"
+    );
     let base = raw.as_mut_ptr();
     let mut scratch = vec![0.0f32; art.scratch_len];
+    let mut next_patch = 0usize;
     // SAFETY: `base` comes from a unique `&mut` borrow of the pool held for
     // the whole loop; execution is single-threaded; and lowering asserted
     // that every op's written range is disjoint from its read ranges, so
-    // each iteration's shared/mutable views never alias. Register chunks
+    // each iteration's shared/mutable views never alias. Patching preserves
+    // both bounds and disjointness: a patched copy source stays below the
+    // persistent floor (covered by `pool_end`, and every write lands above
+    // the floor), and a patched label changes no pool range. Register chunks
     // live in `cache`, a separate allocation, and can never alias the pool.
     unsafe {
-        for op in &art.ops {
-            match *op {
+        for (i, op) in art.ops.iter().enumerate() {
+            let mut op = *op;
+            if next_patch < art.patch_points.len()
+                && art.patch_points[next_patch].op_index as usize == i
+            {
+                let value = patches[next_patch];
+                next_patch += 1;
+                match &mut op {
+                    MicroOp::Copy { src, .. } => *src = value,
+                    MicroOp::PickNls { label, .. } | MicroOp::PickNlsBwd { label, .. } => {
+                        *label = value
+                    }
+                    other => panic!("patch point targets unpatchable op {other:?}"),
+                }
+            }
+            match op {
                 MicroOp::MatVec {
                     chunk,
                     x,
@@ -980,8 +1088,8 @@ pub struct LoweredCacheStats {
 ///
 /// Level 1 memoizes [`LoweredPlan`]s by [`PlanSignature`] — obs counters
 /// `lower.cache_hit` / `lower.cache_miss` / `lower.cache_re_miss`. Level 2
-/// holds full [`LoweredScript`]s keyed by `(plan id, script fingerprint)`
-/// with bounded FIFO eviction — counters `lower.script.cache_hit` /
+/// holds full [`LoweredScript`]s keyed by `(plan id, structural script
+/// fingerprint)` with bounded FIFO eviction — counters `lower.script.cache_hit` /
 /// `lower.script.cache_miss` / `lower.script.cache_re_miss`. Time spent
 /// lowering accumulates in the `lower.ns` counter and lowered micro-ops per
 /// mnemonic in `lower.ops.<mnemonic>`.
@@ -1035,7 +1143,10 @@ impl LoweredCache {
         let lplan = self
             .plans
             .get_or_insert_with(plan.signature(), || LoweredPlan::build(plan));
-        let key = (plan.signature().plan_id(), gs.scripts.fingerprint());
+        let key = (
+            plan.signature().plan_id(),
+            gs.scripts.structural_fingerprint(gs.persistent_floor),
+        );
         if let Some(art) = self.scripts.get(&key) {
             self.script_hits += 1;
             vpps_obs::counter("lower.script.cache_hit").incr();
@@ -1142,7 +1253,7 @@ impl super::ExecutionBackend for Lowered {
             .lowered
             .as_ref()
             .expect("Lowered backend requires a session with a lowered artifact");
-        execute(art, pool, cache);
+        execute(art, &session.patches, pool, cache);
         let loss = pool.slice(session.loss_offset(), 1)[0];
         session.outcome(loss)
     }

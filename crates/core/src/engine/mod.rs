@@ -45,7 +45,9 @@ use crate::script::GeneratedScript;
 use crate::specialize::{GradStrategy, KernelPlan};
 
 pub use backends::{EventInterp, ParallelInterp, Threaded};
-pub use lowered::{Lowered, LoweredCache, LoweredCacheStats, LoweredPlan, LoweredScript, MicroOp};
+pub use lowered::{
+    Lowered, LoweredCache, LoweredCacheStats, LoweredPlan, LoweredScript, MicroOp, PatchPoint,
+};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use timeline::{ScriptCosts, TimelineReport};
 
@@ -135,6 +137,12 @@ pub struct Session<'a> {
     /// The lowered artifact, when this session was prepared for the
     /// [`Lowered`] backend (fresh or from a [`LoweredCache`]).
     pub lowered: Option<Arc<LoweredScript>>,
+    /// Per-request literal values for the artifact's patch points
+    /// ([`LoweredScript::extract_patches`]): this batch's embedding-row copy
+    /// sources and pick labels, applied by the lowered executor on top of
+    /// the (possibly shared) cached op stream. Empty for non-lowered
+    /// sessions and for artifacts with no patchable ops.
+    pub patches: Vec<u32>,
 }
 
 impl<'a> Session<'a> {
@@ -158,8 +166,11 @@ impl<'a> Session<'a> {
 
     /// Builds a session around an already-lowered artifact: the cached
     /// [`TimelineReport`] is reused instead of re-analyzing the scripts, so
-    /// warm-path prepares skip the whole event-driven sweep. Per-run obs is
-    /// recorded identically to [`Session::build`].
+    /// warm-path prepares skip the whole event-driven sweep. The artifact
+    /// may have been lowered from a *different* (structurally identical)
+    /// script — this batch's per-request literals are extracted from `gs`
+    /// into the session's patch vector, which re-targets the shared ops at
+    /// run time. Per-run obs is recorded identically to [`Session::build`].
     pub fn from_lowered(
         plan: &'a KernelPlan,
         gs: &'a GeneratedScript,
@@ -170,7 +181,10 @@ impl<'a> Session<'a> {
         let _span = vpps_obs::span("engine.prepare");
         let timeline = artifact.timeline.clone();
         timeline.record_obs(artifact.num_barriers);
-        Self::assemble(plan, gs, cfg, cost, timeline, Some(artifact))
+        let patches = artifact.extract_patches(gs);
+        let mut session = Self::assemble(plan, gs, cfg, cost, timeline, Some(artifact));
+        session.patches = patches;
+        session
     }
 
     /// The metrics arithmetic shared by [`Session::build`] and
@@ -234,6 +248,7 @@ impl<'a> Session<'a> {
             timeline,
             metrics,
             lowered,
+            patches: Vec::new(),
         }
     }
 

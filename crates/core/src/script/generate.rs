@@ -91,6 +91,15 @@ impl TableLayout {
         self.const_one
     }
 
+    /// First pool offset above the batch-invariant residents: every offset
+    /// strictly below this is an embedding-table row or the resident
+    /// constant (the layout allocates tables first, then the constant, then
+    /// freezes the floor). Copies that read below this floor are the
+    /// per-request literals the structural script fingerprint masks out.
+    pub fn persistent_floor(&self) -> u32 {
+        self.const_one.raw() + 1
+    }
+
     /// Total resident bytes (tables + constant).
     pub fn resident_bytes(&self) -> u64 {
         self.dims
@@ -152,6 +161,11 @@ pub struct GeneratedScript {
     pub backward_instructions: usize,
     /// Final accumulated load metric per VPP (load-balance diagnostics).
     pub vpp_loads: Vec<f64>,
+    /// The table layout's [`TableLayout::persistent_floor`] at generation
+    /// time: offsets below it are batch-invariant residents. Carried here so
+    /// downstream passes (structural fingerprinting, literal patching) don't
+    /// need the layout itself.
+    pub persistent_floor: u32,
 }
 
 /// Relative cost of matrix-chunk instructions in the load-balancing metric —
@@ -878,6 +892,7 @@ fn generate_inner(
         forward_instructions,
         backward_instructions,
         vpp_loads: emitter.loads,
+        persistent_floor: tables.persistent_floor(),
     })
 }
 

@@ -743,6 +743,55 @@ impl ScriptSet {
         h
     }
 
+    /// Structural fingerprint: like [`ScriptSet::fingerprint`], but with
+    /// the per-request literals masked out — `Copy` sources below the
+    /// pool's persistent floor (embedding-table rows and the resident
+    /// constant, picked by the request's token ids) and the gold-label
+    /// operand of `PickNls` / `PickNlsBwd`.
+    ///
+    /// Two script sets share a structural fingerprint exactly when they
+    /// differ only in those literals: same topology, same schedule, same
+    /// offsets for every batch-local tensor. A lowered artifact of one is
+    /// reusable for the other after patching the masked literals back in
+    /// ([`crate::engine::lowered::LoweredScript::extract_patches`]), which
+    /// is what lets a serving bucket's canonical super-graphs key one warm
+    /// cache entry instead of one per distinct request.
+    ///
+    /// Each maskable operand contributes a mask flag word *and* a value
+    /// word (zero when masked), so a masked stream can never collide with
+    /// an unmasked stream that happens to carry the sentinel value.
+    pub fn structural_fingerprint(&self, persistent_floor: u32) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |word: u32| {
+            for b in word.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.scripts.len() as u32);
+        for script in &self.scripts {
+            eat(script.len() as u32);
+            for instr in script {
+                eat(u32::from(instr.opcode()));
+                eat(instr.len_field());
+                let (ops, n) = instr.operands();
+                for (i, op) in ops[..n].iter().enumerate() {
+                    let masked = match instr {
+                        Instr::Copy { src, .. } => i == 0 && src.raw() < persistent_floor,
+                        Instr::PickNls { .. } => i == 2,
+                        Instr::PickNlsBwd { .. } => i == 3,
+                        _ => false,
+                    };
+                    eat(u32::from(masked));
+                    eat(if masked { 0 } else { *op });
+                }
+            }
+        }
+        h
+    }
+
     /// Size of the encoded form in bytes (what the host-to-device copy of
     /// paper §III-B2 transfers).
     pub fn encoded_bytes(&self) -> usize {

@@ -37,6 +37,12 @@ pub struct RequestCorpusConfig {
     /// Relative completion deadline applied to every request, in seconds.
     /// `None` disables deadlines.
     pub deadline_s: Option<f64>,
+    /// Size of the sample-seed pool. `0` draws a fresh random seed per
+    /// request (every graph unique). A positive pool pre-draws this many
+    /// seeds and picks each request's seed from it Zipf-skewed — the
+    /// realistic regime where popular inputs repeat, so requests co-batch
+    /// and warm the lowered script cache.
+    pub sample_pool: usize,
     /// RNG seed; the whole trace is a pure function of this config.
     pub seed: u64,
 }
@@ -50,6 +56,7 @@ impl Default for RequestCorpusConfig {
             rate_rps: 10_000.0,
             train_fraction: 0.0,
             deadline_s: None,
+            sample_pool: 0,
             seed: 7,
         }
     }
@@ -99,6 +106,10 @@ impl RequestCorpus {
         );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let tenant_dist = Zipf::new(cfg.tenants as usize, cfg.tenant_skew);
+        // Pre-drawn sample seeds: popular inputs repeat (Zipf over the
+        // pool), unlocking co-batching and warm lowered scripts downstream.
+        let pool: Vec<u64> = (0..cfg.sample_pool).map(|_| rng.gen()).collect();
+        let pool_dist = (!pool.is_empty()).then(|| Zipf::new(pool.len(), 1.0));
         let mut specs = Vec::with_capacity(cfg.requests);
         let mut clock = 0.0f64;
         for index in 0..cfg.requests {
@@ -108,7 +119,10 @@ impl RequestCorpus {
             clock += -(1.0 - u).ln() / cfg.rate_rps;
             let tenant = tenant_dist.sample(&mut rng) as u32;
             let train = cfg.train_fraction > 0.0 && rng.gen::<f64>() < cfg.train_fraction;
-            let sample_seed: u64 = rng.gen();
+            let sample_seed: u64 = match &pool_dist {
+                Some(d) => pool[d.sample(&mut rng)],
+                None => rng.gen(),
+            };
             specs.push(RequestSpec {
                 index,
                 tenant,
@@ -206,6 +220,34 @@ mod tests {
             ..RequestCorpusConfig::default()
         });
         assert!(none.specs.iter().all(|s| s.deadline_s.is_none()));
+    }
+
+    #[test]
+    fn sample_pool_repeats_popular_seeds() {
+        let pooled = RequestCorpus::generate(RequestCorpusConfig {
+            requests: 500,
+            sample_pool: 16,
+            ..RequestCorpusConfig::default()
+        });
+        let mut distinct: Vec<u64> = pooled.specs.iter().map(|s| s.sample_seed).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() <= 16,
+            "pool of 16 yielded {} distinct seeds",
+            distinct.len()
+        );
+        assert!(distinct.len() > 1, "a pool still has variety");
+        // Without a pool every request gets a unique seed (collisions in
+        // 500 draws from u64 are effectively impossible).
+        let fresh = RequestCorpus::generate(RequestCorpusConfig {
+            requests: 500,
+            ..RequestCorpusConfig::default()
+        });
+        let mut unique: Vec<u64> = fresh.specs.iter().map(|s| s.sample_seed).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 500);
     }
 
     #[test]

@@ -66,6 +66,13 @@ impl Graph {
         self.nodes.is_empty()
     }
 
+    /// Removes every node while keeping the node list's allocation, so a
+    /// scratch graph (e.g. a serving bucket's batch super-graph) can be
+    /// rebuilt every batch without reallocating.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
     /// Borrows a node.
     ///
     /// # Panics
@@ -287,6 +294,66 @@ impl Graph {
             .count()
     }
 
+    /// Stable 64-bit *structural* hash of the graph: topology (argument
+    /// edges), operation kinds, dimensions, parameter identities and lookup
+    /// *tables* — but not the per-request literals (input values, lookup
+    /// row indices, gold labels).
+    ///
+    /// Two graphs with equal structural hashes generate scripts that are
+    /// structurally identical in the
+    /// `ScriptSet::structural_fingerprint` sense: same instruction streams
+    /// up to the masked per-request literals. That makes this hash the
+    /// right batching key for warm-path reuse — requests sharing it can be
+    /// absorbed into canonical super-graphs that all land on one cached
+    /// lowered artifact.
+    pub fn structural_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |word: u64| {
+            for b in word.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.nodes.len() as u64);
+        for node in &self.nodes {
+            // Variant tag plus the structural payload; request literals
+            // (input values, lookup indices, labels) are deliberately
+            // excluded.
+            match &node.op {
+                Op::Input { .. } => eat(0),
+                Op::Lookup { table, .. } => {
+                    eat(1);
+                    eat(table.index() as u64);
+                }
+                Op::MatVec { w } => {
+                    eat(2);
+                    eat(w.index() as u64);
+                }
+                Op::AddBias { b } => {
+                    eat(3);
+                    eat(b.index() as u64);
+                }
+                Op::Add => eat(4),
+                Op::Sub => eat(5),
+                Op::Sum => eat(6),
+                Op::CwiseMult => eat(7),
+                Op::Tanh => eat(8),
+                Op::Sigmoid => eat(9),
+                Op::Relu => eat(10),
+                Op::Concat => eat(11),
+                Op::PickNegLogSoftmax { .. } => eat(12),
+            }
+            eat(node.dim as u64);
+            eat(node.args.len() as u64);
+            for a in &node.args {
+                eat(u64::from(a.0));
+            }
+        }
+        h
+    }
+
     /// Merges the node list of `other` into `self`, returning the remapped id
     /// of `other_root`. Used to build batch super-graphs from independently
     /// constructed per-input graphs.
@@ -383,6 +450,51 @@ mod tests {
         let x = g.input(vec![0.1, 0.2, 0.7]);
         let l = g.pick_neg_log_softmax(x, 1);
         assert_eq!(g.node(l).dim, 1);
+    }
+
+    #[test]
+    fn structural_hash_masks_request_literals() {
+        let mut m = Model::new(0);
+        let e = m.add_lookup("E", 10, 6);
+        let build = |index: usize, label: usize, values: Vec<f32>| {
+            let mut g = Graph::new();
+            let x = g.lookup(&m, e, index);
+            let v = g.input(values);
+            let t = g.tanh(x);
+            let c = g.concat(&[t, v]);
+            g.pick_neg_log_softmax(c, label);
+            g
+        };
+        let a = build(1, 0, vec![0.0; 2]);
+        let b = build(7, 1, vec![9.0, -3.0]);
+        assert_eq!(
+            a.structural_hash(),
+            b.structural_hash(),
+            "lookup rows, labels and input values are not structural"
+        );
+        // Topology changes the hash: same ops, different wiring.
+        let mut c = Graph::new();
+        let x = c.lookup(&m, e, 1);
+        let v = c.input(vec![0.0; 2]);
+        let t = c.tanh(x);
+        let cc = c.concat(&[v, t]);
+        c.pick_neg_log_softmax(cc, 0);
+        assert_ne!(a.structural_hash(), c.structural_hash());
+        // Dimensions are structural.
+        let d = build(1, 0, vec![0.0; 3]);
+        assert_ne!(a.structural_hash(), d.structural_hash());
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut g = Graph::new();
+        g.input(vec![1.0]);
+        g.input(vec![2.0]);
+        assert_eq!(g.len(), 2);
+        g.clear();
+        assert!(g.is_empty());
+        let x = g.input(vec![3.0]);
+        assert_eq!(x.index(), 0, "ids restart after clear");
     }
 
     #[test]

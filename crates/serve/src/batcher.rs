@@ -1,11 +1,17 @@
 //! Shape-bucketed batch formation.
 //!
 //! Requests are grouped into buckets keyed by (model, request kind, shape
-//! class); only requests from the same bucket are ever co-batched, so a
-//! batch never mixes kernel plans (each model has exactly one specialized
-//! plan signature) nor inference with training. Within a bucket, requests
-//! queue per tenant and batches are drawn round-robin across tenants, so a
-//! chatty tenant cannot starve a quiet one.
+//! class, graph structure); only requests from the same bucket are ever
+//! co-batched, so a batch never mixes kernel plans (each model has exactly
+//! one specialized plan signature) nor inference with training. The
+//! structure component ([`dyn_graph::Graph::structural_hash`]) makes every
+//! batch from one bucket absorb into the *same* super-graph shape — only
+//! request literals (lookup rows, labels, input values) differ — which is
+//! exactly what the lowered engine's structural script cache keys on:
+//! repeated buckets re-use the lowered artifact instead of re-lowering a
+//! batch that differs only in literals. Within a bucket, requests queue per
+//! tenant and batches are drawn round-robin across tenants, so a chatty
+//! tenant cannot starve a quiet one.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -34,6 +40,11 @@ pub struct BucketKey {
     pub kind: RequestKind,
     /// [`shape_class`] of the request graph.
     pub shape: u32,
+    /// [`dyn_graph::Graph::structural_hash`] of the request graph: requests
+    /// co-batch only when their graphs are structurally identical, so the
+    /// absorbed super-graph is a pure function of (structure, batch size)
+    /// and warm lowered scripts can be reused across batches.
+    pub structure: u64,
 }
 
 /// One queued request awaiting batch formation.

@@ -1,0 +1,386 @@
+//! One virtual device shard: warm handles, a bounded deadline-aware batch
+//! queue, and serial execution on the virtual clock.
+//!
+//! A [`Device`] is the execution half of the sharded server. It owns one
+//! warm [`Handle`] (and therefore one lowered-artifact cache and one
+//! circuit breaker) per registered model, a scratch super-graph reused
+//! across batches, and a queue of formed batches. The device is serially
+//! occupied: a batch starts at `max(now, busy_until)`, and while the device
+//! is busy newly routed batches wait in the queue. When the device frees
+//! up, the *most deadline-urgent* queued batch runs next (FIFO among
+//! batches without deadlines), so a latency-constrained batch is never
+//! stuck behind best-effort work that happened to be formed first.
+//!
+//! Everything is deterministic: queue order is (earliest member deadline,
+//! enqueue sequence), and all timing comes from the simulated device inside
+//! each handle. The queue is bounded by construction — the server-wide
+//! admission bound counts queued-on-device members as outstanding, so no
+//! device queue can ever hold more than the admission capacity.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use dyn_graph::{Graph, Model};
+use gpu_sim::SimTime;
+use vpps::{Handle, LoweredCacheStats, VppsError};
+
+use crate::batcher::{BucketKey, Pending};
+use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker};
+use crate::policy::RecoveryConfig;
+use crate::request::RequestKind;
+
+/// Identifier of one virtual device (shard) inside a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub usize);
+
+/// Point-in-time numbers for one device, for reports and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceStats {
+    /// Device index.
+    pub id: usize,
+    /// Batches executed successfully.
+    pub batches: u64,
+    /// Batches whose dispatch returned a typed error.
+    pub failures: u64,
+    /// Accumulated service time (device-busy virtual time).
+    pub busy: SimTime,
+    /// Requests currently waiting in the device queue.
+    pub queued_members: usize,
+}
+
+/// A formed batch waiting for (or being handed to) a device.
+#[derive(Debug)]
+pub(crate) struct BatchJob {
+    /// Bucket the batch was drawn from.
+    pub key: BucketKey,
+    /// Members, in batch order.
+    pub batch: Vec<Pending>,
+    /// Virtual time the batch was formed (the dispatch timestamp reported
+    /// to completions; queue wait on the device is execution delay, not
+    /// batching delay).
+    pub formed_at: SimTime,
+    /// Enqueue sequence, the deterministic FIFO tie-break.
+    pub seq: u64,
+}
+
+impl BatchJob {
+    /// Earliest member deadline in nanoseconds; infinity means
+    /// unconstrained (sorts after every real deadline).
+    fn urgency_ns(&self) -> f64 {
+        self.batch
+            .iter()
+            .filter_map(|p| p.deadline.map(|t| t.as_ns()))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// What happened when the device executed (or refused) one queued batch.
+/// The server translates these into outcomes and accounting; the device
+/// itself never touches the outcome stream.
+#[derive(Debug)]
+pub(crate) enum DeviceEvent {
+    /// The batch executed successfully.
+    Executed {
+        key: BucketKey,
+        batch: Vec<Pending>,
+        outputs: Vec<Vec<f32>>,
+        dispatched_at: SimTime,
+        completed_at: SimTime,
+        service: SimTime,
+    },
+    /// The model's breaker was open: every member is shed.
+    BreakerShed { batch: Vec<Pending>, at: SimTime },
+    /// The dispatch returned a typed error. Members within their retry
+    /// budget were re-enqueued as singleton jobs (`retried`); the rest are
+    /// returned for a `RetryBudget` shed.
+    Failed {
+        dropped: Vec<Pending>,
+        retried: u64,
+        at: SimTime,
+    },
+}
+
+/// Per-(device, model) execution state: a full model replica behind a warm
+/// handle, plus the breaker guarding it.
+#[derive(Debug)]
+struct DeviceModel {
+    model: Model,
+    handle: Handle,
+    breaker: CircuitBreaker,
+    batches: u64,
+}
+
+/// One virtual device shard. See the module docs.
+#[derive(Debug)]
+pub struct Device {
+    id: DeviceId,
+    models: Vec<DeviceModel>,
+    queue: VecDeque<BatchJob>,
+    /// The device executes batches serially; the next batch starts no
+    /// earlier than this.
+    busy_until: SimTime,
+    /// Accumulated service time, for utilization reporting.
+    busy_total: SimTime,
+    executed: u64,
+    failures: u64,
+    next_seq: u64,
+    /// Scratch super-graph reused across batches: `clear()` keeps the node
+    /// allocation, so steady-state batch absorption does not allocate.
+    scratch: Graph,
+    /// Buckets this device has executed at least one batch of — i.e. whose
+    /// lowered scripts are warm in this device's caches. The router prefers
+    /// stealing toward devices that appear here.
+    seen: BTreeSet<BucketKey>,
+    recovery: RecoveryConfig,
+}
+
+impl Device {
+    pub(crate) fn new(id: DeviceId, recovery: RecoveryConfig) -> Self {
+        Self {
+            id,
+            models: Vec::new(),
+            queue: VecDeque::new(),
+            busy_until: SimTime::ZERO,
+            busy_total: SimTime::ZERO,
+            executed: 0,
+            failures: 0,
+            next_seq: 0,
+            scratch: Graph::new(),
+            seen: BTreeSet::new(),
+            recovery,
+        }
+    }
+
+    /// This device's id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// Registers one model replica behind a fresh warm handle.
+    pub(crate) fn add_model(&mut self, model: Model, handle: Handle) {
+        self.models.push(DeviceModel {
+            model,
+            handle,
+            breaker: CircuitBreaker::new(
+                self.recovery.breaker_threshold,
+                self.recovery.breaker_cooldown,
+            ),
+            batches: 0,
+        });
+    }
+
+    /// Requests currently waiting in the device queue.
+    pub fn queued_members(&self) -> usize {
+        self.queue.iter().map(|j| j.batch.len()).sum()
+    }
+
+    /// How far beyond `now` the device is already committed: the remainder
+    /// of the running batch plus an estimate for the queued ones (each
+    /// priced at this device's observed mean batch service time — queued
+    /// work must weigh into routing even though its true cost is unknown
+    /// until it runs, or the router would keep stacking batches behind a
+    /// busy device whose `busy_until` never moves while it has not run
+    /// them).
+    pub fn backlog(&self, now: SimTime) -> SimTime {
+        let busy = self.busy_until.max(now) - now;
+        let attempts = self.executed + self.failures;
+        if attempts == 0 || self.queue.is_empty() {
+            return busy;
+        }
+        let est_ns = self.busy_total.as_ns() / attempts as f64;
+        busy + SimTime::from_ns(est_ns * self.queue.len() as f64)
+    }
+
+    /// Earliest virtual time at which a queued batch can start, if any
+    /// batch is queued.
+    pub(crate) fn next_ready(&self) -> Option<SimTime> {
+        (!self.queue.is_empty()).then_some(self.busy_until)
+    }
+
+    /// Virtual time at which the running batch (if any) completes.
+    pub(crate) fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// `true` if this device has executed a batch from `key`'s bucket
+    /// before, i.e. its lowered scripts for that bucket are warm.
+    pub fn has_warm(&self, key: &BucketKey) -> bool {
+        self.seen.contains(key)
+    }
+
+    /// Point-in-time stats for reports.
+    pub fn stats(&self) -> DeviceStats {
+        DeviceStats {
+            id: self.id.0,
+            batches: self.executed,
+            failures: self.failures,
+            busy: self.busy_total,
+            queued_members: self.queued_members(),
+        }
+    }
+
+    /// Aggregated lowered-cache tallies across this device's warm handles.
+    pub fn lowered_cache_stats(&self) -> LoweredCacheStats {
+        let mut total = LoweredCacheStats::default();
+        for m in &self.models {
+            let s = m.handle.lowered_cache_stats();
+            total.plan_hits += s.plan_hits;
+            total.plan_misses += s.plan_misses;
+            total.plan_re_misses += s.plan_re_misses;
+            total.script_hits += s.script_hits;
+            total.script_misses += s.script_misses;
+            total.script_re_misses += s.script_re_misses;
+            total.script_evictions += s.script_evictions;
+        }
+        total
+    }
+
+    /// Breaker state of one model replica on this device.
+    pub fn breaker_state(&self, model: usize) -> BreakerState {
+        self.models[model].breaker.state()
+    }
+
+    /// Breaker transitions of one model replica on this device.
+    pub fn breaker_transitions(&self, model: usize) -> &[BreakerTransition] {
+        self.models[model].breaker.transitions()
+    }
+
+    pub(crate) fn handle(&self, model: usize) -> &Handle {
+        &self.models[model].handle
+    }
+
+    /// Queues one formed batch. Execution happens in [`Device::pump`].
+    pub(crate) fn enqueue(&mut self, mut job: BatchJob) {
+        job.seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push_back(job);
+        vpps_obs::gauge(&format!("serve.device.{}.queue_depth", self.id.0))
+            .set(self.queued_members() as f64);
+    }
+
+    /// Executes queued batches while the device is free at `now`, most
+    /// deadline-urgent first. Emits one [`DeviceEvent`] per batch taken off
+    /// the queue. Retry singletons from a failed batch re-enter the queue
+    /// and run at later pump calls (the failed attempt occupied the device,
+    /// so `busy_until` has moved past `now`).
+    pub(crate) fn pump(&mut self, now: SimTime, out: &mut Vec<DeviceEvent>) {
+        while self.busy_until <= now {
+            let Some(idx) = self.most_urgent() else { break };
+            let job = self.queue.remove(idx).expect("index from most_urgent");
+            self.run_job(job, now, out);
+        }
+        vpps_obs::gauge(&format!("serve.device.{}.queue_depth", self.id.0))
+            .set(self.queued_members() as f64);
+    }
+
+    /// Index of the queued job to run next: earliest member deadline, then
+    /// enqueue order (deadline-free jobs sort last among ties).
+    fn most_urgent(&self) -> Option<usize> {
+        let mut best: Option<(f64, u64, usize)> = None;
+        for (i, j) in self.queue.iter().enumerate() {
+            let d = j.urgency_ns();
+            let better = match best {
+                None => true,
+                Some((bd, bs, _)) => d < bd || (d == bd && j.seq < bs),
+            };
+            if better {
+                best = Some((d, j.seq, i));
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Executes one batch: breaker gate, absorb into the scratch
+    /// super-graph, one persistent-kernel launch on the model's warm handle.
+    fn run_job(&mut self, job: BatchJob, now: SimTime, out: &mut Vec<DeviceEvent>) {
+        let BatchJob {
+            key,
+            batch,
+            formed_at,
+            ..
+        } = job;
+        let dm = &mut self.models[key.model.0];
+        if !dm.breaker.allow(now) {
+            out.push(DeviceEvent::BreakerShed { batch, at: now });
+            return;
+        }
+
+        // The attempt lowers (or reuses) the bucket's scripts either way,
+        // so the bucket counts as warm here from now on.
+        self.seen.insert(key);
+
+        // Absorb the request graphs into one super-graph: one generated
+        // script, one kernel launch, one prologue weight load for the lot.
+        // The scratch graph keeps its allocation across batches.
+        self.scratch.clear();
+        let sg = &mut self.scratch;
+        let roots: Vec<_> = batch.iter().map(|p| sg.absorb(&p.graph, p.root)).collect();
+        let start = now.max(self.busy_until);
+        let wall_before = dm.handle.wall_time();
+        let result: Result<Vec<Vec<f32>>, VppsError> = match key.kind {
+            RequestKind::Infer => dm.handle.try_infer_many(&mut dm.model, sg, &roots),
+            RequestKind::Train => {
+                let loss_root = if roots.len() == 1 {
+                    roots[0]
+                } else {
+                    sg.sum(&roots)
+                };
+                dm.handle.try_fb(&mut dm.model, sg, loss_root).map(|_| {
+                    let loss = dm.handle.sync_get_latest_loss();
+                    vec![vec![loss]; batch.len()]
+                })
+            }
+        };
+        // Failed dispatches still occupied the device (faulted attempts,
+        // watchdog waits, backoff): service time is the wall delta either way.
+        let service = dm.handle.wall_time() - wall_before;
+        let completed_at = start + service;
+        self.busy_until = completed_at;
+        self.busy_total += service;
+
+        match result {
+            Ok(outputs) => {
+                dm.breaker.record_success(now);
+                dm.batches += 1;
+                self.executed += 1;
+                out.push(DeviceEvent::Executed {
+                    key,
+                    batch,
+                    outputs,
+                    dispatched_at: formed_at,
+                    completed_at,
+                    service,
+                });
+            }
+            Err(_) => {
+                dm.breaker.record_failure(now);
+                self.failures += 1;
+                let budget = self.recovery.retry_budget;
+                let mut dropped = Vec::new();
+                let mut retried = 0u64;
+                for mut p in batch {
+                    p.retries += 1;
+                    if p.retries > budget {
+                        dropped.push(p);
+                    } else {
+                        // Singleton re-execution: a multi-request batch that
+                        // faulted may contain one poisoned graph; isolating
+                        // members means at most that one keeps failing while
+                        // the rest complete.
+                        retried += 1;
+                        self.enqueue(BatchJob {
+                            key,
+                            batch: vec![p],
+                            formed_at,
+                            seq: 0, // assigned by enqueue
+                        });
+                    }
+                }
+                out.push(DeviceEvent::Failed {
+                    dropped,
+                    retried,
+                    at: now,
+                });
+            }
+        }
+    }
+}

@@ -29,23 +29,33 @@
 //!   retry budget, and the handle's own recovery ladder keeps the common
 //!   case invisible. One poisoned tenant graph cannot starve the batch
 //!   loop.
+//! * **Sharded serving** ([`ShardPolicy`], [`Device`], [`Router`]) — the
+//!   server scales across N virtual devices, each owning warm per-model
+//!   handles (and therefore its own lowered-artifact caches), a bounded
+//!   deadline-aware batch queue, and a serial execution timeline. A
+//!   plan-affinity router keeps each bucket on the device whose caches are
+//!   hot for it and steals work to the least-loaded device only when the
+//!   backlog gap exceeds [`ShardPolicy::steal_margin`].
 //! * **Determinism**: the whole server is a discrete-event simulation on
 //!   [`gpu_sim::SimTime`]. Same request stream in, byte-identical outcome
-//!   stream out — see [`Server`].
+//!   stream out — for any device count — see [`Server`].
 //! * **Reports** ([`ServeReport`]) with exact latency quantiles, goodput,
 //!   and batch-size distribution, plus the versioned `BENCH_serve.json`
 //!   trajectory ([`write_serve_summary`]).
 
 pub mod batcher;
 pub mod breaker;
+pub mod device;
 pub mod policy;
 pub mod report;
 pub mod request;
+pub mod router;
 pub mod server;
 
 pub use batcher::{shape_class, BucketKey};
 pub use breaker::{BreakerState, BreakerTransition, CircuitBreaker};
-pub use policy::{AdmissionPolicy, BatchPolicy, RecoveryConfig, ServeConfig};
+pub use device::{Device, DeviceId, DeviceStats};
+pub use policy::{AdmissionPolicy, BatchPolicy, RecoveryConfig, ServeConfig, ShardPolicy};
 pub use report::{
     serve_summary_json, validate_serve_summary, write_serve_summary, LatencyStats, ServeRecord,
     ServeReport,
@@ -53,4 +63,5 @@ pub use report::{
 pub use request::{
     Completion, ModelId, Outcome, Request, RequestId, RequestKind, Shed, ShedReason, TenantId,
 };
+pub use router::{Router, RouterStats};
 pub use server::{Admission, Server};

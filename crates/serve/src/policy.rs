@@ -96,6 +96,34 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// Sharding policy: how many virtual devices the server runs and when the
+/// router moves a batch off its cache-affine device.
+///
+/// Every registered model gets one warm handle (and therefore one lowered
+/// artifact cache) *per device*. The router prefers the device that served a
+/// bucket before — plan and script caches there are hot — and steals the
+/// batch to the least-loaded device only when the affinity device's backlog
+/// justifies paying a cold lowering pass elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPolicy {
+    /// Number of virtual devices. `1` reproduces the unsharded server
+    /// exactly.
+    pub devices: usize,
+    /// Backlog gap before work stealing: a batch leaves its affinity device
+    /// when that device's backlog exceeds the least-loaded device's backlog
+    /// by more than this margin.
+    pub steal_margin: SimTime,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        Self {
+            devices: 1,
+            steal_margin: SimTime::from_us(50.0),
+        }
+    }
+}
+
 /// Full server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -109,6 +137,8 @@ pub struct ServeConfig {
     pub admission: AdmissionPolicy,
     /// Serving-side recovery policy (breaker + retry budgets).
     pub recovery: RecoveryConfig,
+    /// Sharding policy (device count + work-stealing margin).
+    pub shard: ShardPolicy,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +149,7 @@ impl Default for ServeConfig {
             batch: BatchPolicy::default(),
             admission: AdmissionPolicy::default(),
             recovery: RecoveryConfig::default(),
+            shard: ShardPolicy::default(),
         }
     }
 }

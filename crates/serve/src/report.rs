@@ -19,8 +19,9 @@ use crate::request::{Outcome, ShedReason};
 /// Schema identifier written into every serve trajectory.
 pub const SCHEMA: &str = "vpps-serve-trajectory";
 
-/// Current schema version.
-pub const VERSION: u64 = 1;
+/// Current schema version. v2 added the lowered script-cache counters
+/// (`script_hits` / `script_misses` / `script_re_misses`) to every record.
+pub const VERSION: u64 = 2;
 
 /// Exact latency quantiles over one stage, in microseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -209,6 +210,14 @@ pub struct ServeRecord {
     pub backend: String,
     /// Offered load in requests per simulated second (0 when closed-loop).
     pub offered_rps: f64,
+    /// Lowered script-cache hits across the run's warm handles (0 on
+    /// non-lowered backends).
+    pub script_hits: u64,
+    /// Lowered script-cache misses (cold lowering passes).
+    pub script_misses: u64,
+    /// Structural re-misses: a previously cached script lowered again — a
+    /// cache-keying regression when nonzero under a repeating workload.
+    pub script_re_misses: u64,
     /// The measured numbers.
     pub report: ServeReport,
 }
@@ -219,6 +228,9 @@ impl ServeRecord {
         o.set("label", Json::from(self.label.as_str()));
         o.set("backend", Json::from(self.backend.as_str()));
         o.set("offered_rps", Json::Num(self.offered_rps));
+        o.set("script_hits", Json::from(self.script_hits));
+        o.set("script_misses", Json::from(self.script_misses));
+        o.set("script_re_misses", Json::from(self.script_re_misses));
         o.set("report", self.report.to_json());
         o
     }
@@ -296,6 +308,11 @@ pub fn validate_serve_summary(text: &str) -> Result<(), String> {
         rec.get("offered_rps")
             .and_then(Json::as_f64)
             .ok_or_else(|| err("missing number \"offered_rps\""))?;
+        for key in ["script_hits", "script_misses", "script_re_misses"] {
+            rec.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err(&format!("missing u64 {key:?}")))?;
+        }
         let report = rec
             .get("report")
             .ok_or_else(|| err("missing object \"report\""))?;
@@ -411,12 +428,16 @@ mod tests {
             label: "batching".into(),
             backend: "event-interp".into(),
             offered_rps: 1000.0,
+            script_hits: 12,
+            script_misses: 3,
+            script_re_misses: 0,
             report: ServeReport::from_outcomes(&outcomes),
         };
         let json = serve_summary_json("serve", &[rec]);
         validate_serve_summary(&json).unwrap();
         assert!(json.contains("\"experiment\":\"serve\""));
         assert!(json.contains("\"goodput_rps\""));
+        assert!(json.contains("\"script_hits\":12"));
         assert!(validate_serve_summary(&json.replace(SCHEMA, "nope")).is_err());
         assert!(validate_serve_summary("{}").is_err());
     }

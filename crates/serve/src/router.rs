@@ -1,0 +1,117 @@
+//! Plan-affinity batch placement with bounded work stealing.
+//!
+//! The router decides which [`crate::Device`] runs each formed batch. Its
+//! goal is to keep the lowered-artifact caches hot: a bucket that executed
+//! on device *d* before has a warm plan and script cache *on d only*, so
+//! sending it anywhere else pays a cold lowering pass. Placement therefore
+//! prefers the bucket's **affinity device** (where it last ran) and moves
+//! the batch — a *steal* — only when the affinity device's backlog exceeds
+//! the least-loaded device's backlog by more than
+//! [`crate::ShardPolicy::steal_margin`], i.e. when the queueing delay saved
+//! clearly outweighs the re-lowering cost.
+//!
+//! All decisions are pure functions of (bucket key, device backlogs, the
+//! affinity map), and ties break toward the lowest device id, so routing is
+//! deterministic for a given request trace and device count.
+
+use std::collections::BTreeMap;
+
+use gpu_sim::SimTime;
+
+use crate::batcher::BucketKey;
+use crate::device::{Device, DeviceId};
+
+/// Routing tallies, for reports and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Batches routed in total.
+    pub routed: u64,
+    /// First-seen buckets placed on the least-loaded device.
+    pub placements: u64,
+    /// Batches sent to their warm affinity device.
+    pub affinity_hits: u64,
+    /// Batches stolen away from an overloaded affinity device.
+    pub steals: u64,
+}
+
+/// Deterministic plan-affinity router. See the module docs.
+#[derive(Debug, Default)]
+pub struct Router {
+    affinity: BTreeMap<BucketKey, DeviceId>,
+    stats: RouterStats,
+}
+
+impl Router {
+    /// Picks the device for one formed batch and updates the tallies.
+    ///
+    /// A steal *re-homes* the bucket: the thief lowers the bucket's scripts
+    /// once and every later batch of that bucket hits its warm cache, so a
+    /// migrated hot bucket pays one cold pass instead of scattering cold
+    /// lookups across the fleet on every steal. Steals are also
+    /// *cache-aware*: among the candidate thieves, a device that has run
+    /// this bucket before (warm scripts) wins over the globally
+    /// least-loaded one as long as its backlog is within `steal_margin` of
+    /// the minimum, so repeat migrations bounce between warm replicas
+    /// instead of paying a fresh lowering pass each time.
+    pub fn route(
+        &mut self,
+        key: BucketKey,
+        now: SimTime,
+        steal_margin: SimTime,
+        devices: &[Device],
+    ) -> DeviceId {
+        debug_assert!(!devices.is_empty());
+        self.stats.routed += 1;
+        let least = devices
+            .iter()
+            .min_by(|a, b| {
+                a.backlog(now)
+                    .as_ns()
+                    .partial_cmp(&b.backlog(now).as_ns())
+                    .expect("finite backlogs")
+                    .then(a.id().cmp(&b.id()))
+            })
+            .expect("at least one device")
+            .id();
+        match self.affinity.get(&key).copied() {
+            None => {
+                self.affinity.insert(key, least);
+                self.stats.placements += 1;
+                least
+            }
+            Some(home) => {
+                let home_backlog = devices[home.0].backlog(now);
+                let least_backlog = devices[least.0].backlog(now);
+                if home_backlog.as_ns() > (least_backlog + steal_margin).as_ns() {
+                    let target = devices
+                        .iter()
+                        .filter(|d| d.id() != home && d.has_warm(&key))
+                        .min_by(|a, b| {
+                            a.backlog(now)
+                                .as_ns()
+                                .partial_cmp(&b.backlog(now).as_ns())
+                                .expect("finite backlogs")
+                                .then(a.id().cmp(&b.id()))
+                        })
+                        .map(Device::id)
+                        .filter(|warm| {
+                            devices[warm.0].backlog(now).as_ns()
+                                <= (least_backlog + steal_margin).as_ns()
+                        })
+                        .unwrap_or(least);
+                    self.stats.steals += 1;
+                    self.affinity.insert(key, target);
+                    target
+                } else {
+                    self.stats.affinity_hits += 1;
+                    home
+                }
+            }
+        }
+    }
+
+    /// Routing tallies so far.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+}

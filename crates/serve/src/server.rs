@@ -6,7 +6,7 @@
 //! warm [`Handle`]. Nothing reads the wall clock and every container is
 //! ordered (`BTreeMap`, `Vec`), so two runs over the same request sequence
 //! produce byte-identical outcome streams — the property the serving
-//! benchmarks and the proptest invariants lean on.
+//! benchmarks and the proptest invariants lean on — for *any* device count.
 //!
 //! Life of a request:
 //!
@@ -14,31 +14,38 @@
 //!    per-tenant quota, dead-on-arrival deadline check. Rejections are shed
 //!    immediately (backpressure).
 //! 2. **Bucketing** — admitted requests join the bucket keyed by
-//!    (model, kind, [`shape_class`]); only same-bucket requests co-batch,
-//!    so a batch never mixes specialization plans.
+//!    (model, kind, [`shape_class`], structural hash); only same-bucket
+//!    requests co-batch, so a batch never mixes specialization plans and
+//!    every batch from one bucket lowers to the same cached script.
 //! 3. **Batch formation** — a bucket flushes when full
 //!    ([`crate::BatchPolicy::max_batch`]), when its oldest request has
 //!    lingered [`crate::BatchPolicy::max_linger`], or (deadline-aware) when
 //!    a member's deadline is about to expire.
-//! 4. **Dispatch** — the batch's graphs are absorbed into one super-graph
-//!    and executed with **one** persistent-kernel launch on the model's warm
-//!    handle ([`Handle::infer_many`] / [`Handle::fb`]); the prologue weight
-//!    load is paid once per batch, which is where batching wins. The device
-//!    is serially occupied: a batch starts at `max(now, busy_until)`.
+//! 4. **Routing** — the formed batch goes to a [`Device`] picked by the
+//!    plan-affinity [`Router`]: the device that served the bucket before
+//!    (warm lowered caches) unless its backlog justifies stealing the batch
+//!    to the least-loaded device ([`crate::ShardPolicy::steal_margin`]).
+//! 5. **Execution** — the device absorbs the batch's graphs into one
+//!    super-graph and runs **one** persistent-kernel launch on the model's
+//!    warm handle; the prologue weight load is paid once per batch, which is
+//!    where batching wins. Each device is serially occupied and drains its
+//!    queue most-deadline-urgent first.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
-use dyn_graph::{Graph, Model};
+use dyn_graph::Model;
 use gpu_sim::SimTime;
-use vpps::{Handle, PlanSignature, RecoveryStats, VppsError};
+use vpps::{Handle, LoweredCacheStats, PlanSignature, RecoveryStats, VppsError};
 
 use crate::batcher::{shape_class, Bucket, BucketKey, Pending};
-use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker};
+use crate::breaker::{BreakerState, BreakerTransition};
+use crate::device::{BatchJob, Device, DeviceEvent, DeviceId, DeviceStats};
 use crate::policy::ServeConfig;
 use crate::request::{
-    Completion, ModelId, Outcome, Request, RequestId, RequestKind, Shed, ShedReason, TenantId,
+    Completion, ModelId, Outcome, Request, RequestId, Shed, ShedReason, TenantId,
 };
+use crate::router::{Router, RouterStats};
 
 /// Result of [`Server::submit`]: either queued for batching or shed at
 /// admission. Both variants carry the assigned id; the shed variant is also
@@ -65,28 +72,22 @@ impl Admission {
     }
 }
 
-/// A registered model with its always-warm VPPS handle.
+/// Registration-time facts about a model; execution state (replica weights,
+/// warm handles, breakers) lives per device.
 #[derive(Debug)]
-struct WarmModel {
+struct RegisteredModel {
     name: String,
-    model: Model,
-    handle: Handle,
     signature: PlanSignature,
-    /// The device executes batches serially; the next batch for this model
-    /// starts no earlier than this.
-    busy_until: SimTime,
-    batches: u64,
-    /// Per-model circuit breaker: opens after consecutive batch failures,
-    /// sheds while open, probes half-open after the cooldown.
-    breaker: CircuitBreaker,
 }
 
-/// Multi-tenant serving engine over warm VPPS handles. See the module docs
-/// for the event model.
+/// Multi-tenant serving engine over warm VPPS handles, sharded across one or
+/// more virtual [`Device`]s. See the module docs for the event model.
 #[derive(Debug)]
 pub struct Server {
     cfg: ServeConfig,
-    models: Vec<WarmModel>,
+    registry: Vec<RegisteredModel>,
+    devices: Vec<Device>,
+    router: Router,
     /// Distinct plan signatures seen across registrations: a repeat
     /// signature means the JIT program compile would be served from the
     /// specialization cache.
@@ -111,16 +112,23 @@ pub struct Server {
 }
 
 impl Server {
-    /// Creates an empty server (no models registered).
+    /// Creates an empty server (no models registered) with
+    /// `cfg.shard.devices` virtual devices.
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.batch.max_batch` is zero.
+    /// Panics if `cfg.batch.max_batch` or `cfg.shard.devices` is zero.
     pub fn new(cfg: ServeConfig) -> Self {
         assert!(cfg.batch.max_batch > 0, "max_batch must be at least 1");
+        assert!(cfg.shard.devices > 0, "need at least one device");
+        let devices = (0..cfg.shard.devices)
+            .map(|i| Device::new(DeviceId(i), cfg.recovery))
+            .collect();
         Self {
             cfg,
-            models: Vec::new(),
+            registry: Vec::new(),
+            devices,
+            router: Router::default(),
             known_plans: BTreeSet::new(),
             buckets: BTreeMap::new(),
             now: SimTime::ZERO,
@@ -135,37 +143,43 @@ impl Server {
         }
     }
 
-    /// Registers a model: specializes its kernel plan and keeps the handle
-    /// warm for the server's lifetime, so JIT cost is paid at registration —
-    /// once per plan — and never on the request path. Registering a second
-    /// model with an identical [`PlanSignature`] pays only the module load
-    /// (the program compile hits the specialization cache).
+    /// Registers a model: specializes its kernel plan and keeps one warm
+    /// handle (and one model replica) *per device*, so JIT cost is paid at
+    /// registration — once per plan, plus a module load per extra device —
+    /// and never on the request path. Registering a second model with an
+    /// identical [`PlanSignature`] pays only module loads (the program
+    /// compile hits the specialization cache).
     ///
     /// # Errors
     ///
-    /// Propagates plan-construction failures from [`Handle::new`].
+    /// Propagates plan-construction failures from [`Handle::new`]. On error
+    /// no device state changes.
     pub fn register_model(&mut self, name: &str, model: Model) -> Result<ModelId, VppsError> {
-        let handle = Handle::new(&model, self.cfg.device.clone(), self.cfg.opts)?;
-        let signature = handle.plan().signature().clone();
-        let jit = handle.jit_cost();
-        if self.known_plans.insert(signature.clone()) {
-            self.jit_paid += jit.program_compile + jit.module_load;
-            vpps_obs::counter("serve.jit.compiles").incr();
-        } else {
-            self.jit_paid += jit.module_load;
-            vpps_obs::counter("serve.jit.cache_hits").incr();
+        // Build every per-device handle before touching any state, so a
+        // failure cannot leave some devices knowing the model.
+        let mut handles = Vec::with_capacity(self.devices.len());
+        for _ in 0..self.devices.len() {
+            handles.push(Handle::new(&model, self.cfg.device.clone(), self.cfg.opts)?);
         }
-        let id = ModelId(self.models.len());
-        let rc = self.cfg.recovery;
-        self.models.push(WarmModel {
+        let signature = handles[0].plan().signature().clone();
+        for handle in &handles {
+            let jit = handle.jit_cost();
+            if self.known_plans.insert(signature.clone()) {
+                self.jit_paid += jit.program_compile + jit.module_load;
+                vpps_obs::counter("serve.jit.compiles").incr();
+            } else {
+                self.jit_paid += jit.module_load;
+                vpps_obs::counter("serve.jit.cache_hits").incr();
+            }
+        }
+        let id = ModelId(self.registry.len());
+        self.registry.push(RegisteredModel {
             name: name.to_owned(),
-            model,
-            handle,
             signature,
-            busy_until: SimTime::ZERO,
-            batches: 0,
-            breaker: CircuitBreaker::new(rc.breaker_threshold, rc.breaker_cooldown),
         });
+        for (device, handle) in self.devices.iter_mut().zip(handles) {
+            device.add_model(model.clone(), handle);
+        }
         Ok(id)
     }
 
@@ -174,17 +188,26 @@ impl Server {
         self.now
     }
 
-    /// Number of admitted requests not yet dispatched.
+    /// Number of admitted requests still in batch-formation buckets (formed
+    /// batches waiting on a device queue count via [`Server::outstanding`],
+    /// not here).
     pub fn queue_depth(&self) -> usize {
         self.queued
     }
 
+    /// Requests sitting in formed batches on device queues.
+    fn device_queued(&self) -> usize {
+        self.devices.iter().map(Device::queued_members).sum()
+    }
+
     /// Number of admitted requests not yet *finished* at the current
-    /// virtual time: queued plus dispatched-but-executing. This is the
-    /// quantity the server-wide admission bound applies to.
+    /// virtual time: bucket-queued, device-queued, or dispatched but still
+    /// executing. This is the quantity the server-wide admission bound
+    /// applies to.
     pub fn outstanding(&self) -> usize {
         let now_bits = self.now.as_ns().to_bits();
         self.queued
+            + self.device_queued()
             + self
                 .inflight
                 .iter()
@@ -206,12 +229,12 @@ impl Server {
 
     /// Registered name of a model.
     pub fn model_name(&self, id: ModelId) -> &str {
-        &self.models[id.0].name
+        &self.registry[id.0].name
     }
 
     /// Plan signature of a registered model (the specialization-cache key).
     pub fn plan_signature(&self, id: ModelId) -> &PlanSignature {
-        &self.models[id.0].signature
+        &self.registry[id.0].signature
     }
 
     /// Total modeled JIT time paid across registrations (cache hits pay
@@ -230,12 +253,45 @@ impl Server {
         self.batches
     }
 
+    /// Number of virtual devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Point-in-time stats per device, in device order.
+    pub fn device_stats(&self) -> Vec<DeviceStats> {
+        self.devices.iter().map(Device::stats).collect()
+    }
+
+    /// Routing tallies (placements, affinity hits, steals).
+    pub fn router_stats(&self) -> RouterStats {
+        self.router.stats()
+    }
+
+    /// Lowered-artifact cache tallies summed over every warm handle on
+    /// every device. Only meaningful when the backend lowers
+    /// ([`vpps::BackendKind::Lowered`]); all-zero otherwise.
+    pub fn lowered_cache_stats(&self) -> LoweredCacheStats {
+        let mut total = LoweredCacheStats::default();
+        for d in &self.devices {
+            let s = d.lowered_cache_stats();
+            total.plan_hits += s.plan_hits;
+            total.plan_misses += s.plan_misses;
+            total.plan_re_misses += s.plan_re_misses;
+            total.script_hits += s.script_hits;
+            total.script_misses += s.script_misses;
+            total.script_re_misses += s.script_re_misses;
+            total.script_evictions += s.script_evictions;
+        }
+        total
+    }
+
     /// Submits one request. The clock first advances to the request's
-    /// arrival (firing any batch flushes due before it), then admission
-    /// control runs. Arrivals must be non-decreasing; an arrival in the past
-    /// is clamped to `now`. A request naming an unregistered model is shed
-    /// with [`ShedReason::UnknownModel`] — client input never panics the
-    /// server.
+    /// arrival (firing any batch flushes and device completions due before
+    /// it), then admission control runs. Arrivals must be non-decreasing; an
+    /// arrival in the past is clamped to `now`. A request naming an
+    /// unregistered model is shed with [`ShedReason::UnknownModel`] — client
+    /// input never panics the server.
     pub fn submit(&mut self, req: Request) -> Admission {
         self.run_until(req.arrival);
         self.settle_inflight();
@@ -244,11 +300,13 @@ impl Server {
         self.next_id += 1;
 
         let shed = |reason: ShedReason| Admission::Shed(id, reason);
-        let verdict = if req.model.0 >= self.models.len() {
+        let verdict = if req.model.0 >= self.registry.len() {
             shed(ShedReason::UnknownModel)
         } else if req.deadline.is_some_and(|d| d < arrival) {
             shed(ShedReason::DeadlineExpired)
-        } else if self.queued + self.inflight.len() >= self.cfg.admission.queue_capacity {
+        } else if self.queued + self.device_queued() + self.inflight.len()
+            >= self.cfg.admission.queue_capacity
+        {
             shed(ShedReason::QueueFull)
         } else if self
             .queued_per_tenant
@@ -277,6 +335,7 @@ impl Server {
                     model: req.model,
                     kind: req.kind,
                     shape: shape_class(req.graph.len()),
+                    structure: req.graph.structural_hash(),
                 };
                 self.buckets.entry(key).or_default().push(Pending {
                     id,
@@ -304,33 +363,87 @@ impl Server {
         verdict
     }
 
-    /// Advances the virtual clock to `t`, firing every linger/deadline
-    /// flush due on the way, in event-time order (ties broken by bucket key
-    /// order — deterministic).
+    /// Advances the virtual clock to `t`, firing every due event on the
+    /// way in event-time order: device completions (a busy device picking
+    /// up its next queued batch) and bucket linger/deadline flushes. Ties
+    /// break device-before-flush, then lowest device id / bucket key order
+    /// — deterministic.
     pub fn run_until(&mut self, t: SimTime) {
         loop {
-            let mut due: Option<(SimTime, BucketKey)> = None;
-            for (key, bucket) in &self.buckets {
-                if let Some(ft) = bucket.next_flush(self.cfg.batch.deadline_aware) {
-                    if ft <= t && due.is_none_or(|(dt, _)| ft < dt) {
-                        due = Some((ft, *key));
+            let mut due_dev: Option<(SimTime, usize)> = None;
+            for (i, d) in self.devices.iter().enumerate() {
+                if let Some(rt) = d.next_ready() {
+                    if rt <= t && due_dev.is_none_or(|(bt, _)| rt < bt) {
+                        due_dev = Some((rt, i));
                     }
                 }
             }
-            let Some((ft, key)) = due else { break };
-            self.now = self.now.max(ft);
-            self.flush_bucket(key);
+            let mut due_flush: Option<(SimTime, BucketKey)> = None;
+            for (key, bucket) in &self.buckets {
+                if let Some(ft) = bucket.next_flush(self.cfg.batch.deadline_aware) {
+                    if ft <= t && due_flush.is_none_or(|(bt, _)| ft < bt) {
+                        due_flush = Some((ft, *key));
+                    }
+                }
+            }
+            match (due_dev, due_flush) {
+                (None, None) => break,
+                (Some((rt, i)), None) => {
+                    self.now = self.now.max(rt);
+                    self.pump_device(i);
+                }
+                (None, Some((ft, key))) => {
+                    self.now = self.now.max(ft);
+                    self.flush_bucket(key);
+                }
+                (Some((rt, i)), Some((ft, key))) => {
+                    if rt.as_ns() <= ft.as_ns() {
+                        self.now = self.now.max(rt);
+                        self.pump_device(i);
+                    } else {
+                        self.now = self.now.max(ft);
+                        self.flush_bucket(key);
+                    }
+                }
+            }
         }
         self.now = self.now.max(t);
     }
 
     /// Flushes every remaining queued request immediately (end of the
     /// request stream: no point lingering for co-batchable arrivals that
-    /// will never come). After `drain` the queue is empty and every
-    /// submitted request has exactly one outcome.
+    /// will never come) and runs the devices until their queues empty.
+    /// After `drain` every submitted request has exactly one outcome.
     pub fn drain(&mut self) {
-        while let Some(key) = self.buckets.keys().next().copied() {
-            self.flush_bucket(key);
+        loop {
+            while let Some(key) = self.buckets.keys().next().copied() {
+                self.flush_bucket(key);
+            }
+            // flush_bucket pumps the routed device at the current time;
+            // whatever is still queued waits for a busy device. Advance to
+            // the earliest ready device and pump again.
+            let mut next: Option<SimTime> = None;
+            for d in &self.devices {
+                if let Some(rt) = d.next_ready() {
+                    next = Some(match next {
+                        Some(n) => n.min(rt),
+                        None => rt,
+                    });
+                }
+            }
+            let Some(rt) = next else { break };
+            self.now = self.now.max(rt);
+            for i in 0..self.devices.len() {
+                self.pump_device(i);
+            }
+        }
+        // Leave the server quiescent: the final batches still occupy their
+        // devices past the last event time. Advancing the clock to the
+        // moment every device is idle means a trace replayed after a drain
+        // starts from a skew-free state — its routing depends only on the
+        // new trace, not on which device happened to finish last.
+        for d in &self.devices {
+            self.now = self.now.max(d.busy_until());
         }
         vpps_obs::gauge("serve.queue_depth").set(0.0);
     }
@@ -341,9 +454,10 @@ impl Server {
         self.outcomes.push(Outcome::Shed(shed));
     }
 
-    /// Forms one batch from `key`'s bucket at the current virtual time and
-    /// executes it. Also sheds queued requests whose deadline already
-    /// passed. Removes the bucket when it empties.
+    /// Forms one batch from `key`'s bucket at the current virtual time,
+    /// routes it, and lets the target device run it if free. Also sheds
+    /// queued requests whose deadline already passed. Removes the bucket
+    /// when it empties.
     fn flush_bucket(&mut self, key: BucketKey) {
         let Some(bucket) = self.buckets.get_mut(&key) else {
             return;
@@ -372,121 +486,93 @@ impl Server {
         if batch.is_empty() {
             return;
         }
-        self.execute_batch(key, batch);
+        let target = self
+            .router
+            .route(key, self.now, self.cfg.shard.steal_margin, &self.devices);
+        self.devices[target.0].enqueue(BatchJob {
+            key,
+            batch,
+            formed_at: self.now,
+            seq: 0, // assigned by enqueue
+        });
+        self.pump_device(target.0);
     }
 
-    /// Dispatches one formed batch through the model's breaker and warm
-    /// handle. On a typed execution error the batch is *split*: members
-    /// within their retry budget are re-executed as singleton batches
-    /// (isolating a poisoned graph from healthy co-batched requests — it
-    /// never shares a launch again), the rest are shed with
-    /// [`ShedReason::RetryBudget`]. Recursion depth is bounded by
-    /// [`crate::RecoveryConfig::retry_budget`].
-    fn execute_batch(&mut self, key: BucketKey, batch: Vec<Pending>) {
-        let wm = &mut self.models[key.model.0];
-        if !wm.breaker.allow(self.now) {
-            let at = self.now;
-            for p in batch {
-                self.record_shed(Shed {
-                    id: p.id,
-                    tenant: p.tenant,
+    /// Lets one device execute whatever it can at the current virtual time
+    /// and folds the resulting events into outcomes and accounting.
+    fn pump_device(&mut self, idx: usize) {
+        let now = self.now;
+        let mut events = Vec::new();
+        self.devices[idx].pump(now, &mut events);
+        for ev in events {
+            match ev {
+                DeviceEvent::Executed {
+                    key,
+                    batch,
+                    outputs,
+                    dispatched_at,
+                    completed_at,
+                    service,
+                } => {
+                    self.batches += 1;
+                    for _ in 0..batch.len() {
+                        self.inflight.push(Reverse(completed_at.as_ns().to_bits()));
+                    }
+                    vpps_obs::counter("serve.batches").incr();
+                    vpps_obs::counter("serve.completed").add(batch.len() as u64);
+                    vpps_obs::histogram("serve.batch_size").record(batch.len() as u64);
+                    vpps_obs::histogram("serve.service_ns").record(service.as_ns() as u64);
+                    let batch_size = batch.len();
+                    for (p, output) in batch.into_iter().zip(outputs) {
+                        let in_deadline = p.deadline.is_none_or(|d| completed_at <= d);
+                        vpps_obs::histogram("serve.queue_wait_ns")
+                            .record((dispatched_at - p.arrival).as_ns() as u64);
+                        vpps_obs::histogram("serve.e2e_ns")
+                            .record((completed_at - p.arrival).as_ns() as u64);
+                        self.outcomes.push(Outcome::Completed(Completion {
+                            id: p.id,
+                            tenant: p.tenant,
+                            model: key.model,
+                            kind: key.kind,
+                            arrival: p.arrival,
+                            dispatched_at,
+                            completed_at,
+                            batch_size,
+                            output,
+                            in_deadline,
+                        }));
+                    }
+                }
+                DeviceEvent::BreakerShed { batch, at } => {
+                    for p in batch {
+                        self.record_shed(Shed {
+                            id: p.id,
+                            tenant: p.tenant,
+                            at,
+                            reason: ShedReason::BreakerOpen,
+                        });
+                    }
+                }
+                DeviceEvent::Failed {
+                    dropped,
+                    retried,
                     at,
-                    reason: ShedReason::BreakerOpen,
-                });
-            }
-            return;
-        }
-
-        // Absorb the request graphs into one super-graph: one generated
-        // script, one kernel launch, one prologue weight load for the lot.
-        let mut sg = Graph::new();
-        let roots: Vec<_> = batch.iter().map(|p| sg.absorb(&p.graph, p.root)).collect();
-        let dispatched_at = self.now;
-        let start = dispatched_at.max(wm.busy_until);
-        let wall_before = wm.handle.wall_time();
-        let result: Result<Vec<Vec<f32>>, VppsError> = match key.kind {
-            RequestKind::Infer => wm.handle.try_infer_many(&mut wm.model, &sg, &roots),
-            RequestKind::Train => {
-                let loss_root = if roots.len() == 1 {
-                    roots[0]
-                } else {
-                    sg.sum(&roots)
-                };
-                wm.handle.try_fb(&mut wm.model, &sg, loss_root).map(|_| {
-                    let loss = wm.handle.sync_get_latest_loss();
-                    vec![vec![loss]; batch.len()]
-                })
-            }
-        };
-        // Failed dispatches still occupied the device (faulted attempts,
-        // watchdog waits, backoff): service time is the wall delta either way.
-        let service = wm.handle.wall_time() - wall_before;
-        let completed_at = start + service;
-        wm.busy_until = completed_at;
-
-        let outputs = match result {
-            Ok(outputs) => {
-                wm.breaker.record_success(self.now);
-                outputs
-            }
-            Err(_) => {
-                wm.breaker.record_failure(self.now);
-                self.batch_failures += 1;
-                vpps_obs::counter("serve.batch_failures").incr();
-                let budget = self.cfg.recovery.retry_budget;
-                let mut retry = Vec::new();
-                let at = self.now;
-                for mut p in batch {
-                    p.retries += 1;
-                    if p.retries > budget {
+                } => {
+                    self.batch_failures += 1;
+                    vpps_obs::counter("serve.batch_failures").incr();
+                    for _ in 0..retried {
+                        vpps_obs::counter("serve.retried").incr();
+                    }
+                    for p in dropped {
                         self.record_shed(Shed {
                             id: p.id,
                             tenant: p.tenant,
                             at,
                             reason: ShedReason::RetryBudget,
                         });
-                    } else {
-                        retry.push(p);
                     }
                 }
-                // Singleton re-execution: a multi-request batch that faulted
-                // may contain one poisoned graph; isolating members means at
-                // most that one keeps failing while the rest complete.
-                for p in retry {
-                    vpps_obs::counter("serve.retried").incr();
-                    self.execute_batch(key, vec![p]);
-                }
-                return;
             }
-        };
-        wm.batches += 1;
-        self.batches += 1;
-        for _ in 0..batch.len() {
-            self.inflight.push(Reverse(completed_at.as_ns().to_bits()));
-        }
-
-        vpps_obs::counter("serve.batches").incr();
-        vpps_obs::counter("serve.completed").add(batch.len() as u64);
-        vpps_obs::histogram("serve.batch_size").record(batch.len() as u64);
-        vpps_obs::histogram("serve.service_ns").record(service.as_ns() as u64);
-        let batch_size = batch.len();
-        for (p, output) in batch.into_iter().zip(outputs) {
-            let in_deadline = p.deadline.is_none_or(|d| completed_at <= d);
-            vpps_obs::histogram("serve.queue_wait_ns")
-                .record((dispatched_at - p.arrival).as_ns() as u64);
-            vpps_obs::histogram("serve.e2e_ns").record((completed_at - p.arrival).as_ns() as u64);
-            self.outcomes.push(Outcome::Completed(Completion {
-                id: p.id,
-                tenant: p.tenant,
-                model: key.model,
-                kind: key.kind,
-                arrival: p.arrival,
-                dispatched_at,
-                completed_at,
-                batch_size,
-                output,
-                in_deadline,
-            }));
         }
     }
 
@@ -495,43 +581,50 @@ impl Server {
         self.batch_failures
     }
 
-    /// Current breaker state of a registered model.
+    /// Current breaker state of a registered model on device 0 (the only
+    /// device in unsharded configurations).
     pub fn breaker_state(&self, id: ModelId) -> BreakerState {
-        self.models[id.0].breaker.state()
+        self.devices[0].breaker_state(id.0)
     }
 
-    /// Every breaker transition of a registered model, in order.
+    /// Every breaker transition of a registered model on device 0, in order.
     pub fn breaker_transitions(&self, id: ModelId) -> &[BreakerTransition] {
-        self.models[id.0].breaker.transitions()
+        self.devices[0].breaker_transitions(id.0)
     }
 
-    /// Cumulative handle-level recovery activity of a registered model.
+    /// Cumulative handle-level recovery activity of a registered model on
+    /// device 0.
     pub fn recovery_stats(&self, id: ModelId) -> RecoveryStats {
-        self.models[id.0].handle.recovery_stats()
+        self.devices[0].handle(id.0).recovery_stats()
     }
 
-    /// Total faults injected into a registered model's handle (0 when fault
-    /// injection is not armed).
+    /// Total faults injected across every device's handle for a registered
+    /// model (0 when fault injection is not armed).
     pub fn faults_injected(&self, id: ModelId) -> u64 {
-        self.models[id.0]
-            .handle
-            .fault_profile()
-            .map_or(0, |p| p.total_injected())
+        self.devices
+            .iter()
+            .map(|d| {
+                d.handle(id.0)
+                    .fault_profile()
+                    .map_or(0, |p| p.total_injected())
+            })
+            .sum()
     }
 
-    /// The fault injector of a registered model's handle, when armed
-    /// (journal, per-kind counts — for chaos benches and reproducibility
-    /// checks).
+    /// The fault injector of a registered model's handle on device 0, when
+    /// armed (journal, per-kind counts — for chaos benches and
+    /// reproducibility checks).
     pub fn fault_profile(&self, id: ModelId) -> Option<&vpps::FaultProfile> {
-        self.models[id.0].handle.fault_profile()
+        self.devices[0].handle(id.0).fault_profile()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{AdmissionPolicy, BatchPolicy};
-    use dyn_graph::NodeId;
+    use crate::policy::{AdmissionPolicy, BatchPolicy, ShardPolicy};
+    use crate::request::RequestKind;
+    use dyn_graph::{Graph, NodeId};
     use gpu_sim::DeviceConfig;
 
     fn toy_model() -> (Model, dyn_graph::ParamId, dyn_graph::ParamId) {
@@ -575,6 +668,7 @@ mod tests {
             },
             admission: AdmissionPolicy::default(),
             recovery: crate::policy::RecoveryConfig::default(),
+            shard: ShardPolicy::default(),
         }
     }
 
@@ -661,6 +755,20 @@ mod tests {
             .filter_map(Outcome::completion)
             .collect();
         assert!(completions.iter().all(|c| c.batch_size == 1));
+    }
+
+    #[test]
+    fn different_structures_never_co_batch() {
+        let (m, w, cls) = toy_model();
+        let mut srv = Server::new(small_config());
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        // 1-step and 2-step graphs share a log2 shape class (5 vs 7 nodes,
+        // both class 3) but differ structurally, so they form separate
+        // buckets and each lowers to its own cached script.
+        srv.submit(infer_request(mid, &m, w, cls, 0, 1, 1.0));
+        srv.submit(infer_request(mid, &m, w, cls, 0, 2, 1.0));
+        srv.drain();
+        assert_eq!(srv.batches_dispatched(), 2);
     }
 
     #[test]
@@ -850,6 +958,49 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_inference_matches_single_device_bitwise() {
+        let outputs_for = |devices: usize| {
+            let (m, w, cls) = toy_model();
+            let mut cfg = small_config();
+            cfg.shard.devices = devices;
+            let mut srv = Server::new(cfg);
+            let mid = srv.register_model("toy", m.clone()).unwrap();
+            for i in 0..12 {
+                srv.submit(infer_request(
+                    mid,
+                    &m,
+                    w,
+                    cls,
+                    i % 3,
+                    1 + (i as usize) % 4,
+                    (i * 3) as f64,
+                ));
+            }
+            srv.drain();
+            let mut by_id: Vec<(u64, Vec<u32>)> = srv
+                .outcomes()
+                .iter()
+                .filter_map(Outcome::completion)
+                .map(|c| (c.id.0, c.output.iter().map(|x| x.to_bits()).collect()))
+                .collect();
+            by_id.sort();
+            (by_id, srv.router_stats(), srv.device_stats())
+        };
+        let (single, _, _) = outputs_for(1);
+        assert_eq!(single.len(), 12);
+        for devices in [2usize, 3] {
+            let (sharded, router, stats) = outputs_for(devices);
+            assert_eq!(sharded, single, "{devices}-device outputs diverge");
+            assert_eq!(stats.len(), devices);
+            assert!(router.routed > 0);
+            assert_eq!(
+                router.routed,
+                router.placements + router.affinity_hits + router.steals
+            );
+        }
     }
 
     #[test]

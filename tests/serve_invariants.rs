@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use dyn_graph::Model;
 use gpu_sim::{DeviceConfig, SimTime};
 use proptest::prelude::*;
+use vpps::BackendKind;
 use vpps_datasets::{Treebank, TreebankConfig};
 use vpps_models::{DynamicModel, TreeLstm};
 use vpps_serve::{
@@ -114,11 +115,17 @@ impl TwoModelWorkload {
     }
 }
 
-fn server_for(spec: &RunSpec, workload: &TwoModelWorkload) -> (Server, [ModelId; 2]) {
+fn server_for(
+    spec: &RunSpec,
+    workload: &TwoModelWorkload,
+    devices: usize,
+    backend: BackendKind,
+) -> (Server, [ModelId; 2]) {
     let cfg = ServeConfig {
         device: DeviceConfig::titan_v(),
         opts: vpps::VppsOptions {
             pool_capacity: 1 << 21,
+            backend,
             ..vpps::VppsOptions::default()
         },
         batch: BatchPolicy {
@@ -131,6 +138,10 @@ fn server_for(spec: &RunSpec, workload: &TwoModelWorkload) -> (Server, [ModelId;
             tenant_quota: spec.tenant_quota,
         },
         recovery: vpps_serve::RecoveryConfig::default(),
+        shard: vpps_serve::ShardPolicy {
+            devices,
+            ..vpps_serve::ShardPolicy::default()
+        },
     };
     let mut server = Server::new(cfg);
     let m0 = server
@@ -142,14 +153,16 @@ fn server_for(spec: &RunSpec, workload: &TwoModelWorkload) -> (Server, [ModelId;
     (server, [m0, m1])
 }
 
-/// Drives the whole trace through a server and returns it drained, plus the
-/// admission verdict for every request in submission order.
-fn run_trace(
+/// Submits the trace with every arrival (and deadline) shifted by `offset`,
+/// returning the admission verdicts in submission order.
+fn submit_trace(
+    server: &mut Server,
+    mids: [ModelId; 2],
     spec: &RunSpec,
     workload: &TwoModelWorkload,
-) -> (Server, [ModelId; 2], Vec<Admission>) {
-    let (mut server, mids) = server_for(spec, workload);
-    let mut clock = SimTime::ZERO;
+    offset: SimTime,
+) -> Vec<Admission> {
+    let mut clock = offset;
     let mut admissions = Vec::with_capacity(spec.reqs.len());
     for r in &spec.reqs {
         clock += SimTime::from_ns(f64::from(r.gap_ns));
@@ -171,8 +184,34 @@ fn run_trace(
             deadline,
         }));
     }
+    admissions
+}
+
+/// Drives the whole trace through a server and returns it drained, plus the
+/// admission verdict for every request in submission order.
+fn run_trace(
+    spec: &RunSpec,
+    workload: &TwoModelWorkload,
+    devices: usize,
+    backend: BackendKind,
+) -> (Server, [ModelId; 2], Vec<Admission>) {
+    let (mut server, mids) = server_for(spec, workload, devices, backend);
+    let admissions = submit_trace(&mut server, mids, spec, workload, SimTime::ZERO);
     server.drain();
     (server, mids, admissions)
+}
+
+/// Infer-only variant of a spec with admission wide open: every request
+/// completes, so output and cache comparisons see the whole trace.
+fn completing_spec(spec: &RunSpec) -> RunSpec {
+    let mut spec = spec.clone();
+    for r in &mut spec.reqs {
+        r.train = false;
+    }
+    spec.deadline_us = 0;
+    spec.queue_capacity = 10_000;
+    spec.tenant_quota = 10_000;
+    spec
 }
 
 proptest! {
@@ -183,7 +222,7 @@ proptest! {
     #[test]
     fn every_request_resolves_exactly_once(spec in arb_run()) {
         let workload = TwoModelWorkload::new();
-        let (server, _, admissions) = run_trace(&spec, &workload);
+        let (server, _, admissions) = run_trace(&spec, &workload, 1, BackendKind::default());
         prop_assert_eq!(server.outcomes().len(), spec.reqs.len(),
             "one outcome per submitted request");
         let mut seen = BTreeMap::new();
@@ -214,7 +253,7 @@ proptest! {
     #[test]
     fn batches_are_homogeneous_and_bounded(spec in arb_run()) {
         let workload = TwoModelWorkload::new();
-        let (server, mids, _) = run_trace(&spec, &workload);
+        let (server, mids, _) = run_trace(&spec, &workload, 1, BackendKind::default());
         prop_assert!(server.plan_signature(mids[0]) != server.plan_signature(mids[1]),
             "the two workload models must have distinct plans");
         let mut batches: BTreeMap<(usize, u64, u64), Vec<_>> = BTreeMap::new();
@@ -248,7 +287,7 @@ proptest! {
     #[test]
     fn linger_deadline_is_never_exceeded(spec in arb_run()) {
         let workload = TwoModelWorkload::new();
-        let (server, _, _) = run_trace(&spec, &workload);
+        let (server, _, _) = run_trace(&spec, &workload, 1, BackendKind::default());
         let linger = SimTime::from_us(f64::from(spec.linger_us));
         for o in server.outcomes() {
             if let Outcome::Completed(c) = o {
@@ -266,42 +305,79 @@ proptest! {
     /// request at a time.
     #[test]
     fn batched_inference_matches_serial_bitwise(spec in arb_run()) {
-        let mut spec = spec;
         // Inference only (training mutates weights, so request outputs
         // depend on everything executed before them), no deadline sheds,
         // and admission wide enough that both configurations keep
         // everything.
-        for r in &mut spec.reqs {
-            r.train = false;
-        }
-        spec.deadline_us = 0;
-        spec.queue_capacity = 10_000;
-        spec.tenant_quota = 10_000;
+        let spec = completing_spec(&spec);
         let mut serial = spec.clone();
         serial.max_batch = 1;
 
         let workload = TwoModelWorkload::new();
-        let (batched_srv, _, _) = run_trace(&spec, &workload);
-        let (serial_srv, _, _) = run_trace(&serial, &workload);
+        let (batched_srv, _, _) = run_trace(&spec, &workload, 1, BackendKind::default());
+        let (serial_srv, _, _) = run_trace(&serial, &workload, 1, BackendKind::default());
 
-        let outputs = |srv: &Server| -> BTreeMap<_, Vec<u32>> {
-            srv.outcomes()
-                .iter()
-                .filter_map(|o| match o {
-                    Outcome::Completed(c) => Some((
-                        c.id,
-                        c.output.iter().map(|v| v.to_bits()).collect(),
-                    )),
-                    Outcome::Shed(_) => None,
-                })
-                .collect()
-        };
-        let batched = outputs(&batched_srv);
-        let serial = outputs(&serial_srv);
+        let batched = completed_outputs(&batched_srv);
+        let serial = completed_outputs(&serial_srv);
         prop_assert_eq!(batched.len(), spec.reqs.len(), "batched run completed everything");
         prop_assert_eq!(serial.len(), spec.reqs.len(), "serial run completed everything");
         for (id, bits) in &batched {
             prop_assert_eq!(&serial[id], bits, "request {:?} differs from serial run", id);
         }
     }
+
+    /// Two batches drawn from the same bucket lower to the same script-cache
+    /// key: resubmitting an identical (time-shifted) trace re-forms the same
+    /// batches, and with the lowered backend every one of them must hit the
+    /// warm script cache instead of lowering again.
+    #[test]
+    fn repeated_traces_hit_the_warm_script_cache(spec in arb_run()) {
+        let spec = completing_spec(&spec);
+        let workload = TwoModelWorkload::new();
+        let (mut server, mids) = server_for(&spec, &workload, 1, BackendKind::Lowered);
+        submit_trace(&mut server, mids, &spec, &workload, SimTime::ZERO);
+        server.drain();
+        let cold = server.lowered_cache_stats();
+        // The trace is mus-scale; one second is safely past the drain.
+        let offset = SimTime::from_secs(1.0);
+        prop_assert!(server.now() < offset, "pass 1 ran past the replay offset");
+        submit_trace(&mut server, mids, &spec, &workload, offset);
+        server.drain();
+        let warm = server.lowered_cache_stats();
+        prop_assert_eq!(warm.script_misses, cold.script_misses,
+            "an identical resubmitted trace must not lower any new script");
+        prop_assert!(warm.script_hits > cold.script_hits,
+            "the replayed batches must hit the script cache");
+        prop_assert_eq!(warm.script_re_misses, 0, "structure-keyed buckets never re-miss");
+    }
+
+    /// Sharding changes placement, never numerics: an all-inference trace
+    /// produces bit-identical per-request outputs on any device count.
+    #[test]
+    fn sharded_execution_matches_single_device_bitwise(spec in arb_run(), devices in 2usize..5) {
+        let spec = completing_spec(&spec);
+        let workload = TwoModelWorkload::new();
+        let (single_srv, _, _) = run_trace(&spec, &workload, 1, BackendKind::default());
+        let (sharded_srv, _, _) = run_trace(&spec, &workload, devices, BackendKind::default());
+
+        let single = completed_outputs(&single_srv);
+        let sharded = completed_outputs(&sharded_srv);
+        prop_assert_eq!(single.len(), spec.reqs.len(), "single-device run completed everything");
+        prop_assert_eq!(sharded.len(), spec.reqs.len(), "sharded run completed everything");
+        for (id, bits) in &sharded {
+            prop_assert_eq!(&single[id], bits,
+                "request {:?} differs between {} devices and one", id, devices);
+        }
+    }
+}
+
+/// Per-request output bits of every completion in a drained server.
+fn completed_outputs(srv: &Server) -> BTreeMap<vpps_serve::RequestId, Vec<u32>> {
+    srv.outcomes()
+        .iter()
+        .filter_map(|o| match o {
+            Outcome::Completed(c) => Some((c.id, c.output.iter().map(|v| v.to_bits()).collect())),
+            Outcome::Shed(_) => None,
+        })
+        .collect()
 }
