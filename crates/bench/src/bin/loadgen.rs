@@ -19,6 +19,16 @@
 //! * `--emit=FILE` — write the run's `BENCH_*.json` trajectory document
 //!   (schema-validated) to FILE; with `--emit=-` print it to stdout.
 //!
+//! Tracing flags:
+//!
+//! * `--trace-sample=N` — trace every N-th request id (deterministic,
+//!   keyed on the id alone; 1 traces everything). Prints the analyzer's
+//!   per-phase p99 attribution and exits non-zero if the trace is
+//!   structurally unsound or anything was dropped.
+//! * `--emit-trace=FILE` — write the per-request Chrome-trace view (one
+//!   track per device, one per request; schema-validated) to FILE.
+//!   Implies `--trace-sample=1` unless a sample stride was given.
+//!
 //! Chaos flags:
 //!
 //! * `--fault-profile=SPEC` — arm deterministic fault injection on the
@@ -44,7 +54,8 @@ fn usage() -> ! {
          \x20              [--backend event-interp|threaded|parallel-interp]\n\
          \x20              [--label S] [--emit FILE|-] [--fail-on-shed]\n\
          \x20              [--verify-determinism] [--fault-profile SPEC]\n\
-         \x20              [--no-fallback] [--expect-recovery]"
+         \x20              [--no-fallback] [--expect-recovery]\n\
+         \x20              [--trace-sample N] [--emit-trace FILE]"
     );
     std::process::exit(2);
 }
@@ -52,6 +63,7 @@ fn usage() -> ! {
 struct Args {
     scenario: ServeScenario,
     emit: Option<String>,
+    emit_trace: Option<String>,
     fail_on_shed: bool,
     verify_determinism: bool,
     expect_recovery: bool,
@@ -63,6 +75,7 @@ fn parse_args() -> Args {
         ..ServeScenario::default()
     };
     let mut emit = None;
+    let mut emit_trace = None;
     let mut fail_on_shed = false;
     let mut verify_determinism = false;
     let mut expect_recovery = false;
@@ -117,6 +130,10 @@ fn parse_args() -> Args {
                 });
             }
             "--no-fallback" => sc.fallback = false,
+            "--trace-sample" => {
+                sc.trace_sample = Some((parse_num(value(&mut i, &arg)) as u64).max(1));
+            }
+            "--emit-trace" => emit_trace = Some(value(&mut i, &arg)),
             "--emit" => emit = Some(value(&mut i, &arg)),
             "--fail-on-shed" => fail_on_shed = true,
             "--verify-determinism" => verify_determinism = true,
@@ -129,24 +146,31 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
+    if emit_trace.is_some() && sc.trace_sample.is_none() {
+        sc.trace_sample = Some(1);
+    }
     Args {
         scenario: sc,
         emit,
+        emit_trace,
         fail_on_shed,
         verify_determinism,
         expect_recovery,
     }
 }
 
-/// One run plus the fault/recovery accounting `--expect-recovery` needs.
+/// One run plus the fault/recovery accounting `--expect-recovery` needs
+/// and the trace sink when tracing was armed.
 struct RunOutput {
     rec: ServeRecord,
     faults_injected: u64,
     recovery: vpps::RecoveryStats,
+    trace: Option<vpps_obs::TraceSink>,
 }
 
 fn run_once(sc: &ServeScenario) -> RunOutput {
-    let (server, mid, offered_rps) = run_scenario_server(sc);
+    let (mut server, mid, offered_rps) = run_scenario_server(sc);
+    let trace = server.take_trace();
     let cache = server.lowered_cache_stats();
     RunOutput {
         rec: ServeRecord {
@@ -160,6 +184,7 @@ fn run_once(sc: &ServeScenario) -> RunOutput {
         },
         faults_injected: server.fault_profile(mid).map_or(0, |p| p.total_injected()),
         recovery: server.recovery_stats(mid),
+        trace,
     }
 }
 
@@ -227,6 +252,51 @@ fn main() {
     }
 
     let mut failed = false;
+    if let Some(sink) = &out.trace {
+        let analysis = vpps_obs::TraceAnalysis::analyze(sink);
+        println!(
+            "  trace: {} events ({} dropped), {} timelines, {} batches, \
+             {} retries, {} steals (sample 1/{})",
+            analysis.events,
+            analysis.events_dropped,
+            analysis.timelines.len(),
+            analysis.batches,
+            analysis.retries,
+            analysis.steals,
+            sink.sample()
+        );
+        let o = &analysis.overall;
+        println!(
+            "  phase p99:   linger {:.1} us, queue {:.1} us, execute {:.1} us",
+            o.linger.p99_us, o.queue.p99_us, o.execute.p99_us
+        );
+        if !analysis.complete() {
+            for e in analysis.errors.iter().take(8) {
+                eprintln!("  trace error: {e}");
+            }
+            eprintln!(
+                "TRACE FAILURE: attribution incomplete ({} errors, {} events \
+                 dropped, {} host spans dropped)",
+                analysis.errors.len(),
+                analysis.events_dropped,
+                analysis.host_spans_dropped
+            );
+            failed = true;
+        }
+        if let Some(path) = &args.emit_trace {
+            let view = analysis.to_chrome().to_json();
+            if let Err(e) = vpps_obs::validate_chrome_trace(&view) {
+                eprintln!("per-request trace view failed self-validation: {e}");
+                failed = true;
+            } else {
+                std::fs::write(path, &view).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                println!("per-request trace view -> {path}");
+            }
+        }
+    }
     if args.verify_determinism {
         let again = run_once(&args.scenario).rec;
         let json2 = serve_summary_json(&args.scenario.label, std::slice::from_ref(&again));

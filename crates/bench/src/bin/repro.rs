@@ -15,7 +15,13 @@
 //! comparison writing `BENCH_lowered.json`; included in `all`), `chaos`
 //! (serving goodput under swept deterministic fault rates writing
 //! `BENCH_chaos.json`; exits nonzero if its armed-rate-0 or same-seed
-//! reproducibility invariant fails), and `trace`
+//! reproducibility invariant fails), `serve-trace` (end-to-end request
+//! tracing sweep writing `BENCH_serve_trace.json`; exits nonzero unless
+//! every request's phase spans tile its latency exactly, every admitted
+//! request resolves exactly once, nothing was dropped, and the rerun is
+//! byte-identical; with `--emit-trace=FILE` it writes the per-request
+//! Chrome view — one track per device plus one per request — instead of
+//! the host-span trace), and `trace`
 //! (writes a Chrome trace of one Tree-LSTM persistent kernel to
 //! `vpps_kernel_trace.json`). `--full` uses the paper's 128-input
 //! workloads; the default "quick" scale keeps every trend visible while
@@ -673,6 +679,110 @@ fn serve_sharded(full: bool) {
     }
 }
 
+/// Request-tracing experiment: the saturating sharded corpus with every
+/// request traced, per device count. Prints the fig10-style per-phase p99
+/// breakdown (overall and cold-vs-warm), writes `BENCH_serve_trace.json`
+/// (honoring `$VPPS_BENCH_DIR`), and exits nonzero if any self-check
+/// fails: exact phase tiling, exactly one terminal per admitted request,
+/// zero dropped events/spans, nonzero queue attribution, byte-identical
+/// reruns. `trace_view` writes the per-request Chrome view.
+fn serve_trace(full: bool, trace_view: Option<&str>) {
+    println!("Serve-trace — end-to-end request tracing with exact time attribution");
+    println!("(every request traced; phase spans must tile e2e latency bitwise)\n");
+    let records = vpps_bench::run_trace(full);
+    let mut rows = Vec::new();
+    for r in &records {
+        rows.push(vec![
+            r.devices.to_string(),
+            r.traced.to_string(),
+            format!("{:.0}", r.overall.e2e.p99_us),
+            format!("{:.0}", r.overall.linger.p99_us),
+            format!("{:.0}", r.overall.queue.p99_us),
+            format!("{:.0}", r.overall.execute.p99_us),
+            format!("{:.2}", r.overall.tail_queue_share),
+            if r.tiled_exactly { "yes" } else { "NO" }.to_owned(),
+            if r.terminal_exactly_once { "yes" } else { "NO" }.to_owned(),
+            if r.deterministic { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Serve-trace",
+            &[
+                "devices",
+                "traced",
+                "e2e p99 us",
+                "linger p99",
+                "queue p99",
+                "exec p99",
+                "tail queue",
+                "tiled",
+                "1 terminal",
+                "det"
+            ],
+            &rows
+        )
+    );
+    for r in &records {
+        for g in &r.by_warmth {
+            println!(
+                "devices={} {}: {} requests, e2e p99 {:.0} us (execute p99 {:.0} us)",
+                r.devices, g.label, g.requests, g.e2e.p99_us, g.execute.p99_us
+            );
+        }
+    }
+    println!();
+    let mut failed = false;
+    for r in &records {
+        if !r.self_checks_pass() {
+            eprintln!(
+                "devices={}: self-checks failed (errors={} tiled={} terminal={} queue={} \
+                 warmth={} complete={} det={})",
+                r.devices,
+                r.errors,
+                r.tiled_exactly,
+                r.terminal_exactly_once,
+                r.queue_attr_nonzero,
+                r.cold_and_warm_present,
+                r.complete,
+                r.deterministic
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("serve-trace self-checks failed");
+        std::process::exit(1);
+    }
+    if let Some(path) = trace_view {
+        let sc = vpps_bench::trace_scenario(full);
+        let devices = *vpps_bench::trace_bench::trace_device_counts(full)
+            .last()
+            .expect("at least one device count");
+        match vpps_bench::chrome_view_json(&sc, devices) {
+            Ok(json) => {
+                std::fs::write(path, &json).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                println!("per-request trace view ({devices} devices) -> {path}");
+            }
+            Err(e) => {
+                eprintln!("per-request trace view failed self-validation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match vpps_bench::write_trace_summary(&records) {
+        Ok(path) => println!("trace trajectory -> {}\n", path.display()),
+        Err(e) => {
+            eprintln!("cannot write trace trajectory: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Chaos experiment: the serving trace replayed across a ladder of fault
 /// rates with deterministic injection and the full recovery stack armed.
 /// Writes `BENCH_chaos.json` (honoring `$VPPS_BENCH_DIR`) and exits
@@ -827,7 +937,7 @@ fn main() {
         .iter()
         .find_map(|a| a.strip_prefix("--emit-metrics="))
         .map(str::to_owned);
-    let trace_path = args
+    let mut trace_path = args
         .iter()
         .find_map(|a| a.strip_prefix("--emit-trace="))
         .map(str::to_owned);
@@ -858,6 +968,9 @@ fn main() {
         "trace" => trace(),
         "serve" => serve(full, backend),
         "serve-sharded" => serve_sharded(full),
+        // serve-trace claims --emit-trace for its per-request view (one
+        // track per device + one per request) instead of the host spans.
+        "serve-trace" => serve_trace(full, trace_path.take().as_deref()),
         "lowered" => lowered(full),
         "chaos" => chaos(full, backend),
         "all" => {
@@ -874,7 +987,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|serve|serve-sharded|lowered|chaos|all] \
+                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|serve|serve-sharded|serve-trace|lowered|chaos|all] \
                  [--full] [--backend=event-interp|threaded|parallel-interp|lowered] \
                  [--emit-metrics=FILE[.prom]] [--emit-trace=FILE]"
             );

@@ -22,6 +22,7 @@ pub mod lowered_bench;
 pub mod report;
 pub mod serve_bench;
 pub mod sharded_bench;
+pub mod trace_bench;
 pub mod trajectory;
 
 pub use apps::{AppInstance, AppKind, AppSpec};
@@ -36,5 +37,9 @@ pub use lowered_bench::{
 pub use serve_bench::{run_scenario, run_scenario_server, ServeScenario, ServeWorkload};
 pub use sharded_bench::{
     run_sharded, validate_sharded_summary, write_sharded_summary, ShardedRecord,
+};
+pub use trace_bench::{
+    chrome_view_json, run_trace, trace_point, trace_scenario, trace_summary_json,
+    validate_trace_summary, write_trace_summary, TraceRecord,
 };
 pub use trajectory::{validate_bench_summary, write_bench_summary, BenchRecord};

@@ -85,6 +85,10 @@ pub struct ServeScenario {
     /// `false` to let batches fail with typed errors and exercise the
     /// serving-side breaker/retry-budget path instead.
     pub fallback: bool,
+    /// `Some(n)`: enable per-request tracing, recording every `n`-th
+    /// request id (1 traces everything). Tracing is pure observation: the
+    /// virtual timeline is bit-identical with tracing on or off.
+    pub trace_sample: Option<u64>,
 }
 
 impl Default for ServeScenario {
@@ -109,6 +113,7 @@ impl Default for ServeScenario {
             hidden: 64,
             faults: vpps::FaultConfig::disabled(),
             fallback: true,
+            trace_sample: None,
         }
     }
 }
@@ -181,6 +186,9 @@ pub(crate) fn server_for(sc: &ServeScenario) -> (Server, ModelId, ServeWorkload)
         },
     };
     let mut server = Server::new(cfg);
+    if let Some(sample) = sc.trace_sample {
+        server.enable_tracing(1 << 20, sample.max(1));
+    }
     let mid = server
         .register_model("tree-lstm", workload.model().clone())
         .expect("workload model fits the device");

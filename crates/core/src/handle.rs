@@ -122,6 +122,74 @@ impl PhaseBreakdown {
     pub fn device_total(&self) -> SimTime {
         self.script_copy + self.kernel_exec + self.fallback_exec + self.recovery
     }
+
+    /// Component-wise `self - earlier`. Phase times only ever accumulate, so
+    /// the delta between two snapshots of one handle is the cost of the work
+    /// dispatched in between.
+    pub fn delta_since(&self, earlier: &PhaseBreakdown) -> PhaseBreakdown {
+        PhaseBreakdown {
+            graph_construction: self.graph_construction - earlier.graph_construction,
+            forward_schedule: self.forward_schedule - earlier.forward_schedule,
+            backward_schedule: self.backward_schedule - earlier.backward_schedule,
+            script_copy: self.script_copy - earlier.script_copy,
+            kernel_exec: self.kernel_exec - earlier.kernel_exec,
+            fallback_exec: self.fallback_exec - earlier.fallback_exec,
+            recovery: self.recovery - earlier.recovery,
+        }
+    }
+}
+
+/// Snapshot of a handle's cumulative counters, taken before dispatching a
+/// batch so the batch's own cost can be read back as a delta afterwards —
+/// the serving layer uses this to attribute execution cost per batch without
+/// the engine having to know batches exist.
+#[derive(Debug, Clone, Copy)]
+pub struct CostProbe {
+    phases: PhaseBreakdown,
+    script_hits: u64,
+    script_misses: u64,
+    barrier_stall: SimTime,
+}
+
+/// What one dispatched batch cost, as cumulative-counter deltas between a
+/// [`CostProbe::capture`] and [`CostProbe::delta`] around the dispatch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchCost {
+    /// Per-phase time attributable to the batch (host phases are pipelined
+    /// against device work, so they overlap the service window rather than
+    /// tiling it).
+    pub phases: PhaseBreakdown,
+    /// Lowered-script cache hits during the dispatch.
+    pub script_hits: u64,
+    /// Lowered-script cache misses (fresh lowerings) — nonzero means the
+    /// batch ran *cold*.
+    pub script_misses: u64,
+    /// Barrier-stall time the kernel accumulated during the dispatch.
+    pub barrier_stall: SimTime,
+}
+
+impl CostProbe {
+    /// Captures the handle's cumulative counters.
+    pub fn capture(handle: &Handle) -> Self {
+        let cache = handle.lowered_cache_stats();
+        Self {
+            phases: *handle.phases(),
+            script_hits: cache.script_hits,
+            script_misses: cache.script_misses,
+            barrier_stall: handle.metrics().barrier_stall,
+        }
+    }
+
+    /// The cost accrued on `handle` since this probe was captured.
+    pub fn delta(&self, handle: &Handle) -> BatchCost {
+        let cache = handle.lowered_cache_stats();
+        BatchCost {
+            phases: handle.phases().delta_since(&self.phases),
+            script_hits: cache.script_hits - self.script_hits,
+            script_misses: cache.script_misses - self.script_misses,
+            barrier_stall: handle.metrics().barrier_stall - self.barrier_stall,
+        }
+    }
 }
 
 #[derive(Debug)]

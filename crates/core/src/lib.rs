@@ -67,5 +67,5 @@ pub use engine::{
 };
 pub use error::VppsError;
 pub use gpu_sim::{FaultConfig, FaultEvent, FaultKind, FaultProfile};
-pub use handle::{Handle, PhaseBreakdown, RpwMode, VppsOptions};
+pub use handle::{BatchCost, CostProbe, Handle, PhaseBreakdown, RpwMode, VppsOptions};
 pub use specialize::{GradStrategy, KernelPlan, PlanCache, PlanMemo, PlanSignature};

@@ -15,6 +15,10 @@
 //!   [`SimTrace`] per-VPP kernel timeline), Prometheus text exposition
 //!   ([`to_prometheus_text`]) and a versioned JSON snapshot ([`Snapshot`])
 //!   that parses back through its own schema.
+//! * **Request traces** ([`trace`]) — per-request causal phase spans on the
+//!   *virtual* clock recorded by the serving layer, and an analyzer
+//!   ([`TraceAnalysis`]) that reconstructs each request's end-to-end
+//!   timeline and proves the phases tile its latency exactly.
 //!
 //! Everything is gated on one global flag ([`set_enabled`]): when disabled
 //! (the default) a span is an inert value and every metric mutation is a
@@ -29,6 +33,7 @@ pub mod metrics;
 pub mod prometheus;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 mod clock;
 
@@ -66,4 +71,8 @@ pub use prometheus::to_prometheus_text;
 pub use snapshot::Snapshot;
 pub use span::{
     clear_spans, current_track, dropped_spans, snapshot_spans, span, SpanEvent, SpanGuard,
+};
+pub use trace::{
+    durations_tile_exactly, exact_sum_is_zero, two_sum, BatchSpan, GroupBreakdown, Phase,
+    PhaseSpan, PhaseStats, RequestTimeline, Resolution, TraceAnalysis, TraceEvent, TraceSink,
 };

@@ -125,6 +125,13 @@ mod tests {
     }
 
     #[test]
+    fn span_drop_counter_is_exported() {
+        let text = to_prometheus_text(&Snapshot::capture());
+        assert!(text.contains("# TYPE obs_spans_dropped counter"));
+        assert!(text.contains("\nobs_spans_dropped "));
+    }
+
+    #[test]
     fn short_histograms_still_get_an_inf_bucket() {
         let mut s = Snapshot::default();
         s.histograms.insert(

@@ -33,7 +33,9 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Captures the current values of every registered metric.
+    /// Captures the current values of every registered metric, plus the
+    /// span ring's drop counter as `obs.spans_dropped` — a nonzero value
+    /// means host-side span attribution is incomplete (the ring wrapped).
     pub fn capture() -> Self {
         let mut snap = Self::default();
         for (name, value) in registry_snapshot() {
@@ -49,6 +51,8 @@ impl Snapshot {
                 }
             }
         }
+        snap.counters
+            .insert("obs.spans_dropped".into(), crate::span::dropped_spans());
         snap
     }
 
@@ -259,6 +263,18 @@ mod tests {
         let mut text = String::new();
         bad.write(&mut text);
         assert!(Snapshot::parse(&text).unwrap_err().contains("quantiles"));
+    }
+
+    #[test]
+    fn capture_exposes_the_span_drop_counter() {
+        let snap = Snapshot::capture();
+        assert!(snap.counters.contains_key("obs.spans_dropped"));
+        // The counter is an ordinary u64, so the round-trip guarantee holds.
+        let back = Snapshot::parse(&snap.to_json()).unwrap();
+        assert_eq!(
+            back.counters.get("obs.spans_dropped"),
+            snap.counters.get("obs.spans_dropped")
+        );
     }
 
     #[test]

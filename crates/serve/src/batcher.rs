@@ -47,6 +47,20 @@ pub struct BucketKey {
     pub structure: u64,
 }
 
+impl BucketKey {
+    /// Human-readable bucket signature (`m<model>/<kind>/s<shape>/x<hash>`),
+    /// used as the grouping label in trace breakdowns and Chrome views.
+    pub fn label(&self) -> String {
+        format!(
+            "m{}/{}/s{}/x{:016x}",
+            self.model.0,
+            self.kind.name(),
+            self.shape,
+            self.structure
+        )
+    }
+}
+
 /// One queued request awaiting batch formation.
 #[derive(Debug, Clone)]
 pub(crate) struct Pending {

@@ -21,12 +21,12 @@ use std::collections::{BTreeSet, VecDeque};
 
 use dyn_graph::{Graph, Model};
 use gpu_sim::SimTime;
-use vpps::{Handle, LoweredCacheStats, VppsError};
+use vpps::{BatchCost, CostProbe, Handle, LoweredCacheStats, VppsError};
 
 use crate::batcher::{BucketKey, Pending};
 use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker};
 use crate::policy::RecoveryConfig;
-use crate::request::RequestKind;
+use crate::request::{RequestId, RequestKind};
 
 /// Identifier of one virtual device (shard) inside a server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -50,6 +50,9 @@ pub struct DeviceStats {
 /// A formed batch waiting for (or being handed to) a device.
 #[derive(Debug)]
 pub(crate) struct BatchJob {
+    /// Server-wide batch id (assigned at formation; retry singletons get
+    /// fresh ids so every execution attempt is addressable in traces).
+    pub id: u64,
     /// Bucket the batch was drawn from.
     pub key: BucketKey,
     /// Members, in batch order.
@@ -80,21 +83,31 @@ impl BatchJob {
 pub(crate) enum DeviceEvent {
     /// The batch executed successfully.
     Executed {
+        batch_id: u64,
         key: BucketKey,
         batch: Vec<Pending>,
         outputs: Vec<Vec<f32>>,
         dispatched_at: SimTime,
+        /// When the batch actually started on the device timeline
+        /// (`max(now, busy_until)` at dispatch) — recorded explicitly
+        /// because `completed_at - service` is not bit-identical to it.
+        started_at: SimTime,
         completed_at: SimTime,
         service: SimTime,
+        /// What the dispatch cost the handle (phase/cache/stall deltas).
+        cost: BatchCost,
     },
     /// The model's breaker was open: every member is shed.
     BreakerShed { batch: Vec<Pending>, at: SimTime },
     /// The dispatch returned a typed error. Members within their retry
-    /// budget were re-enqueued as singleton jobs (`retried`); the rest are
-    /// returned for a `RetryBudget` shed.
+    /// budget were re-enqueued as singleton jobs (`retried` maps each to
+    /// its fresh batch id); the rest are returned for a `RetryBudget` shed.
     Failed {
+        batch_id: u64,
+        started_at: SimTime,
+        completed_at: SimTime,
         dropped: Vec<Pending>,
-        retried: u64,
+        retried: Vec<(RequestId, u64)>,
         at: SimTime,
     },
 }
@@ -260,13 +273,14 @@ impl Device {
     /// Executes queued batches while the device is free at `now`, most
     /// deadline-urgent first. Emits one [`DeviceEvent`] per batch taken off
     /// the queue. Retry singletons from a failed batch re-enter the queue
-    /// and run at later pump calls (the failed attempt occupied the device,
-    /// so `busy_until` has moved past `now`).
-    pub(crate) fn pump(&mut self, now: SimTime, out: &mut Vec<DeviceEvent>) {
+    /// (drawing fresh ids from the server's `next_batch` counter) and run at
+    /// later pump calls (the failed attempt occupied the device, so
+    /// `busy_until` has moved past `now`).
+    pub(crate) fn pump(&mut self, now: SimTime, next_batch: &mut u64, out: &mut Vec<DeviceEvent>) {
         while self.busy_until <= now {
             let Some(idx) = self.most_urgent() else { break };
             let job = self.queue.remove(idx).expect("index from most_urgent");
-            self.run_job(job, now, out);
+            self.run_job(job, now, next_batch, out);
         }
         vpps_obs::gauge(&format!("serve.device.{}.queue_depth", self.id.0))
             .set(self.queued_members() as f64);
@@ -291,8 +305,15 @@ impl Device {
 
     /// Executes one batch: breaker gate, absorb into the scratch
     /// super-graph, one persistent-kernel launch on the model's warm handle.
-    fn run_job(&mut self, job: BatchJob, now: SimTime, out: &mut Vec<DeviceEvent>) {
+    fn run_job(
+        &mut self,
+        job: BatchJob,
+        now: SimTime,
+        next_batch: &mut u64,
+        out: &mut Vec<DeviceEvent>,
+    ) {
         let BatchJob {
+            id: batch_id,
             key,
             batch,
             formed_at,
@@ -316,6 +337,7 @@ impl Device {
         let roots: Vec<_> = batch.iter().map(|p| sg.absorb(&p.graph, p.root)).collect();
         let start = now.max(self.busy_until);
         let wall_before = dm.handle.wall_time();
+        let probe = CostProbe::capture(&dm.handle);
         let result: Result<Vec<Vec<f32>>, VppsError> = match key.kind {
             RequestKind::Infer => dm.handle.try_infer_many(&mut dm.model, sg, &roots),
             RequestKind::Train => {
@@ -333,6 +355,7 @@ impl Device {
         // Failed dispatches still occupied the device (faulted attempts,
         // watchdog waits, backoff): service time is the wall delta either way.
         let service = dm.handle.wall_time() - wall_before;
+        let cost = probe.delta(&dm.handle);
         let completed_at = start + service;
         self.busy_until = completed_at;
         self.busy_total += service;
@@ -343,12 +366,15 @@ impl Device {
                 dm.batches += 1;
                 self.executed += 1;
                 out.push(DeviceEvent::Executed {
+                    batch_id,
                     key,
                     batch,
                     outputs,
                     dispatched_at: formed_at,
+                    started_at: start,
                     completed_at,
                     service,
+                    cost,
                 });
             }
             Err(_) => {
@@ -356,7 +382,7 @@ impl Device {
                 self.failures += 1;
                 let budget = self.recovery.retry_budget;
                 let mut dropped = Vec::new();
-                let mut retried = 0u64;
+                let mut retried = Vec::new();
                 for mut p in batch {
                     p.retries += 1;
                     if p.retries > budget {
@@ -366,8 +392,11 @@ impl Device {
                         // faulted may contain one poisoned graph; isolating
                         // members means at most that one keeps failing while
                         // the rest complete.
-                        retried += 1;
+                        let retry_id = *next_batch;
+                        *next_batch += 1;
+                        retried.push((p.id, retry_id));
                         self.enqueue(BatchJob {
+                            id: retry_id,
                             key,
                             batch: vec![p],
                             formed_at,
@@ -376,6 +405,9 @@ impl Device {
                     }
                 }
                 out.push(DeviceEvent::Failed {
+                    batch_id,
+                    started_at: start,
+                    completed_at,
                     dropped,
                     retried,
                     at: now,

@@ -63,5 +63,5 @@ pub use report::{
 pub use request::{
     Completion, ModelId, Outcome, Request, RequestId, RequestKind, Shed, ShedReason, TenantId,
 };
-pub use router::{Router, RouterStats};
+pub use router::{RouteDecision, Router, RouterStats};
 pub use server::{Admission, Server};

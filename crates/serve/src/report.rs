@@ -21,7 +21,9 @@ pub const SCHEMA: &str = "vpps-serve-trajectory";
 
 /// Current schema version. v2 added the lowered script-cache counters
 /// (`script_hits` / `script_misses` / `script_re_misses`) to every record.
-pub const VERSION: u64 = 2;
+/// v3 added the `execute` latency stage (device start → completion),
+/// carried by the `started_at` timestamp on every completion.
+pub const VERSION: u64 = 3;
 
 /// Exact latency quantiles over one stage, in microseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -99,6 +101,8 @@ pub struct ServeReport {
     pub e2e: LatencyStats,
     /// Queueing/batching delay (arrival → dispatch).
     pub queue_wait: LatencyStats,
+    /// Device execution time (start of the final attempt → completion).
+    pub execute: LatencyStats,
 }
 
 impl ServeReport {
@@ -113,6 +117,7 @@ impl ServeReport {
         let mut sizes: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
         let mut e2e_ns = Vec::new();
         let mut wait_ns = Vec::new();
+        let mut exec_ns = Vec::new();
         let mut first_arrival: Option<SimTime> = None;
         let mut last_completion = SimTime::ZERO;
         let mut batch_members = 0u64;
@@ -125,6 +130,7 @@ impl ServeReport {
                     }
                     e2e_ns.push((c.completed_at - c.arrival).as_ns());
                     wait_ns.push((c.dispatched_at - c.arrival).as_ns());
+                    exec_ns.push((c.completed_at - c.started_at).as_ns());
                     first_arrival = Some(match first_arrival {
                         Some(f) => f.min(c.arrival),
                         None => c.arrival,
@@ -161,6 +167,7 @@ impl ServeReport {
         }
         r.e2e = LatencyStats::from_ns_samples(&e2e_ns);
         r.queue_wait = LatencyStats::from_ns_samples(&wait_ns);
+        r.execute = LatencyStats::from_ns_samples(&exec_ns);
         r
     }
 
@@ -196,6 +203,7 @@ impl ServeReport {
         o.set("throughput_rps", Json::Num(self.throughput_rps));
         o.set("e2e", self.e2e.to_json());
         o.set("queue_wait", self.queue_wait.to_json());
+        o.set("execute", self.execute.to_json());
         o
     }
 }
@@ -341,7 +349,7 @@ pub fn validate_serve_summary(text: &str) -> Result<(), String> {
             .get("batch_sizes")
             .and_then(Json::as_arr)
             .ok_or_else(|| err("missing array report.batch_sizes"))?;
-        for stage in ["e2e", "queue_wait"] {
+        for stage in ["e2e", "queue_wait", "execute"] {
             let s = report
                 .get(stage)
                 .ok_or_else(|| err(&format!("missing object report.{stage}")))?;
@@ -368,6 +376,7 @@ mod tests {
             kind: RequestKind::Infer,
             arrival: SimTime::from_ns(arrive_ns),
             dispatched_at: SimTime::from_ns(arrive_ns + 10.0),
+            started_at: SimTime::from_ns(arrive_ns + 20.0),
             completed_at: SimTime::from_ns(done_ns),
             batch_size: batch,
             output: vec![0.0],

@@ -127,6 +127,10 @@ pub struct Completion {
     /// device queue. `dispatched_at - arrival` is the batching/queueing
     /// delay, bounded by the linger policy.
     pub dispatched_at: SimTime,
+    /// When the device actually began executing the (final, successful)
+    /// batch attempt. `started_at - dispatched_at` is device-queue wait
+    /// (plus any earlier failed attempts, for retried requests).
+    pub started_at: SimTime,
     /// When the device finished the batch.
     pub completed_at: SimTime,
     /// Number of requests co-batched into the same kernel launch.

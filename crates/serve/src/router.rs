@@ -34,6 +34,29 @@ pub struct RouterStats {
     pub steals: u64,
 }
 
+/// Which branch the router took for one batch — recorded into request
+/// traces so steals/re-homes are visible on every member's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// First-seen bucket, placed on the least-loaded device.
+    Placement,
+    /// Sent to the bucket's warm affinity device.
+    Affinity,
+    /// Stolen away from an overloaded affinity device (and re-homed).
+    Steal,
+}
+
+impl RouteDecision {
+    /// Stable lower-case name (used in traces and Chrome views).
+    pub fn name(self) -> &'static str {
+        match self {
+            RouteDecision::Placement => "placement",
+            RouteDecision::Affinity => "affinity",
+            RouteDecision::Steal => "steal",
+        }
+    }
+}
+
 /// Deterministic plan-affinity router. See the module docs.
 #[derive(Debug, Default)]
 pub struct Router {
@@ -42,7 +65,8 @@ pub struct Router {
 }
 
 impl Router {
-    /// Picks the device for one formed batch and updates the tallies.
+    /// Picks the device for one formed batch and updates the tallies,
+    /// reporting which branch was taken.
     ///
     /// A steal *re-homes* the bucket: the thief lowers the bucket's scripts
     /// once and every later batch of that bucket hits its warm cache, so a
@@ -59,7 +83,7 @@ impl Router {
         now: SimTime,
         steal_margin: SimTime,
         devices: &[Device],
-    ) -> DeviceId {
+    ) -> (DeviceId, RouteDecision) {
         debug_assert!(!devices.is_empty());
         self.stats.routed += 1;
         let least = devices
@@ -77,7 +101,7 @@ impl Router {
             None => {
                 self.affinity.insert(key, least);
                 self.stats.placements += 1;
-                least
+                (least, RouteDecision::Placement)
             }
             Some(home) => {
                 let home_backlog = devices[home.0].backlog(now);
@@ -101,10 +125,10 @@ impl Router {
                         .unwrap_or(least);
                     self.stats.steals += 1;
                     self.affinity.insert(key, target);
-                    target
+                    (target, RouteDecision::Steal)
                 } else {
                     self.stats.affinity_hits += 1;
-                    home
+                    (home, RouteDecision::Affinity)
                 }
             }
         }

@@ -37,6 +37,7 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use dyn_graph::Model;
 use gpu_sim::SimTime;
 use vpps::{Handle, LoweredCacheStats, PlanSignature, RecoveryStats, VppsError};
+use vpps_obs::{Resolution, TraceEvent, TraceSink};
 
 use crate::batcher::{shape_class, Bucket, BucketKey, Pending};
 use crate::breaker::{BreakerState, BreakerTransition};
@@ -109,6 +110,12 @@ pub struct Server {
     /// retry/fallback ladder gave up).
     batch_failures: u64,
     jit_paid: SimTime,
+    /// Next batch id. Assigned at formation (and to retry singletons inside
+    /// the devices) whether or not tracing is enabled, so enabling tracing
+    /// can never perturb the virtual timeline.
+    next_batch: u64,
+    /// Per-request trace sink, when [`Server::enable_tracing`] was called.
+    trace: Option<TraceSink>,
 }
 
 impl Server {
@@ -140,6 +147,37 @@ impl Server {
             batches: 0,
             batch_failures: 0,
             jit_paid: SimTime::ZERO,
+            next_batch: 0,
+            trace: None,
+        }
+    }
+
+    /// Enables per-request tracing into a bounded [`TraceSink`] holding at
+    /// most `capacity` events, sampling every `sample`-th request id
+    /// (`sample <= 1` traces everything). Tracing is pure observation: it
+    /// never changes admission, batching, routing, or any virtual timestamp.
+    pub fn enable_tracing(&mut self, capacity: usize, sample: u64) {
+        self.trace = Some(TraceSink::new(capacity, sample));
+    }
+
+    /// The trace sink, when tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// Takes the trace sink out of the server, disabling further tracing.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.trace.take()
+    }
+
+    /// `true` if tracing is on and `id` is selected by the sampling policy.
+    fn trace_sampled(&self, id: RequestId) -> bool {
+        self.trace.as_ref().is_some_and(|t| t.sampled(id.0))
+    }
+
+    fn trace_event(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(ev);
         }
     }
 
@@ -322,6 +360,20 @@ impl Server {
 
         match verdict {
             Admission::Shed(id, reason) => {
+                if self.trace_sampled(id) {
+                    let at_ns = arrival.as_ns();
+                    self.trace_event(TraceEvent::Admitted {
+                        req: id.0,
+                        tenant: req.tenant.0,
+                        at_ns,
+                    });
+                    self.trace_event(TraceEvent::Resolved {
+                        req: id.0,
+                        outcome: Resolution::Shed,
+                        reason: reason.name(),
+                        at_ns,
+                    });
+                }
                 self.record_shed(Shed {
                     id,
                     tenant: req.tenant,
@@ -331,6 +383,13 @@ impl Server {
             }
             Admission::Queued(id) => {
                 vpps_obs::counter("serve.admitted").incr();
+                if self.trace_sampled(id) {
+                    self.trace_event(TraceEvent::Admitted {
+                        req: id.0,
+                        tenant: req.tenant.0,
+                        at_ns: arrival.as_ns(),
+                    });
+                }
                 let key = BucketKey {
                     model: req.model,
                     kind: req.kind,
@@ -476,6 +535,14 @@ impl Server {
         }
         vpps_obs::gauge("serve.queue_depth").set(self.queued as f64);
         for p in expired {
+            if self.trace_sampled(p.id) {
+                self.trace_event(TraceEvent::Resolved {
+                    req: p.id.0,
+                    outcome: Resolution::Shed,
+                    reason: ShedReason::DeadlineExpired.name(),
+                    at_ns: self.now.as_ns(),
+                });
+            }
             self.record_shed(Shed {
                 id: p.id,
                 tenant: p.tenant,
@@ -486,10 +553,39 @@ impl Server {
         if batch.is_empty() {
             return;
         }
-        let target = self
-            .router
-            .route(key, self.now, self.cfg.shard.steal_margin, &self.devices);
+        // Batch ids are assigned unconditionally so turning tracing on or
+        // off can never change the virtual timeline.
+        let batch_id = self.next_batch;
+        self.next_batch += 1;
+        let traced_members: Vec<u64> = match &self.trace {
+            Some(t) => batch
+                .iter()
+                .map(|p| p.id.0)
+                .filter(|&id| t.sampled(id))
+                .collect(),
+            None => Vec::new(),
+        };
+        if !traced_members.is_empty() {
+            self.trace_event(TraceEvent::Formed {
+                batch: batch_id,
+                bucket: key.label(),
+                members: traced_members.clone(),
+                at_ns: self.now.as_ns(),
+            });
+        }
+        let (target, decision) =
+            self.router
+                .route(key, self.now, self.cfg.shard.steal_margin, &self.devices);
+        if !traced_members.is_empty() {
+            self.trace_event(TraceEvent::Routed {
+                batch: batch_id,
+                device: target.0 as u32,
+                decision: decision.name(),
+                at_ns: self.now.as_ns(),
+            });
+        }
         self.devices[target.0].enqueue(BatchJob {
+            id: batch_id,
             key,
             batch,
             formed_at: self.now,
@@ -503,16 +599,19 @@ impl Server {
     fn pump_device(&mut self, idx: usize) {
         let now = self.now;
         let mut events = Vec::new();
-        self.devices[idx].pump(now, &mut events);
+        self.devices[idx].pump(now, &mut self.next_batch, &mut events);
         for ev in events {
             match ev {
                 DeviceEvent::Executed {
+                    batch_id,
                     key,
                     batch,
                     outputs,
                     dispatched_at,
+                    started_at,
                     completed_at,
                     service,
+                    cost,
                 } => {
                     self.batches += 1;
                     for _ in 0..batch.len() {
@@ -522,6 +621,24 @@ impl Server {
                     vpps_obs::counter("serve.completed").add(batch.len() as u64);
                     vpps_obs::histogram("serve.batch_size").record(batch.len() as u64);
                     vpps_obs::histogram("serve.service_ns").record(service.as_ns() as u64);
+                    // A batch is "cold" when executing it lowered at least
+                    // one fresh script (structural script-cache miss).
+                    let cold = cost.script_misses > 0;
+                    if self.trace.is_some() && batch.iter().any(|p| self.trace_sampled(p.id)) {
+                        self.trace_event(TraceEvent::Executed {
+                            batch: batch_id,
+                            device: idx as u32,
+                            started_ns: started_at.as_ns(),
+                            completed_ns: completed_at.as_ns(),
+                            cold,
+                            host_prep_ns: cost.phases.host_total().as_ns(),
+                            copy_ns: cost.phases.script_copy.as_ns(),
+                            kernel_ns: cost.phases.kernel_exec.as_ns(),
+                            fallback_ns: cost.phases.fallback_exec.as_ns(),
+                            recovery_ns: cost.phases.recovery.as_ns(),
+                            barrier_stall_ns: cost.barrier_stall.as_ns(),
+                        });
+                    }
                     let batch_size = batch.len();
                     for (p, output) in batch.into_iter().zip(outputs) {
                         let in_deadline = p.deadline.is_none_or(|d| completed_at <= d);
@@ -529,6 +646,20 @@ impl Server {
                             .record((dispatched_at - p.arrival).as_ns() as u64);
                         vpps_obs::histogram("serve.e2e_ns")
                             .record((completed_at - p.arrival).as_ns() as u64);
+                        vpps_obs::histogram("serve.phase.linger_ns")
+                            .record((dispatched_at - p.arrival).as_ns() as u64);
+                        vpps_obs::histogram("serve.phase.queue_ns")
+                            .record((started_at - dispatched_at).as_ns() as u64);
+                        vpps_obs::histogram("serve.phase.execute_ns")
+                            .record((completed_at - started_at).as_ns() as u64);
+                        if self.trace_sampled(p.id) {
+                            self.trace_event(TraceEvent::Resolved {
+                                req: p.id.0,
+                                outcome: Resolution::Completed,
+                                reason: "completed",
+                                at_ns: completed_at.as_ns(),
+                            });
+                        }
                         self.outcomes.push(Outcome::Completed(Completion {
                             id: p.id,
                             tenant: p.tenant,
@@ -536,6 +667,7 @@ impl Server {
                             kind: key.kind,
                             arrival: p.arrival,
                             dispatched_at,
+                            started_at,
                             completed_at,
                             batch_size,
                             output,
@@ -545,6 +677,14 @@ impl Server {
                 }
                 DeviceEvent::BreakerShed { batch, at } => {
                     for p in batch {
+                        if self.trace_sampled(p.id) {
+                            self.trace_event(TraceEvent::Resolved {
+                                req: p.id.0,
+                                outcome: Resolution::Shed,
+                                reason: ShedReason::BreakerOpen.name(),
+                                at_ns: at.as_ns(),
+                            });
+                        }
                         self.record_shed(Shed {
                             id: p.id,
                             tenant: p.tenant,
@@ -554,16 +694,54 @@ impl Server {
                     }
                 }
                 DeviceEvent::Failed {
+                    batch_id,
+                    started_at,
+                    completed_at,
                     dropped,
                     retried,
                     at,
                 } => {
                     self.batch_failures += 1;
                     vpps_obs::counter("serve.batch_failures").incr();
-                    for _ in 0..retried {
+                    let any_traced = self.trace.is_some()
+                        && dropped
+                            .iter()
+                            .map(|p| p.id)
+                            .chain(retried.iter().map(|&(id, _)| id))
+                            .any(|id| self.trace_sampled(id));
+                    if any_traced {
+                        self.trace_event(TraceEvent::FailedAttempt {
+                            batch: batch_id,
+                            device: idx as u32,
+                            started_ns: started_at.as_ns(),
+                            completed_ns: completed_at.as_ns(),
+                        });
+                    }
+                    for &(rid, retry_batch) in &retried {
                         vpps_obs::counter("serve.retried").incr();
+                        if self.trace_sampled(rid) {
+                            self.trace_event(TraceEvent::Retried {
+                                req: rid.0,
+                                from_batch: batch_id,
+                                batch: retry_batch,
+                                at_ns: completed_at.as_ns(),
+                            });
+                        }
                     }
                     for p in dropped {
+                        // The trace resolves retry-budget drops at the
+                        // failed attempt's completion so phase spans tile
+                        // the timeline exactly; the Outcome keeps the
+                        // historical `at` (the pump time) to preserve
+                        // outcome fingerprints.
+                        if self.trace_sampled(p.id) {
+                            self.trace_event(TraceEvent::Resolved {
+                                req: p.id.0,
+                                outcome: Resolution::Failed,
+                                reason: ShedReason::RetryBudget.name(),
+                                at_ns: completed_at.as_ns(),
+                            });
+                        }
                         self.record_shed(Shed {
                             id: p.id,
                             tenant: p.tenant,
