@@ -32,9 +32,16 @@
 //! Chaos flags:
 //!
 //! * `--fault-profile=SPEC` — arm deterministic fault injection on the
-//!   served model's device. SPEC is a comma list of `key=value` pairs
+//!   served model's devices. SPEC is a comma list of `key=value` pairs
 //!   (`seed`, `transfer`, `launch`, `hang`, `dram`, `jit`), e.g.
-//!   `--fault-profile=seed=7,launch=0.05,hang=0.02`.
+//!   `--fault-profile=seed=7,launch=0.05,hang=0.02`. Composes with
+//!   `--devices N`: each device draws from its own seeded stream.
+//! * `--outage=DEV@START..END[:kind]` — schedule a whole-device outage
+//!   (`crash`, `hang` or `brownout`; times in virtual microseconds), e.g.
+//!   `--outage=1@300..900:hang`. Repeatable, up to four windows. Queued and
+//!   in-flight work on a crashed or hung device is re-dispatched to
+//!   survivors exactly once; the run reports the re-dispatch and terminal
+//!   per-device health.
 //! * `--no-fallback` — disable the handle's backend degradation ladder, so
 //!   exhausted retries surface as typed errors (breaker/shed territory).
 //! * `--expect-recovery` — exit non-zero unless the run both injected
@@ -54,8 +61,8 @@ fn usage() -> ! {
          \x20              [--backend event-interp|threaded|parallel-interp]\n\
          \x20              [--label S] [--emit FILE|-] [--fail-on-shed]\n\
          \x20              [--verify-determinism] [--fault-profile SPEC]\n\
-         \x20              [--no-fallback] [--expect-recovery]\n\
-         \x20              [--trace-sample N] [--emit-trace FILE]"
+         \x20              [--outage DEV@START..END[:kind]] [--no-fallback]\n\
+         \x20              [--expect-recovery] [--trace-sample N] [--emit-trace FILE]"
     );
     std::process::exit(2);
 }
@@ -124,8 +131,27 @@ fn parse_args() -> Args {
             }
             "--fault-profile" => {
                 let spec = value(&mut i, &arg);
+                // Preserve any --outage windows parsed before this flag.
+                let outages: Vec<_> = sc.faults.outage_windows().collect();
                 sc.faults = FaultConfig::parse(&spec).unwrap_or_else(|e| {
                     eprintln!("invalid --fault-profile {spec:?}: {e}");
+                    std::process::exit(2);
+                });
+                for w in outages {
+                    sc.faults.push_outage(w).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    });
+                }
+            }
+            "--outage" => {
+                let spec = value(&mut i, &arg);
+                let window = gpu_sim::OutageWindow::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("invalid --outage {spec:?}: {e}");
+                    std::process::exit(2);
+                });
+                sc.faults.push_outage(window).unwrap_or_else(|e| {
+                    eprintln!("{e}");
                     std::process::exit(2);
                 });
             }
@@ -165,6 +191,9 @@ struct RunOutput {
     rec: ServeRecord,
     faults_injected: u64,
     recovery: vpps::RecoveryStats,
+    redispatched: u64,
+    rehomes: u64,
+    cold_rebuilds: u64,
     trace: Option<vpps_obs::TraceSink>,
 }
 
@@ -172,6 +201,15 @@ fn run_once(sc: &ServeScenario) -> RunOutput {
     let (mut server, mid, offered_rps) = run_scenario_server(sc);
     let trace = server.take_trace();
     let cache = server.lowered_cache_stats();
+    let router = server.router_stats();
+    // Faults are injected per device stream; sum over the fleet.
+    let faults_injected = (0..server.device_count())
+        .map(|d| {
+            server
+                .fault_profile_on(mid, d)
+                .map_or(0, |p| p.total_injected())
+        })
+        .sum();
     RunOutput {
         rec: ServeRecord {
             label: sc.label.clone(),
@@ -180,10 +218,18 @@ fn run_once(sc: &ServeScenario) -> RunOutput {
             script_hits: cache.script_hits,
             script_misses: cache.script_misses,
             script_re_misses: cache.script_re_misses,
+            devices: server
+                .device_stats()
+                .iter()
+                .map(vpps_serve::DeviceRow::from_stats)
+                .collect(),
             report: ServeReport::from_outcomes(server.outcomes()),
         },
-        faults_injected: server.fault_profile(mid).map_or(0, |p| p.total_injected()),
+        faults_injected,
         recovery: server.recovery_stats(mid),
+        redispatched: server.redispatched_batches(),
+        rehomes: router.rehomes,
+        cold_rebuilds: router.cold_rebuilds,
         trace,
     }
 }
@@ -248,6 +294,19 @@ fn main() {
             r.baseline_fallbacks,
             r.quarantines,
             r.rollbacks
+        );
+    }
+    if args.scenario.faults.has_outages() {
+        let health = rec
+            .devices
+            .iter()
+            .map(|d| format!("{}:{}", d.device, d.health))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "  outages: {} batches re-dispatched, {} buckets re-homed \
+             ({} cold rebuilds); terminal health [{health}]",
+            out.redispatched, out.rehomes, out.cold_rebuilds
         );
     }
 

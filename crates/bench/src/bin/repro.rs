@@ -15,7 +15,12 @@
 //! comparison writing `BENCH_lowered.json`; included in `all`), `chaos`
 //! (serving goodput under swept deterministic fault rates writing
 //! `BENCH_chaos.json`; exits nonzero if its armed-rate-0 or same-seed
-//! reproducibility invariant fails), `serve-trace` (end-to-end request
+//! reproducibility invariant fails), `chaos-sharded` (whole-device outage
+//! sweep — crash, hang, brownout — against the sharded server, writing
+//! `BENCH_chaos_sharded.json`; exits nonzero unless every admitted request
+//! resolves exactly once, surviving-path outputs are bit-identical to a
+//! fault-free run, re-dispatch is visible in the request traces, and the
+//! same-seed rerun is byte-identical), `serve-trace` (end-to-end request
 //! tracing sweep writing `BENCH_serve_trace.json`; exits nonzero unless
 //! every request's phase spans tile its latency exactly, every admitted
 //! request resolves exactly once, nothing was dropped, and the rerun is
@@ -855,6 +860,97 @@ fn chaos(full: bool, backend: BackendKind) {
     }
 }
 
+/// Chaos-sharded experiment: device-count × outage-kind sweep of scheduled
+/// whole-device faults (crash, hang, brownout) against the sharded server.
+/// Writes `BENCH_chaos_sharded.json` (honoring `$VPPS_BENCH_DIR`) and
+/// exits nonzero if any point's self-checks fail: zero lost requests, zero
+/// duplicate resolutions, surviving-path outputs bit-identical to a
+/// fault-free run, same-seed rerun byte-identical, request-trace spans
+/// still tiling exactly with re-dispatch attributed.
+fn chaos_sharded(full: bool) {
+    println!("Chaos-sharded — whole-device outages against the sharded server");
+    println!("(scheduled crash/hang/brownout on device 1 over the middle third");
+    println!("of the fault-free makespan; every point self-checks exactly-once)\n");
+    let sc = vpps_bench::chaos_sharded_scenario(full);
+    let records = vpps_bench::run_chaos_sharded(&sc);
+    let mut rows = Vec::new();
+    for r in &records {
+        rows.push(vec![
+            r.devices.to_string(),
+            r.kind.clone(),
+            format!("{:.0}..{:.0}", r.outage_start_us, r.outage_end_us),
+            r.lost.to_string(),
+            r.duplicates.to_string(),
+            r.redispatched.to_string(),
+            format!("{}/{}", r.warm_rebuild_cold_lowers, r.rehomes),
+            format!("{:.0}", r.goodput_pre_rps),
+            format!("{:.0}", r.goodput_during_rps),
+            format!("{:.0}", r.goodput_post_rps),
+            if r.outputs_match_fault_free {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_owned(),
+            if r.deterministic { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Chaos-sharded",
+            &[
+                "devices",
+                "outage",
+                "window us",
+                "lost",
+                "dup",
+                "redisp",
+                "cold/rehomed",
+                "pre rps",
+                "during rps",
+                "post rps",
+                "=clean",
+                "det"
+            ],
+            &rows
+        )
+    );
+    println!("lost and dup must be 0 on every row: a failing device may slow the");
+    println!("fleet but never loses or double-resolves an admitted request.\n");
+    let mut failed = false;
+    for r in &records {
+        if !r.self_checks_pass() {
+            eprintln!(
+                "devices={} kind={}: self-checks failed (lost={} dup={} redisp={} \
+                 downs={} revivals={} =clean={} det={} trace={})",
+                r.devices,
+                r.kind,
+                r.lost,
+                r.duplicates,
+                r.redispatched,
+                r.device_downs,
+                r.device_revivals,
+                r.outputs_match_fault_free,
+                r.deterministic,
+                r.trace_complete
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("chaos-sharded self-checks failed");
+        std::process::exit(1);
+    }
+    match vpps_bench::write_chaos_sharded_summary(&records) {
+        Ok(path) => println!("chaos-sharded trajectory -> {}\n", path.display()),
+        Err(e) => {
+            eprintln!("cannot write chaos-sharded trajectory: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Captures the metric registry and writes it to `path` (Prometheus text
 /// for `.prom`, versioned JSON snapshot otherwise). JSON snapshots are
 /// validated by parsing them back through their own schema.
@@ -973,6 +1069,7 @@ fn main() {
         "serve-trace" => serve_trace(full, trace_path.take().as_deref()),
         "lowered" => lowered(full),
         "chaos" => chaos(full, backend),
+        "chaos-sharded" => chaos_sharded(full),
         "all" => {
             table2();
             fig2(&scale);
@@ -987,7 +1084,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|serve|serve-sharded|serve-trace|lowered|chaos|all] \
+                "usage: repro [fig2|fig8|fig9|fig10|fig12|table1|table2|trace|serve|serve-sharded|serve-trace|lowered|chaos|chaos-sharded|all] \
                  [--full] [--backend=event-interp|threaded|parallel-interp|lowered] \
                  [--emit-metrics=FILE[.prom]] [--emit-trace=FILE]"
             );

@@ -129,6 +129,11 @@ fn run_point(sc: &ChaosScenario, rate: f64, faults: FaultConfig) -> ChaosRecord 
         script_hits: cache.script_hits,
         script_misses: cache.script_misses,
         script_re_misses: cache.script_re_misses,
+        devices: server
+            .device_stats()
+            .iter()
+            .map(vpps_serve::DeviceRow::from_stats)
+            .collect(),
         report: ServeReport::from_outcomes(server.outcomes()),
     };
     let faults: Vec<(String, u64)> = FaultKind::ALL

@@ -17,6 +17,7 @@
 
 pub mod apps;
 pub mod chaos_bench;
+pub mod chaos_sharded_bench;
 pub mod harness;
 pub mod lowered_bench;
 pub mod report;
@@ -29,6 +30,11 @@ pub use apps::{AppInstance, AppKind, AppSpec};
 pub use chaos_bench::{
     chaos_summary_json, run_chaos, validate_chaos_summary, write_chaos_summary, ChaosRecord,
     ChaosScenario, ChaosSummary,
+};
+pub use chaos_sharded_bench::{
+    chaos_sharded_scenario, chaos_sharded_summary_json, run_chaos_sharded,
+    validate_chaos_sharded_summary, write_chaos_sharded_summary, ChaosShardedRecord,
+    ChaosShardedScenario,
 };
 pub use harness::{profiled_rpw, run_baseline, run_vpps, RunResult};
 pub use lowered_bench::{

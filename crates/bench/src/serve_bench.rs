@@ -184,6 +184,7 @@ pub(crate) fn server_for(sc: &ServeScenario) -> (Server, ModelId, ServeWorkload)
             devices: sc.devices.max(1),
             steal_margin: SimTime::from_us(sc.steal_margin_us),
         },
+        health: vpps_serve::HealthPolicy::default(),
     };
     let mut server = Server::new(cfg);
     if let Some(sample) = sc.trace_sample {
@@ -207,6 +208,11 @@ pub fn run_scenario(sc: &ServeScenario) -> ServeRecord {
         script_hits: cache.script_hits,
         script_misses: cache.script_misses,
         script_re_misses: cache.script_re_misses,
+        devices: server
+            .device_stats()
+            .iter()
+            .map(vpps_serve::DeviceRow::from_stats)
+            .collect(),
         report: ServeReport::from_outcomes(server.outcomes()),
     }
 }

@@ -66,6 +66,6 @@ pub use engine::{
     RecoveryPolicy, RecoveryStats, RunOutcome, Session,
 };
 pub use error::VppsError;
-pub use gpu_sim::{FaultConfig, FaultEvent, FaultKind, FaultProfile};
+pub use gpu_sim::{FaultConfig, FaultEvent, FaultKind, FaultProfile, OutageKind, OutageWindow};
 pub use handle::{BatchCost, CostProbe, Handle, PhaseBreakdown, RpwMode, VppsOptions};
 pub use specialize::{GradStrategy, KernelPlan, PlanCache, PlanMemo, PlanSignature};

@@ -83,6 +83,110 @@ impl std::fmt::Display for FaultKind {
     }
 }
 
+/// How a scheduled whole-device outage manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OutageKind {
+    /// The device dies at the window start: resident state is lost and every
+    /// queued or in-flight batch must be re-dispatched elsewhere.
+    Crash,
+    /// The device freezes: completions stop arriving but nothing is reported,
+    /// so the serving layer only learns of it when a watchdog deadline lapses.
+    Hang,
+    /// The device keeps running but slower (thermal throttle, ECC retirement
+    /// storms): service times inside the window are scaled up.
+    Brownout,
+}
+
+impl OutageKind {
+    /// Every kind, in a fixed order for sweeps.
+    pub const ALL: [OutageKind; 3] = [OutageKind::Crash, OutageKind::Hang, OutageKind::Brownout];
+
+    /// Stable snake_case name, used in spec parsing and bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            OutageKind::Crash => "crash",
+            OutageKind::Hang => "hang",
+            OutageKind::Brownout => "brownout",
+        }
+    }
+}
+
+impl std::fmt::Display for OutageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maximum scheduled outage windows per [`FaultConfig`]. A fixed-size array
+/// keeps the config `Copy` so it can keep flowing by value through
+/// `VppsOptions` and the serve scenarios.
+pub const MAX_OUTAGES: usize = 4;
+
+/// One scheduled device-scoped outage window on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageWindow {
+    /// Which device the outage hits (serve-layer device index).
+    pub device: u32,
+    /// How the outage manifests.
+    pub kind: OutageKind,
+    /// Virtual time the outage begins.
+    pub start: SimTime,
+    /// Virtual time the outage ends (device becomes revivable).
+    pub end: SimTime,
+}
+
+impl OutageWindow {
+    /// Parses a `DEV@START..END[:kind]` spec, times in virtual microseconds;
+    /// `kind` is `crash` (default), `hang` or `brownout`.
+    ///
+    /// `"1@300..600:hang"` hangs device 1 from t=300µs to t=600µs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed specs or `end <= start`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (window, kind) = match spec.rsplit_once(':') {
+            Some((w, k)) => {
+                let kind = OutageKind::ALL
+                    .into_iter()
+                    .find(|o| o.name() == k.trim())
+                    .ok_or_else(|| format!("unknown outage kind `{}`", k.trim()))?;
+                (w, kind)
+            }
+            None => (spec, OutageKind::Crash),
+        };
+        let (dev, span) = window
+            .split_once('@')
+            .ok_or_else(|| format!("outage `{spec}` is not DEV@START..END[:kind]"))?;
+        let device: u32 = dev
+            .trim()
+            .parse()
+            .map_err(|_| format!("outage device `{}` is not an integer", dev.trim()))?;
+        let (start, end) = span
+            .split_once("..")
+            .ok_or_else(|| format!("outage window `{span}` is not START..END"))?;
+        let start_us: f64 = start
+            .trim()
+            .parse()
+            .map_err(|_| format!("outage start `{}` is not a number", start.trim()))?;
+        let end_us: f64 = end
+            .trim()
+            .parse()
+            .map_err(|_| format!("outage end `{}` is not a number", end.trim()))?;
+        if !start_us.is_finite() || !end_us.is_finite() || start_us < 0.0 || end_us <= start_us {
+            return Err(format!(
+                "outage window `{span}` must satisfy 0 <= start < end"
+            ));
+        }
+        Ok(Self {
+            device,
+            kind,
+            start: SimTime::from_us(start_us),
+            end: SimTime::from_us(end_us),
+        })
+    }
+}
+
 /// Per-run fault rates plus the injector seed.
 ///
 /// `enabled` distinguishes "an armed injector whose rates happen to be zero"
@@ -106,6 +210,19 @@ pub struct FaultConfig {
     pub dram_corruption: f64,
     /// Probability a JIT specialization attempt fails.
     pub jit_failure: f64,
+    /// Device index this profile's draw stream is scoped to. Each device gets
+    /// its own splitmix64 stream derived from `seed ^ golden-ratio·device`, so
+    /// per-device journals are disjoint and device 0 reproduces the legacy
+    /// single-device stream exactly.
+    pub device: u32,
+    /// Service-time multiplier applied to batches started inside a
+    /// [`OutageKind::Brownout`] window (must be >= 1).
+    pub brownout_factor: f64,
+    /// Scheduled whole-device outage windows (`None` slots unused). The
+    /// serving layer's health machinery activates whenever any slot is set,
+    /// independently of `enabled` — an armed-rate-0 injector must still be
+    /// bit-identical to a disabled one.
+    pub outages: [Option<OutageWindow>; MAX_OUTAGES],
 }
 
 impl Default for FaultConfig {
@@ -126,6 +243,9 @@ impl FaultConfig {
             vpp_hang: 0.0,
             dram_corruption: 0.0,
             jit_failure: 0.0,
+            device: 0,
+            brownout_factor: 4.0,
+            outages: [None; MAX_OUTAGES],
         }
     }
 
@@ -141,7 +261,33 @@ impl FaultConfig {
             vpp_hang: rate,
             dram_corruption: rate,
             jit_failure: rate,
+            ..Self::disabled()
         }
+    }
+
+    /// Adds an outage window to the first free slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error once all [`MAX_OUTAGES`] slots are taken.
+    pub fn push_outage(&mut self, window: OutageWindow) -> Result<(), String> {
+        match self.outages.iter_mut().find(|s| s.is_none()) {
+            Some(slot) => {
+                *slot = Some(window);
+                Ok(())
+            }
+            None => Err(format!("at most {MAX_OUTAGES} outage windows supported")),
+        }
+    }
+
+    /// The scheduled outage windows, in slot order.
+    pub fn outage_windows(&self) -> impl Iterator<Item = OutageWindow> + '_ {
+        self.outages.iter().flatten().copied()
+    }
+
+    /// `true` if any outage window is scheduled.
+    pub fn has_outages(&self) -> bool {
+        self.outages.iter().any(|s| s.is_some())
     }
 
     /// The configured rate for one kind, clamped to `[0, 1]`.
@@ -162,11 +308,14 @@ impl FaultConfig {
     }
 
     /// Parses a `loadgen --fault-profile` spec: comma-separated `key=value`
-    /// pairs where keys are `seed`, `rate` (applies to every kind) or a kind
-    /// name / short alias (`transfer`, `launch`, `hang`, `dram`, `jit`).
+    /// pairs where keys are `seed`, `rate` (applies to every kind), a kind
+    /// name / short alias (`transfer`, `launch`, `hang`, `dram`, `jit`),
+    /// `outage` (a [`OutageWindow::parse`] spec, repeatable up to
+    /// [`MAX_OUTAGES`] times) or `brownout_factor`.
     ///
     /// `"hang=0.05,launch=0.01,seed=7"` arms hangs at 5%, launch failures at
-    /// 1% and seeds the stream with 7.
+    /// 1% and seeds the stream with 7. `"outage=1@300..600:crash"` crashes
+    /// device 1 from t=300µs to t=600µs.
     ///
     /// # Errors
     ///
@@ -187,6 +336,20 @@ impl FaultConfig {
                 cfg.seed = value
                     .parse()
                     .map_err(|_| format!("fault-profile seed `{value}` is not an integer"))?;
+                continue;
+            }
+            if key == "outage" {
+                cfg.push_outage(OutageWindow::parse(value)?)?;
+                continue;
+            }
+            if key == "brownout_factor" {
+                let f: f64 = value.parse().map_err(|_| {
+                    format!("fault-profile brownout_factor `{value}` is not a number")
+                })?;
+                if !f.is_finite() || f < 1.0 {
+                    return Err(format!("brownout_factor `{value}` must be >= 1"));
+                }
+                cfg.brownout_factor = f;
                 continue;
             }
             let rate: f64 = value
@@ -226,6 +389,9 @@ pub struct FaultEvent {
     /// produced this fault — pins the event to a unique point in the stream
     /// even when two faults share a virtual timestamp.
     pub draw: u64,
+    /// Device whose profile drew this fault ([`FaultConfig::device`]) — with
+    /// one profile per device, journals would otherwise be unattributable.
+    pub device: u32,
 }
 
 /// Posts one injected fault to the observability layer. Handles for the five
@@ -272,9 +438,12 @@ impl FaultProfile {
     /// Creates an injector from a config. (Callers normally gate on
     /// [`FaultConfig::enabled`] and construct no profile when disabled.)
     pub fn new(cfg: FaultConfig) -> Self {
+        // Golden-ratio-spread per-device streams: device 0 keeps the legacy
+        // stream bit-for-bit, so single-device runs are unchanged.
+        let state = cfg.seed ^ (cfg.device as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         Self {
             cfg,
-            state: cfg.seed,
+            state,
             draws: 0,
             journal: Vec::new(),
             counts: [0; 5],
@@ -304,6 +473,7 @@ impl FaultProfile {
                 at: now,
                 kind,
                 draw,
+                device: self.cfg.device,
             });
             self.counts[kind.index()] += 1;
             obs_record_injection(kind);
@@ -467,6 +637,75 @@ mod tests {
         assert!(FaultConfig::parse("hang=2.0").is_err());
         assert!(FaultConfig::parse("hang").is_err());
         assert!(FaultConfig::parse("seed=x").is_err());
+    }
+
+    #[test]
+    fn parse_outage_spec() {
+        let cfg = FaultConfig::parse("outage=1@300..600:hang,seed=9").unwrap();
+        let windows: Vec<_> = cfg.outage_windows().collect();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].device, 1);
+        assert_eq!(windows[0].kind, OutageKind::Hang);
+        assert_eq!(windows[0].start, SimTime::from_us(300.0));
+        assert_eq!(windows[0].end, SimTime::from_us(600.0));
+        assert!(cfg.has_outages());
+
+        // Default kind is crash; multiple windows fill successive slots.
+        let multi = FaultConfig::parse("outage=0@10..20,outage=2@30..40:brownout").unwrap();
+        let w: Vec<_> = multi.outage_windows().collect();
+        assert_eq!(w[0].kind, OutageKind::Crash);
+        assert_eq!(w[1].device, 2);
+        assert_eq!(w[1].kind, OutageKind::Brownout);
+
+        let bf = FaultConfig::parse("brownout_factor=2.5").unwrap();
+        assert_eq!(bf.brownout_factor, 2.5);
+
+        assert!(FaultConfig::parse("outage=1@600..300").is_err());
+        assert!(FaultConfig::parse("outage=1@300..600:melt").is_err());
+        assert!(FaultConfig::parse("outage=x@1..2").is_err());
+        assert!(FaultConfig::parse("outage=1&1..2").is_err());
+        assert!(FaultConfig::parse("brownout_factor=0.5").is_err());
+        let too_many = "outage=0@1..2,outage=0@3..4,outage=0@5..6,outage=0@7..8,outage=0@9..10";
+        assert!(FaultConfig::parse(too_many).is_err());
+        assert!(!FaultConfig::parse("rate=0.1").unwrap().has_outages());
+    }
+
+    #[test]
+    fn per_device_streams_are_disjoint_and_device0_is_legacy() {
+        // Device 0 must reproduce the un-tagged stream bit-for-bit.
+        let legacy = FaultConfig::uniform(42, 0.3);
+        assert_eq!(legacy.device, 0);
+        let mut base = FaultProfile::new(legacy);
+        let mut dev0 = FaultProfile::new(FaultConfig {
+            device: 0,
+            ..legacy
+        });
+        let mut dev1 = FaultProfile::new(FaultConfig {
+            device: 1,
+            ..legacy
+        });
+        let mut diverged = false;
+        for i in 0..200 {
+            let t = SimTime::from_ns(i as f64);
+            let a = base.draw(FaultKind::VppHang, t);
+            assert_eq!(a, dev0.draw(FaultKind::VppHang, t));
+            if a != dev1.draw(FaultKind::VppHang, t) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "device 1 stream must differ from device 0");
+        assert!(dev0.journal().iter().all(|e| e.device == 0));
+        assert!(dev1.journal().iter().all(|e| e.device == 1));
+
+        // Seed-stable: rebuilding the device-1 profile replays its journal.
+        let mut replay = FaultProfile::new(FaultConfig {
+            device: 1,
+            ..legacy
+        });
+        for i in 0..200 {
+            replay.draw(FaultKind::VppHang, SimTime::from_ns(i as f64));
+        }
+        assert_eq!(replay.journal(), dev1.journal());
     }
 
     #[test]

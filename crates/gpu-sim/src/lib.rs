@@ -50,7 +50,7 @@ pub mod time;
 pub use config::DeviceConfig;
 pub use cost::{CostModel, HostCostModel};
 pub use dram::{Dram, TrafficTag};
-pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultProfile};
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultProfile, OutageKind, OutageWindow};
 pub use metrics::{DeviceSnapshot, ImbalanceHistogram, Metrics};
 pub use sim::{GpuSim, KernelDesc, KernelStats};
 pub use time::SimTime;

@@ -153,6 +153,43 @@ pub enum TraceEvent {
         /// Resolution time.
         at_ns: f64,
     },
+    /// A device was declared out of service (whole-device failure domain).
+    /// Device-level: carries no request ids; its per-request consequences
+    /// arrive as [`Self::Redispatched`] events.
+    DeviceDown {
+        /// The failed device.
+        device: u32,
+        /// `"crash"` or `"hang"` (watchdog-declared).
+        reason: &'static str,
+        /// Declaration time.
+        at_ns: f64,
+    },
+    /// After a device failure, the (sampled) members of `from_batch` —
+    /// queued on or in flight on the failed device — were re-dispatched as
+    /// fresh batch `batch` on a survivor. Closes each member's queue wait
+    /// on the dead device and re-opens it on the new one, so re-dispatch
+    /// time shows up as an attributed queue phase, not a gap.
+    Redispatched {
+        /// The batch aborted by the failure.
+        from_batch: u64,
+        /// The fresh batch id on the survivor.
+        batch: u64,
+        /// The failed device.
+        from_device: u32,
+        /// The surviving target device.
+        device: u32,
+        /// Sampled member request ids.
+        members: Vec<u64>,
+        /// Re-dispatch time (the failure time).
+        at_ns: f64,
+    },
+    /// A down device re-entered service (on revival probation) at `at_ns`.
+    DeviceRevived {
+        /// The revived device.
+        device: u32,
+        /// Revival time.
+        at_ns: f64,
+    },
 }
 
 /// Bounded in-memory event sink with deterministic every-Nth request
@@ -638,6 +675,12 @@ pub struct TraceAnalysis {
     pub retries: u64,
     /// Batches the router stole away from their home device.
     pub steals: u64,
+    /// Batches re-dispatched to a survivor after a device failure.
+    pub redispatches: u64,
+    /// Devices declared down (crash or watchdog-declared hang).
+    pub device_downs: u64,
+    /// Devices revived into probation.
+    pub device_revivals: u64,
     /// Breakdown over every resolved request.
     pub overall: GroupBreakdown,
     /// Breakdown per tenant, ordered by tenant id.
@@ -659,6 +702,7 @@ impl TraceAnalysis {
         let mut batches: BTreeMap<u64, BatchInfo> = BTreeMap::new();
         let mut batch_spans: Vec<BatchSpan> = Vec::new();
         let (mut formed, mut retries, mut steals) = (0u64, 0u64, 0u64);
+        let (mut redispatches, mut device_downs, mut device_revivals) = (0u64, 0u64, 0u64);
 
         for ev in sink.events() {
             match ev {
@@ -914,6 +958,69 @@ impl TraceAnalysis {
                     st.resolution = Some((*outcome, reason, *at_ns));
                     st.stage = Stage::Done;
                 }
+                TraceEvent::DeviceDown { .. } => {
+                    device_downs += 1;
+                }
+                TraceEvent::DeviceRevived { .. } => {
+                    device_revivals += 1;
+                }
+                TraceEvent::Redispatched {
+                    from_batch,
+                    batch,
+                    from_device,
+                    device,
+                    members,
+                    at_ns,
+                } => {
+                    redispatches += 1;
+                    batches.insert(
+                        *batch,
+                        BatchInfo {
+                            members: members.clone(),
+                            device: Some(*device),
+                        },
+                    );
+                    for req in members {
+                        let Some(st) = reqs.get_mut(req) else {
+                            errors.push(format!("request {req}: re-dispatched before admission"));
+                            continue;
+                        };
+                        if st.stage != Stage::Queued {
+                            errors.push(format!("request {req}: re-dispatched while not queued"));
+                            continue;
+                        }
+                        if *at_ns < st.boundary_ns {
+                            errors.push(format!(
+                                "request {req}: re-dispatched at {at_ns} before its queue wait \
+                                 began at {}",
+                                st.boundary_ns
+                            ));
+                            continue;
+                        }
+                        // The wait already spent on the failed device is real
+                        // latency: close it as an attributed queue span
+                        // (flagged "aborted"), then a zero-width re-route.
+                        st.spans.push(PhaseSpan {
+                            phase: Phase::Queue,
+                            start_ns: st.boundary_ns,
+                            end_ns: *at_ns,
+                            device: Some(*from_device),
+                            batch: Some(*from_batch),
+                            ok: true,
+                            detail: "aborted",
+                        });
+                        st.spans.push(PhaseSpan {
+                            phase: Phase::Route,
+                            start_ns: *at_ns,
+                            end_ns: *at_ns,
+                            device: Some(*device),
+                            batch: Some(*batch),
+                            ok: true,
+                            detail: "redispatch",
+                        });
+                        st.boundary_ns = *at_ns;
+                    }
+                }
             }
         }
 
@@ -980,6 +1087,9 @@ impl TraceAnalysis {
             batches: formed,
             retries,
             steals,
+            redispatches,
+            device_downs,
+            device_revivals,
             overall,
             by_tenant,
             by_bucket,
@@ -1278,6 +1388,82 @@ mod tests {
         assert_eq!(a.batch_spans.len(), 2);
         assert!(!a.batch_spans[0].ok);
         assert!(a.batch_spans[1].ok);
+    }
+
+    #[test]
+    fn redispatched_request_tiles_across_devices() {
+        let mut s = TraceSink::new(128, 1);
+        s.record(TraceEvent::Admitted {
+            req: 0,
+            tenant: 0,
+            at_ns: 0.0,
+        });
+        s.record(TraceEvent::Formed {
+            batch: 0,
+            bucket: "b".into(),
+            members: vec![0],
+            at_ns: 40.0,
+        });
+        s.record(TraceEvent::Routed {
+            batch: 0,
+            device: 1,
+            decision: "placement",
+            at_ns: 40.0,
+        });
+        // Device 1 crashes while the batch is queued/in flight there.
+        s.record(TraceEvent::DeviceDown {
+            device: 1,
+            reason: "crash",
+            at_ns: 120.0,
+        });
+        s.record(TraceEvent::Redispatched {
+            from_batch: 0,
+            batch: 1,
+            from_device: 1,
+            device: 0,
+            members: vec![0],
+            at_ns: 120.0,
+        });
+        s.record(TraceEvent::Executed {
+            batch: 1,
+            device: 0,
+            started_ns: 150.0,
+            completed_ns: 300.0,
+            cold: true,
+            host_prep_ns: 0.0,
+            copy_ns: 0.0,
+            kernel_ns: 0.0,
+            fallback_ns: 0.0,
+            recovery_ns: 0.0,
+            barrier_stall_ns: 0.0,
+        });
+        s.record(TraceEvent::Resolved {
+            req: 0,
+            outcome: Resolution::Completed,
+            reason: "completed",
+            at_ns: 300.0,
+        });
+        s.record(TraceEvent::DeviceRevived {
+            device: 1,
+            at_ns: 400.0,
+        });
+        let a = TraceAnalysis::analyze(&s);
+        assert!(a.errors.is_empty(), "unexpected errors: {:?}", a.errors);
+        assert_eq!(a.redispatches, 1);
+        assert_eq!(a.device_downs, 1);
+        assert_eq!(a.device_revivals, 1);
+        let t = &a.timelines[0];
+        t.check_tiling().unwrap();
+        // Queue time splits across both devices: 80ns wasted on the dead
+        // device, 30ns on the survivor.
+        assert_eq!(t.phase_ns(Phase::Queue), 80.0 + 30.0);
+        let aborted: Vec<_> = t.spans.iter().filter(|s| s.detail == "aborted").collect();
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].device, Some(1));
+        assert!(t
+            .spans
+            .iter()
+            .any(|s| s.phase == Phase::Route && s.detail == "redispatch"));
     }
 
     #[test]

@@ -120,6 +120,14 @@ impl CircuitBreaker {
         });
         self.state = to;
         vpps_obs::gauge("serve.breaker_state").set(to.as_gauge());
+        if vpps_obs::enabled() {
+            let lifecycle = match to {
+                BreakerState::Open => "serve.breaker.opened",
+                BreakerState::HalfOpen => "serve.breaker.half_open",
+                BreakerState::Closed => "serve.breaker.closed",
+            };
+            vpps_obs::counter(lifecycle).incr();
+        }
     }
 
     /// Asks whether a batch may dispatch at virtual time `now`. `Closed`

@@ -32,6 +32,72 @@ use crate::request::{RequestId, RequestKind};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub usize);
 
+/// Lifecycle state of one device shard.
+///
+/// `Healthy → Degraded → Healthy` (brownout), `Healthy → Draining → Down →
+/// Reviving → Healthy` (crash, or a hang once the watchdog declares it).
+/// `Draining` exists only instantaneously today — the drain (re-dispatching
+/// queued and in-flight batches to survivors) completes atomically on the
+/// virtual clock — but it is a distinct logged state so the transition log
+/// shows *that* a drain happened between up and down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceHealth {
+    /// Normal operation: full routing eligibility.
+    #[default]
+    Healthy,
+    /// Running slow (brownout window): finishes what it has, keeps its
+    /// affinity, but receives no new placements or steals.
+    Degraded,
+    /// Being emptied: queued and in-flight batches are re-dispatched.
+    Draining,
+    /// Out of service: receives nothing, executes nothing.
+    Down,
+    /// Back up but on probation: bounded admission (one batch at a time,
+    /// placement only while idle) until it completes enough warm batches.
+    Reviving,
+}
+
+impl DeviceHealth {
+    /// Stable snake_case name (reports, traces, bench rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceHealth::Healthy => "healthy",
+            DeviceHealth::Degraded => "degraded",
+            DeviceHealth::Draining => "draining",
+            DeviceHealth::Down => "down",
+            DeviceHealth::Reviving => "reviving",
+        }
+    }
+
+    /// Gauge encoding, in lifecycle order.
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            DeviceHealth::Healthy => 0.0,
+            DeviceHealth::Degraded => 1.0,
+            DeviceHealth::Draining => 2.0,
+            DeviceHealth::Down => 3.0,
+            DeviceHealth::Reviving => 4.0,
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded health transition, for invariant tests and reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthTransition {
+    /// Virtual time of the transition.
+    pub at: SimTime,
+    /// State before.
+    pub from: DeviceHealth,
+    /// State after.
+    pub to: DeviceHealth,
+}
+
 /// Point-in-time numbers for one device, for reports and benchmarks.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DeviceStats {
@@ -45,6 +111,12 @@ pub struct DeviceStats {
     pub busy: SimTime,
     /// Requests currently waiting in the device queue.
     pub queued_members: usize,
+    /// Current lifecycle state.
+    pub health: DeviceHealth,
+    /// Model replicas on this device whose breaker is currently open.
+    pub breaker_open: usize,
+    /// Model replicas on this device whose breaker is currently half-open.
+    pub breaker_half_open: usize,
 }
 
 /// A formed batch waiting for (or being handed to) a device.
@@ -79,8 +151,23 @@ impl BatchJob {
 /// What happened when the device executed (or refused) one queued batch.
 /// The server translates these into outcomes and accounting; the device
 /// itself never touches the outcome stream.
+///
+/// `Started` is emitted the moment a batch occupies the device; its
+/// `Executed` result is *held* on the device and only emitted once the
+/// virtual clock reaches `completed_at` — so a whole-device crash or hang
+/// can still abort the attempt and re-dispatch the members elsewhere.
 #[derive(Debug)]
 pub(crate) enum DeviceEvent {
+    /// A batch began executing and will (unless the device fails first)
+    /// complete successfully at `completed_at`. The server counts its
+    /// members as in-flight from this moment, exactly as it would have when
+    /// results were reported at dispatch time.
+    Started {
+        /// Member count (one in-flight slot each).
+        members: usize,
+        /// Promised completion time on the virtual clock.
+        completed_at: SimTime,
+    },
     /// The batch executed successfully.
     Executed {
         batch_id: u64,
@@ -110,6 +197,19 @@ pub(crate) enum DeviceEvent {
         retried: Vec<(RequestId, u64)>,
         at: SimTime,
     },
+}
+
+/// Returned by [`Device::thaw`] when an undetected hang slipped a running
+/// batch's promised completion: the server must move that batch's in-flight
+/// entries from the old completion time to the new one.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InflightRetime {
+    /// In-flight slots to move (one per member).
+    pub members: usize,
+    /// Completion time the slots were booked at.
+    pub old_completed: SimTime,
+    /// Completion time they move to.
+    pub new_completed: SimTime,
 }
 
 /// Per-(device, model) execution state: a full model replica behind a warm
@@ -144,6 +244,23 @@ pub struct Device {
     /// stealing toward devices that appear here.
     seen: BTreeSet<BucketKey>,
     recovery: RecoveryConfig,
+    /// The held result of the batch currently occupying the device, emitted
+    /// by [`Device::pump`] once the clock reaches `busy_until`.
+    running: Option<DeviceEvent>,
+    /// Lifecycle state (driven by the server's outage schedule + watchdog).
+    health: DeviceHealth,
+    /// Every health transition, in order.
+    health_log: Vec<HealthTransition>,
+    /// Service-time multiplier (> 1 inside a brownout window).
+    slowdown: f64,
+    /// `true` while a hang window holds the device: it stops making
+    /// progress but has not (yet) been declared down.
+    frozen: bool,
+    /// When the current freeze began (valid while `frozen`).
+    frozen_at: SimTime,
+    /// Successful batches still required to clear revival probation
+    /// (meaningful while `health == Reviving`).
+    probation_left: u32,
 }
 
 impl Device {
@@ -160,6 +277,13 @@ impl Device {
             scratch: Graph::new(),
             seen: BTreeSet::new(),
             recovery,
+            running: None,
+            health: DeviceHealth::Healthy,
+            health_log: Vec::new(),
+            slowdown: 1.0,
+            frozen: false,
+            frozen_at: SimTime::ZERO,
+            probation_left: 0,
         }
     }
 
@@ -203,10 +327,19 @@ impl Device {
         busy + SimTime::from_ns(est_ns * self.queue.len() as f64)
     }
 
-    /// Earliest virtual time at which a queued batch can start, if any
-    /// batch is queued.
+    /// Earliest virtual time at which this device next needs a pump: when
+    /// the held running result becomes emittable, or a queued batch can
+    /// start. `None` while frozen or down — a frozen device makes no
+    /// progress on its own (the server's watchdog or the outage schedule
+    /// wakes it), and waking a down device would spin.
     pub(crate) fn next_ready(&self) -> Option<SimTime> {
-        (!self.queue.is_empty()).then_some(self.busy_until)
+        if self.frozen
+            || matches!(self.health, DeviceHealth::Draining | DeviceHealth::Down)
+            || (self.running.is_none() && self.queue.is_empty())
+        {
+            return None;
+        }
+        Some(self.busy_until)
     }
 
     /// Virtual time at which the running batch (if any) completes.
@@ -222,12 +355,24 @@ impl Device {
 
     /// Point-in-time stats for reports.
     pub fn stats(&self) -> DeviceStats {
+        let mut breaker_open = 0;
+        let mut breaker_half_open = 0;
+        for m in &self.models {
+            match m.breaker.state() {
+                BreakerState::Open => breaker_open += 1,
+                BreakerState::HalfOpen => breaker_half_open += 1,
+                BreakerState::Closed => {}
+            }
+        }
         DeviceStats {
             id: self.id.0,
             batches: self.executed,
             failures: self.failures,
             busy: self.busy_total,
             queued_members: self.queued_members(),
+            health: self.health,
+            breaker_open,
+            breaker_half_open,
         }
     }
 
@@ -261,6 +406,114 @@ impl Device {
         &self.models[model].handle
     }
 
+    /// Current lifecycle state.
+    pub fn health(&self) -> DeviceHealth {
+        self.health
+    }
+
+    /// Every health transition so far, in order.
+    pub fn health_log(&self) -> &[HealthTransition] {
+        &self.health_log
+    }
+
+    /// `true` while a hang window holds the device (it has stopped making
+    /// progress but has not yet been declared down).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// `true` if the device has neither a running batch nor queued work.
+    pub fn is_idle(&self) -> bool {
+        self.running.is_none() && self.queue.is_empty()
+    }
+
+    pub(crate) fn set_health(&mut self, to: DeviceHealth, at: SimTime) {
+        if self.health == to {
+            return;
+        }
+        self.health_log.push(HealthTransition {
+            at,
+            from: self.health,
+            to,
+        });
+        self.health = to;
+        vpps_obs::gauge(&format!("serve.device.{}.health", self.id.0)).set(to.as_gauge());
+    }
+
+    /// Service-time multiplier for batches started from now on (brownout).
+    pub(crate) fn set_slowdown(&mut self, factor: f64) {
+        self.slowdown = factor;
+    }
+
+    /// A hang window takes hold: the device stops making progress. Routing
+    /// is *not* told — batches keep arriving until the watchdog notices.
+    pub(crate) fn freeze(&mut self, at: SimTime) {
+        self.frozen = true;
+        self.frozen_at = at;
+    }
+
+    /// Lifts an *undetected* hang at `at` (the window ended before the
+    /// watchdog's grace elapsed): the device resumes with its timeline
+    /// slipped by the freeze duration. Returns the in-flight retime the
+    /// server must apply when a running batch's promised completion moved.
+    pub(crate) fn thaw(&mut self, at: SimTime) -> Option<InflightRetime> {
+        self.frozen = false;
+        let delta = at - self.frozen_at;
+        if delta.as_ns() <= 0.0 {
+            return None;
+        }
+        let old = self.busy_until;
+        match self.running.as_mut() {
+            Some(DeviceEvent::Executed {
+                batch,
+                completed_at,
+                ..
+            }) => {
+                self.busy_until = old + delta;
+                *completed_at = self.busy_until;
+                Some(InflightRetime {
+                    members: batch.len(),
+                    old_completed: old,
+                    new_completed: self.busy_until,
+                })
+            }
+            Some(DeviceEvent::Failed { completed_at, .. }) => {
+                self.busy_until = old + delta;
+                *completed_at = self.busy_until;
+                None // failed attempts hold no in-flight slots
+            }
+            _ => None,
+        }
+    }
+
+    /// Takes everything off a dying device: its queued jobs and the held
+    /// running result. The server re-dispatches the jobs to survivors and
+    /// unwinds the aborted attempt. `lose_warm` models a crash — resident
+    /// lowered state is gone, so the revived device starts cold — while a
+    /// declared hang keeps its host-side caches.
+    pub(crate) fn fail_over(
+        &mut self,
+        at: SimTime,
+        lose_warm: bool,
+    ) -> (Vec<BatchJob>, Option<DeviceEvent>) {
+        let jobs: Vec<BatchJob> = self.queue.drain(..).collect();
+        let running = self.running.take();
+        self.busy_until = at;
+        self.frozen = false;
+        if lose_warm {
+            self.seen.clear();
+        }
+        vpps_obs::gauge(&format!("serve.device.{}.queue_depth", self.id.0)).set(0.0);
+        (jobs, running)
+    }
+
+    /// Enters revival probation at `at`: the device is routable again but
+    /// under bounded admission until it completes `batches` warm batches.
+    pub(crate) fn start_probation(&mut self, at: SimTime, batches: u32) {
+        self.probation_left = batches.max(1);
+        self.set_health(DeviceHealth::Reviving, at);
+    }
+
     /// Queues one formed batch. Execution happens in [`Device::pump`].
     pub(crate) fn enqueue(&mut self, mut job: BatchJob) {
         job.seq = self.next_seq;
@@ -270,14 +523,36 @@ impl Device {
             .set(self.queued_members() as f64);
     }
 
-    /// Executes queued batches while the device is free at `now`, most
-    /// deadline-urgent first. Emits one [`DeviceEvent`] per batch taken off
-    /// the queue. Retry singletons from a failed batch re-enter the queue
-    /// (drawing fresh ids from the server's `next_batch` counter) and run at
-    /// later pump calls (the failed attempt occupied the device, so
-    /// `busy_until` has moved past `now`).
+    /// Advances the device to `now`: emits the held running result once the
+    /// clock reaches its completion, then starts queued batches (most
+    /// deadline-urgent first) while the device is free. Retry singletons
+    /// from a failed batch re-enter the queue (drawing fresh ids from the
+    /// server's `next_batch` counter) and run at later pump calls (the
+    /// failed attempt occupied the device, so `busy_until` has moved past
+    /// `now`). Frozen devices make no progress at all; down devices emit
+    /// nothing (fail-over already took their work) and start nothing.
     pub(crate) fn pump(&mut self, now: SimTime, next_batch: &mut u64, out: &mut Vec<DeviceEvent>) {
+        if self.frozen {
+            return;
+        }
         while self.busy_until <= now {
+            if let Some(ev) = self.running.take() {
+                if let DeviceEvent::Executed { completed_at, .. } = &ev {
+                    if self.health == DeviceHealth::Reviving {
+                        // A completed batch counts toward probation; enough
+                        // of them restore full routing eligibility.
+                        let done_at = *completed_at;
+                        self.probation_left = self.probation_left.saturating_sub(1);
+                        if self.probation_left == 0 {
+                            self.set_health(DeviceHealth::Healthy, done_at);
+                        }
+                    }
+                }
+                out.push(ev);
+            }
+            if matches!(self.health, DeviceHealth::Draining | DeviceHealth::Down) {
+                break;
+            }
             let Some(idx) = self.most_urgent() else { break };
             let job = self.queue.remove(idx).expect("index from most_urgent");
             self.run_job(job, now, next_batch, out);
@@ -354,7 +629,13 @@ impl Device {
         };
         // Failed dispatches still occupied the device (faulted attempts,
         // watchdog waits, backoff): service time is the wall delta either way.
-        let service = dm.handle.wall_time() - wall_before;
+        let mut service = dm.handle.wall_time() - wall_before;
+        if self.slowdown > 1.0 {
+            // Brownout: the device is throttled, so the same work holds it
+            // longer. The handle's cost accounting is untouched — only the
+            // device timeline stretches.
+            service = SimTime::from_ns(service.as_ns() * self.slowdown);
+        }
         let cost = probe.delta(&dm.handle);
         let completed_at = start + service;
         self.busy_until = completed_at;
@@ -365,7 +646,11 @@ impl Device {
                 dm.breaker.record_success(now);
                 dm.batches += 1;
                 self.executed += 1;
-                out.push(DeviceEvent::Executed {
+                out.push(DeviceEvent::Started {
+                    members: batch.len(),
+                    completed_at,
+                });
+                self.running = Some(DeviceEvent::Executed {
                     batch_id,
                     key,
                     batch,
@@ -404,7 +689,7 @@ impl Device {
                         });
                     }
                 }
-                out.push(DeviceEvent::Failed {
+                self.running = Some(DeviceEvent::Failed {
                     batch_id,
                     started_at: start,
                     completed_at,

@@ -36,6 +36,15 @@
 //!   plan-affinity router keeps each bucket on the device whose caches are
 //!   hot for it and steals work to the least-loaded device only when the
 //!   backlog gap exceeds [`ShardPolicy::steal_margin`].
+//! * **Device failure domains** ([`HealthPolicy`], [`DeviceHealth`]) —
+//!   seeded whole-device outage schedules (crash / hang / brownout windows
+//!   in [`gpu_sim::FaultConfig`]) drive an explicit per-device lifecycle
+//!   (`Healthy → Degraded → Draining → Down → Reviving`). A virtual-clock
+//!   watchdog detects silent hangs by their missed completions, a dying
+//!   device's queued *and* in-flight batches are re-dispatched to survivors
+//!   with exactly-once resolution, warm lowered state is rebuilt at most
+//!   once per migrated bucket, and a revived device earns back full routing
+//!   through a bounded probation ramp.
 //! * **Determinism**: the whole server is a discrete-event simulation on
 //!   [`gpu_sim::SimTime`]. Same request stream in, byte-identical outcome
 //!   stream out — for any device count — see [`Server`].
@@ -54,11 +63,13 @@ pub mod server;
 
 pub use batcher::{shape_class, BucketKey};
 pub use breaker::{BreakerState, BreakerTransition, CircuitBreaker};
-pub use device::{Device, DeviceId, DeviceStats};
-pub use policy::{AdmissionPolicy, BatchPolicy, RecoveryConfig, ServeConfig, ShardPolicy};
+pub use device::{Device, DeviceHealth, DeviceId, DeviceStats, HealthTransition};
+pub use policy::{
+    AdmissionPolicy, BatchPolicy, HealthPolicy, RecoveryConfig, ServeConfig, ShardPolicy,
+};
 pub use report::{
-    serve_summary_json, validate_serve_summary, write_serve_summary, LatencyStats, ServeRecord,
-    ServeReport,
+    serve_summary_json, validate_serve_summary, write_serve_summary, DeviceRow, LatencyStats,
+    ServeRecord, ServeReport,
 };
 pub use request::{
     Completion, ModelId, Outcome, Request, RequestId, RequestKind, Shed, ShedReason, TenantId,

@@ -124,6 +124,34 @@ impl Default for ShardPolicy {
     }
 }
 
+/// Device-health policy: how the server's virtual-clock watchdog detects a
+/// hung device, and how a revived device earns back full admission.
+///
+/// A crash is announced by the outage schedule itself, but a *hang* is
+/// silent — the device simply stops completing batches. The watchdog
+/// declares a device down when a completion it promised is overdue by
+/// [`HealthPolicy::watchdog_grace`] on the virtual clock, then drains and
+/// re-dispatches its queued and in-flight work to survivors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Slack past a device's promised completion time (or past enqueue for
+    /// an idle-frozen device) before the watchdog declares it down.
+    pub watchdog_grace: SimTime,
+    /// Warm batches a reviving device must complete under probation (one
+    /// queued batch at a time, placement only when idle) before it is
+    /// declared `Healthy` again and may reclaim affinity freely.
+    pub probation_warm_batches: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            watchdog_grace: SimTime::from_us(200.0),
+            probation_warm_batches: 2,
+        }
+    }
+}
+
 /// Full server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -139,6 +167,8 @@ pub struct ServeConfig {
     pub recovery: RecoveryConfig,
     /// Sharding policy (device count + work-stealing margin).
     pub shard: ShardPolicy,
+    /// Device-health policy (hang watchdog + revival probation).
+    pub health: HealthPolicy,
 }
 
 impl Default for ServeConfig {
@@ -150,6 +180,7 @@ impl Default for ServeConfig {
             admission: AdmissionPolicy::default(),
             recovery: RecoveryConfig::default(),
             shard: ShardPolicy::default(),
+            health: HealthPolicy::default(),
         }
     }
 }

@@ -14,6 +14,7 @@ use std::path::PathBuf;
 use gpu_sim::SimTime;
 use vpps_obs::Json;
 
+use crate::device::DeviceStats;
 use crate::request::{Outcome, ShedReason};
 
 /// Schema identifier written into every serve trajectory.
@@ -23,7 +24,9 @@ pub const SCHEMA: &str = "vpps-serve-trajectory";
 /// (`script_hits` / `script_misses` / `script_re_misses`) to every record.
 /// v3 added the `execute` latency stage (device start → completion),
 /// carried by the `started_at` timestamp on every completion.
-pub const VERSION: u64 = 3;
+/// v4 added the per-device `devices` array (terminal health, circuit-breaker
+/// occupancy, batch/failure tallies) to every record.
+pub const VERSION: u64 = 4;
 
 /// Exact latency quantiles over one stage, in microseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -208,6 +211,49 @@ impl ServeReport {
     }
 }
 
+/// Terminal per-device snapshot carried in a serve trajectory row: where
+/// each device's lifecycle and circuit breakers ended up after the run.
+#[derive(Debug, Clone)]
+pub struct DeviceRow {
+    /// Device index.
+    pub device: usize,
+    /// Terminal lifecycle state ([`crate::DeviceHealth::name`]).
+    pub health: String,
+    /// Model replicas on this device whose breaker ended open.
+    pub breaker_open: u64,
+    /// Model replicas on this device whose breaker ended half-open.
+    pub breaker_half_open: u64,
+    /// Batches executed successfully on this device.
+    pub batches: u64,
+    /// Batches whose dispatch returned a typed error on this device.
+    pub failures: u64,
+}
+
+impl DeviceRow {
+    /// Snapshot from the live [`DeviceStats`] of one device.
+    pub fn from_stats(s: &DeviceStats) -> Self {
+        Self {
+            device: s.id,
+            health: s.health.name().to_owned(),
+            breaker_open: s.breaker_open as u64,
+            breaker_half_open: s.breaker_half_open as u64,
+            batches: s.batches,
+            failures: s.failures,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("device", Json::from(self.device as u64));
+        o.set("health", Json::from(self.health.as_str()));
+        o.set("breaker_open", Json::from(self.breaker_open));
+        o.set("breaker_half_open", Json::from(self.breaker_half_open));
+        o.set("batches", Json::from(self.batches));
+        o.set("failures", Json::from(self.failures));
+        o
+    }
+}
+
 /// One labelled report row in a serve trajectory (e.g. one point of an
 /// offered-load sweep, or "batching" vs "no-batching").
 #[derive(Debug, Clone)]
@@ -226,6 +272,9 @@ pub struct ServeRecord {
     /// Structural re-misses: a previously cached script lowered again — a
     /// cache-keying regression when nonzero under a repeating workload.
     pub script_re_misses: u64,
+    /// Terminal per-device snapshots, in device order (one entry for a
+    /// single-device server; empty only for legacy non-device rows).
+    pub devices: Vec<DeviceRow>,
     /// The measured numbers.
     pub report: ServeReport,
 }
@@ -239,6 +288,10 @@ impl ServeRecord {
         o.set("script_hits", Json::from(self.script_hits));
         o.set("script_misses", Json::from(self.script_misses));
         o.set("script_re_misses", Json::from(self.script_re_misses));
+        o.set(
+            "devices",
+            Json::Arr(self.devices.iter().map(DeviceRow::to_json).collect()),
+        );
         o.set("report", self.report.to_json());
         o
     }
@@ -321,6 +374,27 @@ pub fn validate_serve_summary(text: &str) -> Result<(), String> {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| err(&format!("missing u64 {key:?}")))?;
         }
+        let devices = rec
+            .get("devices")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing array \"devices\""))?;
+        for (d, dev) in devices.iter().enumerate() {
+            let derr = |what: &str| err(&format!("devices[{d}]: {what}"));
+            dev.get("health")
+                .and_then(Json::as_str)
+                .ok_or_else(|| derr("missing string \"health\""))?;
+            for key in [
+                "device",
+                "breaker_open",
+                "breaker_half_open",
+                "batches",
+                "failures",
+            ] {
+                dev.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| derr(&format!("missing u64 {key:?}")))?;
+            }
+        }
         let report = rec
             .get("report")
             .ok_or_else(|| err("missing object \"report\""))?;
@@ -378,6 +452,7 @@ mod tests {
             dispatched_at: SimTime::from_ns(arrive_ns + 10.0),
             started_at: SimTime::from_ns(arrive_ns + 20.0),
             completed_at: SimTime::from_ns(done_ns),
+            device: 0,
             batch_size: batch,
             output: vec![0.0],
             in_deadline: good,
@@ -440,6 +515,14 @@ mod tests {
             script_hits: 12,
             script_misses: 3,
             script_re_misses: 0,
+            devices: vec![DeviceRow {
+                device: 0,
+                health: "healthy".into(),
+                breaker_open: 0,
+                breaker_half_open: 1,
+                batches: 7,
+                failures: 2,
+            }],
             report: ServeReport::from_outcomes(&outcomes),
         };
         let json = serve_summary_json("serve", &[rec]);
@@ -447,6 +530,8 @@ mod tests {
         assert!(json.contains("\"experiment\":\"serve\""));
         assert!(json.contains("\"goodput_rps\""));
         assert!(json.contains("\"script_hits\":12"));
+        assert!(json.contains("\"health\":\"healthy\""));
+        assert!(json.contains("\"breaker_half_open\":1"));
         assert!(validate_serve_summary(&json.replace(SCHEMA, "nope")).is_err());
         assert!(validate_serve_summary("{}").is_err());
     }

@@ -133,6 +133,9 @@ pub struct Completion {
     pub started_at: SimTime,
     /// When the device finished the batch.
     pub completed_at: SimTime,
+    /// The device the (final, successful) attempt executed on — after a
+    /// device failure this is the survivor, not the original placement.
+    pub device: usize,
     /// Number of requests co-batched into the same kernel launch.
     pub batch_size: usize,
     /// [`RequestKind::Infer`]: the root node's value, bit-identical to a

@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use gpu_sim::SimTime;
 
 use crate::batcher::BucketKey;
-use crate::device::{Device, DeviceId};
+use crate::device::{Device, DeviceHealth, DeviceId};
 
 /// Routing tallies, for reports and benchmarks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,6 +32,13 @@ pub struct RouterStats {
     pub affinity_hits: u64,
     /// Batches stolen away from an overloaded affinity device.
     pub steals: u64,
+    /// Buckets whose affinity was forced off a non-serving (draining, down
+    /// or probation-busy) device.
+    pub rehomes: u64,
+    /// Re-homes that landed on a device without warm lowered state for the
+    /// bucket — each pays exactly one cold lowering pass there, after which
+    /// the bucket is warm on its new home.
+    pub cold_rebuilds: u64,
 }
 
 /// Which branch the router took for one batch — recorded into request
@@ -44,6 +51,9 @@ pub enum RouteDecision {
     Affinity,
     /// Stolen away from an overloaded affinity device (and re-homed).
     Steal,
+    /// Forced off an unavailable affinity device (failed, draining or on
+    /// busy probation) onto the best survivor.
+    Rehome,
 }
 
 impl RouteDecision {
@@ -53,6 +63,7 @@ impl RouteDecision {
             RouteDecision::Placement => "placement",
             RouteDecision::Affinity => "affinity",
             RouteDecision::Steal => "steal",
+            RouteDecision::Rehome => "rehome",
         }
     }
 }
@@ -86,17 +97,7 @@ impl Router {
     ) -> (DeviceId, RouteDecision) {
         debug_assert!(!devices.is_empty());
         self.stats.routed += 1;
-        let least = devices
-            .iter()
-            .min_by(|a, b| {
-                a.backlog(now)
-                    .as_ns()
-                    .partial_cmp(&b.backlog(now).as_ns())
-                    .expect("finite backlogs")
-                    .then(a.id().cmp(&b.id()))
-            })
-            .expect("at least one device")
-            .id();
+        let least = Self::least_loaded(devices, now);
         match self.affinity.get(&key).copied() {
             None => {
                 self.affinity.insert(key, least);
@@ -104,25 +105,41 @@ impl Router {
                 (least, RouteDecision::Placement)
             }
             Some(home) => {
+                // A healthy or degraded home keeps serving its own buckets
+                // (a degraded device is slow, not gone — steals drain it
+                // naturally as its backlog grows). A reviving home gets its
+                // affinity batches only while idle: that is the probation
+                // ramp. A draining/down home forces a re-home.
+                let home_available = match devices[home.0].health() {
+                    DeviceHealth::Healthy | DeviceHealth::Degraded => true,
+                    DeviceHealth::Reviving => devices[home.0].is_idle(),
+                    DeviceHealth::Draining | DeviceHealth::Down => false,
+                };
+                if !home_available {
+                    let target = self.rehome_target(&key, now, steal_margin, devices);
+                    self.stats.rehomes += 1;
+                    if !devices[target.0].has_warm(&key) {
+                        self.stats.cold_rebuilds += 1;
+                    }
+                    self.affinity.insert(key, target);
+                    return (target, RouteDecision::Rehome);
+                }
                 let home_backlog = devices[home.0].backlog(now);
                 let least_backlog = devices[least.0].backlog(now);
-                if home_backlog.as_ns() > (least_backlog + steal_margin).as_ns() {
-                    let target = devices
-                        .iter()
-                        .filter(|d| d.id() != home && d.has_warm(&key))
-                        .min_by(|a, b| {
-                            a.backlog(now)
-                                .as_ns()
-                                .partial_cmp(&b.backlog(now).as_ns())
-                                .expect("finite backlogs")
-                                .then(a.id().cmp(&b.id()))
-                        })
-                        .map(Device::id)
-                        .filter(|warm| {
-                            devices[warm.0].backlog(now).as_ns()
-                                <= (least_backlog + steal_margin).as_ns()
-                        })
-                        .unwrap_or(least);
+                if Self::admittable(&devices[least.0])
+                    && home_backlog.as_ns() > (least_backlog + steal_margin).as_ns()
+                {
+                    let target = Self::min_by_backlog(
+                        devices
+                            .iter()
+                            .filter(|d| d.id() != home && Self::admittable(d) && d.has_warm(&key)),
+                        now,
+                    )
+                    .filter(|warm| {
+                        devices[warm.0].backlog(now).as_ns()
+                            <= (least_backlog + steal_margin).as_ns()
+                    })
+                    .unwrap_or(least);
                     self.stats.steals += 1;
                     self.affinity.insert(key, target);
                     (target, RouteDecision::Steal)
@@ -132,6 +149,99 @@ impl Router {
                 }
             }
         }
+    }
+
+    /// `true` if routing may send *new* work to this device: healthy, or
+    /// reviving-and-idle (the bounded probation admission — one batch at a
+    /// time until the device earns `Healthy` back).
+    fn admittable(d: &Device) -> bool {
+        match d.health() {
+            DeviceHealth::Healthy => true,
+            DeviceHealth::Reviving => d.is_idle(),
+            DeviceHealth::Degraded | DeviceHealth::Draining | DeviceHealth::Down => false,
+        }
+    }
+
+    /// Fallback preference when no device is admittable: least-bad health
+    /// class first, so a batch lands on a reviving or degraded device before
+    /// it is ever parked on a draining or down one.
+    fn health_rank(h: DeviceHealth) -> u8 {
+        match h {
+            DeviceHealth::Healthy => 0,
+            DeviceHealth::Reviving => 1,
+            DeviceHealth::Degraded => 2,
+            DeviceHealth::Draining => 3,
+            DeviceHealth::Down => 4,
+        }
+    }
+
+    fn min_by_backlog<'a>(
+        iter: impl Iterator<Item = &'a Device>,
+        now: SimTime,
+    ) -> Option<DeviceId> {
+        iter.min_by(|a, b| {
+            a.backlog(now)
+                .as_ns()
+                .partial_cmp(&b.backlog(now).as_ns())
+                .expect("finite backlogs")
+                .then(a.id().cmp(&b.id()))
+        })
+        .map(Device::id)
+    }
+
+    /// Least-loaded admittable device; if the whole fleet is impaired, the
+    /// least-bad one by (health class, backlog, id) — a batch must land
+    /// somewhere, and parking it on a reviving device beats a down one.
+    fn least_loaded(devices: &[Device], now: SimTime) -> DeviceId {
+        if let Some(id) = Self::min_by_backlog(devices.iter().filter(|d| Self::admittable(d)), now)
+        {
+            return id;
+        }
+        devices
+            .iter()
+            .min_by(|a, b| {
+                Self::health_rank(a.health())
+                    .cmp(&Self::health_rank(b.health()))
+                    .then(
+                        a.backlog(now)
+                            .as_ns()
+                            .partial_cmp(&b.backlog(now).as_ns())
+                            .expect("finite backlogs"),
+                    )
+                    .then(a.id().cmp(&b.id()))
+            })
+            .expect("at least one device")
+            .id()
+    }
+
+    /// Picks the new home for a bucket forced off an unavailable device:
+    /// a warm admittable survivor within `steal_margin` of the minimum
+    /// backlog if one exists (no cold pass), else the least-loaded
+    /// admittable device (one counted cold lowering).
+    fn rehome_target(
+        &self,
+        key: &BucketKey,
+        now: SimTime,
+        steal_margin: SimTime,
+        devices: &[Device],
+    ) -> DeviceId {
+        let least = Self::least_loaded(devices, now);
+        let least_backlog = devices[least.0].backlog(now);
+        Self::min_by_backlog(
+            devices
+                .iter()
+                .filter(|d| Self::admittable(d) && d.has_warm(key)),
+            now,
+        )
+        .filter(|warm| {
+            devices[warm.0].backlog(now).as_ns() <= (least_backlog + steal_margin).as_ns()
+        })
+        .unwrap_or(least)
+    }
+
+    /// The device a bucket is currently homed on, if it has run before.
+    pub fn affinity_of(&self, key: &BucketKey) -> Option<DeviceId> {
+        self.affinity.get(key).copied()
     }
 
     /// Routing tallies so far.

@@ -35,13 +35,16 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use dyn_graph::Model;
-use gpu_sim::SimTime;
+use gpu_sim::{OutageKind, OutageWindow, SimTime};
 use vpps::{Handle, LoweredCacheStats, PlanSignature, RecoveryStats, VppsError};
 use vpps_obs::{Resolution, TraceEvent, TraceSink};
 
 use crate::batcher::{shape_class, Bucket, BucketKey, Pending};
 use crate::breaker::{BreakerState, BreakerTransition};
-use crate::device::{BatchJob, Device, DeviceEvent, DeviceId, DeviceStats};
+use crate::device::{
+    BatchJob, Device, DeviceEvent, DeviceHealth, DeviceId, DeviceStats, HealthTransition,
+    InflightRetime,
+};
 use crate::policy::ServeConfig;
 use crate::request::{
     Completion, ModelId, Outcome, Request, RequestId, Shed, ShedReason, TenantId,
@@ -81,6 +84,33 @@ struct RegisteredModel {
     signature: PlanSignature,
 }
 
+/// Which edge of an outage window an [`OutageEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum OutageEdge {
+    /// The window closes (ends sort before simultaneous starts, so a device
+    /// can revive in the same instant another one dies).
+    End,
+    /// The window opens.
+    Start,
+}
+
+/// One edge of a scheduled device outage, pre-sorted into the server's
+/// event schedule at construction.
+#[derive(Debug, Clone, Copy)]
+struct OutageEvent {
+    at: SimTime,
+    edge: OutageEdge,
+    window: OutageWindow,
+}
+
+/// What kind of health event is due next (outage schedule edges sort before
+/// watchdog expiries at equal times).
+#[derive(Debug, Clone, Copy)]
+enum HealthDue {
+    Outage,
+    Watchdog(usize),
+}
+
 /// Multi-tenant serving engine over warm VPPS handles, sharded across one or
 /// more virtual [`Device`]s. See the module docs for the event model.
 #[derive(Debug)]
@@ -116,6 +146,16 @@ pub struct Server {
     next_batch: u64,
     /// Per-request trace sink, when [`Server::enable_tracing`] was called.
     trace: Option<TraceSink>,
+    /// Scheduled outage edges (from `cfg.opts.faults`), sorted by
+    /// (time, end-before-start, device); `next_outage` indexes the next
+    /// unprocessed edge.
+    outages: Vec<OutageEvent>,
+    next_outage: usize,
+    /// Per-device watchdog deadline: `Some(due)` while a completion the
+    /// device promised is being waited on past its hang freeze.
+    watchdogs: Vec<Option<SimTime>>,
+    /// Batches taken off a failed device and re-dispatched to survivors.
+    redispatched_batches: u64,
 }
 
 impl Server {
@@ -128,9 +168,35 @@ impl Server {
     pub fn new(cfg: ServeConfig) -> Self {
         assert!(cfg.batch.max_batch > 0, "max_batch must be at least 1");
         assert!(cfg.shard.devices > 0, "need at least one device");
-        let devices = (0..cfg.shard.devices)
+        let devices: Vec<Device> = (0..cfg.shard.devices)
             .map(|i| Device::new(DeviceId(i), cfg.recovery))
             .collect();
+        // Pre-sort the outage schedule into edge events. Windows naming a
+        // device the server does not have are ignored, so one schedule can
+        // sweep across device counts.
+        let mut outages: Vec<OutageEvent> = Vec::new();
+        for w in cfg.opts.faults.outage_windows() {
+            if (w.device as usize) < cfg.shard.devices {
+                outages.push(OutageEvent {
+                    at: w.start,
+                    edge: OutageEdge::Start,
+                    window: w,
+                });
+                outages.push(OutageEvent {
+                    at: w.end,
+                    edge: OutageEdge::End,
+                    window: w,
+                });
+            }
+        }
+        outages.sort_by(|a, b| {
+            a.at.as_ns()
+                .partial_cmp(&b.at.as_ns())
+                .expect("outage times are finite")
+                .then_with(|| a.edge.cmp(&b.edge))
+                .then_with(|| a.window.device.cmp(&b.window.device))
+        });
+        let watchdogs = vec![None; cfg.shard.devices];
         Self {
             cfg,
             registry: Vec::new(),
@@ -149,6 +215,10 @@ impl Server {
             jit_paid: SimTime::ZERO,
             next_batch: 0,
             trace: None,
+            outages,
+            next_outage: 0,
+            watchdogs,
+            redispatched_batches: 0,
         }
     }
 
@@ -194,10 +264,15 @@ impl Server {
     /// no device state changes.
     pub fn register_model(&mut self, name: &str, model: Model) -> Result<ModelId, VppsError> {
         // Build every per-device handle before touching any state, so a
-        // failure cannot leave some devices knowing the model.
+        // failure cannot leave some devices knowing the model. Each handle's
+        // fault stream is tagged with its device index: device 0 draws the
+        // legacy stream, every other device a decorrelated one, and journal
+        // entries carry the tag.
         let mut handles = Vec::with_capacity(self.devices.len());
-        for _ in 0..self.devices.len() {
-            handles.push(Handle::new(&model, self.cfg.device.clone(), self.cfg.opts)?);
+        for i in 0..self.devices.len() {
+            let mut opts = self.cfg.opts;
+            opts.faults.device = i as u32;
+            handles.push(Handle::new(&model, self.cfg.device.clone(), opts)?);
         }
         let signature = handles[0].plan().signature().clone();
         for handle in &handles {
@@ -423,77 +498,103 @@ impl Server {
     }
 
     /// Advances the virtual clock to `t`, firing every due event on the
-    /// way in event-time order: device completions (a busy device picking
-    /// up its next queued batch) and bucket linger/deadline flushes. Ties
-    /// break device-before-flush, then lowest device id / bucket key order
-    /// — deterministic.
+    /// way in event-time order: health events (outage-schedule edges, then
+    /// watchdog expiries), device completions (a busy device picking up its
+    /// next queued batch) and bucket linger/deadline flushes. Ties break
+    /// health-before-device-before-flush, then lowest device id / bucket
+    /// key order — deterministic.
     pub fn run_until(&mut self, t: SimTime) {
-        loop {
-            let mut due_dev: Option<(SimTime, usize)> = None;
-            for (i, d) in self.devices.iter().enumerate() {
-                if let Some(rt) = d.next_ready() {
-                    if rt <= t && due_dev.is_none_or(|(bt, _)| rt < bt) {
-                        due_dev = Some((rt, i));
-                    }
-                }
+        while self.step_due(t) {}
+        self.now = self.now.max(t);
+    }
+
+    /// Processes the single earliest due event at or before `limit`.
+    /// Returns `false` when nothing is due.
+    fn step_due(&mut self, limit: SimTime) -> bool {
+        // Health events first: a crash or watchdog declaration must abort a
+        // completion promised for the same instant, not race it.
+        let mut due_health: Option<(SimTime, HealthDue)> = None;
+        if let Some(e) = self.outages.get(self.next_outage) {
+            if e.at <= limit {
+                due_health = Some((e.at, HealthDue::Outage));
             }
-            let mut due_flush: Option<(SimTime, BucketKey)> = None;
-            for (key, bucket) in &self.buckets {
-                if let Some(ft) = bucket.next_flush(self.cfg.batch.deadline_aware) {
-                    if ft <= t && due_flush.is_none_or(|(bt, _)| ft < bt) {
-                        due_flush = Some((ft, *key));
-                    }
-                }
-            }
-            match (due_dev, due_flush) {
-                (None, None) => break,
-                (Some((rt, i)), None) => {
-                    self.now = self.now.max(rt);
-                    self.pump_device(i);
-                }
-                (None, Some((ft, key))) => {
-                    self.now = self.now.max(ft);
-                    self.flush_bucket(key);
-                }
-                (Some((rt, i)), Some((ft, key))) => {
-                    if rt.as_ns() <= ft.as_ns() {
-                        self.now = self.now.max(rt);
-                        self.pump_device(i);
-                    } else {
-                        self.now = self.now.max(ft);
-                        self.flush_bucket(key);
-                    }
+        }
+        for (i, w) in self.watchdogs.iter().enumerate() {
+            if let Some(due) = *w {
+                if due <= limit && due_health.is_none_or(|(t, _)| due.as_ns() < t.as_ns()) {
+                    due_health = Some((due, HealthDue::Watchdog(i)));
                 }
             }
         }
-        self.now = self.now.max(t);
+        let mut due_dev: Option<(SimTime, usize)> = None;
+        for (i, d) in self.devices.iter().enumerate() {
+            if let Some(rt) = d.next_ready() {
+                if rt <= limit && due_dev.is_none_or(|(bt, _)| rt < bt) {
+                    due_dev = Some((rt, i));
+                }
+            }
+        }
+        let mut due_flush: Option<(SimTime, BucketKey)> = None;
+        for (key, bucket) in &self.buckets {
+            if let Some(ft) = bucket.next_flush(self.cfg.batch.deadline_aware) {
+                if ft <= limit && due_flush.is_none_or(|(bt, _)| ft < bt) {
+                    due_flush = Some((ft, *key));
+                }
+            }
+        }
+        if let Some((ht, kind)) = due_health {
+            let dev_later = due_dev.is_none_or(|(rt, _)| ht.as_ns() <= rt.as_ns());
+            let flush_later = due_flush.is_none_or(|(ft, _)| ht.as_ns() <= ft.as_ns());
+            if dev_later && flush_later {
+                self.now = self.now.max(ht);
+                match kind {
+                    HealthDue::Outage => self.apply_outage(),
+                    HealthDue::Watchdog(i) => self.fire_watchdog(i),
+                }
+                return true;
+            }
+        }
+        match (due_dev, due_flush) {
+            (None, None) => false,
+            (Some((rt, i)), None) => {
+                self.now = self.now.max(rt);
+                self.pump_device(i);
+                true
+            }
+            (None, Some((ft, key))) => {
+                self.now = self.now.max(ft);
+                self.flush_bucket(key);
+                true
+            }
+            (Some((rt, i)), Some((ft, key))) => {
+                if rt.as_ns() <= ft.as_ns() {
+                    self.now = self.now.max(rt);
+                    self.pump_device(i);
+                } else {
+                    self.now = self.now.max(ft);
+                    self.flush_bucket(key);
+                }
+                true
+            }
+        }
     }
 
     /// Flushes every remaining queued request immediately (end of the
     /// request stream: no point lingering for co-batchable arrivals that
     /// will never come) and runs the devices until their queues empty.
-    /// After `drain` every submitted request has exactly one outcome.
+    /// Remaining outage-schedule and watchdog events are processed too —
+    /// work held on a frozen or down device can only resolve through the
+    /// watchdog declaration or the window's end, and a request parked on a
+    /// down device waits for its revival. After `drain` every submitted
+    /// request has exactly one outcome.
     pub fn drain(&mut self) {
+        let horizon = SimTime::from_ns(f64::MAX);
         loop {
             while let Some(key) = self.buckets.keys().next().copied() {
                 self.flush_bucket(key);
             }
-            // flush_bucket pumps the routed device at the current time;
-            // whatever is still queued waits for a busy device. Advance to
-            // the earliest ready device and pump again.
-            let mut next: Option<SimTime> = None;
-            for d in &self.devices {
-                if let Some(rt) = d.next_ready() {
-                    next = Some(match next {
-                        Some(n) => n.min(rt),
-                        None => rt,
-                    });
-                }
-            }
-            let Some(rt) = next else { break };
-            self.now = self.now.max(rt);
-            for i in 0..self.devices.len() {
-                self.pump_device(i);
+            if !self.step_due(horizon) {
+                break;
             }
         }
         // Leave the server quiescent: the final batches still occupy their
@@ -505,6 +606,231 @@ impl Server {
             self.now = self.now.max(d.busy_until());
         }
         vpps_obs::gauge("serve.queue_depth").set(0.0);
+    }
+
+    /// Applies the next outage-schedule edge at the current virtual time.
+    fn apply_outage(&mut self) {
+        let e = self.outages[self.next_outage];
+        self.next_outage += 1;
+        let idx = e.window.device as usize;
+        match (e.edge, e.window.kind) {
+            (OutageEdge::Start, OutageKind::Crash) => {
+                // Whole-device crash: resident lowered state is gone.
+                self.fail_device(idx, "crash", true);
+            }
+            (OutageEdge::Start, OutageKind::Hang) => {
+                // Silent freeze: routing is *not* told — the device still
+                // looks healthy until the watchdog notices the missed
+                // completion.
+                self.devices[idx].freeze(self.now);
+                self.arm_watchdog(idx);
+            }
+            (OutageEdge::Start, OutageKind::Brownout) => {
+                self.devices[idx].set_slowdown(self.cfg.opts.faults.brownout_factor);
+                self.devices[idx].set_health(DeviceHealth::Degraded, self.now);
+            }
+            (OutageEdge::End, OutageKind::Crash) => {
+                if self.devices[idx].health() == DeviceHealth::Down {
+                    self.revive_device(idx);
+                }
+            }
+            (OutageEdge::End, OutageKind::Hang) => {
+                if self.devices[idx].health() == DeviceHealth::Down {
+                    // The watchdog already declared it; the window's end is
+                    // the moment the device comes back.
+                    self.revive_device(idx);
+                } else if self.devices[idx].is_frozen() {
+                    // Undetected short hang: the device resumes with its
+                    // timeline slipped by the freeze; nothing was lost, so
+                    // routing never knew.
+                    self.watchdogs[idx] = None;
+                    if let Some(rt) = self.devices[idx].thaw(self.now) {
+                        self.retime_inflight(rt);
+                    }
+                    self.pump_device(idx);
+                }
+            }
+            (OutageEdge::End, OutageKind::Brownout) => {
+                self.devices[idx].set_slowdown(1.0);
+                if self.devices[idx].health() == DeviceHealth::Degraded {
+                    self.devices[idx].set_health(DeviceHealth::Healthy, self.now);
+                }
+            }
+        }
+    }
+
+    /// Arms device `idx`'s watchdog if it is frozen with pending work and
+    /// not already being watched: the deadline is the promised completion
+    /// (or now, for work enqueued onto an idle freeze) plus the grace.
+    fn arm_watchdog(&mut self, idx: usize) {
+        if self.watchdogs[idx].is_some()
+            || !self.devices[idx].is_frozen()
+            || self.devices[idx].is_idle()
+        {
+            return;
+        }
+        let promised = self.devices[idx].busy_until().max(self.now);
+        self.watchdogs[idx] = Some(promised + self.cfg.health.watchdog_grace);
+    }
+
+    /// The watchdog's grace elapsed past a promised completion: declare the
+    /// device down (a hang keeps its host-side caches, unlike a crash).
+    fn fire_watchdog(&mut self, idx: usize) {
+        self.watchdogs[idx] = None;
+        self.fail_device(idx, "hang", false);
+    }
+
+    /// Takes device `idx` out of service at the current virtual time:
+    /// `Healthy → Draining → Down`, with its queued batches and the aborted
+    /// in-flight attempt re-dispatched to survivors. Exactly-once: the
+    /// aborted attempt's outputs are discarded *before* ever becoming
+    /// outcomes and its in-flight slots are released, so each member
+    /// resolves exactly once — from wherever its re-dispatched batch runs.
+    fn fail_device(&mut self, idx: usize, reason: &'static str, lose_warm: bool) {
+        let at = self.now;
+        self.watchdogs[idx] = None;
+        self.trace_event(TraceEvent::DeviceDown {
+            device: idx as u32,
+            reason,
+            at_ns: at.as_ns(),
+        });
+        vpps_obs::counter("serve.device.downs").incr();
+        self.devices[idx].set_health(DeviceHealth::Draining, at);
+        let (jobs, running) = self.devices[idx].fail_over(at, lose_warm);
+        let mut redispatch: Vec<BatchJob> = Vec::new();
+        if let Some(ev) = running {
+            match ev {
+                DeviceEvent::Executed {
+                    batch_id,
+                    key,
+                    batch,
+                    dispatched_at,
+                    completed_at,
+                    ..
+                } => {
+                    // Abort the attempt: release its booked in-flight slots
+                    // and re-dispatch the members (ahead of the queued jobs
+                    // — they started first).
+                    self.unbook_inflight(batch.len(), completed_at);
+                    redispatch.push(BatchJob {
+                        id: batch_id,
+                        key,
+                        batch,
+                        formed_at: dispatched_at,
+                        seq: 0,
+                    });
+                }
+                DeviceEvent::Failed {
+                    batch_id,
+                    started_at,
+                    dropped,
+                    retried,
+                    ..
+                } => {
+                    // The failed attempt ends the moment the device dies;
+                    // fold it now so retry/drop accounting is not lost. Its
+                    // retry singletons are already among the drained jobs.
+                    self.fold_failed(idx, batch_id, started_at, at, dropped, retried, at);
+                }
+                DeviceEvent::Started { .. } | DeviceEvent::BreakerShed { .. } => {
+                    unreachable!("only batch results are held as running");
+                }
+            }
+        }
+        redispatch.extend(jobs);
+        self.devices[idx].set_health(DeviceHealth::Down, at);
+        for job in redispatch {
+            self.redispatch(job, idx);
+        }
+    }
+
+    /// Re-dispatches one batch taken off a failed device: routes it among
+    /// the survivors (re-homing its bucket's affinity) under a fresh batch
+    /// id, so every execution attempt stays addressable in traces.
+    fn redispatch(&mut self, job: BatchJob, from: usize) {
+        let BatchJob {
+            id: old_id,
+            key,
+            batch,
+            formed_at,
+            ..
+        } = job;
+        let (target, _decision) =
+            self.router
+                .route(key, self.now, self.cfg.shard.steal_margin, &self.devices);
+        let new_id = self.next_batch;
+        self.next_batch += 1;
+        self.redispatched_batches += 1;
+        vpps_obs::counter("serve.redispatched").incr();
+        let traced_members: Vec<u64> = match &self.trace {
+            Some(t) => batch
+                .iter()
+                .map(|p| p.id.0)
+                .filter(|&id| t.sampled(id))
+                .collect(),
+            None => Vec::new(),
+        };
+        if !traced_members.is_empty() {
+            self.trace_event(TraceEvent::Redispatched {
+                from_batch: old_id,
+                batch: new_id,
+                from_device: from as u32,
+                device: target.0 as u32,
+                members: traced_members,
+                at_ns: self.now.as_ns(),
+            });
+        }
+        self.devices[target.0].enqueue(BatchJob {
+            id: new_id,
+            key,
+            batch,
+            formed_at,
+            seq: 0, // assigned by enqueue
+        });
+        self.arm_watchdog(target.0);
+        self.pump_device(target.0);
+    }
+
+    /// Brings a down device back into service on revival probation.
+    fn revive_device(&mut self, idx: usize) {
+        let at = self.now;
+        self.trace_event(TraceEvent::DeviceRevived {
+            device: idx as u32,
+            at_ns: at.as_ns(),
+        });
+        vpps_obs::counter("serve.device.revivals").incr();
+        self.devices[idx].start_probation(at, self.cfg.health.probation_warm_batches);
+        // Anything parked on it while it was down may start now.
+        self.pump_device(idx);
+    }
+
+    /// Removes up to `count` in-flight slots booked at `completed_at`.
+    /// Best-effort: slots whose time already passed may have been settled.
+    fn unbook_inflight(&mut self, count: usize, completed_at: SimTime) {
+        let bits = completed_at.as_ns().to_bits();
+        let mut remaining = count;
+        let entries = std::mem::take(&mut self.inflight).into_vec();
+        self.inflight = entries
+            .into_iter()
+            .filter(|Reverse(b)| {
+                if remaining > 0 && *b == bits {
+                    remaining -= 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+    }
+
+    /// Moves a running batch's in-flight slots after a thaw slipped its
+    /// promised completion.
+    fn retime_inflight(&mut self, rt: InflightRetime) {
+        self.unbook_inflight(rt.members, rt.old_completed);
+        let bits = rt.new_completed.as_ns().to_bits();
+        for _ in 0..rt.members {
+            self.inflight.push(Reverse(bits));
+        }
     }
 
     fn record_shed(&mut self, shed: Shed) {
@@ -591,6 +917,9 @@ impl Server {
             formed_at: self.now,
             seq: 0, // assigned by enqueue
         });
+        // Work routed onto a silently frozen device arms its watchdog: the
+        // device looks healthy, so only a missed completion can expose it.
+        self.arm_watchdog(target.0);
         self.pump_device(target.0);
     }
 
@@ -613,11 +942,6 @@ impl Server {
                     service,
                     cost,
                 } => {
-                    self.batches += 1;
-                    for _ in 0..batch.len() {
-                        self.inflight.push(Reverse(completed_at.as_ns().to_bits()));
-                    }
-                    vpps_obs::counter("serve.batches").incr();
                     vpps_obs::counter("serve.completed").add(batch.len() as u64);
                     vpps_obs::histogram("serve.batch_size").record(batch.len() as u64);
                     vpps_obs::histogram("serve.service_ns").record(service.as_ns() as u64);
@@ -669,10 +993,26 @@ impl Server {
                             dispatched_at,
                             started_at,
                             completed_at,
+                            device: idx,
                             batch_size,
                             output,
                             in_deadline,
                         }));
+                    }
+                }
+                DeviceEvent::Started {
+                    members,
+                    completed_at,
+                } => {
+                    // Dispatch accounting happens here, when the device
+                    // accepts the batch — not when it finishes.
+                    self.batches += 1;
+                    vpps_obs::counter("serve.batches").incr();
+                    // The batch occupies the device from this moment; book
+                    // its members against the admission bound until the
+                    // promised completion (or a fail-over unbooks them).
+                    for _ in 0..members {
+                        self.inflight.push(Reverse(completed_at.as_ns().to_bits()));
                     }
                 }
                 DeviceEvent::BreakerShed { batch, at } => {
@@ -701,56 +1041,81 @@ impl Server {
                     retried,
                     at,
                 } => {
-                    self.batch_failures += 1;
-                    vpps_obs::counter("serve.batch_failures").incr();
-                    let any_traced = self.trace.is_some()
-                        && dropped
-                            .iter()
-                            .map(|p| p.id)
-                            .chain(retried.iter().map(|&(id, _)| id))
-                            .any(|id| self.trace_sampled(id));
-                    if any_traced {
-                        self.trace_event(TraceEvent::FailedAttempt {
-                            batch: batch_id,
-                            device: idx as u32,
-                            started_ns: started_at.as_ns(),
-                            completed_ns: completed_at.as_ns(),
-                        });
-                    }
-                    for &(rid, retry_batch) in &retried {
-                        vpps_obs::counter("serve.retried").incr();
-                        if self.trace_sampled(rid) {
-                            self.trace_event(TraceEvent::Retried {
-                                req: rid.0,
-                                from_batch: batch_id,
-                                batch: retry_batch,
-                                at_ns: completed_at.as_ns(),
-                            });
-                        }
-                    }
-                    for p in dropped {
-                        // The trace resolves retry-budget drops at the
-                        // failed attempt's completion so phase spans tile
-                        // the timeline exactly; the Outcome keeps the
-                        // historical `at` (the pump time) to preserve
-                        // outcome fingerprints.
-                        if self.trace_sampled(p.id) {
-                            self.trace_event(TraceEvent::Resolved {
-                                req: p.id.0,
-                                outcome: Resolution::Failed,
-                                reason: ShedReason::RetryBudget.name(),
-                                at_ns: completed_at.as_ns(),
-                            });
-                        }
-                        self.record_shed(Shed {
-                            id: p.id,
-                            tenant: p.tenant,
-                            at,
-                            reason: ShedReason::RetryBudget,
-                        });
-                    }
+                    self.fold_failed(
+                        idx,
+                        batch_id,
+                        started_at,
+                        completed_at,
+                        dropped,
+                        retried,
+                        at,
+                    );
                 }
             }
+        }
+    }
+
+    /// Folds one failed batch attempt into outcomes and accounting. Also
+    /// called from [`Server::fail_device`] when the failing attempt was
+    /// still held on a dying device — there `completed_at` is the failure
+    /// time, since the device never reached the attempt's own end.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_failed(
+        &mut self,
+        idx: usize,
+        batch_id: u64,
+        started_at: SimTime,
+        completed_at: SimTime,
+        dropped: Vec<Pending>,
+        retried: Vec<(RequestId, u64)>,
+        at: SimTime,
+    ) {
+        self.batch_failures += 1;
+        vpps_obs::counter("serve.batch_failures").incr();
+        let any_traced = self.trace.is_some()
+            && dropped
+                .iter()
+                .map(|p| p.id)
+                .chain(retried.iter().map(|&(id, _)| id))
+                .any(|id| self.trace_sampled(id));
+        if any_traced {
+            self.trace_event(TraceEvent::FailedAttempt {
+                batch: batch_id,
+                device: idx as u32,
+                started_ns: started_at.as_ns(),
+                completed_ns: completed_at.as_ns(),
+            });
+        }
+        for &(rid, retry_batch) in &retried {
+            vpps_obs::counter("serve.retried").incr();
+            if self.trace_sampled(rid) {
+                self.trace_event(TraceEvent::Retried {
+                    req: rid.0,
+                    from_batch: batch_id,
+                    batch: retry_batch,
+                    at_ns: completed_at.as_ns(),
+                });
+            }
+        }
+        for p in dropped {
+            // The trace resolves retry-budget drops at the failed attempt's
+            // completion so phase spans tile the timeline exactly; the
+            // Outcome keeps the historical `at` (the pump time) to preserve
+            // outcome fingerprints.
+            if self.trace_sampled(p.id) {
+                self.trace_event(TraceEvent::Resolved {
+                    req: p.id.0,
+                    outcome: Resolution::Failed,
+                    reason: ShedReason::RetryBudget.name(),
+                    at_ns: completed_at.as_ns(),
+                });
+            }
+            self.record_shed(Shed {
+                id: p.id,
+                tenant: p.tenant,
+                at,
+                reason: ShedReason::RetryBudget,
+            });
         }
     }
 
@@ -794,6 +1159,33 @@ impl Server {
     /// reproducibility checks).
     pub fn fault_profile(&self, id: ModelId) -> Option<&vpps::FaultProfile> {
         self.devices[0].handle(id.0).fault_profile()
+    }
+
+    /// The fault injector of a registered model's handle on one device, when
+    /// armed. Each device draws its own decorrelated stream and tags its
+    /// journal entries, so per-device journals are disjoint.
+    pub fn fault_profile_on(&self, id: ModelId, device: usize) -> Option<&vpps::FaultProfile> {
+        self.devices[device].handle(id.0).fault_profile()
+    }
+
+    /// Current lifecycle state of one device.
+    pub fn device_health(&self, device: usize) -> DeviceHealth {
+        self.devices[device].health()
+    }
+
+    /// Every health transition of one device, in order.
+    pub fn device_health_log(&self, device: usize) -> &[HealthTransition] {
+        self.devices[device].health_log()
+    }
+
+    /// Current breaker state of a registered model on one device.
+    pub fn breaker_state_on(&self, id: ModelId, device: usize) -> BreakerState {
+        self.devices[device].breaker_state(id.0)
+    }
+
+    /// Batches taken off failed devices and re-dispatched to survivors.
+    pub fn redispatched_batches(&self) -> u64 {
+        self.redispatched_batches
     }
 }
 
@@ -847,6 +1239,7 @@ mod tests {
             admission: AdmissionPolicy::default(),
             recovery: crate::policy::RecoveryConfig::default(),
             shard: ShardPolicy::default(),
+            health: crate::policy::HealthPolicy::default(),
         }
     }
 
@@ -880,9 +1273,12 @@ mod tests {
             let adm = srv.submit(infer_request(mid, &m, w, cls, i, 2, 1.0));
             assert!(adm.is_queued());
         }
-        // Size trigger fired: everything completed in one batch of 4.
+        // Size trigger fired: everything dispatched as one batch of 4.
         assert_eq!(srv.queue_depth(), 0);
         assert_eq!(srv.batches_dispatched(), 1);
+        // Completions are recorded when the virtual clock reaches the
+        // device's finish time, not at dispatch.
+        srv.drain();
         let completions: Vec<_> = srv
             .outcomes()
             .iter()
@@ -903,6 +1299,7 @@ mod tests {
         // Advance past the first request's linger deadline (1us + 50us).
         srv.run_until(SimTime::from_us(60.0));
         assert_eq!(srv.queue_depth(), 0);
+        srv.drain();
         let completions: Vec<_> = srv
             .outcomes()
             .iter()
@@ -1040,6 +1437,7 @@ mod tests {
         }
         // The first request was flushed at its deadline (deadline-aware),
         // completing late but dispatched before expiry.
+        srv.drain();
         let completions: Vec<_> = srv
             .outcomes()
             .iter()
@@ -1176,8 +1574,9 @@ mod tests {
             assert!(router.routed > 0);
             assert_eq!(
                 router.routed,
-                router.placements + router.affinity_hits + router.steals
+                router.placements + router.affinity_hits + router.steals + router.rehomes
             );
+            assert_eq!(router.rehomes, 0, "no failures, no re-homes");
         }
     }
 
@@ -1273,5 +1672,239 @@ mod tests {
             "cache hit pays module load only"
         );
         assert_eq!(srv.model_name(b), "b");
+    }
+
+    /// Two buckets (1-step and 2-step graphs), four requests each, all
+    /// arriving at t=1µs: the size trigger flushes bucket A onto device 0
+    /// (first placement) and bucket B onto device 1, so an outage on
+    /// device 1 starting shortly after always catches real work there.
+    fn two_bucket_run(outage: Option<gpu_sim::OutageWindow>) -> Server {
+        two_bucket_run_with(outage, |_| {})
+    }
+
+    impl Server {
+        /// Sorted `(request id, output bits)` pairs over all completions.
+        fn sorted_output_bits(&self) -> Vec<(u64, Vec<u32>)> {
+            let mut v: Vec<(u64, Vec<u32>)> = self
+                .outcomes()
+                .iter()
+                .filter_map(Outcome::completion)
+                .map(|c| (c.id.0, c.output.iter().map(|x| x.to_bits()).collect()))
+                .collect();
+            v.sort();
+            v
+        }
+    }
+
+    fn two_bucket_run_with(
+        outage: Option<gpu_sim::OutageWindow>,
+        tweak: impl FnOnce(&mut ServeConfig),
+    ) -> Server {
+        let (m, w, cls) = toy_model();
+        let mut cfg = small_config();
+        cfg.shard.devices = 2;
+        if let Some(win) = outage {
+            cfg.opts.faults.push_outage(win).unwrap();
+        }
+        tweak(&mut cfg);
+        let mut srv = Server::new(cfg);
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        for steps in [1usize, 2] {
+            for i in 0..4 {
+                srv.submit(infer_request(mid, &m, w, cls, i, steps, 1.0));
+            }
+        }
+        srv.drain();
+        srv
+    }
+
+    fn health_path(srv: &Server, device: usize) -> Vec<DeviceHealth> {
+        srv.device_health_log(device).iter().map(|t| t.to).collect()
+    }
+
+    #[test]
+    fn crash_redispatches_queued_and_inflight_work_exactly_once() {
+        let baseline = two_bucket_run(None);
+        assert_eq!(baseline.sorted_output_bits().len(), 8);
+        let crash = gpu_sim::OutageWindow {
+            device: 1,
+            kind: gpu_sim::OutageKind::Crash,
+            start: SimTime::from_us(3.0),
+            end: SimTime::from_us(1000.0),
+        };
+        let srv = two_bucket_run(Some(crash));
+        // Exactly one outcome per request and no losses: every submitted
+        // request completed, bit-identical to the fault-free run.
+        assert_eq!(srv.outcomes().len(), 8);
+        let mut ids: Vec<u64> = srv.outcomes().iter().map(|o| o.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "duplicate outcomes for one request");
+        assert_eq!(srv.sorted_output_bits(), baseline.sorted_output_bits());
+        // Device 1's work moved to a survivor.
+        assert!(srv.redispatched_batches() >= 1);
+        assert!(srv.router_stats().rehomes >= 1);
+        assert!(srv.router_stats().cold_rebuilds >= 1, "survivor was cold");
+        // Lifecycle walked Draining -> Down -> Reviving.
+        let path = health_path(&srv, 1);
+        assert!(
+            path.windows(2)
+                .any(|w| w == [DeviceHealth::Draining, DeviceHealth::Down]),
+            "missing Draining->Down in {path:?}"
+        );
+        assert!(path.contains(&DeviceHealth::Reviving), "window end revives");
+        // The survivor never left Healthy.
+        assert!(health_path(&srv, 0).is_empty());
+        // Every surviving completion names a real device.
+        for c in srv.outcomes().iter().filter_map(Outcome::completion) {
+            assert!(c.device < 2);
+        }
+    }
+
+    #[test]
+    fn hang_is_detected_by_the_watchdog_and_work_still_resolves() {
+        let baseline = two_bucket_run(None);
+        let hang = gpu_sim::OutageWindow {
+            device: 1,
+            kind: gpu_sim::OutageKind::Hang,
+            start: SimTime::from_us(3.0),
+            // Far beyond the watchdog grace: detection must come from the
+            // missed completion, not the window end.
+            end: SimTime::from_secs(10.0),
+        };
+        let srv = two_bucket_run(Some(hang));
+        assert_eq!(srv.outcomes().len(), 8);
+        assert_eq!(srv.sorted_output_bits(), baseline.sorted_output_bits());
+        assert!(srv.redispatched_batches() >= 1);
+        let path = health_path(&srv, 1);
+        assert!(
+            path.windows(2)
+                .any(|w| w == [DeviceHealth::Draining, DeviceHealth::Down]),
+            "watchdog never declared the hung device down: {path:?}"
+        );
+    }
+
+    #[test]
+    fn short_hang_thaws_in_place_without_a_down_declaration() {
+        let baseline = two_bucket_run(None);
+        let blip = gpu_sim::OutageWindow {
+            device: 1,
+            kind: gpu_sim::OutageKind::Hang,
+            start: SimTime::from_us(3.0),
+            // Ends long before the watchdog grace (200µs default) lapses:
+            // the freeze only slips the timeline.
+            end: SimTime::from_us(10.0),
+        };
+        let srv = two_bucket_run(Some(blip));
+        assert_eq!(srv.outcomes().len(), 8);
+        assert_eq!(srv.sorted_output_bits(), baseline.sorted_output_bits());
+        assert_eq!(srv.redispatched_batches(), 0);
+        assert!(
+            health_path(&srv, 1).is_empty(),
+            "a sub-grace blip must stay invisible to the lifecycle"
+        );
+    }
+
+    #[test]
+    fn brownout_degrades_then_recovers_with_identical_outputs() {
+        let baseline = two_bucket_run(None);
+        let brownout = gpu_sim::OutageWindow {
+            device: 1,
+            kind: gpu_sim::OutageKind::Brownout,
+            start: SimTime::from_us(3.0),
+            end: SimTime::from_us(2000.0),
+        };
+        let srv = two_bucket_run(Some(brownout));
+        assert_eq!(srv.outcomes().len(), 8);
+        // Slower, not wrong: outputs are bitwise those of the clean run.
+        assert_eq!(srv.sorted_output_bits(), baseline.sorted_output_bits());
+        assert_eq!(srv.redispatched_batches(), 0, "brownout is not an outage");
+        let path = health_path(&srv, 1);
+        assert_eq!(
+            path,
+            vec![DeviceHealth::Degraded, DeviceHealth::Healthy],
+            "brownout walks Degraded then back"
+        );
+    }
+
+    #[test]
+    fn revived_device_earns_healthy_back_through_probation() {
+        let crash = gpu_sim::OutageWindow {
+            device: 1,
+            kind: gpu_sim::OutageKind::Crash,
+            start: SimTime::from_us(3.0),
+            end: SimTime::from_us(600.0),
+        };
+        let (m, w, cls) = toy_model();
+        let mut cfg = small_config();
+        cfg.shard.devices = 2;
+        cfg.health.probation_warm_batches = 1;
+        cfg.opts.faults.push_outage(crash).unwrap();
+        let mut srv = Server::new(cfg);
+        let mid = srv.register_model("toy", m.clone()).unwrap();
+        for steps in [1usize, 2] {
+            for i in 0..4 {
+                srv.submit(infer_request(mid, &m, w, cls, i, steps, 1.0));
+            }
+        }
+        srv.drain();
+        assert_eq!(srv.device_health(1), DeviceHealth::Reviving);
+        // Post-revival: bucket C lands on device 0 (tie-break), making it
+        // busy; bucket D then places on the idle reviving device 1 — its
+        // bounded probation admission. One warm completion promotes it.
+        let at = (srv.now() + SimTime::from_us(10.0)).as_ns() / 1e3;
+        for steps in [3usize, 4] {
+            for i in 0..4 {
+                srv.submit(infer_request(mid, &m, w, cls, i, steps, at));
+            }
+        }
+        srv.drain();
+        assert_eq!(srv.device_health(1), DeviceHealth::Healthy);
+        let path = health_path(&srv, 1);
+        assert!(
+            path.windows(2)
+                .any(|w| w == [DeviceHealth::Reviving, DeviceHealth::Healthy]),
+            "probation never completed: {path:?}"
+        );
+        // Everything submitted across both phases resolved exactly once.
+        assert_eq!(srv.outcomes().len(), 16);
+        let mut ids: Vec<u64> = srv.outcomes().iter().map(|o| o.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn outage_runs_are_deterministic_across_reruns() {
+        for kind in gpu_sim::OutageKind::ALL {
+            let win = gpu_sim::OutageWindow {
+                device: 1,
+                kind,
+                start: SimTime::from_us(3.0),
+                end: SimTime::from_us(800.0),
+            };
+            let fingerprint = |srv: &Server| {
+                let mut v: Vec<(u64, u64, usize, Vec<u32>)> = srv
+                    .outcomes()
+                    .iter()
+                    .filter_map(Outcome::completion)
+                    .map(|c| {
+                        (
+                            c.id.0,
+                            c.completed_at.as_ns().to_bits(),
+                            c.device,
+                            c.output.iter().map(|x| x.to_bits()).collect(),
+                        )
+                    })
+                    .collect();
+                v.sort();
+                v
+            };
+            let a = two_bucket_run(Some(win));
+            let b = two_bucket_run(Some(win));
+            assert_eq!(fingerprint(&a), fingerprint(&b), "{kind:?} rerun diverged");
+            assert_eq!(a.redispatched_batches(), b.redispatched_batches());
+            assert_eq!(health_path(&a, 1), health_path(&b, 1));
+        }
     }
 }

@@ -12,7 +12,10 @@
 //!   fault-free run of the same trace — retries and the interpreter rungs
 //!   of the ladder are bit-exact re-executions;
 //! * circuit-breaker transitions are always legal and contiguous under
-//!   arbitrary outcome sequences.
+//!   arbitrary outcome sequences;
+//! * fault journals attribute every event to the device whose stream drew
+//!   it: per-device journals are disjoint, decorrelated, and seed-stable,
+//!   and device 0 reproduces the single-device stream exactly.
 
 use dyn_graph::Model;
 use gpu_sim::SimTime;
@@ -222,6 +225,131 @@ fn non_baseline_recovery_is_bit_identical_to_fault_free() {
         clean, faulty,
         "recovery via retries and interpreter rungs must be bit-exact"
     );
+}
+
+/// Per-device fault journals are correctly attributed, mutually disjoint in
+/// the stream sense (sibling devices draw decorrelated sequences from the
+/// shared seed, they never replay each other), and seed-stable: rebuilding
+/// a profile replays its journal event-for-event, and device 0 is exactly
+/// the legacy single-device stream.
+#[test]
+fn per_device_fault_journals_are_disjoint_and_seed_stable() {
+    use vpps::{FaultEvent, FaultProfile};
+
+    let replay = |device: u32| -> Vec<FaultEvent> {
+        let mut cfg = FaultConfig::uniform(17, 0.3);
+        cfg.device = device;
+        let mut p = FaultProfile::new(cfg);
+        // One identical draw schedule for every device, so any difference
+        // between journals comes from the stream, not the usage.
+        for i in 0..200u64 {
+            let now = SimTime::from_us(i as f64);
+            for kind in [
+                FaultKind::TransferCorruption,
+                FaultKind::LaunchFailure,
+                FaultKind::VppHang,
+                FaultKind::DramCorruption,
+            ] {
+                p.draw(kind, now);
+            }
+        }
+        p.journal().to_vec()
+    };
+
+    let journals: Vec<Vec<FaultEvent>> = (0..4).map(replay).collect();
+    for (device, journal) in journals.iter().enumerate() {
+        assert!(
+            !journal.is_empty(),
+            "rate 0.3 over 800 draws must fire on device {device}"
+        );
+        for ev in journal {
+            assert_eq!(
+                ev.device, device as u32,
+                "journal of device {device} holds a foreign event {ev:?}"
+            );
+        }
+        // Seed stability: an identical rebuild replays the exact journal.
+        assert_eq!(
+            journal,
+            &replay(device as u32),
+            "device {device} journal is not seed-stable"
+        );
+    }
+    for a in 0..journals.len() {
+        for b in a + 1..journals.len() {
+            let fired = |j: &[FaultEvent]| -> Vec<(u64, FaultKind)> {
+                j.iter().map(|e| (e.draw, e.kind)).collect()
+            };
+            assert_ne!(
+                fired(&journals[a]),
+                fired(&journals[b]),
+                "devices {a} and {b} drew identical fault streams from one seed"
+            );
+        }
+    }
+    // Legacy equivalence: an un-tagged config is device 0's stream.
+    let legacy = FaultConfig::uniform(17, 0.3);
+    assert_eq!(legacy.device, 0, "default configs target device 0");
+}
+
+/// The sharded serving path preserves the attribution: with one profile
+/// armed per device, every journal the server exposes is tagged with its
+/// own device, and a same-seed rerun reproduces all of them byte-for-byte.
+#[test]
+fn sharded_fault_journals_stay_attributed_and_reproducible() {
+    use vpps_serve::{ModelId, Request, RequestKind, ServeConfig, Server, TenantId};
+
+    let run = || -> (Server, ModelId) {
+        let model = tiny_model();
+        let mut cfg = ServeConfig {
+            device: small_device(),
+            ..ServeConfig::default()
+        };
+        cfg.opts.pool_capacity = 1 << 18;
+        cfg.opts.faults = FaultConfig::uniform(29, 0.05);
+        cfg.shard.devices = 3;
+        let mut server = Server::new(cfg);
+        let mid = server.register_model("tiny", model.clone()).expect("fits");
+        let mut clock = SimTime::ZERO;
+        for i in 0..24u8 {
+            clock += SimTime::from_us(40.0);
+            let (graph, root) = build_from_recipe(&model, &fixed_recipe(i));
+            server.submit(Request {
+                tenant: TenantId(0),
+                model: mid,
+                kind: RequestKind::Infer,
+                graph,
+                root,
+                arrival: clock,
+                deadline: None,
+            });
+        }
+        server.drain();
+        (server, mid)
+    };
+
+    let (server, mid) = run();
+    let (server2, mid2) = run();
+    let mut fired_any = false;
+    for d in 0..3 {
+        let journal = server
+            .fault_profile_on(mid, d)
+            .expect("profile armed on every device")
+            .journal();
+        for ev in journal {
+            assert_eq!(
+                ev.device, d as u32,
+                "device {d} journal holds a foreign event {ev:?}"
+            );
+        }
+        fired_any |= !journal.is_empty();
+        let journal2 = server2
+            .fault_profile_on(mid2, d)
+            .expect("profile armed on every device")
+            .journal();
+        assert_eq!(journal, journal2, "device {d} journal is not seed-stable");
+    }
+    assert!(fired_any, "rate 0.05 over 24 batches should fire somewhere");
 }
 
 proptest! {
